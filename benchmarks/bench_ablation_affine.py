@@ -1,0 +1,67 @@
+"""Ablation A4 — linear vs affine gap hardware.
+
+The paper's element implements the linear model; Table 1's strongest
+same-era competitor ([2]/[32] on the XC2V6000) implements Gotoh's
+affine model.  This ablation prices the difference on our framework:
+per-element area, device capacity, clock — and verifies the affine
+variant is exactly as correct as the linear one.
+"""
+
+import pytest
+
+from repro.align.gotoh import gotoh_locate_best
+from repro.align.scoring import AffineScoring
+from repro.analysis.report import render_table
+from repro.core.affine import AffineAccelerator, affine_resource_model
+from repro.core.resources import PROTOTYPE_MODEL
+from repro.io.generate import mutated_pair
+
+AFFINE = AffineScoring(match=2, mismatch=-1, gap_open=-4, gap_extend=-1)
+
+
+def test_a4_affine_locate(benchmark):
+    s, t = mutated_pair(200, rate=0.15, seed=141)
+    acc = AffineAccelerator(elements=64, scheme=AFFINE)
+    hit = benchmark(acc.locate, s, t)
+    assert hit == gotoh_locate_best(s, t, AFFINE)
+
+
+def test_a4_affine_rtl(benchmark):
+    s, t = mutated_pair(48, rate=0.15, seed=142)
+    acc = AffineAccelerator(elements=16, scheme=AFFINE, engine="rtl")
+    hit = benchmark(acc.locate, s, t)
+    assert hit == gotoh_locate_best(s, t, AFFINE)
+
+
+def test_a4_cost_table(benchmark):
+    def tabulate():
+        linear = PROTOTYPE_MODEL
+        affine = affine_resource_model()
+        rows = []
+        for label, model in (("linear (paper)", linear), ("affine ([2])", affine)):
+            rows.append(
+                [
+                    label,
+                    model.per_element.flipflops,
+                    model.per_element.luts,
+                    model.max_elements(),
+                    round(model.frequency_mhz(100), 1),
+                ]
+            )
+        return rows
+
+    rows = benchmark(tabulate)
+    print()
+    print(
+        render_table(
+            ["element", "FFs/elem", "LUTs/elem", "max elements", "clock@100 (MHz)"],
+            rows,
+            title="A4: the price of affine gaps on the xc2vp70",
+        )
+    )
+    linear_row, affine_row = rows
+    assert affine_row[1] > linear_row[1]  # more registers
+    assert affine_row[3] < linear_row[3]  # fewer elements fit
+    assert affine_row[4] < linear_row[4]  # slower clock
+    # ...but the paper-scale 100-element affine array still places.
+    assert affine_resource_model().fits(100)

@@ -1,0 +1,76 @@
+"""Ablation A5 — query-load mechanism ([13]'s JBits trade-off).
+
+Register-chain loading vs dynamic reconfiguration: the area saving
+([13]: ~2 FFs/base, 25% overall) against the millisecond
+reconfiguration per pass.  The benchmark sweeps query lengths to find
+where reconfiguration stops paying — reproducing section 4's verdict
+("difficult to use for large query sequences that would require many
+reconfigurations").
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.core.loading import LoadCostModel, QueryLoadMode
+from repro.core.resources import PROTOTYPE_MODEL
+
+
+def test_a5_mode_comparison(benchmark):
+    register = LoadCostModel(QueryLoadMode.REGISTER_CHAIN)
+    jbits = LoadCostModel(QueryLoadMode.RECONFIGURATION)
+    elements, n = 100, 10_000_000
+
+    def sweep():
+        rows = []
+        for m in (100, 1_000, 10_000, 100_000):
+            t_reg = register.total_seconds(m, n, elements)
+            t_jbits = jbits.total_seconds(m, n, elements)
+            rows.append(
+                [
+                    m,
+                    -(-m // elements),
+                    round(t_reg, 3),
+                    round(t_jbits, 3),
+                    "register" if t_reg < t_jbits else "jbits",
+                ]
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    print()
+    print(
+        render_table(
+            ["query bp", "passes", "register (s)", "jbits (s)", "winner"],
+            rows,
+            title="A5: load mechanism vs query length (10 MBP database)",
+        )
+    )
+    # Compute dominates everywhere at these database sizes; the
+    # reconfiguration penalty only matters as passes accumulate — the
+    # register chain must never lose.
+    assert all(r[4] == "register" for r in rows)
+
+
+def test_a5_area_saving(benchmark):
+    def areas():
+        register = LoadCostModel(QueryLoadMode.REGISTER_CHAIN).resource_model()
+        jbits = LoadCostModel(QueryLoadMode.RECONFIGURATION).resource_model()
+        return register, jbits
+
+    register, jbits = benchmark(areas)
+    saving_ff = 1 - jbits.per_element.flipflops / register.per_element.flipflops
+    extra_elements = jbits.max_elements() - register.max_elements()
+    print(f"\n JBits flip-flop saving per element: {saving_ff:.1%}; "
+          f"capacity +{extra_elements} elements "
+          f"({register.max_elements()} -> {jbits.max_elements()})")
+    assert jbits.max_elements() > register.max_elements()
+    assert 0 < saving_ff < 0.25
+
+
+def test_a5_crossover(benchmark):
+    model = LoadCostModel(QueryLoadMode.RECONFIGURATION)
+    crossover = benchmark(model.crossover_passes, 100)
+    # One reconfiguration costs as much as register-loading ~3/4 of a
+    # million bases: reconfiguration can only win if it removes that
+    # much register-chain traffic, which partitioned queries never do.
+    assert crossover > 1000

@@ -1,0 +1,76 @@
+"""Ablation A3 — partitioning granularity and engine comparison.
+
+Two design questions behind figure 7:
+
+* how chunk size (array length vs query length) trades passes against
+  idle lanes — measured on the emulator across chunk sizes;
+* how much the functional emulator buys over the cycle-accurate RTL
+  engine — the repository's own simulation-speed ablation (the reason
+  both exist).
+"""
+
+import pytest
+
+from repro.align.smith_waterman import sw_locate_best
+from repro.analysis.report import render_table
+from repro.core.accelerator import SWAccelerator
+from repro.core.emulator import emulate_partitioned
+from repro.io.generate import random_dna
+
+QUERY = random_dna(512, seed=91)
+DB = random_dna(2048, seed=92)
+
+
+@pytest.mark.parametrize("elements", [16, 64, 512])
+def test_a3_emulator_chunk_sizes(benchmark, elements):
+    result = benchmark(emulate_partitioned, QUERY, DB, elements)
+    assert result.hit == sw_locate_best(QUERY, DB)
+
+
+def test_a3_rtl_engine(benchmark):
+    # RTL at reduced scale (it models every register every clock).
+    q, db = QUERY[:48], DB[:192]
+    acc = SWAccelerator(elements=16, engine="rtl")
+    run = benchmark(acc.run, q, db)
+    assert run.hit == sw_locate_best(q, db)
+
+
+def test_a3_emulator_engine_same_scale(benchmark):
+    q, db = QUERY[:48], DB[:192]
+    acc = SWAccelerator(elements=16, engine="emulator")
+    run = benchmark(acc.run, q, db)
+    assert run.hit == sw_locate_best(q, db)
+
+
+def test_a3_granularity_table(benchmark):
+    from repro.core.partition import plan_partition
+
+    m, n = len(QUERY), len(DB)
+
+    def sweep():
+        rows = []
+        for elements in (8, 32, 128, 512):
+            plan = plan_partition(m, n, elements)
+            rows.append(
+                [
+                    elements,
+                    plan.passes,
+                    plan.total_cycles(),
+                    round(plan.utilization(), 3),
+                    plan.boundary_memory_bytes(),
+                ]
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    print()
+    print(
+        render_table(
+            ["elements", "passes", "cycles", "utilization", "boundary bytes"],
+            rows,
+            title="A3: chunk-size granularity (512 x 2048)",
+        )
+    )
+    # More elements -> fewer cycles, monotonically.
+    cycles = [r[2] for r in rows]
+    assert cycles == sorted(cycles, reverse=True)

@@ -1,0 +1,87 @@
+"""Ablation A2 — array-size design space on the device catalog.
+
+Sweeps the element count across the paper's device and the related-
+work devices: resources, predicted clock, ideal throughput, and the
+largest array each part holds.  This is the design loop the paper
+describes (synthesize, check utilization, argue headroom), run as a
+model.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.core.resources import ResourceModel
+from repro.core.timing import ClockModel, estimate_run
+from repro.hw.device import DEVICES
+
+
+def test_a2_design_space_sweep(benchmark):
+    model = ResourceModel()
+
+    def sweep():
+        rows = []
+        for n in (25, 50, 100, 150):
+            f = model.frequency_mhz(n)
+            timing = estimate_run(n, 1_000_000, n, ClockModel(frequency_mhz=f))
+            rows.append(
+                [
+                    n,
+                    model.table2(n)["luts_pct"],
+                    round(f, 1),
+                    round(timing.gcups, 2),
+                    "yes" if model.fits(n) else "no",
+                ]
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    print()
+    print(
+        render_table(
+            ["elements", "LUT %", "clock (MHz)", "ideal GCUPS", "fits xc2vp70"],
+            rows,
+            title="A2: element-count design space on the xc2vp70",
+        )
+    )
+    # Throughput keeps growing with N despite the clock droop: the
+    # parallelism win dominates the routing loss.
+    gcups = [r[3] for r in rows]
+    assert gcups == sorted(gcups)
+
+
+def test_a2_capacity_across_devices(benchmark):
+    def capacities():
+        rows = []
+        for name, device in sorted(DEVICES.items()):
+            model = ResourceModel(device=device)
+            n_max = model.max_elements()
+            rows.append([name, device.slices, n_max, round(model.frequency_mhz(n_max), 1)])
+        return rows
+
+    rows = benchmark(capacities)
+    print()
+    print(
+        render_table(
+            ["device", "slices", "max elements", "clock at max (MHz)"],
+            rows,
+            title="A2: largest array per catalog device (paper element cost)",
+        )
+    )
+    by_name = {r[0]: r[2] for r in rows}
+    # Bigger parts hold bigger arrays; the paper's device leads its
+    # Virtex-E era comparators.
+    assert by_name["xc2vp70"] > by_name["xcv2000e"] > by_name["xcv812e"]
+
+
+def test_a2_throughput_at_capacity(benchmark):
+    model = ResourceModel()
+
+    def peak():
+        n = model.max_elements()
+        f = model.frequency_mhz(n)
+        return n, n * f * 1e6 / 1e9
+
+    n, gcups = benchmark(peak)
+    print(f"\n xc2vp70 at capacity: {n} elements, {gcups:.1f} ideal GCUPS "
+          f"(prototype: 100 elements, 14.5 GCUPS)")
+    assert gcups > 14.5  # headroom beyond the prototype

@@ -1,0 +1,101 @@
+"""Experiment S2 — bit-parallelism: the software mirror of the array.
+
+The paper exploits *spatial* parallelism (one element per anti-diagonal
+cell); Myers' 1999 algorithm exploits *word-level* parallelism (one DP
+column per machine word).  Both attack the same dependency structure.
+This benchmark measures the software side of that mirror on the
+unit-cost (edit-distance) domain, against the plain-DP implementation
+of the same semi-global function.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import render_table
+from repro.baselines.bitparallel import BitParallelMatcher
+from repro.io.generate import mutate, random_dna
+
+PATTERN = random_dna(64, seed=211)
+TEXT = random_dna(20_000, seed=212)
+
+
+def dp_distances(pattern: str, text: str) -> list[int]:
+    """Plain-DP semi-global edit distances (the ablated design)."""
+    m, n = len(pattern), len(text)
+    prev = np.zeros(n + 1, dtype=np.int64)
+    for i in range(1, m + 1):
+        cur = np.empty(n + 1, dtype=np.int64)
+        cur[0] = i
+        match = np.frombuffer(pattern[i - 1].encode() * n, dtype=np.uint8)
+        text_codes = np.frombuffer(text.encode(), dtype=np.uint8)
+        cost = (match != text_codes).astype(np.int64)
+        # Sequential min-scan (the horizontal dependency).
+        for j in range(1, n + 1):
+            cur[j] = min(prev[j - 1] + cost[j - 1], prev[j] + 1, cur[j - 1] + 1)
+        prev = cur
+    return [int(v) for v in prev[1:]]
+
+
+def test_s2_bit_parallel(benchmark):
+    matcher = BitParallelMatcher(PATTERN)
+    distances = benchmark(matcher.distances, TEXT)
+    assert min(distances) >= 0
+
+
+def test_s2_plain_dp_reference(benchmark):
+    # Scaled down: the point is the per-cell cost ratio.
+    distances = benchmark(dp_distances, PATTERN, TEXT[:2_000])
+    assert min(distances) >= 0
+
+
+def test_s2_speedup_table(benchmark):
+    import time
+
+    def measure():
+        rows = []
+        text = TEXT[:4_000]
+        start = time.perf_counter()
+        fast = BitParallelMatcher(PATTERN).distances(text)
+        t_fast = time.perf_counter() - start
+        start = time.perf_counter()
+        slow = dp_distances(PATTERN, text)
+        t_slow = time.perf_counter() - start
+        assert fast == slow  # exactness before speed
+        cells = len(PATTERN) * len(text)
+        rows.append(["plain DP", f"{t_slow * 1e3:.1f} ms", f"{cells / t_slow / 1e6:.1f} MCUPS"])
+        rows.append(["bit-parallel", f"{t_fast * 1e3:.1f} ms", f"{cells / t_fast / 1e6:.1f} MCUPS"])
+        rows.append(["speedup", f"{t_slow / t_fast:.1f}x", "-"])
+        return rows, t_slow / t_fast
+
+    rows, speedup = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["implementation", "time", "throughput"],
+            rows,
+            title="S2: word-parallelism vs plain DP (64 bp pattern, 4 KBP text)",
+        )
+    )
+    assert speedup > 3  # word-level parallelism must clearly win
+
+
+def test_s2_ukkonen_band_doubling(benchmark):
+    """The third attack: work-sparing (O(n*d)) on similar sequences."""
+    from repro.align.ukkonen import ukkonen_edit_distance
+    from repro.io.generate import mutated_pair
+
+    s, t = mutated_pair(2_000, rate=0.02, seed=214)
+    result = benchmark(ukkonen_edit_distance, s, t)
+    full_cells = len(s) * len(t)
+    print(f"\n Ukkonen on a 2 KBP 2%-mutated pair: d={result.distance}, "
+          f"{result.cells_evaluated:,} cells vs {full_cells:,} full "
+          f"({result.cells_evaluated / full_cells:.1%})")
+    assert result.cells_evaluated < full_cells / 5
+
+
+def test_s2_search_finds_plant(benchmark):
+    planted = mutate(PATTERN, rate=0.05, seed=213)
+    text = TEXT[:5_000] + planted + TEXT[5_000:10_000]
+    matcher = BitParallelMatcher(PATTERN)
+    hits = benchmark(matcher.search, text, 6)
+    assert any(5_000 < h.end <= 5_000 + len(planted) + 6 for h in hits)

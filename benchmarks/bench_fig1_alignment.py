@@ -1,0 +1,25 @@
+"""Experiment F1 — regenerate figure 1 (alignment example with score).
+
+The figure shows two DNA sequences aligned with the +1/-1/-2 column
+values and the summed score.  We regenerate it from the live DP
+implementation and benchmark the full-matrix alignment it rests on.
+"""
+
+from repro.analysis.figures import FIG1_S, FIG1_T, figure1_alignment
+from repro.align.smith_waterman import sw_align
+
+
+def test_fig1_regeneration(benchmark):
+    text = benchmark(figure1_alignment)
+    print()
+    print(f"figure 1 (s={FIG1_S}, t={FIG1_T}):")
+    print(text)
+    assert "score" in text
+
+
+def test_fig1_underlying_alignment(benchmark):
+    aln = benchmark(sw_align, FIG1_S, FIG1_T)
+    aln.validate(FIG1_S, FIG1_T)
+    # The example pair shares the TTGTC core: score 5.
+    assert aln.score == 5
+    assert aln.s_slice == "TTGTC"

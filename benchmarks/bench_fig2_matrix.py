@@ -1,0 +1,43 @@
+"""Experiment F2 — regenerate figure 2 (similarity matrix with
+traceback arrows for s=TATGGAC, t=TAGTGACT).
+
+Also quantifies the memory contrast the figure motivates: the
+materialized matrix versus the linear-space rows the architecture
+keeps (section 2.3's 10 GB example at scale).
+"""
+
+import pytest
+
+from repro.align.matrix import SimilarityMatrix
+from repro.analysis.figures import FIG2_S, FIG2_T, figure2_matrix
+from repro.core.partition import plan_partition
+
+
+def test_fig2_regeneration(benchmark):
+    text = benchmark(figure2_matrix)
+    print()
+    print(text)
+    assert "best score 3" in text
+
+
+def test_fig2_matrix_fill(benchmark):
+    matrix = benchmark(SimilarityMatrix, FIG2_S, FIG2_T)
+    assert matrix.best() == (3, 7, 7)
+    aln = matrix.best_alignment()
+    assert aln.s_slice == "GAC"
+
+
+def test_fig2_memory_contrast(benchmark):
+    # Section 2.3: two 100 KBP sequences need >= 10 GB quadratic;
+    # the linear-space scheme needs two rows + a boundary row.
+    def footprint():
+        m = n = 100_000
+        quadratic = m * n  # one byte per cell, the paper's floor
+        linear = plan_partition(m, n, 100).boundary_memory_bytes() + 2 * (n + 1) * 4
+        return quadratic, linear
+
+    quadratic, linear = benchmark(footprint)
+    print(f"\n 100 KBP x 100 KBP: quadratic >= {quadratic / 1e9:.1f} GB, "
+          f"linear-space state = {linear / 1e6:.2f} MB")
+    assert quadratic >= 10**10
+    assert linear < quadratic / 1000

@@ -1,0 +1,83 @@
+"""Experiment F3 — reproduce figure 3 (the wavefront method) and the
+cluster scaling it illustrates.
+
+The figure's claim is qualitative: computation starts at one
+processor, ramps up along anti-diagonals, and reaches full
+parallelism.  The cluster simulator turns that into numbers — speedup
+and efficiency versus processor count — while the property suite
+guarantees the decomposition stays exact.
+"""
+
+import pytest
+
+from repro.analysis.figures import figure3_wavefront
+from repro.analysis.report import render_table
+from repro.io.generate import mutated_pair
+from repro.parallel.cluster import ClusterConfig, WavefrontCluster
+
+
+def test_fig3_regeneration(benchmark):
+    text = benchmark(figure3_wavefront)
+    print()
+    print(text)
+    assert "(c) full parallelism" in text
+
+
+@pytest.mark.parametrize("processors", [1, 2, 4, 8])
+def test_fig3_cluster_run(benchmark, processors):
+    s, t = mutated_pair(384, rate=0.1, seed=55)
+    cfg = ClusterConfig(processors=processors, row_block=48)
+    cluster = WavefrontCluster(cfg)
+    run = benchmark(cluster.run, s, t)
+    assert run.hit.score > 0
+
+
+def test_fig3_scaling_table(benchmark):
+    s, t = mutated_pair(512, rate=0.1, seed=56)
+
+    def sweep():
+        rows = []
+        for p in (1, 2, 4, 8, 16):
+            cfg = ClusterConfig(processors=p, row_block=32)
+            run = WavefrontCluster(cfg).run(s, t)
+            sched = WavefrontCluster(cfg).schedule(len(s), len(t))
+            rows.append(
+                [
+                    p,
+                    round(run.speedup, 2),
+                    round(run.speedup / p, 2),
+                    len(run.messages),
+                    round(sched.efficiency(p), 2),
+                ]
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    print()
+    print(
+        render_table(
+            ["processors", "speedup", "efficiency", "messages", "schedule bound"],
+            rows,
+            title="Figure 3 quantified: wavefront cluster scaling",
+        )
+    )
+    from repro.analysis.plots import ascii_plot
+
+    print()
+    print(
+        ascii_plot(
+            [r[0] for r in rows],
+            [r[1] for r in rows],
+            height=8,
+            title="cluster speedup vs processors",
+            x_label="processors",
+            y_label="speedup",
+        )
+    )
+    # Shape: speedup grows with P but efficiency decays (fill/drain +
+    # messages), the figure's pipeline story.
+    speedups = [r[1] for r in rows]
+    efficiencies = [r[2] for r in rows]
+    assert speedups == sorted(speedups)
+    assert efficiencies[0] == pytest.approx(1.0, abs=0.01)
+    assert efficiencies[-1] < efficiencies[0]

@@ -1,0 +1,72 @@
+"""Experiments F4/F5 — the systolic array designs of figures 4 and 5.
+
+Figure 4 is the generic score-only array; figure 5 the paper's array
+with the (Bs, Bc) best-score fields.  We regenerate the per-cycle
+trace on the figure's own sequences (query ACGC, database ACTA) and
+benchmark both the cycle-accurate RTL engine and the functional
+emulator, whose ratio is the repo's own hardware/software gap.
+"""
+
+import pytest
+
+from repro.align.smith_waterman import sw_locate_best
+from repro.analysis.figures import figure5_systolic_trace
+from repro.analysis.report import render_table
+from repro.core.accelerator import SWAccelerator
+from repro.core.systolic import SystolicArray
+from repro.io.generate import random_dna
+
+
+def test_fig5_trace_regeneration(benchmark):
+    text = benchmark(figure5_systolic_trace)
+    print()
+    print(text)
+    assert "16 cells" in text
+
+
+def test_fig5_rtl_pass(benchmark):
+    q = random_dna(32, seed=61)
+    db = random_dna(256, seed=62)
+
+    def run():
+        array = SystolicArray(32)
+        array.load_query(q)
+        return array.run_pass(db)
+
+    result = benchmark(run)
+    assert result.cycles == 256 + 32 - 1
+    assert result.cells == 32 * 256
+
+
+def test_fig5_emulator_pass(benchmark):
+    q = random_dna(32, seed=61)
+    db = random_dna(256, seed=62)
+    acc = SWAccelerator(elements=32)
+    run = benchmark(acc.run, q, db)
+    assert run.hit == sw_locate_best(q, db)
+
+
+def test_fig5_throughput_scales_with_elements(benchmark):
+    # Cells per clock == active elements (the wavefront property),
+    # so modeled throughput is linear in N until the device limit.
+    from repro.core.timing import IDEAL_CLOCK, estimate_run
+
+    def sweep():
+        rows = []
+        for n_elements in (25, 50, 100, 150):
+            timing = estimate_run(n_elements, 1_000_000, n_elements, IDEAL_CLOCK)
+            rows.append([n_elements, round(timing.gcups, 2)])
+        return rows
+
+    rows = benchmark(sweep)
+    print()
+    print(
+        render_table(
+            ["elements", "ideal GCUPS"],
+            rows,
+            title="Array throughput vs element count (figure 5 design)",
+        )
+    )
+    gcups = [r[1] for r in rows]
+    assert gcups == sorted(gcups)
+    assert gcups[2] == pytest.approx(100 * 144.9e6 / 1e9, rel=0.02)

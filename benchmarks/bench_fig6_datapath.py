@@ -1,0 +1,50 @@
+"""Experiment F6 — the element datapath of figure 6.
+
+Regenerates the datapath description, benchmarks the single-cell step
+of the RTL model (the figure's one-clock computation), and checks the
+gate-level frequency estimate against the paper's synthesis report.
+"""
+
+import pytest
+
+from repro.align.scoring import DEFAULT_DNA
+from repro.analysis.figures import figure6_datapath
+from repro.core.datapath import critical_path, fmax_mhz, pe_resource_counts
+from repro.core.pe import PEOutput, ProcessingElement
+
+
+def test_fig6_regeneration(benchmark):
+    text = benchmark(figure6_datapath)
+    print()
+    print(text)
+    assert "critical path" in text
+
+
+def test_fig6_single_cell_step(benchmark):
+    pe = ProcessingElement(index=1, scheme=DEFAULT_DNA)
+    pe.load(ord("A"))
+    feed = PEOutput(score=0, base=ord("A"), valid=True)
+
+    def step():
+        pe.load(ord("A"))
+        return pe.step(feed, cycle=1)
+
+    out = benchmark(step)
+    assert out.score == 1
+
+
+def test_fig6_critical_path_analysis(benchmark):
+    path, delay = benchmark(critical_path)
+    print(f"\n critical path ({delay:.2f} ns): {' -> '.join(path)}")
+    # The timing-critical chain runs through the score datapath, not
+    # the base pipeline.
+    assert "d_max" in path
+    assert delay > 5.0
+
+
+def test_fig6_fmax_vs_paper(benchmark):
+    f = benchmark(fmax_mhz)
+    counts = pe_resource_counts()
+    print(f"\n gate-level f_max = {f:.1f} MHz (paper: 144.9 MHz); "
+          f"hand-mapped element = {counts['luts']} LUTs / {counts['ffs']} FFs")
+    assert 0.75 * 144.9 <= f <= 1.25 * 144.9

@@ -1,0 +1,37 @@
+"""Experiments F8/F9 — the synthesized circuit views of figures 8/9.
+
+The paper shows ISE floorplan screenshots: the element array (left)
+and the control logic (right).  Our substitute is the structural
+netlist summary plus the capacity argument the figure supports ("there
+is space to add much more elements").
+"""
+
+from repro.analysis.figures import figure8_9_circuit
+from repro.analysis.report import render_table
+from repro.core.resources import PROTOTYPE_MODEL
+
+
+def test_fig8_9_regeneration(benchmark):
+    text = benchmark(figure8_9_circuit, 100)
+    print()
+    print(text)
+    assert "element instances : 100" in text
+
+
+def test_fig8_headroom_claim(benchmark):
+    # Figure 8's point: at 100 elements the die is not full; quantify
+    # how many more elements fit.
+    max_elements = benchmark(PROTOTYPE_MODEL.max_elements)
+    rows = [
+        ["prototype", 100, PROTOTYPE_MODEL.table2(100)["luts_pct"]],
+        ["capacity", max_elements, PROTOTYPE_MODEL.table2(max_elements)["luts_pct"]],
+    ]
+    print()
+    print(
+        render_table(
+            ["configuration", "elements", "LUT %"],
+            rows,
+            title="Figure 8 quantified: room on the xc2vp70",
+        )
+    )
+    assert max_elements > 120

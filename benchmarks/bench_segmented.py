@@ -1,0 +1,71 @@
+"""Experiment A7 — SRAM-limited segmented streaming.
+
+Section 5 stores the database in board SRAM; databases beyond the
+capacity stream in overlapping segments.  We verify exactness against
+the monolithic run and price the overlap overhead (streamed bases /
+database bases) across segment sizes — the cost curve of a smaller
+SRAM.
+"""
+
+import pytest
+
+from repro.align.smith_waterman import sw_locate_best
+from repro.analysis.report import render_table
+from repro.core.accelerator import SWAccelerator
+from repro.core.segmented import max_database_extent, run_segmented
+from repro.io.generate import mutate, random_dna
+
+QUERY = random_dna(50, seed=171)
+_BG = random_dna(20_000, seed=172)
+_PLANT = mutate(QUERY, rate=0.05, seed=173)
+DATABASE = _BG[:9_000] + _PLANT + _BG[9_000 + len(_PLANT):]
+
+
+def test_a7_segmented_run(benchmark):
+    acc = SWAccelerator(elements=64)
+    run = benchmark(run_segmented, acc, QUERY, DATABASE, 2_000)
+    assert run.hit == sw_locate_best(QUERY, DATABASE)
+
+
+def test_a7_monolithic_reference(benchmark):
+    acc = SWAccelerator(elements=64)
+    run = benchmark(acc.run, QUERY, DATABASE)
+    assert run.hit == sw_locate_best(QUERY, DATABASE)
+
+
+def test_a7_overlap_overhead_table(benchmark):
+    acc = SWAccelerator(elements=64)
+    expected = sw_locate_best(QUERY, DATABASE)
+    overlap = max_database_extent(len(QUERY), acc.scheme) - 1
+
+    def sweep():
+        rows = []
+        for segment in (500, 1_000, 2_000, 8_000):
+            run = run_segmented(acc, QUERY, DATABASE, segment_bases=segment)
+            assert run.hit == expected
+            rows.append(
+                [
+                    segment,
+                    run.segments,
+                    run.total_streamed_bases,
+                    f"{run.stream_amplification:.2f}x",
+                ]
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    print()
+    print(
+        render_table(
+            ["segment (bases)", "segments", "bases streamed", "amplification"],
+            rows,
+            title=(
+                f"A7: segmented streaming of a 20 KBP database "
+                f"(overlap {overlap} bases for a {len(QUERY)} bp query)"
+            ),
+        )
+    )
+    # Smaller SRAM -> more segments -> more re-streamed overlap.
+    amps = [float(r[3][:-1]) for r in rows]
+    assert amps == sorted(amps, reverse=True)
+    assert amps[-1] < 1.05  # big segments cost almost nothing

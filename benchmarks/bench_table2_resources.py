@@ -1,0 +1,81 @@
+"""Experiment T2 — regenerate Table 2 (characteristics of the
+generated circuit on the Xilinx xc2vp70).
+
+Paper row (100 elements): 47% slices, 25% flip-flops, 65% LUTs,
+7% IOBs, 144.9 MHz.  The resource model is calibrated at this point
+and then *predicts* other array sizes; the benchmark prints the
+reproduced row plus the predictions and the device's capacity limit
+("there is space to add much more elements", figure 8 — quantified).
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.core.datapath import fmax_mhz
+from repro.core.resources import PROTOTYPE_MODEL
+
+
+def test_table2_row(benchmark):
+    row = benchmark(PROTOTYPE_MODEL.table2, 100)
+    print()
+    print(
+        render_table(
+            ["elements", "slices", "flipflops", "LUTs", "IOBs", "GCLKs", "freq (MHz)"],
+            [
+                [
+                    row["elements"],
+                    f"{row['slices']} ({row['slices_pct']}%)",
+                    f"{row['flipflops']} ({row['flipflops_pct']}%)",
+                    f"{row['luts']} ({row['luts_pct']}%)",
+                    f"{row['iobs']} ({row['iobs_pct']}%)",
+                    row["gclks"],
+                    row["frequency_mhz"],
+                ]
+            ],
+            title="Table 2 (reproduced): generated circuit on xc2vp70",
+        )
+    )
+    assert (row["slices_pct"], row["flipflops_pct"], row["luts_pct"], row["iobs_pct"]) == (
+        47,
+        25,
+        65,
+        7,
+    )
+    assert row["frequency_mhz"] == pytest.approx(144.9, abs=0.1)
+
+
+def test_table2_predictions(benchmark):
+    sizes = [25, 50, 100, PROTOTYPE_MODEL.max_elements()]
+
+    def predict():
+        return [PROTOTYPE_MODEL.table2(n) for n in sizes]
+
+    rows = benchmark(predict)
+    print()
+    print(
+        render_table(
+            ["elements", "slices %", "FF %", "LUT %", "freq (MHz)", "fits"],
+            [
+                [
+                    r["elements"],
+                    r["slices_pct"],
+                    r["flipflops_pct"],
+                    r["luts_pct"],
+                    r["frequency_mhz"],
+                    "yes" if PROTOTYPE_MODEL.fits(r["elements"]) else "no",
+                ]
+                for r in rows
+            ],
+            title="Model predictions across array sizes",
+        )
+    )
+    assert PROTOTYPE_MODEL.max_elements() > 120
+    assert PROTOTYPE_MODEL.binding_resource(100) == "luts"
+
+
+def test_table2_frequency_cross_check(benchmark):
+    # Independent gate-level estimate vs the calibrated model.
+    f_gates = benchmark(fmax_mhz)
+    f_model = PROTOTYPE_MODEL.frequency_mhz(100)
+    print(f"\n gate-level f_max {f_gates:.1f} MHz vs calibrated {f_model:.1f} MHz")
+    assert abs(f_gates - f_model) / f_model < 0.30

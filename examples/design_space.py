@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Design-space exploration: the paper's synthesis loop as a model.
+
+Sweeps the element count on the xc2vp70 (and the related-work
+devices), printing Table-2-style resource rows, the predicted clock,
+ideal throughput, and each device's capacity limit — the quantitative
+version of the paper's "there is space to add much more elements"
+(figure 8) and of Table 1's device column.
+
+Usage::
+
+    python examples/design_space.py
+"""
+
+from repro.analysis.report import render_table
+from repro.core.datapath import critical_path, netlist_summary, pe_resource_counts
+from repro.core.resources import PROTOTYPE_MODEL, ResourceModel
+from repro.core.timing import ClockModel, estimate_run
+from repro.hw.device import DEVICES
+
+
+def main() -> None:
+    # Per-element implementation data (figure 6's datapath).
+    path, delay = critical_path()
+    counts = pe_resource_counts()
+    print("element datapath:")
+    print(f"  critical path : {' -> '.join(path)}")
+    print(f"  delay         : {delay:.2f} ns ({1e3 / delay:.1f} MHz gate-level bound)")
+    print(f"  hand-mapped   : {counts['luts']} LUTs, {counts['ffs']} FFs")
+    print(f"  calibrated    : {PROTOTYPE_MODEL.per_element.luts} LUTs, "
+          f"{PROTOTYPE_MODEL.per_element.flipflops} FFs (Table 2 / Forte flow)")
+    print()
+
+    rows = []
+    for n in (25, 50, 100, 125, PROTOTYPE_MODEL.max_elements()):
+        t2 = PROTOTYPE_MODEL.table2(n)
+        f = PROTOTYPE_MODEL.frequency_mhz(n)
+        timing = estimate_run(n, 1_000_000, n, ClockModel(frequency_mhz=f))
+        rows.append(
+            [
+                n,
+                f"{t2['slices_pct']}%",
+                f"{t2['flipflops_pct']}%",
+                f"{t2['luts_pct']}%",
+                t2["frequency_mhz"],
+                round(timing.gcups, 2),
+            ]
+        )
+    print(
+        render_table(
+            ["elements", "slices", "FFs", "LUTs", "clock (MHz)", "ideal GCUPS"],
+            rows,
+            title="xc2vp70 design space (paper prototype = 100 elements)",
+        )
+    )
+    print()
+
+    rows = []
+    for name, device in sorted(DEVICES.items()):
+        model = ResourceModel(device=device)
+        n_max = model.max_elements()
+        rows.append(
+            [
+                name,
+                device.family,
+                f"{device.slices:,}",
+                n_max,
+                round(model.frequency_mhz(n_max), 1),
+                round(n_max * model.frequency_mhz(n_max) * 1e6 / 1e9, 1),
+            ]
+        )
+    print(
+        render_table(
+            ["device", "family", "slices", "max elements", "clock (MHz)", "peak GCUPS"],
+            rows,
+            title="capacity across the catalog (paper element cost)",
+        )
+    )
+    print()
+    print(netlist_summary(100))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Thin setup.py shim — all metadata lives in pyproject.toml.
+
+Kept so the package installs in fully offline environments where the
+PEP 660 editable path is unavailable (no `wheel` distribution):
+``python setup.py develop`` works with bare setuptools.
+"""
+from setuptools import setup
+
+setup()

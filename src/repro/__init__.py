@@ -1,0 +1,74 @@
+"""repro — reproduction of Boukerche et al., "Reconfigurable Architecture
+for Biological Sequence Comparison in Reduced Memory Space" (IPDPS 2007).
+
+The package is organized as the paper's system is:
+
+* :mod:`repro.core` — the contribution: a cycle-accurate simulator of
+  the FPGA systolic array that computes Smith-Waterman best score and
+  coordinates in linear space, with query partitioning, a resource /
+  timing model, and a fast functional emulator.
+* :mod:`repro.align` — the exact-alignment software substrate
+  (Smith-Waterman, Needleman-Wunsch, Gotoh, Hirschberg, and the
+  linear-space local-alignment pipeline of section 2.3).
+* :mod:`repro.parallel` — the wavefront / cluster substrate the
+  accelerator integrates with (figure 3, Z-align).
+* :mod:`repro.hw` — FPGA device, board SRAM, PCI bus and host models.
+* :mod:`repro.baselines` — the software comparators (optimized
+  row-sweep baseline, pure-Python reference, BLAST/FASTA-like
+  heuristics).
+* :mod:`repro.io` — FASTA I/O and seeded workload generators.
+* :mod:`repro.analysis` — CUPS metrics, report tables and ASCII
+  regenerations of the paper's figures.
+
+Quickstart::
+
+    from repro import SWAccelerator, local_align_linear
+
+    acc = SWAccelerator(elements=100)
+    result = local_align_linear("ACTTGTCCG", "ATTGTCAGG", locate=acc.locate)
+    print(result.alignment.pretty())
+"""
+
+from .align import (
+    DEFAULT_DNA,
+    AffineScoring,
+    Alignment,
+    LinearScoring,
+    LocalHit,
+    SimilarityMatrix,
+    SubstitutionMatrix,
+    blosum62,
+    gotoh_align,
+    hirschberg_align,
+    local_align_linear,
+    nw_align,
+    nw_score,
+    sw_align,
+    sw_locate_best,
+    sw_score,
+)
+from .core import ProcessingElement, SWAccelerator, SystolicArray
+
+__all__ = [
+    "Alignment",
+    "AffineScoring",
+    "DEFAULT_DNA",
+    "LinearScoring",
+    "LocalHit",
+    "SimilarityMatrix",
+    "SubstitutionMatrix",
+    "blosum62",
+    "gotoh_align",
+    "hirschberg_align",
+    "local_align_linear",
+    "nw_align",
+    "nw_score",
+    "sw_align",
+    "sw_locate_best",
+    "sw_score",
+    "SWAccelerator",
+    "SystolicArray",
+    "ProcessingElement",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,212 @@
+"""General dynamic programming over the wavefront structure (ref [17]).
+
+The paper's own group frames the systolic array as an instance of a
+broader family: "Reconfigurable systems for sequence alignment and for
+general dynamic programming" (reference [17]).  Any recurrence of the
+form
+
+    ``D[i, j] = f( D[i-1, j-1], D[i-1, j], D[i, j-1], s[i], t[j] )``
+
+with boundary generators for row 0 and column 0 has the same
+anti-diagonal dependency structure and therefore maps onto the same
+wavefront/systolic machinery.  This module captures that family:
+
+* :class:`Recurrence` — the cell function plus boundaries and the
+  reduction that defines the problem's "answer";
+* :func:`sweep` — a linear-space evaluator for any instance;
+* ready-made instances: Smith-Waterman (cross-checked against the
+  dedicated kernel), Needleman-Wunsch, **edit distance** and **longest
+  common subsequence** — the two classic non-alignment members of the
+  family, each validated against an independent implementation.
+
+The point is architectural: everything in :mod:`repro.core` that made
+Smith-Waterman systolic (anti-diagonal parallelism, row-boundary
+partitioning) applies verbatim to any :class:`Recurrence`, which is
+how the paper's architecture earns the "general dynamic programming"
+claim of its lineage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .scoring import DEFAULT_DNA, LinearScoring, encode
+
+__all__ = [
+    "Recurrence",
+    "SweepResult",
+    "sweep",
+    "smith_waterman_recurrence",
+    "needleman_wunsch_recurrence",
+    "edit_distance_recurrence",
+    "lcs_recurrence",
+    "edit_distance",
+    "lcs_length",
+]
+
+
+@dataclass(frozen=True)
+class Recurrence:
+    """One member of the wavefront-DP family.
+
+    ``cell(diag, up, left, a, b)`` computes ``D[i, j]`` from its three
+    predecessors and the two characters (ASCII codes).  ``row0(j)``
+    and ``col0(i)`` generate the boundaries.  ``better(x, y)`` returns
+    True when ``x`` is a better answer than ``y`` (maximization for
+    similarity, minimization for distance); ``answer`` selects what
+    the sweep reports: ``"best"`` (best cell anywhere, local-style) or
+    ``"corner"`` (bottom-right, global-style).
+    """
+
+    name: str
+    cell: Callable[[int, int, int, int, int], int]
+    row0: Callable[[int], int]
+    col0: Callable[[int], int]
+    better: Callable[[int, int], bool]
+    answer: str = "corner"
+
+    def __post_init__(self) -> None:
+        if self.answer not in ("best", "corner"):
+            raise ValueError(f"answer must be 'best' or 'corner', got {self.answer!r}")
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of one linear-space sweep."""
+
+    value: int
+    i: int
+    j: int
+    last_row: np.ndarray
+
+
+def sweep(recurrence: Recurrence, s: str, t: str) -> SweepResult:
+    """Evaluate a recurrence over ``s`` x ``t`` in linear space.
+
+    Python-looped on purpose: the cell function is arbitrary, so there
+    is no generic vectorization — exactly the situation where the
+    paper's architecture (one cell function synthesized per element)
+    shines over a CPU.
+    """
+    s_codes = encode(s)
+    t_codes = encode(t)
+    m, n = len(s_codes), len(t_codes)
+    prev = np.array([recurrence.row0(j) for j in range(n + 1)], dtype=np.int64)
+    if m == 0:
+        value, j = _reduce_row(recurrence, prev, 0)
+        if recurrence.answer == "corner":
+            return SweepResult(int(prev[n]), 0, n, prev)
+        return SweepResult(value, 0, j, prev)
+    best_value = None
+    best_i = best_j = 0
+    cur = np.empty(n + 1, dtype=np.int64)
+    for i in range(1, m + 1):
+        cur[0] = recurrence.col0(i)
+        a = int(s_codes[i - 1])
+        for j in range(1, n + 1):
+            cur[j] = recurrence.cell(
+                int(prev[j - 1]), int(prev[j]), int(cur[j - 1]), a, int(t_codes[j - 1])
+            )
+        if recurrence.answer == "best":
+            value, j = _reduce_row(recurrence, cur, i)
+            if best_value is None or recurrence.better(value, best_value):
+                best_value, best_i, best_j = value, i, j
+        prev, cur = cur.copy(), prev
+    if recurrence.answer == "corner":
+        return SweepResult(int(prev[n]), m, n, prev)
+    assert best_value is not None
+    return SweepResult(best_value, best_i, best_j, prev)
+
+
+def _reduce_row(recurrence: Recurrence, row: np.ndarray, i: int) -> tuple[int, int]:
+    best = int(row[0])
+    best_j = 0
+    for j in range(1, len(row)):
+        if recurrence.better(int(row[j]), best):
+            best = int(row[j])
+            best_j = j
+    return best, best_j
+
+
+# ----------------------------------------------------------------------
+# Instances
+# ----------------------------------------------------------------------
+def smith_waterman_recurrence(scheme: LinearScoring = DEFAULT_DNA) -> Recurrence:
+    """Equation (1) of the paper as a :class:`Recurrence` instance."""
+
+    def cell(diag: int, up: int, left: int, a: int, b: int) -> int:
+        p = scheme.match if a == b else scheme.mismatch
+        return max(0, diag + p, up + scheme.gap, left + scheme.gap)
+
+    return Recurrence(
+        name="smith-waterman",
+        cell=cell,
+        row0=lambda j: 0,
+        col0=lambda i: 0,
+        better=lambda x, y: x > y,
+        answer="best",
+    )
+
+
+def needleman_wunsch_recurrence(scheme: LinearScoring = DEFAULT_DNA) -> Recurrence:
+    """Global alignment as an instance."""
+
+    def cell(diag: int, up: int, left: int, a: int, b: int) -> int:
+        p = scheme.match if a == b else scheme.mismatch
+        return max(diag + p, up + scheme.gap, left + scheme.gap)
+
+    return Recurrence(
+        name="needleman-wunsch",
+        cell=cell,
+        row0=lambda j: scheme.gap * j,
+        col0=lambda i: scheme.gap * i,
+        better=lambda x, y: x > y,
+        answer="corner",
+    )
+
+
+def edit_distance_recurrence() -> Recurrence:
+    """Levenshtein distance (minimization)."""
+
+    def cell(diag: int, up: int, left: int, a: int, b: int) -> int:
+        return min(diag + (0 if a == b else 1), up + 1, left + 1)
+
+    return Recurrence(
+        name="edit-distance",
+        cell=cell,
+        row0=lambda j: j,
+        col0=lambda i: i,
+        better=lambda x, y: x < y,
+        answer="corner",
+    )
+
+
+def lcs_recurrence() -> Recurrence:
+    """Longest common subsequence length."""
+
+    def cell(diag: int, up: int, left: int, a: int, b: int) -> int:
+        if a == b:
+            return diag + 1
+        return max(up, left)
+
+    return Recurrence(
+        name="lcs",
+        cell=cell,
+        row0=lambda j: 0,
+        col0=lambda i: 0,
+        better=lambda x, y: x > y,
+        answer="corner",
+    )
+
+
+def edit_distance(s: str, t: str) -> int:
+    """Levenshtein distance via the generic sweep."""
+    return sweep(edit_distance_recurrence(), s, t).value
+
+
+def lcs_length(s: str, t: str) -> int:
+    """LCS length via the generic sweep."""
+    return sweep(lcs_recurrence(), s, t).value

@@ -1,0 +1,98 @@
+"""Hirschberg's linear-space global alignment (paper reference [15]).
+
+The divide-and-conquer of Hirschberg (1975) retrieves an *optimal
+global alignment* — not just its score — in ``O(m + n)`` space:
+
+1. Split ``s`` at its midpoint ``mid``.
+2. Compute the last row of the global DP matrix of ``s[:mid]`` vs
+   ``t`` (forward) and of ``reversed(s[mid:])`` vs ``reversed(t)``
+   (backward), both in linear space (:func:`~repro.align.needleman_wunsch.nw_last_row`).
+3. The crossing column ``k`` maximizing ``forward[k] + backward[n-k]``
+   lies on an optimal alignment; recurse on the two quadrants.
+
+The paper uses this (via Myers & Miller [25] and Gusfield [14]) as the
+*software* half of its hardware/software co-design: the FPGA finds
+where the best local alignment starts and ends, then Hirschberg
+retrieves the alignment between those coordinates in linear space —
+"This approach can double the execution time, in the average case"
+(section 2.3), which the A1 ablation benchmark measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .needleman_wunsch import nw_align, nw_last_row
+from .scoring import DEFAULT_DNA, LinearScoring, SubstitutionMatrix, decode, encode
+from .traceback import Alignment
+
+__all__ = ["hirschberg_align", "hirschberg_crossing"]
+
+
+def hirschberg_crossing(
+    s_codes: np.ndarray,
+    t_codes: np.ndarray,
+    mid: int,
+    scheme: LinearScoring | SubstitutionMatrix = DEFAULT_DNA,
+) -> int:
+    """Optimal crossing column of row ``mid`` (the split point).
+
+    Returns the ``k`` maximizing ``NW(s[:mid], t[:k]) +
+    NW(rev(s[mid:]), rev(t[k:]))``; ties resolved to the smallest
+    ``k`` so the recursion is deterministic.
+    """
+    forward = nw_last_row(s_codes[:mid], t_codes, scheme)
+    backward = nw_last_row(s_codes[mid:][::-1].copy(), t_codes[::-1].copy(), scheme)
+    totals = forward + backward[::-1]
+    return int(np.argmax(totals))
+
+
+def _hirschberg(
+    s_codes: np.ndarray,
+    t_codes: np.ndarray,
+    scheme: LinearScoring | SubstitutionMatrix,
+    parts_s: list[str],
+    parts_t: list[str],
+) -> None:
+    """Recursive worker appending aligned fragments in order."""
+    m, n = len(s_codes), len(t_codes)
+    if m <= 1 or n <= 1:
+        # Base case: a single row or column — the full matrix is
+        # already linear-sized, so use the exact DP directly.
+        if m == 0 and n == 0:
+            return
+        base = nw_align(decode(s_codes), decode(t_codes), scheme)
+        parts_s.append(base.s_aligned)
+        parts_t.append(base.t_aligned)
+        return
+    mid = m // 2
+    k = hirschberg_crossing(s_codes, t_codes, mid, scheme)
+    _hirschberg(s_codes[:mid], t_codes[:k], scheme, parts_s, parts_t)
+    _hirschberg(s_codes[mid:], t_codes[k:], scheme, parts_s, parts_t)
+
+
+def hirschberg_align(
+    s: str, t: str, scheme: LinearScoring | SubstitutionMatrix = DEFAULT_DNA
+) -> Alignment:
+    """Optimal global alignment of ``s`` and ``t`` in linear space.
+
+    Produces an :class:`~repro.align.traceback.Alignment` whose audited
+    score equals the Needleman-Wunsch optimum (a property test in the
+    suite).  The alignment chosen among equal-scoring optima depends on
+    the deterministic tie-breaks documented in
+    :func:`hirschberg_crossing` and the base-case DP.
+    """
+    s = s.upper()
+    t = t.upper()
+    s_codes = encode(s)
+    t_codes = encode(t)
+    parts_s: list[str] = []
+    parts_t: list[str] = []
+    _hirschberg(s_codes, t_codes, scheme, parts_s, parts_t)
+    s_aligned = "".join(parts_s)
+    t_aligned = "".join(parts_t)
+    # Score the assembled alignment; Alignment.audit_score is the
+    # single source of truth for scoring a gapped pair.
+    aln = Alignment(s_aligned, t_aligned, score=0)
+    score = aln.audit_score(scheme)
+    return Alignment(s_aligned, t_aligned, score=score)

@@ -1,0 +1,251 @@
+"""Full dynamic-programming similarity matrix with traceback pointers.
+
+This is the quadratic-space *reference oracle* of the repository: the
+plain Smith-Waterman / Needleman-Wunsch recurrence of paper equation
+(1), storing every cell and every traceback arrow.  It exists for three
+reasons:
+
+1. It is the ground truth that the linear-space kernels, the NumPy
+   emulator and the cycle-accurate systolic simulator are all tested
+   against (same scores, same coordinates).
+2. It regenerates figure 2 of the paper (the similarity matrix for
+   ``s=TATGGAC``, ``t=TAGTGACT`` with traceback arrows).
+3. It quantifies the memory the paper's architecture *avoids*: a
+   ``(m+1) x (n+1)`` matrix of scores plus pointers.
+
+Orientation convention (used repo-wide): rows index ``s`` (``i`` in
+``0..m``), columns index ``t`` (``j`` in ``0..n``).  ``D[i, j]`` is the
+best score of an alignment ending at ``s[i]``/``t[j]`` (1-based prefix
+semantics, exactly the paper's ``sim(s[1..i], t[1..j])``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .scoring import DEFAULT_DNA, LinearScoring, SubstitutionMatrix, encode
+from .traceback import GAP, Alignment
+
+__all__ = ["PTR_DIAG", "PTR_UP", "PTR_LEFT", "SimilarityMatrix"]
+
+#: Pointer bit: value came from the diagonal (s[i] aligned to t[j]).
+PTR_DIAG = 1
+#: Pointer bit: value came from above (s[i] aligned to a gap in t).
+PTR_UP = 2
+#: Pointer bit: value came from the left (t[j] aligned to a gap in s).
+PTR_LEFT = 4
+
+
+@dataclass
+class SimilarityMatrix:
+    """Fully materialized similarity matrix for two sequences.
+
+    Parameters
+    ----------
+    s, t:
+        The sequences (strings; stored upper-cased).
+    scheme:
+        A :class:`~repro.align.scoring.LinearScoring` or
+        :class:`~repro.align.scoring.SubstitutionMatrix`.
+    local:
+        ``True`` (default) fills with the Smith-Waterman recurrence
+        (scores clamped at zero, first row/column zero); ``False``
+        fills the Needleman-Wunsch global recurrence (first row/column
+        are gap multiples and no clamping).
+    """
+
+    s: str
+    t: str
+    scheme: LinearScoring | SubstitutionMatrix = DEFAULT_DNA
+    local: bool = True
+
+    def __post_init__(self) -> None:
+        self.s = self.s.upper()
+        self.t = self.t.upper()
+        self._fill()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _fill(self) -> None:
+        s_codes = encode(self.s)
+        t_codes = encode(self.t)
+        m, n = len(s_codes), len(t_codes)
+        gap = self.scheme.gap
+        D = np.zeros((m + 1, n + 1), dtype=np.int64)
+        P = np.zeros((m + 1, n + 1), dtype=np.uint8)
+        if not self.local:
+            D[:, 0] = gap * np.arange(m + 1)
+            D[0, :] = gap * np.arange(n + 1)
+            P[1:, 0] = PTR_UP
+            P[0, 1:] = PTR_LEFT
+        for i in range(1, m + 1):
+            pair_row = self.scheme.pair_vector(int(s_codes[i - 1]), t_codes)
+            for j in range(1, n + 1):
+                diag = D[i - 1, j - 1] + pair_row[j - 1]
+                up = D[i - 1, j] + gap
+                left = D[i, j - 1] + gap
+                best = max(diag, up, left)
+                if self.local and best < 0:
+                    D[i, j] = 0
+                    continue
+                D[i, j] = best
+                ptr = 0
+                if diag == best:
+                    ptr |= PTR_DIAG
+                if up == best:
+                    ptr |= PTR_UP
+                if left == best:
+                    ptr |= PTR_LEFT
+                P[i, j] = ptr
+        self.scores = D
+        self.pointers = P
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.scores.shape
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the materialized score + pointer arrays.
+
+        This is the quadratic cost the paper's linear-space design
+        eliminates (section 2.3: two 100 KBP sequences already need
+        10 GB at 8 bits/cell... our int64 cells are even larger).
+        """
+        return self.scores.nbytes + self.pointers.nbytes
+
+    def best(self) -> tuple[int, int, int]:
+        """``(score, i, j)`` of the best cell.
+
+        For local alignment: the maximum cell, ties broken by smallest
+        ``i`` then smallest ``j`` (the first cell reached in row-major
+        order — matching both the software baseline and the systolic
+        controller's first-anti-diagonal-wins rule after projection).
+        For global alignment: the bottom-right corner.
+        """
+        if not self.local:
+            m, n = len(self.s), len(self.t)
+            return int(self.scores[m, n]), m, n
+        flat = int(np.argmax(self.scores))
+        i, j = divmod(flat, self.scores.shape[1])
+        return int(self.scores[i, j]), i, j
+
+    def traceback_from(self, i: int, j: int) -> Alignment:
+        """Follow pointer arrows from ``(i, j)`` and build the alignment.
+
+        Local mode stops at the first zero cell; global mode stops at
+        the origin.  When a cell holds several arrows (the paper notes
+        "many best local alignments can exist"), the diagonal is
+        preferred, then up, then left — a fixed, documented tie-break.
+        """
+        score = int(self.scores[i, j])
+        s_frag: list[str] = []
+        t_frag: list[str] = []
+        while True:
+            if self.local and self.scores[i, j] == 0:
+                break
+            if not self.local and i == 0 and j == 0:
+                break
+            ptr = int(self.pointers[i, j])
+            if ptr & PTR_DIAG:
+                s_frag.append(self.s[i - 1])
+                t_frag.append(self.t[j - 1])
+                i, j = i - 1, j - 1
+            elif ptr & PTR_UP:
+                s_frag.append(self.s[i - 1])
+                t_frag.append(GAP)
+                i -= 1
+            elif ptr & PTR_LEFT:
+                s_frag.append(GAP)
+                t_frag.append(self.t[j - 1])
+                j -= 1
+            else:  # pragma: no cover - fill() always sets a pointer
+                raise RuntimeError(f"no pointer at non-terminal cell ({i}, {j})")
+        return Alignment(
+            s_aligned="".join(reversed(s_frag)),
+            t_aligned="".join(reversed(t_frag)),
+            score=score,
+            s_start=i,
+            t_start=j,
+        )
+
+    def best_alignment(self) -> Alignment:
+        """Traceback from :meth:`best`."""
+        _, i, j = self.best()
+        return self.traceback_from(i, j)
+
+    def antidiagonal(self, k: int) -> np.ndarray:
+        """Cells of anti-diagonal ``k`` (``i + j == k``) as a vector.
+
+        Anti-diagonal ``k`` is exactly the set of cells the systolic
+        array computes in parallel on one clock (figure 4); exposing it
+        here lets the tests compare the simulator's per-cycle output
+        against the oracle diagonal-by-diagonal.
+        """
+        m, n = len(self.s), len(self.t)
+        lo = max(0, k - n)
+        hi = min(k, m)
+        i = np.arange(lo, hi + 1)
+        return self.scores[i, k - i]
+
+    # ------------------------------------------------------------------
+    # Rendering (figure 2)
+    # ------------------------------------------------------------------
+    def render(self, arrows: bool = True, highlight_traceback: bool = True) -> str:
+        """ASCII rendering of the matrix in the style of figure 2.
+
+        Each cell shows its score; with ``arrows=True`` the incoming
+        pointer arrows are shown (``\\`` diagonal, ``^`` up, ``<``
+        left).  With ``highlight_traceback=True`` the cells on the
+        best-alignment traceback path are bracketed.
+        """
+        m, n = len(self.s), len(self.t)
+        on_path: set[tuple[int, int]] = set()
+        if highlight_traceback:
+            on_path = set(self._traceback_cells())
+        width = max(5, int(np.abs(self.scores).max() >= 100) + 5)
+        header = " " * 7 + "".join(f"{c:>{width + 3}}" for c in " " + self.t)
+        lines = [header]
+        for i in range(m + 1):
+            row_label = self.s[i - 1] if i > 0 else " "
+            cells = []
+            for j in range(n + 1):
+                mark = ""
+                if arrows and (i > 0 or j > 0):
+                    ptr = int(self.pointers[i, j])
+                    mark += "\\" if ptr & PTR_DIAG else ""
+                    mark += "^" if ptr & PTR_UP else ""
+                    mark += "<" if ptr & PTR_LEFT else ""
+                val = f"{int(self.scores[i, j])}"
+                cell = f"{mark}{val}"
+                if (i, j) in on_path:
+                    cell = f"[{cell}]"
+                cells.append(f"{cell:>{width + 3}}")
+            lines.append(f"{row_label:>4}   " + "".join(cells))
+        return "\n".join(lines)
+
+    def _traceback_cells(self) -> list[tuple[int, int]]:
+        """Cells visited by the preferred traceback from the best cell."""
+        _, i, j = self.best()
+        cells = [(i, j)]
+        while True:
+            if self.local and self.scores[i, j] == 0:
+                break
+            if not self.local and i == 0 and j == 0:
+                break
+            ptr = int(self.pointers[i, j])
+            if ptr & PTR_DIAG:
+                i, j = i - 1, j - 1
+            elif ptr & PTR_UP:
+                i -= 1
+            elif ptr & PTR_LEFT:
+                j -= 1
+            else:  # pragma: no cover
+                break
+            cells.append((i, j))
+        return cells

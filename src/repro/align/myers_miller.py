@@ -1,0 +1,279 @@
+"""Myers-Miller: optimal affine-gap alignment in linear space
+(paper reference [25]).
+
+Section 2.3 credits Myers & Miller with observing that Hirschberg's
+divide-and-conquer retrieves alignments in linear space; their 1988
+algorithm is the affine-gap version, which plain Hirschberg cannot do
+(a gap run crossing the split row would pay its open penalty twice).
+The fix is the classic two-state crossing test: alongside the usual
+best-score rows ``CC``, carry rows ``DD`` for alignments *ending in an
+open deletion run* (query character against gap), and at the split
+choose between
+
+* a type-1 crossing — ``CC_fwd[j] + CC_bwd[n-j]`` (no run crosses), and
+* a type-2 crossing — ``DD_fwd[j] + DD_bwd[n-j] - open-correction``
+  (one deletion run spans the split; the double-counted open is
+  refunded and the two split rows are emitted as an explicit gap
+  column each),
+
+with boundary parameters ``tb``/``te`` telling each recursive call
+whether a deletion run is already open at its top/bottom edge.
+
+Implementation notes: internally this works in *cost* form (cost =
+-score) with ``gap(k) = g + h*k`` where ``g = extend - open >= 0`` and
+``h = -extend > 0`` — the affine shape Myers & Miller assume.  The
+result converts back to a score-form :class:`Alignment` whose audited
+score equals Gotoh's global optimum (property-tested).
+
+``local_align_affine`` composes the affine locate kernels with this
+retrieval into the full section-2.3 pipeline for affine gaps — the
+software the affine hardware variant (:mod:`repro.core.affine`) would
+serve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .gotoh import gotoh_locate_best
+from .scoring import AffineScoring, encode
+from .smith_waterman import LocalHit
+from .traceback import GAP, Alignment
+
+__all__ = ["myers_miller_align", "gotoh_cells_argmax", "local_align_affine"]
+
+_INF = float(1 << 50)
+
+
+@dataclass(frozen=True)
+class _Costs:
+    """Cost-form parameters: sub(a, b), gap(k) = g + h*k."""
+
+    scheme: AffineScoring
+
+    @property
+    def g(self) -> int:
+        return self.scheme.gap_extend - self.scheme.gap_open  # >= 0
+
+    @property
+    def h(self) -> int:
+        return -self.scheme.gap_extend  # > 0
+
+    def sub(self, a: str, b: str) -> int:
+        return -self.scheme.pair(a, b)
+
+    def gap(self, k: int) -> int:
+        return self.g + self.h * k if k > 0 else 0
+
+
+def _forward_rows(
+    A: str, B: str, tb: float, costs: _Costs
+) -> tuple[np.ndarray, np.ndarray]:
+    """Last rows (CC, DD) of the cost DP of ``A`` vs ``B``.
+
+    ``CC[j]`` = min cost of aligning all of ``A`` with ``B[:j]``;
+    ``DD[j]`` = same but the alignment ends in an open deletion run
+    (last ``A`` character against a gap).  ``tb`` is the open cost a
+    deletion starting at the top boundary pays (``g`` normally, ``0``
+    when the caller's run is already open).
+    """
+    m, n = len(A), len(B)
+    g, h = costs.g, costs.h
+    CC = np.empty(n + 1, dtype=np.float64)
+    DD = np.empty(n + 1, dtype=np.float64)
+    CC[0] = 0.0
+    for j in range(1, n + 1):
+        CC[j] = g + h * j
+    DD[:] = CC + tb  # virtual already-opened state above row 1
+    for i in range(1, m + 1):
+        prev_c0 = CC[0]
+        CC[0] = costs.gap(i) if tb == g else tb + h * i
+        # Recompute row: e tracks the insertion state (horizontal).
+        e = _INF
+        diag = prev_c0
+        for j in range(1, n + 1):
+            e = min(e, CC[j - 1] + g) + h
+            DD[j] = min(DD[j], CC[j] + g) + h
+            c = min(DD[j], e, diag + costs.sub(A[i - 1], B[j - 1]))
+            diag = CC[j]
+            CC[j] = c
+        DD[0] = CC[0]  # a pure-deletion prefix is itself an open run
+    return CC, DD
+
+
+def _mm(
+    A: str,
+    B: str,
+    tb: float,
+    te: float,
+    costs: _Costs,
+    out_a: list[str],
+    out_b: list[str],
+) -> float:
+    """Recursive Myers-Miller; appends aligned fragments, returns cost."""
+    m, n = len(A), len(B)
+    g, h = costs.g, costs.h
+    if n == 0:
+        if m > 0:
+            out_a.append(A)
+            out_b.append(GAP * m)
+            return min(tb, te) + h * m
+        return 0.0
+    if m == 0:
+        out_a.append(GAP * n)
+        out_b.append(B)
+        return costs.gap(n)
+    if m == 1:
+        # Either A[0] is deleted (all of B inserted), or A[0] matches
+        # some B[j] with insertions around it.
+        best = min(tb, te) + h + costs.gap(n)
+        best_j = -1
+        for j in range(n):
+            cand = costs.gap(j) + costs.sub(A[0], B[j]) + costs.gap(n - 1 - j)
+            if cand < best:
+                best = cand
+                best_j = j
+        if best_j < 0:
+            out_a.append(A + GAP * n)
+            out_b.append(GAP + B)
+        else:
+            out_a.append(GAP * best_j + A[0] + GAP * (n - 1 - best_j))
+            out_b.append(B)
+        return best
+    mid = m // 2
+    CC_f, DD_f = _forward_rows(A[:mid], B, tb, costs)
+    CC_b, DD_b = _forward_rows(A[mid:][::-1], B[::-1], te, costs)
+    # Crossing search.
+    best = _INF
+    best_j = 0
+    best_type = 1
+    for j in range(n + 1):
+        t1 = CC_f[j] + CC_b[n - j]
+        t2 = DD_f[j] + DD_b[n - j] - g
+        if t1 <= t2:
+            if t1 < best:
+                best, best_j, best_type = t1, j, 1
+        else:
+            if t2 < best:
+                best, best_j, best_type = t2, j, 2
+    j = best_j
+    if best_type == 1:
+        _mm(A[:mid], B[:j], tb, g, costs, out_a, out_b)
+        _mm(A[mid:], B[j:], g, te, costs, out_a, out_b)
+    else:
+        # A deletion run crosses the split: rows mid and mid+1 are
+        # both gap columns; the flanking recursions are told the run
+        # is already open at their shared boundary (cost 0 to extend).
+        _mm(A[: mid - 1], B[:j], tb, 0.0, costs, out_a, out_b)
+        out_a.append(A[mid - 1 : mid + 1])
+        out_b.append(GAP * 2)
+        _mm(A[mid + 1 :], B[j:], 0.0, te, costs, out_a, out_b)
+    return best
+
+
+def myers_miller_align(s: str, t: str, scheme: AffineScoring) -> Alignment:
+    """Optimal affine-gap *global* alignment in linear space.
+
+    The affine analogue of
+    :func:`~repro.align.hirschberg.hirschberg_align`; audited score
+    equals ``gotoh_align(s, t, scheme, local=False).score``.
+    """
+    s = s.upper()
+    t = t.upper()
+    costs = _Costs(scheme)
+    out_a: list[str] = []
+    out_b: list[str] = []
+    _mm(s, t, costs.g, costs.g, costs, out_a, out_b)
+    s_aligned = "".join(out_a)
+    t_aligned = "".join(out_b)
+    aln = Alignment(s_aligned, t_aligned, score=0)
+    return Alignment(s_aligned, t_aligned, score=aln.audit_score(scheme))
+
+
+def gotoh_cells_argmax(
+    s: str | np.ndarray, t: str | np.ndarray, scheme: AffineScoring
+) -> LocalHit:
+    """Max over all interior cells of the affine *global* DP matrix.
+
+    The affine analogue of
+    :func:`~repro.align.needleman_wunsch.nw_cells_argmax` — the
+    anchored sweep that converts an optimal start into an exact end.
+    Linear space; repo tie-break.
+    """
+    s_codes = encode(s)
+    t_codes = encode(t)
+    m, n = len(s_codes), len(t_codes)
+    if m == 0 or n == 0:
+        return LocalHit(0, 0, 0)
+    open_, ext = scheme.gap_open, scheme.gap_extend
+    NEG = -(1 << 40)
+    prev_d = np.empty(n + 1, dtype=np.int64)
+    prev_d[0] = 0
+    for j in range(1, n + 1):
+        prev_d[j] = open_ + (j - 1) * ext
+    prev_f = np.full(n + 1, NEG, dtype=np.int64)
+    best = LocalHit(NEG, 0, 0)
+    for i in range(1, m + 1):
+        cur_d = np.empty(n + 1, dtype=np.int64)
+        cur_d[0] = open_ + (i - 1) * ext
+        e = NEG
+        f_row = np.maximum(prev_d + open_, prev_f + ext)
+        for j in range(1, n + 1):
+            e = max(cur_d[j - 1] + open_, e + ext)
+            diag = prev_d[j - 1] + scheme.pair(int(s_codes[i - 1]), int(t_codes[j - 1]))
+            v = max(diag, e, int(f_row[j]))
+            cur_d[j] = v
+            if v > best.score:
+                best = LocalHit(int(v), i, j)
+        prev_d, prev_f = cur_d, f_row
+    return best
+
+
+def local_align_affine(
+    s: str, t: str, scheme: AffineScoring
+) -> tuple[Alignment, LocalHit]:
+    """Optimal affine-gap *local* alignment in linear space.
+
+    The section-2.3 pipeline for affine gaps: Gotoh locate forward,
+    Gotoh locate on the reversed prefixes, anchored affine sweep for
+    the exact end, Myers-Miller retrieval of the bracketed region.
+    Returns ``(alignment, forward_hit)``; the audited score equals
+    ``gotoh_score(s, t, scheme)``.
+    """
+    s = s.upper()
+    t = t.upper()
+    forward = gotoh_locate_best(s, t, scheme)
+    if forward.score <= 0:
+        return Alignment("", "", 0), forward
+    i_end, j_end = forward.i, forward.j
+    reverse = gotoh_locate_best(s[:i_end][::-1], t[:j_end][::-1], scheme)
+    if reverse.score != forward.score:
+        raise AssertionError(
+            f"affine reverse duality violated: {reverse.score} != {forward.score}"
+        )
+    a = i_end - reverse.i
+    b = j_end - reverse.j
+    anchored = gotoh_cells_argmax(s[a:i_end], t[b:j_end], scheme)
+    if anchored.score != forward.score:
+        raise AssertionError(
+            f"affine anchored sweep lost the optimum: {anchored.score} != {forward.score}"
+        )
+    e_i = a + anchored.i
+    e_j = b + anchored.j
+    inner = myers_miller_align(s[a:e_i], t[b:e_j], scheme)
+    if inner.score != forward.score:
+        raise AssertionError(
+            f"Myers-Miller retrieval mismatch: {inner.score} != {forward.score}"
+        )
+    return (
+        Alignment(
+            inner.s_aligned,
+            inner.t_aligned,
+            inner.score,
+            s_start=a,
+            t_start=b,
+        ),
+        forward,
+    )

@@ -1,0 +1,108 @@
+"""Near-best (top-K) non-overlapping local alignments.
+
+Section 2.4's reference [6] (Chen & Schmidt) extends the linear-space
+machinery from *the* best alignment to a set of best and near-best
+non-overlapping alignments — the realistic genomics use-case (a query
+gene family hits a chromosome several times).  The paper's
+architecture supports this directly: each lane's ``(Bs, Bc)`` readout
+is a per-row candidate, so the controller can ship the K best lane
+candidates instead of one.
+
+This module implements the exact software version by masked
+iteration (Waterman-Eggert style, simplified to span masking):
+
+1. run the full linear-space pipeline -> best alignment + exact span;
+2. mask the span in both sequences with side-specific sentinels that
+   can never match anything (so no later alignment may reuse those
+   positions, and no alignment can profitably cross them);
+3. repeat until K alignments are found or scores fall below
+   ``min_score``.
+
+Returned alignments are disjoint in *both* sequences, sorted by score
+(non-increasing), each validated against the original sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .local_linear import local_align_linear
+from .scoring import DEFAULT_DNA, LinearScoring, SubstitutionMatrix
+from .smith_waterman import LocalHit
+from .traceback import Alignment
+
+__all__ = ["near_best_alignments", "lane_candidates"]
+
+#: Side-specific mask sentinels: chosen outside every biological
+#: alphabet and different from each other, so a masked position can
+#: match nothing (not even another masked position).
+_MASK_S = "#"
+_MASK_T = "%"
+
+
+def near_best_alignments(
+    s: str,
+    t: str,
+    k: int = 3,
+    min_score: int = 1,
+    scheme: LinearScoring | SubstitutionMatrix = DEFAULT_DNA,
+    locate: Callable[..., LocalHit] | None = None,
+) -> list[Alignment]:
+    """The K best mutually non-overlapping local alignments.
+
+    ``locate`` selects the phase-1/2 kernel exactly as in
+    :func:`~repro.align.local_linear.local_align_linear` — pass an
+    accelerator's ``locate`` to run each round's sweeps on the
+    simulated hardware.  Guarantees: the first alignment is the global
+    optimum; scores are non-increasing; spans are pairwise disjoint in
+    both ``s`` and ``t``; every alignment validates against the
+    *original* sequences.
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    if min_score < 1:
+        raise ValueError(f"min_score must be at least 1, got {min_score}")
+    if isinstance(scheme, SubstitutionMatrix):
+        # Substitution tables score unknown characters 0 by default;
+        # make the sentinels strictly unalignable instead.
+        scheme = scheme.with_mask_penalty(_MASK_S + _MASK_T)
+    s_work = list(s.upper())
+    t_work = list(t.upper())
+    results: list[Alignment] = []
+    for _ in range(k):
+        res = local_align_linear("".join(s_work), "".join(t_work), scheme, locate)
+        if res.alignment.score < min_score or len(res.alignment) == 0:
+            break
+        a, e_i, b, e_j = res.span
+        results.append(res.alignment)
+        for i in range(a, e_i):
+            s_work[i] = _MASK_S
+        for j in range(b, e_j):
+            t_work[j] = _MASK_T
+    # Each alignment was retrieved from a masked copy, but its span
+    # contains no masked characters (spans are disjoint), so it
+    # validates against the originals.
+    for aln in results:
+        aln.validate(s, t)
+    return results
+
+
+def lane_candidates(lane_bests, k: int = 3) -> list[LocalHit]:
+    """The hardware's near-best primitive: top-K lane readouts.
+
+    Takes the per-lane ``(row, Bs, column)`` readouts of one
+    accelerator pass (one candidate per query row, each the best cell
+    of its row) and returns the K highest as :class:`LocalHit` end
+    coordinates, tie-broken by the repo convention.  These are
+    *candidate ends*, not full alignments — reference [6]'s phase 1;
+    the software phases above turn any of them into alignments.
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    hits = [
+        LocalHit(b.score, b.row, b.column)
+        for b in lane_bests
+        if b.score > 0
+    ]
+    hits.sort(key=lambda h: (-h.score, h.i, h.j))
+    return hits[:k]

@@ -1,0 +1,124 @@
+"""Needleman-Wunsch global alignment: full-matrix and linear-space sweeps.
+
+The global recurrence is the substrate of two parts of the paper's
+pipeline:
+
+* **Hirschberg's algorithm** (section 2.3, reference [15]) needs the
+  *last row* of the global DP matrix of each half, in linear space —
+  :func:`nw_last_row`.
+* The **anchored reverse/forward passes** that convert the
+  accelerator's coordinates into exact alignment endpoints need the
+  maximum over *all* cells of a global DP matrix (the best
+  end-anchored prefix alignment) — :func:`nw_cells_argmax`.
+
+Both use the same max-plus prefix scan as the local kernel (see
+:mod:`repro.align.smith_waterman`), without the zero clamp.  The scan
+identity also holds globally: with ``H[0] = cur[0]`` (the row boundary)
+and ``H[j] = max(diag_j, up_j)``,
+
+    ``D[i, j] = max_{0 <= k <= j} ( H[k] + (j - k) * gap )``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .matrix import SimilarityMatrix
+from .scoring import DEFAULT_DNA, LinearScoring, SubstitutionMatrix, encode
+from .smith_waterman import LocalHit
+from .traceback import Alignment
+
+__all__ = ["nw_score", "nw_align", "nw_last_row", "nw_cells_argmax"]
+
+
+def nw_align(
+    s: str, t: str, scheme: LinearScoring | SubstitutionMatrix = DEFAULT_DNA
+) -> Alignment:
+    """Optimal global alignment via the full-matrix oracle.
+
+    Quadratic space; used for small inputs, testing, and as the base
+    case of Hirschberg's recursion.
+    """
+    return SimilarityMatrix(s, t, scheme, local=False).best_alignment()
+
+
+def nw_score(
+    s: str, t: str, scheme: LinearScoring | SubstitutionMatrix = DEFAULT_DNA
+) -> int:
+    """Optimal global alignment score, in linear space."""
+    return int(nw_last_row(encode(s), encode(t), scheme)[-1])
+
+
+def _nw_sweep(
+    s_codes: np.ndarray,
+    t_codes: np.ndarray,
+    scheme: LinearScoring | SubstitutionMatrix,
+    track_argmax: bool,
+) -> tuple[np.ndarray, LocalHit | None]:
+    """Shared linear-space global sweep.
+
+    Returns the last DP row and, when ``track_argmax`` is set, the
+    maximum cell over the whole matrix *excluding row 0 and column 0*
+    (boundary cells describe empty alignments; the anchored passes that
+    consume this maximum treat "empty" separately).  Tie-break matches
+    the repo convention: smallest ``i``, then smallest ``j``.
+    """
+    m, n = len(s_codes), len(t_codes)
+    gap = scheme.gap
+    steps = gap * np.arange(0, n + 1, dtype=np.int64)
+    prev = steps.copy()  # row 0: 0, g, 2g, ...
+    cur = np.empty(n + 1, dtype=np.int64)
+    h = np.empty(n + 1, dtype=np.int64)
+    best: LocalHit | None = None
+    if track_argmax and n > 0:
+        best = LocalHit(-(1 << 62), 0, 0)
+    for i in range(1, m + 1):
+        pair_row = scheme.pair_vector(int(s_codes[i - 1]), t_codes)
+        h[0] = gap * i
+        np.maximum(prev[:-1] + pair_row, prev[1:] + gap, out=h[1:])
+        cur[:] = np.maximum.accumulate(h - steps) + steps
+        if best is not None:
+            row_best_j = int(np.argmax(cur[1:])) + 1
+            row_best = int(cur[row_best_j])
+            if row_best > best.score:
+                best = LocalHit(row_best, i, row_best_j)
+        prev, cur = cur, prev
+    return prev.copy(), best
+
+
+def nw_last_row(
+    s_codes: np.ndarray,
+    t_codes: np.ndarray,
+    scheme: LinearScoring | SubstitutionMatrix = DEFAULT_DNA,
+) -> np.ndarray:
+    """Last row of the global DP matrix, ``O(n)`` space.
+
+    ``result[j] == score of globally aligning all of s with t[:j]``.
+    This is the quantity Hirschberg's divide-and-conquer combines from
+    the two halves.
+    """
+    row, _ = _nw_sweep(s_codes, t_codes, scheme, track_argmax=False)
+    return row
+
+
+def nw_cells_argmax(
+    s: str | np.ndarray,
+    t: str | np.ndarray,
+    scheme: LinearScoring | SubstitutionMatrix = DEFAULT_DNA,
+) -> LocalHit:
+    """Maximum over all interior cells of the global DP matrix.
+
+    ``nw_cells_argmax(s, t).score`` is the best score of an alignment
+    that consumes *prefixes* ``s[:i]`` and ``t[:j]`` entirely (an
+    end-anchored alignment when applied to reversed suffixes).  Used by
+    :mod:`repro.align.local_linear` to turn accelerator coordinates
+    into exact alignment spans.  Empty inputs return ``LocalHit(0,0,0)``
+    (the empty alignment).
+    """
+    s_codes = encode(s)
+    t_codes = encode(t)
+    if len(s_codes) == 0 or len(t_codes) == 0:
+        return LocalHit(0, 0, 0)
+    _, best = _nw_sweep(s_codes, t_codes, scheme, track_argmax=True)
+    assert best is not None
+    return best

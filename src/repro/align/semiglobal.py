@@ -1,0 +1,130 @@
+"""Semi-global alignment: whole query vs a window of the database.
+
+The third classic DP variant after local and global — the query must
+align end-to-end, the database contributes any window for free.  It is
+the natural mode for the paper's architecture (section 5 fixes the
+*whole* query in the elements and streams the database), and the mode
+read mapping wants: a sequencing read either maps somewhere in the
+reference or it does not.
+
+Recurrence differences from Smith-Waterman (equation (1)):
+
+* column 0 costs gaps (``D[i, 0] = i * gap``) — skipping query
+  characters is penalized;
+* row 0 stays zero — the alignment may start anywhere in the database;
+* no zero clamp;
+* the answer is the maximum of the **last row** (the whole query
+  consumed), not of the whole matrix.
+
+Hardware mapping: the same systolic array computes this with three
+configuration bits — element ``k``'s ``A``/``B`` registers load
+``k * gap`` boundaries instead of 0 (the column-0 init), the zero
+clamp is disabled, and the readout takes the maximum of the drained
+last row instead of the lane registers.
+:meth:`repro.core.accelerator.SWAccelerator.locate_semiglobal` runs
+exactly that configuration on both engines, pinned to this module's
+kernels by property tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .scoring import DEFAULT_DNA, LinearScoring, SubstitutionMatrix, encode
+from .smith_waterman import LocalHit
+from .traceback import Alignment
+
+__all__ = ["semiglobal_locate", "semiglobal_align"]
+
+
+def semiglobal_locate(
+    s: str | np.ndarray,
+    t: str | np.ndarray,
+    scheme: LinearScoring | SubstitutionMatrix = DEFAULT_DNA,
+) -> LocalHit:
+    """Best semi-global score and end coordinates, linear space.
+
+    ``hit.i`` is always ``len(s)`` (the query is consumed entirely);
+    ``hit.j`` is the 1-based database position where the alignment
+    ends.  Ties prefer the smallest ``j``.  An empty query scores 0 at
+    ``(0, 0)``; an empty database forces an all-gap alignment.
+    """
+    s_codes = encode(s)
+    t_codes = encode(t)
+    m, n = len(s_codes), len(t_codes)
+    if m == 0:
+        return LocalHit(0, 0, 0)
+    gap = scheme.gap
+    if n == 0:
+        return LocalHit(gap * m, m, 0)
+    steps = gap * np.arange(0, n + 1, dtype=np.int64)
+    prev = np.zeros(n + 1, dtype=np.int64)  # row 0: free start
+    cur = np.empty(n + 1, dtype=np.int64)
+    h = np.empty(n + 1, dtype=np.int64)
+    for i in range(1, m + 1):
+        pair_row = scheme.pair_vector(int(s_codes[i - 1]), t_codes)
+        h[0] = gap * i
+        np.maximum(prev[:-1] + pair_row, prev[1:] + gap, out=h[1:])
+        cur[:] = np.maximum.accumulate(h - steps) + steps
+        prev, cur = cur, prev
+    best_j = int(np.argmax(prev))
+    return LocalHit(int(prev[best_j]), m, best_j)
+
+
+def semiglobal_align(
+    s: str,
+    t: str,
+    scheme: LinearScoring | SubstitutionMatrix = DEFAULT_DNA,
+) -> Alignment:
+    """Optimal semi-global alignment with traceback (quadratic space).
+
+    The query spans ``s`` entirely (``s_start = 0``, ``s_end =
+    len(s)``); ``t_start``/``t_end`` delimit the matched database
+    window.  For long references prefer :func:`semiglobal_locate` plus
+    a windowed re-alignment.
+    """
+    s = s.upper()
+    t = t.upper()
+    s_codes = encode(s)
+    t_codes = encode(t)
+    m, n = len(s_codes), len(t_codes)
+    gap = scheme.gap
+    D = np.zeros((m + 1, n + 1), dtype=np.int64)
+    D[:, 0] = gap * np.arange(m + 1)
+    # Row 0 is zeros: free database prefix.
+    for i in range(1, m + 1):
+        pair_row = scheme.pair_vector(int(s_codes[i - 1]), t_codes)
+        for j in range(1, n + 1):
+            D[i, j] = max(
+                D[i - 1, j - 1] + pair_row[j - 1],
+                D[i - 1, j] + gap,
+                D[i, j - 1] + gap,
+            )
+    end_j = int(np.argmax(D[m, :]))
+    score = int(D[m, end_j])
+    # Traceback to row 0 (any column).
+    i, j = m, end_j
+    s_frag: list[str] = []
+    t_frag: list[str] = []
+    while i > 0:
+        if j > 0 and D[i, j] == D[i - 1, j - 1] + scheme.pair(
+            int(s_codes[i - 1]), int(t_codes[j - 1])
+        ):
+            s_frag.append(s[i - 1])
+            t_frag.append(t[j - 1])
+            i, j = i - 1, j - 1
+        elif D[i, j] == D[i - 1, j] + gap:
+            s_frag.append(s[i - 1])
+            t_frag.append("-")
+            i -= 1
+        else:
+            s_frag.append("-")
+            t_frag.append(t[j - 1])
+            j -= 1
+    return Alignment(
+        s_aligned="".join(reversed(s_frag)),
+        t_aligned="".join(reversed(t_frag)),
+        score=score,
+        s_start=0,
+        t_start=j,
+    )

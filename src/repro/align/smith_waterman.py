@@ -1,0 +1,164 @@
+"""Smith-Waterman local alignment: full-matrix and linear-space kernels.
+
+Two families of entry points:
+
+* :func:`sw_align` / :func:`sw_score` — quadratic-space reference built
+  on :class:`~repro.align.matrix.SimilarityMatrix`; used for ground
+  truth and alignment retrieval on small inputs.
+* :func:`sw_locate_best` — the **linear-space score + coordinates**
+  computation that is the subject of the paper: it sweeps the matrix
+  one row at a time, keeping only the previous row, and returns the
+  best score together with its ``(i, j)`` position.  This is exactly
+  the work the FPGA systolic array performs (phase one of section 2.3);
+  the software version here doubles as the paper's "optimized C
+  program" baseline (see :mod:`repro.baselines.software`).
+
+The row sweep is vectorized with the max-plus prefix-scan identity: for
+a linear gap penalty ``g < 0``, with ``H[j] = max(0, diag_j, up_j)``
+computed elementwise,
+
+    ``D[i, j] = max_{k <= j} ( H[k] + (j - k) * g )``
+
+because expanding the within-row dependency ``D[i, j-1] + g``
+recursively yields exactly that maximum, zero-clamped paths being
+dominated by the ``k = j`` term (``H[j] >= 0``).  The scan is computed
+as ``cummax(H - j*g) + j*g`` — one :func:`numpy.maximum.accumulate`
+per row, no Python-level inner loop.
+
+Coordinate and tie-break convention (repo-wide): coordinates are
+1-based indices into the similarity matrix (``i in 1..m`` rows of
+``s``, ``j in 1..n`` columns of ``t``); among equal best scores the
+smallest ``i`` wins, then the smallest ``j``.  Every implementation in
+the repository (oracle matrix, NumPy emulator, RTL systolic simulator)
+resolves ties identically, so coordinates can be compared exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .matrix import SimilarityMatrix
+from .scoring import DEFAULT_DNA, LinearScoring, SubstitutionMatrix, encode
+from .traceback import Alignment
+
+__all__ = ["LocalHit", "sw_score", "sw_align", "sw_locate_best", "sw_row_sweep"]
+
+
+@dataclass(frozen=True, order=True)
+class LocalHit:
+    """Best-score location: the accelerator's three-word output.
+
+    ``score`` is the similarity of the best local alignment; ``i`` and
+    ``j`` are the 1-based similarity-matrix coordinates of the cell
+    where it ends (``i`` indexes ``s``, ``j`` indexes ``t``).  This is
+    precisely the information the paper's circuit ships back to the
+    host over the PCI bus ("only a few bytes", section 6).
+    """
+
+    score: int
+    i: int
+    j: int
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        return (self.score, self.i, self.j)
+
+
+def sw_score(s: str, t: str, scheme: LinearScoring | SubstitutionMatrix = DEFAULT_DNA) -> int:
+    """Best local-alignment score (linear space)."""
+    return sw_locate_best(s, t, scheme).score
+
+
+def sw_align(
+    s: str, t: str, scheme: LinearScoring | SubstitutionMatrix = DEFAULT_DNA
+) -> Alignment:
+    """Best local alignment via the full-matrix oracle.
+
+    Quadratic space — intended for small inputs and testing.  For long
+    sequences use :func:`repro.align.local_linear.local_align_linear`,
+    which retrieves the same alignment in linear space.
+    """
+    return SimilarityMatrix(s, t, scheme, local=True).best_alignment()
+
+
+def sw_row_sweep(
+    s_codes: np.ndarray,
+    t_codes: np.ndarray,
+    scheme: LinearScoring | SubstitutionMatrix,
+    initial_row: np.ndarray | None = None,
+) -> tuple[np.ndarray, LocalHit]:
+    """Sweep the local-alignment recurrence row by row.
+
+    Parameters
+    ----------
+    s_codes, t_codes:
+        Encoded sequences (see :func:`repro.align.scoring.encode`).
+    scheme:
+        Scoring scheme with a linear ``gap`` penalty.
+    initial_row:
+        Row 0 of the sweep region (length ``len(t_codes) + 1``).  The
+        default is all zeros (fresh SW).  The query-partitioning logic
+        of the accelerator passes the boundary row of the previous
+        chunk here, which is what makes chunked evaluation exact
+        (figure 7 of the paper).
+
+    Returns
+    -------
+    (last_row, hit):
+        The final DP row (needed to chain partitions) and the best
+        :class:`LocalHit` *within the swept rows* — ``hit.i`` counts
+        from 1 at the first swept row.
+    """
+    m, n = len(s_codes), len(t_codes)
+    gap = scheme.gap
+    if initial_row is None:
+        prev = np.zeros(n + 1, dtype=np.int64)
+    else:
+        prev = np.asarray(initial_row, dtype=np.int64)
+        if prev.shape != (n + 1,):
+            raise ValueError(
+                f"initial_row must have length {n + 1}, got {prev.shape}"
+            )
+    best_score = 0
+    best_i = 0
+    best_j = 0
+    if n == 0 or m == 0:
+        # Degenerate sweeps (empty segment or empty chunk) preserve
+        # the boundary row unchanged and contribute no candidates.
+        return prev.copy(), LocalHit(0, 0, 0)
+    offsets = gap * np.arange(1, n + 1, dtype=np.int64)
+    cur = np.zeros(n + 1, dtype=np.int64)
+    for i in range(1, m + 1):
+        pair_row = scheme.pair_vector(int(s_codes[i - 1]), t_codes)
+        # H[j] = max(0, diagonal, up) for j = 1..n (elementwise).
+        h = np.maximum(prev[:-1] + pair_row, prev[1:] + gap)
+        np.maximum(h, 0, out=h)
+        # Horizontal propagation via the max-plus prefix scan.
+        cur[0] = 0
+        cur[1:] = np.maximum.accumulate(h - offsets) + offsets
+        row_best_j = int(np.argmax(cur[1:])) + 1
+        row_best = int(cur[row_best_j])
+        if row_best > best_score:
+            best_score, best_i, best_j = row_best, i, row_best_j
+        prev, cur = cur, prev
+    return prev.copy(), LocalHit(best_score, best_i, best_j)
+
+
+def sw_locate_best(
+    s: str | np.ndarray,
+    t: str | np.ndarray,
+    scheme: LinearScoring | SubstitutionMatrix = DEFAULT_DNA,
+) -> LocalHit:
+    """Best local-alignment score and end coordinates, in linear space.
+
+    This is phase one of the paper's section 2.3 pipeline — the
+    operation the FPGA accelerates.  Memory use is ``O(n)`` regardless
+    of ``m`` (two DP rows).  Empty sequences yield ``LocalHit(0, 0, 0)``.
+    """
+    s_codes = encode(s)
+    t_codes = encode(t)
+    if len(s_codes) == 0 or len(t_codes) == 0:
+        return LocalHit(0, 0, 0)
+    _, hit = sw_row_sweep(s_codes, t_codes, scheme)
+    return hit

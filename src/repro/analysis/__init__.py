@@ -1,0 +1,51 @@
+"""Metrics, tables and figure regeneration."""
+
+from .cups import Throughput, cups, format_cups, measure_cups
+from .figures import (
+    figure1_alignment,
+    figure2_matrix,
+    figure3_wavefront,
+    figure5_systolic_trace,
+    figure6_datapath,
+    figure7_partitioning,
+    figure8_9_circuit,
+)
+from .plots import ascii_plot, sparkline
+from .profiling import Hotspot, profile_call, profile_locate
+from .report import render_kv, render_table
+from .summary import build_report, write_report
+from .stats import (
+    GumbelFit,
+    ScoreStatistics,
+    calibrate,
+    fit_gumbel,
+    karlin_lambda,
+)
+
+__all__ = [
+    "cups",
+    "format_cups",
+    "measure_cups",
+    "Throughput",
+    "render_table",
+    "render_kv",
+    "figure1_alignment",
+    "figure2_matrix",
+    "figure3_wavefront",
+    "figure5_systolic_trace",
+    "figure6_datapath",
+    "figure7_partitioning",
+    "figure8_9_circuit",
+    "karlin_lambda",
+    "fit_gumbel",
+    "GumbelFit",
+    "calibrate",
+    "ScoreStatistics",
+    "ascii_plot",
+    "sparkline",
+    "Hotspot",
+    "profile_call",
+    "profile_locate",
+    "build_report",
+    "write_report",
+]

@@ -1,0 +1,83 @@
+"""CUPS metrics — the unit of account of the FPGA-comparison
+literature (section 4 of the paper).
+
+"One metric used to measure the performance of FPGA-based approaches
+is the number of CUPS (Cell Updates Per Second)... To be fair, each
+cell must be doing similar work."  These helpers compute and format
+the metric, and carry the fairness caveat as an explicit ``work``
+label so benchmark tables cannot silently compare score-only designs
+against alignment-producing ones.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["Throughput", "cups", "format_cups", "measure_cups"]
+
+
+def cups(cells: int, seconds: float) -> float:
+    """Cell updates per second (raises on non-positive time)."""
+    if seconds <= 0:
+        raise ValueError(f"elapsed time must be positive, got {seconds}")
+    if cells < 0:
+        raise ValueError(f"cell count cannot be negative, got {cells}")
+    return cells / seconds
+
+
+def format_cups(value: float) -> str:
+    """Human-readable CUPS: '4.83 MCUPS', '1.19 GCUPS', ..."""
+    if value < 0:
+        raise ValueError("CUPS cannot be negative")
+    for scale, suffix in ((1e12, "TCUPS"), (1e9, "GCUPS"), (1e6, "MCUPS"), (1e3, "KCUPS")):
+        if value >= scale:
+            return f"{value / scale:.2f} {suffix}"
+    return f"{value:.0f} CUPS"
+
+
+@dataclass(frozen=True)
+class Throughput:
+    """A measured or modeled throughput with its fairness label.
+
+    ``work`` names what each cell update includes — ``"score+coords"``
+    for this paper's design and software baseline, ``"score-only"`` or
+    ``"alignment"`` for related work — so tables carry the section 4
+    caveat explicitly.
+    """
+
+    label: str
+    cells: int
+    seconds: float
+    work: str = "score+coords"
+
+    @property
+    def cups(self) -> float:
+        return cups(self.cells, self.seconds)
+
+    @property
+    def gcups(self) -> float:
+        return self.cups / 1e9
+
+    def speedup_over(self, other: "Throughput") -> float:
+        """This throughput / the other's — only fair for equal work."""
+        if self.work != other.work:
+            raise ValueError(
+                f"unfair CUPS comparison: {self.work!r} vs {other.work!r} "
+                "(section 4: 'each cell must be doing similar work')"
+            )
+        return self.cups / other.cups
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return f"{self.label}: {format_cups(self.cups)} ({self.work})"
+
+
+def measure_cups(
+    fn: Callable[[], object], cells: int, label: str, work: str = "score+coords"
+) -> Throughput:
+    """Time one call of ``fn`` and wrap it as a :class:`Throughput`."""
+    start = time.perf_counter()
+    fn()
+    elapsed = time.perf_counter() - start
+    return Throughput(label=label, cells=cells, seconds=max(elapsed, 1e-9), work=work)

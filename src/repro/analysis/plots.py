@@ -1,0 +1,94 @@
+"""Terminal plots for benchmark output.
+
+The paper's evaluation is tables; several of its claims are really
+*curves* (speedup vs database length, cluster speedup vs processors,
+band memory vs mutation rate).  These helpers render such series as
+monospace plots so the benchmark harness can show shape at a glance
+without a display server: an axis-labelled scatter/line chart and a
+one-line sparkline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["ascii_plot", "sparkline"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line bar sketch of a series (empty string for no data)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if math.isclose(lo, hi):
+        return _SPARK_CHARS[3] * len(vals)
+    span = hi - lo
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_SPARK_CHARS) - 1))
+        out.append(_SPARK_CHARS[idx])
+    return "".join(out)
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 14,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+    logx: bool = False,
+    marker: str = "*",
+) -> str:
+    """Monospace scatter plot with axes and min/max labels.
+
+    ``logx=True`` spaces points by log10(x) — the natural scale for
+    the paper's database-length sweeps.  Points sharing a character
+    cell collapse onto one marker.
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"series lengths differ: {len(xs)} vs {len(ys)}")
+    if not xs:
+        raise ValueError("nothing to plot")
+    if width < 10 or height < 4:
+        raise ValueError("plot must be at least 10 x 4")
+    if logx and any(x <= 0 for x in xs):
+        raise ValueError("logx requires positive x values")
+    fx = [math.log10(x) if logx else float(x) for x in xs]
+    fy = [float(y) for y in ys]
+    x_lo, x_hi = min(fx), max(fx)
+    y_lo, y_hi = min(fy), max(fy)
+    if math.isclose(x_lo, x_hi):
+        x_hi = x_lo + 1.0
+    if math.isclose(y_lo, y_hi):
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(fx, fy):
+        col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = marker
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    y_hi_label = f"{max(ys):g}"
+    y_lo_label = f"{min(ys):g}"
+    label_w = max(len(y_hi_label), len(y_lo_label), len(y_label))
+    lines.append(f"{y_hi_label:>{label_w}} +{''.join(grid[0])}")
+    for row in grid[1:-1]:
+        lines.append(f"{'':>{label_w}} |{''.join(row)}")
+    lines.append(f"{y_lo_label:>{label_w}} +{''.join(grid[-1])}")
+    axis = "-" * width
+    lines.append(f"{'':>{label_w}}  {axis}")
+    x_lo_label = f"{min(xs):g}"
+    x_hi_label = f"{max(xs):g}"
+    gap = max(1, width - len(x_lo_label) - len(x_hi_label))
+    scale = " (log x)" if logx else ""
+    lines.append(
+        f"{y_label:>{label_w}}  {x_lo_label}{' ' * gap}{x_hi_label}  [{x_label}{scale}]"
+    )
+    return "\n".join(lines)

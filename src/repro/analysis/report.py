@@ -1,0 +1,61 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every benchmark prints the rows/series the corresponding paper table
+or figure reports; this module is the single formatter so EXPERIMENTS.md
+and the bench output stay visually consistent (aligned monospace
+columns, markdown-compatible)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "render_kv"]
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a markdown-style table with aligned columns."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    for idx, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {idx} has {len(row)} cells for {len(headers)} headers"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def fmt(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    lines.extend(fmt(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Iterable[tuple[str, object]], title: str | None = None) -> str:
+    """Render key/value pairs as an aligned block."""
+    items = [(k, _cell(v)) for k, v in pairs]
+    if not items:
+        return title or ""
+    width = max(len(k) for k, _ in items)
+    lines = [title] if title else []
+    lines.extend(f"  {k.ljust(width)} : {v}" for k, v in items)
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""One-command reproduction report.
+
+``python -m repro report`` (or :func:`build_report`) regenerates the
+paper's core quantitative artifacts in one pass — Table 1, Table 2,
+the section-6 headline model, and the figure renderings — and emits a
+single markdown document.  This is the executive summary of
+EXPERIMENTS.md, recomputed live rather than copied, so a regression in
+any model changes the report (and the tests that pin its key lines).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..core.resources import PROTOTYPE_MODEL
+from ..core.timing import (
+    PAPER_CLOCK,
+    PAPER_FPGA_SECONDS,
+    PAPER_SOFTWARE_SECONDS,
+    PAPER_SPEEDUP,
+    estimate_run,
+)
+from ..hw.catalog import TABLE1_ROWS, THIS_PAPER
+from ..hw.host import PAPER_HOST
+from .figures import (
+    figure1_alignment,
+    figure2_matrix,
+    figure3_wavefront,
+    figure5_systolic_trace,
+    figure6_datapath,
+    figure7_partitioning,
+)
+from .report import render_table
+
+__all__ = ["build_report", "write_report"]
+
+
+def _headline_section() -> str:
+    timing = estimate_run(100, 10_000_000, 100, PAPER_CLOCK)
+    software = PAPER_HOST.seconds_for_cells(timing.cells)
+    speedup = software / timing.total_seconds
+    table = render_table(
+        ["quantity", "paper", "reproduced"],
+        [
+            ["FPGA time (s)", PAPER_FPGA_SECONDS, round(timing.total_seconds, 3)],
+            ["software time (s)", PAPER_SOFTWARE_SECONDS, round(software, 1)],
+            ["speedup", PAPER_SPEEDUP, round(speedup, 1)],
+        ],
+    )
+    return f"## Section 6 headline\n\n{table}\n"
+
+
+def _table1_section() -> str:
+    rows = [
+        [
+            m.name,
+            m.device,
+            m.reported_speedup,
+            m.host.name,
+            "yes" if m.produces_alignment else "no",
+            round(m.effective_gcups, 3),
+        ]
+        for m in list(TABLE1_ROWS) + [THIS_PAPER]
+    ]
+    table = render_table(
+        ["architecture", "device", "speedup", "host", "alignment", "GCUPS"],
+        rows,
+    )
+    return f"## Table 1 (comparative analysis)\n\n{table}\n"
+
+
+def _table2_section() -> str:
+    row = PROTOTYPE_MODEL.table2(100)
+    table = render_table(
+        ["elements", "slices %", "FF %", "LUT %", "IOB %", "freq MHz"],
+        [
+            [
+                row["elements"],
+                row["slices_pct"],
+                row["flipflops_pct"],
+                row["luts_pct"],
+                row["iobs_pct"],
+                row["frequency_mhz"],
+            ]
+        ],
+    )
+    capacity = PROTOTYPE_MODEL.max_elements()
+    return (
+        f"## Table 2 (generated circuit)\n\n{table}\n\n"
+        f"Device capacity at the calibrated element cost: **{capacity} elements**.\n"
+    )
+
+
+def build_report() -> str:
+    """The full markdown report, recomputed live."""
+    sections = [
+        "# Reproduction report",
+        "",
+        "Regenerated live from the repository's models and simulators; "
+        "see EXPERIMENTS.md for methodology and DESIGN.md for the "
+        "substitution table.",
+        "",
+        _headline_section(),
+        _table1_section(),
+        _table2_section(),
+        "## Figure renderings\n",
+        "### Figure 1 — alignment and score\n",
+        "```\n" + figure1_alignment() + "\n```\n",
+        "### Figure 2 — similarity matrix\n",
+        "```\n" + figure2_matrix() + "\n```\n",
+        "### Figure 3 — wavefront method\n",
+        "```\n" + figure3_wavefront() + "\n```\n",
+        "### Figure 5 — systolic trace\n",
+        "```\n" + figure5_systolic_trace() + "\n```\n",
+        "### Figure 6 — element datapath\n",
+        "```\n" + figure6_datapath() + "\n```\n",
+        "### Figure 7 — query partitioning\n",
+        "```\n" + figure7_partitioning() + "\n```\n",
+    ]
+    return "\n".join(sections)
+
+
+def write_report(path: str | Path) -> str:
+    """Write the report to ``path``; returns the text."""
+    text = build_report()
+    Path(path).write_text(text, encoding="utf-8")
+    return text

@@ -1,0 +1,16 @@
+"""Software comparators: exact baselines, classic heuristics, and
+Myers' bit-parallel matcher."""
+
+from .bitparallel import BitParallelMatcher, edit_distance_search
+from .heuristics import banded_locate, blast_like, fasta_like
+from .software import locate_numpy, locate_pure
+
+__all__ = [
+    "locate_numpy",
+    "locate_pure",
+    "blast_like",
+    "fasta_like",
+    "banded_locate",
+    "BitParallelMatcher",
+    "edit_distance_search",
+]

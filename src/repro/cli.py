@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the repository's main workflows:
+
+``align``    — align two sequences (inline or FASTA files) through the
+               full co-design pipeline; prints the pretty alignment.
+``scan``     — scan a query against a multi-record FASTA database and
+               print the ranked hit table.
+``figures``  — regenerate any of the paper's figures as ASCII.
+``design``   — print the Table-2 resource row and frequency for an
+               array size.
+``verify``   — run the random-vector verification campaign against
+               the RTL model.
+``verilog``  — emit the generated Verilog of the element or array
+               (the paper's Forte output stage).
+``report``   — regenerate the full reproduction report (tables +
+               figure renderings) as markdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .align.local_linear import local_align_linear
+from .align.scoring import LinearScoring
+from .analysis import figures as fig_mod
+from .core.accelerator import SWAccelerator
+from .core.resources import PROTOTYPE_MODEL
+from .core.verification import random_vector_campaign
+from .io.fasta import read_fasta
+from .scan import scan_database
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = {
+    "1": lambda: fig_mod.figure1_alignment(),
+    "2": lambda: fig_mod.figure2_matrix(),
+    "3": lambda: fig_mod.figure3_wavefront(),
+    "5": lambda: fig_mod.figure5_systolic_trace(),
+    "6": lambda: fig_mod.figure6_datapath(),
+    "7": lambda: fig_mod.figure7_partitioning(),
+    "8": lambda: fig_mod.figure8_9_circuit(),
+}
+
+
+def _sequence_arg(value: str) -> str:
+    """An inline sequence, or ``@path`` to the first FASTA record."""
+    if value.startswith("@"):
+        records = read_fasta(value[1:])
+        if not records:
+            raise argparse.ArgumentTypeError(f"no records in {value[1:]}")
+        return records[0].sequence
+    return value.upper()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Reconfigurable Architecture for Biological "
+            "Sequence Comparison in Reduced Memory Space' (IPDPS 2007)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_align = sub.add_parser("align", help="align two sequences (co-design pipeline)")
+    p_align.add_argument("query", type=_sequence_arg, help="sequence or @file.fasta")
+    p_align.add_argument("database", type=_sequence_arg, help="sequence or @file.fasta")
+    p_align.add_argument("--elements", type=int, default=100, help="array size")
+    p_align.add_argument("--match", type=int, default=1)
+    p_align.add_argument("--mismatch", type=int, default=-1)
+    p_align.add_argument("--gap", type=int, default=-2)
+    p_align.add_argument(
+        "--engine", choices=("emulator", "rtl"), default="emulator"
+    )
+
+    p_scan = sub.add_parser("scan", help="scan a query against a FASTA database")
+    p_scan.add_argument("query", type=_sequence_arg)
+    p_scan.add_argument("database", type=Path, help="multi-record FASTA file")
+    p_scan.add_argument("--elements", type=int, default=100)
+    p_scan.add_argument("--top", type=int, default=10)
+    p_scan.add_argument("--min-score", type=int, default=1)
+    p_scan.add_argument("--retrieve", type=int, default=3)
+    p_scan.add_argument(
+        "--evalues",
+        action="store_true",
+        help="calibrate Karlin-Altschul statistics and report E-values",
+    )
+
+    p_fig = sub.add_parser("figures", help="regenerate a paper figure")
+    p_fig.add_argument("number", choices=sorted(_FIGURES), help="figure number")
+
+    p_design = sub.add_parser("design", help="resource/clock model for an array size")
+    p_design.add_argument("--elements", type=int, default=100)
+
+    p_verify = sub.add_parser("verify", help="random-vector RTL verification campaign")
+    p_verify.add_argument("--vectors", type=int, default=25)
+    p_verify.add_argument("--seed", type=int, default=0)
+
+    p_verilog = sub.add_parser("verilog", help="emit generated Verilog")
+    p_verilog.add_argument(
+        "unit",
+        choices=("pe", "affine-pe", "array", "controller"),
+        help="which generated unit to emit",
+    )
+    p_verilog.add_argument("--elements", type=int, default=8)
+    p_verilog.add_argument("--score-width", type=int, default=16)
+
+    p_report = sub.add_parser("report", help="regenerate the reproduction report")
+    p_report.add_argument("--out", type=Path, default=None, help="write to a file")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "align":
+        scheme = LinearScoring(args.match, args.mismatch, args.gap)
+        acc = SWAccelerator(
+            elements=args.elements, scheme=scheme, engine=args.engine
+        )
+        result = local_align_linear(args.query, args.database, scheme, acc.locate)
+        print(result.alignment.pretty())
+        return 0
+
+    if args.command == "scan":
+        records = read_fasta(args.database)
+        acc = SWAccelerator(elements=args.elements)
+        statistics = None
+        if args.evalues:
+            from .analysis.stats import calibrate
+
+            statistics = calibrate(trials=40, seed=0)
+        report = scan_database(
+            args.query,
+            records,
+            locate=acc.locate,
+            top=args.top,
+            min_score=args.min_score,
+            retrieve=args.retrieve,
+            statistics=statistics,
+        )
+        print(report.render(max_rows=args.top))
+        for hit in report.hits:
+            if hit.alignment is not None:
+                print()
+                print(f">{hit.record}")
+                print(hit.alignment.pretty())
+        return 0
+
+    if args.command == "figures":
+        print(_FIGURES[args.number]())
+        return 0
+
+    if args.command == "design":
+        row = PROTOTYPE_MODEL.table2(args.elements)
+        for key, value in row.items():
+            print(f"{key:>14} : {value}")
+        print(f"{'max elements':>14} : {PROTOTYPE_MODEL.max_elements()}")
+        return 0
+
+    if args.command == "verilog":
+        from .hdl.builders import (
+            build_affine_pe_module,
+            build_array_module,
+            build_controller_module,
+            build_pe_module,
+        )
+        from .hdl.verilog import emit_verilog, lint_verilog
+
+        if args.unit == "pe":
+            module = build_pe_module(score_width=args.score_width)
+        elif args.unit == "affine-pe":
+            module = build_affine_pe_module(score_width=args.score_width)
+        elif args.unit == "controller":
+            module = build_controller_module(args.elements, score_width=args.score_width)
+        else:
+            module = build_array_module(args.elements, score_width=args.score_width)
+        text = emit_verilog(module)
+        problems = lint_verilog(text)
+        if problems:  # pragma: no cover - emitter is lint-clean by test
+            print("\n".join(f"// LINT: {p}" for p in problems))
+        print(text)
+        return 0
+
+    if args.command == "report":
+        from .analysis.summary import build_report, write_report
+
+        if args.out is not None:
+            write_report(args.out)
+            print(f"wrote {args.out}")
+        else:
+            print(build_report())
+        return 0
+
+    if args.command == "verify":
+        report = random_vector_campaign(vectors=args.vectors, seed=args.seed)
+        print(f"{report.vectors} vectors, {len(report.failures)} failures")
+        for failure in report.failures:
+            print(f"  FAIL {failure.query} vs {failure.database}: {failure.detail}")
+        return 0 if report.all_passed else 1
+
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

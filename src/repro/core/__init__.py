@@ -1,0 +1,126 @@
+"""The paper's contribution: the reconfigurable SW-locate accelerator.
+
+* :class:`~repro.core.pe.ProcessingElement` — register-transfer model
+  of one systolic element (figure 6);
+* :class:`~repro.core.systolic.SystolicArray` — the clocked array
+  (figure 5) with boundary-row chaining (figure 7);
+* :class:`~repro.core.controller.BestScoreController` — global best
+  reduction and coordinate recovery (figure 9);
+* :mod:`~repro.core.partition` / :mod:`~repro.core.timing` — the exact
+  cycle model;
+* :mod:`~repro.core.emulator` — bit-exact NumPy emulation of the
+  partitioned dataflow;
+* :class:`~repro.core.accelerator.SWAccelerator` — the public driver
+  that plugs into the section 2.3 software pipeline;
+* :mod:`~repro.core.resources` / :mod:`~repro.core.datapath` — the
+  Table 2 resource/frequency models.
+"""
+
+from .accelerator import RESULT_BYTES, AcceleratorRun, SWAccelerator
+from .affine import (
+    AffineAccelerator,
+    AffineProcessingElement,
+    AffineSystolicArray,
+    affine_resource_model,
+    affine_row_sweep,
+    emulate_affine_partitioned,
+)
+from .controller import BestScoreController
+from .loading import LoadCostModel, QueryLoadMode
+from .multibase import MultiBaseDesign
+from .verification import (
+    CampaignReport,
+    fault_campaign,
+    inject_fault,
+    random_vector_campaign,
+    run_vector,
+)
+from .waveform import WaveformRecorder, parse_vcd_changes, record_pass, write_vcd
+from .widths import (
+    locate_with_width,
+    max_possible_score,
+    required_cycle_width,
+    required_score_width,
+)
+from .datapath import (
+    build_pe_datapath,
+    critical_path,
+    fmax_mhz,
+    netlist_summary,
+    pe_resource_counts,
+)
+from .emulator import EmulatorResult, emulate_partitioned, lane_readout
+from .partition import PartitionPlan, QueryChunk, plan_partition
+from .pe import PEOutput, ProcessingElement
+from .resources import PROTOTYPE_MODEL, ResourceModel, protein_resource_model
+from .segmented import SegmentedRun, max_database_extent, run_segmented
+from .systolic import LaneBest, PassResult, SystolicArray
+from .timing import (
+    IDEAL_CLOCK,
+    PAPER_CLOCK,
+    PAPER_FPGA_SECONDS,
+    PAPER_SOFTWARE_SECONDS,
+    PAPER_SPEEDUP,
+    ClockModel,
+    RunTiming,
+    estimate_run,
+)
+
+__all__ = [
+    "SWAccelerator",
+    "AcceleratorRun",
+    "RESULT_BYTES",
+    "AffineAccelerator",
+    "AffineProcessingElement",
+    "AffineSystolicArray",
+    "affine_resource_model",
+    "affine_row_sweep",
+    "emulate_affine_partitioned",
+    "LoadCostModel",
+    "QueryLoadMode",
+    "MultiBaseDesign",
+    "CampaignReport",
+    "fault_campaign",
+    "inject_fault",
+    "random_vector_campaign",
+    "run_vector",
+    "WaveformRecorder",
+    "record_pass",
+    "write_vcd",
+    "parse_vcd_changes",
+    "locate_with_width",
+    "max_possible_score",
+    "required_cycle_width",
+    "required_score_width",
+    "BestScoreController",
+    "SystolicArray",
+    "LaneBest",
+    "PassResult",
+    "ProcessingElement",
+    "PEOutput",
+    "PartitionPlan",
+    "QueryChunk",
+    "plan_partition",
+    "EmulatorResult",
+    "emulate_partitioned",
+    "lane_readout",
+    "SegmentedRun",
+    "max_database_extent",
+    "run_segmented",
+    "ResourceModel",
+    "PROTOTYPE_MODEL",
+    "protein_resource_model",
+    "ClockModel",
+    "RunTiming",
+    "estimate_run",
+    "IDEAL_CLOCK",
+    "PAPER_CLOCK",
+    "PAPER_SPEEDUP",
+    "PAPER_FPGA_SECONDS",
+    "PAPER_SOFTWARE_SECONDS",
+    "build_pe_datapath",
+    "critical_path",
+    "fmax_mhz",
+    "pe_resource_counts",
+    "netlist_summary",
+]

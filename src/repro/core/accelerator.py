@@ -1,0 +1,281 @@
+"""High-level accelerator: the paper's hardware/software co-design.
+
+:class:`SWAccelerator` is the public face of the reproduction: it owns
+a (simulated) board, partitions queries (figure 7), drives passes of
+the systolic array, reduces lane readouts through the controller, and
+charges the board model for every host transfer.  Its
+:meth:`SWAccelerator.locate` method has the
+:class:`~repro.align.local_linear.LocateFn` signature, so it plugs
+directly into the software pipeline of section 2.3::
+
+    acc = SWAccelerator(elements=100)
+    result = local_align_linear(s, t, locate=acc.locate)
+
+which is precisely the integration the paper proposes ("this solution
+can be easily integrated to parallel algorithms ... that will produce
+the alignments in software").
+
+Two engines compute the passes:
+
+* ``"emulator"`` (default) — the NumPy functional emulator, bit-exact
+  with the RTL model and fast enough for the benchmark workloads;
+* ``"rtl"`` — the cycle-accurate element-by-element simulator, used by
+  the equivalence tests, the figure traces, and whenever per-cycle
+  behaviour matters.
+
+Either way the cycle count reported in :class:`AcceleratorRun` is the
+exact clock count of the hardware (for the RTL engine it is *counted*,
+for the emulator it is *computed* from the partition plan; a property
+test pins the two together).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..align.scoring import DEFAULT_DNA, LinearScoring, SubstitutionMatrix, encode
+from ..align.smith_waterman import LocalHit
+from ..hw.board import Board, prototype_board
+from .controller import BestScoreController
+from .emulator import emulate_partitioned
+from .partition import PartitionPlan, plan_partition
+from .systolic import SystolicArray
+from .timing import IDEAL_CLOCK, ClockModel, RunTiming, estimate_run
+
+__all__ = ["AcceleratorRun", "SWAccelerator"]
+
+#: Bytes returned to the host: score + row + column, 4 bytes each —
+#: the "only a few bytes" of section 6.
+RESULT_BYTES = 12
+
+
+@dataclass(frozen=True)
+class AcceleratorRun:
+    """Everything one comparison produced.
+
+    ``hit`` is the device output (score + coordinates); the remaining
+    fields are the performance-model accounting the benchmarks
+    consume.
+    """
+
+    hit: LocalHit
+    plan: PartitionPlan
+    timing: RunTiming
+    download_seconds: float
+    upload_seconds: float
+
+    @property
+    def cells(self) -> int:
+        return self.plan.total_cells()
+
+    @property
+    def device_seconds(self) -> float:
+        """Modeled on-device time (compute + load/readout)."""
+        return self.timing.total_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        """Modeled end-to-end time including host transfers."""
+        return self.device_seconds + self.download_seconds + self.upload_seconds
+
+    @property
+    def gcups(self) -> float:
+        return self.cells / self.device_seconds / 1e9 if self.device_seconds else 0.0
+
+
+class SWAccelerator:
+    """Simulated FPGA accelerator for linear-space SW locate.
+
+    Parameters
+    ----------
+    elements:
+        Systolic array size ``N`` (the prototype has 100).
+    scheme:
+        Linear-gap scoring scheme loaded into the element datapaths.
+    board:
+        Board model to charge transfers/capacity against; defaults to
+        the paper's prototype board.
+    clock:
+        Clock model for wall-clock predictions (``IDEAL_CLOCK`` by
+        default; pass :data:`repro.core.timing.PAPER_CLOCK` to predict
+        the synthesized prototype).
+    engine:
+        ``"emulator"`` or ``"rtl"`` (see module docs).
+    """
+
+    def __init__(
+        self,
+        elements: int = 100,
+        scheme: LinearScoring | SubstitutionMatrix = DEFAULT_DNA,
+        board: Board | None = None,
+        clock: ClockModel = IDEAL_CLOCK,
+        engine: str = "emulator",
+    ) -> None:
+        if engine not in ("emulator", "rtl"):
+            raise ValueError(f"unknown engine {engine!r}; use 'emulator' or 'rtl'")
+        if elements < 1:
+            raise ValueError(f"need at least one element, got {elements}")
+        self.elements = elements
+        self.scheme = scheme
+        self.board = board if board is not None else prototype_board()
+        self.clock = clock
+        self.engine = engine
+
+    # ------------------------------------------------------------------
+    # Device operations
+    # ------------------------------------------------------------------
+    def run(self, query: str, database: str) -> AcceleratorRun:
+        """Compare ``query`` against ``database`` on the device.
+
+        The query is the sequence fixed into the array ("the smallest
+        one is placed at the FPGA"); the database streams from board
+        SRAM.  Returns the best hit with 1-based coordinates — ``i``
+        indexes the query, ``j`` the database — plus the full timing
+        and transfer accounting.
+        """
+        q_codes = encode(query)
+        d_codes = encode(database)
+        m, n = len(q_codes), len(d_codes)
+        plan = plan_partition(m, n, self.elements)
+        self.board.check_database_fits(n, partitioned=plan.passes > 1)
+        down = self.board.download(m + self.board.sram.database_bytes(n))
+        if m == 0 or n == 0:
+            hit = LocalHit(0, 0, 0)
+        elif self.engine == "emulator":
+            hit = emulate_partitioned(q_codes, d_codes, self.elements, self.scheme).hit
+        else:
+            hit = self._run_rtl(q_codes, d_codes, plan)
+        up = self.board.upload(RESULT_BYTES)
+        timing = estimate_run(m, n, self.elements, self.clock)
+        return AcceleratorRun(
+            hit=hit,
+            plan=plan,
+            timing=timing,
+            download_seconds=down,
+            upload_seconds=up,
+        )
+
+    def _run_rtl(
+        self, q_codes: np.ndarray, d_codes: np.ndarray, plan: PartitionPlan
+    ) -> LocalHit:
+        """Cycle-accurate multi-pass run (figure 7 dataflow)."""
+        array = SystolicArray(self.elements, self.scheme)
+        controller = BestScoreController()
+        boundary: np.ndarray | None = None  # row 0 for the first chunk
+        observed_cycles = 0
+        for chunk in plan.chunks:
+            array.load_query(q_codes[chunk.start : chunk.end], row_offset=chunk.row_offset)
+            result = array.run_pass(d_codes, boundary_row=boundary)
+            controller.consider_pass(result.lane_bests)
+            boundary = result.boundary_row
+            observed_cycles += result.cycles
+        expected = plan.total_cycles()
+        if observed_cycles != expected:
+            raise AssertionError(
+                f"cycle model drifted from RTL: counted {observed_cycles}, "
+                f"model says {expected}"
+            )
+        return controller.hit()
+
+    def locate_semiglobal(self, query: str, database: str) -> LocalHit:
+        """Semi-global locate: whole query vs any database window.
+
+        The array retargets with three configuration bits (see
+        :mod:`repro.align.semiglobal`): column 0 initialized to ``row *
+        gap`` (via ``load_query(column0_scores=...)``), the zero clamp
+        disabled, and the readout taken from the final boundary row's
+        maximum instead of the lane registers.  Both engines implement
+        the same configuration; results match
+        :func:`repro.align.semiglobal.semiglobal_locate` exactly
+        (property-tested).
+        """
+        q_codes = encode(query)
+        d_codes = encode(database)
+        m, n = len(q_codes), len(d_codes)
+        gap = self.scheme.gap
+        if m == 0:
+            return LocalHit(0, 0, 0)
+        if n == 0:
+            return LocalHit(gap * m, m, 0)
+        plan = plan_partition(m, n, self.elements)
+        self.board.check_database_fits(n, partitioned=plan.passes > 1)
+        if self.engine == "rtl":
+            boundary: np.ndarray | None = None
+            for chunk in plan.chunks:
+                array = SystolicArray(self.elements, self.scheme, clamp=False)
+                col0 = [
+                    gap * (chunk.row_offset + k) for k in range(chunk.length + 1)
+                ]
+                array.load_query(
+                    q_codes[chunk.start : chunk.end],
+                    row_offset=chunk.row_offset,
+                    column0_scores=col0,
+                )
+                boundary = array.run_pass(d_codes, boundary_row=boundary).boundary_row
+            assert boundary is not None
+            last_row = boundary.copy()
+        else:
+            steps = gap * np.arange(0, n + 1, dtype=np.int64)
+            prev = np.zeros(n + 1, dtype=np.int64)
+            h = np.empty(n + 1, dtype=np.int64)
+            for i in range(1, m + 1):
+                pair_row = self.scheme.pair_vector(int(q_codes[i - 1]), d_codes)
+                h[0] = gap * i
+                np.maximum(prev[:-1] + pair_row, prev[1:] + gap, out=h[1:])
+                prev = np.maximum.accumulate(h - steps) + steps
+            last_row = prev
+        # Column 0 of the drained row represents the all-gap alignment
+        # (the RTL drain reports 0 there; restore the true boundary).
+        last_row[0] = gap * m
+        best_j = int(np.argmax(last_row))
+        return LocalHit(int(last_row[best_j]), m, best_j)
+
+    def lane_readout(self, query: str, database: str):
+        """Per-lane ``(row, Bs, column)`` readouts of a full run.
+
+        The raw material of near-best search (reference [6] of section
+        2.4): each query row contributes its best cell.  The RTL
+        engine shifts the registers out of the array; the emulator
+        computes the identical values functionally (property-tested).
+        Only single-chunk queries expose all lanes at once in the RTL
+        engine, so for partitioned queries this method always uses the
+        functional readout.
+        """
+        from .emulator import lane_readout as functional_readout
+
+        q_codes = encode(query)
+        d_codes = encode(database)
+        if (
+            self.engine == "rtl"
+            and 0 < len(q_codes) <= self.elements
+            and len(d_codes) > 0
+        ):
+            array = SystolicArray(self.elements, self.scheme)
+            array.load_query(q_codes)
+            return array.run_pass(d_codes).lane_bests
+        return functional_readout(q_codes, d_codes, self.scheme)
+
+    # ------------------------------------------------------------------
+    # Software-pipeline integration (LocateFn)
+    # ------------------------------------------------------------------
+    def locate(
+        self,
+        s: str,
+        t: str,
+        scheme: LinearScoring | SubstitutionMatrix | None = None,
+    ) -> LocalHit:
+        """Phase-1/2 kernel for :func:`repro.align.local_linear.local_align_linear`.
+
+        ``scheme`` must match the scheme the array was configured with
+        (the datapath constants are synthesized in); passing a
+        different one raises rather than silently reconfiguring.
+        """
+        if scheme is not None and scheme != self.scheme:
+            raise ValueError(
+                "accelerator was configured with a different scoring scheme; "
+                "instantiate a new SWAccelerator for it"
+            )
+        # The array holds the query: keep the convention s = query.
+        return self.run(s, t).hit

@@ -1,0 +1,361 @@
+"""Affine-gap systolic variant (the design space of [2]/[32]).
+
+The paper's own datapath carries a single ``In/Re`` gap constant — a
+*linear* gap model.  The closest Table 1 competitor (Anish's XC2V6000
+design) implements Gotoh's **affine** model ``g(k) = open +
+(k-1) * extend`` in hardware; this module builds that variant on the
+same simulation framework, both to reproduce that row of the design
+space and to quantify what the affine capability costs in registers
+and datapath (the trade-off section 4 alludes to when it discusses
+register pressure per element).
+
+Cell recurrence per element ``k`` (query row ``k``), column ``j``:
+
+    ``E[k, j] = max(D[k, j-1] + open, E[k, j-1] + extend)``   (own-row run)
+    ``F[k, j] = max(D[k-1, j] + open, F[k-1, j] + extend)``   (from the left)
+    ``D[k, j] = max(0, D[k-1, j-1] + subst, E[k, j], F[k, j])``
+
+``E`` lives entirely inside the element (it consumes the element's own
+previous ``D`` and ``E``); ``F`` pipelines down the array exactly like
+the cell score, so the inter-element wire widens from one score to two
+— the concrete area cost measured by :func:`affine_resource_model`.
+
+Query partitioning needs a **two-row boundary** between chunks (the
+``D`` row and the ``F`` row), which is why the paper's linear design
+stores half as much inter-chunk state; :func:`affine_row_sweep`
+implements the chunked functional semantics and the RTL model is
+pinned to it by the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..align.scoring import AffineScoring, encode
+from ..align.smith_waterman import LocalHit
+from ..hw.device import ResourceVector
+from .controller import BestScoreController
+from .partition import plan_partition
+from .resources import ResourceModel
+from .systolic import LaneBest
+
+__all__ = [
+    "AffinePEOutput",
+    "AffineProcessingElement",
+    "AffineSystolicArray",
+    "affine_row_sweep",
+    "emulate_affine_partitioned",
+    "AffineAccelerator",
+    "affine_resource_model",
+]
+
+_NEG = -(1 << 40)
+
+
+@dataclass(frozen=True)
+class AffinePEOutput:
+    """Registered outputs: cell score ``D``, gap-run score ``F``, base."""
+
+    score: int = 0
+    f: int = _NEG
+    base: int = 0
+    valid: bool = False
+
+
+@dataclass
+class AffineProcessingElement:
+    """One affine-gap element: the linear element plus ``E``/``F`` state.
+
+    Register set: the linear design's ``SP``/``A``/``B``/``Bs``/``Cl``
+    /``Bc`` plus ``E`` (own gap run) and ``Af`` (the delayed ``F``
+    input, mirroring how ``A`` delays ``C``) — two extra score-wide
+    registers and two extra adders per element.
+    """
+
+    index: int
+    scheme: AffineScoring
+    sp: int | None = None
+    a: int = 0  # D[k-1, j-1]
+    b: int = 0  # D[k, j-1]
+    e: int = _NEG  # E[k, j-1]
+    bs: int = 0
+    cl: int = 0
+    bc: int = 0
+    cells_computed: int = 0
+
+    def load(self, base: int | None) -> None:
+        """Fix a query base and clear all state (query-load phase)."""
+        self.sp = base
+        self.a = 0
+        self.b = 0
+        self.e = _NEG
+        self.bs = 0
+        self.cl = 0
+        self.bc = 0
+        self.cells_computed = 0
+
+    def step(self, left: AffinePEOutput, cycle: int) -> AffinePEOutput:
+        """Advance one clock (same handshake as the linear element)."""
+        if not left.valid or self.sp is None:
+            return AffinePEOutput()
+        open_, ext = self.scheme.gap_open, self.scheme.gap_extend
+        # E: horizontal run inside this element's row.
+        e_new = max(self.b + open_, self.e + ext)
+        # F: vertical run arriving from the left neighbour.
+        f_new = max(left.score + open_, left.f + ext)
+        diag = self.a + self.scheme.pair(self.sp, left.base)
+        d = max(0, diag, e_new, f_new)
+        self.cl = cycle
+        self.cells_computed += 1
+        if d > self.bs:
+            self.bs = d
+            self.bc = cycle
+        self.a = left.score
+        self.b = d
+        self.e = e_new
+        return AffinePEOutput(score=d, f=f_new, base=left.base, valid=True)
+
+    def lane_column(self) -> int:
+        return self.bc - self.index + 1
+
+
+class AffineSystolicArray:
+    """Linear pipe of affine elements; same pass protocol as the
+    linear array, with a two-row (D, F) boundary for chunking."""
+
+    def __init__(self, n_elements: int, scheme: AffineScoring) -> None:
+        if n_elements < 1:
+            raise ValueError(f"array needs at least one element, got {n_elements}")
+        self.n_elements = n_elements
+        self.scheme = scheme
+        self.elements = [
+            AffineProcessingElement(index=k + 1, scheme=scheme)
+            for k in range(n_elements)
+        ]
+        self._loaded_rows = 0
+        self._row_offset = 0
+
+    def load_query(self, chunk: str | bytes | np.ndarray, row_offset: int = 0) -> None:
+        codes = encode(chunk)
+        if len(codes) > self.n_elements:
+            raise ValueError(
+                f"query chunk of {len(codes)} exceeds array size {self.n_elements}"
+            )
+        for k, element in enumerate(self.elements):
+            element.load(int(codes[k]) if k < len(codes) else None)
+        self._loaded_rows = len(codes)
+        self._row_offset = row_offset
+
+    def run_pass(
+        self,
+        database: str | bytes | np.ndarray,
+        boundary_d: np.ndarray | None = None,
+        boundary_f: np.ndarray | None = None,
+    ) -> tuple[list[LaneBest], np.ndarray, np.ndarray, int]:
+        """Stream a segment; returns (lane bests, D row, F row, cycles)."""
+        if self._loaded_rows == 0:
+            raise RuntimeError("no query chunk loaded; call load_query() first")
+        # Fresh pass: clear dynamic element state (see the linear
+        # array's run_pass for the rationale).
+        for element in self.elements[: self._loaded_rows]:
+            element.load(element.sp)
+        db_codes = encode(database)
+        n = len(db_codes)
+        if boundary_d is None:
+            boundary_d = np.zeros(n + 1, dtype=np.int64)
+        if boundary_f is None:
+            boundary_f = np.full(n + 1, _NEG, dtype=np.int64)
+        if boundary_d.shape != (n + 1,) or boundary_f.shape != (n + 1,):
+            raise ValueError(f"boundary rows must have length {n + 1}")
+        n_active = self._loaded_rows
+        total_cycles = n + n_active - 1 if n > 0 else 0
+        wires: list[AffinePEOutput] = [AffinePEOutput() for _ in range(self.n_elements + 1)]
+        out_d = np.zeros(n + 1, dtype=np.int64)
+        out_f = np.full(n + 1, _NEG, dtype=np.int64)
+        for cycle in range(1, total_cycles + 1):
+            if cycle <= n:
+                feed = AffinePEOutput(
+                    score=int(boundary_d[cycle]),
+                    f=int(boundary_f[cycle]),
+                    base=int(db_codes[cycle - 1]),
+                    valid=True,
+                )
+            else:
+                feed = AffinePEOutput()
+            new_wires = [feed]
+            for k, element in enumerate(self.elements[:n_active]):
+                new_wires.append(element.step(wires[k] if k else feed, cycle))
+            new_wires.extend(
+                AffinePEOutput() for _ in range(self.n_elements - n_active)
+            )
+            wires = new_wires
+            j = cycle - n_active + 1
+            if 1 <= j <= n:
+                out_d[j] = wires[n_active].score
+                out_f[j] = wires[n_active].f
+        lane_bests = [
+            LaneBest(
+                row=self._row_offset + el.index,
+                score=el.bs,
+                cycle=el.bc,
+                column=el.lane_column(),
+            )
+            for el in self.elements[:n_active]
+            if el.bs > 0
+        ]
+        return lane_bests, out_d, out_f, total_cycles
+
+
+def affine_row_sweep(
+    s_codes: np.ndarray,
+    t_codes: np.ndarray,
+    scheme: AffineScoring,
+    initial_d: np.ndarray | None = None,
+    initial_f: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, LocalHit]:
+    """Vectorized affine local sweep with (D, F) boundary chaining.
+
+    The functional counterpart of :class:`AffineSystolicArray` — the
+    same chunked semantics at NumPy speed, pinned bit-exact by tests.
+    Returns ``(last_D_row, last_F_row, best-within-sweep)``.
+    """
+    m, n = len(s_codes), len(t_codes)
+    open_, ext = scheme.gap_open, scheme.gap_extend
+    prev_d = (
+        np.zeros(n + 1, dtype=np.int64)
+        if initial_d is None
+        else np.asarray(initial_d, dtype=np.int64).copy()
+    )
+    prev_f = (
+        np.full(n + 1, _NEG, dtype=np.int64)
+        if initial_f is None
+        else np.asarray(initial_f, dtype=np.int64).copy()
+    )
+    if prev_d.shape != (n + 1,) or prev_f.shape != (n + 1,):
+        raise ValueError(f"boundary rows must have length {n + 1}")
+    best = LocalHit(0, 0, 0)
+    k_steps = ext * np.arange(0, n + 1, dtype=np.int64)
+    hk = np.empty(n + 1, dtype=np.int64)
+    for i in range(1, m + 1):
+        pair_row = scheme.pair_vector(int(s_codes[i - 1]), t_codes)
+        f = np.maximum(prev_d + open_, prev_f + ext)
+        h = np.maximum(prev_d[:-1] + pair_row, f[1:])
+        np.maximum(h, 0, out=h)
+        hk[0] = 0
+        hk[1:] = h
+        cum = np.maximum.accumulate(hk - k_steps)
+        d = np.empty(n + 1, dtype=np.int64)
+        d[0] = 0
+        d[1:] = np.maximum(h, cum[:-1] + open_ + k_steps[:-1])
+        row_best_j = int(np.argmax(d[1:])) + 1 if n else 0
+        row_best = int(d[row_best_j]) if n else 0
+        if row_best > best.score:
+            best = LocalHit(row_best, i, row_best_j)
+        prev_d, prev_f = d, f
+    return prev_d, prev_f, best
+
+
+def emulate_affine_partitioned(
+    s: str | np.ndarray,
+    t: str | np.ndarray,
+    array_size: int,
+    scheme: AffineScoring,
+) -> LocalHit:
+    """Chunked affine locate — the figure-7 dataflow for affine gaps."""
+    s_codes = encode(s)
+    t_codes = encode(t)
+    m, n = len(s_codes), len(t_codes)
+    if m == 0 or n == 0:
+        return LocalHit(0, 0, 0)
+    plan = plan_partition(m, n, array_size)
+    boundary_d: np.ndarray | None = None
+    boundary_f: np.ndarray | None = None
+    best = LocalHit(0, 0, 0)
+    for chunk in plan.chunks:
+        boundary_d, boundary_f, chunk_hit = affine_row_sweep(
+            s_codes[chunk.start : chunk.end],
+            t_codes,
+            scheme,
+            initial_d=boundary_d,
+            initial_f=boundary_f,
+        )
+        if chunk_hit.score > best.score:
+            best = LocalHit(chunk_hit.score, chunk.row_offset + chunk_hit.i, chunk_hit.j)
+    return best
+
+
+class AffineAccelerator:
+    """Driver for the affine variant (RTL or emulator engine).
+
+    Mirrors :class:`~repro.core.accelerator.SWAccelerator` for the
+    affine cell; its ``locate`` satisfies the same protocol, so the
+    affine hardware slots into affine software pipelines identically.
+    """
+
+    def __init__(
+        self,
+        elements: int = 100,
+        scheme: AffineScoring | None = None,
+        engine: str = "emulator",
+    ) -> None:
+        if engine not in ("emulator", "rtl"):
+            raise ValueError(f"unknown engine {engine!r}")
+        if elements < 1:
+            raise ValueError("need at least one element")
+        self.elements = elements
+        self.scheme = scheme if scheme is not None else AffineScoring()
+        self.engine = engine
+
+    def locate(
+        self, s: str, t: str, scheme: AffineScoring | None = None
+    ) -> LocalHit:
+        if scheme is not None and scheme != self.scheme:
+            raise ValueError(
+                "accelerator was configured with a different scoring scheme"
+            )
+        q_codes = encode(s)
+        d_codes = encode(t)
+        if len(q_codes) == 0 or len(d_codes) == 0:
+            return LocalHit(0, 0, 0)
+        if self.engine == "emulator":
+            return emulate_affine_partitioned(q_codes, d_codes, self.elements, self.scheme)
+        plan = plan_partition(len(q_codes), len(d_codes), self.elements)
+        array = AffineSystolicArray(self.elements, self.scheme)
+        controller = BestScoreController()
+        boundary_d = boundary_f = None
+        for chunk in plan.chunks:
+            array.load_query(q_codes[chunk.start : chunk.end], row_offset=chunk.row_offset)
+            lanes, boundary_d, boundary_f, _ = array.run_pass(
+                d_codes, boundary_d=boundary_d, boundary_f=boundary_f
+            )
+            controller.consider_pass(lanes)
+        return controller.hit()
+
+
+def affine_resource_model() -> ResourceModel:
+    """Resource model of the affine element on the same device.
+
+    Versus the linear element: +2 score-wide registers (``E`` and the
+    pipelined ``F``), +2 adders and +1 comparator in the datapath, and
+    a second score crossing every inter-element boundary.  Charged as
+    +48 FFs / +96 LUTs / +34 slices per element — the affine variant
+    therefore tops out at ~120 elements on the xc2vp70 where the
+    linear design reaches 154 (the capacity cost of affine gaps, A2b).
+    """
+    base = ResourceModel()
+    per = base.per_element
+    return ResourceModel(
+        per_element=ResourceVector(
+            slices=per.slices + 34,
+            flipflops=per.flipflops + 48,
+            luts=per.luts + 96,
+            iobs=per.iobs,
+            gclks=per.gclks,
+        ),
+        controller=base.controller,
+        base_period_ns=base.base_period_ns * 1.08,  # longer max chain
+        routing_beta=base.routing_beta,
+        device=base.device,
+    )

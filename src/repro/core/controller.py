@@ -1,0 +1,83 @@
+"""Global best-score controller (the "right part" of the circuit, fig 9).
+
+After every pass, each lane of the array holds its column-best score
+``Bs`` and the cycle ``Bc`` at which it was computed.  The controller
+is the logic the paper synthesizes next to the array: it shifts out
+the per-lane pairs, converts cycles to matrix coordinates, and keeps a
+running global best across lanes, passes and query chunks, so that at
+the end of the run exactly three words — score, row, column — are
+returned to the host.
+
+Coordinate recovery: lane ``k`` (absolute query row ``r``) computed
+its cell of segment column ``j`` on cycle ``j + k - 1``, so
+``j = Bc - k + 1``; the controller adds the segment's database offset
+to produce absolute coordinates (relevant when a long database is
+streamed in SRAM-sized segments).
+
+Tie-break (repo-wide convention, see
+:mod:`repro.align.smith_waterman`): the candidate with the strictly
+greater score wins; among equals, the smaller row, then the smaller
+column.  Within a lane the element hardware already keeps the earliest
+cell (strictly-greater update on ``Bs``), and the controller compares
+``(score, -row, -column)`` lexicographically, so the reduction order
+of lanes and passes does not matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..align.smith_waterman import LocalHit
+from .systolic import LaneBest
+
+__all__ = ["BestScoreController"]
+
+
+@dataclass
+class BestScoreController:
+    """Accumulates lane readouts into the global best hit.
+
+    A fresh controller reports ``LocalHit(0, 0, 0)`` — the empty
+    alignment — matching the software kernels on all-mismatch inputs.
+    """
+
+    best_score: int = 0
+    best_row: int = 0
+    best_column: int = 0
+    candidates_seen: int = field(default=0)
+
+    def reset(self) -> None:
+        """Clear state for a new comparison (new sequence pair)."""
+        self.best_score = 0
+        self.best_row = 0
+        self.best_column = 0
+        self.candidates_seen = 0
+
+    def consider(self, lane: LaneBest, column_offset: int = 0) -> None:
+        """Fold one lane readout into the running best.
+
+        ``column_offset`` is the absolute database position at which
+        the streamed segment started (0 for an un-segmented run).
+        """
+        if lane.score <= 0:
+            return
+        row = lane.row
+        column = column_offset + lane.column
+        self.candidates_seen += 1
+        if (lane.score, -row, -column) > (
+            self.best_score,
+            -self.best_row,
+            -self.best_column,
+        ):
+            self.best_score = lane.score
+            self.best_row = row
+            self.best_column = column
+
+    def consider_pass(self, lanes: list[LaneBest], column_offset: int = 0) -> None:
+        """Fold a whole pass readout (one call per pass in hardware)."""
+        for lane in lanes:
+            self.consider(lane, column_offset)
+
+    def hit(self) -> LocalHit:
+        """The three words shipped to the host over the PCI bus."""
+        return LocalHit(self.best_score, self.best_row, self.best_column)

@@ -1,0 +1,109 @@
+"""Query-load mechanisms: register chain vs dynamic reconfiguration.
+
+Section 4 contrasts two ways of getting the query into the elements:
+
+* the conventional **register chain** — each element stores its base
+  in flip-flops, loaded in ``chunk_length`` clocks per pass;
+* the **JBits dynamic-reconfiguration** approach of [13] — the query
+  is baked into the element LUTs by partial reconfiguration, "sparing
+  2 flip-flops for each base storage" for "a 25% reduction in the
+  overall circuit", at the price of a reconfiguration "that normally
+  takes milliseconds", which "makes it difficult to use for large
+  query sequences that would require many reconfigurations".
+
+This module prices both mechanisms on our calibrated models so the
+trade-off the paper narrates becomes a computable crossover: the
+loading-mode ablation benchmark sweeps query/database sizes and finds
+where reconfiguration stops paying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..hw.device import ResourceVector
+from .datapath import BASE_WIDTH
+from .partition import plan_partition
+from .resources import ResourceModel
+from .timing import ClockModel, IDEAL_CLOCK
+
+__all__ = ["QueryLoadMode", "LoadCostModel"]
+
+
+class QueryLoadMode(Enum):
+    """How a query chunk reaches the elements."""
+
+    REGISTER_CHAIN = "register-chain"
+    RECONFIGURATION = "jbits-reconfiguration"
+
+
+@dataclass(frozen=True)
+class LoadCostModel:
+    """Per-mode time and area accounting.
+
+    ``reconfig_seconds`` defaults to 5 ms per pass — the "normally
+    takes milliseconds" of section 4.  Register loading is one clock
+    per base.  The area saving of reconfiguration is the base
+    register per element ([13]'s two flip-flops per base, i.e. our
+    2-bit ``SP`` register) plus its load mux.
+    """
+
+    mode: QueryLoadMode = QueryLoadMode.REGISTER_CHAIN
+    clock: ClockModel = IDEAL_CLOCK
+    reconfig_seconds: float = 5e-3
+
+    def load_seconds_per_pass(self, chunk_length: int) -> float:
+        """Time to install one query chunk."""
+        if chunk_length < 0:
+            raise ValueError("chunk length cannot be negative")
+        if self.mode is QueryLoadMode.RECONFIGURATION:
+            return self.reconfig_seconds if chunk_length else 0.0
+        return self.clock.seconds(chunk_length)
+
+    def total_seconds(self, query_length: int, database_length: int, elements: int) -> float:
+        """End-to-end time: compute passes + per-pass load cost."""
+        plan = plan_partition(query_length, database_length, elements)
+        compute = self.clock.seconds(plan.total_cycles())
+        load = sum(self.load_seconds_per_pass(c.length) for c in plan.chunks)
+        return compute + load
+
+    def element_area(self) -> ResourceVector:
+        """Per-element area under this load mode.
+
+        Reconfiguration removes the ``SP`` flip-flops and the load
+        path; [13] reports ~25% overall circuit reduction — we charge
+        the directly attributable registers/LUTs and let the benchmark
+        report the resulting percentage.
+        """
+        base = ResourceModel().per_element
+        if self.mode is QueryLoadMode.REGISTER_CHAIN:
+            return base
+        return ResourceVector(
+            slices=base.slices - 16,
+            flipflops=base.flipflops - BASE_WIDTH - 2,  # SP + chain enable
+            luts=base.luts - 24,  # load mux + chain routing
+            iobs=base.iobs,
+            gclks=base.gclks,
+        )
+
+    def resource_model(self) -> ResourceModel:
+        """A full :class:`ResourceModel` with this mode's element."""
+        base = ResourceModel()
+        return ResourceModel(
+            per_element=self.element_area(),
+            controller=base.controller,
+            base_period_ns=base.base_period_ns,
+            routing_beta=base.routing_beta,
+            device=base.device,
+        )
+
+    def crossover_passes(self, chunk_length: int) -> float:
+        """Passes at which reconfiguration's fixed cost exceeds the
+        register chain's per-base cost — always <= 1 in practice
+        (milliseconds vs microseconds), which is exactly why [13]'s
+        approach struggles with partitioned queries."""
+        register = self.clock.seconds(chunk_length)
+        if register == 0:
+            return float("inf")
+        return self.reconfig_seconds / register

@@ -1,0 +1,151 @@
+"""Multi-base-per-element design variant (section 4's [12]/[2]).
+
+Section 4 describes the alternative to query partitioning: "some
+designs like [12] avoid this problem by putting many query bases on
+the same computing element.  The drawback of this approach is that to
+put more bases at each cell requires more registers per element and
+thus decreases the maximum number of computing elements"; the [2]
+design holds up to 4 bases per element.
+
+This module models that corner of the design space on our framework:
+
+* **function** — an element holding ``b`` bases time-multiplexes ``b``
+  matrix rows, visiting them once each per anti-diagonal step; the
+  result is *identical* to the partitioned single-base array (the
+  emulator proves it by construction — both are exact);
+* **timing** — the array advances one anti-diagonal every ``b``
+  clocks, so a pass costs ``b*n + b*N - 1`` clocks but covers ``b*N``
+  query rows at once: against partitioning it trades nothing in cell
+  throughput and wins by eliminating per-pass query reloads and the
+  off-element boundary-row traffic;
+* **area** — each element adds ``b-1`` base registers and ``b-1``
+  score-row registers (the per-row ``A``/``B`` state), shrinking the
+  maximum element count — the "drawback" quantified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from ..align.scoring import DEFAULT_DNA, LinearScoring, SubstitutionMatrix
+from ..align.smith_waterman import LocalHit
+from ..hw.device import ResourceVector
+from .datapath import BASE_WIDTH, SCORE_WIDTH
+from .emulator import emulate_partitioned
+from .resources import ResourceModel
+from .timing import ClockModel, IDEAL_CLOCK
+
+__all__ = ["MultiBaseDesign"]
+
+
+@dataclass(frozen=True)
+class MultiBaseDesign:
+    """An array of ``elements`` elements, each holding ``bases_per_element``
+    query bases.
+
+    ``query_capacity`` rows fit without partitioning; longer queries
+    still partition in chunks of the capacity (both mechanisms
+    compose, as in [2] where the 4-base elements are combined with
+    database splitting).
+    """
+
+    elements: int = 100
+    bases_per_element: int = 1
+    scheme: LinearScoring | SubstitutionMatrix = DEFAULT_DNA
+    clock: ClockModel = IDEAL_CLOCK
+
+    def __post_init__(self) -> None:
+        if self.elements < 1:
+            raise ValueError("need at least one element")
+        if self.bases_per_element < 1:
+            raise ValueError("need at least one base per element")
+
+    @property
+    def query_capacity(self) -> int:
+        """Query rows held on-array without partitioning."""
+        return self.elements * self.bases_per_element
+
+    # ------------------------------------------------------------------
+    # Function
+    # ------------------------------------------------------------------
+    def locate(
+        self,
+        s: str,
+        t: str,
+        scheme: LinearScoring | SubstitutionMatrix | None = None,
+    ) -> LocalHit:
+        """Best score + coordinates; identical to every other engine.
+
+        Functionally the multiplexed array computes the same chunked
+        recurrence as a ``query_capacity``-element array, so the
+        emulator is reused with that chunk size (partitioning only
+        engages beyond the capacity).
+        """
+        if scheme is not None and scheme != self.scheme:
+            raise ValueError("design was configured with a different scoring scheme")
+        return emulate_partitioned(s, t, self.query_capacity, self.scheme).hit
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    def pass_clocks(self, chunk_rows: int, n: int) -> int:
+        """Clocks for one pass over ``n`` database bases.
+
+        The wavefront advances every ``b`` clocks (each element
+        touches its ``b`` rows sequentially), and the pipe is
+        ``ceil(chunk_rows / b)`` elements long.
+        """
+        if n == 0 or chunk_rows == 0:
+            return 0
+        b = self.bases_per_element
+        pipe = ceil(chunk_rows / b)
+        return b * n + b * (pipe - 1)
+
+    def run_clocks(self, m: int, n: int) -> int:
+        """Clocks for a whole (possibly partitioned) query."""
+        capacity = self.query_capacity
+        total = 0
+        remaining = m
+        while remaining > 0:
+            chunk = min(capacity, remaining)
+            total += self.pass_clocks(chunk, n)
+            remaining -= chunk
+        return total
+
+    def run_seconds(self, m: int, n: int) -> float:
+        return self.clock.seconds(self.run_clocks(m, n))
+
+    def passes(self, m: int) -> int:
+        return ceil(m / self.query_capacity) if m else 0
+
+    # ------------------------------------------------------------------
+    # Area
+    # ------------------------------------------------------------------
+    def resource_model(self) -> ResourceModel:
+        """Per-element area grown by the extra per-row state.
+
+        Each additional base needs: its base register, plus an extra
+        ``A``/``B`` score pair for that row's recurrence state — the
+        "more registers per element" of section 4.
+        """
+        base = ResourceModel()
+        extra_rows = self.bases_per_element - 1
+        extra_ffs = extra_rows * (BASE_WIDTH + 2 * SCORE_WIDTH)
+        per = base.per_element
+        return ResourceModel(
+            per_element=ResourceVector(
+                slices=per.slices + extra_ffs // 2,
+                flipflops=per.flipflops + extra_ffs,
+                luts=per.luts + extra_rows * 8,  # row-select muxing
+                iobs=per.iobs,
+                gclks=per.gclks,
+            ),
+            controller=base.controller,
+            base_period_ns=base.base_period_ns,
+            routing_beta=base.routing_beta,
+            device=base.device,
+        )
+
+    def max_elements_on_device(self) -> int:
+        return self.resource_model().max_elements()

@@ -1,0 +1,134 @@
+"""Query partitioning for queries longer than the array (figure 7).
+
+An array of ``N`` elements holds at most ``N`` query bases.  A longer
+query is split into ``ceil(m / N)`` chunks processed in consecutive
+passes over the *same* database segment; the bottom row of scores each
+chunk produces is "kept on the board" (SRAM in the real design) and
+fed back as the boundary row of the next chunk — making the chunked
+computation bit-exact with the monolithic matrix, which the
+property-based tests verify for every chunk size.
+
+This module holds the pure bookkeeping (chunk spans, pass/cycle
+formulas, boundary-row memory accounting);
+:class:`repro.core.accelerator.SWAccelerator` drives the actual
+passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+__all__ = ["QueryChunk", "PartitionPlan", "plan_partition"]
+
+
+@dataclass(frozen=True)
+class QueryChunk:
+    """One query chunk: rows ``start + 1 .. end`` of the matrix.
+
+    ``start``/``end`` are 0-based half-open offsets into the query;
+    the chunk occupies absolute matrix rows ``start + 1`` through
+    ``end`` (1-based), which is why ``row_offset == start``.
+    """
+
+    index: int
+    start: int
+    end: int
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    @property
+    def row_offset(self) -> int:
+        return self.start
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Full plan for running a query of length ``m`` on an ``N`` array.
+
+    Besides the chunk list, the plan exposes the quantities the
+    paper's performance and memory arguments rest on:
+
+    * :meth:`total_cycles` — the exact clock count of the whole run,
+      ``passes * (n + N - 1)`` minus the drain savings of a short last
+      chunk; validated cycle-for-cycle against the RTL simulator;
+    * :meth:`boundary_memory_bytes` — the on-board storage the scheme
+      needs (one score row of ``n + 1`` cells), i.e. the *linear*
+      memory footprint that replaces the quadratic matrix.
+    """
+
+    query_length: int
+    database_length: int
+    array_size: int
+    chunks: tuple[QueryChunk, ...]
+
+    @property
+    def passes(self) -> int:
+        return len(self.chunks)
+
+    def pass_cycles(self, chunk: QueryChunk) -> int:
+        """Clocks for one pass: ``n`` issue + ``chunk - 1`` drain."""
+        if self.database_length == 0:
+            return 0
+        return self.database_length + chunk.length - 1
+
+    def total_cycles(self) -> int:
+        """Exact clock count across all passes (compute only).
+
+        Query-load and readout clocks are accounted separately by the
+        timing model (:mod:`repro.core.timing`), as they depend on the
+        load mechanism (registers vs JBits-style reconfiguration,
+        section 4 of the paper).
+        """
+        return sum(self.pass_cycles(c) for c in self.chunks)
+
+    def total_cells(self) -> int:
+        """Matrix cells computed — ``m * n`` exactly (nothing wasted
+        for full chunks; short final chunks idle the spare elements)."""
+        return self.query_length * self.database_length
+
+    def boundary_memory_bytes(self, bytes_per_score: int = 4) -> int:
+        """On-board memory for the inter-chunk boundary row.
+
+        Zero when the query fits in one chunk — the configuration the
+        paper's prototype measures (100 BP query, 100 elements).
+        """
+        if self.passes <= 1:
+            return 0
+        return (self.database_length + 1) * bytes_per_score
+
+    def utilization(self) -> float:
+        """Fraction of element-cycles doing useful cell updates."""
+        cycles = self.total_cycles()
+        if cycles == 0:
+            return 0.0
+        return self.total_cells() / (cycles * self.array_size)
+
+
+def plan_partition(query_length: int, database_length: int, array_size: int) -> PartitionPlan:
+    """Split a query into array-sized chunks (figure 7).
+
+    Every chunk except possibly the last has exactly ``array_size``
+    rows.  A zero-length query yields an empty plan.
+    """
+    if query_length < 0 or database_length < 0:
+        raise ValueError("sequence lengths must be non-negative")
+    if array_size < 1:
+        raise ValueError(f"array size must be positive, got {array_size}")
+    n_chunks = ceil(query_length / array_size) if query_length else 0
+    chunks = tuple(
+        QueryChunk(
+            index=c,
+            start=c * array_size,
+            end=min((c + 1) * array_size, query_length),
+        )
+        for c in range(n_chunks)
+    )
+    return PartitionPlan(
+        query_length=query_length,
+        database_length=database_length,
+        array_size=array_size,
+        chunks=chunks,
+    )

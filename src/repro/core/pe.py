@@ -1,0 +1,170 @@
+"""Register-transfer model of one systolic processing element (figure 6).
+
+Each element of the paper's array holds one query base and computes,
+one matrix cell per clock, the Smith-Waterman recurrence for its lane
+of the similarity matrix, plus the paper's two extra fields: the best
+score seen in its lane and the cycle at which that score appeared.
+
+Register set (names follow figure 6 of the paper):
+
+========  ==========================================================
+``SP``    the query base fixed in this element
+``A``     diagonal input register — holds ``D[k-1, j-1]`` (last
+          cycle's ``C`` input)
+``B``     own-output register — holds ``D[k, j-1]``, the value this
+          element computed on the previous cycle
+``C``     combinational input from the left neighbour — ``D[k-1, j]``
+``Bs``    best score computed in this lane so far
+``Cl``    cycle counter, incremented once per computed cell
+``Bc``    value of ``Cl`` when ``Bs`` was last written
+========  ==========================================================
+
+Orientation: the repository fixes rows = query ``s``, columns =
+database ``t`` (see :mod:`repro.align.matrix`).  Element ``k``
+(1-based) therefore computes every cell ``D[k, j]``; the paper's
+prose, which puts the query on columns, is the transpose of the same
+dataflow.  ``Cl`` stores the *global clock cycle* (the anti-diagonal
+index), exactly as in figure 5 where "the upper number is the cycle
+when that score was calculated"; since element ``k`` computes cell
+``(k, j)`` on cycle ``k + j - 1``, the controller recovers the
+database coordinate as ``j = Bc - k + 1``.
+
+The datapath per cycle (figure 6, right-to-left):
+
+1. compare ``SP`` with the arriving database base ``SB``; select the
+   coincidence value ``Co`` (match) or substitution value ``Su``
+   (mismatch) and add it to ``A``;
+2. in parallel, compare ``B`` and ``C``, add the insertion/removal
+   penalty ``In/Re`` to the larger;
+3. take the larger of the two sums, clamp at zero — this is the new
+   cell value ``D`` (the clamp is a configuration bit: local mode
+   enables it, semi-global mode disables it);
+4. if ``D > Bs`` then ``Bs := D`` and ``Bc := Cl`` (strictly-greater
+   update, so the earliest cell wins ties within a lane);
+5. pipeline: ``A := C``, ``B := D``; pass ``D`` and ``SB`` to the
+   right neighbour (each registered, one-cycle delay per element).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..align.scoring import LinearScoring, SubstitutionMatrix
+
+__all__ = ["PEOutput", "ProcessingElement"]
+
+
+@dataclass(frozen=True)
+class PEOutput:
+    """Registered outputs an element presents to its right neighbour.
+
+    ``score`` is the cell value ``D`` computed this cycle (the next
+    element's ``C`` input); ``base`` is the database base ``SB``
+    forwarded one element further down the pipe.  ``valid`` gates the
+    pipeline: elements downstream of the wavefront see invalid bubbles
+    and hold their state, exactly like the real array before its lane
+    is reached by the streamed sequence.
+    """
+
+    score: int = 0
+    base: int = 0
+    valid: bool = False
+
+
+@dataclass
+class ProcessingElement:
+    """One element of the systolic array, stepped once per clock.
+
+    Parameters
+    ----------
+    index:
+        1-based position in the array (lane number = query row).
+    scheme:
+        Scoring scheme providing ``Co``/``Su`` (via ``pair``) and the
+        ``In/Re`` gap penalty.  :class:`SubstitutionMatrix` is accepted
+        so protein configurations can be simulated; the paper's
+        hardware uses the three-constant DNA scheme.
+    """
+
+    index: int
+    scheme: LinearScoring | SubstitutionMatrix
+    clamp: bool = True  # zero clamp (local mode); semi-global disables
+    sp: int | None = None  # query base (ASCII code); None = lane unused
+    a: int = 0  # diagonal register  D[k-1, j-1]
+    b: int = 0  # own previous score D[k, j-1]
+    bs: int = 0  # best score in lane
+    cl: int = 0  # cycle counter (global cycle of last computed cell)
+    bc: int = 0  # cycle at which bs was written
+    cells_computed: int = field(default=0)
+
+    def load(self, base: int | None) -> None:
+        """Fix a query base in the element and clear all registers.
+
+        ``None`` marks the lane unused (query chunk shorter than the
+        array — the paper fills the spare elements with zero padding
+        that never raises ``Bs``; modelling them as inert is
+        equivalent and keeps the invariants crisp).
+        """
+        self.sp = base
+        self.a = 0
+        self.b = 0
+        self.bs = 0
+        self.cl = 0
+        self.bc = 0
+        self.cells_computed = 0
+
+    def step(self, left: PEOutput, cycle: int) -> PEOutput:
+        """Advance one clock.
+
+        ``left`` carries the left neighbour's registered outputs from
+        the *previous* cycle (for element 1, the array supplies the
+        database stream and the boundary-row value here).  ``cycle``
+        is the global clock index (1-based) recorded into ``Cl``.
+
+        Returns this element's registered outputs, to be handed to the
+        right neighbour on the *next* cycle.
+        """
+        if not left.valid or self.sp is None:
+            # Bubble: no database base reached this element this cycle.
+            return PEOutput()
+        # --- combinational datapath (figure 6) -----------------------
+        pair = self.scheme.pair(self.sp, left.base)
+        diag_sum = self.a + pair
+        larger_bc = self.b if self.b >= left.score else left.score
+        gap_sum = larger_bc + self.scheme.gap
+        d = diag_sum if diag_sum >= gap_sum else gap_sum
+        if self.clamp and d < 0:
+            d = 0
+        # --- best-score bookkeeping ----------------------------------
+        self.cl = cycle
+        self.cells_computed += 1
+        if d > self.bs:
+            self.bs = d
+            self.bc = cycle
+        # --- register updates ----------------------------------------
+        self.a = left.score
+        self.b = d
+        return PEOutput(score=d, base=left.base, valid=True)
+
+    # ------------------------------------------------------------------
+    # Readout (what the controller shifts out after a pass)
+    # ------------------------------------------------------------------
+    def lane_best(self) -> tuple[int, int]:
+        """``(Bs, Bc)`` — the pair the controller reduces over."""
+        return self.bs, self.bc
+
+    def lane_column(self) -> int:
+        """Database coordinate of the lane best: ``j = Bc - k + 1``.
+
+        Only meaningful when ``Bs > 0``; a lane that never saw a
+        positive score reports ``(0, 0)`` and is skipped by the
+        controller.
+        """
+        return self.bc - self.index + 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        base = chr(self.sp) if self.sp is not None else "-"
+        return (
+            f"PE#{self.index}[{base}] A={self.a} B={self.b} "
+            f"Bs={self.bs} Bc={self.bc} Cl={self.cl}"
+        )

@@ -1,0 +1,258 @@
+"""Cycle-accurate simulator of the paper's systolic array (figure 5).
+
+The array is a linear pipe of :class:`~repro.core.pe.ProcessingElement`
+instances.  One *pass* streams a database segment through the array
+while a query chunk (at most one base per element) sits in the ``SP``
+registers; each clock advances the active anti-diagonal of the
+similarity matrix by one (the wavefront of figures 3-5).
+
+Dataflow per clock:
+
+* element 1 receives the next database base together with the
+  **boundary-row value** for that column — all zeros for the first
+  query chunk (row 0 of the Smith-Waterman matrix), or the stored
+  output row of the previous chunk when a long query is partitioned
+  (figure 7, the rows "kept on the board to allow new scores to be
+  calculated");
+* every element consumes its left neighbour's *registered* outputs
+  from the previous clock (two-phase update below), computes one cell,
+  and registers its outputs for the right neighbour;
+* the last element's score output is collected — it is the boundary
+  row handed to the next chunk's pass (written to board SRAM in the
+  real design).
+
+The simulation is two-phase per clock (read all previous outputs, then
+commit), which is exactly how a clocked synchronous circuit behaves —
+there is no simulation-order artefact.
+
+A pass over a database segment of length ``n`` with an array of ``N``
+elements takes ``n + N - 1`` clocks: ``n`` issue cycles plus ``N - 1``
+drain cycles while the wavefront exits the pipe.  This formula is the
+heart of the paper's performance claim and is exported via
+:attr:`PassResult.cycles` so the timing model can be validated against
+the simulator cycle-for-cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..align.scoring import DEFAULT_DNA, LinearScoring, SubstitutionMatrix, encode
+from .pe import PEOutput, ProcessingElement
+
+__all__ = ["LaneBest", "PassResult", "SystolicArray"]
+
+
+@dataclass(frozen=True)
+class LaneBest:
+    """Readout of one lane after a pass: the controller's raw input.
+
+    ``row`` is the absolute query row this lane computed (chunk offset
+    + element index); ``score``/``cycle`` are the element's ``Bs`` and
+    ``Bc`` registers.  ``column`` is the recovered database coordinate
+    ``Bc - k + 1`` (already shifted to 1-based segment coordinates).
+    """
+
+    row: int
+    score: int
+    cycle: int
+    column: int
+
+
+@dataclass
+class PassResult:
+    """Outcome of streaming one database segment through the array."""
+
+    lane_bests: list[LaneBest]
+    boundary_row: np.ndarray  # last element's output row, length n + 1
+    cycles: int  # clocks consumed by this pass
+    cells: int  # matrix cells computed (active element-steps)
+
+
+class SystolicArray:
+    """A linear systolic array of ``n_elements`` processing elements.
+
+    Parameters
+    ----------
+    n_elements:
+        Number of elements (the paper's prototype synthesizes 100).
+    scheme:
+        Scoring scheme shared by every element; must use a linear gap
+        penalty (the hardware datapath has a single ``In/Re`` input).
+
+    Use :meth:`load_query` then :meth:`run_pass`, or let
+    :class:`repro.core.accelerator.SWAccelerator` orchestrate
+    partitioned multi-pass runs.
+    """
+
+    def __init__(
+        self,
+        n_elements: int,
+        scheme: LinearScoring | SubstitutionMatrix = DEFAULT_DNA,
+        clamp: bool = True,
+    ) -> None:
+        if n_elements < 1:
+            raise ValueError(f"array needs at least one element, got {n_elements}")
+        self.n_elements = n_elements
+        self.scheme = scheme
+        self.elements = [
+            ProcessingElement(index=k + 1, scheme=scheme, clamp=clamp)
+            for k in range(n_elements)
+        ]
+        self._loaded_rows = 0
+        self._row_offset = 0
+        self._col0 = None
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def load_query(
+        self,
+        chunk: str | bytes | np.ndarray,
+        row_offset: int = 0,
+        column0_scores: Sequence[int] | np.ndarray | None = None,
+    ) -> None:
+        """Fix a query chunk into the ``SP`` registers.
+
+        ``chunk`` may be shorter than the array (final chunk of a
+        partitioned query); the spare elements are marked unused.
+        ``row_offset`` is the number of query rows already processed
+        by earlier chunks — it shifts the reported lane rows so
+        coordinates are absolute.  Loading clears all element state
+        (in the real design this is the query-load phase the JBits
+        work of [13] replaces with dynamic reconfiguration).
+
+        ``column0_scores`` configures the matrix's **column 0**: entry
+        ``k`` initializes element ``k``'s ``B`` register (its
+        ``D[row_k, 0]``) and, via the shifted entry, the ``A``
+        register (``D[row_k - 1, 0]``).  ``None`` keeps the local-mode
+        zeros; semi-global mode passes ``row * gap`` — one of the two
+        configuration changes that retarget the array (see
+        :mod:`repro.align.semiglobal`).  Length must be
+        ``len(chunk) + 1``: the boundary above the chunk first.
+        """
+        codes = encode(chunk)
+        if len(codes) > self.n_elements:
+            raise ValueError(
+                f"query chunk of {len(codes)} exceeds array size {self.n_elements}; "
+                "partition the query first (figure 7)"
+            )
+        col0 = None
+        if column0_scores is not None:
+            col0 = np.asarray(column0_scores, dtype=np.int64)
+            if col0.shape != (len(codes) + 1,):
+                raise ValueError(
+                    f"column0_scores must have length {len(codes) + 1}, got {col0.shape}"
+                )
+        for k, element in enumerate(self.elements):
+            element.load(int(codes[k]) if k < len(codes) else None)
+            if col0 is not None and k < len(codes):
+                element.a = int(col0[k])
+                element.b = int(col0[k + 1])
+        self._col0 = col0
+        self._loaded_rows = len(codes)
+        self._row_offset = row_offset
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_pass(
+        self,
+        database: str | bytes | np.ndarray,
+        boundary_row: Sequence[int] | np.ndarray | None = None,
+        on_cycle: Callable[[int, list[PEOutput]], None] | None = None,
+    ) -> PassResult:
+        """Stream a database segment through the loaded query chunk.
+
+        Parameters
+        ----------
+        database:
+            The segment to stream (length ``n``).
+        boundary_row:
+            Row of ``n + 1`` scores that sits *above* this chunk —
+            ``None`` means row 0 of the matrix (all zeros).  Entry
+            ``[j]`` is fed to element 1 together with database base
+            ``j`` (the on-board SRAM read of figure 7).
+        on_cycle:
+            Optional tracing hook called after every clock with
+            ``(cycle, registered_outputs)``; used by the figure-5
+            renderer and the anti-diagonal equivalence tests.
+
+        Returns a :class:`PassResult` with the lane readouts, the
+        output boundary row for the next chunk and the exact clock
+        count (``n + N - 1`` active clocks).
+        """
+        if self._loaded_rows == 0:
+            raise RuntimeError("no query chunk loaded; call load_query() first")
+        # Every pass starts from the configured reset state: dynamic
+        # registers clear, column-0 boundary re-applied.  (The real
+        # flow reloads the query before each pass; making the reset
+        # part of run_pass removes a stale-state hazard when the same
+        # chunk is streamed against several segments, as in a scan.)
+        for k, element in enumerate(self.elements[: self._loaded_rows]):
+            sp = element.sp
+            element.load(sp)
+            if self._col0 is not None:
+                element.a = int(self._col0[k])
+                element.b = int(self._col0[k + 1])
+        db_codes = encode(database)
+        n = len(db_codes)
+        if boundary_row is None:
+            boundary = np.zeros(n + 1, dtype=np.int64)
+        else:
+            boundary = np.asarray(boundary_row, dtype=np.int64)
+            if boundary.shape != (n + 1,):
+                raise ValueError(
+                    f"boundary_row must have length {n + 1}, got {boundary.shape}"
+                )
+        n_active = self._loaded_rows
+        total_cycles = n + n_active - 1 if n > 0 else 0
+        # Registered outputs from the previous clock; wires[k] feeds
+        # element k+1.  Index 0 is the array input port.
+        wires = [PEOutput() for _ in range(self.n_elements + 1)]
+        out_row = np.zeros(n + 1, dtype=np.int64)
+        out_row[0] = 0  # column 0 of every row is zero in local mode
+        for cycle in range(1, total_cycles + 1):
+            # Input port: base j = cycle enters on cycle j, along with
+            # the boundary-row score for column j.
+            if cycle <= n:
+                feed = PEOutput(
+                    score=int(boundary[cycle]),
+                    base=int(db_codes[cycle - 1]),
+                    valid=True,
+                )
+            else:
+                feed = PEOutput()
+            new_wires = [feed]
+            for k, element in enumerate(self.elements[:n_active]):
+                new_wires.append(element.step(wires[k] if k else feed, cycle))
+            # Inert lanes beyond the chunk keep bubbles flowing.
+            new_wires.extend(PEOutput() for _ in range(self.n_elements - n_active))
+            wires = new_wires
+            # Collect the chunk's bottom row as it drains from the
+            # last *active* element: cell (n_active, j) appears at
+            # cycle j + n_active - 1.
+            j = cycle - n_active + 1
+            if 1 <= j <= n:
+                out_row[j] = wires[n_active].score
+            if on_cycle is not None:
+                on_cycle(cycle, wires[1:])
+        lane_bests = [
+            LaneBest(
+                row=self._row_offset + element.index,
+                score=element.bs,
+                cycle=element.bc,
+                column=element.lane_column(),
+            )
+            for element in self.elements[:n_active]
+            if element.bs > 0
+        ]
+        return PassResult(
+            lane_bests=lane_bests,
+            boundary_row=out_row,
+            cycles=total_cycles,
+            cells=sum(e.cells_computed for e in self.elements[:n_active]),
+        )

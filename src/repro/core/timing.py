@@ -1,0 +1,164 @@
+"""Clock and throughput model for the simulated accelerator.
+
+The paper's performance claim (section 6) has three ingredients:
+
+* the **clock count** of a run — exact, reproduced cycle-for-cycle by
+  the simulator and by :meth:`repro.core.partition.PartitionPlan.total_cycles`;
+* the **clock rate** — 144.9 MHz reported by ISE for the 100-element
+  prototype on the xc2vp70;
+* the **cycles per wavefront step** — how many clocks the synthesized
+  datapath needs to advance the anti-diagonal by one.  An ideally
+  pipelined systolic cell takes 1; the paper's Forte/Cynthesizer-
+  generated circuit is slower.  We derive the effective value from the
+  paper's own numbers: 10 MBP x 100 BP = 1e9 cells in ~0.84 s at
+  144.9 MHz with 100 elements gives
+
+      ``cycles_per_step = 0.839 * 144.9e6 / (1e7 + 99) ~= 12.16``
+
+  (reported time back-computed from the stated 246.9x speedup over a
+  software run of "more than 3 minutes").  :data:`PAPER_CLOCK` uses
+  this calibrated value so the headline experiment reproduces the
+  paper's wall-clock; :data:`IDEAL_CLOCK` uses 1 for the architecture
+  the figures describe.  Both are exposed so the E1 benchmark can show
+  the ideal/effective gap explicitly.
+
+Throughput is quoted in CUPS (cell updates per second), the metric the
+paper uses to compare FPGA designs — with its caveat (section 4) that
+only architectures doing the same per-cell work compare fairly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .partition import PartitionPlan, plan_partition
+
+__all__ = [
+    "ClockModel",
+    "RunTiming",
+    "IDEAL_CLOCK",
+    "PAPER_CLOCK",
+    "PAPER_SOFTWARE_SECONDS",
+    "PAPER_FPGA_SECONDS",
+    "PAPER_SPEEDUP",
+    "estimate_run",
+]
+
+#: Section 6: the optimized C program on a 3 GHz Pentium 4, 10 MBP x
+#: 100 BP ("more than 3 minutes"; back-computed from the 246.9x
+#: speedup and the FPGA time below).
+PAPER_SOFTWARE_SECONDS = 207.1
+
+#: Section 6: the 100-element xc2vp70 prototype on the same workload
+#: ("less than 1 second").
+PAPER_FPGA_SECONDS = 0.8388
+
+#: Abstract & section 6: the headline speedup.
+PAPER_SPEEDUP = 246.9
+
+
+@dataclass(frozen=True)
+class ClockModel:
+    """Clock rate plus per-step cost of the synthesized datapath.
+
+    ``frequency_mhz`` is the ISE-reported operating frequency;
+    ``cycles_per_step`` the clocks needed per wavefront advance
+    (1 = fully pipelined; the paper's generated circuit is ~12).
+    """
+
+    frequency_mhz: float = 144.9
+    cycles_per_step: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.frequency_mhz <= 0:
+            raise ValueError(f"frequency must be positive, got {self.frequency_mhz}")
+        if self.cycles_per_step < 1:
+            raise ValueError(
+                f"cycles_per_step cannot beat one clock per step, got {self.cycles_per_step}"
+            )
+
+    def seconds(self, steps: int) -> float:
+        """Wall-clock for ``steps`` wavefront advances."""
+        return steps * self.cycles_per_step / (self.frequency_mhz * 1e6)
+
+
+#: The architecture as drawn (one anti-diagonal per clock).
+IDEAL_CLOCK = ClockModel(frequency_mhz=144.9, cycles_per_step=1.0)
+
+#: Calibrated to the paper's reported wall-clock (see module docs).
+PAPER_CLOCK = ClockModel(frequency_mhz=144.9, cycles_per_step=12.16)
+
+
+@dataclass(frozen=True)
+class RunTiming:
+    """Predicted timing of one accelerator run.
+
+    ``steps`` counts wavefront advances (the simulator's clock count
+    at ``cycles_per_step = 1``); ``load_steps`` the query-load clocks
+    (one per base per pass, the register-chain load the paper
+    contrasts with JBits reconfiguration); ``readout_steps`` the
+    per-pass lane readout (one clock per element).
+    """
+
+    plan: PartitionPlan
+    clock: ClockModel
+    steps: int
+    load_steps: int
+    readout_steps: int
+
+    @property
+    def total_steps(self) -> int:
+        return self.steps + self.load_steps + self.readout_steps
+
+    @property
+    def compute_seconds(self) -> float:
+        return self.clock.seconds(self.steps)
+
+    @property
+    def overhead_seconds(self) -> float:
+        return self.clock.seconds(self.load_steps + self.readout_steps)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.clock.seconds(self.total_steps)
+
+    @property
+    def cells(self) -> int:
+        return self.plan.total_cells()
+
+    @property
+    def cups(self) -> float:
+        """Cell updates per second (0.0 for an empty run)."""
+        seconds = self.total_seconds
+        return self.cells / seconds if seconds > 0 else 0.0
+
+    @property
+    def gcups(self) -> float:
+        return self.cups / 1e9
+
+
+def estimate_run(
+    query_length: int,
+    database_length: int,
+    array_size: int = 100,
+    clock: ClockModel = IDEAL_CLOCK,
+) -> RunTiming:
+    """Analytic timing of a (possibly partitioned) accelerator run.
+
+    The ``steps`` term is exact — the property tests pin it to the RTL
+    simulator's cycle counter; load/readout are the documented linear
+    overheads.  Use ``clock=PAPER_CLOCK`` to predict the prototype's
+    wall-clock (experiment E1) and the default ideal clock for the
+    architectural numbers.
+    """
+    plan = plan_partition(query_length, database_length, array_size)
+    steps = plan.total_cycles()
+    load_steps = sum(c.length for c in plan.chunks)
+    readout_steps = plan.passes * array_size
+    return RunTiming(
+        plan=plan,
+        clock=clock,
+        steps=steps,
+        load_steps=load_steps,
+        readout_steps=readout_steps,
+    )

@@ -1,0 +1,204 @@
+"""Hardware-style verification: random vectors and fault injection.
+
+The paper validates its design by SystemC simulation before synthesis
+(section 6).  This module provides the corresponding methodology for
+the Python RTL model:
+
+* :func:`random_vector_campaign` — drive the array with seeded random
+  sequence pairs and compare every output (hit, boundary row, cycle
+  count) against the independent software oracle;
+* :func:`inject_fault` / :func:`fault_campaign` — force a stuck-at
+  fault into one element register and measure whether the campaign
+  *detects* it (any output mismatch).  A verification suite that
+  cannot detect injected faults proves nothing; the tests assert high
+  detection coverage for score-path faults and document which faults
+  are architecturally silent (e.g. a stuck ``Bs`` in a lane whose best
+  is never the winner).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..align.scoring import DEFAULT_DNA, LinearScoring, SubstitutionMatrix, encode
+from ..align.smith_waterman import sw_locate_best, sw_row_sweep
+from ..io.generate import random_dna
+from .controller import BestScoreController
+from .systolic import SystolicArray
+
+__all__ = [
+    "VectorResult",
+    "CampaignReport",
+    "run_vector",
+    "random_vector_campaign",
+    "inject_fault",
+    "fault_campaign",
+    "FAULTABLE_REGISTERS",
+]
+
+#: Element registers a stuck-at fault can target.
+FAULTABLE_REGISTERS = ("a", "b", "bs", "bc", "sp")
+
+
+@dataclass(frozen=True)
+class VectorResult:
+    """Outcome of one test vector."""
+
+    query: str
+    database: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate of a vector campaign."""
+
+    results: list[VectorResult] = field(default_factory=list)
+
+    @property
+    def vectors(self) -> int:
+        return len(self.results)
+
+    @property
+    def failures(self) -> list[VectorResult]:
+        return [r for r in self.results if not r.passed]
+
+    @property
+    def all_passed(self) -> bool:
+        return not self.failures
+
+    @property
+    def detection_rate(self) -> float:
+        """For fault campaigns: fraction of vectors exposing the fault."""
+        if not self.results:
+            return 0.0
+        return len(self.failures) / len(self.results)
+
+
+def run_vector(
+    query: str,
+    database: str,
+    scheme: LinearScoring | SubstitutionMatrix = DEFAULT_DNA,
+    corrupt: Callable[[SystolicArray], None] | None = None,
+) -> VectorResult:
+    """Run one vector through the RTL array and check every output.
+
+    ``corrupt`` (if given) is applied after the query load — the fault
+    injection hook.  Checks: final hit vs the software oracle, the
+    boundary row vs the independent row sweep, and the cycle count vs
+    the analytic formula.
+    """
+    q_codes = encode(query)
+    d_codes = encode(database)
+    array = SystolicArray(len(q_codes), scheme)
+    array.load_query(q_codes)
+    if corrupt is not None:
+        corrupt(array)
+    result = array.run_pass(d_codes)
+    controller = BestScoreController()
+    controller.consider_pass(result.lane_bests)
+
+    expected_hit = sw_locate_best(query, database, scheme)
+    if controller.hit() != expected_hit:
+        return VectorResult(
+            query, database, False,
+            f"hit {controller.hit()} != oracle {expected_hit}",
+        )
+    expected_row, _ = sw_row_sweep(q_codes, d_codes, scheme)
+    if not np.array_equal(result.boundary_row, expected_row):
+        return VectorResult(query, database, False, "boundary row mismatch")
+    expected_cycles = len(d_codes) + len(q_codes) - 1 if len(d_codes) else 0
+    if result.cycles != expected_cycles:
+        return VectorResult(
+            query, database, False,
+            f"cycles {result.cycles} != {expected_cycles}",
+        )
+    return VectorResult(query, database, True)
+
+
+def random_vector_campaign(
+    vectors: int = 25,
+    max_query: int = 24,
+    max_database: int = 48,
+    seed: int = 0,
+    scheme: LinearScoring | SubstitutionMatrix = DEFAULT_DNA,
+    corrupt: Callable[[SystolicArray], None] | None = None,
+    min_query: int = 1,
+) -> CampaignReport:
+    """Seeded random campaign against the oracle.
+
+    ``min_query`` keeps every vector long enough to cover a fault
+    target deep in the array.
+    """
+    if vectors < 1:
+        raise ValueError("need at least one vector")
+    if not 1 <= min_query <= max_query:
+        raise ValueError("need 1 <= min_query <= max_query")
+    rng = np.random.default_rng(seed)
+    report = CampaignReport()
+    for v in range(vectors):
+        m = int(rng.integers(min_query, max_query + 1))
+        n = int(rng.integers(1, max_database + 1))
+        query = random_dna(m, seed=seed * 1000 + 2 * v)
+        database = random_dna(n, seed=seed * 1000 + 2 * v + 1)
+        report.results.append(run_vector(query, database, scheme, corrupt))
+    return report
+
+
+def inject_fault(
+    element_index: int, register: str, stuck_value: int
+) -> Callable[[SystolicArray], None]:
+    """A ``corrupt`` hook forcing ``register`` of one element to a
+    stuck value — re-asserted every clock, a true stuck-at fault.
+
+    ``element_index`` is 0-based.  Faulting ``sp`` flips the stored
+    query base (a configuration upset); the score registers model
+    datapath faults.
+    """
+    if register not in FAULTABLE_REGISTERS:
+        raise ValueError(
+            f"unknown register {register!r}; choose from {FAULTABLE_REGISTERS}"
+        )
+
+    def corrupt(array: SystolicArray) -> None:
+        if element_index >= len(array.elements):
+            raise ValueError(
+                f"element {element_index} outside array of {len(array.elements)}"
+            )
+        element = array.elements[element_index]
+        setattr(element, register, stuck_value)
+        original_step = element.step
+
+        def faulty_step(left, cycle):
+            setattr(element, register, stuck_value)  # stuck before compute
+            out = original_step(left, cycle)
+            setattr(element, register, stuck_value)  # ...and after update
+            return out
+
+        element.step = faulty_step  # type: ignore[method-assign]
+
+    return corrupt
+
+
+def fault_campaign(
+    register: str,
+    stuck_value: int,
+    element_index: int = 0,
+    vectors: int = 20,
+    seed: int = 7,
+) -> CampaignReport:
+    """Run the random campaign with one injected fault.
+
+    The returned report's :attr:`CampaignReport.detection_rate` is the
+    fault coverage of the campaign for this fault.
+    """
+    return random_vector_campaign(
+        vectors=vectors,
+        seed=seed,
+        corrupt=inject_fault(element_index, register, stuck_value),
+        min_query=element_index + 1,
+    )

@@ -1,0 +1,123 @@
+"""Register-width analysis: how many bits the element datapath needs.
+
+The related work fixes widths by fiat (SAMBA: "128 processors of 12
+bits", section 4); a width that is too small silently wraps scores
+and corrupts results.  This module derives the required widths from
+first principles and provides a wrap-around checker the verification
+suite uses to demonstrate that an under-provisioned datapath is
+actually caught by the test harness.
+
+Bounds (linear scheme, local alignment):
+
+* a cell score is at most ``min(chunk_rows, n) * match`` (a perfect
+  diagonal run is the only way to grow) — but with query partitioning
+  the boundary row carries scores from earlier chunks, so the bound is
+  ``min(m, n) * match`` for the *whole* query;
+* scores are never negative (zero clamp), so an unsigned register of
+  ``ceil(log2(bound + 1))`` bits suffices; one headroom bit covers the
+  pre-clamp intermediate ``max(B, C) + gap``... which is bounded below
+  by ``-|gap|`` — hence signed arithmetic with one extra bit;
+* the cycle counter must count to ``n + N - 1``.
+"""
+
+from __future__ import annotations
+
+from math import ceil, log2
+
+import numpy as np
+
+from ..align.scoring import LinearScoring, SubstitutionMatrix, encode
+from ..align.smith_waterman import LocalHit
+
+__all__ = [
+    "max_possible_score",
+    "required_score_width",
+    "required_cycle_width",
+    "locate_with_width",
+]
+
+
+def max_possible_score(
+    query_length: int,
+    database_length: int,
+    scheme: LinearScoring | SubstitutionMatrix,
+) -> int:
+    """Tight upper bound on any cell of the similarity matrix."""
+    if query_length < 0 or database_length < 0:
+        raise ValueError("lengths cannot be negative")
+    per_pair = (
+        scheme.match if isinstance(scheme, LinearScoring) else scheme.max_score()
+    )
+    return min(query_length, database_length) * max(per_pair, 0)
+
+
+def required_score_width(
+    query_length: int,
+    database_length: int,
+    scheme: LinearScoring | SubstitutionMatrix,
+) -> int:
+    """Bits of the signed score registers (A, B, Bs, and the wires).
+
+    One sign bit (pre-clamp intermediates go below zero by at most
+    ``|gap|``) plus enough magnitude bits for the maximum score.
+    """
+    bound = max_possible_score(query_length, database_length, scheme)
+    magnitude = max(bound, abs(scheme.gap))
+    return 1 + max(1, ceil(log2(magnitude + 1)))
+
+
+def required_cycle_width(database_length: int, elements: int) -> int:
+    """Bits of the Cl/Bc cycle registers: count to ``n + N - 1``."""
+    if database_length < 0 or elements < 1:
+        raise ValueError("need non-negative n and at least one element")
+    last_cycle = max(1, database_length + elements - 1)
+    return max(1, ceil(log2(last_cycle + 1)))
+
+
+def locate_with_width(
+    s: str,
+    t: str,
+    width_bits: int,
+    scheme: LinearScoring | None = None,
+) -> LocalHit:
+    """The locate computation with ``width_bits`` wrapping registers.
+
+    Simulates what an under-provisioned datapath computes: every
+    score register and wire wraps modulo ``2**width_bits`` (two's
+    complement).  With sufficient width this equals the exact kernel;
+    with insufficient width it visibly corrupts results — both facts
+    are asserted by the width tests, demonstrating that the repo's
+    oracle cross-checks detect datapath sizing bugs.
+    """
+    if width_bits < 2 or width_bits > 62:
+        raise ValueError(f"width must be in [2, 62] bits, got {width_bits}")
+    if scheme is None:
+        scheme = LinearScoring()
+    s_codes = encode(s)
+    t_codes = encode(t)
+    m, n = len(s_codes), len(t_codes)
+    if m == 0 or n == 0:
+        return LocalHit(0, 0, 0)
+    modulus = 1 << width_bits
+    half = modulus >> 1
+
+    def wrap(x: np.ndarray) -> np.ndarray:
+        return (x + half) % modulus - half
+
+    gap = scheme.gap
+    prev = np.zeros(n + 1, dtype=np.int64)
+    cur = np.zeros(n + 1, dtype=np.int64)
+    best = LocalHit(0, 0, 0)
+    for i in range(1, m + 1):
+        pair_row = scheme.pair_vector(int(s_codes[i - 1]), t_codes)
+        for j in range(1, n + 1):
+            diag = wrap(np.int64(prev[j - 1] + pair_row[j - 1]))
+            up = wrap(np.int64(prev[j] + gap))
+            left = wrap(np.int64(cur[j - 1] + gap))
+            v = max(int(diag), int(up), int(left), 0)
+            cur[j] = v
+            if v > best.score:
+                best = LocalHit(int(v), i, j)
+        prev, cur = cur, prev
+        cur[:] = 0
+    return best

@@ -1,0 +1,55 @@
+"""Hardware generation flow: RTL IR -> Verilog + cycle simulation.
+
+Reproduces the paper's SystemC -> Forte -> Verilog implementation flow
+(section 6) in miniature: the same IR object feeds a Verilog-2001
+emitter and a two-phase cycle interpreter, and the interpreter is
+pinned bit-exactly to the behavioural Python model by the test-suite.
+"""
+
+from .builders import (
+    PE_PORTS,
+    build_affine_pe_module,
+    build_array_module,
+    build_controller_module,
+    build_pe_module,
+)
+from .ir import (
+    Assign,
+    BinOp,
+    Compare,
+    Const,
+    Expr,
+    IRError,
+    Module,
+    Mux,
+    Ref,
+    Register,
+    Signal,
+)
+from .simulate import IRSimulator
+from .testbench import emit_testbench, pe_selfcheck_testbench
+from .verilog import emit_verilog, lint_verilog
+
+__all__ = [
+    "Signal",
+    "Expr",
+    "Const",
+    "Ref",
+    "BinOp",
+    "Compare",
+    "Mux",
+    "Assign",
+    "Register",
+    "Module",
+    "IRError",
+    "build_pe_module",
+    "build_array_module",
+    "build_affine_pe_module",
+    "build_controller_module",
+    "PE_PORTS",
+    "IRSimulator",
+    "emit_verilog",
+    "lint_verilog",
+    "emit_testbench",
+    "pe_selfcheck_testbench",
+]

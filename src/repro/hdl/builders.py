@@ -1,0 +1,433 @@
+"""IR builders for the figure-6 element and the systolic array.
+
+``build_pe_module`` constructs one processing element exactly as
+figure 6 draws it — base comparator, Co/Su mux, diagonal adder, B/C
+comparator, In/Re adder, maximum, zero clamp, best-score update —
+with the scoring constants baked in as literals (they are synthesis
+constants in the real design too) and register widths supplied by the
+width analysis (:mod:`repro.core.widths`).
+
+``build_array_module`` flattens ``n`` elements into one module with
+``pe<k>_``-prefixed signals and nearest-neighbour wiring, the
+structure figure 8's floorplan shows.  Everything is plain IR, so the
+same object feeds both the Verilog emitter and the cycle interpreter.
+"""
+
+from __future__ import annotations
+
+from ..align.scoring import AffineScoring, LinearScoring
+from .ir import Assign, BinOp, Compare, Const, Module, Mux, Ref, Register, Signal, smax
+
+__all__ = [
+    "build_pe_module",
+    "build_array_module",
+    "build_affine_pe_module",
+    "build_controller_module",
+    "PE_PORTS",
+]
+
+#: Port names of the element, in declaration order (used by tests and
+#: the emitter's documentation header).
+PE_PORTS = (
+    "clk",
+    "load_en",
+    "load_base",
+    "valid_in",
+    "sb_in",
+    "c_in",
+    "cycle",
+    "d_out",
+    "sb_out",
+    "valid_out",
+)
+
+
+def _element_logic(
+    module: Module,
+    prefix: str,
+    scheme: LinearScoring,
+    score_width: int,
+    base_width: int,
+    cycle_width: int,
+    external: dict[str, Signal] | None = None,
+) -> dict[str, Signal]:
+    """Append one element's logic to ``module``.
+
+    ``external`` maps input-port roles (``valid_in``/``sb_in``/``c_in``
+    /``cycle``/``load_en``/``load_base``) to already-declared signals;
+    roles not supplied become module inputs.  Returns the element's
+    registered output signals (``d_out``/``sb_out``/``valid_out``).
+    """
+    p = prefix
+    external = external or {}
+
+    def port(role: str, width: int, signed: bool) -> Signal:
+        if role in external:
+            return external[role]
+        sig = Signal(f"{p}{role}", width, signed)
+        module.inputs.append(sig)
+        return sig
+
+    load_en = port("load_en", 1, False)
+    load_base = port("load_base", base_width, False)
+    valid_in = port("valid_in", 1, False)
+    sb_in = port("sb_in", base_width, False)
+    c_in = port("c_in", score_width, True)
+    cycle = port("cycle", cycle_width, False)
+
+    sp = Signal(f"{p}sp", base_width, signed=False)
+    a = Signal(f"{p}a", score_width)
+    b = Signal(f"{p}b", score_width)
+    bs = Signal(f"{p}bs", score_width)
+    bc = Signal(f"{p}bc", cycle_width, signed=False)
+    d_out = Signal(f"{p}d_out", score_width)
+    sb_out = Signal(f"{p}sb_out", base_width, signed=False)
+    valid_out = Signal(f"{p}valid_out", 1, signed=False)
+
+    # --- combinational datapath (figure 6) ---------------------------
+    pair = Signal(f"{p}pair", score_width)
+    diag = Signal(f"{p}diag", score_width)
+    bcmax = Signal(f"{p}bcmax", score_width)
+    gap = Signal(f"{p}gap", score_width)
+    d_raw = Signal(f"{p}d_raw", score_width)
+    d = Signal(f"{p}d", score_width)
+    best_wr = Signal(f"{p}best_wr", 1, signed=False)
+
+    module.wires.extend(
+        [
+            Assign(
+                pair,
+                Mux(
+                    Compare("==", Ref(sp.name), Ref(sb_in.name)),
+                    Const(scheme.match),
+                    Const(scheme.mismatch),
+                ),
+            ),
+            Assign(diag, BinOp("+", Ref(a.name), Ref(pair.name))),
+            Assign(bcmax, smax(Ref(b.name), Ref(c_in.name))),
+            Assign(gap, BinOp("+", Ref(bcmax.name), Const(scheme.gap))),
+            Assign(d_raw, smax(Ref(diag.name), Ref(gap.name))),
+            Assign(d, smax(Ref(d_raw.name), Const(0))),
+            Assign(best_wr, Compare(">", Ref(d.name), Ref(bs.name))),
+        ]
+    )
+
+    # --- registers ----------------------------------------------------
+    def gated(next_value, hold, load_value=Const(0)):
+        """load -> load_value; valid -> next; else hold."""
+        return Mux(
+            Compare("==", Ref(load_en.name), Const(1)),
+            load_value,
+            Mux(Compare("==", Ref(valid_in.name), Const(1)), next_value, hold),
+        )
+
+    module.registers.extend(
+        [
+            Register(sp, gated(Ref(sp.name), Ref(sp.name), Ref(load_base.name))),
+            Register(a, gated(Ref(c_in.name), Ref(a.name))),
+            Register(b, gated(Ref(d.name), Ref(b.name))),
+            Register(
+                bs,
+                gated(
+                    Mux(
+                        Compare("==", Ref(best_wr.name), Const(1)),
+                        Ref(d.name),
+                        Ref(bs.name),
+                    ),
+                    Ref(bs.name),
+                ),
+            ),
+            Register(
+                bc,
+                gated(
+                    Mux(
+                        Compare("==", Ref(best_wr.name), Const(1)),
+                        Ref(cycle.name),
+                        Ref(bc.name),
+                    ),
+                    Ref(bc.name),
+                ),
+            ),
+            Register(d_out, gated(Ref(d.name), Const(0))),
+            Register(sb_out, gated(Ref(sb_in.name), Ref(sb_out.name))),
+            Register(valid_out, gated(Ref(valid_in.name), Const(0))),
+        ]
+    )
+    return {"d_out": d_out, "sb_out": sb_out, "valid_out": valid_out, "bs": bs, "bc": bc}
+
+
+def build_pe_module(
+    scheme: LinearScoring | None = None,
+    score_width: int = 16,
+    base_width: int = 8,
+    cycle_width: int = 32,
+    name: str = "sw_pe",
+) -> Module:
+    """One processing element as a standalone module."""
+    scheme = scheme if scheme is not None else LinearScoring()
+    module = Module(name=name)
+    outs = _element_logic(module, "", scheme, score_width, base_width, cycle_width)
+    module.outputs = [outs["d_out"], outs["sb_out"], outs["valid_out"]]
+    module.validate()
+    return module
+
+
+def build_array_module(
+    n_elements: int,
+    scheme: LinearScoring | None = None,
+    score_width: int = 16,
+    base_width: int = 8,
+    cycle_width: int = 32,
+    name: str = "sw_array",
+) -> Module:
+    """A flattened ``n_elements`` array with nearest-neighbour wiring.
+
+    Module inputs: ``load_en``, ``load_base_<k>`` per element,
+    ``valid_in``, ``sb_in``, ``c_in`` (the boundary-row port), and
+    ``cycle``.  Outputs: the last element's registered ``d_out``/
+    ``valid_out`` (the boundary-row drain) plus every element's
+    ``bs``/``bc`` (the readout the controller shifts out).
+    """
+    if n_elements < 1:
+        raise ValueError("need at least one element")
+    scheme = scheme if scheme is not None else LinearScoring()
+    module = Module(name=name)
+    load_en = Signal("load_en", 1, signed=False)
+    valid_in = Signal("valid_in", 1, signed=False)
+    sb_in = Signal("sb_in", base_width, signed=False)
+    c_in = Signal("c_in", score_width)
+    cycle = Signal("cycle", cycle_width, signed=False)
+    module.inputs.extend([load_en, valid_in, sb_in, c_in, cycle])
+
+    upstream = {"valid_in": valid_in, "sb_in": sb_in, "c_in": c_in}
+    bs_outputs: list[Signal] = []
+    last: dict[str, Signal] = {}
+    for k in range(1, n_elements + 1):
+        load_base = Signal(f"pe{k}_load_base", base_width, signed=False)
+        module.inputs.append(load_base)
+        outs = _element_logic(
+            module,
+            f"pe{k}_",
+            scheme,
+            score_width,
+            base_width,
+            cycle_width,
+            external={
+                "load_en": load_en,
+                "load_base": load_base,
+                "cycle": cycle,
+                "valid_in": upstream["valid_in"],
+                "sb_in": upstream["sb_in"],
+                "c_in": upstream["c_in"],
+            },
+        )
+        bs_outputs.extend([outs["bs"], outs["bc"]])
+        upstream = {
+            "valid_in": outs["valid_out"],
+            "sb_in": outs["sb_out"],
+            "c_in": outs["d_out"],
+        }
+        last = outs
+    module.outputs = [last["d_out"], last["valid_out"], *bs_outputs]
+    module.validate()
+    return module
+
+
+def build_affine_pe_module(
+    scheme: AffineScoring | None = None,
+    score_width: int = 16,
+    base_width: int = 8,
+    cycle_width: int = 32,
+    name: str = "sw_affine_pe",
+) -> Module:
+    """The affine-gap element (the [2] design point) as IR.
+
+    Extends the figure-6 datapath with Gotoh's two gap-run states: the
+    ``E`` register (own-row run) and the pipelined ``F`` input/output
+    (cross-row run) — two more score-wide registers and two adders,
+    the area delta :func:`repro.core.affine.affine_resource_model`
+    charges.  ``neg`` is the synthesis-time -infinity: one quarter of
+    the signed range, provably never selected (all real scores are
+    >= gap_open of zero-clamped values), so the narrower constant is
+    safe — the width tests exercise exactly this argument.
+
+    Cross-checked register-for-register against
+    :class:`repro.core.affine.AffineProcessingElement` by the tests.
+    """
+    scheme = scheme if scheme is not None else AffineScoring()
+    neg = -(1 << (score_width - 2))
+    module = Module(name=name)
+    load_en = Signal("load_en", 1, signed=False)
+    load_base = Signal("load_base", base_width, signed=False)
+    valid_in = Signal("valid_in", 1, signed=False)
+    sb_in = Signal("sb_in", base_width, signed=False)
+    c_in = Signal("c_in", score_width)
+    f_in = Signal("f_in", score_width)
+    cycle = Signal("cycle", cycle_width, signed=False)
+    module.inputs = [load_en, load_base, valid_in, sb_in, c_in, f_in, cycle]
+
+    sp = Signal("sp", base_width, signed=False)
+    a = Signal("a", score_width)
+    b = Signal("b", score_width)
+    e = Signal("e", score_width)
+    bs = Signal("bs", score_width)
+    bc = Signal("bc", cycle_width, signed=False)
+    d_out = Signal("d_out", score_width)
+    f_out = Signal("f_out", score_width)
+    sb_out = Signal("sb_out", base_width, signed=False)
+    valid_out = Signal("valid_out", 1, signed=False)
+
+    pair = Signal("pair", score_width)
+    diag = Signal("diag", score_width)
+    e_new = Signal("e_new", score_width)
+    f_new = Signal("f_new", score_width)
+    d_raw = Signal("d_raw", score_width)
+    d = Signal("d", score_width)
+    best_wr = Signal("best_wr", 1, signed=False)
+
+    open_c = Const(scheme.gap_open)
+    ext_c = Const(scheme.gap_extend)
+    module.wires.extend(
+        [
+            Assign(
+                pair,
+                Mux(
+                    Compare("==", Ref("sp"), Ref("sb_in")),
+                    Const(scheme.match),
+                    Const(scheme.mismatch),
+                ),
+            ),
+            Assign(diag, BinOp("+", Ref("a"), Ref("pair"))),
+            Assign(
+                e_new,
+                smax(BinOp("+", Ref("b"), open_c), BinOp("+", Ref("e"), ext_c)),
+            ),
+            Assign(
+                f_new,
+                smax(BinOp("+", Ref("c_in"), open_c), BinOp("+", Ref("f_in"), ext_c)),
+            ),
+            Assign(d_raw, smax(smax(Ref("diag"), Ref("e_new")), Ref("f_new"))),
+            Assign(d, smax(Ref("d_raw"), Const(0))),
+            Assign(best_wr, Compare(">", Ref("d"), Ref("bs"))),
+        ]
+    )
+
+    def gated(next_value, hold, load_value=Const(0)):
+        return Mux(
+            Compare("==", Ref("load_en"), Const(1)),
+            load_value,
+            Mux(Compare("==", Ref("valid_in"), Const(1)), next_value, hold),
+        )
+
+    module.registers.extend(
+        [
+            Register(sp, gated(Ref("sp"), Ref("sp"), Ref("load_base"))),
+            Register(a, gated(Ref("c_in"), Ref("a"))),
+            Register(b, gated(Ref("d"), Ref("b"))),
+            Register(e, gated(Ref("e_new"), Ref("e"), Const(neg)), init=neg),
+            Register(
+                bs,
+                gated(
+                    Mux(Compare("==", Ref("best_wr"), Const(1)), Ref("d"), Ref("bs")),
+                    Ref("bs"),
+                ),
+            ),
+            Register(
+                bc,
+                gated(
+                    Mux(Compare("==", Ref("best_wr"), Const(1)), Ref("cycle"), Ref("bc")),
+                    Ref("bc"),
+                ),
+            ),
+            Register(d_out, gated(Ref("d"), Const(0))),
+            Register(f_out, gated(Ref("f_new"), Const(neg), Const(neg)), init=neg),
+            Register(sb_out, gated(Ref("sb_in"), Ref("sb_out"))),
+            Register(valid_out, gated(Ref("valid_in"), Const(0))),
+        ]
+    )
+    module.outputs = [d_out, f_out, sb_out, valid_out]
+    module.validate()
+    return module
+
+
+def build_controller_module(
+    n_lanes: int,
+    score_width: int = 16,
+    cycle_width: int = 32,
+    name: str = "sw_controller",
+) -> Module:
+    """The figure-9 global-best controller as combinational IR.
+
+    Inputs: each lane's ``bs_<k>``/``bc_<k>`` register values (the
+    readout the array shifts out after a pass).  Outputs: the global
+    ``best_score``, ``best_row`` (the lane index) and ``best_col``
+    (``bc - k + 1`` coordinate recovery), reduced with the repo-wide
+    lexicographic tie-break — higher score wins; on ties the smaller
+    row, then the smaller column.  Scanning lanes in ascending order
+    with a strictly-greater-or-tie-improving compare realizes exactly
+    :class:`repro.core.controller.BestScoreController`, which the
+    tests use as the oracle.  Lanes with ``bs == 0`` are skipped (the
+    empty-alignment convention).
+    """
+    if n_lanes < 1:
+        raise ValueError("need at least one lane")
+    module = Module(name=name)
+    lane_sigs = []
+    for k in range(1, n_lanes + 1):
+        bs = Signal(f"bs_{k}", score_width)
+        bc = Signal(f"bc_{k}", cycle_width, signed=False)
+        module.inputs.extend([bs, bc])
+        lane_sigs.append((bs, bc))
+
+    # Running reduction wires; stage 0 is the empty hit (0, 0, 0).
+    prev_score = Signal("acc_score_0", score_width)
+    prev_row = Signal("acc_row_0", cycle_width, signed=False)
+    prev_col = Signal("acc_col_0", cycle_width, signed=False)
+    module.wires.extend(
+        [
+            Assign(prev_score, Const(0)),
+            Assign(prev_row, Const(0)),
+            Assign(prev_col, Const(0)),
+        ]
+    )
+    for k, (bs, bc) in enumerate(lane_sigs, start=1):
+        col = Signal(f"col_{k}", cycle_width, signed=False)
+        module.wires.append(
+            Assign(col, BinOp("-", Ref(bc.name), Const(k - 1)))
+        )
+        # take = bs > acc (ascending scan makes the smaller row win
+        # ties automatically; the column tie-break never fires across
+        # lanes because rows differ, and within a lane the element
+        # already kept the earliest column).
+        take = Signal(f"take_{k}", 1, signed=False)
+        positive = Compare(">", Ref(bs.name), Const(0))
+        better = Compare(">", Ref(bs.name), Ref(prev_score.name))
+        module.wires.append(
+            Assign(take, Mux(positive, Mux(better, Const(1), Const(0)), Const(0)))
+        )
+        nxt_score = Signal(f"acc_score_{k}", score_width)
+        nxt_row = Signal(f"acc_row_{k}", cycle_width, signed=False)
+        nxt_col = Signal(f"acc_col_{k}", cycle_width, signed=False)
+        taken = Compare("==", Ref(take.name), Const(1))
+        module.wires.extend(
+            [
+                Assign(nxt_score, Mux(taken, Ref(bs.name), Ref(prev_score.name))),
+                Assign(nxt_row, Mux(taken, Const(k), Ref(prev_row.name))),
+                Assign(nxt_col, Mux(taken, Ref(col.name), Ref(prev_col.name))),
+            ]
+        )
+        prev_score, prev_row, prev_col = nxt_score, nxt_row, nxt_col
+
+    best_score = Signal("best_score", score_width)
+    best_row = Signal("best_row", cycle_width, signed=False)
+    best_col = Signal("best_col", cycle_width, signed=False)
+    module.wires.extend(
+        [
+            Assign(best_score, Ref(prev_score.name)),
+            Assign(best_row, Ref(prev_row.name)),
+            Assign(best_col, Ref(prev_col.name)),
+        ]
+    )
+    module.outputs = [best_score, best_row, best_col]
+    module.validate()
+    return module

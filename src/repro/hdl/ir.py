@@ -1,0 +1,290 @@
+"""Register-transfer IR for hardware generation.
+
+The paper's implementation flow is *generative*: "the designed
+systolic array was simulated in SystemC ... it was translated to a
+language that could be synthesized in FPGA with a tool called Forte
+[which] takes a customized SystemC program as input and generates an
+optimized Verilog design as output" (section 6).  This subpackage
+reproduces that flow in miniature:
+
+* this module — a small synthesizable RTL intermediate representation
+  (signals, combinational expressions, registers, modules) with
+  structural validation;
+* :mod:`repro.hdl.builders` — constructs the figure-6 processing
+  element and the full array as IR, parameterized by scoring constants
+  and register widths;
+* :mod:`repro.hdl.verilog` — emits Verilog-2001 from the IR (the
+  Forte stage);
+* :mod:`repro.hdl.simulate` — a cycle interpreter for the IR (the
+  SystemC-simulation stage), cross-checked bit-exactly against the
+  behavioural Python model by the test-suite.
+
+The IR is deliberately minimal: two's-complement signed vectors,
+combinational ``wire = expr`` assignments forming a DAG, and
+clocked registers with enables.  That subset covers the entire paper
+datapath and keeps both the emitter and the interpreter obviously
+correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "Signal",
+    "Expr",
+    "Const",
+    "Ref",
+    "BinOp",
+    "Compare",
+    "Mux",
+    "Assign",
+    "Register",
+    "Module",
+    "IRError",
+]
+
+
+class IRError(ValueError):
+    """Structural error in an IR module."""
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A named vector signal (input, wire or register output)."""
+
+    name: str
+    width: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise IRError(f"signal name {self.name!r} is not an identifier")
+        if not 1 <= self.width <= 64:
+            raise IRError(f"signal {self.name}: width must be in [1, 64], got {self.width}")
+
+
+class Expr:
+    """Base class of combinational expressions."""
+
+    def refs(self) -> Iterator[str]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.pretty()
+
+    def pretty(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, repr=False)
+class Const(Expr):
+    """A literal value."""
+
+    value: int
+
+    def refs(self) -> Iterator[str]:
+        return iter(())
+
+    def pretty(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, repr=False)
+class Ref(Expr):
+    """Reference to a signal by name."""
+
+    name: str
+
+    def refs(self) -> Iterator[str]:
+        yield self.name
+
+    def pretty(self) -> str:
+        return self.name
+
+
+_BIN_OPS = ("+", "-")
+_CMP_OPS = ("==", "!=", ">", ">=", "<", "<=")
+
+
+@dataclass(frozen=True, repr=False)
+class BinOp(Expr):
+    """Arithmetic: ``left op right`` with op in ``+``/``-``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _BIN_OPS:
+            raise IRError(f"unknown arithmetic op {self.op!r}")
+
+    def refs(self) -> Iterator[str]:
+        yield from self.left.refs()
+        yield from self.right.refs()
+
+    def pretty(self) -> str:
+        return f"({self.left.pretty()} {self.op} {self.right.pretty()})"
+
+
+@dataclass(frozen=True, repr=False)
+class Compare(Expr):
+    """Comparison producing a 1-bit result."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _CMP_OPS:
+            raise IRError(f"unknown comparison op {self.op!r}")
+
+    def refs(self) -> Iterator[str]:
+        yield from self.left.refs()
+        yield from self.right.refs()
+
+    def pretty(self) -> str:
+        return f"({self.left.pretty()} {self.op} {self.right.pretty()})"
+
+
+@dataclass(frozen=True, repr=False)
+class Mux(Expr):
+    """2:1 multiplexer: ``cond ? if_true : if_false``."""
+
+    cond: Expr
+    if_true: Expr
+    if_false: Expr
+
+    def refs(self) -> Iterator[str]:
+        yield from self.cond.refs()
+        yield from self.if_true.refs()
+        yield from self.if_false.refs()
+
+    def pretty(self) -> str:
+        return (
+            f"({self.cond.pretty()} ? {self.if_true.pretty()} "
+            f": {self.if_false.pretty()})"
+        )
+
+
+def smax(a: Expr, b: Expr) -> Expr:
+    """``max(a, b)`` as compare + mux — the figure-6 comparator idiom."""
+    return Mux(Compare(">=", a, b), a, b)
+
+
+@dataclass(frozen=True)
+class Assign:
+    """Combinational assignment: ``wire <name> = expr``."""
+
+    target: Signal
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Register:
+    """Clocked register: on each posedge, ``q <= enable ? d : q``.
+
+    ``enable`` of ``None`` means always-enabled.  ``init`` is the
+    reset/load value.
+    """
+
+    q: Signal
+    d: Expr
+    enable: Expr | None = None
+    init: int = 0
+
+
+@dataclass
+class Module:
+    """A flat RTL module: ports, wires, registers.
+
+    ``validate()`` checks name uniqueness, that every referenced
+    signal is declared, and that the combinational assignments form a
+    DAG (no combinational loops) — the properties the Verilog emitter
+    and the simulator both rely on.
+    """
+
+    name: str
+    inputs: list[Signal] = field(default_factory=list)
+    outputs: list[Signal] = field(default_factory=list)
+    wires: list[Assign] = field(default_factory=list)
+    registers: list[Register] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def signal_table(self) -> dict[str, Signal]:
+        table: dict[str, Signal] = {}
+        for sig in self.inputs:
+            table[sig.name] = sig
+        for assign in self.wires:
+            table[assign.target.name] = assign.target
+        for reg in self.registers:
+            table[reg.q.name] = reg.q
+        return table
+
+    def validate(self) -> None:
+        if not self.name.isidentifier():
+            raise IRError(f"module name {self.name!r} is not an identifier")
+        # Unique declarations.
+        declared: set[str] = set()
+        for sig in self.inputs:
+            if sig.name in declared:
+                raise IRError(f"duplicate declaration of {sig.name!r}")
+            declared.add(sig.name)
+        for assign in self.wires:
+            if assign.target.name in declared:
+                raise IRError(f"duplicate declaration of {assign.target.name!r}")
+            declared.add(assign.target.name)
+        for reg in self.registers:
+            if reg.q.name in declared:
+                raise IRError(f"duplicate declaration of {reg.q.name!r}")
+            declared.add(reg.q.name)
+        # Outputs must be declared somewhere.
+        for sig in self.outputs:
+            if sig.name not in declared:
+                raise IRError(f"output {sig.name!r} is never driven")
+        # All references resolve.
+        def check_refs(expr: Expr, context: str) -> None:
+            for name in expr.refs():
+                if name not in declared:
+                    raise IRError(f"{context} references undeclared signal {name!r}")
+
+        for assign in self.wires:
+            check_refs(assign.expr, f"wire {assign.target.name}")
+        for reg in self.registers:
+            check_refs(reg.d, f"register {reg.q.name}")
+            if reg.enable is not None:
+                check_refs(reg.enable, f"register {reg.q.name} enable")
+        # Combinational DAG: wire targets may only depend on inputs,
+        # register outputs, and earlier-computable wires.
+        self.wire_order()
+
+    def wire_order(self) -> list[Assign]:
+        """Topological order of combinational assignments.
+
+        Raises :class:`IRError` on a combinational loop.
+        """
+        stable = {s.name for s in self.inputs} | {r.q.name for r in self.registers}
+        by_target = {a.target.name: a for a in self.wires}
+        order: list[Assign] = []
+        state: dict[str, int] = {}  # 0 visiting, 1 done
+
+        def visit(name: str, stack: tuple[str, ...]) -> None:
+            if name in stable or name not in by_target:
+                return
+            if state.get(name) == 1:
+                return
+            if state.get(name) == 0:
+                raise IRError(
+                    "combinational loop through "
+                    + " -> ".join(stack + (name,))
+                )
+            state[name] = 0
+            for dep in by_target[name].expr.refs():
+                visit(dep, stack + (name,))
+            state[name] = 1
+            order.append(by_target[name])
+
+        for assign in self.wires:
+            visit(assign.target.name, ())
+        return order

@@ -1,0 +1,48 @@
+"""Hardware platform substrate: devices, boards, buses, hosts.
+
+Everything here is a *model* of the physical platform the paper
+prototypes on — capacity, bandwidth and throughput accounting that the
+accelerator simulator charges its runs against (see the substitution
+table in DESIGN.md).
+"""
+
+from .board import Board, TransferLog, prototype_board
+from .bus import PCI_32_33, PCI_64_66, HostBus
+from .catalog import TABLE1_ROWS, THIS_PAPER, ArchitectureModel
+from .device import DEVICES, XC2V6000, XC2VP70, XCV812E, XCV2000E, FPGADevice
+from .device import ResourceVector
+from .host import (
+    DEC_ALPHA_150,
+    PAPER_HOST,
+    PENTIUM_4_1_6G,
+    PENTIUM_III_1G,
+    HostCPU,
+    measure_host,
+)
+from .sram import BoardSRAM
+
+__all__ = [
+    "Board",
+    "TransferLog",
+    "prototype_board",
+    "HostBus",
+    "PCI_32_33",
+    "PCI_64_66",
+    "ArchitectureModel",
+    "TABLE1_ROWS",
+    "THIS_PAPER",
+    "FPGADevice",
+    "ResourceVector",
+    "DEVICES",
+    "XC2VP70",
+    "XC2V6000",
+    "XCV2000E",
+    "XCV812E",
+    "HostCPU",
+    "PAPER_HOST",
+    "DEC_ALPHA_150",
+    "PENTIUM_III_1G",
+    "PENTIUM_4_1_6G",
+    "measure_host",
+    "BoardSRAM",
+]

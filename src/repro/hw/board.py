@@ -1,0 +1,79 @@
+"""Board model: FPGA device + on-board SRAM + host bus.
+
+The unit of deployment in the paper — the accelerator object owns one
+of these and charges every host interaction against it: shipping the
+query and database down once, and the three-word result back up.  The
+E1 benchmark uses the accounting to reproduce the paper's section 6
+argument that transfers are milliseconds against a sub-second compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .bus import PCI_32_33, HostBus
+from .device import XC2VP70, FPGADevice
+from .sram import BoardSRAM
+
+__all__ = ["Board", "TransferLog", "prototype_board"]
+
+
+@dataclass
+class TransferLog:
+    """Accumulated host-board traffic for one comparison."""
+
+    bytes_down: int = 0  # host -> board (sequences)
+    bytes_up: int = 0  # board -> host (score + coordinates)
+    transfers: int = 0
+
+    def reset(self) -> None:
+        self.bytes_down = 0
+        self.bytes_up = 0
+        self.transfers = 0
+
+
+@dataclass
+class Board:
+    """One FPGA board as the host sees it."""
+
+    device: FPGADevice = XC2VP70
+    sram: BoardSRAM = field(default_factory=BoardSRAM)
+    bus: HostBus = PCI_32_33
+    log: TransferLog = field(default_factory=TransferLog)
+
+    def download(self, n_bytes: int) -> float:
+        """Send ``n_bytes`` host -> board; returns modeled seconds."""
+        self.log.bytes_down += n_bytes
+        self.log.transfers += 1
+        return self.bus.transfer_seconds(n_bytes)
+
+    def upload(self, n_bytes: int) -> float:
+        """Send ``n_bytes`` board -> host; returns modeled seconds."""
+        self.log.bytes_up += n_bytes
+        self.log.transfers += 1
+        return self.bus.transfer_seconds(n_bytes)
+
+    def check_database_fits(self, n_bases: int, partitioned: bool) -> None:
+        """Raise if the database segment cannot live in board SRAM.
+
+        The paper's design streams the database from on-board SRAM, so
+        a segment that does not fit must be split by the caller (with
+        column-boundary state the prototype does not implement); we
+        surface that limit instead of silently mismodelling it.
+        """
+        if not self.sram.fits(n_bases, partitioned):
+            raise ValueError(
+                f"database segment of {n_bases} bases does not fit board SRAM "
+                f"({self.sram.capacity_bytes} bytes"
+                f"{' incl. boundary row' if partitioned else ''}); "
+                f"max segment is {self.sram.max_segment(partitioned)} bases"
+            )
+
+
+def prototype_board(sram_mib: int = 8) -> Board:
+    """The paper's prototype: xc2vp70 + several-MB SRAM + PCI 32/33."""
+    return Board(
+        device=XC2VP70,
+        sram=BoardSRAM(capacity_bytes=sram_mib * 1024 * 1024),
+        bus=PCI_32_33,
+    )

@@ -1,0 +1,55 @@
+"""Host-board bus model (PCI in the paper's era).
+
+Section 3 names the host link as the classic FPGA bottleneck ("the
+communication speed is limited by the channel data rate (in many
+cases, the PCI)"), and section 6 argues the proposed design sidesteps
+it: the sequences go to the board once, and "only a few bytes need to
+be transferred to the host, and that can be done in few milliseconds
+through the PCI bus".  This model makes that argument quantitative —
+the E1 benchmark uses it to show transfer time is negligible against
+compute for the accelerator but would dominate for designs that ship
+the whole matrix back (the RC-BLAST failure mode of [19]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HostBus", "PCI_32_33", "PCI_64_66"]
+
+
+@dataclass(frozen=True)
+class HostBus:
+    """Bandwidth/latency model of the host-board channel.
+
+    ``bandwidth_bytes_s`` is the sustained unidirectional rate;
+    ``latency_s`` the fixed per-transfer setup cost (driver + DMA
+    programming), which dominates for the accelerator's three-word
+    result messages.
+    """
+
+    name: str
+    bandwidth_bytes_s: float
+    latency_s: float = 10e-6
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_s <= 0:
+            raise ValueError("bus bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError("bus latency cannot be negative")
+
+    def transfer_seconds(self, n_bytes: int) -> float:
+        """Time to move ``n_bytes`` in one transfer."""
+        if n_bytes < 0:
+            raise ValueError("cannot transfer a negative number of bytes")
+        if n_bytes == 0:
+            return 0.0
+        return self.latency_s + n_bytes / self.bandwidth_bytes_s
+
+
+#: Plain 32-bit/33 MHz PCI — the paper-era default (133 MB/s peak,
+#: ~90 MB/s sustained).
+PCI_32_33 = HostBus(name="PCI 32/33", bandwidth_bytes_s=90e6, latency_s=10e-6)
+
+#: 64-bit/66 MHz PCI, the "higher speed slots" of section 4's outlook.
+PCI_64_66 = HostBus(name="PCI 64/66", bandwidth_bytes_s=400e6, latency_s=10e-6)

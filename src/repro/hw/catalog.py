@@ -1,0 +1,181 @@
+"""Analytic models of the Table 1 related-work architectures.
+
+Table 1 of the paper compares four published FPGA designs (plus,
+implicitly, the paper's own) by device, sequence sizes, splicing
+support, speedup, baseline host, and whether an actual alignment is
+produced.  We cannot synthesize those boards either, so each row is an
+:class:`ArchitectureModel` built from the numbers its own publication
+reports (clock, element count, throughput, wall-clock), with derived
+quantities — implied host throughput, implied array efficiency —
+computed from first principles.  The T1 benchmark regenerates the
+table from these models and checks the derived columns are mutually
+consistent (ordering of speedups, efficiencies in (0, 1], hosts of the
+same CPU agreeing across rows).
+
+Derivations recorded here:
+
+* SAMBA [21]: 128 processors; 3 KBP x 2.1 MBP = 6.3e9 cells; software
+  280 min on a DEC Alpha 150 -> 0.375 MCUPS; speedup 83 -> SAMBA
+  ~202 s -> 31 MCUPS effective.
+* PROSIDIS [23]: 24 BP x 2 MBP; speedup 5.6 over a Pentium III 1 GHz.
+* Anish [2] (Table 1 row "[32]"): XC2V6000, affine gaps, 1.39 GCUPS
+  reported; speedup 170 over a Pentium 4 1.6 GHz -> host 8.2 MCUPS.
+* Yu et al. [37]: XCV2000E, 2 KBP x 64 MBP in 34 s -> 3.85 GCUPS
+  effective (their 5.76 GCUPS figure is the peak rate); speedup 330
+  over a Pentium III 1 GHz -> host 11.7 MCUPS.
+* This paper: xc2vp70, 100 elements at 144.9 MHz (14.49 GCUPS peak);
+  10 MBP x 100 BP in ~0.84 s -> 1.19 GCUPS effective; speedup 246.9
+  over a Pentium 4 3 GHz -> host 4.83 MCUPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .host import DEC_ALPHA_150, PAPER_HOST, PENTIUM_4_1_6G, PENTIUM_III_1G, HostCPU
+
+__all__ = ["ArchitectureModel", "TABLE1_ROWS", "THIS_PAPER"]
+
+
+@dataclass(frozen=True)
+class ArchitectureModel:
+    """One FPGA sequence-comparison design, as published.
+
+    ``effective_gcups`` is throughput on the row's actual workload
+    (wall-clock-derived); ``peak_gcups`` the elements x clock bound
+    where the element count and clock are public (else ``None``).
+    """
+
+    name: str
+    reference: str
+    device: str
+    query_len: int
+    database_len: int
+    splicing: bool
+    produces_alignment: bool
+    reported_speedup: float
+    host: HostCPU
+    effective_gcups: float
+    elements: int | None = None
+    clock_mhz: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.reported_speedup <= 0 or self.effective_gcups <= 0:
+            raise ValueError(f"{self.name}: speedup and throughput must be positive")
+
+    @property
+    def cells(self) -> int:
+        """Matrix cells of the row's workload."""
+        return self.query_len * self.database_len
+
+    @property
+    def peak_gcups(self) -> float | None:
+        """Elements x clock upper bound, when both are published."""
+        if self.elements is None or self.clock_mhz is None:
+            return None
+        return self.elements * self.clock_mhz * 1e6 / 1e9
+
+    @property
+    def efficiency(self) -> float | None:
+        """Effective / peak throughput — array utilization."""
+        peak = self.peak_gcups
+        if peak is None:
+            return None
+        return self.effective_gcups / peak
+
+    @property
+    def fpga_seconds(self) -> float:
+        """Wall-clock on the row's workload at the effective rate."""
+        return self.cells / (self.effective_gcups * 1e9)
+
+    @property
+    def implied_host_cups(self) -> float:
+        """Host throughput implied by the reported speedup."""
+        return self.effective_gcups * 1e9 / self.reported_speedup
+
+    def host_consistency(self) -> float:
+        """Ratio implied-host / catalog-host (1.0 = fully consistent).
+
+        The T1 benchmark asserts this stays within a small band — it
+        is the cross-check that the table's columns cohere.
+        """
+        return self.implied_host_cups / self.host.sw_cups
+
+
+#: The four related-work rows of Table 1, top to bottom.
+TABLE1_ROWS: tuple[ArchitectureModel, ...] = (
+    ArchitectureModel(
+        name="SAMBA",
+        reference="[21] Lavenier 1998",
+        device="SAMBA board",
+        query_len=3_000,
+        database_len=2_100_000,
+        splicing=True,
+        produces_alignment=False,
+        reported_speedup=83.0,
+        host=DEC_ALPHA_150,
+        effective_gcups=0.0312,  # 6.3e9 cells / 202 s
+        elements=128,
+        clock_mhz=10.0,
+    ),
+    ArchitectureModel(
+        name="PROSIDIS",
+        reference="[23] Marongiu et al. 2003",
+        device="xcv812e",
+        query_len=24,
+        database_len=2_000_000,
+        splicing=False,
+        produces_alignment=False,
+        reported_speedup=5.6,
+        host=PENTIUM_III_1G,
+        effective_gcups=0.0655,  # 5.6 x 11.7 MCUPS
+        elements=24,
+        clock_mhz=50.0,
+    ),
+    ArchitectureModel(
+        name="Affine-gap systolic",
+        reference="[2]/[32] Anish 2003",
+        device="xc2v6000",
+        query_len=1_512,
+        database_len=4_000_000,
+        splicing=True,
+        produces_alignment=False,
+        reported_speedup=170.0,
+        host=PENTIUM_4_1_6G,
+        effective_gcups=1.39,
+        elements=None,
+        clock_mhz=None,
+    ),
+    ArchitectureModel(
+        name="Multithreaded systolic",
+        reference="[37] Yu et al. 2003",
+        device="xcv2000e",
+        query_len=2_048,
+        database_len=64_000_000,
+        splicing=True,
+        produces_alignment=True,
+        reported_speedup=330.0,
+        host=PENTIUM_III_1G,
+        effective_gcups=3.85,  # 1.31e11 cells / 34 s
+        elements=None,
+        clock_mhz=None,
+    ),
+)
+
+#: The paper's own design, modelled the same way for the T1 bench's
+#: final row (not part of the published table, but the natural
+#: comparison the section-6 numbers support).
+THIS_PAPER = ArchitectureModel(
+    name="This paper",
+    reference="Boukerche et al. 2007",
+    device="xc2vp70",
+    query_len=100,
+    database_len=10_000_000,
+    splicing=True,
+    produces_alignment=False,
+    reported_speedup=246.9,
+    host=PAPER_HOST,
+    effective_gcups=1.192,  # 1e9 cells / 0.839 s
+    elements=100,
+    clock_mhz=144.9,
+)

@@ -1,0 +1,151 @@
+"""FPGA device catalog.
+
+Capacity figures for the devices the paper and its related work
+synthesize on (section 4, Table 1 and section 6).  Values are the
+vendor datasheet totals for the usual prototyping packages; they are
+the denominators of the utilization percentages in Table 2, so the
+resource model (:mod:`repro.core.resources`) reads its capacities from
+here.
+
+Sources: Xilinx Virtex-II Pro (DS083), Virtex-II (DS031) and Virtex-E
+(DS022) datasheets.  Each Virtex-family slice carries two 4-input LUTs
+and two flip-flops, hence ``flipflops == luts == 2 * slices`` for
+every catalog entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FPGADevice", "XC2VP70", "XC2V6000", "XCV2000E", "XCV812E", "DEVICES"]
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """Capacity of one FPGA part.
+
+    ``slices``/``flipflops``/``luts`` are the programmable-logic
+    totals; ``iobs`` the user I/O blocks of the reference package;
+    ``gclks`` the global clock buffers; ``bram_kbits`` the block-RAM
+    capacity (relevant to on-chip boundary-row storage).
+    """
+
+    name: str
+    family: str
+    slices: int
+    flipflops: int
+    luts: int
+    iobs: int
+    gclks: int
+    bram_kbits: int
+
+    def __post_init__(self) -> None:
+        if min(self.slices, self.flipflops, self.luts, self.iobs, self.gclks) <= 0:
+            raise ValueError(f"{self.name}: capacities must be positive")
+
+    def utilization(self, used: "ResourceVector") -> dict[str, float]:
+        """Fractional utilization of each resource class (0.0-1.0+)."""
+        return {
+            "slices": used.slices / self.slices,
+            "flipflops": used.flipflops / self.flipflops,
+            "luts": used.luts / self.luts,
+            "iobs": used.iobs / self.iobs,
+            "gclks": used.gclks / self.gclks,
+            "bram": used.bram_kbits / self.bram_kbits,
+        }
+
+    def fits(self, used: "ResourceVector") -> bool:
+        """True when every resource class fits on the device."""
+        return all(v <= 1.0 for v in self.utilization(used).values())
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """An amount of FPGA resources (used by a design).
+
+    ``bram_kbits`` covers block-RAM usage (protein substitution
+    tables, on-chip boundary rows); zero for the pure-logic DNA
+    element of the paper.
+    """
+
+    slices: int = 0
+    flipflops: int = 0
+    luts: int = 0
+    iobs: int = 0
+    gclks: int = 0
+    bram_kbits: int = 0
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.slices + other.slices,
+            self.flipflops + other.flipflops,
+            self.luts + other.luts,
+            self.iobs + other.iobs,
+            self.gclks + other.gclks,
+            self.bram_kbits + other.bram_kbits,
+        )
+
+    def scale(self, k: int) -> "ResourceVector":
+        """``k`` copies of this resource amount (k instances)."""
+        return ResourceVector(
+            self.slices * k,
+            self.flipflops * k,
+            self.luts * k,
+            self.iobs * k,
+            self.gclks * k,
+            self.bram_kbits * k,
+        )
+
+
+#: The paper's prototype device (section 6): Virtex-II Pro 70.
+XC2VP70 = FPGADevice(
+    name="xc2vp70",
+    family="Virtex-II Pro",
+    slices=33_088,
+    flipflops=66_176,
+    luts=66_176,
+    iobs=996,
+    gclks=16,
+    bram_kbits=5_904,
+)
+
+#: Device of the affine-gap design [2]/[32] in Table 1.
+XC2V6000 = FPGADevice(
+    name="xc2v6000",
+    family="Virtex-II",
+    slices=33_792,
+    flipflops=67_584,
+    luts=67_584,
+    iobs=1_104,
+    gclks=16,
+    bram_kbits=2_592,
+)
+
+#: Device of the multithreaded design [37] in Table 1.
+XCV2000E = FPGADevice(
+    name="xcv2000e",
+    family="Virtex-E",
+    slices=19_200,
+    flipflops=38_400,
+    luts=38_400,
+    iobs=804,
+    gclks=4,
+    bram_kbits=655,
+)
+
+#: Device of PROSIDIS [23] in Table 1 ("Xilinx XV" = Virtex-E 812).
+XCV812E = FPGADevice(
+    name="xcv812e",
+    family="Virtex-E EM",
+    slices=9_408,
+    flipflops=18_816,
+    luts=18_816,
+    iobs=556,
+    gclks=4,
+    bram_kbits=1_120,
+)
+
+#: Catalog by name, for configuration files and CLI-style lookup.
+DEVICES: dict[str, FPGADevice] = {
+    d.name: d for d in (XC2VP70, XC2V6000, XCV2000E, XCV812E)
+}

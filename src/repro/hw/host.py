@@ -1,0 +1,95 @@
+"""Host CPU model — the software side of every speedup in the paper.
+
+Speedups in Table 1 and section 6 are always "FPGA versus an optimized
+software implementation on some host".  The host model captures a
+named CPU together with its measured Smith-Waterman throughput in
+CUPS, so speedup predictions are explicit about their baseline (the
+paper's own fairness rule: "Only the CPU time must be taken in
+account... The software must do the same work as the FPGA").
+
+:data:`PAPER_HOST` is the paper's Pentium 4 3 GHz: 1e9 cells in
+~207 s -> 4.83 MCUPS, derived from the reported 246.9x speedup and
+the "more than 3 minutes" software time.  :func:`measure_host` times
+this machine's own NumPy baseline so measured-vs-modeled comparisons
+in EXPERIMENTS.md use a real number.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "HostCPU",
+    "PAPER_HOST",
+    "DEC_ALPHA_150",
+    "PENTIUM_III_1G",
+    "PENTIUM_4_1_6G",
+    "measure_host",
+]
+
+
+@dataclass(frozen=True)
+class HostCPU:
+    """A named host with a calibrated software alignment throughput.
+
+    ``sw_cups`` is cell updates per second for the *score-and-
+    coordinates only* computation (the work the FPGA does — no
+    traceback, no I/O), the like-for-like baseline the paper insists
+    on.
+    """
+
+    name: str
+    clock_ghz: float
+    sw_cups: float
+
+    def __post_init__(self) -> None:
+        if self.clock_ghz <= 0 or self.sw_cups <= 0:
+            raise ValueError(f"{self.name}: clock and throughput must be positive")
+
+    def seconds_for_cells(self, cells: int) -> float:
+        """Predicted software wall-clock for ``cells`` matrix cells."""
+        if cells < 0:
+            raise ValueError("cell count cannot be negative")
+        return cells / self.sw_cups
+
+    def speedup_against(self, accelerator_seconds: float, cells: int) -> float:
+        """Speedup of an accelerator run over this host."""
+        if accelerator_seconds <= 0:
+            raise ValueError("accelerator time must be positive")
+        return self.seconds_for_cells(cells) / accelerator_seconds
+
+
+#: Section 6 baseline: optimized C on a Pentium 4 3 GHz, 512 MB.
+#: 4.83 MCUPS = 1e9 cells / 207.1 s (back-computed; see module docs).
+PAPER_HOST = HostCPU(name="Pentium 4 3 GHz", clock_ghz=3.0, sw_cups=4.83e6)
+
+#: Table 1 hosts (throughputs back-computed from each row's reported
+#: speedup and the corresponding design's throughput — see
+#: :mod:`repro.hw.catalog` for the derivations).
+DEC_ALPHA_150 = HostCPU(name="DEC Alpha 150 MHz", clock_ghz=0.15, sw_cups=3.75e5)
+PENTIUM_III_1G = HostCPU(name="Pentium III 1 GHz", clock_ghz=1.0, sw_cups=11.7e6)
+PENTIUM_4_1_6G = HostCPU(name="Pentium 4 1.6 GHz", clock_ghz=1.6, sw_cups=8.2e6)
+
+
+def measure_host(cells_target: int = 4_000_000, name: str = "this machine") -> HostCPU:
+    """Measure this machine's software locate throughput.
+
+    Times :func:`repro.baselines.software.locate_numpy` on a synthetic
+    pair sized to roughly ``cells_target`` cells and returns a
+    :class:`HostCPU` with the measured CUPS.  Used by the E1 benchmark
+    so the "software side" of the reproduced speedup is a genuine
+    measurement, not a constant.
+    """
+    from ..baselines.software import locate_numpy
+    from ..io.generate import random_dna
+
+    m = 100
+    n = max(1, cells_target // m)
+    s = random_dna(m, seed=17)
+    t = random_dna(n, seed=23)
+    start = time.perf_counter()
+    locate_numpy(s, t)
+    elapsed = time.perf_counter() - start
+    cups = (m * n) / max(elapsed, 1e-9)
+    return HostCPU(name=name, clock_ghz=1.0, sw_cups=cups)

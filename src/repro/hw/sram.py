@@ -1,0 +1,74 @@
+"""Board SRAM model.
+
+Section 5: "a large database sequence can be put in the FPGA board
+SRAM memory that can handle several megabytes in most modern models".
+The SRAM plays two roles in the design:
+
+* it holds the streamed database segment (one byte per base here; the
+  real design could pack 2-bit DNA codes, which the model exposes via
+  ``bits_per_base``), and
+* when the query is partitioned, it holds the **boundary row** of
+  scores between chunk passes (figure 7) — the linear-space state that
+  replaces the quadratic matrix.
+
+The model does capacity accounting and read-stream timing; it does not
+simulate cell-level storage (contents are carried by the simulator's
+NumPy arrays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BoardSRAM"]
+
+
+@dataclass(frozen=True)
+class BoardSRAM:
+    """Capacity/bandwidth model of the on-board SRAM.
+
+    ``capacity_bytes`` defaults to 8 MiB ("several megabytes");
+    ``words_per_cycle`` is how many database bases the memory can feed
+    the array per clock — 1 sustains the systolic stream, which is why
+    the architecture never starves.
+    """
+
+    capacity_bytes: int = 8 * 1024 * 1024
+    words_per_cycle: float = 1.0
+    bits_per_base: int = 8
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("SRAM capacity must be positive")
+        if self.words_per_cycle <= 0:
+            raise ValueError("SRAM must supply at least a fraction of a word per cycle")
+        if self.bits_per_base not in (2, 4, 8):
+            raise ValueError(f"bits_per_base must be 2, 4 or 8, got {self.bits_per_base}")
+
+    def database_bytes(self, n_bases: int) -> int:
+        """Bytes needed to store an ``n_bases`` database segment."""
+        return (n_bases * self.bits_per_base + 7) // 8
+
+    def boundary_row_bytes(self, n_bases: int, bytes_per_score: int = 4) -> int:
+        """Bytes for the inter-chunk boundary row (figure 7)."""
+        return (n_bases + 1) * bytes_per_score
+
+    def fits(self, n_bases: int, partitioned: bool, bytes_per_score: int = 4) -> bool:
+        """Can a database segment (plus boundary row if partitioned)
+        live on board?"""
+        need = self.database_bytes(n_bases)
+        if partitioned:
+            need += self.boundary_row_bytes(n_bases, bytes_per_score)
+        return need <= self.capacity_bytes
+
+    def max_segment(self, partitioned: bool, bytes_per_score: int = 4) -> int:
+        """Largest database segment the board can hold at once."""
+        if not partitioned:
+            return self.capacity_bytes * 8 // self.bits_per_base
+        # bases * bits/8 + (bases + 1) * bytes_per_score <= capacity
+        per_base = self.bits_per_base / 8 + bytes_per_score
+        return int((self.capacity_bytes - bytes_per_score) / per_base)
+
+    def stream_cycles(self, n_bases: int) -> int:
+        """Clocks to stream a segment into the array once."""
+        return int(-(-n_bases // self.words_per_cycle))

@@ -1,0 +1,35 @@
+"""Workload I/O: FASTA files and seeded synthetic generators."""
+
+from .fasta import FastaRecord, parse_fasta, read_fasta, write_fasta
+from .matrices import parse_matrix, read_matrix, write_matrix
+from .sam import mapq_from_gap, to_sam
+from .generate import (
+    PlantedPair,
+    adversarial_pairs,
+    mutate,
+    mutated_pair,
+    planted_multi,
+    planted_pair,
+    random_dna,
+    random_protein,
+)
+
+__all__ = [
+    "FastaRecord",
+    "parse_fasta",
+    "read_fasta",
+    "write_fasta",
+    "random_dna",
+    "random_protein",
+    "mutate",
+    "mutated_pair",
+    "PlantedPair",
+    "planted_pair",
+    "planted_multi",
+    "adversarial_pairs",
+    "to_sam",
+    "mapq_from_gap",
+    "parse_matrix",
+    "read_matrix",
+    "write_matrix",
+]

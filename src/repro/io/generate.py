@@ -1,0 +1,230 @@
+"""Seeded synthetic workload generators.
+
+The paper evaluates on DNA sequences whose *content* is irrelevant to
+performance (every matrix cell is computed regardless) but matters for
+correctness.  These generators produce:
+
+* uniform random DNA/protein of a given length (performance
+  workloads),
+* **mutated pairs** — a sequence and a noisy copy, the realistic
+  correctness workload where strong local alignments exist,
+* **planted-alignment pairs** — two unrelated sequences sharing one
+  implanted common fragment, so tests know roughly where the best
+  local alignment must fall,
+* adversarial inputs (all-same-letter, alternating, shared-prefix)
+  that historically break DP bookkeeping.
+
+Everything takes an explicit ``seed`` and uses a private
+``numpy.random.Generator``, so workloads are reproducible across
+machines and no generator touches global random state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..align.scoring import DNA_ALPHABET, PROTEIN_ALPHABET
+
+__all__ = [
+    "random_dna",
+    "random_protein",
+    "mutate",
+    "mutated_pair",
+    "PlantedPair",
+    "planted_pair",
+    "adversarial_pairs",
+]
+
+
+def _random_seq(length: int, alphabet: str, rng: np.random.Generator) -> str:
+    if length < 0:
+        raise ValueError(f"length must be non-negative, got {length}")
+    if length == 0:
+        return ""
+    codes = rng.integers(0, len(alphabet), size=length)
+    return "".join(alphabet[c] for c in codes)
+
+
+def random_dna(length: int, seed: int = 0) -> str:
+    """Uniform random DNA of ``length`` bases."""
+    return _random_seq(length, DNA_ALPHABET, np.random.default_rng(seed))
+
+
+def random_protein(length: int, seed: int = 0) -> str:
+    """Uniform random protein of ``length`` residues."""
+    return _random_seq(length, PROTEIN_ALPHABET, np.random.default_rng(seed))
+
+
+def mutate(
+    sequence: str,
+    rate: float = 0.1,
+    indel_fraction: float = 0.3,
+    seed: int = 0,
+    alphabet: str = DNA_ALPHABET,
+) -> str:
+    """A noisy copy of ``sequence``.
+
+    Each position independently mutates with probability ``rate``; a
+    mutation is an insertion or deletion with probability
+    ``indel_fraction`` (split evenly), otherwise a substitution to a
+    different letter.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must be in [0, 1], got {rate}")
+    if not 0.0 <= indel_fraction <= 1.0:
+        raise ValueError(f"indel_fraction must be in [0, 1], got {indel_fraction}")
+    rng = np.random.default_rng(seed)
+    out: list[str] = []
+    for ch in sequence:
+        if rng.random() >= rate:
+            out.append(ch)
+            continue
+        kind = rng.random()
+        if kind < indel_fraction / 2:  # deletion
+            continue
+        if kind < indel_fraction:  # insertion (keep original too)
+            out.append(alphabet[rng.integers(0, len(alphabet))])
+            out.append(ch)
+            continue
+        # substitution to a *different* letter
+        choices = [c for c in alphabet if c != ch]
+        out.append(choices[rng.integers(0, len(choices))])
+    return "".join(out)
+
+
+def mutated_pair(
+    length: int, rate: float = 0.1, seed: int = 0, alphabet: str = DNA_ALPHABET
+) -> tuple[str, str]:
+    """A random sequence and a mutated copy (correctness workload)."""
+    rng = np.random.default_rng(seed)
+    s = _random_seq(length, alphabet, rng)
+    t = mutate(s, rate=rate, seed=seed + 1, alphabet=alphabet)
+    return s, t
+
+
+@dataclass(frozen=True)
+class PlantedPair:
+    """Two sequences sharing one implanted fragment.
+
+    ``s_pos``/``t_pos`` are the 0-based offsets of the fragment in
+    each sequence; the best local alignment is expected to overlap
+    these spans (exactly, when the background is mismatch-rich).
+    """
+
+    s: str
+    t: str
+    fragment: str
+    s_pos: int
+    t_pos: int
+
+
+def planted_pair(
+    s_len: int,
+    t_len: int,
+    fragment_len: int,
+    seed: int = 0,
+    mutation_rate: float = 0.0,
+) -> PlantedPair:
+    """Unrelated backgrounds with one shared fragment planted in each.
+
+    The fragment copy in ``t`` can optionally be mutated to exercise
+    near-exact repeats.  Fragment length must fit in both sequences.
+    """
+    if fragment_len > min(s_len, t_len):
+        raise ValueError(
+            f"fragment of {fragment_len} does not fit in {s_len}/{t_len}"
+        )
+    rng = np.random.default_rng(seed)
+    fragment = _random_seq(fragment_len, DNA_ALPHABET, rng)
+    s_bg = _random_seq(s_len, DNA_ALPHABET, rng)
+    t_bg = _random_seq(t_len, DNA_ALPHABET, rng)
+    s_pos = int(rng.integers(0, s_len - fragment_len + 1))
+    t_pos = int(rng.integers(0, t_len - fragment_len + 1))
+    t_fragment = (
+        mutate(fragment, rate=mutation_rate, seed=seed + 7)
+        if mutation_rate > 0
+        else fragment
+    )
+    s = s_bg[:s_pos] + fragment + s_bg[s_pos + fragment_len :]
+    t = t_bg[:t_pos] + t_fragment + t_bg[t_pos + len(t_fragment) :]
+    # Clamp t if the mutated fragment changed length.
+    t = t[:t_len] if len(t) > t_len else t
+    return PlantedPair(s=s, t=t, fragment=fragment, s_pos=s_pos, t_pos=t_pos)
+
+
+def planted_multi(
+    s_len: int,
+    t_len: int,
+    fragment_lens: tuple[int, ...] = (40, 30),
+    seed: int = 0,
+) -> tuple[str, str, list[tuple[str, int, int]]]:
+    """Two sequences sharing several disjoint implanted fragments.
+
+    The near-best workload: each fragment appears once in ``s`` and
+    once in ``t``.  Fragments are placed in *opposite orders* in the
+    two sequences (first fragment early in ``s`` but late in ``t``),
+    so no single alignment — which must be monotone in both
+    coordinates — can chain two fragments together; each one is a
+    separate local optimum.  Returns ``(s, t, plants)`` with
+    ``plants`` a list of ``(fragment, s_pos, t_pos)``.
+    """
+    total = sum(fragment_lens) + 4 * len(fragment_lens)
+    if total > min(s_len, t_len):
+        raise ValueError(
+            f"fragments of total {total} (with spacing) do not fit in {s_len}/{t_len}"
+        )
+    rng = np.random.default_rng(seed)
+    s = list(_random_seq(s_len, DNA_ALPHABET, rng))
+    t = list(_random_seq(t_len, DNA_ALPHABET, rng))
+    fragments = [_random_seq(length, DNA_ALPHABET, rng) for length in fragment_lens]
+    s_positions: list[int] = []
+    cursor = 2
+    for fragment in fragments:
+        s[cursor : cursor + len(fragment)] = fragment
+        s_positions.append(cursor)
+        cursor += len(fragment) + 4
+    t_positions: list[int] = [0] * len(fragments)
+    cursor = 2
+    for idx in reversed(range(len(fragments))):
+        fragment = fragments[idx]
+        t[cursor : cursor + len(fragment)] = fragment
+        t_positions[idx] = cursor
+        cursor += len(fragment) + 4
+    plants = [
+        (fragment, s_pos, t_pos)
+        for fragment, s_pos, t_pos in zip(fragments, s_positions, t_positions)
+    ]
+    return "".join(s), "".join(t), plants
+
+
+def adversarial_pairs() -> list[tuple[str, str, str]]:
+    """Named inputs that stress DP bookkeeping edge cases.
+
+    Returned as ``(name, s, t)`` triples; used by parametrized tests
+    across every implementation (oracle, kernels, emulator, RTL).
+    """
+    return [
+        ("paper_fig1", "ACTTGTCCG", "ATTGTCAGG"),
+        ("paper_fig2", "TATGGAC", "TAGTGACT"),
+        ("paper_fig5", "ACGC", "ACTA"),
+        ("identical", "ACGTACGT", "ACGTACGT"),
+        ("disjoint", "AAAA", "GGGG"),
+        ("all_same_both", "AAAAAA", "AAAA"),
+        ("single_vs_single_match", "A", "A"),
+        ("single_vs_single_miss", "A", "C"),
+        ("alternating", "ACACACACAC", "CACACACA"),
+        ("prefix", "ACGTACGTAA", "ACGT"),
+        ("suffix", "TTACGT", "ACGT"),
+        ("t_longer", "ACG", "TTTTACGTTTT"),
+        ("s_longer", "TTTTACGTTTT", "ACG"),
+        ("repeat_rich", "ATATATATGCGCGCGC", "TATATATACGCGCGCG"),
+        ("late_best", "GGGGGGACGT", "TTTTTTACGT"),
+        ("homopolymer_vs_mixed", "AAAAAAAAAAAA", "AAGAAGAAGAAG"),
+        ("period_phase_shift", "ACGACGACGACG", "CGACGACGACGA"),
+        ("palindrome", "ACGTTGCA", "ACGTTGCA"[::-1]),
+        ("single_long", "A", "ACACACACACACACACAC"),
+        ("two_islands", "ACGTTTTTGGCC", "ACGAAAAAGGCC"),
+        ("gap_ladder", "ACGT", "AXCXGXTX".replace("X", "T")),
+    ]

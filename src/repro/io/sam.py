@@ -1,0 +1,95 @@
+"""SAM output for mapping results.
+
+The de-facto interchange format for read placements; emitting it makes
+:mod:`repro.mapping` a drop-in data producer for downstream genomics
+tooling (samtools, IGV).  Only the subset the mapper produces is
+written: header (``@HD``, ``@SQ``, ``@PG``), one alignment line per
+read with flag 0/16 (strand) or 4 (unmapped), 1-based ``POS``, a MAPQ
+derived from the score margin, and the CIGAR from the actual
+alignment.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..mapping import MappedRead
+
+__all__ = ["mapq_from_gap", "to_sam"]
+
+#: SAM flag bits used here.
+FLAG_UNMAPPED = 4
+FLAG_REVERSE = 16
+
+
+def mapq_from_gap(score_gap: int, cap: int = 60) -> int:
+    """Mapping quality from the best-vs-second score margin.
+
+    The standard semantics (MAPQ = -10 log10 P(misplaced)) need a
+    probability model; the universal engineering approximation scales
+    the score margin and caps at 60.  A zero margin (perfect repeat)
+    maps to 0, matching the convention that MAPQ 0 = ambiguous.
+    """
+    if score_gap <= 0:
+        return 0
+    return min(cap, 3 * score_gap)
+
+
+def to_sam(
+    reads: Iterable[MappedRead],
+    reference_name: str = "ref",
+    reference_length: int = 0,
+    program: str = "repro-map",
+) -> str:
+    """Serialize mapped reads as SAM text.
+
+    ``reference_length`` belongs in the ``@SQ`` header; pass the real
+    length (0 is tolerated but non-conformant, flagged in tests).
+    """
+    lines = [
+        "@HD\tVN:1.6\tSO:unknown",
+        f"@SQ\tSN:{reference_name}\tLN:{reference_length}",
+        f"@PG\tID:{program}\tPN:{program}",
+    ]
+    for read in reads:
+        if not read.mapped:
+            lines.append(
+                "\t".join(
+                    (
+                        read.name or "*",
+                        str(FLAG_UNMAPPED),
+                        "*",
+                        "0",
+                        "0",
+                        "*",
+                        "*",
+                        "0",
+                        "0",
+                        "*",
+                        "*",
+                    )
+                )
+            )
+            continue
+        flag = FLAG_REVERSE if read.strand == "-" else 0
+        cigar = read.alignment.cigar() if read.alignment is not None else "*"
+        seq = read.alignment.s_slice if read.alignment is not None else "*"
+        lines.append(
+            "\t".join(
+                (
+                    read.name or "*",
+                    str(flag),
+                    reference_name,
+                    str(read.position + 1),  # SAM POS is 1-based
+                    str(mapq_from_gap(read.mapq_gap)),
+                    cigar,
+                    "*",
+                    "0",
+                    "0",
+                    seq,
+                    "*",
+                    f"AS:i:{read.score}",
+                )
+            )
+        )
+    return "\n".join(lines) + "\n"

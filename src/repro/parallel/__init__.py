@@ -1,0 +1,19 @@
+"""Parallel wavefront substrate: figure 3 and the cluster algorithms
+the accelerator integrates with (section 2.4)."""
+
+from .cluster import ClusterConfig, ClusterRun, Message, WavefrontCluster, accelerated_config
+from .wavefront import BlockResult, WavefrontSchedule, block_sweep
+from .zalign import ZAlignResult, zalign
+
+__all__ = [
+    "block_sweep",
+    "BlockResult",
+    "WavefrontSchedule",
+    "WavefrontCluster",
+    "ClusterConfig",
+    "ClusterRun",
+    "Message",
+    "accelerated_config",
+    "zalign",
+    "ZAlignResult",
+]

@@ -1,0 +1,168 @@
+"""Wavefront decomposition of the similarity matrix (figure 3).
+
+The non-uniform dependency pattern of equation (1) admits parallelism
+along anti-diagonals: cell ``(i, j)`` needs ``(i-1, j-1)``,
+``(i-1, j)`` and ``(i, j-1)``, so every cell of one anti-diagonal is
+independent.  Figure 3 shows the classical cluster realization: each
+processor owns a block of *columns* and the computation ripples
+through block-rows as border columns are passed along.
+
+This module provides the two building blocks the cluster simulator
+(:mod:`repro.parallel.cluster`) composes:
+
+* :func:`block_sweep` — exact Smith-Waterman DP over one rectangular
+  block given its top row and left column boundaries (the state a
+  cluster node receives from its neighbours).  The global matrix can
+  be tiled into any grid of such blocks and recomposed exactly — the
+  tests sweep random tilings against the monolithic kernel.
+* :class:`WavefrontSchedule` — the analytic schedule of figure 3:
+  which blocks are active at each step, the pipeline fill/drain, and
+  the resulting parallel speedup bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..align.scoring import DEFAULT_DNA, LinearScoring, SubstitutionMatrix
+from ..align.smith_waterman import LocalHit
+
+__all__ = ["BlockResult", "block_sweep", "WavefrontSchedule"]
+
+
+@dataclass(frozen=True)
+class BlockResult:
+    """Output state of one block: exactly what a node sends onward.
+
+    ``bottom_row`` has width ``w + 1`` — index 0 is the block's
+    bottom-left *corner* (the diagonal input of the block below-left
+    neighbour's successor); ``right_col`` has height ``h`` (rows top
+    to bottom at the block's last column).  ``best`` is in 1-based
+    *block-local* coordinates, ``LocalHit(0, 0, 0)`` when no positive
+    cell exists.
+    """
+
+    bottom_row: np.ndarray
+    right_col: np.ndarray
+    best: LocalHit
+
+
+def block_sweep(
+    s_block: np.ndarray,
+    t_block: np.ndarray,
+    top_row: np.ndarray,
+    left_col: np.ndarray,
+    corner: int,
+    scheme: LinearScoring | SubstitutionMatrix = DEFAULT_DNA,
+) -> BlockResult:
+    """Exact SW DP over one tile of the similarity matrix.
+
+    Parameters
+    ----------
+    s_block, t_block:
+        Encoded sequence slices covered by this tile (height ``h``,
+        width ``w``).
+    top_row:
+        The ``w`` matrix values directly above the tile.
+    left_col:
+        The ``h`` matrix values directly left of the tile.
+    corner:
+        The single value diagonally above-left of the tile.
+    scheme:
+        Linear-gap scoring scheme.
+
+    For tiles on the matrix border the boundaries are all zeros
+    (Smith-Waterman row/column 0).  The within-row dependency is
+    resolved with the same max-plus scan as the monolithic kernel,
+    seeded at ``k = 0`` with the left-boundary value, so arbitrary
+    boundaries — not just zeros — are exact.
+    """
+    h, w = len(s_block), len(t_block)
+    if top_row.shape != (w,):
+        raise ValueError(f"top_row must have length {w}, got {top_row.shape}")
+    if left_col.shape != (h,):
+        raise ValueError(f"left_col must have length {h}, got {left_col.shape}")
+    gap = scheme.gap
+    steps = gap * np.arange(0, w + 1, dtype=np.int64)
+    prev = np.empty(w + 1, dtype=np.int64)
+    prev[0] = corner
+    prev[1:] = top_row
+    right_col = np.empty(h, dtype=np.int64)
+    best = LocalHit(0, 0, 0)
+    cur = np.empty(w + 1, dtype=np.int64)
+    hk = np.empty(w + 1, dtype=np.int64)
+    for i in range(1, h + 1):
+        pair_row = scheme.pair_vector(int(s_block[i - 1]), t_block)
+        hvals = np.maximum(prev[:-1] + pair_row, prev[1:] + gap)
+        np.maximum(hvals, 0, out=hvals)
+        hk[0] = left_col[i - 1]
+        hk[1:] = hvals
+        cur[:] = np.maximum.accumulate(hk - steps) + steps
+        cur[0] = left_col[i - 1]
+        if w:
+            row_best_j = int(np.argmax(cur[1:])) + 1
+            row_best = int(cur[row_best_j])
+            if row_best > best.score:
+                best = LocalHit(row_best, i, row_best_j)
+        right_col[i - 1] = cur[w]
+        prev, cur = cur, prev
+    return BlockResult(bottom_row=prev.copy(), right_col=right_col, best=best)
+
+
+@dataclass(frozen=True)
+class WavefrontSchedule:
+    """Analytic block-wavefront schedule (figure 3).
+
+    A grid of ``row_blocks x col_blocks`` tiles where tile ``(r, c)``
+    depends on ``(r-1, c)``, ``(r, c-1)`` and ``(r-1, c-1)``: tile
+    ``(r, c)`` executes at step ``r + c`` (0-based), so the schedule
+    length is ``row_blocks + col_blocks - 1`` steps — the pipeline
+    fill and drain visible in figures 3.a-3.c.
+    """
+
+    row_blocks: int
+    col_blocks: int
+
+    def __post_init__(self) -> None:
+        if self.row_blocks < 1 or self.col_blocks < 1:
+            raise ValueError("block grid must be at least 1 x 1")
+
+    @property
+    def steps(self) -> int:
+        """Parallel steps to complete the grid."""
+        return self.row_blocks + self.col_blocks - 1
+
+    def active_blocks(self, step: int) -> list[tuple[int, int]]:
+        """Tiles executing at ``step`` (the grey anti-diagonal)."""
+        if not 0 <= step < self.steps:
+            raise ValueError(f"step {step} outside schedule of {self.steps}")
+        return [
+            (r, step - r)
+            for r in range(
+                max(0, step - self.col_blocks + 1), min(step, self.row_blocks - 1) + 1
+            )
+        ]
+
+    def max_parallelism(self) -> int:
+        """Largest number of simultaneously active tiles."""
+        return min(self.row_blocks, self.col_blocks)
+
+    def efficiency(self, processors: int) -> float:
+        """Useful fraction of processor-steps with ``processors``
+        workers, one column block per worker (figure 3's layout:
+        ``col_blocks == processors``).
+
+        Total work is ``row_blocks * col_blocks`` tile executions;
+        elapsed steps is the schedule length, each costing
+        ``processors`` processor-steps.
+        """
+        if processors < 1:
+            raise ValueError("need at least one processor")
+        work = self.row_blocks * self.col_blocks
+        return work / (self.steps * processors)
+
+    def speedup(self, processors: int) -> float:
+        """Ideal wavefront speedup with ``processors`` workers."""
+        return self.efficiency(processors) * processors

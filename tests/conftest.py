@@ -1,0 +1,77 @@
+"""Shared fixtures and hypothesis strategies for the test-suite.
+
+The strategies encode the repository's input domain:
+
+* ``dna_text`` — DNA strings over ACGT (possibly empty variants);
+* ``dna_pair`` / ``related_pair`` — independent and mutated pairs;
+* ``linear_schemes`` — valid linear scoring schemes (match > 0,
+  mismatch < match, gap < 0) so property tests cover the scheme space
+  rather than only the paper's +1/-1/-2.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings, strategies as st
+
+from repro.align.scoring import DNA_ALPHABET, LinearScoring
+
+# Conservative global profile: deterministic, no deadline flakiness on
+# slow CI boxes, moderate example counts (the kernels are O(mn)).
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+settings.load_profile("repro")
+
+
+def dna_text(min_size: int = 0, max_size: int = 40) -> st.SearchStrategy[str]:
+    """Strategy for DNA strings."""
+    return st.text(alphabet=DNA_ALPHABET, min_size=min_size, max_size=max_size)
+
+
+@st.composite
+def dna_pair(draw, min_size: int = 1, max_size: int = 32):
+    """Two independent DNA strings."""
+    s = draw(dna_text(min_size, max_size))
+    t = draw(dna_text(min_size, max_size))
+    return s, t
+
+
+@st.composite
+def related_pair(draw, min_size: int = 4, max_size: int = 32):
+    """A DNA string and a noisy copy — strong alignments exist."""
+    s = draw(dna_text(min_size, max_size))
+    # Edit the copy: swap a few positions to other letters.
+    t_chars = list(s)
+    n_edits = draw(st.integers(0, max(1, len(s) // 4)))
+    for _ in range(n_edits):
+        pos = draw(st.integers(0, len(t_chars) - 1))
+        t_chars[pos] = draw(st.sampled_from(DNA_ALPHABET))
+    return s, "".join(t_chars)
+
+
+@st.composite
+def linear_schemes(draw):
+    """Valid linear scoring schemes."""
+    match = draw(st.integers(1, 5))
+    mismatch = draw(st.integers(-5, 0))
+    gap = draw(st.integers(-6, -1))
+    return LinearScoring(match=match, mismatch=mismatch, gap=gap)
+
+
+@pytest.fixture
+def paper_pair() -> tuple[str, str]:
+    """The figure 2 sequences."""
+    return "TATGGAC", "TAGTGACT"
+
+
+@pytest.fixture
+def mutated_120() -> tuple[str, str]:
+    """A 120-base mutated pair used by several integration tests."""
+    from repro.io.generate import mutated_pair
+
+    return mutated_pair(120, rate=0.15, seed=42)

@@ -1,0 +1,128 @@
+"""Tests for the high-level accelerator driver (hardware/software co-design)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.scoring import LinearScoring
+from repro.align.smith_waterman import LocalHit, sw_locate_best
+from repro.core.accelerator import RESULT_BYTES, SWAccelerator
+from repro.core.timing import PAPER_CLOCK
+from repro.hw.board import prototype_board
+from repro.hw.sram import BoardSRAM
+from repro.io.generate import adversarial_pairs, mutated_pair
+
+from conftest import dna_pair
+
+
+class TestEngines:
+    @pytest.mark.parametrize("name,s,t", adversarial_pairs())
+    def test_rtl_equals_emulator_equals_software(self, name, s, t):
+        expected = sw_locate_best(s, t)
+        for engine in ("emulator", "rtl"):
+            acc = SWAccelerator(elements=3, engine=engine)
+            assert acc.run(s, t).hit == expected, engine
+
+    @given(dna_pair(1, 24), st.integers(1, 9))
+    @settings(max_examples=25)
+    def test_rtl_equals_emulator_property(self, pair, elements):
+        s, t = pair
+        rtl = SWAccelerator(elements=elements, engine="rtl").run(s, t).hit
+        emu = SWAccelerator(elements=elements, engine="emulator").run(s, t).hit
+        assert rtl == emu == sw_locate_best(s, t)
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(ValueError, match="engine"):
+            SWAccelerator(engine="verilog")
+
+    def test_zero_elements_raises(self):
+        with pytest.raises(ValueError, match="at least one element"):
+            SWAccelerator(elements=0)
+
+
+class TestRunAccounting:
+    def test_cells_and_plan(self):
+        s, t = mutated_pair(150, seed=3)
+        acc = SWAccelerator(elements=64)
+        run = acc.run(s, t)
+        assert run.cells == len(s) * len(t)
+        assert run.plan.passes == -(-len(s) // 64)
+
+    def test_device_seconds_positive_and_gcups(self):
+        s, t = mutated_pair(100, seed=4)
+        run = SWAccelerator(elements=100).run(s, t)
+        assert run.device_seconds > 0
+        assert run.gcups > 0
+
+    def test_total_includes_transfers(self):
+        s, t = mutated_pair(80, seed=5)
+        run = SWAccelerator(elements=50).run(s, t)
+        assert run.total_seconds == pytest.approx(
+            run.device_seconds + run.download_seconds + run.upload_seconds
+        )
+        assert run.download_seconds > 0
+        assert run.upload_seconds > 0
+
+    def test_transfer_log_updated(self):
+        board = prototype_board()
+        acc = SWAccelerator(elements=10, board=board)
+        acc.run("ACGT" * 5, "ACGT" * 10)
+        assert board.log.bytes_up == RESULT_BYTES
+        assert board.log.bytes_down >= 20 + 40
+        assert board.log.transfers == 2
+
+    def test_result_is_a_few_bytes(self):
+        # Section 6: "only a few bytes need to be transferred to the
+        # host".
+        assert RESULT_BYTES <= 16
+
+    def test_paper_clock_run_predicts_prototype(self):
+        acc = SWAccelerator(elements=100, clock=PAPER_CLOCK)
+        run = acc.run("A" * 100, "ACGT" * 250)
+        # 100x1000 cells at ~12.16 cycles/step, 144.9 MHz.
+        expected = (1000 + 99) * 12.16 / 144.9e6
+        assert run.timing.compute_seconds == pytest.approx(expected, rel=1e-6)
+
+    def test_empty_inputs(self):
+        run = SWAccelerator(elements=4).run("", "")
+        assert run.hit == LocalHit(0, 0, 0)
+        assert run.cells == 0
+
+
+class TestCapacity:
+    def test_database_must_fit_sram(self):
+        tiny = prototype_board()
+        tiny.sram = BoardSRAM(capacity_bytes=64)
+        acc = SWAccelerator(elements=4, board=tiny)
+        with pytest.raises(ValueError, match="does not fit board SRAM"):
+            acc.run("ACGT", "A" * 100)
+
+    def test_partitioned_run_needs_boundary_space(self):
+        # Partitioned queries also store the boundary row on board.
+        board = prototype_board()
+        board.sram = BoardSRAM(capacity_bytes=120)
+        acc = SWAccelerator(elements=4, board=board)
+        # 100-base db fits alone (100 bytes) but not with the 404-byte
+        # boundary row needed by the 8-row query.
+        with pytest.raises(ValueError, match="does not fit"):
+            acc.run("ACGTACGT", "A" * 100)
+
+
+class TestSchemes:
+    def test_custom_scheme_used(self):
+        scheme = LinearScoring(match=3, mismatch=-2, gap=-4)
+        acc = SWAccelerator(elements=8, scheme=scheme)
+        s, t = "ACGTT", "ACGTT"
+        assert acc.run(s, t).hit.score == 15
+
+    def test_locate_rejects_mismatched_scheme(self):
+        acc = SWAccelerator(elements=8)
+        with pytest.raises(ValueError, match="different scoring scheme"):
+            acc.locate("AC", "AC", LinearScoring(match=2, mismatch=-2, gap=-3))
+
+    def test_locate_accepts_matching_scheme(self):
+        acc = SWAccelerator(elements=8)
+        assert acc.locate("AC", "AC", LinearScoring(1, -1, -2)).score == 2
+
+    def test_locate_none_scheme(self):
+        acc = SWAccelerator(elements=8)
+        assert acc.locate("AC", "AC").score == 2

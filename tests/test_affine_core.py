@@ -1,0 +1,129 @@
+"""Tests for the affine-gap systolic variant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.gotoh import gotoh_locate_best
+from repro.align.scoring import AffineScoring, LinearScoring, encode
+from repro.align.smith_waterman import LocalHit, sw_locate_best
+from repro.core.affine import (
+    AffineAccelerator,
+    AffineSystolicArray,
+    affine_resource_model,
+    affine_row_sweep,
+    emulate_affine_partitioned,
+)
+from repro.core.resources import PROTOTYPE_MODEL
+from repro.io.generate import adversarial_pairs
+
+from conftest import dna_pair
+
+AFFINE = AffineScoring(match=2, mismatch=-1, gap_open=-4, gap_extend=-1)
+
+
+class TestRowSweep:
+    @given(dna_pair(1, 20))
+    def test_matches_gotoh(self, pair):
+        s, t = pair
+        _, _, hit = affine_row_sweep(encode(s), encode(t), AFFINE)
+        assert hit == gotoh_locate_best(s, t, AFFINE)
+
+    @given(dna_pair(2, 24), st.integers(1, 10))
+    @settings(max_examples=40)
+    def test_chunked_equals_monolithic(self, pair, array):
+        s, t = pair
+        assert emulate_affine_partitioned(s, t, array, AFFINE) == gotoh_locate_best(
+            s, t, AFFINE
+        )
+
+    def test_boundary_validation(self):
+        with pytest.raises(ValueError, match="boundary"):
+            affine_row_sweep(
+                encode("AC"), encode("ACG"), AFFINE, initial_d=np.zeros(2)
+            )
+
+
+class TestRTL:
+    @pytest.mark.parametrize("name,s,t", adversarial_pairs())
+    def test_rtl_matches_software_adversarial(self, name, s, t):
+        acc = AffineAccelerator(elements=3, scheme=AFFINE, engine="rtl")
+        assert acc.locate(s, t) == gotoh_locate_best(s, t, AFFINE)
+
+    @given(dna_pair(1, 18), st.integers(1, 7))
+    @settings(max_examples=25)
+    def test_rtl_matches_emulator_property(self, pair, elements):
+        s, t = pair
+        rtl = AffineAccelerator(elements=elements, scheme=AFFINE, engine="rtl")
+        emu = AffineAccelerator(elements=elements, scheme=AFFINE, engine="emulator")
+        assert rtl.locate(s, t) == emu.locate(s, t) == gotoh_locate_best(s, t, AFFINE)
+
+    def test_boundary_rows_chain_exactly(self):
+        s, t = "ACGTACGTGG", "TTACGTACGA"
+        s_codes, t_codes = encode(s), encode(t)
+        d_full, f_full, _ = affine_row_sweep(s_codes, t_codes, AFFINE)
+        array = AffineSystolicArray(5, AFFINE)
+        array.load_query(s_codes[:5])
+        _, d1, f1, cycles1 = array.run_pass(t_codes)
+        array.load_query(s_codes[5:], row_offset=5)
+        _, d2, f2, cycles2 = array.run_pass(t_codes, boundary_d=d1, boundary_f=f1)
+        assert np.array_equal(d2, d_full)
+        # F rows agree on every consumed entry (index 0 is never read).
+        assert np.array_equal(d2[1:], d_full[1:])
+        assert np.array_equal(f2[1:], f_full[1:])
+        assert cycles1 == cycles2 == 10 + 5 - 1
+
+    def test_run_pass_without_load_raises(self):
+        with pytest.raises(RuntimeError):
+            AffineSystolicArray(3, AFFINE).run_pass("ACG")
+
+    def test_oversize_chunk_raises(self):
+        array = AffineSystolicArray(2, AFFINE)
+        with pytest.raises(ValueError, match="exceeds array size"):
+            array.load_query("ACGT")
+
+
+class TestDegenerate:
+    @given(dna_pair(1, 16))
+    def test_open_equals_extend_matches_linear_design(self, pair):
+        # With open == extend the affine array computes exactly what
+        # the paper's linear array computes.
+        s, t = pair
+        affine = AffineScoring(match=1, mismatch=-1, gap_open=-2, gap_extend=-2)
+        linear = LinearScoring(match=1, mismatch=-1, gap=-2)
+        acc = AffineAccelerator(elements=5, scheme=affine)
+        assert acc.locate(s, t) == sw_locate_best(s, t, linear)
+
+    def test_empty(self):
+        acc = AffineAccelerator(elements=4, scheme=AFFINE)
+        assert acc.locate("", "ACG") == LocalHit(0, 0, 0)
+
+    def test_scheme_mismatch_raises(self):
+        acc = AffineAccelerator(elements=4, scheme=AFFINE)
+        with pytest.raises(ValueError, match="different scoring scheme"):
+            acc.locate("AC", "AC", AffineScoring())
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            AffineAccelerator(engine="hdl")
+        with pytest.raises(ValueError):
+            AffineAccelerator(elements=0)
+        with pytest.raises(ValueError):
+            AffineSystolicArray(0, AFFINE)
+
+
+class TestResources:
+    def test_affine_costs_more_per_element(self):
+        affine = affine_resource_model()
+        assert affine.per_element.luts > PROTOTYPE_MODEL.per_element.luts
+        assert affine.per_element.flipflops > PROTOTYPE_MODEL.per_element.flipflops
+
+    def test_affine_capacity_lower(self):
+        assert affine_resource_model().max_elements() < PROTOTYPE_MODEL.max_elements()
+
+    def test_affine_clock_slower(self):
+        assert affine_resource_model().frequency_mhz(100) < PROTOTYPE_MODEL.frequency_mhz(100)
+
+    def test_affine_100_still_fits_xc2vp70(self):
+        # The [2] design point: an affine array of paper scale places.
+        assert affine_resource_model().fits(100)

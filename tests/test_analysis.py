@@ -1,0 +1,95 @@
+"""Tests for CUPS metrics and table rendering."""
+
+import pytest
+
+from repro.analysis.cups import Throughput, cups, format_cups, measure_cups
+from repro.analysis.report import render_kv, render_table
+
+
+class TestCups:
+    def test_basic(self):
+        assert cups(1_000_000, 2.0) == 500_000
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            cups(100, 0)
+        with pytest.raises(ValueError):
+            cups(-1, 1)
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (500, "500 CUPS"),
+            (5_000, "5.00 KCUPS"),
+            (4.83e6, "4.83 MCUPS"),
+            (1.19e9, "1.19 GCUPS"),
+            (2.5e12, "2.50 TCUPS"),
+        ],
+    )
+    def test_format(self, value, expected):
+        assert format_cups(value) == expected
+
+    def test_format_negative_raises(self):
+        with pytest.raises(ValueError):
+            format_cups(-1)
+
+
+class TestThroughput:
+    def test_properties(self):
+        t = Throughput("fpga", cells=10**9, seconds=0.839)
+        assert t.gcups == pytest.approx(1.192, rel=0.01)
+
+    def test_fair_speedup(self):
+        fpga = Throughput("fpga", 10**9, 0.839)
+        sw = Throughput("sw", 10**9, 207.1)
+        assert fpga.speedup_over(sw) == pytest.approx(246.9, rel=0.01)
+
+    def test_unfair_comparison_raises(self):
+        # Section 4: score-only vs alignment-producing CUPS do not
+        # compare.
+        a = Throughput("a", 100, 1.0, work="score-only")
+        b = Throughput("b", 100, 1.0, work="alignment")
+        with pytest.raises(ValueError, match="unfair"):
+            a.speedup_over(b)
+
+    def test_measure(self):
+        t = measure_cups(lambda: sum(range(1000)), cells=1000, label="x")
+        assert t.cups > 0
+
+
+class TestRenderTable:
+    def test_alignment_and_headers(self):
+        text = render_table(["name", "value"], [["a", 1], ["bbbb", 22.5]])
+        lines = text.split("\n")
+        assert lines[0].startswith("| name")
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+        assert "22.50" in text
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="Table 2")
+        assert text.startswith("Table 2\n")
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError, match="cells for"):
+            render_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[0.000123], [123456.0], [1.5]])
+        assert "0.000123" in text
+        assert "1.23e+05" in text or "123456" in text
+        assert "1.50" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "| a" in text
+
+
+class TestRenderKv:
+    def test_aligned(self):
+        text = render_kv([("short", 1), ("a longer key", 2)], title="t")
+        assert text.startswith("t\n")
+        assert "short        :" in text
+
+    def test_empty(self):
+        assert render_kv([]) == ""
+        assert render_kv([], title="t") == "t"

@@ -1,0 +1,126 @@
+"""Tests for software baselines and the BLAST/FASTA-like heuristics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.smith_waterman import LocalHit, sw_locate_best, sw_score
+from repro.baselines.heuristics import banded_locate, blast_like, fasta_like
+from repro.baselines.software import locate_numpy, locate_pure
+from repro.io.generate import planted_pair, random_dna
+
+from conftest import dna_pair, linear_schemes
+
+
+class TestSoftwareBaselines:
+    @given(dna_pair(0, 20), linear_schemes())
+    def test_pure_equals_numpy(self, pair, scheme):
+        s, t = pair
+        assert locate_pure(s, t, scheme) == locate_numpy(s, t, scheme)
+
+    def test_pure_handles_lowercase(self):
+        assert locate_pure("acgt", "ACGT") == LocalHit(4, 4, 4)
+
+
+class TestBandedLocate:
+    @given(dna_pair(1, 16))
+    def test_wide_band_equals_full(self, pair):
+        s, t = pair
+        wide = banded_locate(s, t, diagonal=0, band=len(s) + len(t))
+        assert wide == sw_locate_best(s, t)
+
+    @given(dna_pair(1, 16), st.integers(-4, 4), st.integers(0, 6))
+    @settings(max_examples=30)
+    def test_band_never_beats_full(self, pair, diagonal, band):
+        s, t = pair
+        hit = banded_locate(s, t, diagonal, band)
+        assert hit.score <= sw_score(s, t)
+
+    def test_on_diagonal_match_found(self):
+        s = t = "ACGTACGT"
+        assert banded_locate(s, t, 0, 0).score == 8  # pure diagonal
+
+    def test_band_off_matrix(self):
+        assert banded_locate("ACG", "ACG", diagonal=50, band=2) == LocalHit(0, 0, 0)
+        assert banded_locate("ACG", "ACG", diagonal=-50, band=2) == LocalHit(0, 0, 0)
+
+    def test_negative_band_raises(self):
+        with pytest.raises(ValueError):
+            banded_locate("AC", "AC", 0, -1)
+
+    def test_empty(self):
+        assert banded_locate("", "ACG", 0, 3) == LocalHit(0, 0, 0)
+
+
+class TestBlastLike:
+    def test_finds_planted_exact_fragment(self):
+        p = planted_pair(s_len=200, t_len=300, fragment_len=40, seed=8)
+        hit = blast_like(p.s, p.t, w=8)
+        # An exact 40-base repeat must be seeded and extended to a
+        # score close to the optimum.
+        assert hit.score >= 0.8 * sw_score(p.s, p.t)
+
+    def test_never_beats_exact(self):
+        for seed in range(5):
+            s = random_dna(60, seed=seed)
+            t = random_dna(80, seed=seed + 50)
+            assert blast_like(s, t).score <= sw_score(s, t)
+
+    def test_no_seed_no_hit(self):
+        # Sequences with no common 8-mer yield the empty hit.
+        assert blast_like("AAAAAAAAAA", "CCCCCCCCCC", w=8) == LocalHit(0, 0, 0)
+
+    def test_short_inputs(self):
+        assert blast_like("ACG", "ACG", w=8) == LocalHit(0, 0, 0)
+
+    def test_exact_on_identical(self):
+        s = random_dna(50, seed=3)
+        hit = blast_like(s, s, w=8)
+        assert hit.score == len(s)  # full-length ungapped identity
+
+    def test_invalid_w(self):
+        with pytest.raises(ValueError):
+            blast_like("ACGT", "ACGT", w=0)
+
+    def test_misses_gapped_optimum_sometimes(self):
+        # The documented quality loss: a gapped alignment the exact
+        # method finds but ungapped extension cannot.
+        s = "ACGTACGTACGT" + "TT" + "GGATCCGGATCC"
+        t = "ACGTACGTACGT" + "GGATCCGGATCC"
+        exact = sw_score(s, t)  # bridging the 2-gap: 24 - 4 = 20
+        heuristic = blast_like(s, t, w=8).score
+        assert heuristic < exact
+
+
+class TestFastaLike:
+    def test_finds_planted_fragment(self):
+        p = planted_pair(s_len=150, t_len=200, fragment_len=50, seed=9)
+        hit = fasta_like(p.s, p.t, k=6)
+        assert hit.score >= 0.8 * sw_score(p.s, p.t)
+
+    def test_never_beats_exact(self):
+        for seed in range(5):
+            s = random_dna(60, seed=seed + 100)
+            t = random_dna(80, seed=seed + 150)
+            assert fasta_like(s, t).score <= sw_score(s, t)
+
+    def test_exact_on_identical(self):
+        s = random_dna(64, seed=4)
+        assert fasta_like(s, s, k=6).score == len(s)
+
+    def test_short_inputs(self):
+        assert fasta_like("ACG", "ACGT", k=6) == LocalHit(0, 0, 0)
+
+    def test_no_common_words(self):
+        assert fasta_like("A" * 20, "C" * 20, k=6) == LocalHit(0, 0, 0)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            fasta_like("ACGT", "ACGT", k=0)
+
+    def test_banded_rescoring_recovers_small_gaps(self):
+        # One small gap keeps the alignment within the band: FASTA
+        # finds the true optimum where ungapped BLAST cannot.
+        s = "ACGTACGTACGT" + "TT" + "GGATCCGGATCC"
+        t = "ACGTACGTACGT" + "GGATCCGGATCC"
+        exact = sw_score(s, t)
+        assert fasta_like(s, t, k=6, band=6).score == exact

@@ -1,0 +1,98 @@
+"""Tests for Myers' bit-parallel approximate matcher."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.bitparallel import BitParallelMatcher, edit_distance_search
+from repro.io.generate import mutate, random_dna
+
+from conftest import dna_pair
+
+
+def semiglobal_edit_oracle(pattern: str, text: str) -> list[int]:
+    """Independent DP: min edit distance of pattern vs window ending
+    at each text position (row 0 free, column 0 = i)."""
+    m, n = len(pattern), len(text)
+    prev = np.zeros(n + 1, dtype=np.int64)  # row 0: free start
+    for i in range(1, m + 1):
+        cur = np.empty(n + 1, dtype=np.int64)
+        cur[0] = i
+        for j in range(1, n + 1):
+            cost = 0 if pattern[i - 1] == text[j - 1] else 1
+            cur[j] = min(prev[j - 1] + cost, prev[j] + 1, cur[j - 1] + 1)
+        prev = cur
+    return [int(v) for v in prev[1:]]
+
+
+class TestDistances:
+    @given(dna_pair(1, 16))
+    @settings(max_examples=40)
+    def test_matches_dp_oracle(self, pair):
+        pattern, text = pair
+        matcher = BitParallelMatcher(pattern)
+        assert matcher.distances(text) == semiglobal_edit_oracle(pattern, text)
+
+    def test_exact_occurrence_reaches_zero(self):
+        text = random_dna(200, seed=601)
+        pattern = text[80:110]
+        distances = BitParallelMatcher(pattern).distances(text)
+        assert distances[109] == 0  # window ending at position 110
+
+    def test_long_pattern_multiword(self):
+        # Patterns beyond 64 symbols exercise the arbitrary-precision
+        # path; the oracle must still agree.
+        text = random_dna(300, seed=602)
+        pattern = mutate(text[100:220], rate=0.05, seed=603)
+        matcher = BitParallelMatcher(pattern)
+        assert matcher.distances(text) == semiglobal_edit_oracle(pattern, text)
+
+    def test_empty_text(self):
+        assert BitParallelMatcher("ACG").distances("") == []
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            BitParallelMatcher("")
+
+
+class TestSearch:
+    def test_finds_planted_occurrence(self):
+        text = random_dna(500, seed=604)
+        pattern = mutate(text[200:240], rate=0.05, seed=605)
+        hits = edit_distance_search(pattern, text, k=4)
+        assert any(235 <= h.end <= 245 for h in hits)
+        assert all(h.distance <= 4 for h in hits)
+
+    def test_no_hits_when_k_too_small(self):
+        hits = edit_distance_search("AAAAAAAA", "GGGGGGGGGGGG", k=2)
+        assert hits == []
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            edit_distance_search("ACG", "ACG", k=-1)
+
+    def test_best_prefers_lowest_then_earliest(self):
+        text = "ACGT" + "TTTT" + "ACGT"
+        best = BitParallelMatcher("ACGT").best(text)
+        assert best.distance == 0
+        assert best.end == 4  # earliest exact occurrence
+
+    def test_best_on_empty_text(self):
+        best = BitParallelMatcher("ACG").best("")
+        assert best.distance == 3
+
+
+class TestSpeed:
+    def test_bit_parallel_beats_dp_oracle(self):
+        # The module's raison d'etre, asserted with generous margin.
+        import time
+
+        pattern = random_dna(48, seed=606)
+        text = random_dna(4_000, seed=607)
+        start = time.perf_counter()
+        BitParallelMatcher(pattern).distances(text)
+        fast = time.perf_counter() - start
+        start = time.perf_counter()
+        semiglobal_edit_oracle(pattern, text)
+        slow = time.perf_counter() - start
+        assert fast < slow

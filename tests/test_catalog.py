@@ -1,0 +1,96 @@
+"""Tests for the Table 1 architecture models."""
+
+import pytest
+
+from repro.hw.catalog import TABLE1_ROWS, THIS_PAPER, ArchitectureModel
+from repro.hw.host import PAPER_HOST
+
+
+class TestRows:
+    def test_four_related_rows(self):
+        assert len(TABLE1_ROWS) == 4
+        assert [r.name for r in TABLE1_ROWS] == [
+            "SAMBA",
+            "PROSIDIS",
+            "Affine-gap systolic",
+            "Multithreaded systolic",
+        ]
+
+    def test_reported_speedups_match_table1(self):
+        assert [r.reported_speedup for r in TABLE1_ROWS] == [83.0, 5.6, 170.0, 330.0]
+
+    def test_splicing_column(self):
+        # Table 1: splicing used in [21], [32], [37]; not in [23].
+        assert [r.splicing for r in TABLE1_ROWS] == [True, False, True, True]
+
+    def test_alignment_column(self):
+        # Only [37] produces an actual alignment.
+        assert [r.produces_alignment for r in TABLE1_ROWS] == [
+            False,
+            False,
+            False,
+            True,
+        ]
+
+    def test_this_paper_row(self):
+        assert THIS_PAPER.reported_speedup == 246.9
+        assert THIS_PAPER.elements == 100
+        assert THIS_PAPER.device == "xc2vp70"
+        assert THIS_PAPER.host is PAPER_HOST
+
+
+class TestDerivedQuantities:
+    def test_host_consistency_within_band(self):
+        # The implied host throughput must agree with the catalog host
+        # within 15% for every row — the cross-check that the numbers
+        # cohere.
+        for row in list(TABLE1_ROWS) + [THIS_PAPER]:
+            assert row.host_consistency() == pytest.approx(1.0, abs=0.15), row.name
+
+    def test_efficiency_at_most_one(self):
+        for row in list(TABLE1_ROWS) + [THIS_PAPER]:
+            eff = row.efficiency
+            if eff is not None:
+                assert 0 < eff <= 1.0, row.name
+
+    def test_this_paper_efficiency_matches_forte_overhead(self):
+        # Effective 1.19 GCUPS of a 14.49 GCUPS peak ~ 1/12.16 —
+        # the cycles_per_step calibration of the timing model.
+        from repro.core.timing import PAPER_CLOCK
+
+        assert THIS_PAPER.efficiency == pytest.approx(
+            1.0 / PAPER_CLOCK.cycles_per_step, rel=0.02
+        )
+
+    def test_fpga_seconds_positive(self):
+        for row in list(TABLE1_ROWS) + [THIS_PAPER]:
+            assert row.fpga_seconds > 0
+
+    def test_speedup_ordering_reproduced(self):
+        # The qualitative Table 1 story: [37] > this paper > [32] >
+        # SAMBA > PROSIDIS.
+        speedups = {r.name: r.reported_speedup for r in TABLE1_ROWS}
+        speedups[THIS_PAPER.name] = THIS_PAPER.reported_speedup
+        ordered = sorted(speedups, key=speedups.get, reverse=True)
+        assert ordered == [
+            "Multithreaded systolic",
+            "This paper",
+            "Affine-gap systolic",
+            "SAMBA",
+            "PROSIDIS",
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArchitectureModel(
+                name="bad",
+                reference="",
+                device="d",
+                query_len=1,
+                database_len=1,
+                splicing=False,
+                produces_alignment=False,
+                reported_speedup=0,
+                host=PAPER_HOST,
+                effective_gcups=1.0,
+            )

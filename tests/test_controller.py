@@ -1,0 +1,76 @@
+"""Tests for the global best-score controller (figure 9 logic)."""
+
+from repro.align.smith_waterman import LocalHit
+from repro.core.controller import BestScoreController
+from repro.core.systolic import LaneBest
+
+
+def lane(row: int, score: int, column: int, cycle: int | None = None) -> LaneBest:
+    return LaneBest(row=row, score=score, cycle=cycle if cycle is not None else column + row - 1, column=column)
+
+
+class TestReduction:
+    def test_empty_controller_reports_empty_hit(self):
+        assert BestScoreController().hit() == LocalHit(0, 0, 0)
+
+    def test_single_candidate(self):
+        c = BestScoreController()
+        c.consider(lane(row=3, score=7, column=5))
+        assert c.hit() == LocalHit(7, 3, 5)
+
+    def test_higher_score_wins(self):
+        c = BestScoreController()
+        c.consider(lane(row=1, score=3, column=1))
+        c.consider(lane(row=9, score=5, column=9))
+        assert c.hit() == LocalHit(5, 9, 9)
+
+    def test_tie_smaller_row_wins(self):
+        c = BestScoreController()
+        c.consider(lane(row=4, score=5, column=2))
+        c.consider(lane(row=2, score=5, column=8))
+        assert c.hit() == LocalHit(5, 2, 8)
+
+    def test_tie_same_row_smaller_column_wins(self):
+        c = BestScoreController()
+        c.consider(lane(row=2, score=5, column=8))
+        c.consider(lane(row=2, score=5, column=3))
+        assert c.hit() == LocalHit(5, 2, 3)
+
+    def test_order_independent(self):
+        lanes = [lane(2, 5, 8), lane(2, 5, 3), lane(4, 5, 1), lane(1, 4, 1)]
+        forward = BestScoreController()
+        forward.consider_pass(lanes)
+        backward = BestScoreController()
+        backward.consider_pass(list(reversed(lanes)))
+        assert forward.hit() == backward.hit() == LocalHit(5, 2, 3)
+
+    def test_zero_and_negative_scores_skipped(self):
+        c = BestScoreController()
+        c.consider(lane(row=1, score=0, column=1))
+        assert c.hit() == LocalHit(0, 0, 0)
+        assert c.candidates_seen == 0
+
+    def test_column_offset_applied(self):
+        c = BestScoreController()
+        c.consider(lane(row=1, score=2, column=3), column_offset=100)
+        assert c.hit() == LocalHit(2, 1, 103)
+
+    def test_reset(self):
+        c = BestScoreController()
+        c.consider(lane(row=1, score=9, column=1))
+        c.reset()
+        assert c.hit() == LocalHit(0, 0, 0)
+        assert c.candidates_seen == 0
+
+    def test_candidates_counted(self):
+        c = BestScoreController()
+        c.consider_pass([lane(1, 1, 1), lane(2, 2, 2), lane(3, 0, 3)])
+        assert c.candidates_seen == 2
+
+    def test_accumulates_across_passes(self):
+        # Chunk passes arrive sequentially; later chunk with equal
+        # score must not displace the earlier (smaller-row) winner.
+        c = BestScoreController()
+        c.consider_pass([lane(row=2, score=4, column=5)])  # chunk 0
+        c.consider_pass([lane(row=12, score=4, column=1)])  # chunk 1
+        assert c.hit() == LocalHit(4, 2, 5)

@@ -1,0 +1,118 @@
+"""Tests for the gate-level datapath model (figure 6)."""
+
+import networkx as nx
+import pytest
+
+from repro.core.datapath import (
+    build_pe_datapath,
+    critical_path,
+    fmax_mhz,
+    netlist_summary,
+    pe_resource_counts,
+)
+from repro.core.resources import PROTOTYPE_MODEL
+
+
+class TestGraph:
+    def test_is_dag(self):
+        assert nx.is_directed_acyclic_graph(build_pe_datapath())
+
+    def test_every_node_has_spec(self):
+        g = build_pe_datapath()
+        for n, data in g.nodes(data=True):
+            spec = data["spec"]
+            assert spec.delay_ns >= 0
+            assert spec.width > 0
+
+    def test_figure6_stages_present(self):
+        g = build_pe_datapath()
+        for node in (
+            "SP",
+            "base_eq",
+            "co_su_mux",
+            "diag_add",
+            "bc_max",
+            "gap_add",
+            "d_max",
+            "zero_clamp",
+            "best_cmp",
+        ):
+            assert node in g
+
+    def test_dataflow_reaches_outputs(self):
+        g = build_pe_datapath()
+        assert nx.has_path(g, "SP", "D_out")
+        assert nx.has_path(g, "C_in", "A_next")
+        assert nx.has_path(g, "Cl", "Bc_next")
+
+    def test_b_and_c_feed_gap_path(self):
+        g = build_pe_datapath()
+        assert nx.has_path(g, "B", "gap_add")
+        assert nx.has_path(g, "C_in", "gap_add")
+
+
+class TestTiming:
+    def test_critical_path_ends_at_a_register(self):
+        path, delay = critical_path()
+        assert delay > 0
+        assert path[-1].endswith(("_out", "_next", "out"))
+
+    def test_critical_path_goes_through_the_score_chain(self):
+        path, _ = critical_path()
+        # The long chain is compare -> add -> max -> clamp -> best cmp.
+        assert "d_max" in path
+        assert "zero_clamp" in path
+
+    def test_fmax_brackets_the_paper_clock(self):
+        # First-principles estimate must land near the ISE-reported
+        # 144.9 MHz (generic delay constants; +-25% band).
+        f = fmax_mhz()
+        assert 0.75 * 144.9 <= f <= 1.25 * 144.9
+
+    def test_fmax_consistent_with_resource_model(self):
+        # Two independent frequency estimates (gate-level vs
+        # calibrated routing model) must agree within 30%.
+        f_gates = fmax_mhz()
+        f_model = PROTOTYPE_MODEL.frequency_mhz(100)
+        assert abs(f_gates - f_model) / f_model < 0.30
+
+
+class TestArea:
+    def test_counts_positive(self):
+        counts = pe_resource_counts()
+        assert counts["luts"] > 0
+        assert counts["ffs"] > 0
+
+    def test_ffs_cover_the_register_set(self):
+        # SP(2) + A(16) + B(16) + Bs(16) + Cl(32) lives in 'reg' nodes;
+        # outputs add D(16), SB(2), A_next(16), Bs_next(16), Bc_next(32).
+        counts = pe_resource_counts()
+        assert counts["ffs"] >= 120
+
+    def test_hls_overhead_band(self):
+        # Table-2-calibrated per-element area vs hand-mapped: the
+        # Forte flow costs extra, but within an order of magnitude.
+        counts = pe_resource_counts()
+        calibrated_luts = PROTOTYPE_MODEL.per_element.luts
+        ratio = calibrated_luts / counts["luts"]
+        assert 1.0 <= ratio <= 6.0
+
+    def test_ff_model_agreement(self):
+        counts = pe_resource_counts()
+        calibrated_ffs = PROTOTYPE_MODEL.per_element.flipflops
+        ratio = calibrated_ffs / counts["ffs"]
+        assert 0.5 <= ratio <= 3.0
+
+
+class TestNetlist:
+    def test_summary_mentions_both_figures(self):
+        text = netlist_summary(100)
+        assert "figure 8" in text
+        assert "figure 9" in text
+        assert "100 elements" in text
+
+    def test_summary_scales_with_elements(self):
+        assert "25 elements" in netlist_summary(25)
+
+    def test_summary_reports_critical_path(self):
+        assert "critical path" in netlist_summary()

@@ -1,0 +1,124 @@
+"""Tests for divergence-bounded retrieval (Z-align phase 4 machinery)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.align.divergence import (
+    banded_global_align,
+    local_align_banded,
+    locate_with_divergence,
+)
+from repro.align.needleman_wunsch import nw_score
+from repro.align.scoring import DEFAULT_DNA
+from repro.align.smith_waterman import sw_locate_best, sw_score
+from repro.io.generate import mutated_pair
+
+from conftest import dna_pair, related_pair
+
+
+class TestLocateWithDivergence:
+    @given(dna_pair(1, 20))
+    def test_hit_matches_plain_locate(self, pair):
+        s, t = pair
+        assert locate_with_divergence(s, t).hit == sw_locate_best(s, t)
+
+    def test_pure_diagonal_has_zero_divergence(self):
+        d = locate_with_divergence("ACGTACGT", "ACGTACGT")
+        assert (d.sup, d.inf) == (0, 0)
+        assert d.band_width == 1
+
+    def test_insertion_creates_divergence(self):
+        # t carries a 3-base insert relative to s; bridging it (16
+        # matches - 3 gaps = 10) beats either flank alone (8), so the
+        # best path leaves the end diagonal by 3.
+        s = "ACGTACGT" + "TTCCGGAA"
+        t = "ACGTACGT" + "GGG" + "TTCCGGAA"
+        d = locate_with_divergence(s, t)
+        assert d.hit.score == 10
+        assert d.sup + d.inf >= 3
+
+    def test_empty_inputs(self):
+        d = locate_with_divergence("", "ACGT")
+        assert d.hit.score == 0
+        assert d.band_width == 1
+
+    @given(related_pair(6, 24))
+    @settings(max_examples=25)
+    def test_envelope_bounds_are_nonnegative(self, pair):
+        s, t = pair
+        d = locate_with_divergence(s, t)
+        assert d.sup >= 0 and d.inf >= 0
+
+
+class TestBandedGlobal:
+    @given(dna_pair(1, 16))
+    def test_full_band_equals_needleman_wunsch(self, pair):
+        s, t = pair
+        result = banded_global_align(s, t, -len(s), len(t))
+        assert result.alignment.score == nw_score(s, t)
+        result.alignment.validate(s, t)
+        assert result.alignment.audit_score(DEFAULT_DNA) == result.alignment.score
+
+    def test_band_must_connect_corners(self):
+        with pytest.raises(ValueError, match="cannot connect"):
+            banded_global_align("ACGT", "ACGT", 1, 2)
+        with pytest.raises(ValueError, match="cannot connect"):
+            banded_global_align("AC", "ACGTGT", -1, 1)  # corner diag 4 outside
+        with pytest.raises(ValueError, match="empty band"):
+            banded_global_align("AC", "AC", 2, 1)
+
+    def test_narrow_band_on_identical_is_exact(self):
+        s = "ACGTACGTACGT"
+        result = banded_global_align(s, s, 0, 0)
+        assert result.alignment.score == len(s)
+        assert result.band_width == 1
+        assert result.memory_cells == len(s) + 1
+
+    def test_memory_linear_in_band(self):
+        s, t = mutated_pair(100, rate=0.02, seed=61)
+        narrow = banded_global_align(s, t, -6, 6)
+        wide = banded_global_align(s, t, -50, 50)
+        assert narrow.memory_cells < wide.memory_cells / 5
+
+    def test_narrow_band_can_be_suboptimal(self):
+        # The classic banding failure: an alignment needing a 4-wide
+        # excursion scores worse in a 1-wide band — banding without
+        # measured divergences is a heuristic; with them it is exact.
+        s = "AAAACGCGCGCGTTTT"
+        t = "AAAATTTT"
+        corner = len(t) - len(s)
+        narrow = banded_global_align(s, t, corner, 0)
+        full = nw_score(s, t)
+        assert narrow.alignment.score <= full
+
+
+class TestLocalAlignBanded:
+    @given(dna_pair(1, 24))
+    @settings(max_examples=40)
+    def test_exact_score_property(self, pair):
+        s, t = pair
+        alignment, banded, forward = local_align_banded(s, t)
+        assert alignment.score == sw_score(s, t)
+        if alignment.score > 0:
+            alignment.validate(s, t)
+            assert alignment.audit_score(DEFAULT_DNA) == alignment.score
+
+    def test_memory_fraction_on_similar_pair(self):
+        s, t = mutated_pair(300, rate=0.05, seed=62)
+        alignment, banded, forward = local_align_banded(s, t)
+        assert alignment.score == sw_score(s, t)
+        region = (alignment.s_end - alignment.s_start) * (
+            alignment.t_end - alignment.t_start
+        )
+        # The band holds a small fraction of the bracketed region.
+        assert banded.memory_cells < region / 3
+
+    def test_divergence_bench_numbers_sane(self):
+        s, t = mutated_pair(200, rate=0.1, seed=63)
+        _, banded, forward = local_align_banded(s, t)
+        assert banded.band_width >= forward.band_width or banded.band_width >= 1
+
+    def test_zero_score_pair(self):
+        alignment, banded, forward = local_align_banded("AAAA", "GGGG")
+        assert alignment.score == 0
+        assert len(alignment) == 0

@@ -1,0 +1,61 @@
+"""Tests for the NumPy functional emulator of the partitioned array."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.align.matrix import SimilarityMatrix
+from repro.align.scoring import DEFAULT_DNA, LinearScoring
+from repro.align.smith_waterman import LocalHit, sw_locate_best
+from repro.core.emulator import emulate_partitioned
+from repro.io.generate import adversarial_pairs
+
+from conftest import dna_pair, linear_schemes
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("name,s,t", adversarial_pairs())
+    @pytest.mark.parametrize("array", [1, 2, 3, 5, 64])
+    def test_adversarial_all_chunk_sizes(self, name, s, t, array):
+        assert emulate_partitioned(s, t, array).hit == sw_locate_best(s, t)
+
+    @given(dna_pair(1, 30), st.integers(1, 12), linear_schemes())
+    def test_property_any_chunk_size(self, pair, array, scheme):
+        s, t = pair
+        assert emulate_partitioned(s, t, array, scheme).hit == sw_locate_best(s, t, scheme)
+
+    @given(dna_pair(1, 20), st.integers(1, 8))
+    def test_final_boundary_is_matrix_last_row(self, pair, array):
+        s, t = pair
+        result = emulate_partitioned(s, t, array)
+        oracle = SimilarityMatrix(s, t).scores[len(s), :]
+        assert np.array_equal(result.final_boundary_row, oracle)
+
+    def test_chunk_size_independence(self):
+        s = "ACGTACGTTGCAACGT"
+        t = "TGCATTACGTACGATT"
+        hits = {emulate_partitioned(s, t, k).hit for k in range(1, 20)}
+        assert len(hits) == 1
+
+
+class TestEdges:
+    def test_empty_query(self):
+        result = emulate_partitioned("", "ACGT", 4)
+        assert result.hit == LocalHit(0, 0, 0)
+        assert result.plan.passes == 0
+
+    def test_empty_database(self):
+        result = emulate_partitioned("ACGT", "", 4)
+        assert result.hit == LocalHit(0, 0, 0)
+
+    def test_plan_attached(self):
+        result = emulate_partitioned("ACGTACGT", "ACGT", 3)
+        assert result.plan.passes == 3
+        assert result.plan.total_cells() == 32
+
+    def test_absolute_rows_across_chunks(self):
+        # Best match sits in the second chunk; row must be absolute.
+        s = "GGGG" + "ACGT"  # rows 5..8 hold the match
+        t = "ACGT"
+        result = emulate_partitioned(s, t, 4)
+        assert result.hit == LocalHit(4, 8, 4)

@@ -1,0 +1,117 @@
+"""Tests that the paper's figures regenerate from live implementations."""
+
+import pytest
+
+from repro.analysis.figures import (
+    FIG2_S,
+    FIG2_T,
+    figure1_alignment,
+    figure2_matrix,
+    figure3_wavefront,
+    figure5_systolic_trace,
+    figure6_datapath,
+    figure7_partitioning,
+    figure8_9_circuit,
+)
+
+
+class TestFigure1:
+    def test_renders_with_consistent_sum(self):
+        # figure1_alignment asserts internally that the column values
+        # sum to the DP score; rendering without error is the test.
+        text = figure1_alignment()
+        assert "score" in text
+        assert text.count("\n") == 3
+
+    def test_shows_per_column_values(self):
+        text = figure1_alignment()
+        assert "+1" in text
+
+    def test_custom_pair(self):
+        text = figure1_alignment("ACGT", "ACGT")
+        assert "score 4" in text
+
+
+class TestFigure2:
+    def test_best_score_reported(self):
+        text = figure2_matrix()
+        assert "best score 3 at (i=7, j=7)" in text
+
+    def test_contains_sequences(self):
+        text = figure2_matrix()
+        assert FIG2_S in text.replace(" ", "") or all(c in text for c in set(FIG2_S))
+
+    def test_arrow_legend(self):
+        assert "arrows" in figure2_matrix()
+
+
+class TestFigure3:
+    def test_three_panels(self):
+        text = figure3_wavefront()
+        for label in ("(a) start", "(b) ramp-up", "(c) full parallelism"):
+            assert label in text
+
+    def test_start_has_single_active_tile(self):
+        text = figure3_wavefront()
+        panel_a = text.split("\n\n")[0]
+        assert panel_a.count("#") == 1
+
+    def test_full_parallelism_uses_all_processors(self):
+        text = figure3_wavefront(row_blocks=6, processors=4)
+        panel_c = text.split("\n\n")[2]
+        assert panel_c.count("#") == 4
+
+    def test_processors_labelled(self):
+        assert "P4" in figure3_wavefront(processors=4)
+
+
+class TestFigure5:
+    def test_trace_has_one_row_per_cycle(self):
+        text = figure5_systolic_trace("ACGC", "ACTA")
+        # n + N - 1 = 7 cycles.
+        data_rows = [l for l in text.split("\n") if l.strip().startswith(tuple("1234567"))]
+        assert len(data_rows) == 7
+
+    def test_reports_cells_and_lanes(self):
+        text = figure5_systolic_trace("ACGC", "ACTA")
+        assert "16 cells" in text
+        assert "lane" in text
+
+    def test_bs_bc_fields_shown(self):
+        assert "@" in figure5_systolic_trace()
+
+
+class TestFigure6:
+    def test_mentions_datapath_stages(self):
+        text = figure6_datapath()
+        for marker in ("Co", "Su", "In/Re", "Bs", "Cl", "critical path"):
+            assert marker in text
+
+    def test_reports_fmax_near_paper(self):
+        assert "144.9 MHz" in figure6_datapath()
+
+
+class TestFigure7:
+    def test_pass_structure(self):
+        text = figure7_partitioning(query_length=10, array_size=4, db_length=8)
+        assert "3 passes" in text
+        assert text.count("boundary row") == 2  # between passes only
+
+    def test_single_pass_no_boundary(self):
+        text = figure7_partitioning(query_length=4, array_size=8, db_length=8)
+        assert "1 passes" in text
+        assert "boundary row" not in text
+
+    def test_totals_line(self):
+        text = figure7_partitioning(10, 4, 8)
+        assert "80 cells" in text
+        assert "utilization" in text
+
+
+class TestFigure89:
+    def test_both_parts(self):
+        text = figure8_9_circuit()
+        assert "figure 8" in text and "figure 9" in text
+
+    def test_coordinate_recovery_documented(self):
+        assert "j = Bc - k + 1" in figure8_9_circuit()

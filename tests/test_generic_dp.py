@@ -1,0 +1,151 @@
+"""Tests for the general-DP substrate and protein hardware config."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.align.generic_dp import (
+    Recurrence,
+    edit_distance,
+    edit_distance_recurrence,
+    lcs_length,
+    lcs_recurrence,
+    needleman_wunsch_recurrence,
+    smith_waterman_recurrence,
+    sweep,
+)
+from repro.align.needleman_wunsch import nw_score
+from repro.align.scoring import LinearScoring, blosum62
+from repro.align.smith_waterman import sw_locate_best
+from repro.core.resources import PROTOTYPE_MODEL, protein_resource_model
+
+from conftest import dna_pair
+
+
+def edit_distance_reference(s: str, t: str) -> int:
+    """Independent quadratic-space Levenshtein (textbook loops)."""
+    m, n = len(s), len(t)
+    d = [[0] * (n + 1) for _ in range(m + 1)]
+    for i in range(m + 1):
+        d[i][0] = i
+    for j in range(n + 1):
+        d[0][j] = j
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            d[i][j] = min(
+                d[i - 1][j - 1] + (0 if s[i - 1] == t[j - 1] else 1),
+                d[i - 1][j] + 1,
+                d[i][j - 1] + 1,
+            )
+    return d[m][n]
+
+
+def lcs_reference(s: str, t: str) -> int:
+    """Independent LCS length."""
+    m, n = len(s), len(t)
+    d = [[0] * (n + 1) for _ in range(m + 1)]
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            if s[i - 1] == t[j - 1]:
+                d[i][j] = d[i - 1][j - 1] + 1
+            else:
+                d[i][j] = max(d[i - 1][j], d[i][j - 1])
+    return d[m][n]
+
+
+class TestInstances:
+    @given(dna_pair(0, 18))
+    def test_sw_instance_matches_kernel(self, pair):
+        s, t = pair
+        result = sweep(smith_waterman_recurrence(), s, t)
+        hit = sw_locate_best(s, t)
+        assert result.value == hit.score
+        if hit.score > 0:
+            assert (result.i, result.j) == (hit.i, hit.j)
+
+    @given(dna_pair(0, 18))
+    def test_nw_instance_matches_kernel(self, pair):
+        s, t = pair
+        assert sweep(needleman_wunsch_recurrence(), s, t).value == nw_score(s, t)
+
+    @given(dna_pair(0, 18))
+    def test_edit_distance_matches_reference(self, pair):
+        s, t = pair
+        assert edit_distance(s, t) == edit_distance_reference(s, t)
+
+    @given(dna_pair(0, 18))
+    def test_lcs_matches_reference(self, pair):
+        s, t = pair
+        assert lcs_length(s, t) == lcs_reference(s, t)
+
+    def test_edit_distance_known(self):
+        assert edit_distance("KITTEN".replace("E", "A"), "KITTEN") == 1
+        assert edit_distance("ACGT", "ACGT") == 0
+        assert edit_distance("", "ACGT") == 4
+
+    def test_lcs_known(self):
+        assert lcs_length("ACGT", "ACGT") == 4
+        assert lcs_length("AGGT", "ACGT") == 3
+        assert lcs_length("AAAA", "GGGG") == 0
+
+    @given(dna_pair(0, 16))
+    def test_edit_lcs_duality(self, pair):
+        # Indel-only edit distance relates to LCS by
+        # |s| + |t| - 2*LCS >= edit distance (subst counts once).
+        s, t = pair
+        assert len(s) + len(t) - 2 * lcs_length(s, t) >= edit_distance(s, t)
+
+    def test_custom_scheme_instance(self):
+        scheme = LinearScoring(match=2, mismatch=-3, gap=-4)
+        result = sweep(smith_waterman_recurrence(scheme), "ACGT", "ACGT")
+        assert result.value == 8
+
+    def test_invalid_answer_mode(self):
+        with pytest.raises(ValueError, match="answer"):
+            Recurrence(
+                name="x",
+                cell=lambda d, u, l, a, b: 0,
+                row0=lambda j: 0,
+                col0=lambda i: 0,
+                better=lambda x, y: x > y,
+                answer="everything",
+            )
+
+    def test_empty_inputs(self):
+        assert edit_distance("", "") == 0
+        assert lcs_length("", "ACG") == 0
+
+
+class TestProteinHardware:
+    def test_rtl_array_runs_blosum62(self):
+        # The simulated element accepts a substitution matrix — the
+        # SAMBA/PROSIDIS configuration.
+        from repro.core.accelerator import SWAccelerator
+        from repro.io.generate import random_protein
+
+        m = blosum62()
+        q = random_protein(8, seed=31)
+        d = random_protein(24, seed=32)
+        rtl = SWAccelerator(elements=8, scheme=m, engine="rtl").run(q, d).hit
+        assert rtl == sw_locate_best(q, d, m)
+
+    def test_protein_model_costs_bram(self):
+        model = protein_resource_model()
+        assert model.per_element.bram_kbits > 0
+        assert PROTOTYPE_MODEL.per_element.bram_kbits == 0
+
+    def test_protein_capacity_close_to_dna(self):
+        # BRAM is plentiful on the xc2vp70: the substitution table
+        # barely dents capacity (LUTs still bind).
+        dna_max = PROTOTYPE_MODEL.max_elements()
+        protein_max = protein_resource_model().max_elements()
+        assert protein_max <= dna_max
+        assert protein_max > 0.85 * dna_max
+
+    def test_protein_bram_within_device(self):
+        model = protein_resource_model()
+        util = model.utilization(100)
+        assert util["bram"] < 0.25
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            protein_resource_model(alphabet_size=1)

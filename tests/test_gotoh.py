@@ -1,0 +1,108 @@
+"""Tests for Gotoh's affine-gap alignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.align.gotoh import gotoh_align, gotoh_locate_best, gotoh_score
+from repro.align.matrix import SimilarityMatrix
+from repro.align.scoring import AffineScoring, LinearScoring
+from repro.align.smith_waterman import LocalHit, sw_locate_best
+
+from conftest import dna_pair
+
+AFFINE = AffineScoring(match=2, mismatch=-1, gap_open=-4, gap_extend=-1)
+
+
+def oracle_affine_local(s: str, t: str, scheme: AffineScoring):
+    """Independent O(mn) three-matrix reference (no scan tricks)."""
+    m, n = len(s), len(t)
+    NEG = -(1 << 30)
+    D = np.zeros((m + 1, n + 1), dtype=np.int64)
+    E = np.full((m + 1, n + 1), NEG, dtype=np.int64)
+    F = np.full((m + 1, n + 1), NEG, dtype=np.int64)
+    best = (0, 0, 0)
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            E[i, j] = max(D[i, j - 1] + scheme.gap_open, E[i, j - 1] + scheme.gap_extend)
+            F[i, j] = max(D[i - 1, j] + scheme.gap_open, F[i - 1, j] + scheme.gap_extend)
+            pair = scheme.match if s[i - 1] == t[j - 1] else scheme.mismatch
+            v = max(0, D[i - 1, j - 1] + pair, E[i, j], F[i, j])
+            D[i, j] = v
+            if v > best[0]:
+                best = (int(v), i, j)
+    return best
+
+
+class TestLocate:
+    @given(dna_pair(1, 16))
+    def test_matches_independent_oracle(self, pair):
+        s, t = pair
+        hit = gotoh_locate_best(s, t, AFFINE)
+        assert hit.as_tuple() == oracle_affine_local(s, t, AFFINE)
+
+    @given(dna_pair(1, 16))
+    def test_degenerates_to_linear(self, pair):
+        # open == extend makes the affine model linear.
+        s, t = pair
+        affine = AffineScoring(match=1, mismatch=-1, gap_open=-2, gap_extend=-2)
+        linear = LinearScoring(match=1, mismatch=-1, gap=-2)
+        assert gotoh_locate_best(s, t, affine) == sw_locate_best(s, t, linear)
+
+    def test_empty(self):
+        assert gotoh_locate_best("", "ACG", AFFINE) == LocalHit(0, 0, 0)
+        assert gotoh_locate_best("ACG", "", AFFINE) == LocalHit(0, 0, 0)
+
+    def test_long_gap_cheaper_than_repeated_opens(self):
+        # With affine gaps one long gap beats scattered short ones:
+        # s has one 4-base insert relative to t.
+        s = "ACGTAAAATTGC"
+        t = "ACGTTTGC"
+        hit = gotoh_locate_best(s, t, AFFINE)
+        # 8 matches (16) + open (−4) + 3 extends (−3) = 9
+        assert hit.score == 9
+
+    @given(dna_pair(1, 14))
+    def test_affine_never_beats_its_linear_open_bound(self, pair):
+        # Affine with extend >= open can only help vs linear(gap=open).
+        s, t = pair
+        affine = AffineScoring(match=1, mismatch=-1, gap_open=-3, gap_extend=-1)
+        linear = LinearScoring(match=1, mismatch=-1, gap=-3)
+        assert gotoh_score(s, t, affine) >= sw_locate_best(s, t, linear).score
+
+
+class TestAlign:
+    @given(dna_pair(1, 14))
+    def test_local_alignment_audits(self, pair):
+        s, t = pair
+        aln = gotoh_align(s, t, AFFINE, local=True)
+        aln.validate(s, t)
+        assert aln.audit_score(AFFINE) == aln.score
+        assert aln.score == gotoh_score(s, t, AFFINE)
+
+    @given(dna_pair(0, 14))
+    def test_global_alignment_audits(self, pair):
+        s, t = pair
+        aln = gotoh_align(s, t, AFFINE, local=False)
+        aln.validate(s, t)
+        assert aln.audit_score(AFFINE) == aln.score
+
+    def test_global_empty_side(self):
+        aln = gotoh_align("ACG", "", AFFINE, local=False)
+        assert aln.t_aligned == "---"
+        # One run: open + 2 extends.
+        assert aln.score == -4 - 1 - 1
+
+    def test_prefers_single_long_gap(self):
+        aln = gotoh_align("ACGTAAAATTGC", "ACGTTTGC", AFFINE, local=True)
+        # The gap must be one contiguous run of 4.
+        assert "4I" in aln.cigar() or "4D" in aln.cigar()
+
+    def test_global_equals_linear_when_degenerate(self):
+        from repro.align.needleman_wunsch import nw_score
+
+        affine = AffineScoring(match=1, mismatch=-1, gap_open=-2, gap_extend=-2)
+        linear = LinearScoring(match=1, mismatch=-1, gap=-2)
+        s, t = "ACGTTACG", "AGTTAC"
+        aln = gotoh_align(s, t, affine, local=False)
+        assert aln.score == nw_score(s, t, linear)

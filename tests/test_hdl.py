@@ -1,0 +1,425 @@
+"""Tests for the HDL generation flow (IR, simulator, Verilog emitter)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.scoring import DEFAULT_DNA, LinearScoring, encode
+from repro.core.pe import PEOutput, ProcessingElement
+from repro.core.systolic import SystolicArray
+from repro.hdl.builders import build_array_module, build_pe_module
+from repro.hdl.ir import (
+    Assign,
+    BinOp,
+    Compare,
+    Const,
+    IRError,
+    Module,
+    Mux,
+    Ref,
+    Register,
+    Signal,
+    smax,
+)
+from repro.hdl.simulate import IRSimulator
+from repro.hdl.verilog import emit_verilog, lint_verilog
+from repro.io.generate import random_dna
+
+from conftest import dna_pair
+
+
+class TestIRValidation:
+    def test_signal_name_and_width_checks(self):
+        with pytest.raises(IRError):
+            Signal("2bad", 4)
+        with pytest.raises(IRError):
+            Signal("ok", 0)
+        with pytest.raises(IRError):
+            Signal("ok", 65)
+
+    def test_undeclared_reference_rejected(self):
+        m = Module("t")
+        m.wires.append(Assign(Signal("w", 4), Ref("ghost")))
+        with pytest.raises(IRError, match="undeclared"):
+            m.validate()
+
+    def test_duplicate_declaration_rejected(self):
+        m = Module("t", inputs=[Signal("x", 4)])
+        m.wires.append(Assign(Signal("x", 4), Const(0)))
+        with pytest.raises(IRError, match="duplicate"):
+            m.validate()
+
+    def test_combinational_loop_rejected(self):
+        m = Module("t")
+        m.wires.append(Assign(Signal("a", 4), Ref("b")))
+        m.wires.append(Assign(Signal("b", 4), Ref("a")))
+        with pytest.raises(IRError, match="combinational loop"):
+            m.validate()
+
+    def test_undriven_output_rejected(self):
+        m = Module("t", outputs=[Signal("y", 4)])
+        with pytest.raises(IRError, match="never driven"):
+            m.validate()
+
+    def test_bad_ops_rejected(self):
+        with pytest.raises(IRError):
+            BinOp("*", Const(1), Const(2))
+        with pytest.raises(IRError):
+            Compare("===", Const(1), Const(2))
+
+
+class TestIRSimulator:
+    def test_adder_wraps_two_complement(self):
+        m = Module(
+            "add4",
+            inputs=[Signal("x", 4), Signal("y", 4)],
+        )
+        out = Signal("s", 4)
+        m.wires.append(Assign(out, BinOp("+", Ref("x"), Ref("y"))))
+        m.outputs = [out]
+        sim = IRSimulator(m)
+        assert sim.step({"x": 3, "y": 2})["s"] == 5
+        assert sim.step({"x": 7, "y": 1})["s"] == -8  # 4-bit signed wrap
+
+    def test_register_commit_after_edge(self):
+        m = Module("reg1", inputs=[Signal("d", 8)])
+        q = Signal("q", 8)
+        m.registers.append(Register(q, Ref("d")))
+        m.outputs = [q]
+        sim = IRSimulator(m)
+        assert sim.step({"d": 42})["q"] == 42
+        assert sim.step({"d": 7})["q"] == 7
+
+    def test_missing_input_raises(self):
+        m = Module("t", inputs=[Signal("x", 4)])
+        w = Signal("w", 4)
+        m.wires.append(Assign(w, Ref("x")))
+        m.outputs = [w]
+        sim = IRSimulator(m)
+        with pytest.raises(IRError, match="missing input"):
+            sim.step({})
+
+    def test_smax_helper(self):
+        m = Module("m", inputs=[Signal("x", 8), Signal("y", 8)])
+        w = Signal("w", 8)
+        m.wires.append(Assign(w, smax(Ref("x"), Ref("y"))))
+        m.outputs = [w]
+        sim = IRSimulator(m)
+        assert sim.step({"x": -3, "y": 2})["w"] == 2
+        assert sim.step({"x": 5, "y": 2})["w"] == 5
+
+
+def drive_pe(sim: IRSimulator, base: str, stream):
+    """Load one PE and stream (valid, base, c, cycle) vectors."""
+    sim.step(
+        {"load_en": 1, "load_base": ord(base), "valid_in": 0, "sb_in": 0, "c_in": 0, "cycle": 0}
+    )
+    outs = []
+    for cycle, (valid, sb, c) in enumerate(stream, start=1):
+        outs.append(
+            sim.step(
+                {
+                    "load_en": 0,
+                    "load_base": 0,
+                    "valid_in": int(valid),
+                    "sb_in": sb,
+                    "c_in": c,
+                    "cycle": cycle,
+                }
+            )
+        )
+    return outs
+
+
+class TestPEEquivalence:
+    """Generated hardware == behavioural Python model, cycle by cycle."""
+
+    @given(dna_pair(1, 12))
+    @settings(max_examples=25)
+    def test_single_pe_random_streams(self, pair):
+        base_seq, db = pair
+        base = base_seq[0]
+        # Behavioural model.
+        pe = ProcessingElement(index=1, scheme=DEFAULT_DNA)
+        pe.load(ord(base))
+        # Generated model, stepped in lockstep with the reference.
+        sim = IRSimulator(build_pe_module())
+        sim.step(
+            {"load_en": 1, "load_base": ord(base), "valid_in": 0, "sb_in": 0, "c_in": 0, "cycle": 0}
+        )
+        for cycle, ch in enumerate(db, start=1):
+            ref_out = pe.step(PEOutput(score=0, base=ord(ch), valid=True), cycle)
+            hw = sim.step(
+                {
+                    "load_en": 0,
+                    "load_base": 0,
+                    "valid_in": 1,
+                    "sb_in": ord(ch),
+                    "c_in": 0,
+                    "cycle": cycle,
+                }
+            )
+            assert hw["d_out"] == ref_out.score
+            assert hw["valid_out"] == 1
+            assert sim.peek("bs") == pe.bs
+            assert sim.peek("bc") == pe.bc
+
+    def test_bubbles_hold_state(self):
+        sim = IRSimulator(build_pe_module())
+        drive_pe(sim, "A", [(1, ord("A"), 0)])
+        bs_before = sim.peek("bs")
+        out = sim.step(
+            {"load_en": 0, "load_base": 0, "valid_in": 0, "sb_in": 0, "c_in": 9, "cycle": 2}
+        )
+        assert out["valid_out"] == 0
+        assert sim.peek("bs") == bs_before
+        assert sim.peek("a") == sim.peek("a")  # state intact
+
+    def test_nonzero_c_input(self):
+        # Boundary-row value on the C port (partitioned operation).
+        pe = ProcessingElement(index=1, scheme=DEFAULT_DNA)
+        pe.load(ord("G"))
+        sim = IRSimulator(build_pe_module())
+        hw = drive_pe(sim, "G", [(1, ord("C"), 7)])[0]
+        ref = pe.step(PEOutput(score=7, base=ord("C"), valid=True), 1)
+        assert hw["d_out"] == ref.score == 5  # max(0+(-1), 7-2)
+
+
+class TestArrayEquivalence:
+    @given(st.integers(2, 5), st.integers(1, 12), st.integers(0, 10_000))
+    @settings(max_examples=20)
+    def test_array_matches_behavioural_array(self, n_pe, db_len, seed):
+        query = random_dna(n_pe, seed=seed)
+        db = random_dna(db_len, seed=seed + 1)
+        # Behavioural.
+        array = SystolicArray(n_pe)
+        array.load_query(query)
+        traces = []
+        array.run_pass(db, on_cycle=lambda cyc, outs: traces.append(
+            [(o.score, o.valid) for o in outs]
+        ))
+        # Generated.
+        module = build_array_module(n_pe)
+        sim = IRSimulator(module)
+        load = {"load_en": 1, "valid_in": 0, "sb_in": 0, "c_in": 0, "cycle": 0}
+        for k, ch in enumerate(query, start=1):
+            load[f"pe{k}_load_base"] = ord(ch)
+        sim.step(load)
+        total_cycles = db_len + n_pe - 1 if db_len else 0
+        for cycle in range(1, total_cycles + 1):
+            vec = {"load_en": 0, "valid_in": 0, "sb_in": 0, "c_in": 0, "cycle": cycle}
+            for k in range(1, n_pe + 1):
+                vec[f"pe{k}_load_base"] = 0
+            if cycle <= db_len:
+                vec["valid_in"] = 1
+                vec["sb_in"] = ord(db[cycle - 1])
+            sim.step(vec)
+            ref = traces[cycle - 1]
+            for k in range(1, n_pe + 1):
+                score, valid = ref[k - 1]
+                assert sim.peek(f"pe{k}_valid_out") == int(valid), (cycle, k)
+                if valid:
+                    assert sim.peek(f"pe{k}_d_out") == score, (cycle, k)
+        # Final lane readout matches.
+        for k, element in enumerate(array.elements, start=1):
+            assert sim.peek(f"pe{k}_bs") == element.bs
+            assert sim.peek(f"pe{k}_bc") == element.bc
+
+
+class TestVerilog:
+    def test_pe_emits_clean(self):
+        text = emit_verilog(build_pe_module())
+        assert lint_verilog(text) == []
+        assert "module sw_pe" in text
+        assert "always @(posedge clk)" in text
+
+    def test_array_emits_clean(self):
+        text = emit_verilog(build_array_module(8))
+        assert lint_verilog(text) == []
+        assert text.count("pe8_d_out") >= 1
+
+    def test_scoring_constants_baked_in(self):
+        scheme = LinearScoring(match=3, mismatch=-2, gap=-4)
+        text = emit_verilog(build_pe_module(scheme=scheme))
+        assert "'sd3" in text  # Co
+        assert "-16'sd2" in text  # Su
+        assert "-16'sd4" in text  # In/Re
+
+    def test_lint_catches_undeclared(self):
+        bad = "module m (clk, x);\n  input clk;\n  assign y = x;\nendmodule\n"
+        problems = lint_verilog(bad)
+        assert any("undeclared" in p for p in problems)
+
+    def test_lint_catches_missing_endmodule(self):
+        assert any("endmodule" in p for p in lint_verilog("module m ();"))
+
+    def test_signed_declarations(self):
+        text = emit_verilog(build_pe_module())
+        assert "wire signed [15:0]" in text or "input signed [15:0]" in text
+
+    def test_width_parameterization(self):
+        text = emit_verilog(build_pe_module(score_width=12))
+        assert "[11:0]" in text
+
+
+class TestAffinePEEquivalence:
+    """Generated affine element == behavioural affine model."""
+
+    @given(dna_pair(1, 12))
+    @settings(max_examples=25)
+    def test_single_affine_pe_random_streams(self, pair):
+        from repro.align.scoring import AffineScoring
+        from repro.core.affine import AffinePEOutput, AffineProcessingElement
+        from repro.hdl.builders import build_affine_pe_module
+
+        scheme = AffineScoring(match=2, mismatch=-1, gap_open=-4, gap_extend=-1)
+        base_seq, db = pair
+        base = base_seq[0]
+        pe = AffineProcessingElement(index=1, scheme=scheme)
+        pe.load(ord(base))
+        module = build_affine_pe_module(scheme)
+        sim = IRSimulator(module)
+        neg = -(1 << 14)  # the module's synthesis-time -infinity
+        sim.step(
+            {
+                "load_en": 1,
+                "load_base": ord(base),
+                "valid_in": 0,
+                "sb_in": 0,
+                "c_in": 0,
+                "f_in": neg,
+                "cycle": 0,
+            }
+        )
+        for cycle, ch in enumerate(db, start=1):
+            ref = pe.step(
+                AffinePEOutput(score=0, f=-(1 << 40), base=ord(ch), valid=True), cycle
+            )
+            hw = sim.step(
+                {
+                    "load_en": 0,
+                    "load_base": 0,
+                    "valid_in": 1,
+                    "sb_in": ord(ch),
+                    "c_in": 0,
+                    "f_in": neg,
+                    "cycle": cycle,
+                }
+            )
+            assert hw["d_out"] == ref.score, cycle
+            assert hw["valid_out"] == 1
+            assert sim.peek("bs") == pe.bs
+            assert sim.peek("bc") == pe.bc
+
+    def test_affine_module_emits_clean_verilog(self):
+        from repro.hdl.builders import build_affine_pe_module
+
+        text = emit_verilog(build_affine_pe_module())
+        assert lint_verilog(text) == []
+        assert "module sw_affine_pe" in text
+
+    def test_affine_module_has_extra_registers(self):
+        from repro.hdl.builders import build_affine_pe_module
+
+        linear = build_pe_module()
+        affine = build_affine_pe_module()
+        # E plus the pipelined F output: two extra registers.
+        assert len(affine.registers) == len(linear.registers) + 2
+
+
+class TestControllerModule:
+    """The figure-9 controller, generated and oracle-checked."""
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 60), st.integers(0, 40)),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=40)
+    def test_matches_behavioural_controller(self, lanes):
+        from repro.core.controller import BestScoreController
+        from repro.core.systolic import LaneBest
+        from repro.hdl.builders import build_controller_module
+
+        n = len(lanes)
+        # Realistic readouts: a lane's bc is at least its first
+        # compute cycle (k) when the lane has a positive best.
+        fixed = [
+            (bs, bc + k) if bs > 0 else (bs, 0)
+            for k, (bs, bc) in enumerate(lanes, start=1)
+        ]
+        module = build_controller_module(n)
+        sim = IRSimulator(module)
+        vec = {}
+        for k, (bs, bc) in enumerate(fixed, start=1):
+            vec[f"bs_{k}"] = bs
+            vec[f"bc_{k}"] = bc
+        out = sim.step(vec)
+        oracle = BestScoreController()
+        oracle.consider_pass(
+            [
+                LaneBest(row=k, score=bs, cycle=bc, column=bc - k + 1)
+                for k, (bs, bc) in enumerate(fixed, start=1)
+            ]
+        )
+        hit = oracle.hit()
+        assert out["best_score"] == hit.score
+        assert out["best_row"] == hit.i
+        assert out["best_col"] == hit.j
+
+    def test_all_zero_lanes_yield_empty_hit(self):
+        from repro.hdl.builders import build_controller_module
+
+        sim = IRSimulator(build_controller_module(3))
+        out = sim.step({f"bs_{k}": 0 for k in range(1, 4)} | {f"bc_{k}": 0 for k in range(1, 4)})
+        assert (out["best_score"], out["best_row"], out["best_col"]) == (0, 0, 0)
+
+    def test_emits_clean_verilog(self):
+        from repro.hdl.builders import build_controller_module
+
+        text = emit_verilog(build_controller_module(8))
+        assert lint_verilog(text) == []
+        assert "module sw_controller" in text
+
+    def test_invalid(self):
+        from repro.hdl.builders import build_controller_module
+
+        with pytest.raises(ValueError):
+            build_controller_module(0)
+
+
+class TestIRSemanticsProperty:
+    """Random expression DAGs: IR evaluation == Python reference."""
+
+    @given(
+        st.lists(st.integers(-100, 100), min_size=2, max_size=6),
+        st.integers(0, 4),
+    )
+    @settings(max_examples=40)
+    def test_random_max_add_trees(self, values, shape_seed):
+        import random as pyrandom
+
+        rng = pyrandom.Random(shape_seed)
+        width = 32  # roomy enough that no wrap occurs for these inputs
+        m = Module("rand", inputs=[Signal(f"x{i}", width) for i in range(len(values))])
+        # Build a random fold of max/add/sub over the inputs.
+        exprs = [Ref(f"x{i}") for i in range(len(values))]
+        pyvals = list(values)
+        while len(exprs) > 1:
+            op = rng.choice(["max", "+", "-"])
+            b_expr, a_expr = exprs.pop(), exprs.pop()
+            b_val, a_val = pyvals.pop(), pyvals.pop()
+            if op == "max":
+                exprs.append(smax(a_expr, b_expr))
+                pyvals.append(max(a_val, b_val))
+            else:
+                exprs.append(BinOp(op, a_expr, b_expr))
+                pyvals.append(a_val + b_val if op == "+" else a_val - b_val)
+        out = Signal("out", width)
+        m.wires.append(Assign(out, exprs[0]))
+        m.outputs = [out]
+        sim = IRSimulator(m)
+        got = sim.step({f"x{i}": v for i, v in enumerate(values)})["out"]
+        assert got == pyvals[0]

@@ -1,0 +1,84 @@
+"""Tests for Hirschberg's linear-space global alignment."""
+
+import pytest
+from hypothesis import given
+
+from repro.align.hirschberg import hirschberg_align, hirschberg_crossing
+from repro.align.needleman_wunsch import nw_score
+from repro.align.scoring import DEFAULT_DNA, encode
+
+from conftest import dna_pair, linear_schemes
+
+
+class TestHirschberg:
+    @given(dna_pair(0, 24), linear_schemes())
+    def test_score_equals_needleman_wunsch(self, pair, scheme):
+        s, t = pair
+        aln = hirschberg_align(s, t, scheme)
+        assert aln.score == nw_score(s, t, scheme)
+
+    @given(dna_pair(0, 24))
+    def test_alignment_is_valid_edit_script(self, pair):
+        s, t = pair
+        aln = hirschberg_align(s, t)
+        aln.validate(s, t)
+        assert aln.audit_score(DEFAULT_DNA) == aln.score
+
+    def test_identical(self):
+        aln = hirschberg_align("ACGTACGT", "ACGTACGT")
+        assert aln.score == 8
+        assert aln.cigar() == "8M"
+
+    def test_empty_both(self):
+        aln = hirschberg_align("", "")
+        assert aln.score == 0
+        assert len(aln) == 0
+
+    def test_empty_one_side(self):
+        aln = hirschberg_align("ACGT", "")
+        assert aln.t_aligned == "----"
+        assert aln.score == -8
+
+    def test_single_characters(self):
+        assert hirschberg_align("A", "A").score == 1
+        assert hirschberg_align("A", "C").score == -1  # substitution beats two gaps
+
+    def test_long_sequences_exercise_recursion(self):
+        # Deep enough that several recursion levels run.
+        from repro.io.generate import mutated_pair
+
+        s, t = mutated_pair(200, rate=0.2, seed=9)
+        aln = hirschberg_align(s, t)
+        aln.validate(s, t)
+        assert aln.score == nw_score(s, t)
+
+    def test_case_insensitive(self):
+        assert hirschberg_align("acgt", "ACGT").score == 4
+
+
+class TestCrossing:
+    def test_crossing_in_range(self):
+        s, t = encode("ACGTAC"), encode("ACTGAC")
+        for mid in range(1, 6):
+            k = hirschberg_crossing(s, t, mid)
+            assert 0 <= k <= len(t)
+
+    def test_crossing_is_optimal_split(self):
+        # Splitting at the crossing must preserve the total score.
+        from repro.align.needleman_wunsch import nw_score as score
+
+        s, t = "ACGTACGT", "AGTACG"
+        mid = 4
+        k = hirschberg_crossing(encode(s), encode(t), mid)
+        total = score(s[:mid], t[:k]) + score(s[mid:], t[k:])
+        assert total == score(s, t)
+
+    @given(dna_pair(2, 16))
+    def test_crossing_split_preserves_score_property(self, pair):
+        s, t = pair
+        mid = len(s) // 2
+        if mid == 0:
+            return
+        k = hirschberg_crossing(encode(s), encode(t), mid)
+        total = nw_score(s[:mid], t[:k]) + nw_score(s[mid:], t[k:])
+        assert total == nw_score(s, t)

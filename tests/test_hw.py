@@ -1,0 +1,158 @@
+"""Tests for the hardware platform models (device, SRAM, bus, board, host)."""
+
+import pytest
+
+from repro.hw.board import Board, prototype_board
+from repro.hw.bus import PCI_32_33, PCI_64_66, HostBus
+from repro.hw.device import DEVICES, XC2VP70, XCV2000E, FPGADevice, ResourceVector
+from repro.hw.host import PAPER_HOST, HostCPU, measure_host
+from repro.hw.sram import BoardSRAM
+
+
+class TestDevice:
+    def test_catalog_contains_paper_devices(self):
+        assert {"xc2vp70", "xc2v6000", "xcv2000e", "xcv812e"} <= set(DEVICES)
+
+    def test_virtex_slice_relation(self):
+        # Two LUTs and two FFs per slice across the catalog.
+        for dev in DEVICES.values():
+            assert dev.flipflops == 2 * dev.slices
+            assert dev.luts == 2 * dev.slices
+
+    def test_utilization(self):
+        used = ResourceVector(slices=XC2VP70.slices // 2)
+        assert XC2VP70.utilization(used)["slices"] == pytest.approx(0.5)
+
+    def test_fits(self):
+        assert XC2VP70.fits(ResourceVector(slices=1000, flipflops=10, luts=10, iobs=5, gclks=1))
+        assert not XC2VP70.fits(ResourceVector(slices=XC2VP70.slices + 1))
+
+    def test_invalid_device(self):
+        with pytest.raises(ValueError):
+            FPGADevice("bad", "fam", 0, 1, 1, 1, 1, 1)
+
+    def test_xc2vp70_bigger_than_xcv2000e(self):
+        assert XC2VP70.slices > XCV2000E.slices
+
+
+class TestResourceVector:
+    def test_add(self):
+        a = ResourceVector(slices=1, luts=2)
+        b = ResourceVector(slices=3, flipflops=4)
+        c = a + b
+        assert (c.slices, c.flipflops, c.luts) == (4, 4, 2)
+
+    def test_scale(self):
+        v = ResourceVector(slices=2, luts=3).scale(10)
+        assert (v.slices, v.luts) == (20, 30)
+
+
+class TestSRAM:
+    def test_capacity_math(self):
+        sram = BoardSRAM(capacity_bytes=1000)
+        assert sram.database_bytes(1000) == 1000
+        assert sram.boundary_row_bytes(100) == 101 * 4
+
+    def test_packed_bases(self):
+        sram = BoardSRAM(bits_per_base=2)
+        assert sram.database_bytes(1000) == 250
+
+    def test_fits_partitioned(self):
+        sram = BoardSRAM(capacity_bytes=1000)
+        assert sram.fits(900, partitioned=False)
+        assert not sram.fits(900, partitioned=True)  # + 3604-byte row
+
+    def test_max_segment_roundtrip(self):
+        sram = BoardSRAM(capacity_bytes=10_000)
+        seg = sram.max_segment(partitioned=True)
+        assert sram.fits(seg, partitioned=True)
+        assert not sram.fits(seg + 2, partitioned=True)
+
+    def test_several_megabytes_hold_the_headline_db(self):
+        # Section 5: board SRAM "can handle several megabytes" —
+        # the 10 MBP headline database fits in the prototype's 8 MiB
+        # only when DNA is 2-bit packed; byte-per-base needs ~10 MiB.
+        assert BoardSRAM(bits_per_base=2).fits(10_000_000, partitioned=False)
+        assert not BoardSRAM(bits_per_base=8).fits(10_000_000, partitioned=False)
+
+    def test_stream_cycles(self):
+        assert BoardSRAM().stream_cycles(100) == 100
+        assert BoardSRAM(words_per_cycle=0.5).stream_cycles(100) == 200
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            BoardSRAM(capacity_bytes=0)
+        with pytest.raises(ValueError):
+            BoardSRAM(bits_per_base=3)
+
+
+class TestBus:
+    def test_transfer_time_monotone(self):
+        assert PCI_32_33.transfer_seconds(1000) < PCI_32_33.transfer_seconds(10_000)
+
+    def test_latency_dominates_small_transfers(self):
+        t = PCI_32_33.transfer_seconds(12)
+        assert t == pytest.approx(PCI_32_33.latency_s, rel=0.05)
+
+    def test_result_transfer_is_milliseconds(self):
+        # Section 6: the 12-byte result moves in "few milliseconds".
+        assert PCI_32_33.transfer_seconds(12) < 5e-3
+
+    def test_zero_bytes_free(self):
+        assert PCI_32_33.transfer_seconds(0) == 0.0
+
+    def test_faster_bus(self):
+        assert PCI_64_66.transfer_seconds(10**6) < PCI_32_33.transfer_seconds(10**6)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            HostBus("x", bandwidth_bytes_s=0)
+        with pytest.raises(ValueError):
+            PCI_32_33.transfer_seconds(-1)
+
+
+class TestBoard:
+    def test_prototype_defaults(self):
+        board = prototype_board()
+        assert board.device.name == "xc2vp70"
+        assert board.bus is PCI_32_33
+
+    def test_transfer_logging(self):
+        board = prototype_board()
+        board.download(100)
+        board.upload(12)
+        assert board.log.bytes_down == 100
+        assert board.log.bytes_up == 12
+        assert board.log.transfers == 2
+        board.log.reset()
+        assert board.log.transfers == 0
+
+    def test_capacity_check(self):
+        board = prototype_board(sram_mib=1)
+        board.check_database_fits(500_000, partitioned=False)
+        with pytest.raises(ValueError, match="does not fit"):
+            board.check_database_fits(2_000_000, partitioned=False)
+
+
+class TestHost:
+    def test_paper_host_derivation(self):
+        # 1e9 cells at 4.83 MCUPS ~ 207 s ("more than 3 minutes").
+        t = PAPER_HOST.seconds_for_cells(1_000_000_000)
+        assert 200 < t < 215
+
+    def test_speedup_against(self):
+        assert PAPER_HOST.speedup_against(0.839, 1_000_000_000) == pytest.approx(
+            246.9, rel=0.02
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            HostCPU("x", clock_ghz=0, sw_cups=1)
+        with pytest.raises(ValueError):
+            PAPER_HOST.seconds_for_cells(-1)
+        with pytest.raises(ValueError):
+            PAPER_HOST.speedup_against(0, 10)
+
+    def test_measure_host_returns_positive_cups(self):
+        host = measure_host(cells_target=200_000)
+        assert host.sw_cups > 0

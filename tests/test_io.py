@@ -1,0 +1,143 @@
+"""Tests for FASTA I/O and the workload generators."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.align.scoring import DNA_ALPHABET
+from repro.align.smith_waterman import sw_score
+from repro.io.fasta import FastaRecord, parse_fasta, read_fasta, write_fasta
+from repro.io.generate import (
+    adversarial_pairs,
+    mutate,
+    mutated_pair,
+    planted_pair,
+    random_dna,
+    random_protein,
+)
+
+
+class TestFastaParse:
+    def test_single_record(self):
+        recs = list(parse_fasta(io.StringIO(">seq1 demo\nACGT\nACGT\n")))
+        assert recs == [FastaRecord("seq1 demo", "ACGTACGT")]
+        assert recs[0].identifier == "seq1"
+
+    def test_multiple_records(self):
+        text = ">a\nAC\n>b\nGT\nTT\n>c\nA\n"
+        recs = list(parse_fasta(io.StringIO(text)))
+        assert [r.header for r in recs] == ["a", "b", "c"]
+        assert [r.sequence for r in recs] == ["AC", "GTTT", "A"]
+
+    def test_blank_lines_and_comments_skipped(self):
+        text = "; file comment\n>a\nAC\n\n;interior\nGT\n"
+        recs = list(parse_fasta(io.StringIO(text)))
+        assert recs[0].sequence == "ACGT"
+
+    def test_lowercase_uppercased(self):
+        recs = list(parse_fasta(io.StringIO(">a\nacgt\n")))
+        assert recs[0].sequence == "ACGT"
+
+    def test_data_before_header_raises(self):
+        with pytest.raises(ValueError, match="before any"):
+            list(parse_fasta(io.StringIO("ACGT\n")))
+
+    def test_alphabet_enforced(self):
+        with pytest.raises(ValueError, match="outside"):
+            list(parse_fasta(io.StringIO(">a\nACGX\n"), alphabet="ACGT"))
+
+    def test_empty_stream(self):
+        assert list(parse_fasta(io.StringIO(""))) == []
+
+    def test_len(self):
+        assert len(FastaRecord("h", "ACGT")) == 4
+
+
+class TestFastaWrite:
+    def test_roundtrip_file(self, tmp_path):
+        path = tmp_path / "demo.fasta"
+        records = [FastaRecord("a", "ACGT" * 30), FastaRecord("b note", "TTTT")]
+        write_fasta(records, path)
+        back = read_fasta(path)
+        assert back == records
+
+    def test_wrapping(self):
+        text = write_fasta([("a", "A" * 150)], width=70)
+        lines = text.strip().split("\n")
+        assert lines[0] == ">a"
+        assert [len(l) for l in lines[1:]] == [70, 70, 10]
+
+    def test_tuples_accepted(self):
+        text = write_fasta([("x", "ACGT")])
+        assert text == ">x\nACGT\n"
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            write_fasta([("x", "ACGT")], width=0)
+
+
+class TestGenerators:
+    def test_random_dna_deterministic(self):
+        assert random_dna(50, seed=7) == random_dna(50, seed=7)
+        assert random_dna(50, seed=7) != random_dna(50, seed=8)
+
+    def test_random_dna_alphabet_and_length(self):
+        s = random_dna(200, seed=1)
+        assert len(s) == 200
+        assert set(s) <= set(DNA_ALPHABET)
+
+    def test_random_protein(self):
+        s = random_protein(100, seed=2)
+        assert len(s) == 100
+
+    def test_zero_length(self):
+        assert random_dna(0) == ""
+
+    def test_negative_length_raises(self):
+        with pytest.raises(ValueError):
+            random_dna(-1)
+
+    def test_mutate_rate_zero_is_identity(self):
+        s = random_dna(100, seed=3)
+        assert mutate(s, rate=0.0, seed=4) == s
+
+    def test_mutate_rate_one_changes_everything_without_indels(self):
+        s = random_dna(100, seed=5)
+        t = mutate(s, rate=1.0, indel_fraction=0.0, seed=6)
+        assert len(t) == len(s)
+        assert all(a != b for a, b in zip(s, t))
+
+    def test_mutate_invalid_rate(self):
+        with pytest.raises(ValueError):
+            mutate("ACGT", rate=1.5)
+        with pytest.raises(ValueError):
+            mutate("ACGT", indel_fraction=-0.1)
+
+    def test_mutated_pair_aligns_well(self):
+        s, t = mutated_pair(100, rate=0.05, seed=10)
+        # A 5%-mutated copy must retain a strong local alignment.
+        assert sw_score(s, t) > 50
+
+    def test_planted_pair_contains_fragment(self):
+        p = planted_pair(100, 120, 30, seed=11)
+        assert p.fragment in p.s
+        assert p.s[p.s_pos : p.s_pos + 30] == p.fragment
+        assert p.t[p.t_pos : p.t_pos + 30] == p.fragment
+
+    def test_planted_pair_alignment_at_least_fragment(self):
+        p = planted_pair(100, 120, 30, seed=12)
+        assert sw_score(p.s, p.t) >= 28  # fragment may abut lucky context
+
+    def test_planted_fragment_too_big_raises(self):
+        with pytest.raises(ValueError):
+            planted_pair(10, 10, 11)
+
+    def test_adversarial_pairs_well_formed(self):
+        pairs = adversarial_pairs()
+        assert len(pairs) >= 12
+        names = [n for n, _, _ in pairs]
+        assert len(set(names)) == len(names)
+        for _, s, t in pairs:
+            assert set(s) | set(t) <= set(DNA_ALPHABET)
+            assert s and t

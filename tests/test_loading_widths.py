@@ -1,0 +1,129 @@
+"""Tests for the query-load cost model and register-width analysis."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.scoring import LinearScoring, blosum62
+from repro.align.smith_waterman import sw_locate_best, sw_score
+from repro.core.loading import LoadCostModel, QueryLoadMode
+from repro.core.resources import PROTOTYPE_MODEL
+from repro.core.widths import (
+    locate_with_width,
+    max_possible_score,
+    required_cycle_width,
+    required_score_width,
+)
+from repro.io.generate import mutated_pair, random_dna
+
+from conftest import dna_pair
+
+
+class TestLoadModes:
+    def test_register_chain_cost_linear_in_chunk(self):
+        model = LoadCostModel(QueryLoadMode.REGISTER_CHAIN)
+        assert model.load_seconds_per_pass(200) == pytest.approx(
+            2 * model.load_seconds_per_pass(100)
+        )
+
+    def test_reconfiguration_cost_flat(self):
+        model = LoadCostModel(QueryLoadMode.RECONFIGURATION)
+        assert model.load_seconds_per_pass(10) == model.load_seconds_per_pass(10_000)
+        assert model.load_seconds_per_pass(0) == 0.0
+
+    def test_reconfiguration_saves_area(self):
+        # [13]: "sparing 2 flip-flops for each base storage".
+        register = LoadCostModel(QueryLoadMode.REGISTER_CHAIN).element_area()
+        jbits = LoadCostModel(QueryLoadMode.RECONFIGURATION).element_area()
+        assert jbits.flipflops < register.flipflops
+        assert jbits.luts < register.luts
+
+    def test_reconfiguration_fits_more_elements(self):
+        jbits = LoadCostModel(QueryLoadMode.RECONFIGURATION).resource_model()
+        assert jbits.max_elements() > PROTOTYPE_MODEL.max_elements()
+
+    def test_reconfiguration_loses_on_many_passes(self):
+        # Section 4: milliseconds per reconfiguration "makes it
+        # difficult to use for large query sequences that would
+        # require many reconfigurations".  A 10 KBP query on 100
+        # elements against a short database: 100 reconfigs dominate.
+        m, n, elements = 10_000, 50_000, 100
+        register = LoadCostModel(QueryLoadMode.REGISTER_CHAIN)
+        jbits = LoadCostModel(QueryLoadMode.RECONFIGURATION)
+        assert jbits.total_seconds(m, n, elements) > register.total_seconds(m, n, elements)
+
+    def test_single_pass_reconfiguration_overhead_still_ms(self):
+        # For the headline workload (one pass, huge database) the
+        # reconfiguration cost is amortized into irrelevance.
+        register = LoadCostModel(QueryLoadMode.REGISTER_CHAIN)
+        jbits = LoadCostModel(QueryLoadMode.RECONFIGURATION)
+        t_reg = register.total_seconds(100, 10_000_000, 100)
+        t_jbits = jbits.total_seconds(100, 10_000_000, 100)
+        assert t_jbits == pytest.approx(t_reg, rel=0.10)
+
+    def test_crossover_is_sub_pass(self):
+        model = LoadCostModel(QueryLoadMode.RECONFIGURATION)
+        # Reconfig costs as much as loading ~724k bases by register.
+        assert model.crossover_passes(100) > 1000
+
+    def test_negative_chunk_raises(self):
+        with pytest.raises(ValueError):
+            LoadCostModel().load_seconds_per_pass(-1)
+
+
+class TestWidths:
+    def test_max_possible_score_bound_holds(self):
+        s, t = mutated_pair(200, rate=0.1, seed=41)
+        assert sw_score(s, t) <= max_possible_score(len(s), len(t), LinearScoring())
+
+    @given(dna_pair(1, 24))
+    def test_bound_property(self, pair):
+        s, t = pair
+        assert sw_score(s, t) <= max_possible_score(len(s), len(t), LinearScoring())
+
+    def test_required_score_width_values(self):
+        scheme = LinearScoring()
+        # 100-base chunks: bound 100 -> 1 + 7 = 8 bits.
+        assert required_score_width(100, 10_000_000, scheme) == 8
+        # SAMBA's 12 bits hold chunks up to 2047 matches.
+        assert required_score_width(2047, 10**9, scheme) == 12
+
+    def test_required_score_width_substitution_matrix(self):
+        m = blosum62()
+        w = required_score_width(100, 1000, m)
+        assert w >= 1 + 10  # 100 * 11 (W-W) = 1100 -> 11 magnitude bits
+
+    def test_required_cycle_width(self):
+        # n + N - 1 = 10,000,099 -> 24 bits.
+        assert required_cycle_width(10_000_000, 100) == 24
+        assert required_cycle_width(3, 4) == 3  # count to 6
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            max_possible_score(-1, 10, LinearScoring())
+        with pytest.raises(ValueError):
+            required_cycle_width(10, 0)
+        with pytest.raises(ValueError):
+            locate_with_width("AC", "AC", width_bits=1)
+
+    def test_sufficient_width_is_exact(self):
+        s = random_dna(30, seed=42)
+        t = random_dna(40, seed=43)
+        width = required_score_width(30, 40, LinearScoring())
+        assert locate_with_width(s, t, width) == sw_locate_best(s, t)
+
+    @given(dna_pair(1, 16))
+    @settings(max_examples=20)
+    def test_sufficient_width_property(self, pair):
+        s, t = pair
+        width = required_score_width(len(s), len(t), LinearScoring())
+        assert locate_with_width(s, t, width) == sw_locate_best(s, t)
+
+    def test_insufficient_width_detected(self):
+        # A long perfect match overflows a 4-bit register (max 7): the
+        # wrapped result must differ from the oracle — the failure the
+        # width analysis exists to prevent, and proof our oracles
+        # catch it.
+        s = t = "ACGT" * 8  # score 32 > 7
+        wrapped = locate_with_width(s, t, width_bits=4)
+        exact = sw_locate_best(s, t)
+        assert wrapped != exact

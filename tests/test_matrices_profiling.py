@@ -1,0 +1,104 @@
+"""Tests for matrix I/O and the profiling harness."""
+
+import io
+
+import pytest
+
+from repro.align.scoring import blosum62
+from repro.align.smith_waterman import sw_score
+from repro.analysis.profiling import Hotspot, profile_call, profile_locate
+from repro.io.generate import random_protein
+from repro.io.matrices import parse_matrix, read_matrix, write_matrix
+
+
+class TestMatrixIO:
+    def test_blosum62_roundtrip(self, tmp_path):
+        original = blosum62(gap=-8)
+        path = tmp_path / "BLOSUM62.txt"
+        write_matrix(original, path)
+        back = read_matrix(path, gap=-8)
+        for a in original.alphabet:
+            for b in original.alphabet:
+                assert back.pair(a, b) == original.pair(a, b)
+        assert back.gap == original.gap
+
+    def test_roundtrip_preserves_alignment_scores(self, tmp_path):
+        original = blosum62()
+        path = tmp_path / "m.txt"
+        write_matrix(original, path)
+        back = read_matrix(path)
+        s = random_protein(30, seed=1)
+        t = random_protein(40, seed=2)
+        assert sw_score(s, t, back) == sw_score(s, t, original)
+
+    def test_parse_minimal(self):
+        text = "# demo\n  A C\nA 2 -1\nC -1 3\n"
+        m = parse_matrix(io.StringIO(text), gap=-4)
+        assert m.pair("A", "A") == 2
+        assert m.pair("a", "c") == -1
+        assert m.gap == -4
+
+    def test_star_column_dropped(self):
+        text = "  A C *\nA 2 -1 -4\nC -1 3 -4\n* -4 -4 1\n"
+        m = parse_matrix(io.StringIO(text))
+        assert m.alphabet == "AC"
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# c1\n\n# c2\n  A\nA 5\n"
+        assert parse_matrix(io.StringIO(text)).pair("A", "A") == 5
+
+    def test_asymmetric_rejected(self):
+        text = "  A C\nA 2 -1\nC -2 3\n"
+        with pytest.raises(ValueError, match="not symmetric"):
+            parse_matrix(io.StringIO(text))
+
+    def test_missing_row_rejected(self):
+        text = "  A C\nA 2 -1\n"
+        with pytest.raises(ValueError, match="rows missing"):
+            parse_matrix(io.StringIO(text))
+
+    def test_bad_row_width_rejected(self):
+        text = "  A C\nA 2\nC -1 3\n"
+        with pytest.raises(ValueError, match="has 1 scores"):
+            parse_matrix(io.StringIO(text))
+
+    def test_non_integer_rejected(self):
+        text = "  A\nA x\n"
+        with pytest.raises(ValueError, match="non-integer"):
+            parse_matrix(io.StringIO(text))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no header"):
+            parse_matrix(io.StringIO("# only comments\n"))
+
+
+class TestProfiling:
+    def test_profile_call_returns_hotspots(self):
+        rows = profile_call(lambda: sorted(range(50_000)), top=5)
+        assert rows
+        assert all(isinstance(r, Hotspot) for r in rows)
+        assert all(r.cumulative_seconds >= 0 for r in rows)
+
+    def test_top_limits_rows(self):
+        rows = profile_call(lambda: sum(range(10_000)), top=3)
+        assert len(rows) <= 3
+
+    def test_invalid_top(self):
+        with pytest.raises(ValueError):
+            profile_call(lambda: None, top=0)
+
+    def test_numpy_kernel_time_in_vector_ops(self):
+        # The guide's point, checked: the vectorized kernel's hot
+        # frames are the sweep itself (NumPy ufuncs run under it).
+        rows = profile_locate(query_length=60, database_length=20_000, kernel="numpy")
+        names = " ".join(r.function for r in rows)
+        assert "sw_row_sweep" in names or "sw_locate_best" in names
+
+    def test_pure_kernel_time_in_cell_loop(self):
+        rows = profile_locate(query_length=40, database_length=2_000, kernel="pure")
+        names = " ".join(r.function for r in rows)
+        assert "locate_pure" in names
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            profile_locate(kernel="fortran")

@@ -1,0 +1,167 @@
+"""Unit tests for the full-matrix DP oracle (repro.align.matrix)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.align.matrix import PTR_DIAG, PTR_LEFT, PTR_UP, SimilarityMatrix
+from repro.align.scoring import DEFAULT_DNA, LinearScoring
+
+from conftest import dna_pair, linear_schemes
+
+
+class TestFill:
+    def test_first_row_and_column_zero_local(self, paper_pair):
+        s, t = paper_pair
+        m = SimilarityMatrix(s, t)
+        assert (m.scores[0, :] == 0).all()
+        assert (m.scores[:, 0] == 0).all()
+
+    def test_global_boundaries_are_gap_multiples(self):
+        m = SimilarityMatrix("ACG", "AC", local=False)
+        assert m.scores[0, :].tolist() == [0, -2, -4]
+        assert m.scores[:, 0].tolist() == [0, -2, -4, -6]
+
+    def test_local_scores_nonnegative(self, paper_pair):
+        m = SimilarityMatrix(*paper_pair)
+        assert (m.scores >= 0).all()
+
+    def test_paper_figure2_best(self, paper_pair):
+        # s=TATGGAC, t=TAGTGACT: best local alignment GAC, score 3.
+        m = SimilarityMatrix(*paper_pair)
+        assert m.best() == (3, 7, 7)
+
+    def test_known_small_matrix(self):
+        m = SimilarityMatrix("AC", "AC")
+        assert m.scores.tolist() == [[0, 0, 0], [0, 1, 0], [0, 0, 2]]
+
+    def test_recurrence_holds_everywhere(self, paper_pair):
+        s, t = paper_pair
+        m = SimilarityMatrix(s, t)
+        D = m.scores
+        for i in range(1, len(s) + 1):
+            for j in range(1, len(t) + 1):
+                p = 1 if s[i - 1] == t[j - 1] else -1
+                expected = max(0, D[i - 1, j - 1] + p, D[i - 1, j] - 2, D[i, j - 1] - 2)
+                assert D[i, j] == expected
+
+    def test_case_insensitive(self):
+        a = SimilarityMatrix("acgt", "ACGT")
+        b = SimilarityMatrix("ACGT", "ACGT")
+        assert np.array_equal(a.scores, b.scores)
+
+    def test_empty_sequences(self):
+        m = SimilarityMatrix("", "")
+        assert m.shape == (1, 1)
+        assert m.best() == (0, 0, 0)
+
+
+class TestPointers:
+    def test_diagonal_pointer_on_match(self):
+        m = SimilarityMatrix("A", "A")
+        assert m.pointers[1, 1] & PTR_DIAG
+
+    def test_multiple_pointers_possible(self):
+        # A tie between directions sets several bits.
+        m = SimilarityMatrix("AA", "AA")
+        # cell (2,1): diag (A==A from 0) gives 1; up = D[1,1]-2 = -1;
+        # left = D[2,0]-2 = -2 -> only diag.
+        assert m.pointers[2, 1] == PTR_DIAG
+
+    def test_clamped_cells_have_no_pointer_local(self, paper_pair):
+        # Cells whose recurrence max is negative are clamped to zero
+        # and carry no arrow.  (A cell can legitimately score zero
+        # *with* an arrow when a predecessor path sums to exactly 0;
+        # traceback stops at score zero either way.)
+        s, t = paper_pair
+        m = SimilarityMatrix(s, t)
+        D = m.scores
+        for i in range(1, len(s) + 1):
+            for j in range(1, len(t) + 1):
+                p = 1 if s[i - 1] == t[j - 1] else -1
+                raw = max(D[i - 1, j - 1] + p, D[i - 1, j] - 2, D[i, j - 1] - 2)
+                if raw < 0:
+                    assert m.pointers[i, j] == 0
+
+    def test_global_border_pointers(self):
+        m = SimilarityMatrix("AC", "AG", local=False)
+        assert m.pointers[1, 0] == PTR_UP
+        assert m.pointers[0, 1] == PTR_LEFT
+
+
+class TestBest:
+    def test_tie_break_smallest_row_then_column(self):
+        # "AT" vs "TT": cells (2,1) and (2,2) both score 1? construct a
+        # clean tie: s=AA, t=AA gives unique best; use disjoint repeats.
+        m = SimilarityMatrix("ACA", "AGA")
+        score, i, j = m.best()
+        # All single-A matches score 1; the first in row-major order
+        # is (1, 1).
+        assert score == 1
+        assert (i, j) == (1, 1)
+
+    def test_global_best_is_corner(self):
+        m = SimilarityMatrix("ACG", "ACG", local=False)
+        assert m.best() == (3, 3, 3)
+
+    @given(dna_pair(1, 14), linear_schemes())
+    def test_best_matches_argmax(self, pair, scheme):
+        s, t = pair
+        m = SimilarityMatrix(s, t, scheme)
+        score, i, j = m.best()
+        assert score == m.scores.max()
+        assert m.scores[i, j] == score
+
+
+class TestTraceback:
+    def test_alignment_validates_and_audits(self, paper_pair):
+        s, t = paper_pair
+        aln = SimilarityMatrix(s, t).best_alignment()
+        aln.validate(s, t)
+        assert aln.audit_score(DEFAULT_DNA) == aln.score == 3
+
+    def test_global_alignment_spans_everything(self):
+        aln = SimilarityMatrix("ACGT", "AGT", local=False).best_alignment()
+        assert aln.s_start == 0 and aln.t_start == 0
+        assert aln.s_end == 4 and aln.t_end == 3
+
+    @given(dna_pair(1, 14))
+    def test_local_traceback_always_consistent(self, pair):
+        s, t = pair
+        matrix = SimilarityMatrix(s, t)
+        aln = matrix.best_alignment()
+        aln.validate(s, t)
+        assert aln.audit_score(DEFAULT_DNA) == aln.score
+
+    @given(dna_pair(1, 12), linear_schemes())
+    def test_global_traceback_always_consistent(self, pair, scheme):
+        s, t = pair
+        matrix = SimilarityMatrix(s, t, scheme, local=False)
+        aln = matrix.best_alignment()
+        aln.validate(s, t)
+        assert aln.audit_score(scheme) == aln.score
+
+
+class TestHelpers:
+    def test_antidiagonal_extraction(self):
+        m = SimilarityMatrix("ACG", "AC")
+        # Anti-diagonal k collects D[i, k-i].
+        diag = m.antidiagonal(2)
+        expected = [m.scores[0, 2], m.scores[1, 1], m.scores[2, 0]]
+        assert diag.tolist() == expected
+
+    def test_memory_bytes_quadratic(self):
+        small = SimilarityMatrix("ACGT", "ACGT").memory_bytes()
+        large = SimilarityMatrix("ACGT" * 4, "ACGT" * 4).memory_bytes()
+        assert large > small * 8  # ~16x cells
+
+    def test_render_contains_sequences_and_best(self, paper_pair):
+        s, t = paper_pair
+        text = SimilarityMatrix(s, t).render()
+        for ch in set(s) | set(t):
+            assert ch in text
+        assert "[" in text  # traceback highlighted
+
+    def test_render_no_arrows(self, paper_pair):
+        text = SimilarityMatrix(*paper_pair).render(arrows=False, highlight_traceback=False)
+        assert "\\" not in text

@@ -1,0 +1,106 @@
+"""Tests for the multi-base-per-element design variant."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.smith_waterman import sw_locate_best
+from repro.core.multibase import MultiBaseDesign
+from repro.core.resources import PROTOTYPE_MODEL
+from repro.core.timing import estimate_run
+
+from conftest import dna_pair
+
+
+class TestFunction:
+    @given(dna_pair(1, 30), st.integers(1, 4), st.integers(1, 8))
+    @settings(max_examples=30)
+    def test_locate_matches_oracle(self, pair, bases, elements):
+        s, t = pair
+        design = MultiBaseDesign(elements=elements, bases_per_element=bases)
+        assert design.locate(s, t) == sw_locate_best(s, t)
+
+    def test_capacity(self):
+        assert MultiBaseDesign(elements=100, bases_per_element=4).query_capacity == 400
+
+    def test_scheme_mismatch_raises(self):
+        from repro.align.scoring import LinearScoring
+
+        design = MultiBaseDesign()
+        with pytest.raises(ValueError, match="different scoring scheme"):
+            design.locate("AC", "AC", LinearScoring(match=2, mismatch=-1, gap=-3))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            MultiBaseDesign(elements=0)
+        with pytest.raises(ValueError):
+            MultiBaseDesign(bases_per_element=0)
+
+
+class TestTiming:
+    def test_single_base_matches_partition_model(self):
+        # b=1 degenerates to the paper's design exactly.
+        design = MultiBaseDesign(elements=100, bases_per_element=1)
+        assert design.run_clocks(250, 1000) == estimate_run(250, 1000, 100).steps
+
+    def test_wavefront_slows_by_b(self):
+        # For a query fitting both designs, the b-base array takes
+        # ~b times the clocks of a b-times-larger array.
+        single = MultiBaseDesign(elements=400, bases_per_element=1)
+        multi = MultiBaseDesign(elements=100, bases_per_element=4)
+        n = 10_000
+        assert multi.run_clocks(400, n) == pytest.approx(
+            4 * single.run_clocks(400, n), rel=0.05
+        )
+
+    def test_avoids_partitioning_passes(self):
+        # 400 rows on 100 elements: partitioned design needs 4 passes;
+        # the 4-base design needs 1.
+        multi = MultiBaseDesign(elements=100, bases_per_element=4)
+        assert multi.passes(400) == 1
+        single = MultiBaseDesign(elements=100, bases_per_element=1)
+        assert single.passes(400) == 4
+
+    def test_same_total_compute_clocks_for_long_db(self):
+        # Section 4's subtle point: time-multiplexing does not buy
+        # throughput — total clocks match partitioning up to drain
+        # effects (<1% at long n).
+        n = 100_000
+        multi = MultiBaseDesign(elements=100, bases_per_element=4)
+        single = MultiBaseDesign(elements=100, bases_per_element=1)
+        ratio = multi.run_clocks(400, n) / single.run_clocks(400, n)
+        assert ratio == pytest.approx(1.0, abs=0.01)
+
+    def test_empty(self):
+        design = MultiBaseDesign()
+        assert design.run_clocks(0, 100) == 0
+        assert design.run_clocks(100, 0) == 0
+        assert design.passes(0) == 0
+
+
+class TestArea:
+    def test_more_bases_cost_more_registers(self):
+        one = MultiBaseDesign(bases_per_element=1).resource_model()
+        four = MultiBaseDesign(bases_per_element=4).resource_model()
+        assert four.per_element.flipflops > one.per_element.flipflops
+        assert four.per_element.slices > one.per_element.slices
+
+    def test_b1_is_the_prototype(self):
+        model = MultiBaseDesign(bases_per_element=1).resource_model()
+        assert model.per_element == PROTOTYPE_MODEL.per_element
+
+    def test_max_elements_decreases_with_b(self):
+        # "...thus decreases the maximum number of computing elements"
+        counts = [
+            MultiBaseDesign(bases_per_element=b).max_elements_on_device()
+            for b in (1, 2, 4)
+        ]
+        assert counts[0] > counts[1] > counts[2]
+
+    def test_capacity_in_rows_still_grows_with_b(self):
+        # Fewer elements but more rows each: net row capacity rises —
+        # the reason designs like [12] accept the trade.
+        rows = [
+            MultiBaseDesign(bases_per_element=b).max_elements_on_device() * b
+            for b in (1, 2, 4)
+        ]
+        assert rows[0] < rows[1] < rows[2]

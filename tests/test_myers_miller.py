@@ -1,0 +1,135 @@
+"""Tests for Myers-Miller affine linear-space alignment (ref [25])."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.gotoh import gotoh_align, gotoh_locate_best, gotoh_score
+from repro.align.hirschberg import hirschberg_align
+from repro.align.myers_miller import (
+    gotoh_cells_argmax,
+    local_align_affine,
+    myers_miller_align,
+)
+from repro.align.scoring import AffineScoring, LinearScoring
+from repro.align.smith_waterman import LocalHit
+from repro.io.generate import mutated_pair
+
+from conftest import dna_pair
+
+AFFINE = AffineScoring(match=2, mismatch=-1, gap_open=-4, gap_extend=-1)
+
+
+@st.composite
+def affine_schemes(draw):
+    match = draw(st.integers(1, 4))
+    mismatch = draw(st.integers(-4, 0))
+    extend = draw(st.integers(-3, -1))
+    open_ = draw(st.integers(-8, extend))
+    return AffineScoring(match=match, mismatch=mismatch, gap_open=open_, gap_extend=extend)
+
+
+class TestGlobal:
+    @given(dna_pair(0, 22), affine_schemes())
+    @settings(max_examples=60)
+    def test_score_equals_gotoh_global(self, pair, scheme):
+        s, t = pair
+        mm = myers_miller_align(s, t, scheme)
+        mm.validate(s, t)
+        assert mm.audit_score(scheme) == mm.score
+        assert mm.score == gotoh_align(s, t, scheme, local=False).score
+
+    def test_long_gap_crosses_split(self):
+        # A 6-base deletion run centred on the recursion split must
+        # pay its open penalty once.
+        s = "ACGTAC" + "GGGGGG" + "TTACGT"
+        t = "ACGTAC" + "TTACGT"
+        mm = myers_miller_align(s, t, AFFINE)
+        assert mm.score == gotoh_align(s, t, AFFINE, local=False).score
+        assert "6I" in mm.cigar()
+
+    def test_degenerates_to_hirschberg(self):
+        s, t = mutated_pair(80, rate=0.15, seed=201)
+        affine = AffineScoring(match=1, mismatch=-1, gap_open=-2, gap_extend=-2)
+        linear = LinearScoring(match=1, mismatch=-1, gap=-2)
+        assert (
+            myers_miller_align(s, t, affine).score
+            == hirschberg_align(s, t, linear).score
+        )
+
+    def test_empty_sides(self):
+        aln = myers_miller_align("", "ACG", AFFINE)
+        assert aln.s_aligned == "---"
+        assert aln.score == -4 - 1 - 1
+        aln = myers_miller_align("ACG", "", AFFINE)
+        assert aln.t_aligned == "---"
+
+    def test_deep_recursion(self):
+        s, t = mutated_pair(300, rate=0.1, seed=202)
+        mm = myers_miller_align(s, t, AFFINE)
+        mm.validate(s, t)
+        assert mm.score == gotoh_align(s, t, AFFINE, local=False).score
+
+
+class TestCellsArgmax:
+    @given(dna_pair(1, 14))
+    @settings(max_examples=30)
+    def test_matches_full_matrix(self, pair):
+        import numpy as np
+
+        s, t = pair
+        # Independent oracle: full Gotoh global matrix.
+        from repro.align.gotoh import _NEG  # noqa: F401 (documented internal)
+
+        m, n = len(s), len(t)
+        NEG = -(1 << 30)
+        D = np.zeros((m + 1, n + 1), dtype=np.int64)
+        E = np.full((m + 1, n + 1), NEG, dtype=np.int64)
+        F = np.full((m + 1, n + 1), NEG, dtype=np.int64)
+        for j in range(1, n + 1):
+            E[0, j] = AFFINE.gap_open + (j - 1) * AFFINE.gap_extend
+            D[0, j] = E[0, j]
+        for i in range(1, m + 1):
+            F[i, 0] = AFFINE.gap_open + (i - 1) * AFFINE.gap_extend
+            D[i, 0] = F[i, 0]
+            for j in range(1, n + 1):
+                E[i, j] = max(D[i, j - 1] + AFFINE.gap_open, E[i, j - 1] + AFFINE.gap_extend)
+                F[i, j] = max(D[i - 1, j] + AFFINE.gap_open, F[i - 1, j] + AFFINE.gap_extend)
+                pair_score = AFFINE.match if s[i - 1] == t[j - 1] else AFFINE.mismatch
+                D[i, j] = max(D[i - 1, j - 1] + pair_score, E[i, j], F[i, j])
+        interior = D[1:, 1:]
+        flat = int(np.argmax(interior))
+        oi, oj = divmod(flat, n)
+        hit = gotoh_cells_argmax(s, t, AFFINE)
+        assert hit.score == interior.max()
+        assert (hit.i, hit.j) == (oi + 1, oj + 1)
+
+    def test_empty(self):
+        assert gotoh_cells_argmax("", "AC", AFFINE) == LocalHit(0, 0, 0)
+
+
+class TestLocalAffinePipeline:
+    @given(dna_pair(1, 24), affine_schemes())
+    @settings(max_examples=50)
+    def test_score_matches_gotoh_local(self, pair, scheme):
+        s, t = pair
+        aln, forward = local_align_affine(s, t, scheme)
+        assert aln.score == gotoh_score(s, t, scheme)
+        if aln.score > 0:
+            aln.validate(s, t)
+            assert aln.audit_score(scheme) == aln.score
+
+    def test_matches_full_matrix_gotoh(self):
+        s, t = mutated_pair(150, rate=0.12, seed=203)
+        aln, _ = local_align_affine(s, t, AFFINE)
+        oracle = gotoh_align(s, t, AFFINE, local=True)
+        assert aln.score == oracle.score
+
+    def test_zero_score(self):
+        aln, forward = local_align_affine("AAAA", "GGGG", AFFINE)
+        assert aln.score == 0
+        assert len(aln) == 0
+
+    def test_forward_hit_exposed(self):
+        s, t = mutated_pair(60, rate=0.1, seed=204)
+        aln, forward = local_align_affine(s, t, AFFINE)
+        assert forward == gotoh_locate_best(s, t, AFFINE)

@@ -1,0 +1,118 @@
+"""Tests for near-best (top-K) local alignments (reference [6])."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.align.near_best import lane_candidates, near_best_alignments
+from repro.align.scoring import blosum62
+from repro.align.smith_waterman import sw_score
+from repro.core.accelerator import SWAccelerator
+from repro.io.generate import planted_multi, random_protein
+
+from conftest import dna_pair
+
+
+def spans_disjoint(alignments):
+    s_spans = [(a.s_start, a.s_end) for a in alignments]
+    t_spans = [(a.t_start, a.t_end) for a in alignments]
+    for spans in (s_spans, t_spans):
+        for i, (a0, a1) in enumerate(spans):
+            for b0, b1 in spans[i + 1 :]:
+                if a0 < b1 and b0 < a1:
+                    return False
+    return True
+
+
+class TestNearBest:
+    def test_first_is_global_optimum(self):
+        s, t, _ = planted_multi(200, 220, (40, 25), seed=1)
+        alns = near_best_alignments(s, t, k=2)
+        assert alns[0].score == sw_score(s, t)
+
+    def test_finds_both_plants(self):
+        s, t, plants = planted_multi(200, 220, (40, 30), seed=2)
+        alns = near_best_alignments(s, t, k=2)
+        assert len(alns) == 2
+        # Each alignment overlaps one plant's span in s.
+        found = set()
+        for aln in alns:
+            for idx, (frag, s_pos, _) in enumerate(plants):
+                if aln.s_start < s_pos + len(frag) and s_pos < aln.s_end:
+                    found.add(idx)
+        assert found == {0, 1}
+
+    def test_scores_non_increasing_and_disjoint(self):
+        s, t, _ = planted_multi(300, 300, (40, 30, 20), seed=3)
+        alns = near_best_alignments(s, t, k=5)
+        scores = [a.score for a in alns]
+        assert scores == sorted(scores, reverse=True)
+        assert spans_disjoint(alns)
+
+    @given(dna_pair(4, 28))
+    @settings(max_examples=25)
+    def test_property_valid_and_disjoint(self, pair):
+        s, t = pair
+        alns = near_best_alignments(s, t, k=3)
+        for aln in alns:
+            aln.validate(s, t)
+            assert aln.score >= 1
+        assert spans_disjoint(alns)
+
+    def test_min_score_threshold(self):
+        s, t, _ = planted_multi(120, 120, (30,), seed=4)
+        alns = near_best_alignments(s, t, k=10, min_score=25)
+        assert all(a.score >= 25 for a in alns)
+        assert len(alns) >= 1
+
+    def test_no_alignments_when_disjoint_sequences(self):
+        assert near_best_alignments("AAAA", "GGGG", k=3) == []
+
+    def test_with_accelerator_locate(self):
+        s, t, _ = planted_multi(150, 150, (30, 20), seed=5)
+        acc = SWAccelerator(elements=64)
+        alns = near_best_alignments(s, t, k=2, locate=acc.locate)
+        assert alns[0].score == sw_score(s, t)
+        assert len(alns) == 2
+
+    def test_protein_with_substitution_matrix(self):
+        # The masked iteration must not exploit the 0-score of unknown
+        # characters in a substitution table.
+        m = blosum62()
+        s = random_protein(60, seed=6)
+        t = s[:30] + random_protein(30, seed=7)
+        alns = near_best_alignments(s, t, k=2, scheme=m)
+        assert alns, "a 30-residue identity must be found"
+        assert alns[0].score == sw_score(s, t, m)
+        assert spans_disjoint(alns)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            near_best_alignments("AC", "AC", k=0)
+        with pytest.raises(ValueError):
+            near_best_alignments("AC", "AC", min_score=0)
+
+
+class TestLaneCandidates:
+    def test_top_k_from_readout(self):
+        s, t, plants = planted_multi(100, 120, (30, 20), seed=8)
+        acc = SWAccelerator(elements=128)
+        lanes = acc.lane_readout(s, t)
+        top = lane_candidates(lanes, k=3)
+        assert len(top) == 3
+        assert top[0].score == sw_score(s, t)
+        scores = [h.score for h in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_rtl_and_emulator_readouts_agree(self):
+        s, t, _ = planted_multi(40, 60, (12,), seed=9)
+        rtl = SWAccelerator(elements=64, engine="rtl").lane_readout(s, t)
+        emu = SWAccelerator(elements=64, engine="emulator").lane_readout(s, t)
+        assert rtl == emu
+
+    def test_zero_lanes_skipped(self):
+        acc = SWAccelerator(elements=8)
+        assert acc.lane_readout("AAAA", "GGGG") == []
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            lane_candidates([], k=0)

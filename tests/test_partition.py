@@ -1,0 +1,103 @@
+"""Tests for query partitioning (figure 7 bookkeeping)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.partition import plan_partition
+
+
+class TestPlan:
+    def test_exact_multiple(self):
+        plan = plan_partition(200, 1000, 100)
+        assert plan.passes == 2
+        assert [c.length for c in plan.chunks] == [100, 100]
+
+    def test_ragged_final_chunk(self):
+        plan = plan_partition(250, 1000, 100)
+        assert plan.passes == 3
+        assert [c.length for c in plan.chunks] == [100, 100, 50]
+
+    def test_single_chunk_when_query_fits(self):
+        plan = plan_partition(40, 1000, 100)
+        assert plan.passes == 1
+        assert plan.chunks[0].length == 40
+
+    def test_empty_query(self):
+        plan = plan_partition(0, 1000, 100)
+        assert plan.passes == 0
+        assert plan.total_cycles() == 0
+        assert plan.total_cells() == 0
+
+    @given(
+        st.integers(0, 500),
+        st.integers(0, 300),
+        st.integers(1, 64),
+    )
+    def test_chunks_tile_the_query(self, m, n, array):
+        plan = plan_partition(m, n, array)
+        covered = 0
+        prev_end = 0
+        for chunk in plan.chunks:
+            assert chunk.start == prev_end
+            assert 1 <= chunk.length <= array
+            assert chunk.row_offset == chunk.start
+            covered += chunk.length
+            prev_end = chunk.end
+        assert covered == m
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ValueError):
+            plan_partition(-1, 10, 4)
+        with pytest.raises(ValueError):
+            plan_partition(10, -1, 4)
+        with pytest.raises(ValueError):
+            plan_partition(10, 10, 0)
+
+
+class TestCycleModel:
+    def test_pass_cycles(self):
+        plan = plan_partition(150, 1000, 100)
+        assert plan.pass_cycles(plan.chunks[0]) == 1000 + 100 - 1
+        assert plan.pass_cycles(plan.chunks[1]) == 1000 + 50 - 1
+
+    def test_total_cycles_sum(self):
+        plan = plan_partition(150, 1000, 100)
+        assert plan.total_cycles() == (1099) + (1049)
+
+    def test_zero_database(self):
+        plan = plan_partition(100, 0, 100)
+        assert plan.total_cycles() == 0
+
+    def test_paper_headline_cycle_count(self):
+        # 100 BP query on 100 elements vs 10 MBP: one pass,
+        # n + N - 1 cycles.
+        plan = plan_partition(100, 10_000_000, 100)
+        assert plan.passes == 1
+        assert plan.total_cycles() == 10_000_000 + 99
+        assert plan.total_cells() == 1_000_000_000
+
+    @given(st.integers(1, 400), st.integers(1, 400), st.integers(1, 64))
+    def test_utilization_in_unit_interval(self, m, n, array):
+        plan = plan_partition(m, n, array)
+        assert 0.0 < plan.utilization() <= 1.0
+
+    def test_utilization_perfect_for_exact_fit_long_db(self):
+        # Full chunks and long database: fill/drain overhead vanishes.
+        plan = plan_partition(100, 1_000_000, 100)
+        assert plan.utilization() > 0.999
+
+
+class TestBoundaryMemory:
+    def test_zero_for_single_pass(self):
+        assert plan_partition(100, 500, 100).boundary_memory_bytes() == 0
+
+    def test_linear_in_database(self):
+        plan = plan_partition(200, 500, 100)
+        assert plan.boundary_memory_bytes() == 501 * 4
+        assert plan.boundary_memory_bytes(bytes_per_score=2) == 501 * 2
+
+    def test_linear_not_quadratic(self):
+        # The whole point of the paper: memory ~ n, not m * n.
+        plan = plan_partition(10_000, 100_000, 100)
+        quadratic = 10_000 * 100_000 * 4
+        assert plan.boundary_memory_bytes() < quadratic / 1000

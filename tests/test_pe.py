@@ -1,0 +1,104 @@
+"""Tests for the processing-element RTL model (figure 6)."""
+
+import pytest
+
+from repro.align.scoring import DEFAULT_DNA, LinearScoring
+from repro.core.pe import PEOutput, ProcessingElement
+
+
+def make_pe(base: str = "A", index: int = 1) -> ProcessingElement:
+    pe = ProcessingElement(index=index, scheme=DEFAULT_DNA)
+    pe.load(ord(base))
+    return pe
+
+
+class TestStep:
+    def test_match_from_zero_state(self):
+        pe = make_pe("A")
+        out = pe.step(PEOutput(score=0, base=ord("A"), valid=True), cycle=1)
+        assert out.valid and out.score == 1  # max(0+1, max(0,0)-2, 0)
+        assert pe.b == 1 and pe.bs == 1 and pe.bc == 1
+
+    def test_mismatch_clamps_to_zero(self):
+        pe = make_pe("A")
+        out = pe.step(PEOutput(score=0, base=ord("C"), valid=True), cycle=1)
+        assert out.score == 0
+        assert pe.bs == 0 and pe.bc == 0  # zero never raises Bs
+
+    def test_gap_path_used_when_better(self):
+        pe = make_pe("A")
+        # C input (left neighbour) carries 5; own B is 0; diag A is 0.
+        out = pe.step(PEOutput(score=5, base=ord("C"), valid=True), cycle=1)
+        # diag = 0 + (-1) = -1; gap = max(0, 5) - 2 = 3.
+        assert out.score == 3
+
+    def test_register_pipeline_a_takes_c(self):
+        pe = make_pe("A")
+        pe.step(PEOutput(score=7, base=ord("C"), valid=True), cycle=1)
+        assert pe.a == 7  # A := C
+        out = pe.step(PEOutput(score=0, base=ord("A"), valid=True), cycle=2)
+        # diag = 7 + 1 = 8 dominates.
+        assert out.score == 8
+
+    def test_base_forwarded(self):
+        pe = make_pe("A")
+        out = pe.step(PEOutput(score=0, base=ord("G"), valid=True), cycle=1)
+        assert out.base == ord("G")
+
+    def test_bubble_holds_state(self):
+        pe = make_pe("A")
+        pe.step(PEOutput(score=0, base=ord("A"), valid=True), cycle=1)
+        snapshot = (pe.a, pe.b, pe.bs, pe.bc, pe.cl, pe.cells_computed)
+        out = pe.step(PEOutput(), cycle=2)
+        assert not out.valid
+        assert (pe.a, pe.b, pe.bs, pe.bc, pe.cl, pe.cells_computed) == snapshot
+
+    def test_unused_lane_emits_bubbles(self):
+        pe = ProcessingElement(index=1, scheme=DEFAULT_DNA)
+        pe.load(None)
+        out = pe.step(PEOutput(score=3, base=ord("A"), valid=True), cycle=1)
+        assert not out.valid
+
+    def test_strictly_greater_update_keeps_earliest(self):
+        pe = make_pe("A")
+        pe.step(PEOutput(score=0, base=ord("A"), valid=True), cycle=1)  # D=1
+        assert (pe.bs, pe.bc) == (1, 1)
+        pe.a = 0
+        pe.b = 0
+        pe.step(PEOutput(score=0, base=ord("A"), valid=True), cycle=2)  # D=1 again
+        assert (pe.bs, pe.bc) == (1, 1)  # first occurrence retained
+
+    def test_cl_tracks_global_cycle(self):
+        pe = make_pe("A", index=3)
+        pe.step(PEOutput(score=0, base=ord("A"), valid=True), cycle=5)
+        assert pe.cl == 5
+
+    def test_custom_scheme_constants(self):
+        scheme = LinearScoring(match=4, mismatch=-3, gap=-5)
+        pe = ProcessingElement(index=1, scheme=scheme)
+        pe.load(ord("G"))
+        out = pe.step(PEOutput(score=0, base=ord("G"), valid=True), cycle=1)
+        assert out.score == 4
+
+
+class TestReadout:
+    def test_lane_column_recovery(self):
+        # Element k computes column j on cycle j + k - 1.
+        pe = make_pe("A", index=4)
+        pe.bc = 9
+        assert pe.lane_column() == 9 - 4 + 1
+
+    def test_lane_best_pair(self):
+        pe = make_pe("A")
+        pe.step(PEOutput(score=0, base=ord("A"), valid=True), cycle=1)
+        assert pe.lane_best() == (1, 1)
+
+    def test_load_clears_everything(self):
+        pe = make_pe("A")
+        pe.step(PEOutput(score=9, base=ord("A"), valid=True), cycle=1)
+        pe.load(ord("C"))
+        assert (pe.a, pe.b, pe.bs, pe.bc, pe.cl, pe.cells_computed) == (0, 0, 0, 0, 0, 0)
+        assert pe.sp == ord("C")
+
+    def test_repr_mentions_base(self):
+        assert "[A]" in repr(make_pe("A"))

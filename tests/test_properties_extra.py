@@ -1,0 +1,170 @@
+"""Additional cross-cutting property tests (hypothesis)."""
+
+import io
+import string
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.scoring import DEFAULT_DNA, encode
+from repro.align.smith_waterman import LocalHit, sw_align
+from repro.analysis.report import render_table
+from repro.core.partition import plan_partition
+from repro.core.waveform import parse_vcd_changes, record_pass, write_vcd
+from repro.io.fasta import FastaRecord, parse_fasta, write_fasta
+from repro.scan import scan_database
+
+from conftest import dna_pair, dna_text, linear_schemes
+
+
+class TestFastaProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(
+                    alphabet=string.ascii_letters + string.digits + " _.",
+                    min_size=1,
+                    max_size=20,
+                ).map(str.strip).filter(bool),
+                dna_text(0, 200),
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        st.integers(1, 90),
+    )
+    @settings(max_examples=40)
+    def test_roundtrip_any_width(self, records, width):
+        text = write_fasta(records, width=width)
+        back = list(parse_fasta(io.StringIO(text)))
+        assert [(r.header, r.sequence) for r in back] == [
+            (h, s.upper()) for h, s in records
+        ]
+
+    @given(dna_text(1, 300), st.integers(1, 80))
+    def test_no_line_exceeds_width(self, seq, width):
+        text = write_fasta([("x", seq)], width=width)
+        for line in text.splitlines():
+            if not line.startswith(">"):
+                assert len(line) <= width
+
+
+class TestVCDProperties:
+    @given(dna_pair(1, 6))
+    @settings(max_examples=20)
+    def test_roundtrip_reconstructs_every_signal(self, pair):
+        q, db = pair
+        rec = record_pass(q, db)
+        changes = parse_vcd_changes(write_vcd(rec))
+        for name in rec.signals:
+            emitted = name.replace(".", "_")
+            series = dict(changes[emitted])
+            value = 0
+            for step, sample in enumerate(rec.samples):
+                if step in series:
+                    value = series[step]
+                assert value == sample[name], (name, step)
+
+
+class TestAlignmentProperties:
+    @given(dna_pair(1, 20))
+    def test_cigar_lengths_sum_to_alignment_length(self, pair):
+        import re
+
+        s, t = pair
+        aln = sw_align(s, t)
+        ops = re.findall(r"(\d+)([MID])", aln.cigar())
+        assert sum(int(count) for count, _ in ops) == len(aln)
+
+    @given(dna_pair(1, 20))
+    def test_cigar_m_ops_count_pair_columns(self, pair):
+        import re
+
+        s, t = pair
+        aln = sw_align(s, t)
+        m_total = sum(
+            int(count) for count, op in re.findall(r"(\d+)([MID])", aln.cigar()) if op == "M"
+        )
+        assert m_total == aln.matches() + aln.mismatches()
+
+    @given(dna_pair(1, 16), linear_schemes())
+    def test_identity_bounds(self, pair, scheme):
+        s, t = pair
+        aln = sw_align(s, t, scheme)
+        assert 0.0 <= aln.identity() <= 1.0
+
+
+class TestScanProperties:
+    @given(st.permutations(list(range(6))))
+    @settings(max_examples=15, deadline=None)
+    def test_ranking_invariant_under_record_order(self, order):
+        from repro.io.generate import random_dna
+
+        query = random_dna(30, seed=501)
+        records = [
+            (f"rec{i}", random_dna(120, seed=510 + i)) for i in range(6)
+        ]
+        shuffled = [records[i] for i in order]
+        base = scan_database(query, records, retrieve=0)
+        perm = scan_database(query, shuffled, retrieve=0)
+        assert sorted((h.record, h.score) for h in base.hits) == sorted(
+            (h.record, h.score) for h in perm.hits
+        )
+        # The top score never depends on order.
+        assert base.best().score == perm.best().score
+
+
+class TestPartitionProperties:
+    @given(st.integers(1, 300), st.integers(1, 300), st.integers(1, 50))
+    def test_cycles_dominate_cells_over_elements(self, m, n, elements):
+        # total_cycles >= cells / elements (can't beat full parallelism).
+        plan = plan_partition(m, n, elements)
+        assert plan.total_cycles() * elements >= plan.total_cells()
+
+    @given(st.integers(1, 300), st.integers(1, 300))
+    def test_more_elements_never_slower(self, m, n):
+        cycles = [plan_partition(m, n, e).total_cycles() for e in (8, 16, 32, 64)]
+        assert cycles == sorted(cycles, reverse=True)
+
+
+class TestRenderTableProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(-1000, 1000), st.floats(0, 1000), dna_text(0, 8)),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=25)
+    def test_all_lines_equal_width(self, rows):
+        text = render_table(["a", "b", "c"], [list(r) for r in rows])
+        lines = text.split("\n")
+        assert len({len(l) for l in lines}) == 1
+
+
+class TestLocalHitProperties:
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(1, 20), st.integers(1, 20)), min_size=1, max_size=10))
+    def test_controller_reduction_is_order_free(self, triples):
+        from repro.core.controller import BestScoreController
+        from repro.core.systolic import LaneBest
+
+        lanes = [
+            LaneBest(row=i, score=s, cycle=i + j - 1, column=j)
+            for s, i, j in triples
+        ]
+        a = BestScoreController()
+        a.consider_pass(lanes)
+        b = BestScoreController()
+        b.consider_pass(list(reversed(lanes)))
+        assert a.hit() == b.hit()
+
+
+class TestEncodeProperties:
+    @given(dna_text(1, 30))
+    def test_pair_vector_matches_scalar_pair(self, s):
+        codes = encode(s)
+        a = int(codes[0])
+        vec = DEFAULT_DNA.pair_vector(a, codes)
+        for k in range(len(codes)):
+            assert vec[k] == DEFAULT_DNA.pair(a, int(codes[k]))

@@ -1,0 +1,105 @@
+"""Tests for the Table 2 resource/frequency model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.resources import (
+    PROTOTYPE_MODEL,
+    TABLE2_ELEMENTS,
+    TABLE2_FREQUENCY_MHZ,
+    TABLE2_UTILIZATION,
+    ResourceModel,
+)
+from repro.hw.device import XC2VP70
+
+
+class TestCalibration:
+    """The N=100 point must reproduce Table 2 exactly."""
+
+    def test_table2_percentages(self):
+        row = PROTOTYPE_MODEL.table2(100)
+        assert row["slices_pct"] == 47
+        assert row["flipflops_pct"] == 25
+        assert row["luts_pct"] == 65
+        assert row["iobs_pct"] == 7
+
+    def test_table2_frequency(self):
+        row = PROTOTYPE_MODEL.table2(100)
+        assert row["frequency_mhz"] == pytest.approx(144.9, abs=0.1)
+
+    def test_calibration_recomputed_from_device(self):
+        # The affine coefficients must hit the published fractions on
+        # the cataloged capacities (guards against silent drift of
+        # either the coefficients or the device entry).
+        used = PROTOTYPE_MODEL.estimate(TABLE2_ELEMENTS)
+        assert used.slices / XC2VP70.slices == pytest.approx(
+            TABLE2_UTILIZATION["slices"], abs=0.005
+        )
+        assert used.flipflops / XC2VP70.flipflops == pytest.approx(
+            TABLE2_UTILIZATION["flipflops"], abs=0.005
+        )
+        assert used.luts / XC2VP70.luts == pytest.approx(
+            TABLE2_UTILIZATION["luts"], abs=0.005
+        )
+        assert used.iobs / XC2VP70.iobs == pytest.approx(
+            TABLE2_UTILIZATION["iobs"], abs=0.005
+        )
+
+    def test_single_gclk(self):
+        assert PROTOTYPE_MODEL.estimate(100).gclks == 1
+
+
+class TestScaling:
+    @given(st.integers(1, 300))
+    def test_monotone_in_elements(self, n):
+        a = PROTOTYPE_MODEL.estimate(n)
+        b = PROTOTYPE_MODEL.estimate(n + 1)
+        assert b.slices > a.slices
+        assert b.luts > a.luts
+        assert b.flipflops > a.flipflops
+
+    def test_iobs_constant(self):
+        assert PROTOTYPE_MODEL.estimate(1).iobs == PROTOTYPE_MODEL.estimate(300).iobs
+
+    def test_max_elements_fits_and_next_does_not(self):
+        n = PROTOTYPE_MODEL.max_elements()
+        assert PROTOTYPE_MODEL.fits(n)
+        assert not PROTOTYPE_MODEL.fits(n + 1)
+
+    def test_paper_headroom_claim(self):
+        # "there is space to add much more elements" — the device must
+        # hold meaningfully more than the prototype's 100.
+        assert PROTOTYPE_MODEL.max_elements() > 120
+
+    def test_luts_are_binding(self):
+        # At 65% vs 47%/25%, LUTs saturate first.
+        assert PROTOTYPE_MODEL.binding_resource(100) == "luts"
+
+    def test_frequency_degrades_with_size(self):
+        f_small = PROTOTYPE_MODEL.frequency_mhz(10)
+        f_large = PROTOTYPE_MODEL.frequency_mhz(150)
+        assert f_small > PROTOTYPE_MODEL.frequency_mhz(100) > f_large
+
+    def test_frequency_stays_sane(self):
+        for n in (1, 50, 100, 150):
+            assert 100 < PROTOTYPE_MODEL.frequency_mhz(n) < 200
+
+    def test_invalid_elements_raise(self):
+        with pytest.raises(ValueError):
+            PROTOTYPE_MODEL.estimate(0)
+
+
+class TestModelVariants:
+    def test_custom_model(self):
+        from repro.hw.device import ResourceVector
+
+        lean = ResourceModel(
+            per_element=ResourceVector(slices=75, flipflops=80, luts=212),
+            controller=ResourceVector(slices=551, flipflops=544, luts=614, iobs=70, gclks=1),
+        )
+        # Halving the per-element cost roughly doubles capacity.
+        assert lean.max_elements() > 1.8 * PROTOTYPE_MODEL.max_elements()
+
+    def test_utilization_keys(self):
+        util = PROTOTYPE_MODEL.utilization(100)
+        assert set(util) == {"slices", "flipflops", "luts", "iobs", "gclks", "bram"}

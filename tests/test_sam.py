@@ -1,0 +1,87 @@
+"""Tests for SAM serialization of mapping results."""
+
+import pytest
+
+from repro.io.generate import mutate, random_dna
+from repro.io.sam import FLAG_REVERSE, FLAG_UNMAPPED, mapq_from_gap, to_sam
+from repro.mapping import map_reads, reverse_complement
+
+
+@pytest.fixture()
+def mapped_reads():
+    reference = random_dna(1_000, seed=401)
+    reads = [
+        ("fwd", reference[100:150]),
+        ("rev", reverse_complement(reference[300:350])),
+        ("noisy", mutate(reference[600:660], rate=0.05, seed=402)),
+        ("alien", "AT" * 25),
+    ]
+    report = map_reads(reads, reference, min_score_fraction=0.9)
+    return reference, report
+
+
+class TestMapq:
+    def test_zero_gap_means_ambiguous(self):
+        assert mapq_from_gap(0) == 0
+        assert mapq_from_gap(-5) == 0
+
+    def test_scales_and_caps(self):
+        assert mapq_from_gap(5) == 15
+        assert mapq_from_gap(100) == 60
+
+
+class TestToSam:
+    def test_header(self, mapped_reads):
+        reference, report = mapped_reads
+        text = to_sam(report.reads, "chr1", len(reference))
+        lines = text.splitlines()
+        assert lines[0].startswith("@HD")
+        assert lines[1] == f"@SQ\tSN:chr1\tLN:{len(reference)}"
+        assert lines[2].startswith("@PG")
+
+    def test_one_line_per_read(self, mapped_reads):
+        _, report = mapped_reads
+        text = to_sam(report.reads)
+        body = [l for l in text.splitlines() if not l.startswith("@")]
+        assert len(body) == len(report.reads)
+
+    def test_forward_read_fields(self, mapped_reads):
+        _, report = mapped_reads
+        text = to_sam(report.reads, "chr1")
+        fwd = next(l for l in text.splitlines() if l.startswith("fwd\t"))
+        fields = fwd.split("\t")
+        assert fields[1] == "0"  # flag
+        assert fields[2] == "chr1"
+        assert fields[3] == "101"  # 1-based POS
+        assert fields[5] == "50M"  # exact read -> all match
+        assert "AS:i:50" in fwd
+
+    def test_reverse_read_flag(self, mapped_reads):
+        _, report = mapped_reads
+        text = to_sam(report.reads)
+        rev = next(l for l in text.splitlines() if l.startswith("rev\t"))
+        assert int(rev.split("\t")[1]) & FLAG_REVERSE
+
+    def test_unmapped_read(self, mapped_reads):
+        _, report = mapped_reads
+        text = to_sam(report.reads)
+        alien = next(l for l in text.splitlines() if l.startswith("alien\t"))
+        fields = alien.split("\t")
+        assert int(fields[1]) & FLAG_UNMAPPED
+        assert fields[2] == "*"
+        assert fields[3] == "0"
+
+    def test_mapq_column_in_range(self, mapped_reads):
+        _, report = mapped_reads
+        for line in to_sam(report.reads).splitlines():
+            if line.startswith("@"):
+                continue
+            mapq = int(line.split("\t")[4])
+            assert 0 <= mapq <= 60
+
+    def test_eleven_plus_columns(self, mapped_reads):
+        _, report = mapped_reads
+        for line in to_sam(report.reads).splitlines():
+            if line.startswith("@"):
+                continue
+            assert len(line.split("\t")) >= 11

@@ -1,0 +1,196 @@
+"""Unit tests for repro.align.scoring."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.align.scoring import (
+    DEFAULT_DNA,
+    DNA_ALPHABET,
+    PROTEIN_ALPHABET,
+    AffineScoring,
+    LinearScoring,
+    SubstitutionMatrix,
+    blosum62,
+    decode,
+    encode,
+)
+
+from conftest import dna_text
+
+
+class TestEncode:
+    def test_roundtrip(self):
+        assert decode(encode("ACGT")) == "ACGT"
+
+    def test_uppercases(self):
+        assert decode(encode("acgt")) == "ACGT"
+
+    def test_empty(self):
+        assert len(encode("")) == 0
+        assert decode(encode("")) == ""
+
+    def test_bytes_input(self):
+        assert decode(encode(b"ACGT")) == "ACGT"
+
+    def test_ndarray_passthrough(self):
+        arr = encode("ACGT")
+        out = encode(arr)
+        assert np.array_equal(out, arr)
+
+    def test_dtype(self):
+        assert encode("ACGT").dtype == np.uint8
+
+    @given(dna_text(0, 50))
+    def test_roundtrip_property(self, s):
+        assert decode(encode(s)) == s
+
+
+class TestLinearScoring:
+    def test_defaults_are_paper_scheme(self):
+        assert (DEFAULT_DNA.match, DEFAULT_DNA.mismatch, DEFAULT_DNA.gap) == (1, -1, -2)
+
+    def test_pair_match(self):
+        assert DEFAULT_DNA.pair("A", "A") == 1
+        assert DEFAULT_DNA.pair("a", "A") == 1
+
+    def test_pair_mismatch(self):
+        assert DEFAULT_DNA.pair("A", "C") == -1
+
+    def test_pair_codes(self):
+        assert DEFAULT_DNA.pair(ord("G"), ord("G")) == 1
+
+    def test_pair_vector(self):
+        t = encode("ACGA")
+        out = DEFAULT_DNA.pair_vector(ord("A"), t)
+        assert out.tolist() == [1, -1, -1, 1]
+
+    def test_substitution_rows(self):
+        s = encode("AC")
+        t = encode("CA")
+        rows = DEFAULT_DNA.substitution_rows(s, t)
+        assert rows.tolist() == [[-1, 1], [1, -1]]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"match": 0},
+            {"match": -1},
+            {"gap": 0},
+            {"gap": 1},
+            {"match": 1, "mismatch": 1},
+            {"match": 1, "mismatch": 2},
+        ],
+    )
+    def test_invalid_schemes_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            LinearScoring(**{"match": 1, "mismatch": -1, "gap": -2, **kwargs})
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_DNA.match = 5  # type: ignore[misc]
+
+
+class TestAffineScoring:
+    def test_valid(self):
+        s = AffineScoring(match=2, mismatch=-1, gap_open=-4, gap_extend=-1)
+        assert s.pair("A", "A") == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"gap_open": 0},
+            {"gap_extend": 0},
+            {"match": 0},
+            {"gap_open": -1, "gap_extend": -3},  # extend worse than open
+        ],
+    )
+    def test_invalid_raise(self, kwargs):
+        base = {"match": 1, "mismatch": -1, "gap_open": -3, "gap_extend": -1}
+        with pytest.raises(ValueError):
+            AffineScoring(**{**base, **kwargs})
+
+    def test_linear_equivalent(self):
+        s = AffineScoring(match=1, mismatch=-1, gap_open=-2, gap_extend=-2)
+        lin = s.linear_equivalent()
+        assert lin == LinearScoring(1, -1, -2)
+
+    def test_linear_equivalent_rejects_true_affine(self):
+        s = AffineScoring(match=1, mismatch=-1, gap_open=-3, gap_extend=-1)
+        with pytest.raises(ValueError):
+            s.linear_equivalent()
+
+    def test_pair_vector(self):
+        s = AffineScoring()
+        out = s.pair_vector(ord("C"), encode("CCAT"))
+        assert out.tolist() == [1, 1, -1, -1]
+
+
+class TestSubstitutionMatrix:
+    def test_symmetric_lookup(self):
+        m = SubstitutionMatrix("AC", {("A", "A"): 3, ("A", "C"): -2, ("C", "C") : 4}, gap=-5)
+        assert m.pair("A", "C") == m.pair("C", "A") == -2
+        assert m.pair("a", "a") == 3
+
+    def test_missing_alphabet_symbol_raises(self):
+        with pytest.raises(ValueError, match="no scores"):
+            SubstitutionMatrix("ACG", {("A", "A"): 1, ("A", "C"): 0, ("C", "C"): 1})
+
+    def test_nonnegative_gap_raises(self):
+        with pytest.raises(ValueError):
+            SubstitutionMatrix("A", {("A", "A"): 1}, gap=0)
+
+    def test_pair_vector_and_rows(self):
+        m = SubstitutionMatrix("AC", {("A", "A"): 3, ("A", "C"): -2, ("C", "C"): 4})
+        t = encode("ACCA")
+        assert m.pair_vector(ord("A"), t).tolist() == [3, -2, -2, 3]
+        rows = m.substitution_rows(encode("CA"), t)
+        assert rows.tolist() == [[-2, 4, 4, -2], [3, -2, -2, 3]]
+
+    def test_max_score(self):
+        m = SubstitutionMatrix("AC", {("A", "A"): 3, ("A", "C"): -2, ("C", "C"): 4})
+        assert m.max_score() == 4
+
+
+class TestBlosum62:
+    def test_alphabet_covered(self):
+        m = blosum62()
+        for a in PROTEIN_ALPHABET:
+            for b in PROTEIN_ALPHABET:
+                m.pair(a, b)  # must not raise
+
+    def test_symmetry(self):
+        m = blosum62()
+        for a in PROTEIN_ALPHABET:
+            for b in PROTEIN_ALPHABET:
+                assert m.pair(a, b) == m.pair(b, a)
+
+    def test_diagonal_positive(self):
+        m = blosum62()
+        for a in PROTEIN_ALPHABET:
+            assert m.pair(a, a) > 0
+
+    def test_known_values(self):
+        m = blosum62()
+        assert m.pair("W", "W") == 11
+        assert m.pair("A", "A") == 4
+        assert m.pair("W", "P") == -4
+        assert m.pair("I", "L") == 2
+
+    def test_diagonal_dominance(self):
+        # Every residue scores itself at least as high as any partner.
+        m = blosum62()
+        for a in PROTEIN_ALPHABET:
+            for b in PROTEIN_ALPHABET:
+                if a != b:
+                    assert m.pair(a, a) >= m.pair(a, b)
+
+    def test_gap_configurable(self):
+        assert blosum62(gap=-11).gap == -11
+        with pytest.raises(ValueError):
+            blosum62(gap=1)
+
+    def test_alphabets(self):
+        assert DNA_ALPHABET == "ACGT"
+        assert len(PROTEIN_ALPHABET) == 20
+        assert len(set(PROTEIN_ALPHABET)) == 20

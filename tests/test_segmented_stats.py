@@ -1,0 +1,196 @@
+"""Tests for segmented streaming and score statistics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.scoring import LinearScoring
+from repro.align.smith_waterman import sw_locate_best, sw_score
+from repro.analysis.stats import (
+    ScoreStatistics,
+    calibrate,
+    fit_gumbel,
+    karlin_lambda,
+)
+from repro.core.accelerator import SWAccelerator
+from repro.core.segmented import max_database_extent, run_segmented
+from repro.io.generate import mutate, random_dna
+
+from conftest import dna_pair
+
+
+class TestMaxExtent:
+    def test_default_scheme(self):
+        # match 1, worst penalty 1 -> extent <= 2m - 1.
+        assert max_database_extent(100, LinearScoring()) == 199
+
+    def test_harsher_penalties_shrink_extent(self):
+        harsh = LinearScoring(match=1, mismatch=-3, gap=-3)
+        assert max_database_extent(100, harsh) < max_database_extent(
+            100, LinearScoring()
+        )
+
+    def test_zero_query(self):
+        assert max_database_extent(0, LinearScoring()) == 0
+
+    def test_extent_is_sound(self):
+        # No positive-scoring alignment may span more database than
+        # the bound: check empirically on adversarial repeats.
+        scheme = LinearScoring()
+        s = "ACGT" * 3
+        bound = max_database_extent(len(s), scheme)
+        t = "AC" + "G" * 30 + "GT"  # gap-heavy target
+        hit = sw_locate_best(s, t, scheme)
+        if hit.score > 0:
+            assert hit.j <= bound + (len(t) - bound)  # trivially true, but
+        # the real soundness check is the segmentation property below.
+
+
+class TestRunSegmented:
+    @given(dna_pair(2, 16), st.integers(40, 120))
+    @settings(max_examples=25)
+    def test_equals_monolithic_property(self, pair, segment):
+        query, _ = pair
+        database = random_dna(300, seed=hash(query) % 10_000)
+        acc = SWAccelerator(elements=32)
+        run = run_segmented(acc, query, database, segment_bases=segment)
+        assert run.hit == sw_locate_best(query, database)
+
+    def test_alignment_straddling_boundary_found(self):
+        # Plant a strong match exactly across a segment boundary.
+        query = random_dna(40, seed=71)
+        bg = random_dna(400, seed=72)
+        planted = mutate(query, rate=0.03, seed=73)
+        # Segment size 128 with the plant centred on offset 128.
+        pos = 128 - len(planted) // 2
+        database = bg[:pos] + planted + bg[pos + len(planted):]
+        acc = SWAccelerator(elements=64)
+        run = run_segmented(acc, query, database, segment_bases=128)
+        assert run.hit == sw_locate_best(query, database)
+        assert run.segments > 2
+
+    def test_segment_too_small_raises(self):
+        acc = SWAccelerator(elements=32)
+        with pytest.raises(ValueError, match="overlap"):
+            run_segmented(acc, "ACGT" * 10, "A" * 500, segment_bases=50)
+
+    def test_accounting(self):
+        query = random_dna(10, seed=74)
+        database = random_dna(500, seed=75)
+        acc = SWAccelerator(elements=16)
+        run = run_segmented(acc, query, database, segment_bases=100)
+        assert run.segments >= 5
+        assert run.total_streamed_bases > len(database)
+        assert run.stream_amplification > 1.0
+
+    def test_default_segment_from_sram(self):
+        from repro.hw.board import prototype_board
+        from repro.hw.sram import BoardSRAM
+
+        board = prototype_board()
+        board.sram = BoardSRAM(capacity_bytes=256)
+        acc = SWAccelerator(elements=16, board=board)
+        query = random_dna(8, seed=76)
+        database = random_dna(1000, seed=77)
+        run = run_segmented(acc, query, database)
+        assert run.hit == sw_locate_best(query, database)
+        assert run.segment_bases <= 256 * 8 // 8
+
+    def test_empty_inputs(self):
+        acc = SWAccelerator(elements=8)
+        run = run_segmented(acc, "", "ACGT", segment_bases=100)
+        assert run.hit.score == 0
+
+
+class TestKarlinLambda:
+    def test_closed_form_plus_one_minus_one(self):
+        # Uniform DNA, +1/-1: (1/4)e^l + (3/4)e^-l = 1
+        # -> e^l = 3 (quadratic in e^l) -> l = ln 3.
+        lam = karlin_lambda(LinearScoring(match=1, mismatch=-1, gap=-2))
+        assert lam == pytest.approx(math.log(3), rel=1e-6)
+
+    def test_harsher_mismatch_raises_lambda(self):
+        a = karlin_lambda(LinearScoring(match=1, mismatch=-1, gap=-2))
+        b = karlin_lambda(LinearScoring(match=1, mismatch=-3, gap=-4))
+        assert b > a
+
+    def test_inadmissible_scheme_rejected(self):
+        # match 3 / mismatch -1 on uniform DNA: expected score is 0 —
+        # not negative, no local statistics.
+        with pytest.raises(ValueError, match="negative"):
+            karlin_lambda(LinearScoring(match=3, mismatch=-1, gap=-2))
+
+    def test_bad_frequencies_rejected(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            karlin_lambda(LinearScoring(), frequencies={"A": 0.5, "C": 0.2, "G": 0.1, "T": 0.1})
+
+
+class TestGumbelAndCalibration:
+    def test_fit_recovers_known_gumbel(self):
+        rng = np.random.default_rng(5)
+        samples = rng.gumbel(loc=20.0, scale=3.0, size=4000)
+        fit = fit_gumbel(samples)
+        assert fit.mu == pytest.approx(20.0, abs=0.5)
+        assert fit.beta == pytest.approx(3.0, abs=0.3)
+
+    def test_fit_needs_samples(self):
+        with pytest.raises(ValueError):
+            fit_gumbel([1, 2, 3])
+        with pytest.raises(ValueError):
+            fit_gumbel([5] * 20)
+
+    def test_calibration_deterministic(self):
+        a = calibrate(trials=30, seed=3)
+        b = calibrate(trials=30, seed=3)
+        assert a == b
+
+    def test_gapped_lambda_below_ungapped(self):
+        stats = calibrate(trials=60, seed=1)
+        ungapped = karlin_lambda(LinearScoring())
+        assert 0 < stats.lambda_ < ungapped * 1.1
+
+    def test_evalue_monotone_in_score(self):
+        stats = calibrate(trials=40, seed=2)
+        e_low = stats.evalue(10, 100, 10_000)
+        e_high = stats.evalue(30, 100, 10_000)
+        assert e_high < e_low
+
+    def test_evalue_scales_with_search_space(self):
+        stats = calibrate(trials=40, seed=2)
+        assert stats.evalue(20, 100, 10_000) == pytest.approx(
+            stats.evalue(20, 100, 1_000) * 10
+        )
+
+    def test_pvalue_in_unit_interval(self):
+        stats = calibrate(trials=40, seed=2)
+        for score in (1, 10, 50):
+            p = stats.pvalue(score, 100, 10_000)
+            assert 0.0 <= p <= 1.0
+
+    def test_score_for_evalue_roundtrip(self):
+        stats = calibrate(trials=40, seed=2)
+        score = stats.score_for_evalue(1e-3, 100, 1_000_000)
+        assert stats.evalue(score, 100, 1_000_000) <= 1e-3
+        assert stats.evalue(score - 1, 100, 1_000_000) > 1e-3
+
+    def test_planted_hit_is_significant_random_is_not(self):
+        stats = calibrate(trials=60, seed=4)
+        m, n = 64, 256
+        # Random pair: E-value of its best score should be large-ish.
+        s = random_dna(m, seed=91)
+        t = random_dna(n, seed=92)
+        e_random = stats.evalue(sw_score(s, t), m, n)
+        # Planted 30-base identity: tiny E-value.
+        t_planted = t[:100] + s[:30] + t[130:]
+        e_planted = stats.evalue(sw_score(s, t_planted), m, n)
+        assert e_planted < 1e-4
+        assert e_random > 1e-2
+
+    def test_invalid_args(self):
+        stats = ScoreStatistics(lambda_=1.0, k=0.1, calibration_m=10, calibration_n=10)
+        with pytest.raises(ValueError):
+            stats.evalue(5, 0, 10)
+        with pytest.raises(ValueError):
+            stats.score_for_evalue(0, 10, 10)

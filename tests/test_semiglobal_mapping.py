@@ -1,0 +1,213 @@
+"""Tests for semi-global alignment and the read mapper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.align.scoring import DEFAULT_DNA, LinearScoring, encode
+from repro.align.semiglobal import semiglobal_align, semiglobal_locate
+from repro.align.smith_waterman import LocalHit, sw_score
+from repro.io.generate import mutate, random_dna
+from repro.mapping import map_reads, reverse_complement
+
+from conftest import dna_pair, linear_schemes
+
+
+def semiglobal_oracle(s: str, t: str, scheme=DEFAULT_DNA) -> tuple[int, int]:
+    """Independent full-matrix semi-global (score, end_j)."""
+    m, n = len(s), len(t)
+    gap = scheme.gap
+    D = np.zeros((m + 1, n + 1), dtype=np.int64)
+    D[:, 0] = gap * np.arange(m + 1)
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            p = scheme.pair(s[i - 1], t[j - 1])
+            D[i, j] = max(D[i - 1, j - 1] + p, D[i - 1, j] + gap, D[i, j - 1] + gap)
+    j = int(np.argmax(D[m, :]))
+    return int(D[m, j]), j
+
+
+class TestSemiglobalLocate:
+    @given(dna_pair(1, 18), linear_schemes())
+    def test_matches_oracle(self, pair, scheme):
+        s, t = pair
+        hit = semiglobal_locate(s, t, scheme)
+        score, j = semiglobal_oracle(s, t, scheme)
+        assert (hit.score, hit.i, hit.j) == (score, len(s), j)
+
+    def test_exact_substring_scores_full(self):
+        t = random_dna(200, seed=301)
+        s = t[50:90]
+        hit = semiglobal_locate(s, t)
+        assert hit.score == 40
+        assert hit.j == 90
+
+    def test_query_must_be_consumed(self):
+        # Local would score the matching core only; semiglobal pays
+        # for the read's mismatching tails.
+        s = "GGGG" + "ACGTACGT" + "CCCC"
+        t = "ACGTACGT"
+        semi = semiglobal_locate(s, t).score
+        local = sw_score(s, t)
+        assert semi < local
+
+    def test_empty_cases(self):
+        assert semiglobal_locate("", "ACGT") == LocalHit(0, 0, 0)
+        assert semiglobal_locate("ACGT", "") == LocalHit(-8, 4, 0)
+
+    @given(dna_pair(1, 16))
+    def test_bounded_by_local(self, pair):
+        # Semi-global constrains the alignment set: never above local.
+        s, t = pair
+        assert semiglobal_locate(s, t).score <= sw_score(s, t)
+
+
+class TestSemiglobalAlign:
+    @given(dna_pair(1, 14), linear_schemes())
+    @settings(max_examples=30)
+    def test_alignment_audits_and_validates(self, pair, scheme):
+        s, t = pair
+        aln = semiglobal_align(s, t, scheme)
+        aln.validate(s, t)
+        assert aln.audit_score(scheme) == aln.score
+        assert aln.score == semiglobal_locate(s, t, scheme).score
+
+    def test_query_fully_spanned(self):
+        aln = semiglobal_align("ACGT", random_dna(50, seed=302))
+        assert aln.s_start == 0 and aln.s_end == 4
+
+    def test_database_window_reported(self):
+        t = random_dna(100, seed=303)
+        s = t[30:50]
+        aln = semiglobal_align(s, t)
+        assert (aln.t_start, aln.t_end) == (30, 50)
+
+
+class TestReverseComplement:
+    def test_basic(self):
+        assert reverse_complement("ACGT") == "ACGT"
+        assert reverse_complement("AAGC") == "GCTT"
+
+    def test_involution(self):
+        s = random_dna(50, seed=304)
+        assert reverse_complement(reverse_complement(s)) == s
+
+
+class TestMapReads:
+    @pytest.fixture()
+    def reference(self):
+        return random_dna(2_000, seed=310)
+
+    def test_exact_reads_map_to_true_positions(self, reference):
+        reads = [
+            (f"r{pos}", reference[pos : pos + 50])
+            for pos in (0, 123, 777, 1500, 1950)
+        ]
+        report = map_reads(reads, reference)
+        assert report.mapping_rate == 1.0
+        for read, (name, _) in zip(report.reads, reads):
+            true_pos = int(name[1:])
+            assert read.position == true_pos, name
+            assert read.strand == "+"
+            assert read.score == 50
+
+    def test_mutated_reads_map_near_true_positions(self, reference):
+        reads = []
+        for k, pos in enumerate((100, 600, 1200, 1700)):
+            raw = reference[pos : pos + 60]
+            reads.append((f"m{pos}", mutate(raw, rate=0.08, seed=320 + k)))
+        report = map_reads(reads, reference)
+        assert report.mapping_rate == 1.0
+        for read in report.reads:
+            true_pos = int(read.name[1:])
+            assert abs(read.position - true_pos) <= 6, read.name
+
+    def test_reverse_strand_reads(self, reference):
+        pos = 500
+        read = reverse_complement(reference[pos : pos + 40])
+        report = map_reads([("rev", read)], reference)
+        mapped = report.reads[0]
+        assert mapped.mapped and mapped.strand == "-"
+        assert mapped.position == pos
+
+    def test_foreign_read_unmapped(self, reference):
+        foreign = "AT" * 30  # repeat absent from random reference at 50%
+        report = map_reads([("alien", foreign)], reference, min_score_fraction=0.9)
+        assert not report.reads[0].mapped
+
+    def test_repeat_read_lands_on_a_copy(self):
+        # A read from a repeated unit must map to one of the copies
+        # (the semi-global tie-break picks the earliest end).
+        unit = random_dna(40, seed=330)
+        reference = unit + random_dna(100, seed=331) + unit
+        report = map_reads([("rep", unit)], reference, both_strands=False)
+        read = report.reads[0]
+        assert read.mapped
+        assert read.position in (0, 140)
+
+    def test_alignment_attached_and_valid(self, reference):
+        read = reference[250:300]
+        report = map_reads([("a", read)], reference)
+        aln = report.reads[0].alignment
+        assert aln is not None
+        assert aln.audit_score(DEFAULT_DNA) == report.reads[0].score
+
+    def test_empty_read(self):
+        report = map_reads([("x", "")], "ACGT")
+        assert not report.reads[0].mapped
+
+    def test_bare_strings_accepted(self, reference):
+        report = map_reads([reference[10:60]], reference)
+        assert report.reads[0].name == "read0"
+        assert report.reads[0].mapped
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            map_reads([], "ACGT", min_score_fraction=0)
+
+    def test_report_totals(self, reference):
+        reads = [reference[0:50], "ATATATATAT" * 5]
+        report = map_reads(reads, reference, min_score_fraction=0.9)
+        assert report.total == 2
+        assert report.mapped == 1
+        assert report.mapping_rate == 0.5
+
+
+class TestSemiglobalAccelerator:
+    """The array retargeted with three configuration bits."""
+
+    @given(dna_pair(1, 20))
+    @settings(max_examples=25)
+    def test_rtl_and_emulator_match_software(self, pair):
+        from repro.core.accelerator import SWAccelerator
+
+        s, t = pair
+        expected = semiglobal_locate(s, t)
+        for engine in ("rtl", "emulator"):
+            acc = SWAccelerator(elements=6, engine=engine)
+            assert acc.locate_semiglobal(s, t) == expected, engine
+
+    def test_partitioned_query(self):
+        from repro.core.accelerator import SWAccelerator
+
+        t = random_dna(300, seed=340)
+        s = mutate(t[100:180], rate=0.05, seed=341)  # 80 rows on 32 elements
+        acc = SWAccelerator(elements=32, engine="rtl")
+        assert acc.locate_semiglobal(s, t) == semiglobal_locate(s, t)
+
+    def test_all_negative_prefers_gap_alignment(self):
+        from repro.core.accelerator import SWAccelerator
+
+        # Query absent from database: the all-gap column-0 answer must
+        # surface if it beats every real window.
+        acc = SWAccelerator(elements=8)
+        s, t = "AAAA", "G"
+        assert acc.locate_semiglobal(s, t) == semiglobal_locate(s, t)
+
+    def test_empty_inputs(self):
+        from repro.core.accelerator import SWAccelerator
+        from repro.align.smith_waterman import LocalHit
+
+        acc = SWAccelerator(elements=4)
+        assert acc.locate_semiglobal("", "ACGT") == LocalHit(0, 0, 0)
+        assert acc.locate_semiglobal("ACGT", "") == LocalHit(-8, 4, 0)

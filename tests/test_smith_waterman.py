@@ -1,0 +1,158 @@
+"""Tests for the Smith-Waterman kernels (full-matrix and linear-space)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.align.matrix import SimilarityMatrix
+from repro.align.scoring import DEFAULT_DNA, LinearScoring, blosum62, encode
+from repro.align.smith_waterman import LocalHit, sw_align, sw_locate_best, sw_row_sweep, sw_score
+from repro.baselines.software import locate_pure
+from repro.io.generate import adversarial_pairs, random_protein
+
+from conftest import dna_pair, linear_schemes, related_pair
+
+
+class TestLocateBest:
+    @pytest.mark.parametrize("name,s,t", adversarial_pairs())
+    def test_matches_oracle_adversarial(self, name, s, t):
+        oracle = SimilarityMatrix(s, t).best()
+        hit = sw_locate_best(s, t)
+        assert hit.as_tuple() == oracle
+
+    @pytest.mark.parametrize("name,s,t", adversarial_pairs())
+    def test_matches_pure_python_adversarial(self, name, s, t):
+        assert sw_locate_best(s, t) == locate_pure(s, t)
+
+    @given(dna_pair(1, 24), linear_schemes())
+    def test_matches_oracle_property(self, pair, scheme):
+        s, t = pair
+        assert sw_locate_best(s, t, scheme).as_tuple() == SimilarityMatrix(s, t, scheme).best()
+
+    @given(related_pair())
+    def test_matches_pure_python_property(self, pair):
+        s, t = pair
+        assert sw_locate_best(s, t) == locate_pure(s, t)
+
+    def test_empty_inputs(self):
+        assert sw_locate_best("", "ACGT") == LocalHit(0, 0, 0)
+        assert sw_locate_best("ACGT", "") == LocalHit(0, 0, 0)
+        assert sw_locate_best("", "") == LocalHit(0, 0, 0)
+
+    def test_all_mismatch_scores_zero(self):
+        assert sw_locate_best("AAAA", "GGGG") == LocalHit(0, 0, 0)
+
+    def test_identical_sequences(self):
+        hit = sw_locate_best("ACGTACGT", "ACGTACGT")
+        assert hit == LocalHit(8, 8, 8)
+
+    def test_coordinates_are_one_based_ends(self):
+        # Best alignment 'ACG' ends at s position 5, t position 3.
+        hit = sw_locate_best("TTACG", "ACG")
+        assert hit == LocalHit(3, 5, 3)
+
+    def test_tie_break_first_row_major(self):
+        # Two disjoint single-base matches with equal score: the one
+        # with the smaller row (then column) must win.
+        hit = sw_locate_best("ACA", "AGA")
+        assert (hit.i, hit.j) == (1, 1)
+
+    def test_protein_with_blosum62(self):
+        m = blosum62()
+        s = random_protein(20, seed=1)
+        t = random_protein(30, seed=2)
+        hit = sw_locate_best(s, t, m)
+        oracle = SimilarityMatrix(s, t, m).best()
+        assert hit.as_tuple() == oracle
+
+    @given(dna_pair(1, 20))
+    def test_reverse_duality(self, pair):
+        # Best local score is invariant under reversing both sequences.
+        s, t = pair
+        assert sw_score(s, t) == sw_score(s[::-1], t[::-1])
+
+    @given(dna_pair(1, 20))
+    def test_symmetry(self, pair):
+        # Swapping s and t transposes the matrix: same best score.
+        s, t = pair
+        assert sw_score(s, t) == sw_score(t, s)
+
+    @given(dna_pair(1, 16))
+    def test_extension_monotone(self, pair):
+        # Appending characters can only grow the search space.
+        s, t = pair
+        assert sw_score(s + "A", t) >= sw_score(s, t)
+        assert sw_score(s, t + "C") >= sw_score(s, t)
+
+    @given(dna_pair(1, 16))
+    def test_score_bounds(self, pair):
+        s, t = pair
+        score = sw_score(s, t)
+        assert 0 <= score <= min(len(s), len(t))
+
+
+class TestRowSweep:
+    def test_chaining_equals_monolithic(self):
+        s = "ACGTACGTTGCA"
+        t = "TGCATTACGT"
+        s_codes, t_codes = encode(s), encode(t)
+        full_row, full_hit = sw_row_sweep(s_codes, t_codes, DEFAULT_DNA)
+        # Split after 5 rows and chain via the boundary row.
+        row_a, hit_a = sw_row_sweep(s_codes[:5], t_codes, DEFAULT_DNA)
+        row_b, hit_b = sw_row_sweep(s_codes[5:], t_codes, DEFAULT_DNA, initial_row=row_a)
+        assert np.array_equal(row_b, full_row)
+        best = hit_a if hit_a.score >= hit_b.score else LocalHit(
+            hit_b.score, hit_b.i + 5, hit_b.j
+        )
+        assert best.score == full_hit.score
+
+    def test_last_row_matches_oracle(self, paper_pair):
+        s, t = paper_pair
+        row, _ = sw_row_sweep(encode(s), encode(t), DEFAULT_DNA)
+        oracle = SimilarityMatrix(s, t).scores[len(s), :]
+        assert np.array_equal(row, oracle)
+
+    def test_bad_initial_row_length_raises(self):
+        with pytest.raises(ValueError, match="initial_row"):
+            sw_row_sweep(encode("AC"), encode("ACG"), DEFAULT_DNA, initial_row=np.zeros(2))
+
+    def test_hit_rows_relative_to_sweep(self):
+        # With an initial row, hits count from the first swept row.
+        s_codes, t_codes = encode("ACG"), encode("ACG")
+        top, _ = sw_row_sweep(encode("TTT"), t_codes, DEFAULT_DNA)
+        _, hit = sw_row_sweep(s_codes, t_codes, DEFAULT_DNA, initial_row=top)
+        assert hit.i <= 3
+
+
+class TestAlign:
+    @given(related_pair())
+    def test_alignment_score_equals_locate(self, pair):
+        s, t = pair
+        aln = sw_align(s, t)
+        assert aln.score == sw_locate_best(s, t).score
+        aln.validate(s, t)
+        assert aln.audit_score(DEFAULT_DNA) == aln.score
+
+    def test_local_alignment_has_no_boundary_gaps(self):
+        # Local alignments never start or end with a gap column (it
+        # would lower the score).
+        aln = sw_align("GGACGTA", "TTACGTC")
+        assert aln.s_aligned[0] != "-" and aln.t_aligned[0] != "-"
+        assert aln.s_aligned[-1] != "-" and aln.t_aligned[-1] != "-"
+
+    def test_paper_example(self, paper_pair):
+        aln = sw_align(*paper_pair)
+        assert aln.score == 3
+        assert aln.s_slice == "GAC"
+
+
+class TestLocalHit:
+    def test_ordering(self):
+        assert LocalHit(3, 1, 1) > LocalHit(2, 9, 9)
+
+    def test_as_tuple(self):
+        assert LocalHit(5, 2, 3).as_tuple() == (5, 2, 3)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            LocalHit(1, 1, 1).score = 2  # type: ignore[misc]

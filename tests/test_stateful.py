@@ -1,0 +1,90 @@
+"""Stateful fuzzing: the array as a long-lived device.
+
+The unit tests exercise one pass at a time; real deployments reuse the
+board across many comparisons (scan loops, forward/reverse pipeline
+passes).  This hypothesis state machine drives a single
+:class:`~repro.core.systolic.SystolicArray` through arbitrary
+interleavings of query loads and database passes — including reloads
+mid-life, empty databases, and boundary-row chaining — and checks
+every observable output against fresh software oracles.  Any state
+leaking across ``load_query`` boundaries, or stale boundary rows,
+would surface here.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.align.scoring import DEFAULT_DNA, encode
+from repro.align.smith_waterman import sw_row_sweep
+from repro.core.controller import BestScoreController
+from repro.core.systolic import SystolicArray
+
+ARRAY_SIZE = 6
+DNA = st.text(alphabet="ACGT", min_size=1, max_size=ARRAY_SIZE)
+DB = st.text(alphabet="ACGT", min_size=0, max_size=12)
+
+
+class ArrayMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.array = SystolicArray(ARRAY_SIZE, DEFAULT_DNA)
+        self.loaded: str | None = None
+        self.row_offset = 0
+        # Software-model state mirroring the chunk chaining.
+        self.boundary: np.ndarray | None = None
+
+    @rule(chunk=DNA, offset=st.integers(0, 50))
+    def load(self, chunk, offset):
+        """Load a fresh query chunk (clears element state)."""
+        self.array.load_query(chunk, row_offset=offset)
+        self.loaded = chunk
+        self.row_offset = offset
+        self.boundary = None  # a fresh load starts a fresh matrix band
+
+    @precondition(lambda self: self.loaded is not None)
+    @rule(db=DB)
+    def run_pass(self, db):
+        """Stream a database segment; outputs must match the oracle."""
+        # A boundary row only chains across passes over the *same*
+        # database (the figure-7 contract); a different segment means
+        # a fresh matrix band.
+        if self.boundary is not None and len(self.boundary) != len(db) + 1:
+            self.boundary = None
+        boundary_in = self.boundary
+        result = self.array.run_pass(db, boundary_row=boundary_in)
+        # Oracle: row sweep of this chunk over db with the same
+        # boundary row.
+        expected_row, expected_hit = sw_row_sweep(
+            encode(self.loaded),
+            encode(db),
+            DEFAULT_DNA,
+            initial_row=boundary_in,
+        )
+        assert np.array_equal(result.boundary_row, expected_row)
+        expected_cycles = len(db) + len(self.loaded) - 1 if db else 0
+        assert result.cycles == expected_cycles
+        # The controller view of this single pass.
+        controller = BestScoreController()
+        controller.consider_pass(result.lane_bests)
+        hit = controller.hit()
+        if expected_hit.score > 0:
+            assert hit.score == expected_hit.score
+            assert hit.i == self.row_offset + expected_hit.i
+            assert hit.j == expected_hit.j
+        else:
+            assert hit.score == 0
+        # Chain for a possible next pass of the "next chunk": reuse the
+        # produced row as the next boundary (the figure-7 handoff).
+        self.boundary = result.boundary_row
+
+    @invariant()
+    def lanes_never_exceed_array(self):
+        assert self.array._loaded_rows <= ARRAY_SIZE
+
+
+ArrayMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=12, deadline=None, derandomize=True
+)
+TestArrayMachine = ArrayMachine.TestCase

@@ -1,0 +1,123 @@
+"""Tests for the systolic-array simulator against the DP oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.align.matrix import SimilarityMatrix
+from repro.align.scoring import DEFAULT_DNA
+from repro.core.systolic import SystolicArray
+
+from conftest import dna_pair
+
+
+class TestRunPass:
+    def test_cycle_count_formula(self):
+        array = SystolicArray(4)
+        array.load_query("ACGC")
+        result = array.run_pass("ACTA")
+        assert result.cycles == 4 + 4 - 1
+
+    def test_cycle_count_short_chunk(self):
+        array = SystolicArray(10)
+        array.load_query("AC")  # only 2 active lanes
+        result = array.run_pass("ACGTACG")
+        assert result.cycles == 7 + 2 - 1
+
+    def test_cells_equal_m_times_n(self):
+        array = SystolicArray(4)
+        array.load_query("ACGC")
+        result = array.run_pass("ACTA")
+        assert result.cells == 16
+
+    def test_boundary_row_is_matrix_last_row(self, paper_pair):
+        s, t = paper_pair
+        array = SystolicArray(len(s))
+        array.load_query(s)
+        result = array.run_pass(t)
+        oracle = SimilarityMatrix(s, t).scores[len(s), :]
+        assert np.array_equal(result.boundary_row, oracle)
+
+    def test_lane_bests_match_matrix_row_maxima(self, paper_pair):
+        s, t = paper_pair
+        array = SystolicArray(len(s))
+        array.load_query(s)
+        result = array.run_pass(t)
+        oracle = SimilarityMatrix(s, t).scores
+        by_row = {b.row: b for b in result.lane_bests}
+        for i in range(1, len(s) + 1):
+            row = oracle[i, 1:]
+            if row.max() > 0:
+                b = by_row[i]
+                assert b.score == row.max()
+                assert b.column == int(np.argmax(row)) + 1  # earliest column
+            else:
+                assert i not in by_row
+
+    @given(dna_pair(1, 12))
+    def test_antidiagonals_match_oracle(self, pair):
+        # The on_cycle hook exposes exactly one anti-diagonal per
+        # clock; every value must equal the oracle matrix cell.
+        s, t = pair
+        oracle = SimilarityMatrix(s, t).scores
+        array = SystolicArray(len(s))
+        array.load_query(s)
+        seen: list[tuple[int, int, int]] = []
+
+        def trace(cycle, outputs):
+            for k, out in enumerate(outputs[: len(s)], start=1):
+                if out.valid:
+                    j = cycle - k + 1
+                    seen.append((k, j, out.score))
+
+        array.run_pass(t, on_cycle=trace)
+        assert len(seen) == len(s) * len(t)
+        for i, j, score in seen:
+            assert oracle[i, j] == score, (i, j)
+
+    def test_boundary_row_chaining_matches_monolithic(self):
+        s, t = "ACGTACGTGG", "TTACGTACGA"
+        oracle = SimilarityMatrix(s, t).scores
+        array = SystolicArray(5)
+        array.load_query(s[:5])
+        first = array.run_pass(t)
+        assert np.array_equal(first.boundary_row, oracle[5, :])
+        array.load_query(s[5:], row_offset=5)
+        second = array.run_pass(t, boundary_row=first.boundary_row)
+        assert np.array_equal(second.boundary_row, oracle[10, :])
+        # Absolute rows reported for the second chunk.
+        for b in second.lane_bests:
+            assert 6 <= b.row <= 10
+
+    def test_empty_database(self):
+        array = SystolicArray(3)
+        array.load_query("ACG")
+        result = array.run_pass("")
+        assert result.cycles == 0
+        assert result.cells == 0
+        assert result.lane_bests == []
+
+
+class TestErrors:
+    def test_run_without_query_raises(self):
+        with pytest.raises(RuntimeError, match="load_query"):
+            SystolicArray(4).run_pass("ACGT")
+
+    def test_oversized_chunk_raises(self):
+        array = SystolicArray(2)
+        with pytest.raises(ValueError, match="partition"):
+            array.load_query("ACGT")
+
+    def test_bad_boundary_length_raises(self):
+        array = SystolicArray(2)
+        array.load_query("AC")
+        with pytest.raises(ValueError, match="boundary_row"):
+            array.run_pass("ACGT", boundary_row=np.zeros(3))
+
+    def test_zero_elements_raises(self):
+        with pytest.raises(ValueError, match="at least one element"):
+            SystolicArray(0)
+
+    def test_scheme_shared_by_elements(self):
+        array = SystolicArray(3)
+        assert all(e.scheme is DEFAULT_DNA for e in array.elements)

@@ -1,0 +1,74 @@
+"""Tests for the self-checking testbench generator."""
+
+import pytest
+
+from repro.align.scoring import LinearScoring
+from repro.core.pe import PEOutput, ProcessingElement
+from repro.hdl.builders import build_pe_module
+from repro.hdl.testbench import emit_testbench, pe_selfcheck_testbench
+
+
+class TestEmitTestbench:
+    def test_structure(self):
+        dut, tb = pe_selfcheck_testbench("G", "GATTACA")
+        assert "module sw_pe_tb;" in tb
+        assert "sw_pe dut (" in tb
+        assert "$finish;" in tb
+        assert "$fatal" in tb
+        assert tb.count("@(posedge clk)") == 1 + 7  # load + 7 bases
+
+    def test_checks_match_behavioural_model(self):
+        # The golden d_out values embedded in the testbench must equal
+        # the behavioural model's outputs.
+        _, tb = pe_selfcheck_testbench("A", "AACA")
+        pe = ProcessingElement(index=1, scheme=LinearScoring())
+        pe.load(ord("A"))
+        for cycle, ch in enumerate("AACA", start=1):
+            out = pe.step(PEOutput(score=0, base=ord(ch), valid=True), cycle)
+            assert f'check("d_out@{cycle}", d_out, 16\'d{out.score});' in tb
+
+    def test_stimulus_checks_length_mismatch(self):
+        module = build_pe_module()
+        with pytest.raises(ValueError, match="must align"):
+            emit_testbench(module, [{}], [])
+
+    def test_missing_input_rejected(self):
+        module = build_pe_module()
+        with pytest.raises(ValueError, match="missing input"):
+            emit_testbench(module, [{"load_en": 1}], [{}])
+
+    def test_unknown_output_rejected(self):
+        module = build_pe_module()
+        vec = {
+            "load_en": 1,
+            "load_base": 65,
+            "valid_in": 0,
+            "sb_in": 0,
+            "c_in": 0,
+            "cycle": 0,
+        }
+        with pytest.raises(ValueError, match="unknown output"):
+            emit_testbench(module, [vec], [{"ghost": 1}])
+
+    def test_negative_expected_values_rendered_signed(self):
+        module = build_pe_module()
+        vec = {
+            "load_en": 0,
+            "load_base": 0,
+            "valid_in": 1,
+            "sb_in": 67,
+            "c_in": -5,
+            "cycle": 1,
+        }
+        tb = emit_testbench(module, [vec], [{"d_out": -3}])
+        assert "-16'sd3" in tb
+
+    def test_custom_scheme_golden_values(self):
+        scheme = LinearScoring(match=5, mismatch=-2, gap=-6)
+        _, tb = pe_selfcheck_testbench("C", "CC", scheme=scheme)
+        assert "16'd5" in tb  # the match value appears as a check
+
+    def test_dut_and_tb_name_pairing(self):
+        dut, tb = pe_selfcheck_testbench()
+        assert "module sw_pe (" in dut
+        assert "module sw_pe_tb;" in tb

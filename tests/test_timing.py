@@ -1,0 +1,116 @@
+"""Tests for the clock/timing model, pinned to the RTL simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.systolic import SystolicArray
+from repro.core.timing import (
+    IDEAL_CLOCK,
+    PAPER_CLOCK,
+    PAPER_FPGA_SECONDS,
+    PAPER_SOFTWARE_SECONDS,
+    PAPER_SPEEDUP,
+    ClockModel,
+    estimate_run,
+)
+from repro.hw.host import PAPER_HOST
+from repro.io.generate import random_dna
+
+
+class TestClockModel:
+    def test_seconds(self):
+        clock = ClockModel(frequency_mhz=100.0, cycles_per_step=1.0)
+        assert clock.seconds(100_000_000) == pytest.approx(1.0)
+
+    def test_cycles_per_step_scales(self):
+        a = ClockModel(100.0, 1.0)
+        b = ClockModel(100.0, 2.0)
+        assert b.seconds(10) == pytest.approx(2 * a.seconds(10))
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            ClockModel(frequency_mhz=0)
+
+    def test_invalid_cycles_per_step(self):
+        with pytest.raises(ValueError):
+            ClockModel(frequency_mhz=100, cycles_per_step=0.5)
+
+
+class TestEstimateRun:
+    @given(st.integers(1, 40), st.integers(1, 40), st.integers(1, 10))
+    @settings(max_examples=20)
+    def test_steps_match_rtl_cycle_counter(self, m, n, elements):
+        # The analytic step count must equal the simulator's counted
+        # clocks, pass by pass.
+        s = random_dna(m, seed=m)
+        t = random_dna(n, seed=n + 99)
+        timing = estimate_run(m, n, elements)
+        array = SystolicArray(elements)
+        counted = 0
+        from repro.core.partition import plan_partition
+
+        plan = plan_partition(m, n, elements)
+        for chunk in plan.chunks:
+            array.load_query(s[chunk.start : chunk.end], row_offset=chunk.row_offset)
+            counted += array.run_pass(t).cycles
+        assert timing.steps == counted
+
+    def test_load_and_readout_overheads(self):
+        timing = estimate_run(250, 1000, 100)
+        assert timing.load_steps == 250  # one clock per loaded base
+        assert timing.readout_steps == 3 * 100  # per pass
+
+    def test_total_decomposes(self):
+        timing = estimate_run(100, 500, 50)
+        assert timing.total_steps == timing.steps + timing.load_steps + timing.readout_steps
+        assert timing.total_seconds == pytest.approx(
+            timing.compute_seconds + timing.overhead_seconds
+        )
+
+    def test_gcups_ideal_approaches_peak(self):
+        # Long database, full array: throughput -> N * f.
+        timing = estimate_run(100, 5_000_000, 100, IDEAL_CLOCK)
+        peak = 100 * 144.9e6 / 1e9
+        assert timing.gcups == pytest.approx(peak, rel=0.01)
+
+    def test_empty_run(self):
+        timing = estimate_run(0, 100, 10)
+        assert timing.total_steps == 0
+        assert timing.cups == 0.0
+
+
+class TestHeadlineCalibration:
+    """Experiment E1's arithmetic: the section 6 numbers."""
+
+    def test_paper_clock_reproduces_fpga_seconds(self):
+        timing = estimate_run(100, 10_000_000, 100, PAPER_CLOCK)
+        assert timing.compute_seconds == pytest.approx(PAPER_FPGA_SECONDS, rel=0.01)
+
+    def test_overheads_negligible_at_headline_scale(self):
+        timing = estimate_run(100, 10_000_000, 100, PAPER_CLOCK)
+        assert timing.overhead_seconds < 0.001 * timing.compute_seconds
+
+    def test_speedup_reproduced(self):
+        timing = estimate_run(100, 10_000_000, 100, PAPER_CLOCK)
+        software = PAPER_HOST.seconds_for_cells(timing.cells)
+        speedup = software / timing.total_seconds
+        assert speedup == pytest.approx(PAPER_SPEEDUP, rel=0.02)
+
+    def test_paper_constants_consistent(self):
+        # software time / fpga time == speedup, within rounding.
+        assert PAPER_SOFTWARE_SECONDS / PAPER_FPGA_SECONDS == pytest.approx(
+            PAPER_SPEEDUP, rel=0.01
+        )
+
+    def test_conclusion_claims(self):
+        # "reducing execution time from more than 3 minutes to less
+        # than 1 second".
+        assert PAPER_SOFTWARE_SECONDS > 180
+        assert PAPER_FPGA_SECONDS < 1.0
+
+    def test_ideal_clock_much_faster_than_prototype(self):
+        ideal = estimate_run(100, 10_000_000, 100, IDEAL_CLOCK)
+        paper = estimate_run(100, 10_000_000, 100, PAPER_CLOCK)
+        assert paper.total_seconds / ideal.total_seconds == pytest.approx(
+            PAPER_CLOCK.cycles_per_step, rel=1e-6
+        )

@@ -1,0 +1,149 @@
+"""Unit tests for repro.align.traceback (the Alignment object)."""
+
+import pytest
+from hypothesis import given
+
+from repro.align.scoring import DEFAULT_DNA, AffineScoring, LinearScoring
+from repro.align.smith_waterman import sw_align
+from repro.align.traceback import GAP, Alignment
+
+from conftest import dna_pair
+
+
+def make(s_aligned: str, t_aligned: str, score: int = 0, **kw) -> Alignment:
+    return Alignment(s_aligned, t_aligned, score, **kw)
+
+
+class TestConstruction:
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="differ in length"):
+            make("AC", "A")
+
+    def test_gap_vs_gap_raises(self):
+        with pytest.raises(ValueError, match="gap against a gap"):
+            make("A-C", "A-C")
+
+    def test_end_coordinates_derived(self):
+        aln = make("AC-G", "ACTG", s_start=2, t_start=5)
+        assert aln.s_end == 2 + 3  # three non-gap s chars
+        assert aln.t_end == 5 + 4
+
+    def test_empty_alignment(self):
+        aln = make("", "")
+        assert len(aln) == 0
+        assert aln.identity() == 0.0
+        assert aln.cigar() == ""
+
+
+class TestDerived:
+    def test_slices(self):
+        aln = make("AC-G", "A-TG")
+        assert aln.s_slice == "ACG"
+        assert aln.t_slice == "ATG"
+
+    def test_counts(self):
+        aln = make("ACGT-A", "AC-TCA")
+        assert aln.matches() == 4  # A, C, T, A
+        assert aln.mismatches() == 0
+        assert aln.gaps() == 2
+
+    def test_mismatches(self):
+        aln = make("ACGT", "AGGT")
+        assert aln.mismatches() == 1
+        assert aln.matches() == 3
+
+    def test_identity(self):
+        aln = make("ACGT", "AGGT")
+        assert aln.identity() == pytest.approx(0.75)
+
+    def test_cigar_runs(self):
+        aln = make("AAA--CC", "AAATTCC")
+        assert aln.cigar() == "3M2D2M"
+
+    def test_cigar_insertion(self):
+        aln = make("AAT", "A-T")
+        assert aln.cigar() == "1M1I1M"
+
+    def test_columns(self):
+        aln = make("A-", "AT")
+        assert aln.columns() == [("A", "A"), ("-", "T")]
+
+    def test_midline(self):
+        aln = make("ACG-", "AGGT")
+        assert aln.midline() == "|.| "
+
+
+class TestAuditScore:
+    def test_linear(self):
+        aln = make("ACG-T", "AGGTT")
+        # match(1) + mismatch(-1) + match(1) + gap(-2) + match(1) = 0
+        assert aln.audit_score(DEFAULT_DNA) == 0
+
+    def test_linear_custom(self):
+        scheme = LinearScoring(match=3, mismatch=-2, gap=-4)
+        aln = make("AC", "AC")
+        assert aln.audit_score(scheme) == 6
+
+    def test_affine_single_run(self):
+        scheme = AffineScoring(match=1, mismatch=-1, gap_open=-5, gap_extend=-1)
+        aln = make("A---C", "ATTTC")
+        # 1 + (-5 -1 -1) + 1 = -5
+        assert aln.audit_score(scheme) == -5
+
+    def test_affine_two_runs(self):
+        scheme = AffineScoring(match=1, mismatch=-1, gap_open=-5, gap_extend=-1)
+        aln = make("A-C-G", "ATCTG")
+        # two separate length-1 runs: 1 -5 + 1 -5 + 1 = -7
+        assert aln.audit_score(scheme) == -7
+
+    def test_affine_run_switching_sides(self):
+        scheme = AffineScoring(match=1, mismatch=-1, gap_open=-5, gap_extend=-1)
+        # gap in s then gap in t: separate runs, both opened.
+        aln = make("A-TG", "ACT-")
+        assert aln.audit_score(scheme) == 1 - 5 + 1 - 5
+
+    @given(dna_pair(1, 16))
+    def test_sw_alignments_self_audit(self, pair):
+        s, t = pair
+        aln = sw_align(s, t)
+        assert aln.audit_score(DEFAULT_DNA) == aln.score
+
+
+class TestValidate:
+    def test_valid(self):
+        aln = make("GAC", "GAC", score=3, s_start=4, t_start=4)
+        aln.validate("TATGGAC", "TAGTGACT")
+
+    def test_wrong_slice_raises(self):
+        aln = make("GAC", "GAC", score=3, s_start=0, t_start=4)
+        with pytest.raises(ValueError, match="s side"):
+            aln.validate("TATGGAC", "TAGTGACT")
+
+    def test_out_of_range_raises(self):
+        aln = make("GAC", "GAC", s_start=90, t_start=0)
+        with pytest.raises(ValueError, match="out of range"):
+            aln.validate("TATGGAC", "TAGTGACT")
+
+    def test_case_insensitive(self):
+        aln = make("GAC", "GAC", s_start=4, t_start=4)
+        aln.validate("tatggac", "tagtgact")
+
+
+class TestPretty:
+    def test_contains_score_and_coords(self):
+        aln = make("GAC", "GAC", score=3, s_start=4, t_start=4)
+        text = aln.pretty()
+        assert "score=3" in text
+        assert "s[5..7]" in text
+        assert "cigar=3M" in text
+
+    def test_wraps_blocks(self):
+        aln = make("A" * 130, "A" * 130)
+        text = aln.pretty(width=60)
+        # 130 columns at width 60 -> 3 blocks, each with 3 lines.
+        assert text.count("s ") >= 3
+
+    def test_block_coordinates_advance(self):
+        aln = make("A" * 70, "A" * 70)
+        text = aln.pretty(width=60)
+        assert "s       61" in text

@@ -1,0 +1,67 @@
+"""Tests for Ukkonen's band-doubling edit distance."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.align.generic_dp import edit_distance
+from repro.align.ukkonen import ukkonen_edit_distance
+from repro.io.generate import mutate, mutated_pair, random_dna
+
+from conftest import dna_pair
+
+
+class TestCorrectness:
+    @given(dna_pair(0, 30))
+    @settings(max_examples=60)
+    def test_matches_full_dp(self, pair):
+        s, t = pair
+        assert ukkonen_edit_distance(s, t).distance == edit_distance(s, t)
+
+    def test_identical(self):
+        result = ukkonen_edit_distance("ACGTACGT", "ACGTACGT")
+        assert result.distance == 0
+        assert result.rounds == 1
+
+    def test_empty_sides(self):
+        assert ukkonen_edit_distance("", "ACGT").distance == 4
+        assert ukkonen_edit_distance("ACGT", "").distance == 4
+        assert ukkonen_edit_distance("", "").distance == 0
+
+    def test_known_distance(self):
+        assert ukkonen_edit_distance("KITTEN", "SITTING").distance == 3
+
+    def test_length_difference_floor(self):
+        # Distance is at least the length difference; the initial band
+        # must already cover it.
+        result = ukkonen_edit_distance("A" * 3, "A" * 10)
+        assert result.distance == 7
+        assert result.band_radius >= 7
+
+
+class TestWorkBound:
+    def test_similar_sequences_evaluate_few_cells(self):
+        s, t = mutated_pair(500, rate=0.02, seed=701)
+        result = ukkonen_edit_distance(s, t)
+        full = len(s) * len(t)
+        assert result.cells_evaluated < full / 10
+        assert result.cell_bound_ok(len(s), len(t))
+
+    @given(dna_pair(1, 40))
+    @settings(max_examples=30)
+    def test_cell_bound_property(self, pair):
+        s, t = pair
+        result = ukkonen_edit_distance(s, t)
+        assert result.cell_bound_ok(len(s), len(t))
+
+    def test_rounds_logarithmic(self):
+        s = random_dna(200, seed=702)
+        t = mutate(s, rate=0.1, seed=703)
+        result = ukkonen_edit_distance(s, t)
+        # Doubling from the length-difference floor: a handful of
+        # rounds, never O(d).
+        assert result.rounds <= 10
+
+    def test_distant_pair_still_exact(self):
+        s = random_dna(80, seed=704)
+        t = random_dna(80, seed=705)
+        assert ukkonen_edit_distance(s, t).distance == edit_distance(s, t)

@@ -1,0 +1,64 @@
+"""Tests for the VCD waveform recorder."""
+
+import pytest
+
+from repro.core.waveform import parse_vcd_changes, record_pass, write_vcd, WaveformRecorder
+
+
+class TestRecorder:
+    def test_samples_one_per_cycle(self):
+        rec = record_pass("ACGC", "ACTA")
+        assert len(rec.samples) == 4 + 4 - 1
+
+    def test_signals_declared(self):
+        rec = record_pass("AC", "ACG")
+        assert "cycle" in rec.signals
+        assert "pe1.D" in rec.signals and "pe2.valid" in rec.signals
+
+    def test_cycle_counts_up(self):
+        rec = record_pass("ACG", "ACGT")
+        assert [s["cycle"] for s in rec.samples] == list(range(1, 7))
+
+    def test_valid_window(self):
+        # Element 1 is valid for cycles 1..n then drains.
+        rec = record_pass("ACG", "ACGT")
+        valids = [s["pe1.valid"] for s in rec.samples]
+        assert valids == [1, 1, 1, 1, 0, 0]
+
+
+class TestVCD:
+    def test_header_and_vars(self):
+        text = write_vcd(record_pass("AC", "ACG"))
+        assert "$timescale" in text
+        assert "$var wire 32" in text and "$var wire 1" in text
+        assert "$enddefinitions" in text
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "trace.vcd"
+        write_vcd(record_pass("AC", "ACG"), path)
+        assert path.read_text().startswith("$date")
+
+    def test_roundtrip_d_signal(self):
+        rec = record_pass("ACGC", "ACTA")
+        text = write_vcd(rec)
+        changes = parse_vcd_changes(text)
+        # Reconstruct pe1.D over time from the change list and compare
+        # with the recorded samples.
+        series = dict(changes["pe1_D"])
+        value = 0
+        for step, sample in enumerate(rec.samples):
+            if step in series:
+                value = series[step]
+            assert value == sample["pe1.D"], step
+
+    def test_only_changes_emitted(self):
+        rec = record_pass("AAAA", "AAAA")
+        text = write_vcd(rec)
+        # The cycle counter changes every step; a constant-0 valid of
+        # a drained element must not be re-emitted every step.
+        changes = parse_vcd_changes(text)
+        assert len(changes["cycle"]) == len(rec.samples)
+
+    def test_empty_recorder_raises(self):
+        with pytest.raises(ValueError, match="no signals"):
+            write_vcd(WaveformRecorder())

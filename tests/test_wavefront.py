@@ -1,0 +1,154 @@
+"""Tests for the block sweep and the figure-3 schedule."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.matrix import SimilarityMatrix
+from repro.align.scoring import DEFAULT_DNA, encode
+from repro.parallel.wavefront import WavefrontSchedule, block_sweep
+
+from conftest import dna_pair, linear_schemes
+
+
+def tile_matrix(s: str, t: str, row_cuts: list[int], col_cuts: list[int], scheme=DEFAULT_DNA):
+    """Recompose the full matrix from arbitrary block tilings."""
+    s_codes, t_codes = encode(s), encode(t)
+    m, n = len(s), len(t)
+    D = np.zeros((m + 1, n + 1), dtype=np.int64)
+    rows = list(zip([0] + row_cuts, row_cuts + [m]))
+    cols = list(zip([0] + col_cuts, col_cuts + [n]))
+    best = (0, 0, 0)
+    for i0, i1 in rows:
+        for j0, j1 in cols:
+            if i1 == i0 or j1 == j0:
+                continue
+            res = block_sweep(
+                s_codes[i0:i1],
+                t_codes[j0:j1],
+                top_row=D[i0, j0 + 1 : j1 + 1].copy(),
+                left_col=D[i0 + 1 : i1 + 1, j0].copy(),
+                corner=int(D[i0, j0]),
+                scheme=scheme,
+            )
+            D[i1, j0 : j1 + 1] = res.bottom_row
+            D[i0 + 1 : i1 + 1, j1] = res.right_col
+            if res.best.score > best[0]:
+                cand = (res.best.score, i0 + res.best.i, j0 + res.best.j)
+                if (cand[0], -cand[1], -cand[2]) > (best[0], -best[1], -best[2]):
+                    best = cand
+    return D, best
+
+
+class TestBlockSweep:
+    def test_whole_matrix_as_one_block(self, paper_pair):
+        s, t = paper_pair
+        oracle = SimilarityMatrix(s, t)
+        res = block_sweep(
+            encode(s),
+            encode(t),
+            top_row=np.zeros(len(t), dtype=np.int64),
+            left_col=np.zeros(len(s), dtype=np.int64),
+            corner=0,
+        )
+        assert np.array_equal(res.bottom_row, oracle.scores[len(s), :])
+        assert np.array_equal(res.right_col, oracle.scores[1:, len(t)])
+        assert res.best.as_tuple() == oracle.best()
+
+    @given(dna_pair(2, 18), st.data())
+    @settings(max_examples=30)
+    def test_random_tilings_recompose_exactly(self, pair, data):
+        s, t = pair
+        m, n = len(s), len(t)
+        row_cuts = sorted(
+            data.draw(st.sets(st.integers(1, max(1, m - 1)), max_size=3))
+        )
+        col_cuts = sorted(
+            data.draw(st.sets(st.integers(1, max(1, n - 1)), max_size=3))
+        )
+        row_cuts = [c for c in row_cuts if c < m]
+        col_cuts = [c for c in col_cuts if c < n]
+        D, best = tile_matrix(s, t, row_cuts, col_cuts)
+        oracle = SimilarityMatrix(s, t)
+        # Boundary rows/cols written during tiling must match oracle.
+        for cut in row_cuts + [m]:
+            assert np.array_equal(D[cut, :], oracle.scores[cut, :])
+        assert best == oracle.best()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="top_row"):
+            block_sweep(
+                encode("AC"),
+                encode("ACG"),
+                top_row=np.zeros(2, dtype=np.int64),
+                left_col=np.zeros(2, dtype=np.int64),
+                corner=0,
+            )
+        with pytest.raises(ValueError, match="left_col"):
+            block_sweep(
+                encode("AC"),
+                encode("ACG"),
+                top_row=np.zeros(3, dtype=np.int64),
+                left_col=np.zeros(3, dtype=np.int64),
+                corner=0,
+            )
+
+    def test_zero_width_block(self):
+        res = block_sweep(
+            encode("ACG"),
+            encode(""),
+            top_row=np.zeros(0, dtype=np.int64),
+            left_col=np.array([1, 2, 3], dtype=np.int64),
+            corner=0,
+        )
+        assert res.bottom_row.tolist() == [3]
+        assert res.right_col.tolist() == [1, 2, 3]
+        assert res.best.score == 0
+
+
+class TestSchedule:
+    def test_steps_formula(self):
+        assert WavefrontSchedule(6, 4).steps == 9
+
+    def test_active_blocks_partition_the_grid(self):
+        sched = WavefrontSchedule(5, 3)
+        seen = set()
+        for step in range(sched.steps):
+            for tile in sched.active_blocks(step):
+                assert tile not in seen
+                seen.add(tile)
+        assert seen == {(r, c) for r in range(5) for c in range(3)}
+
+    def test_active_blocks_are_antidiagonals(self):
+        sched = WavefrontSchedule(4, 4)
+        for step in range(sched.steps):
+            for r, c in sched.active_blocks(step):
+                assert r + c == step
+
+    def test_max_parallelism(self):
+        assert WavefrontSchedule(6, 4).max_parallelism() == 4
+        assert WavefrontSchedule(2, 9).max_parallelism() == 2
+
+    def test_figure3_start_has_one_active(self):
+        sched = WavefrontSchedule(6, 4)
+        assert sched.active_blocks(0) == [(0, 0)]
+
+    @given(st.integers(1, 30), st.integers(1, 8))
+    def test_efficiency_bounds(self, rows, procs):
+        sched = WavefrontSchedule(rows, procs)
+        eff = sched.efficiency(procs)
+        assert 0 < eff <= 1.0
+        assert sched.speedup(procs) <= procs + 1e-9
+
+    def test_efficiency_improves_with_more_row_blocks(self):
+        # Longer pipelines amortize fill/drain (the figure 3 story).
+        p = 4
+        assert WavefrontSchedule(40, p).efficiency(p) > WavefrontSchedule(4, p).efficiency(p)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            WavefrontSchedule(0, 4)
+        with pytest.raises(ValueError):
+            WavefrontSchedule(4, 4).active_blocks(99)
+        with pytest.raises(ValueError):
+            WavefrontSchedule(4, 4).efficiency(0)
