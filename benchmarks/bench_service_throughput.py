@@ -1,0 +1,140 @@
+"""Experiment SV1 — search-service throughput vs the one-shot scanner.
+
+The service layer's claim is structural: pre-encoding the database
+into a persistent sharded index and sweeping shards across a worker
+pool must beat the single-threaded ``scan_database`` (which re-parses
+and re-encodes every record per call), and a warm result cache must
+answer repeat queries without re-sweeping at all.
+
+Workload: a 100 BP query against a synthetic ~10 MBP database (the
+paper's section-6 shape) — override the size with the
+``REPRO_SERVICE_BENCH_MBP`` environment variable for quick runs.
+Acceptance: >= 2x sweep throughput at 4 workers (only asserted when
+the machine has >= 4 cores), and a warm-cache repeat that performs no
+sweep.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.analysis.cups import format_cups
+from repro.analysis.report import render_table
+from repro.io.generate import random_dna
+from repro.scan import scan_database
+from repro.service import DatabaseIndex, ResultCache, SearchEngine
+
+DB_MBP = float(os.environ.get("REPRO_SERVICE_BENCH_MBP", "10"))
+RECORD_BP = 10_000
+N_RECORDS = max(8, int(DB_MBP * 1e6 / RECORD_BP))
+QUERY_BP = 100
+
+QUERY = random_dna(QUERY_BP, seed=11)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    records = [
+        (f"rec{i}", random_dna(RECORD_BP, seed=1_000 + i)) for i in range(N_RECORDS)
+    ]
+    index = DatabaseIndex.build(records, source=f"synthetic-{DB_MBP}MBP")
+    return records, index
+
+
+def test_sv1_service_throughput(benchmark, workload):
+    records, index = workload
+    cells = index.cells(len(QUERY))
+
+    def compare():
+        rows = []
+        t0 = time.perf_counter()
+        base = scan_database(QUERY, records, retrieve=0)
+        scan_seconds = time.perf_counter() - t0
+        rows.append(
+            ["scan_database (1 thread)", f"{scan_seconds:.2f}",
+             format_cups(cells / scan_seconds), "1.00x", "-"]
+        )
+        results = {}
+        for workers in (1, 2, 4):
+            engine = SearchEngine(index, workers=workers, cache=ResultCache(0))
+            t0 = time.perf_counter()
+            response = engine.search(QUERY)
+            seconds = time.perf_counter() - t0
+            assert [(h.record, h.score) for h in response.report.hits] == [
+                (h.record, h.score) for h in base.hits
+            ]
+            results[workers] = scan_seconds / seconds
+            rows.append(
+                [f"SearchEngine cold ({workers}w)", f"{seconds:.2f}",
+                 format_cups(cells / seconds), f"{results[workers]:.2f}x", "-"]
+            )
+        # Warm cache: repeat query on a caching engine — no re-sweep.
+        engine = SearchEngine(index, workers=4)
+        engine.search(QUERY)
+        t0 = time.perf_counter()
+        warm = engine.search(QUERY)
+        warm_seconds = time.perf_counter() - t0
+        assert warm.metrics.cache_hit
+        assert warm.metrics.sweep_seconds == 0.0
+        rows.append(
+            ["SearchEngine warm (cache)", f"{warm_seconds:.4f}", "-",
+             f"{scan_seconds / max(warm_seconds, 1e-9):.0f}x", "hit"]
+        )
+        return rows, results, warm_seconds, scan_seconds
+
+    rows, results, warm_seconds, scan_seconds = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    print()
+    print(
+        render_table(
+            ["configuration", "seconds", "sweep rate", "speedup", "cache"],
+            rows,
+            title=(
+                f"SV1: {QUERY_BP} bp query vs {N_RECORDS * RECORD_BP / 1e6:.1f} MBP "
+                f"({N_RECORDS} records, {index.shard_count} shards)"
+            ),
+        )
+    )
+    # The warm cache must answer far faster than any sweep.
+    assert warm_seconds < 0.1 * scan_seconds
+    # Parallel sweep scaling: asserted only where the cores exist.
+    if (os.cpu_count() or 1) >= 4:
+        assert results[4] >= 2.0, f"4-worker speedup {results[4]:.2f}x < 2x"
+
+
+def test_sv1_batch_amortizes_index_pass(benchmark, workload):
+    """A 4-query batch in one index pass vs four separate engine calls."""
+    records, index = workload
+    queries = [random_dna(QUERY_BP, seed=50 + i) for i in range(4)]
+
+    def compare():
+        engine = SearchEngine(index, workers=4, cache=ResultCache(0))
+        t0 = time.perf_counter()
+        batch = engine.search_batch(queries)
+        batch_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        solo = [engine.search(q) for q in queries]
+        solo_seconds = time.perf_counter() - t0
+        for b, s in zip(batch, solo):
+            assert [(h.record, h.score) for h in b.report.hits] == [
+                (h.record, h.score) for h in s.report.hits
+            ]
+        return batch_seconds, solo_seconds
+
+    batch_seconds, solo_seconds = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["dispatch", "seconds"],
+            [
+                ["4 queries, one batched pass", f"{batch_seconds:.2f}"],
+                ["4 queries, separate passes", f"{solo_seconds:.2f}"],
+            ],
+            title="SV1b: batch dispatch amortization",
+        )
+    )
+    # Batching must never be slower than sequential dispatch by more
+    # than pool-startup noise.
+    assert batch_seconds <= solo_seconds * 1.25

@@ -1,6 +1,6 @@
 """Metrics, tables and figure regeneration."""
 
-from .cups import Throughput, cups, format_cups, measure_cups
+from .cups import Throughput, cups, format_cups, measure_cups, utilization
 from .figures import (
     figure1_alignment,
     figure2_matrix,
@@ -26,6 +26,7 @@ __all__ = [
     "cups",
     "format_cups",
     "measure_cups",
+    "utilization",
     "Throughput",
     "render_table",
     "render_kv",

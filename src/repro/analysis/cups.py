@@ -13,9 +13,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Mapping
 
-__all__ = ["Throughput", "cups", "format_cups", "measure_cups"]
+__all__ = ["Throughput", "cups", "format_cups", "measure_cups", "utilization"]
 
 
 def cups(cells: int, seconds: float) -> float:
@@ -81,3 +81,19 @@ def measure_cups(
     fn()
     elapsed = time.perf_counter() - start
     return Throughput(label=label, cells=cells, seconds=max(elapsed, 1e-9), work=work)
+
+
+def utilization(busy: Mapping[str, float], wall: float) -> dict[str, float]:
+    """Per-worker utilization: busy seconds over wall-clock seconds.
+
+    Used by the search service to report how evenly a sharded sweep
+    spread across the pool (a value near 1.0 per worker means the
+    shard granularity kept every core fed).  ``wall <= 0`` yields all
+    zeros rather than dividing by zero, mirroring :class:`ScanReport`'s
+    guard.
+    """
+    if any(b < 0 for b in busy.values()):
+        raise ValueError("busy seconds cannot be negative")
+    if wall <= 0:
+        return {worker: 0.0 for worker in busy}
+    return {worker: b / wall for worker, b in busy.items()}

@@ -5,7 +5,14 @@ Commands mirror the repository's main workflows:
 ``align``    — align two sequences (inline or FASTA files) through the
                full co-design pipeline; prints the pretty alignment.
 ``scan``     — scan a query against a multi-record FASTA database and
-               print the ranked hit table.
+               print the ranked hit table (``--workers``/``--no-cache``
+               route it through the service-layer engine).
+``index``    — pre-encode a FASTA database into a persistent sharded
+               index file for ``serve``/``batch``.
+``serve``    — run the search-service request loop (line protocol on
+               stdin/stdout) over a database or saved index.
+``batch``    — run a FASTA file of queries against the database in one
+               batched index pass.
 ``figures``  — regenerate any of the paper's figures as ASCII.
 ``design``   — print the Table-2 resource row and frequency for an
                array size.
@@ -43,6 +50,32 @@ _FIGURES = {
     "7": lambda: fig_mod.figure7_partitioning(),
     "8": lambda: fig_mod.figure8_9_circuit(),
 }
+
+
+def _load_index(path: Path):
+    """A database index: load a saved one, or build from FASTA."""
+    from .service import DatabaseIndex
+
+    if path.suffix in (".idx", ".npz"):
+        return DatabaseIndex.load(path)
+    return DatabaseIndex.from_fasta(path)
+
+
+def _build_engine(args):
+    """Engine shared by the ``serve``/``batch`` commands."""
+    from .service import ResultCache, SearchEngine, WorkerSpec
+
+    spec = (
+        WorkerSpec("accelerator", elements=args.elements)
+        if args.kernel == "accelerator"
+        else WorkerSpec("software")
+    )
+    return SearchEngine(
+        _load_index(args.database),
+        workers=args.workers,
+        spec=spec,
+        cache=ResultCache(0) if args.no_cache else None,
+    )
 
 
 def _sequence_arg(value: str) -> str:
@@ -88,6 +121,52 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="calibrate Karlin-Altschul statistics and report E-values",
     )
+    p_scan.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="sweep shards on N worker processes via the search engine",
+    )
+    p_scan.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="route through the search engine with the result cache disabled",
+    )
+
+    p_index = sub.add_parser("index", help="build a persistent sharded database index")
+    p_index.add_argument("database", type=Path, help="multi-record FASTA file")
+    p_index.add_argument("--out", type=Path, required=True, help="index file to write")
+    p_index.add_argument(
+        "--shard-bp", type=int, default=None, help="target encoded bp per shard"
+    )
+
+    p_serve = sub.add_parser("serve", help="search-service request loop (stdin/stdout)")
+    p_serve.add_argument("database", type=Path, help="FASTA file or saved index (.idx/.npz)")
+    p_serve.add_argument("--workers", type=int, default=1)
+    p_serve.add_argument("--top", type=int, default=10)
+    p_serve.add_argument("--min-score", type=int, default=1)
+    p_serve.add_argument("--retrieve", type=int, default=0)
+    p_serve.add_argument("--no-cache", action="store_true")
+    p_serve.add_argument(
+        "--kernel", choices=("software", "accelerator"), default="software"
+    )
+    p_serve.add_argument("--elements", type=int, default=100)
+
+    p_batch = sub.add_parser("batch", help="run a FASTA file of queries in one batch")
+    p_batch.add_argument("queries", type=Path, help="multi-record FASTA of queries")
+    p_batch.add_argument("database", type=Path, help="FASTA file or saved index (.idx/.npz)")
+    p_batch.add_argument("--workers", type=int, default=1)
+    p_batch.add_argument("--top", type=int, default=10)
+    p_batch.add_argument("--min-score", type=int, default=1)
+    p_batch.add_argument("--retrieve", type=int, default=0)
+    p_batch.add_argument("--no-cache", action="store_true")
+    p_batch.add_argument(
+        "--kernel", choices=("software", "accelerator"), default="software"
+    )
+    p_batch.add_argument("--elements", type=int, default=100)
+    p_batch.add_argument(
+        "--metrics", action="store_true", help="print per-request service metrics"
+    )
 
     p_fig = sub.add_parser("figures", help="regenerate a paper figure")
     p_fig.add_argument("number", choices=sorted(_FIGURES), help="figure number")
@@ -126,28 +205,91 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "scan":
-        records = read_fasta(args.database)
-        acc = SWAccelerator(elements=args.elements)
         statistics = None
         if args.evalues:
             from .analysis.stats import calibrate
 
             statistics = calibrate(trials=40, seed=0)
-        report = scan_database(
-            args.query,
-            records,
-            locate=acc.locate,
-            top=args.top,
-            min_score=args.min_score,
-            retrieve=args.retrieve,
-            statistics=statistics,
-        )
+        if args.workers is None and not args.no_cache:
+            # Legacy one-shot path: parse + sweep inline, byte-for-byte
+            # the pre-service output.
+            records = read_fasta(args.database)
+            acc = SWAccelerator(elements=args.elements)
+            report = scan_database(
+                args.query,
+                records,
+                locate=acc.locate,
+                top=args.top,
+                min_score=args.min_score,
+                retrieve=args.retrieve,
+                statistics=statistics,
+            )
+        else:
+            from .service import ResultCache, SearchEngine, WorkerSpec
+
+            engine = SearchEngine(
+                _load_index(args.database),
+                workers=1 if args.workers is None else args.workers,
+                spec=WorkerSpec("accelerator", elements=args.elements),
+                cache=ResultCache(0) if args.no_cache else None,
+                statistics=statistics,
+            )
+            report = engine.search(
+                args.query,
+                top=args.top,
+                min_score=args.min_score,
+                retrieve=args.retrieve,
+            ).report
         print(report.render(max_rows=args.top))
         for hit in report.hits:
             if hit.alignment is not None:
                 print()
                 print(f">{hit.record}")
                 print(hit.alignment.pretty())
+        return 0
+
+    if args.command == "index":
+        from .service import DatabaseIndex
+        from .service.index import DEFAULT_SHARD_BP
+
+        index = DatabaseIndex.from_fasta(
+            args.database, shard_bp=args.shard_bp or DEFAULT_SHARD_BP
+        )
+        index.save(args.out)
+        for key, value in index.describe().items():
+            print(f"{key:>10} : {value}")
+        print(f"{'wrote':>10} : {args.out}")
+        return 0
+
+    if args.command == "serve":
+        from .service import SearchServer
+
+        server = SearchServer(
+            _build_engine(args),
+            top=args.top,
+            min_score=args.min_score,
+            retrieve=args.retrieve,
+        )
+        served = server.serve(sys.stdin, sys.stdout)
+        print(f"served {served} requests")
+        return 0
+
+    if args.command == "batch":
+        queries = read_fasta(args.queries)
+        if not queries:
+            print("no query records", file=sys.stderr)
+            return 1
+        engine = _build_engine(args)
+        responses = engine.search_batch(
+            [q.sequence for q in queries],
+            top=args.top,
+            min_score=args.min_score,
+            retrieve=args.retrieve,
+        )
+        for record, response in zip(queries, responses):
+            print(f"# query {record.identifier or '<unnamed>'}")
+            print(response.render(max_rows=args.top, with_metrics=args.metrics))
+            print()
         return 0
 
     if args.command == "figures":

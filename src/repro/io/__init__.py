@@ -1,6 +1,6 @@
 """Workload I/O: FASTA files and seeded synthetic generators."""
 
-from .fasta import FastaRecord, parse_fasta, read_fasta, write_fasta
+from .fasta import FastaRecord, parse_fasta, read_fasta, stream_fasta, write_fasta
 from .matrices import parse_matrix, read_matrix, write_matrix
 from .sam import mapq_from_gap, to_sam
 from .generate import (
@@ -18,6 +18,7 @@ __all__ = [
     "FastaRecord",
     "parse_fasta",
     "read_fasta",
+    "stream_fasta",
     "write_fasta",
     "random_dna",
     "random_protein",

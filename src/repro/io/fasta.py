@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, TextIO
 
-__all__ = ["FastaRecord", "read_fasta", "parse_fasta", "write_fasta"]
+__all__ = ["FastaRecord", "read_fasta", "parse_fasta", "stream_fasta", "write_fasta"]
 
 
 @dataclass(frozen=True)
@@ -79,6 +79,18 @@ def read_fasta(path: str | Path, alphabet: str | None = None) -> list[FastaRecor
     """Read all records of a FASTA file."""
     with open(path, "r", encoding="ascii") as fh:
         return list(parse_fasta(fh, alphabet))
+
+
+def stream_fasta(path: str | Path, alphabet: str | None = None) -> Iterator[FastaRecord]:
+    """Yield records of a FASTA file one at a time.
+
+    Unlike :func:`read_fasta` this never materializes the whole file's
+    record list, so the service-layer index builder can encode a
+    multi-megabase database shard by shard with only one record's text
+    alive at a time.
+    """
+    with open(path, "r", encoding="ascii") as fh:
+        yield from parse_fasta(fh, alphabet)
 
 
 def write_fasta(

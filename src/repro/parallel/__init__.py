@@ -2,11 +2,13 @@
 the accelerator integrates with (section 2.4)."""
 
 from .cluster import ClusterConfig, ClusterRun, Message, WavefrontCluster, accelerated_config
+from .sharding import even_spans
 from .wavefront import BlockResult, WavefrontSchedule, block_sweep
 from .zalign import ZAlignResult, zalign
 
 __all__ = [
     "block_sweep",
+    "even_spans",
     "BlockResult",
     "WavefrontSchedule",
     "WavefrontCluster",

@@ -37,6 +37,7 @@ import numpy as np
 
 from ..align.scoring import DEFAULT_DNA, LinearScoring, SubstitutionMatrix, encode
 from ..align.smith_waterman import LocalHit
+from .sharding import even_spans
 from .wavefront import WavefrontSchedule, block_sweep
 
 __all__ = ["ClusterConfig", "Message", "ClusterRun", "WavefrontCluster", "accelerated_config"]
@@ -117,15 +118,7 @@ class WavefrontCluster:
     # ------------------------------------------------------------------
     def _column_blocks(self, n: int) -> list[tuple[int, int]]:
         """Split ``n`` database columns over the ranks (near-even)."""
-        p = self.config.processors
-        base, extra = divmod(n, p)
-        spans = []
-        start = 0
-        for rank in range(p):
-            width = base + (1 if rank < extra else 0)
-            spans.append((start, start + width))
-            start += width
-        return spans
+        return even_spans(n, self.config.processors)
 
     def run(self, s: str, t: str) -> ClusterRun:
         """Execute the wavefront computation of ``s`` vs ``t``.

@@ -1,0 +1,35 @@
+"""Work-partitioning helpers shared by the parallel substrates.
+
+Both the figure-3 cluster (columns over ranks) and the search service
+(database records over index shards) need the same primitive: split
+``total`` items into ``parts`` contiguous, near-even spans whose sizes
+differ by at most one.  Keeping the arithmetic in one place means the
+two layers provably balance the same way, and the property tests cover
+both at once.
+"""
+
+from __future__ import annotations
+
+__all__ = ["even_spans"]
+
+
+def even_spans(total: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into ``parts`` contiguous near-even spans.
+
+    Returns ``parts`` half-open ``(start, stop)`` spans covering
+    ``0..total`` in order; the first ``total % parts`` spans are one
+    longer.  ``total`` may be smaller than ``parts`` (trailing spans
+    are empty), but both must be non-negative / positive respectively.
+    """
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if parts < 1:
+        raise ValueError(f"need at least one part, got {parts}")
+    base, extra = divmod(total, parts)
+    spans: list[tuple[int, int]] = []
+    start = 0
+    for part in range(parts):
+        width = base + (1 if part < extra else 0)
+        spans.append((start, start + width))
+        start += width
+    return spans

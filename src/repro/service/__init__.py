@@ -1,0 +1,44 @@
+"""Search service: the paper's deployment model as a subsystem.
+
+Sections 1 and 5 describe an inherently server-shaped workload — a
+fixed query streamed against a multi-megabase database, only score and
+coordinates returned per record.  This package turns the one-shot
+:func:`repro.scan.scan_database` into that service:
+
+* :mod:`~repro.service.index` — persistent sharded database index
+  (parse + encode once, content-hash version stamp, save/load);
+* :mod:`~repro.service.pool` — multiprocessing worker pool sweeping
+  shards with the phase-1 locate kernel, merged bit-identically to the
+  sequential scanner;
+* :mod:`~repro.service.cache` — LRU result cache keyed by query,
+  scheme and index version;
+* :mod:`~repro.service.engine` — the :class:`SearchEngine` facade:
+  batched queries over one index pass, scan-equivalent semantics,
+  per-request metrics;
+* :mod:`~repro.service.server` — a minimal stdlib request loop
+  (line protocol and queue-in / report-out) behind ``repro serve``.
+"""
+
+from .cache import CacheKey, CacheStats, ResultCache, scheme_token
+from .engine import RequestMetrics, SearchEngine, SearchResponse
+from .index import DatabaseIndex, IndexFormatError, Shard
+from .pool import ShardWorkerPool, WorkerSpec, merge_candidates
+from .server import QueryRequest, SearchServer
+
+__all__ = [
+    "CacheKey",
+    "CacheStats",
+    "DatabaseIndex",
+    "IndexFormatError",
+    "QueryRequest",
+    "RequestMetrics",
+    "ResultCache",
+    "SearchEngine",
+    "SearchResponse",
+    "SearchServer",
+    "Shard",
+    "ShardWorkerPool",
+    "WorkerSpec",
+    "merge_candidates",
+    "scheme_token",
+]

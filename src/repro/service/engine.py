@@ -1,0 +1,314 @@
+"""Batch query engine: the search service's facade.
+
+:class:`SearchEngine` turns the one-shot scanner into a reusable
+server-shaped component: a persistent pre-encoded
+:class:`~repro.service.index.DatabaseIndex` is swept by a
+:class:`~repro.service.pool.ShardWorkerPool` (software kernel or
+simulated accelerator), ranked candidates are remembered in a
+:class:`~repro.service.cache.ResultCache`, and multiple queries batch
+over **one pass of the index** — each shard ships to a worker once per
+batch and is swept for every outstanding query while it is hot.
+
+The engine's contract mirrors :func:`repro.scan.scan_database`
+exactly: same ``top``/``min_score`` semantics, same E-value
+application, and **bit-identical rankings** (the merge order
+``(-score, database_index)`` is the scanner's stable sort; see
+:mod:`repro.service.pool`).  What changes is the cost model — parse
+and encode once, sweep in parallel, skip the sweep entirely on a
+cache hit — and the accounting, which every request carries as a
+:class:`RequestMetrics`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..align.local_linear import local_align_linear
+from ..align.scoring import DEFAULT_DNA, LinearScoring, SubstitutionMatrix
+from ..align.smith_waterman import LocalHit
+from ..analysis.cups import format_cups, utilization
+from ..analysis.report import render_kv
+from ..analysis.stats import ScoreStatistics
+from ..scan import ScanHit, ScanReport
+from .cache import CacheKey, ResultCache, scheme_token
+from .index import DatabaseIndex
+from .pool import Candidate, ShardWorkerPool, WorkerSpec, merge_candidates
+
+__all__ = ["RequestMetrics", "SearchResponse", "SearchEngine"]
+
+
+@dataclass(frozen=True)
+class _CachedSweep:
+    """What the cache stores: the sweep's ranked output, nothing more."""
+
+    candidates: tuple[Candidate, ...]
+    records: int
+
+
+@dataclass(frozen=True)
+class RequestMetrics:
+    """Per-request accounting the service layer exposes.
+
+    ``sweep_seconds`` is this request's share of the batch sweep wall
+    time (apportioned by cells); ``sweep_wall_seconds`` is the whole
+    batch's sweep wall time and ``worker_busy`` maps worker labels to
+    busy seconds over that same batch.
+    """
+
+    query_length: int
+    records: int
+    cells: int
+    sweep_seconds: float
+    retrieval_seconds: float
+    total_seconds: float
+    workers: int
+    shards: int
+    cache_hit: bool
+    worker_busy: tuple[tuple[str, float], ...] = ()
+    sweep_wall_seconds: float = 0.0
+
+    @property
+    def cups(self) -> float:
+        return self.cells / self.sweep_seconds if self.sweep_seconds > 0 else 0.0
+
+    @property
+    def worker_utilization(self) -> dict[str, float]:
+        """Busy fraction per worker over the batch sweep wall time."""
+        return utilization(dict(self.worker_busy), self.sweep_wall_seconds)
+
+    def render(self) -> str:
+        pairs: list[tuple[str, object]] = [
+            ("records", self.records),
+            ("cells", f"{self.cells:,}"),
+            ("sweep s", f"{self.sweep_seconds:.4f}"),
+            ("retrieval s", f"{self.retrieval_seconds:.4f}"),
+            ("total s", f"{self.total_seconds:.4f}"),
+            ("sweep rate", format_cups(self.cups)),
+            ("workers", self.workers),
+            ("shards", self.shards),
+            ("cache", "hit" if self.cache_hit else "miss"),
+        ]
+        for worker, frac in sorted(self.worker_utilization.items()):
+            pairs.append((worker, f"{frac:.0%} busy"))
+        return render_kv(pairs, title="request metrics")
+
+
+@dataclass
+class SearchResponse:
+    """One query's ranked report plus its service-side metrics."""
+
+    query: str
+    report: ScanReport
+    metrics: RequestMetrics
+
+    def render(self, max_rows: int = 10, with_metrics: bool = False) -> str:
+        text = self.report.render(max_rows=max_rows)
+        if with_metrics:
+            text += "\n" + self.metrics.render()
+        return text
+
+
+class SearchEngine:
+    """Cached, parallel, batched database search over a persistent index.
+
+    Parameters
+    ----------
+    index:
+        The pre-encoded database (build once, reuse per query).
+    scheme:
+        Scoring scheme — fixed per engine, like the synthesized
+        datapath constants it models.
+    workers:
+        Process count for the shard sweep; 1 runs inline.
+    spec:
+        How workers build their locate kernel (software row sweep by
+        default; ``WorkerSpec("accelerator", elements=N)`` for the
+        simulated device).
+    cache:
+        Result cache; defaults to a 128-entry LRU.  Pass
+        ``ResultCache(0)`` to disable.
+    statistics:
+        Calibrated Karlin-Altschul statistics; when set, hits carry
+        E-values exactly as ``scan_database`` reports them.
+    """
+
+    def __init__(
+        self,
+        index: DatabaseIndex,
+        scheme: LinearScoring | SubstitutionMatrix = DEFAULT_DNA,
+        workers: int = 1,
+        spec: WorkerSpec | None = None,
+        cache: ResultCache | None = None,
+        statistics: ScoreStatistics | None = None,
+    ) -> None:
+        self.index = index
+        self.scheme = scheme
+        self.spec = spec if spec is not None else WorkerSpec()
+        self.pool = ShardWorkerPool(workers=workers, spec=self.spec)
+        self.cache = cache if cache is not None else ResultCache()
+        self.statistics = statistics
+        self._scheme_token = scheme_token(scheme)
+        self._retrieve_locate = None
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    def _key(self, query: str, min_score: int, top: int) -> CacheKey:
+        return CacheKey(
+            query=query,
+            scheme=self._scheme_token,
+            index_version=self.index.version,
+            min_score=min_score,
+            top=top,
+        )
+
+    def _locate_for_retrieval(self):
+        if self._retrieve_locate is None:
+            self._retrieve_locate = self.spec.make_locate(self.scheme)
+        return self._retrieve_locate
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: str,
+        top: int = 10,
+        min_score: int = 1,
+        retrieve: int = 0,
+        statistics: ScoreStatistics | None = None,
+    ) -> SearchResponse:
+        """Rank the database against one query (see ``search_batch``)."""
+        return self.search_batch(
+            [query], top=top, min_score=min_score, retrieve=retrieve, statistics=statistics
+        )[0]
+
+    def search_batch(
+        self,
+        queries: Sequence[str],
+        top: int = 10,
+        min_score: int = 1,
+        retrieve: int = 0,
+        statistics: ScoreStatistics | None = None,
+    ) -> list[SearchResponse]:
+        """Rank the database against every query in one index pass.
+
+        Cache-resident queries skip the sweep entirely; the remaining
+        distinct queries are swept together — each shard is shipped to
+        a worker once and swept for all of them while its payload is
+        hot.  Rankings are bit-identical to ``scan_database`` per
+        query.
+        """
+        if top < 1:
+            raise ValueError(f"top must be positive, got {top}")
+        if retrieve < 0:
+            raise ValueError(f"retrieve cannot be negative, got {retrieve}")
+        stats = statistics if statistics is not None else self.statistics
+        t_start = time.perf_counter()
+        normalized = [q.upper() for q in queries]
+        keys = [self._key(q, min_score, top) for q in normalized]
+        cached: dict[CacheKey, _CachedSweep] = {}
+        pending: list[str] = []
+        pending_keys: list[CacheKey] = []
+        for q, key in zip(normalized, keys):
+            if key in cached or key in pending_keys:
+                continue
+            entry = self.cache.get(key)
+            if entry is not None:
+                cached[key] = entry  # type: ignore[assignment]
+            else:
+                pending.append(q)
+                pending_keys.append(key)
+
+        sweep_wall = 0.0
+        worker_busy: tuple[tuple[str, float], ...] = ()
+        if pending:
+            t0 = time.perf_counter()
+            sweeps = self.pool.sweep(
+                self.index, pending, self.scheme, min_score=min_score, k=top
+            )
+            sweep_wall = time.perf_counter() - t0
+            merged = merge_candidates(sweeps, len(pending), top)
+            worker_busy = tuple(sorted(self.pool.busy_seconds(sweeps).items()))
+            for key, ranked in zip(pending_keys, merged):
+                entry = _CachedSweep(
+                    candidates=tuple(ranked), records=self.index.record_count
+                )
+                cached[key] = entry
+                self.cache.put(key, entry)
+
+        pending_cells = sum(self.index.cells(len(q)) for q in pending) or 1
+        hit_keys = {key for key in keys if key not in pending_keys}
+
+        responses: list[SearchResponse] = []
+        for q, key in zip(normalized, keys):
+            entry = cached[key]
+            was_hit = key in hit_keys
+            report = ScanReport(
+                query_length=len(q),
+                min_score=min_score,
+                records_scanned=entry.records,
+                cells=0 if was_hit else self.index.cells(len(q)),
+            )
+            t_retrieve = time.perf_counter()
+            for rank, (score, gidx, i, j) in enumerate(entry.candidates):
+                name, codes = self.index.record(gidx)
+                alignment = None
+                if rank < retrieve:
+                    seq = self.index.sequence(gidx)
+                    alignment = local_align_linear(
+                        q, seq, self.scheme, self._locate_for_retrieval()
+                    ).alignment
+                evalue = (
+                    stats.evalue(score, len(q), len(codes)) if stats is not None else None
+                )
+                report.hits.append(
+                    ScanHit(
+                        record=name,
+                        length=len(codes),
+                        hit=LocalHit(score, i, j),
+                        alignment=alignment,
+                        evalue=evalue,
+                    )
+                )
+            retrieval_seconds = time.perf_counter() - t_retrieve
+            share = (
+                0.0
+                if was_hit
+                else sweep_wall * self.index.cells(len(q)) / pending_cells
+            )
+            report.sweep_seconds = share
+            report.total_seconds = share + retrieval_seconds
+            metrics = RequestMetrics(
+                query_length=len(q),
+                records=entry.records,
+                cells=report.cells,
+                sweep_seconds=share,
+                retrieval_seconds=retrieval_seconds,
+                total_seconds=time.perf_counter() - t_start,
+                workers=self.pool.workers,
+                shards=self.index.shard_count,
+                cache_hit=was_hit,
+                worker_busy=() if was_hit else worker_busy,
+                sweep_wall_seconds=0.0 if was_hit else sweep_wall,
+            )
+            self.requests_served += 1
+            responses.append(SearchResponse(query=q, report=report, metrics=metrics))
+        return responses
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict[str, object]:
+        """Engine + index + cache summary (the ``stats`` server verb)."""
+        info = dict(self.index.describe())
+        cache = self.cache.stats
+        info.update(
+            {
+                "workers": self.pool.workers,
+                "kernel": self.spec.kind,
+                "requests": self.requests_served,
+                "cache size": f"{cache.size}/{cache.capacity}",
+                "cache hits": cache.hits,
+                "cache misses": cache.misses,
+                "cache hit rate": f"{cache.hit_rate:.0%}",
+            }
+        )
+        return info

@@ -1,0 +1,194 @@
+"""Worker pool mapping index shards across cores.
+
+Each task sweeps one :class:`~repro.service.index.Shard` with the
+phase-1 locate kernel — the software row sweep or a simulated
+:class:`~repro.core.accelerator.SWAccelerator` — for a *batch* of
+queries at once, and returns only the per-shard top-k candidate
+tuples ``(score, global_index, i, j)``.  That is the paper's
+deployment contract scaled out: the expensive O(m·n) sweep happens
+next to the data, and "only a few bytes" per record travel back.
+
+Correctness contract: merging per-shard candidates with the key
+``(-score, global_index)`` reproduces :func:`repro.scan.scan_database`
+rankings **bit-identically** — the scanner stable-sorts database-order
+hits by descending score, which is exactly that total order.  A
+per-shard top-k can never evict a global top-k member under a total
+order, so the truncation is lossless.  The property test in
+``tests/test_service_engine.py`` pins this across worker counts.
+
+Workers are plain ``multiprocessing`` processes (fork where available,
+spawn otherwise); a :class:`WorkerSpec` describes how each task builds
+its kernel so accelerator state never needs to cross the process
+boundary.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..align.scoring import LinearScoring, SubstitutionMatrix
+from ..align.smith_waterman import sw_locate_best
+from .index import DatabaseIndex
+
+__all__ = ["Candidate", "ShardSweep", "WorkerSpec", "ShardWorkerPool", "merge_candidates"]
+
+#: ``(score, global_index, i, j)`` — the pool's wire format for one
+#: database hit, deliberately tiny (the paper's three-word readout
+#: plus the record id it belongs to).
+Candidate = tuple[int, int, int, int]
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """How a worker builds its locate kernel.
+
+    ``kind`` is ``"software"`` (the NumPy row sweep) or
+    ``"accelerator"`` (a simulated :class:`SWAccelerator` with
+    ``elements``/``engine`` as configured).  The spec — not the kernel
+    — is what crosses the process boundary, so device state is built
+    fresh in each worker.
+    """
+
+    kind: str = "software"
+    elements: int = 100
+    engine: str = "emulator"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("software", "accelerator"):
+            raise ValueError(f"unknown worker kind {self.kind!r}")
+        if self.elements < 1:
+            raise ValueError(f"need at least one element, got {self.elements}")
+
+    def make_locate(
+        self, scheme: LinearScoring | SubstitutionMatrix
+    ) -> Callable[..., object]:
+        if self.kind == "software":
+            return sw_locate_best
+        from ..core.accelerator import SWAccelerator
+
+        return SWAccelerator(
+            elements=self.elements, scheme=scheme, engine=self.engine
+        ).locate
+
+
+@dataclass(frozen=True)
+class ShardSweep:
+    """One shard's sweep result for a batch of queries."""
+
+    shard_id: int
+    candidates: tuple[tuple[Candidate, ...], ...]  # per query
+    cells: int
+    records: int
+    seconds: float
+    worker: str
+
+
+def _sweep_shard(
+    args: tuple,
+) -> ShardSweep:
+    """Sweep one shard for every query (runs inside a worker process)."""
+    (shard_id, start, offsets, payload, queries, scheme, spec, min_score, k) = args
+    locate = spec.make_locate(scheme)
+    t0 = time.perf_counter()
+    n_records = len(offsets) - 1
+    cells = 0
+    per_query: list[list[Candidate]] = [[] for _ in queries]
+    for r in range(n_records):
+        codes = payload[int(offsets[r]) : int(offsets[r + 1])]
+        gidx = start + r
+        for qi, query in enumerate(queries):
+            cells += len(query) * len(codes)
+            hit = locate(query, codes, scheme)
+            if hit.score >= min_score:
+                per_query[qi].append((hit.score, gidx, hit.i, hit.j))
+    topk = tuple(
+        tuple(heapq.nsmallest(k, cands, key=lambda c: (-c[0], c[1])))
+        for cands in per_query
+    )
+    return ShardSweep(
+        shard_id=shard_id,
+        candidates=topk,
+        cells=cells,
+        records=n_records,
+        seconds=time.perf_counter() - t0,
+        worker=f"worker-{os.getpid()}",
+    )
+
+
+def merge_candidates(
+    sweeps: Sequence[ShardSweep], n_queries: int, k: int
+) -> list[list[Candidate]]:
+    """Merge per-shard top-k lists into global top-k per query.
+
+    Sorting by ``(-score, global_index)`` is the scanner's stable-sort
+    order, so the merged ranking is bit-identical to a sequential
+    :func:`~repro.scan.scan_database` over the same records.
+    """
+    merged: list[list[Candidate]] = []
+    for qi in range(n_queries):
+        pooled = [c for sweep in sweeps for c in sweep.candidates[qi]]
+        pooled.sort(key=lambda c: (-c[0], c[1]))
+        merged.append(pooled[:k])
+    return merged
+
+
+class ShardWorkerPool:
+    """Maps shard sweeps over a process pool (or inline for 1 worker).
+
+    A pool is created per sweep call: the fork/spawn cost is tens of
+    milliseconds, far below the O(m·n) sweep it amortizes against, and
+    it keeps the class free of cross-call process lifecycle.
+    """
+
+    def __init__(self, workers: int = 1, spec: WorkerSpec | None = None) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.workers = workers
+        self.spec = spec if spec is not None else WorkerSpec()
+
+    @staticmethod
+    def _context() -> multiprocessing.context.BaseContext:
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+    def sweep(
+        self,
+        index: DatabaseIndex,
+        queries: Sequence[str],
+        scheme: LinearScoring | SubstitutionMatrix,
+        min_score: int,
+        k: int,
+    ) -> list[ShardSweep]:
+        """Sweep every shard for every query; returns per-shard results."""
+        tasks = [
+            (
+                shard.shard_id,
+                shard.start,
+                shard.offsets,
+                shard.payload,
+                tuple(queries),
+                scheme,
+                self.spec,
+                min_score,
+                k,
+            )
+            for shard in index.shards
+        ]
+        if self.workers == 1 or len(tasks) <= 1:
+            return [_sweep_shard(task) for task in tasks]
+        n_procs = min(self.workers, len(tasks))
+        with self._context().Pool(processes=n_procs) as pool:
+            return pool.map(_sweep_shard, tasks, chunksize=1)
+
+    @staticmethod
+    def busy_seconds(sweeps: Sequence[ShardSweep]) -> dict[str, float]:
+        """Total sweep seconds per worker (for utilization reporting)."""
+        busy: dict[str, float] = {}
+        for sweep in sweeps:
+            busy[sweep.worker] = busy.get(sweep.worker, 0.0) + sweep.seconds
+        return busy

@@ -1,0 +1,135 @@
+"""Minimal stdlib request loop around a :class:`SearchEngine`.
+
+The paper's deployment is already server-shaped — a fixed database,
+queries streaming in, a few bytes of ranked results streaming out —
+and this module is the smallest faithful realization of it: no
+sockets, no threads, just two interchangeable front-ends over the
+engine:
+
+* :meth:`SearchServer.serve` — a line protocol over text streams
+  (stdin/stdout in ``repro serve``, ``io.StringIO`` in tests)::
+
+      scan ACGTACGT top=5 min_score=10 retrieve=1 metrics=1
+      stats
+      quit
+
+* :meth:`SearchServer.serve_queue` — queue-in / report-out: consume
+  :class:`QueryRequest` objects from one ``queue.Queue``, emit
+  :class:`~repro.service.engine.SearchResponse` objects on another
+  until a ``None`` sentinel arrives.  This is the embedding point a
+  later async/socket front-end wraps.
+"""
+
+from __future__ import annotations
+
+import queue
+from dataclasses import dataclass
+from typing import TextIO
+
+from .engine import SearchEngine, SearchResponse
+
+__all__ = ["QueryRequest", "SearchServer"]
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One search request as the queue front-end carries it."""
+
+    query: str
+    top: int = 10
+    min_score: int = 1
+    retrieve: int = 0
+
+
+class SearchServer:
+    """Request loop over a :class:`SearchEngine`."""
+
+    def __init__(
+        self, engine: SearchEngine, top: int = 10, min_score: int = 1, retrieve: int = 0
+    ) -> None:
+        self.engine = engine
+        self.defaults = QueryRequest("", top=top, min_score=min_score, retrieve=retrieve)
+        self.served = 0
+
+    # ------------------------------------------------------------------
+    # Text front-end
+    # ------------------------------------------------------------------
+    def _parse_options(self, tokens: list[str]) -> dict[str, int]:
+        options: dict[str, int] = {}
+        for token in tokens:
+            if "=" not in token:
+                raise ValueError(f"malformed option {token!r} (expected key=value)")
+            key, _, value = token.partition("=")
+            key = key.replace("-", "_")
+            if key not in ("top", "min_score", "retrieve", "metrics"):
+                raise ValueError(f"unknown option {key!r}")
+            options[key] = int(value)
+        return options
+
+    def handle_line(self, line: str) -> str | None:
+        """One request line -> response text (``None`` means shut down)."""
+        tokens = line.strip().split()
+        if not tokens or tokens[0].startswith("#"):
+            return ""
+        verb = tokens[0].lower()
+        if verb in ("quit", "exit", "shutdown"):
+            return None
+        try:
+            if verb == "stats":
+                return "\n".join(f"{k}: {v}" for k, v in self.engine.describe().items())
+            if verb == "scan":
+                if len(tokens) < 2:
+                    raise ValueError("scan needs a query sequence")
+                options = self._parse_options(tokens[2:])
+                with_metrics = bool(options.pop("metrics", 0))
+                request = QueryRequest(
+                    query=tokens[1],
+                    top=options.get("top", self.defaults.top),
+                    min_score=options.get("min_score", self.defaults.min_score),
+                    retrieve=options.get("retrieve", self.defaults.retrieve),
+                )
+                response = self.submit(request)
+                return response.render(max_rows=request.top, with_metrics=with_metrics)
+            raise ValueError(f"unknown verb {verb!r} (use scan / stats / quit)")
+        except ValueError as exc:
+            return f"ERROR: {exc}"
+
+    def serve(self, in_stream: TextIO, out_stream: TextIO) -> int:
+        """Run the line protocol until EOF or ``quit``; returns requests served."""
+        for line in in_stream:
+            response = self.handle_line(line)
+            if response is None:
+                break
+            if response:
+                out_stream.write(response + "\n")
+                out_stream.flush()
+        return self.served
+
+    # ------------------------------------------------------------------
+    # Queue front-end
+    # ------------------------------------------------------------------
+    def submit(self, request: QueryRequest) -> SearchResponse:
+        """Run one request through the engine."""
+        response = self.engine.search(
+            request.query,
+            top=request.top,
+            min_score=request.min_score,
+            retrieve=request.retrieve,
+        )
+        self.served += 1
+        return response
+
+    def serve_queue(
+        self,
+        requests: "queue.Queue[QueryRequest | None]",
+        responses: "queue.Queue[SearchResponse]",
+    ) -> int:
+        """Queue-in / report-out loop; a ``None`` request stops it."""
+        while True:
+            request = requests.get()
+            try:
+                if request is None:
+                    return self.served
+                responses.put(self.submit(request))
+            finally:
+                requests.task_done()

@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.io",
     "repro.analysis",
     "repro.hdl",
+    "repro.service",
 ]
 
 

@@ -72,11 +72,28 @@ class TestScan:
         assert report.cells == sum(len(query) * len(r.sequence) for r in records)
         assert report.cups > 0
 
+    def test_sweep_and_total_seconds(self, database_records):
+        """CUPS is defined on the phase-1 sweep; retrieval is extra."""
+        query, records = database_records
+        report = scan_database(query, records, retrieve=3)
+        assert 0 < report.sweep_seconds <= report.total_seconds
+        assert report.seconds == report.total_seconds  # back-compat alias
+        assert report.cups == report.cells / report.sweep_seconds
+
     def test_render(self, database_records):
         query, records = database_records
         text = scan_database(query, records).render()
         assert "hit3" in text
         assert "rank" in text
+
+    def test_render_zero_hits_explicit_row(self, database_records):
+        """Regression: an empty scan must say so, not render a bare header."""
+        query, records = database_records
+        report = scan_database(query, records, min_score=10_000)
+        assert not report.hits
+        text = report.render()
+        assert "no hits >= min_score 10000" in text
+        assert "rank" in text  # header still present
 
     def test_plain_strings_accepted(self):
         report = scan_database("ACGT", ["TTACGTTT", "GGGG"], retrieve=0)
