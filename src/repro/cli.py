@@ -62,7 +62,13 @@ def _load_index(path: Path):
 
 
 def _build_engine(args):
-    """Engine shared by the ``serve``/``batch`` commands."""
+    """Engine shared by the ``serve``/``batch`` commands.
+
+    ``--retries``/``--timeout`` (serve) switch the sweep onto the
+    supervised pool: worker death and hung sweeps are retried with
+    backoff, repeat offenders are quarantined, and the engine degrades
+    to the in-process path rather than failing the request.
+    """
     from .service import ResultCache, SearchEngine, WorkerSpec
 
     spec = (
@@ -70,11 +76,22 @@ def _build_engine(args):
         if args.kernel == "accelerator"
         else WorkerSpec("software")
     )
+    pool = None
+    retries = getattr(args, "retries", None)
+    timeout = getattr(args, "timeout", None)
+    if retries is not None or timeout is not None:
+        from .service import RetryPolicy, SupervisedWorkerPool
+
+        policy = RetryPolicy() if retries is None else RetryPolicy(retries=retries)
+        pool = SupervisedWorkerPool(
+            workers=args.workers, spec=spec, policy=policy, task_timeout=timeout
+        )
     return SearchEngine(
         _load_index(args.database),
         workers=args.workers,
         spec=spec,
         cache=ResultCache(0) if args.no_cache else None,
+        pool=pool,
     )
 
 
@@ -151,6 +168,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel", choices=("software", "accelerator"), default="software"
     )
     p_serve.add_argument("--elements", type=int, default=100)
+    p_serve.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="supervise shard sweeps and retry failures up to N times",
+    )
+    p_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="kill and retry a shard sweep exceeding this many seconds",
+    )
 
     p_batch = sub.add_parser("batch", help="run a FASTA file of queries in one batch")
     p_batch.add_argument("queries", type=Path, help="multi-record FASTA of queries")

@@ -6,39 +6,71 @@ coordinates returned per record.  This package turns the one-shot
 :func:`repro.scan.scan_database` into that service:
 
 * :mod:`~repro.service.index` — persistent sharded database index
-  (parse + encode once, content-hash version stamp, save/load);
+  (parse + encode once, content-hash version stamp, per-shard content
+  hashes verified on load, save/load);
 * :mod:`~repro.service.pool` — multiprocessing worker pool sweeping
   shards with the phase-1 locate kernel, merged bit-identically to the
   sequential scanner;
+* :mod:`~repro.service.resilience` — fault tolerance: the
+  :class:`ServiceError` taxonomy, :class:`RetryPolicy` backoff,
+  deterministic :class:`FaultPlan` injection, and the
+  :class:`SupervisedWorkerPool` (worker supervision, retries, shard
+  quarantine);
 * :mod:`~repro.service.cache` — LRU result cache keyed by query,
-  scheme and index version;
+  scheme and index version (partial answers are never cached);
 * :mod:`~repro.service.engine` — the :class:`SearchEngine` facade:
   batched queries over one index pass, scan-equivalent semantics,
-  per-request metrics;
+  per-request metrics, graceful degradation with explicit
+  ``coverage``/``degraded_shards`` on every response;
 * :mod:`~repro.service.server` — a minimal stdlib request loop
-  (line protocol and queue-in / report-out) behind ``repro serve``.
+  (line protocol and queue-in / report-out) behind ``repro serve``,
+  reporting failures as structured ``error <code> <message>`` lines.
 """
 
 from .cache import CacheKey, CacheStats, ResultCache, scheme_token
 from .engine import RequestMetrics, SearchEngine, SearchResponse
 from .index import DatabaseIndex, IndexFormatError, Shard
 from .pool import ShardWorkerPool, WorkerSpec, merge_candidates
+from .resilience import (
+    Fault,
+    FaultPlan,
+    IndexCorrupt,
+    RetryPolicy,
+    ServiceError,
+    ShardFailure,
+    SupervisedWorkerPool,
+    SweepOutcome,
+    WorkerTimeout,
+    corrupt_index_file,
+    validate_sweep,
+)
 from .server import QueryRequest, SearchServer
 
 __all__ = [
     "CacheKey",
     "CacheStats",
     "DatabaseIndex",
+    "Fault",
+    "FaultPlan",
+    "IndexCorrupt",
     "IndexFormatError",
     "QueryRequest",
     "RequestMetrics",
     "ResultCache",
+    "RetryPolicy",
     "SearchEngine",
     "SearchResponse",
     "SearchServer",
+    "ServiceError",
     "Shard",
+    "ShardFailure",
     "ShardWorkerPool",
+    "SupervisedWorkerPool",
+    "SweepOutcome",
     "WorkerSpec",
+    "WorkerTimeout",
+    "corrupt_index_file",
     "merge_candidates",
     "scheme_token",
+    "validate_sweep",
 ]

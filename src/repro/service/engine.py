@@ -34,17 +34,33 @@ from ..analysis.stats import ScoreStatistics
 from ..scan import ScanHit, ScanReport
 from .cache import CacheKey, ResultCache, scheme_token
 from .index import DatabaseIndex
-from .pool import Candidate, ShardWorkerPool, WorkerSpec, merge_candidates
+from .pool import (
+    Candidate,
+    ShardWorkerPool,
+    WorkerSpec,
+    _sweep_shard,
+    merge_candidates,
+    shard_task,
+)
+from .resilience import SupervisedWorkerPool, SweepOutcome
 
 __all__ = ["RequestMetrics", "SearchResponse", "SearchEngine"]
 
 
 @dataclass(frozen=True)
 class _CachedSweep:
-    """What the cache stores: the sweep's ranked output, nothing more."""
+    """What the cache stores: the sweep's ranked output, nothing more.
+
+    Only full-coverage sweeps are ever cached — a degraded (partial)
+    answer must not be replayed later as if it were complete — so
+    ``coverage``/``degraded`` matter only for the in-flight entries a
+    degraded batch builds for itself.
+    """
 
     candidates: tuple[Candidate, ...]
     records: int
+    coverage: float = 1.0
+    degraded: tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -97,14 +113,31 @@ class RequestMetrics:
 
 @dataclass
 class SearchResponse:
-    """One query's ranked report plus its service-side metrics."""
+    """One query's ranked report plus its service-side metrics.
+
+    ``coverage`` is the fraction of database records actually swept
+    (1.0 on the healthy path); when shards were quarantined or failed
+    unrecoverably it drops below 1.0 and ``degraded_shards`` names the
+    excluded shards, so callers always know a partial answer is
+    partial.
+    """
 
     query: str
     report: ScanReport
     metrics: RequestMetrics
+    coverage: float = 1.0
+    degraded_shards: tuple[int, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        return self.coverage < 1.0
 
     def render(self, max_rows: int = 10, with_metrics: bool = False) -> str:
-        text = self.report.render(max_rows=max_rows)
+        text = ""
+        if self.degraded:
+            shards = ",".join(str(s) for s in self.degraded_shards)
+            text += f"degraded coverage={self.coverage:.3f} shards={shards}\n"
+        text += self.report.render(max_rows=max_rows)
         if with_metrics:
             text += "\n" + self.metrics.render()
         return text
@@ -132,6 +165,18 @@ class SearchEngine:
     statistics:
         Calibrated Karlin-Altschul statistics; when set, hits carry
         E-values exactly as ``scan_database`` reports them.
+    pool:
+        A ready-made pool to sweep with — pass a
+        :class:`~repro.service.resilience.SupervisedWorkerPool` for
+        worker supervision, retries and quarantine; ``None`` builds a
+        plain :class:`ShardWorkerPool` from ``workers``/``spec``.
+    fallback_scan:
+        When True (the default) the engine degrades gracefully: shards
+        a supervised pool could not sweep are re-swept in-process (the
+        trusted ``scan_database`` path), and once the pool is marked
+        unhealthy the whole sweep runs in-process — the service keeps
+        serving instead of raising.  Set False to surface partial
+        coverage in the response instead of healing it.
     """
 
     def __init__(
@@ -142,11 +187,19 @@ class SearchEngine:
         spec: WorkerSpec | None = None,
         cache: ResultCache | None = None,
         statistics: ScoreStatistics | None = None,
+        pool: ShardWorkerPool | SupervisedWorkerPool | None = None,
+        fallback_scan: bool = True,
     ) -> None:
         self.index = index
         self.scheme = scheme
-        self.spec = spec if spec is not None else WorkerSpec()
-        self.pool = ShardWorkerPool(workers=workers, spec=self.spec)
+        if pool is not None:
+            self.pool = pool
+            self.spec = pool.spec
+        else:
+            self.spec = spec if spec is not None else WorkerSpec()
+            self.pool = ShardWorkerPool(workers=workers, spec=self.spec)
+        self.fallback_scan = fallback_scan
+        self.fallback_sweeps = 0
         self.cache = cache if cache is not None else ResultCache()
         self.statistics = statistics
         self._scheme_token = scheme_token(scheme)
@@ -167,6 +220,48 @@ class SearchEngine:
         if self._retrieve_locate is None:
             self._retrieve_locate = self.spec.make_locate(self.scheme)
         return self._retrieve_locate
+
+    # ------------------------------------------------------------------
+    def _sweep_inline(self, shards, queries, min_score: int, k: int):
+        """Sweep ``shards`` in-process with the software kernel.
+
+        This is the graceful-degradation path: no subprocesses, no
+        fault injection, the same row sweep ``scan_database`` runs —
+        the most trustworthy way to finish a sweep the pool could not.
+        """
+        spec = WorkerSpec("software")
+        return [
+            _sweep_shard(shard_task(shard, queries, self.scheme, spec, min_score, k))
+            for shard in shards
+        ]
+
+    def _run_sweep(self, queries, min_score: int, k: int):
+        """One batch sweep with degradation handling.
+
+        Returns ``(sweeps, degraded_ids)`` where ``degraded_ids`` are
+        the shards excluded from this sweep (load-quarantined plus any
+        the pool failed on that fallback did not heal).
+        """
+        load_degraded = set(self.index.degraded)
+        if not self.pool.healthy and self.fallback_scan:
+            # The pool proved itself unable to complete a sweep; stop
+            # paying its overhead and keep serving in-process.
+            self.fallback_sweeps += 1
+            sweeps = self._sweep_inline(self.index.active_shards, queries, min_score, k)
+            return sweeps, tuple(sorted(load_degraded))
+        result = self.pool.sweep(
+            self.index, queries, self.scheme, min_score=min_score, k=k
+        )
+        if not isinstance(result, SweepOutcome):
+            return result, tuple(sorted(load_degraded))
+        sweeps = list(result.sweeps)
+        failed = dict(result.failed)
+        if failed and self.fallback_scan:
+            healed = [s for s in self.index.active_shards if s.shard_id in failed]
+            self.fallback_sweeps += 1
+            sweeps.extend(self._sweep_inline(healed, queries, min_score, k))
+            failed.clear()
+        return sweeps, tuple(sorted(load_degraded | set(failed)))
 
     # ------------------------------------------------------------------
     def search(
@@ -221,22 +316,39 @@ class SearchEngine:
 
         sweep_wall = 0.0
         worker_busy: tuple[tuple[str, float], ...] = ()
+        swept_bp = self.index.total_bp
         if pending:
             t0 = time.perf_counter()
-            sweeps = self.pool.sweep(
-                self.index, pending, self.scheme, min_score=min_score, k=top
-            )
+            sweeps, degraded = self._run_sweep(pending, min_score, top)
             sweep_wall = time.perf_counter() - t0
+            excluded = set(degraded)
+            swept_records = sum(
+                len(s) for s in self.index.shards if s.shard_id not in excluded
+            )
+            swept_bp = sum(
+                s.bp for s in self.index.shards if s.shard_id not in excluded
+            )
+            total = self.index.record_count
+            coverage = swept_records / total if total else 1.0
             merged = merge_candidates(sweeps, len(pending), top)
-            worker_busy = tuple(sorted(self.pool.busy_seconds(sweeps).items()))
+            worker_busy = tuple(
+                sorted(ShardWorkerPool.busy_seconds(sweeps).items())
+            )
             for key, ranked in zip(pending_keys, merged):
                 entry = _CachedSweep(
-                    candidates=tuple(ranked), records=self.index.record_count
+                    candidates=tuple(ranked),
+                    records=swept_records,
+                    coverage=coverage,
+                    degraded=degraded,
                 )
                 cached[key] = entry
-                self.cache.put(key, entry)
+                if coverage >= 1.0:
+                    # Partial answers are never cached: a later request
+                    # must re-attempt the full sweep, not replay a
+                    # degraded ranking as if it were complete.
+                    self.cache.put(key, entry)
 
-        pending_cells = sum(self.index.cells(len(q)) for q in pending) or 1
+        pending_cells = sum(len(q) * swept_bp for q in pending) or 1
         hit_keys = {key for key in keys if key not in pending_keys}
 
         responses: list[SearchResponse] = []
@@ -247,7 +359,7 @@ class SearchEngine:
                 query_length=len(q),
                 min_score=min_score,
                 records_scanned=entry.records,
-                cells=0 if was_hit else self.index.cells(len(q)),
+                cells=0 if was_hit else len(q) * swept_bp,
             )
             t_retrieve = time.perf_counter()
             for rank, (score, gidx, i, j) in enumerate(entry.candidates):
@@ -274,7 +386,7 @@ class SearchEngine:
             share = (
                 0.0
                 if was_hit
-                else sweep_wall * self.index.cells(len(q)) / pending_cells
+                else sweep_wall * (len(q) * swept_bp) / pending_cells
             )
             report.sweep_seconds = share
             report.total_seconds = share + retrieval_seconds
@@ -292,7 +404,15 @@ class SearchEngine:
                 sweep_wall_seconds=0.0 if was_hit else sweep_wall,
             )
             self.requests_served += 1
-            responses.append(SearchResponse(query=q, report=report, metrics=metrics))
+            responses.append(
+                SearchResponse(
+                    query=q,
+                    report=report,
+                    metrics=metrics,
+                    coverage=entry.coverage,
+                    degraded_shards=entry.degraded,
+                )
+            )
         return responses
 
     # ------------------------------------------------------------------
@@ -311,4 +431,7 @@ class SearchEngine:
                 "cache hit rate": f"{cache.hit_rate:.0%}",
             }
         )
+        if isinstance(self.pool, SupervisedWorkerPool):
+            info.update(self.pool.describe())
+            info["fallback sweeps"] = self.fallback_sweeps
         return info

@@ -48,13 +48,27 @@ DEFAULT_SHARD_BP = 256 * 1024
 
 #: On-disk format revision; bumped whenever the layout changes so a
 #: stale file loads as an explicit error instead of garbage.
-INDEX_FORMAT = 1
+#: Revision 2 added per-shard content hashes (``shard_hashes``) so a
+#: corrupted shard is detected at load time instead of silently
+#: ranking against garbage.
+INDEX_FORMAT = 2
 
 _MAGIC = "repro-index"
 
 
 class IndexFormatError(ValueError):
     """The file is not a readable index of the current format."""
+
+
+def _shard_digest(shard: "Shard") -> str:
+    """Content hash of one shard (names + record boundaries + payload)."""
+    digest = hashlib.sha256()
+    digest.update("\n".join(shard.names).encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(np.ascontiguousarray(shard.offsets, dtype=np.int64).tobytes())
+    digest.update(b"\x00")
+    digest.update(np.ascontiguousarray(shard.payload, dtype=np.uint8).tobytes())
+    return digest.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -110,10 +124,21 @@ class DatabaseIndex:
     therefore ranking tie-breaks — is exactly the input order.
     """
 
-    def __init__(self, shards: Sequence[Shard], version: str, source: str = "<records>") -> None:
+    def __init__(
+        self,
+        shards: Sequence[Shard],
+        version: str,
+        source: str = "<records>",
+        degraded: Sequence[int] = (),
+    ) -> None:
         self.shards = list(shards)
         self.version = version
         self.source = source
+        #: Shard ids quarantined at load time (content-hash mismatch).
+        #: Degraded shards keep their slot — record numbering and
+        #: ranking tie-breaks are unchanged — but are excluded from
+        #: sweeps, so responses over this index report partial coverage.
+        self.degraded = tuple(sorted(set(degraded)))
         # Cumulative record starts for global-index lookup.
         self._starts = [shard.start for shard in self.shards]
 
@@ -217,6 +242,14 @@ class DatabaseIndex:
     def shard_count(self) -> int:
         return len(self.shards)
 
+    @property
+    def active_shards(self) -> list[Shard]:
+        """Shards eligible for sweeping (quarantined ones excluded)."""
+        if not self.degraded:
+            return self.shards
+        excluded = set(self.degraded)
+        return [shard for shard in self.shards if shard.shard_id not in excluded]
+
     def cells(self, query_length: int) -> int:
         """Matrix cells one full sweep of ``query_length`` bp costs."""
         return query_length * self.total_bp
@@ -246,13 +279,16 @@ class DatabaseIndex:
 
     def describe(self) -> dict[str, object]:
         """Summary stats for reports and the ``serve`` stats verb."""
-        return {
+        info: dict[str, object] = {
             "source": self.source,
             "version": self.version[:12],
             "records": self.record_count,
             "shards": self.shard_count,
             "total bp": self.total_bp,
         }
+        if self.degraded:
+            info["degraded shards"] = ",".join(str(s) for s in self.degraded)
+        return info
 
     # ------------------------------------------------------------------
     # Persistence
@@ -280,6 +316,10 @@ class DatabaseIndex:
             "\n".join(name for shard in self.shards for name in shard.names).encode("utf-8"),
             dtype=np.uint8,
         )
+        shard_hashes = np.frombuffer(
+            "\n".join(_shard_digest(shard) for shard in self.shards).encode("ascii"),
+            dtype=np.uint8,
+        )
         buffer = io.BytesIO()
         np.savez_compressed(
             buffer,
@@ -287,22 +327,45 @@ class DatabaseIndex:
             names_blob=names_blob,
             record_lengths=lengths.astype(np.int64),
             shard_counts=shard_counts,
+            shard_hashes=shard_hashes,
             payload=payload,
         )
         Path(path).write_bytes(buffer.getvalue())
 
     @classmethod
-    def load(cls, path: str | Path) -> "DatabaseIndex":
+    def load(cls, path: str | Path, on_corrupt: str = "raise") -> "DatabaseIndex":
         """Read an index written by :meth:`save`.
 
         Raises :class:`IndexFormatError` when the file is not an index
         or was written by a different format revision — callers should
-        rebuild from FASTA in that case.
+        rebuild from FASTA in that case.  Truncated or garbage input
+        of any flavor surfaces as :class:`IndexFormatError` too, never
+        as a raw NumPy/zipfile exception.
+
+        Each shard's stored content hash is re-verified against its
+        bytes.  A mismatch — bit rot, a torn write, a tampered file —
+        raises :class:`~repro.service.resilience.IndexCorrupt` when
+        ``on_corrupt="raise"`` (the default); with
+        ``on_corrupt="quarantine"`` the damaged shards load as
+        **degraded** instead: they keep their record slots (numbering
+        and tie-breaks are unchanged) but are excluded from sweeps, so
+        the service keeps answering with explicit partial coverage.
         """
+        from .resilience import IndexCorrupt
+
+        if on_corrupt not in ("raise", "quarantine"):
+            raise ValueError(
+                f"on_corrupt must be 'raise' or 'quarantine', got {on_corrupt!r}"
+            )
         try:
             with np.load(path) as data:
                 arrays = {key: data[key] for key in data.files}
-        except (OSError, ValueError) as exc:
+        except IndexFormatError:
+            raise
+        except Exception as exc:
+            # np.load on bad input raises a zoo of types (OSError,
+            # ValueError, zipfile.BadZipFile, EOFError, pickle errors);
+            # all of them mean the same thing here.
             raise IndexFormatError(f"{path}: not a readable index ({exc})") from exc
         try:
             meta = json.loads(bytes(arrays["meta"]).decode("utf-8"))
@@ -314,17 +377,26 @@ class DatabaseIndex:
             raise IndexFormatError(
                 f"{path}: index format {meta.get('format')} != supported {INDEX_FORMAT}; rebuild"
             )
-        lengths = arrays["record_lengths"].astype(np.int64)
-        shard_counts = [int(c) for c in arrays["shard_counts"]]
+        try:
+            lengths = arrays["record_lengths"].astype(np.int64)
+            shard_counts = [int(c) for c in arrays["shard_counts"]]
+            payload = arrays["payload"].astype(np.uint8)
+            names_blob = bytes(arrays["names_blob"]).decode("utf-8")
+            hash_blob = bytes(arrays["shard_hashes"]).decode("ascii")
+            version = meta["version"]
+        except (KeyError, UnicodeDecodeError, ValueError) as exc:
+            raise IndexFormatError(f"{path}: missing or corrupt index arrays") from exc
         if sum(shard_counts) != len(lengths):
             raise IndexFormatError(f"{path}: shard record counts disagree with records")
-        payload = arrays["payload"].astype(np.uint8)
-        names_blob = bytes(arrays["names_blob"]).decode("utf-8")
         names = names_blob.split("\n") if len(lengths) else []
         if len(names) != len(lengths):
             raise IndexFormatError(f"{path}: name table disagrees with records")
+        expected_hashes = hash_blob.split("\n") if shard_counts else []
+        if len(expected_hashes) != len(shard_counts):
+            raise IndexFormatError(f"{path}: shard hash table disagrees with shards")
 
         shards: list[Shard] = []
+        degraded: list[int] = []
         rec = 0
         byte = 0
         for shard_id, count in enumerate(shard_counts):
@@ -332,20 +404,32 @@ class DatabaseIndex:
             offsets = np.zeros(count + 1, dtype=np.int64)
             np.cumsum(shard_lengths, out=offsets[1:])
             bp = int(offsets[-1])
-            shards.append(
-                Shard(
-                    shard_id=shard_id,
-                    start=rec,
-                    names=tuple(names[rec : rec + count]),
-                    offsets=offsets,
-                    payload=payload[byte : byte + bp],
-                )
+            shard = Shard(
+                shard_id=shard_id,
+                start=rec,
+                names=tuple(names[rec : rec + count]),
+                offsets=offsets,
+                payload=payload[byte : byte + bp],
             )
+            if _shard_digest(shard) != expected_hashes[shard_id]:
+                if on_corrupt == "raise":
+                    raise IndexCorrupt(
+                        f"{path}: shard {shard_id} content hash mismatch "
+                        "(corrupt file; rebuild the index or load with "
+                        "on_corrupt='quarantine')"
+                    )
+                degraded.append(shard_id)
+            shards.append(shard)
             rec += count
             byte += bp
         if byte != len(payload):
             raise IndexFormatError(f"{path}: payload size disagrees with record lengths")
-        return cls(shards, version=meta["version"], source=meta.get("source", str(path)))
+        return cls(
+            shards,
+            version=version,
+            source=meta.get("source", str(path)),
+            degraded=degraded,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (

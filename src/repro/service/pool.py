@@ -35,7 +35,14 @@ from ..align.scoring import LinearScoring, SubstitutionMatrix
 from ..align.smith_waterman import sw_locate_best
 from .index import DatabaseIndex
 
-__all__ = ["Candidate", "ShardSweep", "WorkerSpec", "ShardWorkerPool", "merge_candidates"]
+__all__ = [
+    "Candidate",
+    "ShardSweep",
+    "WorkerSpec",
+    "ShardWorkerPool",
+    "merge_candidates",
+    "shard_task",
+]
 
 #: ``(score, global_index, i, j)`` — the pool's wire format for one
 #: database hit, deliberately tiny (the paper's three-word readout
@@ -86,6 +93,33 @@ class ShardSweep:
     records: int
     seconds: float
     worker: str
+
+
+def shard_task(
+    shard,
+    queries: Sequence[str],
+    scheme: LinearScoring | SubstitutionMatrix,
+    spec: WorkerSpec,
+    min_score: int,
+    k: int,
+) -> tuple:
+    """The picklable argument tuple one shard sweep task carries.
+
+    Shared by the plain pool and the supervised pool so both feed
+    :func:`_sweep_shard` identical work — which is what keeps their
+    healthy-path results byte-for-byte interchangeable.
+    """
+    return (
+        shard.shard_id,
+        shard.start,
+        shard.offsets,
+        shard.payload,
+        tuple(queries),
+        scheme,
+        spec,
+        min_score,
+        k,
+    )
 
 
 def _sweep_shard(
@@ -151,6 +185,20 @@ class ShardWorkerPool:
         self.workers = workers
         self.spec = spec if spec is not None else WorkerSpec()
 
+    @property
+    def healthy(self) -> bool:
+        """The plain pool has no supervision; it is always "healthy".
+
+        (A worker crash aborts the sweep with the raw multiprocessing
+        error — use :class:`~repro.service.resilience.SupervisedWorkerPool`
+        when that is not acceptable.)
+        """
+        return True
+
+    @property
+    def quarantined(self) -> tuple[int, ...]:
+        return ()
+
     @staticmethod
     def _context() -> multiprocessing.context.BaseContext:
         methods = multiprocessing.get_all_start_methods()
@@ -164,20 +212,15 @@ class ShardWorkerPool:
         min_score: int,
         k: int,
     ) -> list[ShardSweep]:
-        """Sweep every shard for every query; returns per-shard results."""
+        """Sweep every active shard for every query; per-shard results.
+
+        Shards the index has quarantined at load time (see
+        ``DatabaseIndex.load(..., on_corrupt="quarantine")``) are
+        excluded here exactly as the supervised pool excludes them.
+        """
         tasks = [
-            (
-                shard.shard_id,
-                shard.start,
-                shard.offsets,
-                shard.payload,
-                tuple(queries),
-                scheme,
-                self.spec,
-                min_score,
-                k,
-            )
-            for shard in index.shards
+            shard_task(shard, queries, scheme, self.spec, min_score, k)
+            for shard in index.active_shards
         ]
         if self.workers == 1 or len(tasks) <= 1:
             return [_sweep_shard(task) for task in tasks]

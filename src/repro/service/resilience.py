@@ -1,0 +1,635 @@
+"""Fault tolerance for the search service.
+
+PR 1's service layer realizes the paper's host/accelerator loop — a
+fixed database, queries streaming in, "only a few bytes" of results
+streaming out — but assumes every sweep succeeds.  Production database
+search engines treat partial failure as the normal case (SWAPHI
+degrades gracefully when a Xeon Phi drops out; BioSEAL's large-scale
+scans assume unit-level faults), and this module brings that posture
+here:
+
+* an **error taxonomy** rooted at :class:`ServiceError`, whose
+  ``code`` attribute is the one-token failure class the line protocol
+  emits (``error <code> <message>``);
+* a :class:`RetryPolicy` — capped exponential backoff with
+  deterministic jitter, so two runs with the same seed schedule the
+  same delays;
+* a :class:`FaultPlan` — a deterministic fault-injection schedule
+  (crash-on-shard-k, hang-for-t, corrupt-result, error, bad-npz) that
+  tests and benchmarks use to script failures without monkeypatching
+  the kernel;
+* :func:`validate_sweep` — the host-side sanity check on every result
+  that crosses the process boundary (the paper's "few bytes" wire
+  format is cheap to audit exhaustively);
+* a :class:`SupervisedWorkerPool` — the fault-aware counterpart of
+  :class:`~repro.service.pool.ShardWorkerPool`: one subprocess per
+  shard attempt, worker-death detection, per-task timeouts, retries
+  under the policy, and shard-level **quarantine** for sweeps that
+  fail repeatedly.
+
+The healthy path preserves PR 1's contract: a supervised sweep with no
+faults returns exactly the per-shard candidates the plain pool
+returns, so merged rankings stay bit-identical to
+:func:`repro.scan.scan_database`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import math
+import multiprocessing
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..align.scoring import LinearScoring, SubstitutionMatrix
+from .pool import ShardSweep, WorkerSpec, _sweep_shard, shard_task
+
+__all__ = [
+    "ServiceError",
+    "ShardFailure",
+    "WorkerTimeout",
+    "IndexCorrupt",
+    "RetryPolicy",
+    "Fault",
+    "FaultPlan",
+    "ShardHealth",
+    "SweepOutcome",
+    "SupervisedWorkerPool",
+    "validate_sweep",
+    "corrupt_index_file",
+]
+
+
+# ----------------------------------------------------------------------
+# Error taxonomy
+# ----------------------------------------------------------------------
+class ServiceError(RuntimeError):
+    """Base of the service-layer error taxonomy.
+
+    ``code`` is the stable one-token failure class the server's line
+    protocol reports (``error <code> <message>``); subclasses override
+    it.  Anything that is not a :class:`ServiceError` or a bad request
+    surfaces as ``internal``.
+    """
+
+    code = "internal"
+
+
+class ShardFailure(ServiceError):
+    """A shard sweep failed (worker died, raised, or returned garbage)."""
+
+    code = "shard-failure"
+
+    def __init__(self, shard_id: int, message: str) -> None:
+        super().__init__(f"shard {shard_id}: {message}")
+        self.shard_id = shard_id
+
+
+class WorkerTimeout(ServiceError):
+    """A shard sweep exceeded the supervisor's task timeout."""
+
+    code = "worker-timeout"
+
+    def __init__(self, shard_id: int, seconds: float) -> None:
+        super().__init__(f"shard {shard_id}: sweep exceeded {seconds:.3g}s timeout")
+        self.shard_id = shard_id
+        self.seconds = seconds
+
+
+class IndexCorrupt(ServiceError):
+    """Stored index content failed its content-hash validation."""
+
+    code = "index-corrupt"
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    Attempt ``a`` (0-based) that fails waits
+    ``min(base_delay * multiplier**a, max_delay)`` scaled down by up to
+    ``jitter`` (a fraction in [0, 1]) before retrying; ``retries`` is
+    how many retries follow the first attempt.  Jitter is drawn from a
+    generator seeded by ``(seed, token, attempt)`` — same inputs, same
+    delay — so supervised runs are reproducible end to end.
+    """
+
+    retries: int = 2
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries cannot be negative, got {self.retries}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays cannot be negative")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be within [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int, token: object = 0) -> float:
+        """Backoff before retrying after failed attempt ``attempt``."""
+        if attempt < 0:
+            raise ValueError(f"attempt cannot be negative, got {attempt}")
+        raw = min(self.base_delay * self.multiplier**attempt, self.max_delay)
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        # str seeding hashes with sha512 — stable across processes and
+        # PYTHONHASHSEED, which int tuple hashing would not be for all
+        # token types.
+        rng = random.Random(f"{self.seed}:{token}:{attempt}")
+        return raw * (1.0 - self.jitter * rng.random())
+
+
+# ----------------------------------------------------------------------
+# Deterministic fault injection
+# ----------------------------------------------------------------------
+FAULT_KINDS = ("crash", "hang", "error", "corrupt", "bad-npz")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scripted failure.
+
+    ``kind``:
+      * ``crash``   — the worker process exits hard (``os._exit``);
+      * ``hang``    — the worker stalls ``seconds`` before sweeping;
+      * ``error``   — the worker raises inside the sweep;
+      * ``corrupt`` — the worker returns a plausible-looking but
+        invalid :class:`~repro.service.pool.ShardSweep`;
+      * ``bad-npz`` — file-level: a saved index's payload bytes for
+        the shard are flipped (applied by
+        :meth:`FaultPlan.apply_to_file`, not by workers).
+
+    ``times`` limits the fault to the shard's first N attempts (so a
+    retry "heals" it); ``None`` makes it persistent.
+    """
+
+    kind: str
+    shard_id: int
+    times: int | None = 1
+    seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (use one of {FAULT_KINDS})")
+        if self.shard_id < 0:
+            raise ValueError(f"shard_id cannot be negative, got {self.shard_id}")
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be positive or None, got {self.times}")
+        if self.seconds <= 0:
+            raise ValueError(f"seconds must be positive, got {self.seconds}")
+
+
+class FaultPlan:
+    """A deterministic schedule of :class:`Fault` injections.
+
+    The supervisor consults :meth:`fault_for` before launching each
+    shard attempt and ships the matching fault (if any) into the
+    worker; the plan itself never crosses the process boundary.  Only
+    supervised workers honor the plan — the engine's in-process
+    fallback path is the trusted reference and ignores it.
+    """
+
+    def __init__(self, faults: Iterable[Fault] = ()) -> None:
+        self.faults = tuple(faults)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"FaultPlan({list(self.faults)!r})"
+
+    @classmethod
+    def crash_on(cls, shard_id: int, times: int | None = 1) -> "FaultPlan":
+        return cls([Fault("crash", shard_id, times=times)])
+
+    @classmethod
+    def hang_on(
+        cls, shard_id: int, seconds: float = 30.0, times: int | None = 1
+    ) -> "FaultPlan":
+        return cls([Fault("hang", shard_id, times=times, seconds=seconds)])
+
+    @classmethod
+    def error_on(cls, shard_id: int, times: int | None = 1) -> "FaultPlan":
+        return cls([Fault("error", shard_id, times=times)])
+
+    @classmethod
+    def corrupt_on(cls, shard_id: int, times: int | None = 1) -> "FaultPlan":
+        return cls([Fault("corrupt", shard_id, times=times)])
+
+    def merged(self, other: "FaultPlan") -> "FaultPlan":
+        """A plan containing both schedules."""
+        return FaultPlan(self.faults + other.faults)
+
+    def fault_for(self, shard_id: int, attempt: int) -> Fault | None:
+        """The fault to inject on ``shard_id``'s 0-based ``attempt``."""
+        for fault in self.faults:
+            if fault.kind == "bad-npz":
+                continue
+            if fault.shard_id == shard_id and (
+                fault.times is None or attempt < fault.times
+            ):
+                return fault
+        return None
+
+    def apply_to_file(self, path: str | Path) -> int:
+        """Apply every file-level (``bad-npz``) fault to a saved index.
+
+        Returns the number of faults applied.
+        """
+        applied = 0
+        for fault in self.faults:
+            if fault.kind == "bad-npz":
+                corrupt_index_file(path, shard_id=fault.shard_id)
+                applied += 1
+        return applied
+
+
+def corrupt_index_file(path: str | Path, shard_id: int = 0) -> None:
+    """Flip a payload byte of ``shard_id`` inside a saved index file.
+
+    The file stays a structurally valid ``.npz`` — only the shard's
+    content no longer matches its stored hash, which is exactly what a
+    bit-rotted or torn write looks like to
+    :meth:`~repro.service.index.DatabaseIndex.load`.
+    """
+    import numpy as np
+
+    path = Path(path)
+    with np.load(path) as data:
+        arrays = {key: data[key].copy() for key in data.files}
+    counts = arrays["shard_counts"]
+    lengths = arrays["record_lengths"]
+    if not 0 <= shard_id < len(counts):
+        raise ValueError(f"shard {shard_id} out of range (index has {len(counts)})")
+    first = int(counts[:shard_id].sum())
+    span = int(lengths[first : first + int(counts[shard_id])].sum())
+    if span == 0:
+        raise ValueError(f"shard {shard_id} has no payload to corrupt")
+    offset = int(lengths[:first].sum())
+    arrays["payload"][offset] ^= 0x1F
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    path.write_bytes(buffer.getvalue())
+
+
+# ----------------------------------------------------------------------
+# Sweep validation (host-side audit of the wire format)
+# ----------------------------------------------------------------------
+def validate_sweep(
+    sweep: ShardSweep,
+    shard,
+    n_queries: int,
+    min_score: int,
+    k: int,
+) -> None:
+    """Audit one sweep result against its shard's ground truth.
+
+    The pool's wire format is tiny — ``(score, global_index, i, j)``
+    per candidate — so the host can afford to check all of it: shard
+    identity, record count, per-query list shape, score floor, and
+    that every global index lands inside the shard's span.  Raises
+    :class:`ShardFailure` on the first violation, which the supervisor
+    treats like any other failed attempt (retry, then quarantine).
+    """
+    sid = shard.shard_id
+    if sweep.shard_id != sid:
+        raise ShardFailure(sid, f"result reports shard {sweep.shard_id}")
+    if sweep.records != len(shard):
+        raise ShardFailure(
+            sid, f"result reports {sweep.records} records, shard has {len(shard)}"
+        )
+    if len(sweep.candidates) != n_queries:
+        raise ShardFailure(
+            sid,
+            f"result carries {len(sweep.candidates)} query lists, expected {n_queries}",
+        )
+    lo, hi = shard.start, shard.start + len(shard)
+    for cands in sweep.candidates:
+        if len(cands) > k:
+            raise ShardFailure(sid, f"{len(cands)} candidates exceed top-{k}")
+        for cand in cands:
+            score, gidx, i, j = cand
+            if score < min_score or not lo <= gidx < hi or i < 0 or j < 0:
+                raise ShardFailure(sid, f"corrupt candidate {cand!r}")
+
+
+# ----------------------------------------------------------------------
+# Supervised worker pool
+# ----------------------------------------------------------------------
+def _corrupt_sweep(sweep: ShardSweep) -> ShardSweep:
+    """The ``corrupt`` fault: plausible shape, invalid content."""
+    bad = tuple(
+        tuple((score, gidx + 1_000_000_007, i, j) for score, gidx, i, j in cands)
+        for cands in sweep.candidates
+    )
+    return dataclasses.replace(sweep, candidates=bad, records=sweep.records + 1)
+
+
+def _supervised_entry(task: tuple, fault: Fault | None, result_queue) -> None:
+    """Worker-process entry: apply any scripted fault, sweep, report.
+
+    Every outcome crosses back as a picklable ``("ok", sweep)`` or
+    ``("error", message)`` pair; a crash fault (or a real segfault)
+    reports nothing, which the supervisor reads from the exit code.
+    """
+    try:
+        if fault is not None:
+            if fault.kind == "crash":
+                os._exit(13)
+            if fault.kind == "hang":
+                time.sleep(fault.seconds)
+            elif fault.kind == "error":
+                raise RuntimeError("injected worker error")
+        sweep = _sweep_shard(task)
+        if fault is not None and fault.kind == "corrupt":
+            sweep = _corrupt_sweep(sweep)
+        result_queue.put(("ok", sweep))
+    except BaseException as exc:  # noqa: BLE001 - must never escape the worker
+        try:
+            result_queue.put(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            os._exit(1)
+
+
+@dataclass
+class ShardHealth:
+    """Per-shard failure bookkeeping across sweeps."""
+
+    failures: int = 0
+    exhaustions: int = 0
+    quarantined: bool = False
+    last_error: str = ""
+
+
+@dataclass
+class SweepOutcome:
+    """What a supervised sweep produced, successes and failures both.
+
+    ``sweeps`` holds every validated per-shard result; ``failed`` maps
+    shard ids that exhausted their retries (or were already
+    quarantined) to the :class:`ServiceError` describing why.  The
+    counters record how hard the supervisor had to work.
+    """
+
+    sweeps: list[ShardSweep] = field(default_factory=list)
+    failed: dict[int, ServiceError] = field(default_factory=dict)
+    attempts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    worker_deaths: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return not self.failed
+
+
+@dataclass
+class _Running:
+    shard: object
+    attempt: int
+    process: multiprocessing.process.BaseProcess
+    queue: object
+    deadline: float
+
+
+class SupervisedWorkerPool:
+    """Fault-aware shard sweeps: supervision, retries, quarantine.
+
+    Unlike :class:`~repro.service.pool.ShardWorkerPool`, every shard
+    attempt runs in its **own** subprocess (fork where available), so
+    a crash or hang is contained to one attempt: the supervisor
+    detects death via the exit code, enforces ``task_timeout`` by
+    killing the process, and reschedules the shard under ``policy``'s
+    backoff.  A shard whose attempts exhaust the policy is recorded in
+    the outcome's ``failed`` map; after ``quarantine_after`` such
+    exhaustions it is quarantined and excluded from future sweeps
+    until :meth:`heal`.
+
+    ``fault_plan`` scripts deterministic failures for tests and
+    benchmarks; ``None`` (the default) injects nothing.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        spec: WorkerSpec | None = None,
+        policy: RetryPolicy | None = None,
+        task_timeout: float | None = None,
+        quarantine_after: int = 1,
+        fault_plan: FaultPlan | None = None,
+        poll_interval: float = 0.005,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(f"task_timeout must be positive, got {task_timeout}")
+        if quarantine_after < 1:
+            raise ValueError(f"quarantine_after must be positive, got {quarantine_after}")
+        self.workers = workers
+        self.spec = spec if spec is not None else WorkerSpec()
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.task_timeout = task_timeout
+        self.quarantine_after = quarantine_after
+        self.fault_plan = fault_plan
+        self.poll_interval = poll_interval
+        self.health: dict[int, ShardHealth] = {}
+        self.sweeps_run = 0
+        self.attempts_total = 0
+        self.retries_total = 0
+        self.timeouts_total = 0
+        self.worker_deaths_total = 0
+        self._healthy = True
+
+    # ------------------------------------------------------------------
+    @property
+    def healthy(self) -> bool:
+        """False once a sweep ends with zero successful shards."""
+        return self._healthy
+
+    @property
+    def quarantined(self) -> tuple[int, ...]:
+        """Shard ids currently excluded from sweeps."""
+        return tuple(sorted(s for s, h in self.health.items() if h.quarantined))
+
+    def heal(self, shard_id: int | None = None) -> None:
+        """Clear quarantine (one shard, or everything) and mark healthy."""
+        if shard_id is None:
+            self.health.clear()
+        else:
+            self.health.pop(shard_id, None)
+        self._healthy = True
+
+    @staticmethod
+    def _context() -> multiprocessing.context.BaseContext:
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+    # ------------------------------------------------------------------
+    def sweep(
+        self,
+        index,
+        queries: Sequence[str],
+        scheme: LinearScoring | SubstitutionMatrix,
+        min_score: int,
+        k: int,
+    ) -> SweepOutcome:
+        """Sweep every non-quarantined shard under supervision."""
+        queries = tuple(queries)
+        outcome = SweepOutcome()
+        runnable = []
+        for shard in index.active_shards:
+            health = self.health.get(shard.shard_id)
+            if health is not None and health.quarantined:
+                outcome.failed[shard.shard_id] = ShardFailure(
+                    shard.shard_id, f"quarantined: {health.last_error}"
+                )
+            else:
+                runnable.append(shard)
+
+        ctx = self._context()
+        pending: list[tuple[object, int, float]] = [(s, 0, 0.0) for s in runnable]
+        running: list[_Running] = []
+        while pending or running:
+            now = time.monotonic()
+            waiting = []
+            for shard, attempt, ready_at in pending:
+                if len(running) < self.workers and ready_at <= now:
+                    running.append(
+                        self._launch(ctx, shard, attempt, queries, scheme, min_score, k)
+                    )
+                    outcome.attempts += 1
+                else:
+                    waiting.append((shard, attempt, ready_at))
+            pending = waiting
+
+            progressed = False
+            for run in list(running):
+                resolution = self._poll(run, queries, min_score, k, outcome)
+                if resolution is None:
+                    continue
+                running.remove(run)
+                progressed = True
+                kind, payload = resolution
+                if kind == "ok":
+                    outcome.sweeps.append(payload)
+                    continue
+                self._record_failure(run, payload, pending, outcome)
+            if not progressed and (running or pending):
+                time.sleep(self.poll_interval)
+
+        outcome.sweeps.sort(key=lambda s: s.shard_id)
+        self.sweeps_run += 1
+        self.attempts_total += outcome.attempts
+        self.retries_total += outcome.retries
+        self.timeouts_total += outcome.timeouts
+        self.worker_deaths_total += outcome.worker_deaths
+        if runnable and not outcome.sweeps:
+            self._healthy = False
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _launch(self, ctx, shard, attempt, queries, scheme, min_score, k) -> _Running:
+        fault = (
+            self.fault_plan.fault_for(shard.shard_id, attempt)
+            if self.fault_plan is not None
+            else None
+        )
+        task = shard_task(shard, queries, scheme, self.spec, min_score, k)
+        result_queue = ctx.SimpleQueue()
+        process = ctx.Process(
+            target=_supervised_entry, args=(task, fault, result_queue), daemon=True
+        )
+        process.start()
+        deadline = (
+            time.monotonic() + self.task_timeout
+            if self.task_timeout is not None
+            else math.inf
+        )
+        return _Running(shard, attempt, process, result_queue, deadline)
+
+    def _poll(
+        self, run: _Running, queries, min_score: int, k: int, outcome: SweepOutcome
+    ) -> tuple[str, object] | None:
+        """Resolve one running attempt, or ``None`` if still in flight."""
+        sid = run.shard.shard_id
+        if not run.queue.empty():
+            status, payload = run.queue.get()
+            run.process.join()
+            self._close(run)
+            if status != "ok":
+                return ("fail", ShardFailure(sid, f"worker raised: {payload}"))
+            try:
+                validate_sweep(payload, run.shard, len(queries), min_score, k)
+            except ShardFailure as exc:
+                return ("fail", exc)
+            return ("ok", payload)
+        if run.process.exitcode is not None:
+            # Dead without a result: grant the pipe one grace read in
+            # case the payload landed between the two checks.
+            time.sleep(0.01)
+            if not run.queue.empty():
+                return self._poll(run, queries, min_score, k, outcome)
+            outcome.worker_deaths += 1
+            self._close(run)
+            return (
+                "fail",
+                ShardFailure(sid, f"worker died (exit code {run.process.exitcode})"),
+            )
+        if time.monotonic() > run.deadline:
+            outcome.timeouts += 1
+            run.process.kill()
+            run.process.join()
+            self._close(run)
+            return ("fail", WorkerTimeout(sid, float(self.task_timeout)))
+        return None
+
+    @staticmethod
+    def _close(run: _Running) -> None:
+        try:
+            run.queue.close()
+        except Exception:  # pragma: no cover - close is best-effort
+            pass
+
+    def _record_failure(
+        self,
+        run: _Running,
+        error: ServiceError,
+        pending: list[tuple[object, int, float]],
+        outcome: SweepOutcome,
+    ) -> None:
+        sid = run.shard.shard_id
+        health = self.health.setdefault(sid, ShardHealth())
+        health.failures += 1
+        health.last_error = str(error)
+        if run.attempt < self.policy.retries:
+            outcome.retries += 1
+            ready_at = time.monotonic() + self.policy.delay(run.attempt, token=sid)
+            pending.append((run.shard, run.attempt + 1, ready_at))
+            return
+        health.exhaustions += 1
+        if health.exhaustions >= self.quarantine_after:
+            health.quarantined = True
+        outcome.failed[sid] = error
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict[str, object]:
+        """Supervision counters for the ``stats`` server verb."""
+        return {
+            "pool": "healthy" if self._healthy else "unhealthy",
+            "quarantined shards": len(self.quarantined),
+            "sweep attempts": self.attempts_total,
+            "sweep retries": self.retries_total,
+            "sweep timeouts": self.timeouts_total,
+            "worker deaths": self.worker_deaths_total,
+        }

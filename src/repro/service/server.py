@@ -18,6 +18,20 @@ engine:
   :class:`~repro.service.engine.SearchResponse` objects on another
   until a ``None`` sentinel arrives.  This is the embedding point a
   later async/socket front-end wraps.
+
+Failure is part of the protocol, never an exception: a bad or failing
+request line answers with one structured line —
+
+    error <taxonomy-code> <message>
+
+where the code is ``bad-request`` for malformed input, a
+:class:`~repro.service.resilience.ServiceError` subclass code
+(``shard-failure`` / ``worker-timeout`` / ``index-corrupt``) for
+service faults, and ``internal`` for anything unexpected.  A degraded
+(partial-coverage) answer leads with a ``degraded coverage=... shards=...``
+line so clients can tell partial from complete.  The queue front-end
+likewise never dies mid-stream: a failing request puts the exception
+object itself on the response queue and the loop keeps consuming.
 """
 
 from __future__ import annotations
@@ -27,8 +41,14 @@ from dataclasses import dataclass
 from typing import TextIO
 
 from .engine import SearchEngine, SearchResponse
+from .resilience import ServiceError
 
 __all__ = ["QueryRequest", "SearchServer"]
+
+
+def _one_line(message: object) -> str:
+    """Collapse an error message onto one protocol line."""
+    return " ".join(str(message).split()) or "unspecified error"
 
 
 @dataclass(frozen=True)
@@ -67,7 +87,12 @@ class SearchServer:
         return options
 
     def handle_line(self, line: str) -> str | None:
-        """One request line -> response text (``None`` means shut down)."""
+        """One request line -> response text (``None`` means shut down).
+
+        Never raises: every failure renders as a one-line
+        ``error <taxonomy-code> <message>`` response so a single bad
+        request (or a failing backend) cannot tear down the loop.
+        """
         tokens = line.strip().split()
         if not tokens or tokens[0].startswith("#"):
             return ""
@@ -91,13 +116,25 @@ class SearchServer:
                 response = self.submit(request)
                 return response.render(max_rows=request.top, with_metrics=with_metrics)
             raise ValueError(f"unknown verb {verb!r} (use scan / stats / quit)")
-        except ValueError as exc:
-            return f"ERROR: {exc}"
+        except ServiceError as exc:
+            return f"error {exc.code} {_one_line(exc)}"
+        except (ValueError, TypeError) as exc:
+            return f"error bad-request {_one_line(exc)}"
+        except Exception as exc:  # noqa: BLE001 - the loop must survive anything
+            return f"error internal {type(exc).__name__}: {_one_line(exc)}"
 
     def serve(self, in_stream: TextIO, out_stream: TextIO) -> int:
-        """Run the line protocol until EOF or ``quit``; returns requests served."""
+        """Run the line protocol until EOF or ``quit``; returns requests served.
+
+        ``handle_line`` already converts failures into ``error`` lines;
+        the extra guard here is belt-and-braces so that no exception —
+        whatever its origin — can escape the request loop.
+        """
         for line in in_stream:
-            response = self.handle_line(line)
+            try:
+                response = self.handle_line(line)
+            except Exception as exc:  # noqa: BLE001 - keep serving, always
+                response = f"error internal {type(exc).__name__}: {_one_line(exc)}"
             if response is None:
                 break
             if response:
@@ -122,14 +159,25 @@ class SearchServer:
     def serve_queue(
         self,
         requests: "queue.Queue[QueryRequest | None]",
-        responses: "queue.Queue[SearchResponse]",
+        responses: "queue.Queue[SearchResponse | Exception]",
     ) -> int:
-        """Queue-in / report-out loop; a ``None`` request stops it."""
+        """Queue-in / report-out loop; a ``None`` request stops it.
+
+        Every request gets exactly one response object, in order; a
+        request the engine rejects or fails on yields the exception
+        itself on the response queue (so callers can match requests to
+        outcomes positionally) and the loop keeps serving.  Responses
+        already emitted remain on the queue after shutdown — the
+        sentinel stops intake, it does not discard output.
+        """
         while True:
             request = requests.get()
             try:
                 if request is None:
                     return self.served
-                responses.put(self.submit(request))
+                try:
+                    responses.put(self.submit(request))
+                except Exception as exc:  # noqa: BLE001 - loop must survive
+                    responses.put(exc)
             finally:
                 requests.task_done()

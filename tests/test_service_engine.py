@@ -287,13 +287,37 @@ class TestServer:
         assert "no hits >= min_score 9999" in server.handle_line(
             f"scan {query} min_score=9999"
         )
-        assert server.handle_line("scan").startswith("ERROR")
-        assert server.handle_line("frobnicate").startswith("ERROR")
-        assert server.handle_line("scan ACGT top=oops").startswith("ERROR")
-        assert server.handle_line("scan ACGT bogus=1").startswith("ERROR")
+        assert server.handle_line("scan").startswith("error bad-request")
+        assert server.handle_line("frobnicate").startswith("error bad-request")
+        assert server.handle_line("scan ACGT top=oops").startswith("error bad-request")
+        assert server.handle_line("scan ACGT bogus=1").startswith("error bad-request")
         assert server.handle_line("") == ""
         assert server.handle_line("# comment") == ""
         assert "request metrics" in server.handle_line(f"scan {query} metrics=1")
+
+    def test_error_responses_are_one_line(self, planted):
+        query, _, index = planted
+        server = SearchServer(SearchEngine(index))
+        for line in ("scan", "scan ACGT top=oops", "nonsense", "scan ACGT top=0"):
+            response = server.handle_line(line)
+            assert response.startswith("error ")
+            assert "\n" not in response
+
+    def test_malformed_request_does_not_tear_down_serve(self, planted):
+        """A bad line answers with an error line; the loop keeps going."""
+        query, _, index = planted
+        server = SearchServer(SearchEngine(index))
+        out = io.StringIO()
+        served = server.serve(
+            io.StringIO(
+                f"scan {query} top=notanint\nbogus verb\nscan {query} top=2\nquit\n"
+            ),
+            out,
+        )
+        text = out.getvalue()
+        assert served == 1
+        assert text.count("error bad-request") == 2
+        assert "hit3" in text
 
     def test_queue_front_end(self, planted):
         query, _, index = planted
@@ -314,6 +338,54 @@ class TestServer:
         assert first.report.best().record == "hit3"
         assert second.metrics.cache_hit
         assert server.served == 2
+
+    def test_queue_sentinel_stops_before_later_requests(self, planted):
+        """Requests enqueued after the ``None`` sentinel are not served."""
+        query, _, index = planted
+        server = SearchServer(SearchEngine(index))
+        requests: queue.Queue = queue.Queue()
+        responses: queue.Queue = queue.Queue()
+        requests.put(QueryRequest(query, top=2))
+        requests.put(None)
+        requests.put(QueryRequest(query, top=3))
+        served = server.serve_queue(requests, responses)
+        assert served == 1
+        assert responses.qsize() == 1
+        # The post-sentinel request is still on the queue, unconsumed.
+        assert requests.qsize() == 1
+
+    def test_queue_responses_drain_after_shutdown(self, planted):
+        """The sentinel stops intake; emitted responses stay drainable."""
+        query, _, index = planted
+        server = SearchServer(SearchEngine(index))
+        requests: queue.Queue = queue.Queue()
+        responses: queue.Queue = queue.Queue()
+        for top in (2, 3, 4):
+            requests.put(QueryRequest(query, top=top))
+        requests.put(None)
+        server.serve_queue(requests, responses)
+        requests.join()  # every request (and the sentinel) acknowledged
+        drained = [responses.get_nowait() for _ in range(3)]
+        assert all(len(r.report.hits) <= t for r, t in zip(drained, (2, 3, 4)))
+        assert [r.report.best().record for r in drained] == ["hit3"] * 3
+        with pytest.raises(queue.Empty):
+            responses.get_nowait()
+
+    def test_queue_front_end_survives_bad_request(self, planted):
+        """A failing request yields its exception in-order; loop lives on."""
+        query, _, index = planted
+        server = SearchServer(SearchEngine(index))
+        requests: queue.Queue = queue.Queue()
+        responses: queue.Queue = queue.Queue()
+        requests.put(QueryRequest(query, top=0))  # rejected by the engine
+        requests.put(QueryRequest(query, top=2))
+        requests.put(None)
+        served = server.serve_queue(requests, responses)
+        assert served == 1
+        failure = responses.get_nowait()
+        assert isinstance(failure, ValueError)
+        ok = responses.get_nowait()
+        assert ok.report.best().record == "hit3"
 
 
 class TestCLIService:

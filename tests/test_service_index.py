@@ -144,6 +144,85 @@ class TestSaveLoad:
         with pytest.raises(IndexFormatError):
             DatabaseIndex.load(path)
 
+    @pytest.mark.parametrize("keep", [0, 10, 57])
+    def test_truncated_file_raises_format_error(self, tmp_path, keep):
+        """A torn write surfaces as IndexFormatError, not BadZipFile."""
+        path = tmp_path / "db.idx"
+        DatabaseIndex.build(make_records(4)).save(path)
+        path.write_bytes(path.read_bytes()[:keep])
+        with pytest.raises(IndexFormatError):
+            DatabaseIndex.load(path)
+
+    def test_truncated_tail_raises_format_error(self, tmp_path):
+        """Dropping the archive's tail (central directory) is caught too."""
+        path = tmp_path / "db.idx"
+        DatabaseIndex.build(make_records(4)).save(path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - 20])
+        with pytest.raises(IndexFormatError):
+            DatabaseIndex.load(path)
+
+    def test_random_garbage_raises_format_error(self, tmp_path):
+        import random
+
+        rng = random.Random(5)
+        path = tmp_path / "garbage.idx"
+        path.write_bytes(bytes(rng.randrange(256) for _ in range(4096)))
+        with pytest.raises(IndexFormatError):
+            DatabaseIndex.load(path)
+
+    def test_npz_missing_arrays_raises_format_error(self, tmp_path):
+        """A valid npz that is not an index errors cleanly, not KeyError."""
+        import io
+
+        import numpy as np
+
+        path = tmp_path / "other.idx"
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, unrelated=np.arange(3))
+        path.write_bytes(buffer.getvalue())
+        with pytest.raises(IndexFormatError):
+            DatabaseIndex.load(path)
+
+
+class TestCorruptionDetection:
+    def test_corrupt_payload_raises_index_corrupt(self, tmp_path):
+        from repro.service import IndexCorrupt, corrupt_index_file
+
+        path = tmp_path / "db.idx"
+        DatabaseIndex.build(make_records(8), shards=4).save(path)
+        corrupt_index_file(path, shard_id=2)
+        with pytest.raises(IndexCorrupt, match="shard 2"):
+            DatabaseIndex.load(path)
+
+    def test_quarantine_load_marks_shard_degraded(self, tmp_path):
+        from repro.service import corrupt_index_file
+
+        path = tmp_path / "db.idx"
+        index = DatabaseIndex.build(make_records(8), shards=4)
+        index.save(path)
+        corrupt_index_file(path, shard_id=1)
+        loaded = DatabaseIndex.load(path, on_corrupt="quarantine")
+        assert loaded.degraded == (1,)
+        assert [s.shard_id for s in loaded.active_shards] == [0, 2, 3]
+        # Record numbering is preserved: global indices are unchanged.
+        assert loaded.record_count == index.record_count
+        assert "degraded shards" in loaded.describe()
+
+    def test_invalid_on_corrupt_mode(self, tmp_path):
+        path = tmp_path / "db.idx"
+        DatabaseIndex.build(make_records(2)).save(path)
+        with pytest.raises(ValueError, match="on_corrupt"):
+            DatabaseIndex.load(path, on_corrupt="ignore")
+
+    def test_corrupt_index_file_validates_args(self, tmp_path):
+        from repro.service import corrupt_index_file
+
+        path = tmp_path / "db.idx"
+        DatabaseIndex.build(make_records(2)).save(path)
+        with pytest.raises(ValueError):
+            corrupt_index_file(path, shard_id=99)
+
     def test_format_revision_mismatch(self, tmp_path, monkeypatch):
         index = DatabaseIndex.build(make_records(3))
         path = tmp_path / "db.idx"

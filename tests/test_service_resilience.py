@@ -1,0 +1,468 @@
+"""Fault-tolerance tests: supervision, retries, quarantine, degradation.
+
+The acceptance contract (ISSUE 2): a worker crash mid-batch is retried
+and the final ranking is bit-identical to ``scan_database``; an
+unrecoverable shard yields a response with ``coverage < 1.0`` and the
+shard listed in ``degraded_shards``; a hung sweep is timed out and the
+engine completes via fallback — all with zero uncaught exceptions
+reaching ``SearchServer.serve``.
+"""
+
+import io
+import math
+
+import pytest
+
+from repro.io.fasta import FastaRecord
+from repro.io.generate import mutate, random_dna
+from repro.scan import scan_database
+from repro.service import (
+    DatabaseIndex,
+    Fault,
+    FaultPlan,
+    IndexCorrupt,
+    ResultCache,
+    RetryPolicy,
+    SearchEngine,
+    SearchServer,
+    ServiceError,
+    ShardFailure,
+    SupervisedWorkerPool,
+    WorkerSpec,
+    WorkerTimeout,
+    corrupt_index_file,
+    validate_sweep,
+)
+
+#: Fast backoff for tests — real delays, deterministic, but tiny.
+FAST = RetryPolicy(retries=2, base_delay=0.005, max_delay=0.02, jitter=0.5, seed=7)
+
+
+def ranking(hits):
+    return [(h.record, h.length, h.hit.as_tuple()) for h in hits]
+
+
+@pytest.fixture(scope="module")
+def planted():
+    query = random_dna(60, seed=501)
+    records = []
+    for i in range(12):
+        seq = random_dna(200, seed=600 + i)
+        if i == 5:
+            copy = mutate(query, rate=0.05, seed=700)
+            seq = seq[:80] + copy + seq[80 + len(copy):]
+        records.append(FastaRecord(f"rec{i}", seq))
+    index = DatabaseIndex.build(records, shards=4)
+    base = scan_database(query, records, retrieve=0)
+    return query, records, index, base
+
+
+class TestTaxonomy:
+    def test_codes_and_hierarchy(self):
+        assert issubclass(ShardFailure, ServiceError)
+        assert issubclass(WorkerTimeout, ServiceError)
+        assert issubclass(IndexCorrupt, ServiceError)
+        assert ServiceError.code == "internal"
+        assert ShardFailure(3, "boom").code == "shard-failure"
+        assert WorkerTimeout(1, 2.0).code == "worker-timeout"
+        assert IndexCorrupt("bad").code == "index-corrupt"
+
+    def test_messages_carry_shard(self):
+        assert "shard 3" in str(ShardFailure(3, "boom"))
+        assert "shard 1" in str(WorkerTimeout(1, 2.0))
+        assert WorkerTimeout(1, 2.0).seconds == 2.0
+
+
+class TestRetryPolicy:
+    def test_deterministic(self):
+        a = RetryPolicy(seed=1)
+        b = RetryPolicy(seed=1)
+        assert [a.delay(i, token=9) for i in range(5)] == [
+            b.delay(i, token=9) for i in range(5)
+        ]
+
+    def test_seed_and_token_vary_jitter(self):
+        assert RetryPolicy(seed=1).delay(0) != RetryPolicy(seed=2).delay(0)
+        policy = RetryPolicy()
+        assert policy.delay(0, token=1) != policy.delay(0, token=2)
+
+    def test_exponential_growth_and_cap(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0)
+        assert [policy.delay(i) for i in range(5)] == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=10.0, jitter=0.5)
+        for attempt in range(6):
+            raw = min(0.1 * 2.0**attempt, 10.0)
+            for token in range(10):
+                d = policy.delay(attempt, token=token)
+                assert raw * 0.5 <= d <= raw
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(-1)
+
+
+class TestFaultPlan:
+    def test_times_semantics(self):
+        plan = FaultPlan.crash_on(2, times=2)
+        assert plan.fault_for(2, 0).kind == "crash"
+        assert plan.fault_for(2, 1).kind == "crash"
+        assert plan.fault_for(2, 2) is None
+        assert plan.fault_for(1, 0) is None
+
+    def test_persistent_fault(self):
+        plan = FaultPlan.hang_on(0, seconds=1.0, times=None)
+        assert plan.fault_for(0, 99).seconds == 1.0
+
+    def test_merged_plans(self):
+        plan = FaultPlan.crash_on(0).merged(FaultPlan.error_on(1, times=None))
+        assert plan.fault_for(0, 0).kind == "crash"
+        assert plan.fault_for(1, 5).kind == "error"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Fault("explode", 0)
+        with pytest.raises(ValueError):
+            Fault("crash", -1)
+        with pytest.raises(ValueError):
+            Fault("crash", 0, times=0)
+        with pytest.raises(ValueError):
+            Fault("hang", 0, seconds=0.0)
+
+    def test_bad_npz_is_file_level_only(self, tmp_path):
+        plan = FaultPlan([Fault("bad-npz", 1)])
+        assert plan.fault_for(1, 0) is None  # never injected into workers
+        path = tmp_path / "db.idx"
+        DatabaseIndex.build(
+            [(f"r{i}", random_dna(50, seed=i)) for i in range(6)], shards=3
+        ).save(path)
+        assert plan.apply_to_file(path) == 1
+        with pytest.raises(IndexCorrupt):
+            DatabaseIndex.load(path)
+
+
+class TestValidateSweep:
+    def test_catches_corruption(self, planted):
+        from repro.service.pool import _sweep_shard, shard_task
+        from repro.service.resilience import _corrupt_sweep
+
+        query, _, index, _ = planted
+        from repro.align.scoring import DEFAULT_DNA
+
+        shard = index.shards[1]
+        task = shard_task(shard, (query,), DEFAULT_DNA, WorkerSpec(), 1, 5)
+        sweep = _sweep_shard(task)
+        validate_sweep(sweep, shard, 1, 1, 5)  # genuine result passes
+        with pytest.raises(ShardFailure):
+            validate_sweep(_corrupt_sweep(sweep), shard, 1, 1, 5)
+        with pytest.raises(ShardFailure):
+            validate_sweep(sweep, index.shards[2], 1, 1, 5)
+        with pytest.raises(ShardFailure):
+            validate_sweep(sweep, shard, 2, 1, 5)
+
+
+class TestSupervisedPool:
+    def test_healthy_sweep_matches_plain_pool(self, planted):
+        from repro.service import ShardWorkerPool
+
+        query, _, index, _ = planted
+        from repro.align.scoring import DEFAULT_DNA
+
+        plain = ShardWorkerPool(workers=2).sweep(index, [query], DEFAULT_DNA, 1, 10)
+        outcome = SupervisedWorkerPool(workers=2, policy=FAST).sweep(
+            index, [query], DEFAULT_DNA, 1, 10
+        )
+        assert outcome.complete and not outcome.failed
+        assert outcome.attempts == index.shard_count
+        by_id = {s.shard_id: s for s in plain}
+        for sweep in outcome.sweeps:
+            assert sweep.candidates == by_id[sweep.shard_id].candidates
+
+    def test_crash_is_retried(self, planted):
+        query, _, index, _ = planted
+        from repro.align.scoring import DEFAULT_DNA
+
+        pool = SupervisedWorkerPool(
+            workers=2, policy=FAST, fault_plan=FaultPlan.crash_on(1, times=1)
+        )
+        outcome = pool.sweep(index, [query], DEFAULT_DNA, 1, 10)
+        assert outcome.complete
+        assert outcome.worker_deaths == 1
+        assert outcome.retries >= 1
+        assert pool.healthy
+
+    def test_exhausted_shard_quarantined_and_skipped(self, planted):
+        query, _, index, _ = planted
+        from repro.align.scoring import DEFAULT_DNA
+
+        pool = SupervisedWorkerPool(
+            workers=2,
+            policy=RetryPolicy(retries=1, base_delay=0.005),
+            fault_plan=FaultPlan.crash_on(2, times=None),
+        )
+        first = pool.sweep(index, [query], DEFAULT_DNA, 1, 10)
+        assert set(first.failed) == {2}
+        assert isinstance(first.failed[2], ShardFailure)
+        assert pool.quarantined == (2,)
+        attempts = pool.attempts_total
+        second = pool.sweep(index, [query], DEFAULT_DNA, 1, 10)
+        assert set(second.failed) == {2}
+        # The quarantined shard consumed no further attempts.
+        assert pool.attempts_total == attempts + index.shard_count - 1
+        pool.heal(2)
+        assert pool.quarantined == ()
+
+    def test_timeout_kills_hung_worker(self, planted):
+        query, _, index, _ = planted
+        from repro.align.scoring import DEFAULT_DNA
+
+        pool = SupervisedWorkerPool(
+            workers=2,
+            policy=RetryPolicy(retries=0),
+            task_timeout=0.25,
+            fault_plan=FaultPlan.hang_on(0, seconds=30.0, times=None),
+        )
+        outcome = pool.sweep(index, [query], DEFAULT_DNA, 1, 10)
+        assert outcome.timeouts == 1
+        assert isinstance(outcome.failed[0], WorkerTimeout)
+
+    def test_corrupt_result_detected_and_healed_by_retry(self, planted):
+        query, _, index, base = planted
+        from repro.align.scoring import DEFAULT_DNA
+
+        pool = SupervisedWorkerPool(
+            workers=2, policy=FAST, fault_plan=FaultPlan.corrupt_on(3, times=1)
+        )
+        outcome = pool.sweep(index, [query], DEFAULT_DNA, 1, 10)
+        assert outcome.complete
+        assert outcome.retries >= 1
+        assert pool.health[3].failures == 1
+
+    def test_injected_error_reported(self, planted):
+        query, _, index, _ = planted
+        from repro.align.scoring import DEFAULT_DNA
+
+        pool = SupervisedWorkerPool(
+            workers=2,
+            policy=RetryPolicy(retries=0),
+            fault_plan=FaultPlan.error_on(1, times=None),
+        )
+        outcome = pool.sweep(index, [query], DEFAULT_DNA, 1, 10)
+        assert "injected worker error" in str(outcome.failed[1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SupervisedWorkerPool(workers=0)
+        with pytest.raises(ValueError):
+            SupervisedWorkerPool(task_timeout=0.0)
+        with pytest.raises(ValueError):
+            SupervisedWorkerPool(quarantine_after=0)
+
+
+class TestEngineFaultTolerance:
+    """The ISSUE acceptance criteria, end to end through SearchEngine."""
+
+    def test_crash_mid_batch_retried_bit_identical(self, planted):
+        query, records, index, base = planted
+        other = random_dna(50, seed=811)
+        base_other = scan_database(other, records, retrieve=0)
+        pool = SupervisedWorkerPool(
+            workers=2, policy=FAST, fault_plan=FaultPlan.crash_on(1, times=1)
+        )
+        engine = SearchEngine(index, pool=pool, cache=ResultCache(0))
+        responses = engine.search_batch([query, other])
+        assert ranking(responses[0].report.hits) == ranking(base.hits)
+        assert ranking(responses[1].report.hits) == ranking(base_other.hits)
+        assert all(r.coverage == 1.0 and not r.degraded_shards for r in responses)
+        assert pool.worker_deaths_total == 1
+
+    def test_unrecoverable_shard_degrades_response(self, planted):
+        query, records, index, base = planted
+        pool = SupervisedWorkerPool(
+            workers=2,
+            policy=RetryPolicy(retries=1, base_delay=0.005),
+            fault_plan=FaultPlan.crash_on(1, times=None),
+        )
+        engine = SearchEngine(
+            index, pool=pool, cache=ResultCache(0), fallback_scan=False
+        )
+        response = engine.search(query)
+        assert response.degraded
+        assert response.coverage < 1.0
+        assert response.degraded_shards == (1,)
+        # The partial answer is exactly a scan over the surviving records.
+        shard = index.shards[1]
+        survivors = [r for r in records if r.identifier not in set(shard.names)]
+        expected = scan_database(query, survivors, retrieve=0)
+        assert ranking(response.report.hits) == ranking(expected.hits)
+        assert response.report.records_scanned == len(survivors)
+        assert "degraded coverage=" in response.render(max_rows=3)
+
+    def test_degraded_responses_are_never_cached(self, planted):
+        query, _, index, _ = planted
+        pool = SupervisedWorkerPool(
+            workers=2,
+            policy=RetryPolicy(retries=0),
+            fault_plan=FaultPlan.crash_on(1, times=None),
+        )
+        engine = SearchEngine(index, pool=pool, fallback_scan=False)
+        first = engine.search(query)
+        assert first.degraded
+        assert len(engine.cache) == 0
+        # The operator repairs the shard: faults stop, quarantine heals.
+        pool.fault_plan = None
+        pool.heal()
+        second = engine.search(query)
+        assert not second.metrics.cache_hit  # re-swept, not replayed
+        assert second.coverage == 1.0
+        third = engine.search(query)
+        assert third.metrics.cache_hit  # the full answer was cacheable
+
+    def test_hung_sweep_times_out_and_fallback_completes(self, planted):
+        query, _, index, base = planted
+        pool = SupervisedWorkerPool(
+            workers=2,
+            policy=RetryPolicy(retries=1, base_delay=0.005),
+            task_timeout=0.25,
+            fault_plan=FaultPlan.hang_on(0, seconds=30.0, times=None),
+        )
+        engine = SearchEngine(index, pool=pool, cache=ResultCache(0))
+        response = engine.search(query)
+        assert ranking(response.report.hits) == ranking(base.hits)
+        assert response.coverage == 1.0 and not response.degraded_shards
+        assert pool.timeouts_total >= 1
+        assert engine.fallback_sweeps == 1
+
+    def test_unhealthy_pool_falls_back_to_inline_scan(self, planted):
+        query, _, index, base = planted
+        plan = FaultPlan(
+            [Fault("crash", s, times=None) for s in range(index.shard_count)]
+        )
+        pool = SupervisedWorkerPool(
+            workers=2, policy=RetryPolicy(retries=0), fault_plan=plan
+        )
+        engine = SearchEngine(index, pool=pool, cache=ResultCache(0))
+        first = engine.search(query)
+        assert ranking(first.report.hits) == ranking(base.hits)
+        assert not pool.healthy
+        attempts = pool.attempts_total
+        second = engine.search(query)
+        assert ranking(second.report.hits) == ranking(base.hits)
+        assert pool.attempts_total == attempts  # pool bypassed while unhealthy
+        assert engine.fallback_sweeps == 2
+
+    def test_quarantined_index_load_serves_partial(self, planted, tmp_path):
+        query, records, index, base = planted
+        path = tmp_path / "db.idx"
+        index.save(path)
+        corrupt_index_file(path, shard_id=2)
+        loaded = DatabaseIndex.load(path, on_corrupt="quarantine")
+        engine = SearchEngine(loaded, cache=ResultCache(0))
+        response = engine.search(query)
+        assert response.coverage < 1.0
+        assert response.degraded_shards == (2,)
+        shard = index.shards[2]
+        survivors = [r for r in records if r.identifier not in set(shard.names)]
+        expected = scan_database(query, survivors, retrieve=0)
+        assert ranking(response.report.hits) == ranking(expected.hits)
+
+    def test_describe_reports_supervision(self, planted):
+        query, _, index, _ = planted
+        pool = SupervisedWorkerPool(workers=2, policy=FAST)
+        engine = SearchEngine(index, pool=pool)
+        engine.search(query)
+        info = engine.describe()
+        assert info["pool"] == "healthy"
+        assert info["sweep attempts"] == index.shard_count
+        assert info["fallback sweeps"] == 0
+
+
+class TestServerFaultTolerance:
+    def test_no_uncaught_exceptions_reach_serve(self, planted):
+        """Crashing shards, malformed requests, service errors: the loop
+        answers every line and exits only on quit."""
+        query, _, index, _ = planted
+        pool = SupervisedWorkerPool(
+            workers=2,
+            policy=RetryPolicy(retries=1, base_delay=0.005),
+            fault_plan=FaultPlan.crash_on(1, times=None),
+        )
+        engine = SearchEngine(index, pool=pool, fallback_scan=False)
+        server = SearchServer(engine)
+        out = io.StringIO()
+        script = (
+            f"scan {query} top=3\n"      # degraded but served
+            "scan\n"                      # bad request
+            "scan ACGT top=zero\n"        # bad request
+            "stats\n"
+            f"scan {query} top=2\n"
+            "quit\n"
+        )
+        served = server.serve(io.StringIO(script), out)
+        text = out.getvalue()
+        assert served == 2
+        assert text.count("degraded coverage=") == 2
+        assert text.count("error bad-request") == 2
+        assert "unhealthy" not in text  # three of four shards still sweep
+
+    def test_service_error_renders_taxonomy_code(self, planted):
+        query, _, index, _ = planted
+
+        class FailingEngine(SearchEngine):
+            def search(self, *args, **kwargs):
+                raise WorkerTimeout(3, 1.5)
+
+        server = SearchServer(FailingEngine(index))
+        response = server.handle_line(f"scan {query}")
+        assert response == "error worker-timeout shard 3: sweep exceeded 1.5s timeout"
+
+    def test_internal_errors_are_contained(self, planted):
+        query, _, index, _ = planted
+
+        class ExplodingEngine(SearchEngine):
+            def search(self, *args, **kwargs):
+                raise RuntimeError("kernel\npanic")
+
+        server = SearchServer(ExplodingEngine(index))
+        out = io.StringIO()
+        server.serve(io.StringIO(f"scan {query}\nquit\n"), out)
+        assert "error internal RuntimeError: kernel panic" in out.getvalue()
+
+
+class TestCLIResilience:
+    def test_serve_retries_and_timeout_flags(self, tmp_path, capsys, monkeypatch, planted):
+        from repro.cli import main
+        from repro.io.fasta import write_fasta
+
+        query, records, _, _ = planted
+        db = tmp_path / "db.fasta"
+        write_fasta(records, db)
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO(f"scan {query} top=2\nstats\nquit\n")
+        )
+        assert (
+            main(
+                [
+                    "serve",
+                    str(db),
+                    "--workers",
+                    "2",
+                    "--retries",
+                    "1",
+                    "--timeout",
+                    "30",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "rec5" in out
+        assert "pool: healthy" in out
+        assert "served 1 requests" in out
