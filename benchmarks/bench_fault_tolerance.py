@@ -13,6 +13,15 @@ eight ways — override the size with the ``REPRO_FAULT_BENCH_MBP``
 environment variable.  Faults are injected deterministically with
 :class:`~repro.service.resilience.FaultPlan`, so every run measures the
 same failure schedule.
+
+Both scenarios run with a live metrics registry and cross-check the
+telemetry against the injected schedule (``retries_total`` > 0 on the
+crash run, ``quarantines_total`` > 0 and a nonzero ``degraded_shards``
+gauge on the lost-shard run).  Machine-readable copies of the numbers
+land in ``BENCH_fault_tolerance.json`` / ``BENCH_degraded_mode.json``
+via :mod:`repro.analysis.results`.  ``python
+benchmarks/bench_fault_tolerance.py --tiny`` runs a seconds-scale
+smoke of both scenarios.
 """
 
 import os
@@ -21,7 +30,9 @@ import time
 import pytest
 
 from repro.analysis.report import render_table
+from repro.analysis.results import write_bench_json
 from repro.io.generate import random_dna
+from repro.obs import Observability
 from repro.scan import scan_database
 from repro.service import (
     DatabaseIndex,
@@ -43,18 +54,22 @@ QUERY = random_dna(QUERY_BP, seed=23)
 POLICY = RetryPolicy(retries=2, base_delay=0.02, max_delay=0.1, jitter=0.5, seed=3)
 
 
-@pytest.fixture(scope="module")
-def workload():
+def _build_workload(n_records=N_RECORDS, record_bp=RECORD_BP, shards=SHARDS):
     records = [
-        (f"rec{i}", random_dna(RECORD_BP, seed=2_000 + i)) for i in range(N_RECORDS)
+        (f"rec{i}", random_dna(record_bp, seed=2_000 + i)) for i in range(n_records)
     ]
     index = DatabaseIndex.build(
-        records, shards=SHARDS, source=f"synthetic-{DB_MBP}MBP"
+        records, shards=shards, source=f"synthetic-{n_records * record_bp / 1e6}MBP"
     )
     return records, index
 
 
-def _engine(index, plan=None, fallback=True, timeout=None):
+@pytest.fixture(scope="module")
+def workload():
+    return _build_workload()
+
+
+def _engine(index, plan=None, fallback=True, timeout=None, obs=None):
     pool = SupervisedWorkerPool(
         workers=4,
         policy=POLICY,
@@ -63,39 +78,54 @@ def _engine(index, plan=None, fallback=True, timeout=None):
         quarantine_after=1,
     )
     return SearchEngine(
-        index, pool=pool, cache=ResultCache(0), fallback_scan=fallback
+        index, pool=pool, cache=ResultCache(0), fallback_scan=fallback, obs=obs
     )
 
 
-def test_sv2_recovery_latency(benchmark, workload):
+def run_sv2_recovery(records, index):
     """One crash retried in place: bounded overhead, identical answer."""
-    records, index = workload
     base = scan_database(QUERY, records, retrieve=0)
     expected = [(h.record, h.score) for h in base.hits]
+    rows = []
+    t0 = time.perf_counter()
+    healthy = _engine(index).search(QUERY)
+    healthy_seconds = time.perf_counter() - t0
+    assert [(h.record, h.score) for h in healthy.report.hits] == expected
+    assert healthy.coverage == 1.0
+    rows.append(["supervised, no faults", f"{healthy_seconds:.3f}", "1.000", "-"])
 
-    def compare():
-        rows = []
-        t0 = time.perf_counter()
-        healthy = _engine(index).search(QUERY)
-        healthy_seconds = time.perf_counter() - t0
-        assert [(h.record, h.score) for h in healthy.report.hits] == expected
-        assert healthy.coverage == 1.0
-        rows.append(
-            ["supervised, no faults", f"{healthy_seconds:.3f}", "1.000", "-"]
-        )
-        t0 = time.perf_counter()
-        crashed = _engine(index, plan=FaultPlan.crash_on(3, times=1)).search(QUERY)
-        crash_seconds = time.perf_counter() - t0
-        assert [(h.record, h.score) for h in crashed.report.hits] == expected
-        assert crashed.coverage == 1.0
-        rows.append(
-            ["crash on shard 3, retried", f"{crash_seconds:.3f}", "1.000",
-             f"+{crash_seconds - healthy_seconds:.3f}s"]
-        )
-        return rows, healthy_seconds, crash_seconds
+    obs = Observability.create()
+    t0 = time.perf_counter()
+    crashed = _engine(index, plan=FaultPlan.crash_on(3, times=1), obs=obs).search(QUERY)
+    crash_seconds = time.perf_counter() - t0
+    assert [(h.record, h.score) for h in crashed.report.hits] == expected
+    assert crashed.coverage == 1.0
+    rows.append(
+        ["crash on shard 3, retried", f"{crash_seconds:.3f}", "1.000",
+         f"+{crash_seconds - healthy_seconds:.3f}s"]
+    )
+    # The injected crash must be visible in the telemetry.
+    snapshot = obs.registry.snapshot()
+    retries = snapshot["counters"]["repro_retries_total"]
+    assert retries > 0, "injected crash produced no retries_total increments"
+    assert snapshot["histograms"]["repro_sweep_seconds"]["count"] == 1
+    payload = {
+        "experiment": "SV2",
+        "db_bp": index.total_bp,
+        "shards": index.shard_count,
+        "healthy_seconds": healthy_seconds,
+        "crash_seconds": crash_seconds,
+        "recovery_latency_s": crash_seconds - healthy_seconds,
+        "retries_total": retries,
+        "worker_deaths_total": snapshot["counters"]["repro_worker_deaths_total"],
+    }
+    return rows, healthy_seconds, crash_seconds, payload
 
-    rows, healthy_seconds, crash_seconds = benchmark.pedantic(
-        compare, rounds=1, iterations=1
+
+def test_sv2_recovery_latency(benchmark, workload):
+    records, index = workload
+    rows, healthy_seconds, crash_seconds, payload = benchmark.pedantic(
+        lambda: run_sv2_recovery(records, index), rounds=1, iterations=1
     )
     print()
     print(
@@ -108,6 +138,7 @@ def test_sv2_recovery_latency(benchmark, workload):
             ),
         )
     )
+    write_bench_json("fault_tolerance", payload)
     # Recovery must cost bounded extra time: the backoff delays plus one
     # shard re-sweep, never a from-scratch rerun of the whole sweep.
     budget = 2.0 * healthy_seconds + sum(
@@ -118,28 +149,47 @@ def test_sv2_recovery_latency(benchmark, workload):
     )
 
 
-def test_sv2_degraded_mode_throughput(benchmark, workload):
+def run_sv2_degraded(records, index):
     """A permanently lost shard: service keeps answering at <1 coverage."""
+    t0 = time.perf_counter()
+    full = _engine(index).search(QUERY)
+    full_seconds = time.perf_counter() - t0
+    plan = FaultPlan.crash_on(5, times=None)
+    obs = Observability.create()
+    t0 = time.perf_counter()
+    degraded = _engine(index, plan=plan, fallback=False, obs=obs).search(QUERY)
+    degraded_seconds = time.perf_counter() - t0
+    assert degraded.coverage < 1.0
+    assert degraded.degraded_shards == (5,)
+    # The permanent loss must be visible in the telemetry.
+    snapshot = obs.registry.snapshot()
+    quarantines = snapshot["counters"]["repro_quarantines_total"]
+    assert quarantines > 0, "lost shard produced no quarantines_total increments"
+    assert snapshot["gauges"]["repro_degraded_shards"] == 1
+    payload = {
+        "experiment": "SV2b",
+        "db_bp": index.total_bp,
+        "shards": index.shard_count,
+        "full_seconds": full_seconds,
+        "degraded_seconds": degraded_seconds,
+        "coverage": degraded.coverage,
+        "quarantines_total": quarantines,
+        "retries_total": snapshot["counters"]["repro_retries_total"],
+        "full_cells_per_s": full.report.cells / max(full_seconds, 1e-9),
+        "degraded_cells_per_s": (
+            degraded.report.cells / max(degraded_seconds, 1e-9)
+        ),
+    }
+    return full, full_seconds, degraded, degraded_seconds, payload
+
+
+def test_sv2_degraded_mode_throughput(benchmark, workload):
     records, index = workload
-
-    def compare():
-        t0 = time.perf_counter()
-        full = _engine(index).search(QUERY)
-        full_seconds = time.perf_counter() - t0
-        plan = FaultPlan.crash_on(5, times=None)
-        t0 = time.perf_counter()
-        degraded = _engine(index, plan=plan, fallback=False).search(QUERY)
-        degraded_seconds = time.perf_counter() - t0
-        assert degraded.coverage < 1.0
-        assert degraded.degraded_shards == (5,)
-        return full, full_seconds, degraded, degraded_seconds
-
-    full, full_seconds, degraded, degraded_seconds = benchmark.pedantic(
-        compare, rounds=1, iterations=1
+    full, full_seconds, degraded, degraded_seconds, payload = benchmark.pedantic(
+        lambda: run_sv2_degraded(records, index), rounds=1, iterations=1
     )
     full_rate = full.report.cells / max(full_seconds, 1e-9)
-    deg_cells = degraded.report.cells
-    deg_rate = deg_cells / max(degraded_seconds, 1e-9)
+    deg_rate = degraded.report.cells / max(degraded_seconds, 1e-9)
     print()
     print(
         render_table(
@@ -153,9 +203,45 @@ def test_sv2_degraded_mode_throughput(benchmark, workload):
             title="SV2b: degraded-mode throughput",
         )
     )
+    write_bench_json("degraded_mode", payload)
     # Degraded mode sweeps less work; its per-cell rate must stay in the
     # same regime as the healthy sweep (no pathological retry spinning).
     assert degraded.report.records_scanned < full.report.records_scanned
     assert degraded_seconds <= full_seconds * 2.0 + sum(
         POLICY.delay(a, token=5) for a in range(POLICY.retries)
     ) + 1.0
+
+
+def main(argv=None):
+    """Direct (non-pytest) entry point: ``--tiny`` for smoke runs."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="seconds-scale smoke workload (exercises fault telemetry)",
+    )
+    args = parser.parse_args(argv)
+    if args.tiny:
+        records, index = _build_workload(n_records=16, record_bp=1_000, shards=8)
+    else:
+        records, index = _build_workload()
+    rows, _healthy, _crash, payload = run_sv2_recovery(records, index)
+    print(
+        render_table(
+            ["configuration", "seconds", "coverage", "recovery cost"],
+            rows,
+            title=f"SV2: recovery latency ({index.total_bp / 1e6:.1f} MBP)",
+        )
+    )
+    write_bench_json("fault_tolerance", payload)
+    _full, _fs, _deg, _ds, payload = run_sv2_degraded(records, index)
+    write_bench_json("degraded_mode", payload)
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -21,6 +21,22 @@ from typing import Callable
 __all__ = ["Hotspot", "profile_call", "profile_locate"]
 
 
+def _is_overhead_frame(filename: str, name: str, internal_seconds: float) -> bool:
+    """True for the harness's own zero-cost frames.
+
+    A frame belongs to the harness when it is the profiler machinery
+    (``cProfile``) or the wrapper lambda — but it is only *overhead*
+    when it did no work of its own (``internal_seconds`` is zero).  A
+    user function that happens to be a lambda, or real time spent
+    inside profiler frames, stays in the report.  (This predicate was
+    previously inlined as ``"cProfile" in filename or name ==
+    "<lambda>" and not tt``, where Python's precedence binds the
+    ``and`` first and the ``or`` arm dropped every cProfile frame
+    regardless of cost.)
+    """
+    return ("cProfile" in filename or name == "<lambda>") and not internal_seconds
+
+
 @dataclass(frozen=True)
 class Hotspot:
     """One profile row: where the time went."""
@@ -50,7 +66,7 @@ def profile_call(fn: Callable[[], object], top: int = 10) -> list[Hotspot]:
     hotspots: list[Hotspot] = []
     for func, (cc, nc, tt, ct, _callers) in stats.stats.items():  # type: ignore[attr-defined]
         filename, _line, name = func
-        if "cProfile" in filename or name == "<lambda>" and not tt:
+        if _is_overhead_frame(filename, name, tt):
             continue
         label = f"{name} ({filename.rsplit('/', 1)[-1]})"
         hotspots.append(

@@ -1,0 +1,56 @@
+"""Machine-readable benchmark results (``BENCH_*.json``).
+
+Every benchmark prints a human table; this module writes the same
+numbers as one JSON file per experiment so the performance trajectory
+(CUPS, latency percentiles, recovery cost) can be compared across PRs
+by a script instead of by eye.  Files are named ``BENCH_<name>.json``
+and land in ``REPRO_BENCH_RESULTS_DIR`` (default: the current working
+directory), so a CI run can archive them as artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["RESULTS_DIR_ENV", "bench_results_dir", "write_bench_json"]
+
+#: Environment variable overriding where result files are written.
+RESULTS_DIR_ENV = "REPRO_BENCH_RESULTS_DIR"
+
+#: Schema revision stamped into every file, bumped on layout changes
+#: so trajectory-tracking scripts can refuse mismatched files.
+_SCHEMA = 1
+
+
+def bench_results_dir() -> Path:
+    """Where ``BENCH_*.json`` files go (created on demand)."""
+    directory = Path(os.environ.get(RESULTS_DIR_ENV, "."))
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory
+
+
+def write_bench_json(
+    name: str, payload: dict[str, object], directory: str | Path | None = None
+) -> Path:
+    """Write one experiment's results as ``BENCH_<name>.json``.
+
+    ``payload`` must be JSON-serializable; ``schema`` and ``bench``
+    keys are added by this function and may not be supplied.  Returns
+    the path written, and prints it so benchmark logs show where the
+    machine-readable copy went.
+    """
+    if not name or any(c in name for c in "/\\"):
+        raise ValueError(f"invalid benchmark name {name!r}")
+    for reserved in ("schema", "bench"):
+        if reserved in payload:
+            raise ValueError(f"payload may not carry the reserved key {reserved!r}")
+    target_dir = Path(directory) if directory is not None else bench_results_dir()
+    target_dir.mkdir(parents=True, exist_ok=True)
+    path = target_dir / f"BENCH_{name}.json"
+    document = {"schema": _SCHEMA, "bench": name}
+    document.update(payload)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    return path

@@ -10,7 +10,11 @@ Commands mirror the repository's main workflows:
 ``index``    — pre-encode a FASTA database into a persistent sharded
                index file for ``serve``/``batch``.
 ``serve``    — run the search-service request loop (line protocol on
-               stdin/stdout) over a database or saved index.
+               stdin/stdout) over a database or saved index, with
+               structured logging (``--log-level``/``--log-json``) and
+               periodic metric dumps (``--metrics-file``).
+``stats``    — render a metrics snapshot written by
+               ``serve --metrics-file`` as aligned tables.
 ``batch``    — run a FASTA file of queries against the database in one
                batched index pass.
 ``figures``  — regenerate any of the paper's figures as ASCII.
@@ -52,22 +56,24 @@ _FIGURES = {
 }
 
 
-def _load_index(path: Path):
+def _load_index(path: Path, obs=None):
     """A database index: load a saved one, or build from FASTA."""
     from .service import DatabaseIndex
 
     if path.suffix in (".idx", ".npz"):
-        return DatabaseIndex.load(path)
+        return DatabaseIndex.load(path, obs=obs)
     return DatabaseIndex.from_fasta(path)
 
 
-def _build_engine(args):
+def _build_engine(args, obs=None):
     """Engine shared by the ``serve``/``batch`` commands.
 
     ``--retries``/``--timeout`` (serve) switch the sweep onto the
     supervised pool: worker death and hung sweeps are retried with
     backoff, repeat offenders are quarantined, and the engine degrades
-    to the in-process path rather than failing the request.
+    to the in-process path rather than failing the request.  ``obs``
+    (serve) is a live observability bundle threaded through the index
+    load, the pool, and the engine.
     """
     from .service import ResultCache, SearchEngine, WorkerSpec
 
@@ -87,11 +93,12 @@ def _build_engine(args):
             workers=args.workers, spec=spec, policy=policy, task_timeout=timeout
         )
     return SearchEngine(
-        _load_index(args.database),
+        _load_index(args.database, obs=obs),
         workers=args.workers,
         spec=spec,
         cache=ResultCache(0) if args.no_cache else None,
         pool=pool,
+        obs=obs,
     )
 
 
@@ -180,6 +187,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="kill and retry a shard sweep exceeding this many seconds",
     )
+    p_serve.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="enable structured logging to stderr at this level",
+    )
+    p_serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit log lines as JSON objects instead of key=value pairs",
+    )
+    p_serve.add_argument(
+        "--metrics-file",
+        type=Path,
+        default=None,
+        help="periodically dump a JSON metrics snapshot to this file",
+    )
+    p_serve.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=5.0,
+        help="minimum seconds between --metrics-file dumps (default 5)",
+    )
 
     p_batch = sub.add_parser("batch", help="run a FASTA file of queries in one batch")
     p_batch.add_argument("queries", type=Path, help="multi-record FASTA of queries")
@@ -218,6 +248,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_report = sub.add_parser("report", help="regenerate the reproduction report")
     p_report.add_argument("--out", type=Path, default=None, help="write to a file")
+
+    p_stats = sub.add_parser(
+        "stats", help="render a metrics snapshot dumped by serve --metrics-file"
+    )
+    p_stats.add_argument("metrics_file", type=Path, help="JSON snapshot file")
     return parser
 
 
@@ -291,13 +326,23 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "serve":
+        from .obs import Observability, PeriodicDumper, configure_logging
         from .service import SearchServer
 
+        if args.log_level is not None or args.log_json:
+            configure_logging(args.log_level or "info", json_lines=args.log_json)
+        obs = Observability.create()
+        dumper = (
+            PeriodicDumper(obs.registry, args.metrics_file, args.metrics_interval)
+            if args.metrics_file is not None
+            else None
+        )
         server = SearchServer(
-            _build_engine(args),
+            _build_engine(args, obs=obs),
             top=args.top,
             min_score=args.min_score,
             retrieve=args.retrieve,
+            dumper=dumper,
         )
         served = server.serve(sys.stdin, sys.stdout)
         print(f"served {served} requests")
@@ -364,6 +409,42 @@ def main(argv: list[str] | None = None) -> int:
             print(f"wrote {args.out}")
         else:
             print(build_report())
+        return 0
+
+    if args.command == "stats":
+        import json as json_mod
+
+        from .analysis.report import render_kv, render_table
+
+        snapshot = json_mod.loads(args.metrics_file.read_text())
+        scalars = [
+            (name, value)
+            for section in ("counters", "gauges")
+            for name, value in sorted(snapshot.get(section, {}).items())
+        ]
+        if scalars:
+            print(render_kv(scalars, title="counters / gauges"))
+        histograms = snapshot.get("histograms", {})
+        if histograms:
+            print()
+            print(
+                render_table(
+                    ["histogram", "count", "sum s", "p50 s", "p90 s", "p99 s"],
+                    [
+                        [
+                            name,
+                            data["count"],
+                            f"{data['sum']:.4g}",
+                            f"{data['p50']:.4g}",
+                            f"{data['p90']:.4g}",
+                            f"{data['p99']:.4g}",
+                        ]
+                        for name, data in sorted(histograms.items())
+                    ],
+                )
+            )
+        if not scalars and not histograms:
+            print("no metrics in snapshot")
         return 0
 
     if args.command == "verify":

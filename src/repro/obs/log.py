@@ -1,0 +1,126 @@
+"""Structured logging on top of :mod:`logging`.
+
+The resilience layer's retries, quarantines, and fallbacks previously
+happened silently — counters moved, but nothing an operator could tail
+said *why*.  This module gives every service component a
+:class:`StructLogger`: the stdlib logging machinery underneath
+(levels, handlers, propagation all behave normally), but each call is
+an **event name plus fields** rendered as either ``key=value`` pairs
+or one JSON object per line::
+
+    log.warning("shard.retry", shard=3, attempt=1, delay_s=0.05)
+    # key=value:  shard.retry shard=3 attempt=1 delay_s=0.05
+    # JSON lines: {"event": "shard.retry", "level": "warning",
+    #              "logger": "repro.service.pool", "shard": 3, ...}
+
+Library default: loggers under the ``repro`` root carry a
+``NullHandler``, so an application that never calls
+:func:`configure_logging` sees no output — matching the no-op metrics
+registry and tracer.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import TextIO
+
+__all__ = ["LOG_LEVELS", "StructLogger", "configure_logging", "get_logger"]
+
+_ROOT = "repro"
+
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+# Quiet by default: the library never writes to stderr unless an
+# application installs a handler (configure_logging or its own).
+logging.getLogger(_ROOT).addHandler(logging.NullHandler())
+
+#: Module-wide rendering mode, set by :func:`configure_logging`.
+_json_lines = False
+
+
+def _render_value(value: object) -> str:
+    text = str(value)
+    if any(c.isspace() for c in text) or text == "":
+        return json.dumps(text)
+    return text
+
+
+class StructLogger:
+    """Event + fields logging over a stdlib logger.
+
+    The rendering (``key=value`` vs JSON lines) is decided at emit
+    time from the module-wide mode, so one ``configure_logging`` call
+    switches every component at once.  A level check guards the
+    rendering cost — a suppressed debug line costs one ``isEnabledFor``.
+    """
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self.logger = logger
+
+    def _emit(self, level: int, event: str, fields: dict[str, object]) -> None:
+        if not self.logger.isEnabledFor(level):
+            return
+        if _json_lines:
+            payload = {
+                "event": event,
+                "level": logging.getLevelName(level).lower(),
+                "logger": self.logger.name,
+            }
+            payload.update(fields)
+            message = json.dumps(payload, default=str)
+        else:
+            parts = [event]
+            parts.extend(f"{k}={_render_value(v)}" for k, v in fields.items())
+            message = " ".join(parts)
+        self.logger.log(level, message)
+
+    def debug(self, event: str, **fields: object) -> None:
+        self._emit(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        self._emit(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self._emit(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self._emit(logging.ERROR, event, fields)
+
+
+def get_logger(name: str = "") -> StructLogger:
+    """A struct logger under the ``repro`` root (``repro.<name>``)."""
+    full = f"{_ROOT}.{name}" if name else _ROOT
+    return StructLogger(logging.getLogger(full))
+
+
+def configure_logging(
+    level: str = "info",
+    json_lines: bool = False,
+    stream: TextIO | None = None,
+) -> StructLogger:
+    """Install one stream handler on the ``repro`` root logger.
+
+    Called by ``repro serve --log-level/--log-json``; idempotent in
+    the sense that repeated calls replace the previous configuration
+    rather than stacking handlers.  Returns the root struct logger.
+    """
+    global _json_lines
+    if level not in LOG_LEVELS:
+        raise ValueError(f"unknown log level {level!r} (use one of {LOG_LEVELS})")
+    _json_lines = json_lines
+    root = logging.getLogger(_ROOT)
+    for handler in list(root.handlers):
+        if not isinstance(handler, logging.NullHandler):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if json_lines:
+        handler.setFormatter(logging.Formatter("%(message)s"))
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s %(message)s")
+        )
+    root.addHandler(handler)
+    root.setLevel(getattr(logging, level.upper()))
+    return StructLogger(root)

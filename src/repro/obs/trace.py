@@ -1,0 +1,253 @@
+"""Structured tracing: per-request span trees with monotonic timing.
+
+Each request the service handles becomes one **trace** — a tree of
+timed spans mirroring the paper's host-side control flow::
+
+    engine.search
+      cache.lookup
+      pool.sweep
+        shard.sweep (one per shard, timed inside the worker)
+      response.build
+
+plus point-in-time **events** (``retry``, ``quarantine``, ``fallback``,
+``worker-timeout``...) attached to whatever span was open when they
+happened.  Completed traces land in a bounded ring buffer, so
+``repro serve``'s ``trace`` verb can show the last N requests without
+the tracer ever growing unboundedly.
+
+All timing is ``time.monotonic`` (injectable for tests).  The default
+for library callers is :data:`NULL_TRACER`, whose spans are a shared
+no-op context manager.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["NULL_TRACER", "Span", "SpanEvent", "Tracer", "NullTracer"]
+
+
+@dataclass
+class SpanEvent:
+    """A point-in-time occurrence inside a span."""
+
+    name: str
+    offset_seconds: float
+    attrs: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class Span:
+    """One timed operation inside a trace.
+
+    Spans are context managers handed out by :meth:`Tracer.span`;
+    ``duration`` is valid once the span has exited.  ``children`` and
+    ``events`` are filled while the span is the tracer's innermost
+    open span.
+    """
+
+    name: str
+    trace_id: str
+    start: float
+    attrs: dict[str, object] = field(default_factory=dict)
+    end: float | None = None
+    children: list["Span"] = field(default_factory=list)
+    events: list[SpanEvent] = field(default_factory=list)
+    _tracer: "Tracer | None" = field(default=None, repr=False, compare=False)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attrs.setdefault("error", f"{exc_type.__name__}: {exc}")
+        if self._tracer is not None:
+            self._tracer._finish(self)
+
+    # ------------------------------------------------------------------
+    def render(self, indent: int = 0) -> str:
+        """ASCII tree of the span, its events, and its children."""
+        pad = "  " * indent
+        attrs = " ".join(f"{k}={v}" for k, v in sorted(self.attrs.items()))
+        line = f"{pad}{self.name} {self.duration * 1e3:.3f}ms"
+        if attrs:
+            line += f" [{attrs}]"
+        lines = [line]
+        for event in self.events:
+            eattrs = " ".join(f"{k}={v}" for k, v in sorted(event.attrs.items()))
+            eline = f"{pad}  ! {event.name} @{event.offset_seconds * 1e3:.3f}ms"
+            if eattrs:
+                eline += f" [{eattrs}]"
+            lines.append(eline)
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+class Tracer:
+    """Builds span trees per thread; keeps finished traces in a ring.
+
+    The open-span stack is thread-local, so a queue front-end serving
+    from its own thread and a test driving the engine directly never
+    interleave their trees; the ring buffer of completed root spans is
+    shared (lock-guarded) and bounded by ``capacity``.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 64, clock=time.monotonic) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.clock = clock
+        self._ring: deque[Span] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _new_trace_id(self) -> str:
+        with self._lock:
+            self._next_id += 1
+            return f"t{self._next_id:06d}"
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: object) -> Span:
+        """Open a span (root if none is open, child otherwise)."""
+        stack = self._stack()
+        trace_id = stack[-1].trace_id if stack else self._new_trace_id()
+        span = Span(
+            name=name,
+            trace_id=trace_id,
+            start=self.clock(),
+            attrs=dict(attrs),
+            _tracer=self,
+        )
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        span.end = self.clock()
+        stack = self._stack()
+        # Close any dangling inner spans too (exception unwound past them).
+        while stack and stack[-1] is not span:
+            dangling = stack.pop()
+            if dangling.end is None:
+                dangling.end = span.end
+        if stack and stack[-1] is span:
+            stack.pop()
+        if not stack:
+            with self._lock:
+                self._ring.append(span)
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Attach an event to the innermost open span (drop if none)."""
+        stack = self._stack()
+        if not stack:
+            return
+        span = stack[-1]
+        span.events.append(
+            SpanEvent(
+                name=name,
+                offset_seconds=self.clock() - span.start,
+                attrs=dict(attrs),
+            )
+        )
+
+    def add_span(self, name: str, seconds: float = 0.0, **attrs: object) -> None:
+        """Record an already-completed child span of the current span.
+
+        This is how work measured elsewhere — a shard sweep timed
+        inside its worker process — lands in the host-side trace with
+        its true duration.  Dropped when no span is open.
+        """
+        stack = self._stack()
+        if not stack:
+            return
+        now = self.clock()
+        span = Span(
+            name=name,
+            trace_id=stack[-1].trace_id,
+            start=now - seconds,
+            end=now,
+            attrs=dict(attrs),
+        )
+        stack[-1].children.append(span)
+
+    # ------------------------------------------------------------------
+    @property
+    def recent(self) -> tuple[Span, ...]:
+        """Completed root spans, most recent last."""
+        with self._lock:
+            return tuple(self._ring)
+
+    def get(self, trace_id: str) -> Span | None:
+        """The completed trace with this id, if still in the ring."""
+        with self._lock:
+            for span in self._ring:
+                if span.trace_id == trace_id:
+                    return span
+        return None
+
+
+class _NullSpan:
+    """Shared do-nothing span (context manager included)."""
+
+    name = "null"
+    trace_id = ""
+    duration = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: nothing is timed, nothing is kept."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1)
+
+    def span(self, name: str, **attrs: object) -> Span:
+        return _NULL_SPAN  # type: ignore[return-value]
+
+    def event(self, name: str, **attrs: object) -> None:
+        pass
+
+    def add_span(self, name: str, seconds: float = 0.0, **attrs: object) -> None:
+        pass
+
+
+#: Shared disabled tracer (safe: its spans are shared no-ops).
+NULL_TRACER = NullTracer()

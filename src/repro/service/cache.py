@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Hashable
 
 from ..align.scoring import AffineScoring, LinearScoring, SubstitutionMatrix
+from ..obs.metrics import NULL_REGISTRY, MetricsRegistry
 
 __all__ = ["scheme_token", "CacheKey", "CacheStats", "ResultCache"]
 
@@ -86,6 +87,27 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.bind(NULL_REGISTRY)
+
+    def bind(self, registry: MetricsRegistry) -> None:
+        """Register this cache's counters on ``registry``.
+
+        The counters count from the moment of binding (the engine
+        binds at construction, before any traffic); the cumulative
+        ``hits``/``misses`` attributes remain the full-history view.
+        """
+        self._m_hits = registry.counter(
+            "cache_hits_total", "Result-cache lookups answered without a sweep"
+        )
+        self._m_misses = registry.counter(
+            "cache_misses_total", "Result-cache lookups that required a sweep"
+        )
+        self._m_evictions = registry.counter(
+            "cache_evictions_total", "Result-cache LRU evictions"
+        )
+        registry.gauge("cache_capacity", "Result-cache entry capacity").set(
+            self.capacity
+        )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -97,9 +119,11 @@ class ResultCache:
         """Look up ``key``; counts a hit/miss and refreshes recency."""
         if key in self._entries:
             self.hits += 1
+            self._m_hits.inc()
             self._entries.move_to_end(key)
             return self._entries[key]
         self.misses += 1
+        self._m_misses.inc()
         return None
 
     def put(self, key: CacheKey, value: object) -> None:
@@ -112,6 +136,7 @@ class ResultCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
+            self._m_evictions.inc()
 
     def clear(self) -> None:
         """Drop all entries (counters are kept — they describe traffic)."""

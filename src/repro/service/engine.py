@@ -28,9 +28,11 @@ from typing import Sequence
 from ..align.local_linear import local_align_linear
 from ..align.scoring import DEFAULT_DNA, LinearScoring, SubstitutionMatrix
 from ..align.smith_waterman import LocalHit
+from ..analysis.cups import cups as _cups
 from ..analysis.cups import format_cups, utilization
 from ..analysis.report import render_kv
 from ..analysis.stats import ScoreStatistics
+from ..obs import NULL_OBS, Observability
 from ..scan import ScanHit, ScanReport
 from .cache import CacheKey, ResultCache, scheme_token
 from .index import DatabaseIndex
@@ -177,6 +179,14 @@ class SearchEngine:
         unhealthy the whole sweep runs in-process — the service keeps
         serving instead of raising.  Set False to surface partial
         coverage in the response instead of healing it.
+    obs:
+        Observability bundle (metrics registry + tracer + logger).
+        Defaults to :data:`~repro.obs.NULL_OBS` — no-op instruments,
+        negligible overhead — so library callers pay nothing; a live
+        bundle (``Observability.create()``) makes the engine emit
+        request counters, sweep-latency histograms, a sustained-CUPS
+        gauge, and per-request span trees.  A supervised pool without
+        its own bundle inherits this one.
     """
 
     def __init__(
@@ -189,6 +199,7 @@ class SearchEngine:
         statistics: ScoreStatistics | None = None,
         pool: ShardWorkerPool | SupervisedWorkerPool | None = None,
         fallback_scan: bool = True,
+        obs: Observability | None = None,
     ) -> None:
         self.index = index
         self.scheme = scheme
@@ -205,6 +216,39 @@ class SearchEngine:
         self._scheme_token = scheme_token(scheme)
         self._retrieve_locate = None
         self.requests_served = 0
+        self.obs = obs if obs is not None else NULL_OBS
+        if (
+            self.obs.enabled
+            and isinstance(self.pool, SupervisedWorkerPool)
+            and not self.pool.obs.enabled
+        ):
+            self.pool.bind_obs(self.obs)
+        registry = self.obs.registry
+        self.cache.bind(registry)
+        self._m_requests = registry.counter(
+            "requests_total", "Search requests served by the engine"
+        )
+        self._m_request_seconds = registry.histogram(
+            "request_seconds", "End-to-end request latency in seconds"
+        )
+        self._m_sweep_seconds = registry.histogram(
+            "sweep_seconds", "Batch sweep wall time in seconds"
+        )
+        self._m_cells = registry.counter(
+            "cells_swept_total", "Dynamic-programming cells swept"
+        )
+        self._m_sustained_cups = registry.gauge(
+            "sustained_cups",
+            "Cumulative cells swept over cumulative sweep wall seconds",
+        )
+        self._m_degraded = registry.gauge(
+            "degraded_shards", "Shards excluded from the most recent sweep"
+        )
+        self._m_fallbacks = registry.counter(
+            "fallback_sweeps_total", "Sweeps healed by the in-process fallback path"
+        )
+        self._cells_swept_total = 0
+        self._sweep_wall_total = 0.0
 
     # ------------------------------------------------------------------
     def _key(self, query: str, min_score: int, top: int) -> CacheKey:
@@ -247,6 +291,11 @@ class SearchEngine:
             # The pool proved itself unable to complete a sweep; stop
             # paying its overhead and keep serving in-process.
             self.fallback_sweeps += 1
+            self._m_fallbacks.inc()
+            self.obs.tracer.event("fallback", reason="pool-unhealthy")
+            self.obs.log.warning(
+                "engine.fallback", reason="pool-unhealthy", queries=len(queries)
+            )
             sweeps = self._sweep_inline(self.index.active_shards, queries, min_score, k)
             return sweeps, tuple(sorted(load_degraded))
         result = self.pool.sweep(
@@ -259,9 +308,47 @@ class SearchEngine:
         if failed and self.fallback_scan:
             healed = [s for s in self.index.active_shards if s.shard_id in failed]
             self.fallback_sweeps += 1
+            self._m_fallbacks.inc()
+            shard_ids = ",".join(str(s) for s in sorted(failed))
+            self.obs.tracer.event("fallback", reason="failed-shards", shards=shard_ids)
+            self.obs.log.warning(
+                "engine.fallback", reason="failed-shards", shards=shard_ids
+            )
             sweeps.extend(self._sweep_inline(healed, queries, min_score, k))
             failed.clear()
         return sweeps, tuple(sorted(load_degraded | set(failed)))
+
+    def _observe_sweep(self, sweeps, sweep_wall: float, degraded) -> None:
+        """Fold one batch sweep into the engine's metrics.
+
+        The sustained-CUPS gauge is the service-side counterpart of the
+        benchmarks' offline computation: cumulative cells actually
+        swept over cumulative sweep wall seconds, via
+        :func:`repro.analysis.cups.cups` — the sustained (not peak)
+        figure the FPGA-survey literature says distinguishes designs.
+        """
+        self._m_sweep_seconds.observe(sweep_wall)
+        batch_cells = sum(s.cells for s in sweeps)
+        self._m_cells.inc(batch_cells)
+        self._cells_swept_total += batch_cells
+        self._sweep_wall_total += sweep_wall
+        if self._sweep_wall_total > 0:
+            self._m_sustained_cups.set(
+                _cups(self._cells_swept_total, self._sweep_wall_total)
+            )
+        self._m_degraded.set(len(degraded))
+        if degraded:
+            self.obs.log.warning(
+                "engine.degraded-sweep",
+                shards=",".join(str(s) for s in degraded),
+            )
+
+    @property
+    def sustained_cups(self) -> float:
+        """Cumulative cells swept over cumulative sweep wall seconds."""
+        if self._sweep_wall_total <= 0:
+            return 0.0
+        return _cups(self._cells_swept_total, self._sweep_wall_total)
 
     # ------------------------------------------------------------------
     def search(
@@ -298,122 +385,140 @@ class SearchEngine:
         if retrieve < 0:
             raise ValueError(f"retrieve cannot be negative, got {retrieve}")
         stats = statistics if statistics is not None else self.statistics
+        tracer = self.obs.tracer
         t_start = time.perf_counter()
-        normalized = [q.upper() for q in queries]
-        keys = [self._key(q, min_score, top) for q in normalized]
-        cached: dict[CacheKey, _CachedSweep] = {}
-        pending: list[str] = []
-        pending_keys: list[CacheKey] = []
-        for q, key in zip(normalized, keys):
-            if key in cached or key in pending_keys:
-                continue
-            entry = self.cache.get(key)
-            if entry is not None:
-                cached[key] = entry  # type: ignore[assignment]
-            else:
-                pending.append(q)
-                pending_keys.append(key)
+        with tracer.span("engine.search", queries=len(queries)):
+            normalized = [q.upper() for q in queries]
+            keys = [self._key(q, min_score, top) for q in normalized]
+            cached: dict[CacheKey, _CachedSweep] = {}
+            pending: list[str] = []
+            pending_keys: list[CacheKey] = []
+            with tracer.span("cache.lookup", keys=len(keys)):
+                for q, key in zip(normalized, keys):
+                    if key in cached or key in pending_keys:
+                        continue
+                    entry = self.cache.get(key)
+                    if entry is not None:
+                        cached[key] = entry  # type: ignore[assignment]
+                    else:
+                        pending.append(q)
+                        pending_keys.append(key)
 
-        sweep_wall = 0.0
-        worker_busy: tuple[tuple[str, float], ...] = ()
-        swept_bp = self.index.total_bp
-        if pending:
-            t0 = time.perf_counter()
-            sweeps, degraded = self._run_sweep(pending, min_score, top)
-            sweep_wall = time.perf_counter() - t0
-            excluded = set(degraded)
-            swept_records = sum(
-                len(s) for s in self.index.shards if s.shard_id not in excluded
-            )
-            swept_bp = sum(
-                s.bp for s in self.index.shards if s.shard_id not in excluded
-            )
-            total = self.index.record_count
-            coverage = swept_records / total if total else 1.0
-            merged = merge_candidates(sweeps, len(pending), top)
-            worker_busy = tuple(
-                sorted(ShardWorkerPool.busy_seconds(sweeps).items())
-            )
-            for key, ranked in zip(pending_keys, merged):
-                entry = _CachedSweep(
-                    candidates=tuple(ranked),
-                    records=swept_records,
-                    coverage=coverage,
-                    degraded=degraded,
+            sweep_wall = 0.0
+            worker_busy: tuple[tuple[str, float], ...] = ()
+            swept_bp = self.index.total_bp
+            if pending:
+                with tracer.span("pool.sweep", pending=len(pending)):
+                    t0 = time.perf_counter()
+                    sweeps, degraded = self._run_sweep(pending, min_score, top)
+                    sweep_wall = time.perf_counter() - t0
+                    for sweep in sweeps:
+                        tracer.add_span(
+                            "shard.sweep",
+                            seconds=sweep.seconds,
+                            shard=sweep.shard_id,
+                            records=sweep.records,
+                            worker=sweep.worker,
+                        )
+                self._observe_sweep(sweeps, sweep_wall, degraded)
+                excluded = set(degraded)
+                swept_records = sum(
+                    len(s) for s in self.index.shards if s.shard_id not in excluded
                 )
-                cached[key] = entry
-                if coverage >= 1.0:
-                    # Partial answers are never cached: a later request
-                    # must re-attempt the full sweep, not replay a
-                    # degraded ranking as if it were complete.
-                    self.cache.put(key, entry)
-
-        pending_cells = sum(len(q) * swept_bp for q in pending) or 1
-        hit_keys = {key for key in keys if key not in pending_keys}
-
-        responses: list[SearchResponse] = []
-        for q, key in zip(normalized, keys):
-            entry = cached[key]
-            was_hit = key in hit_keys
-            report = ScanReport(
-                query_length=len(q),
-                min_score=min_score,
-                records_scanned=entry.records,
-                cells=0 if was_hit else len(q) * swept_bp,
-            )
-            t_retrieve = time.perf_counter()
-            for rank, (score, gidx, i, j) in enumerate(entry.candidates):
-                name, codes = self.index.record(gidx)
-                alignment = None
-                if rank < retrieve:
-                    seq = self.index.sequence(gidx)
-                    alignment = local_align_linear(
-                        q, seq, self.scheme, self._locate_for_retrieval()
-                    ).alignment
-                evalue = (
-                    stats.evalue(score, len(q), len(codes)) if stats is not None else None
+                swept_bp = sum(
+                    s.bp for s in self.index.shards if s.shard_id not in excluded
                 )
-                report.hits.append(
-                    ScanHit(
-                        record=name,
-                        length=len(codes),
-                        hit=LocalHit(score, i, j),
-                        alignment=alignment,
-                        evalue=evalue,
+                total = self.index.record_count
+                coverage = swept_records / total if total else 1.0
+                merged = merge_candidates(sweeps, len(pending), top)
+                worker_busy = tuple(
+                    sorted(ShardWorkerPool.busy_seconds(sweeps).items())
+                )
+                for key, ranked in zip(pending_keys, merged):
+                    entry = _CachedSweep(
+                        candidates=tuple(ranked),
+                        records=swept_records,
+                        coverage=coverage,
+                        degraded=degraded,
                     )
-                )
-            retrieval_seconds = time.perf_counter() - t_retrieve
-            share = (
-                0.0
-                if was_hit
-                else sweep_wall * (len(q) * swept_bp) / pending_cells
-            )
-            report.sweep_seconds = share
-            report.total_seconds = share + retrieval_seconds
-            metrics = RequestMetrics(
-                query_length=len(q),
-                records=entry.records,
-                cells=report.cells,
-                sweep_seconds=share,
-                retrieval_seconds=retrieval_seconds,
-                total_seconds=time.perf_counter() - t_start,
-                workers=self.pool.workers,
-                shards=self.index.shard_count,
-                cache_hit=was_hit,
-                worker_busy=() if was_hit else worker_busy,
-                sweep_wall_seconds=0.0 if was_hit else sweep_wall,
-            )
-            self.requests_served += 1
-            responses.append(
-                SearchResponse(
-                    query=q,
-                    report=report,
-                    metrics=metrics,
-                    coverage=entry.coverage,
-                    degraded_shards=entry.degraded,
-                )
-            )
-        return responses
+                    cached[key] = entry
+                    if coverage >= 1.0:
+                        # Partial answers are never cached: a later request
+                        # must re-attempt the full sweep, not replay a
+                        # degraded ranking as if it were complete.
+                        self.cache.put(key, entry)
+
+            pending_cells = sum(len(q) * swept_bp for q in pending) or 1
+            hit_keys = {key for key in keys if key not in pending_keys}
+
+            responses: list[SearchResponse] = []
+            with tracer.span("response.build", responses=len(keys)):
+                for q, key in zip(normalized, keys):
+                    entry = cached[key]
+                    was_hit = key in hit_keys
+                    report = ScanReport(
+                        query_length=len(q),
+                        min_score=min_score,
+                        records_scanned=entry.records,
+                        cells=0 if was_hit else len(q) * swept_bp,
+                    )
+                    t_retrieve = time.perf_counter()
+                    for rank, (score, gidx, i, j) in enumerate(entry.candidates):
+                        name, codes = self.index.record(gidx)
+                        alignment = None
+                        if rank < retrieve:
+                            seq = self.index.sequence(gidx)
+                            alignment = local_align_linear(
+                                q, seq, self.scheme, self._locate_for_retrieval()
+                            ).alignment
+                        evalue = (
+                            stats.evalue(score, len(q), len(codes))
+                            if stats is not None
+                            else None
+                        )
+                        report.hits.append(
+                            ScanHit(
+                                record=name,
+                                length=len(codes),
+                                hit=LocalHit(score, i, j),
+                                alignment=alignment,
+                                evalue=evalue,
+                            )
+                        )
+                    retrieval_seconds = time.perf_counter() - t_retrieve
+                    share = (
+                        0.0
+                        if was_hit
+                        else sweep_wall * (len(q) * swept_bp) / pending_cells
+                    )
+                    report.sweep_seconds = share
+                    report.total_seconds = share + retrieval_seconds
+                    metrics = RequestMetrics(
+                        query_length=len(q),
+                        records=entry.records,
+                        cells=report.cells,
+                        sweep_seconds=share,
+                        retrieval_seconds=retrieval_seconds,
+                        total_seconds=time.perf_counter() - t_start,
+                        workers=self.pool.workers,
+                        shards=self.index.shard_count,
+                        cache_hit=was_hit,
+                        worker_busy=() if was_hit else worker_busy,
+                        sweep_wall_seconds=0.0 if was_hit else sweep_wall,
+                    )
+                    self.requests_served += 1
+                    self._m_requests.inc()
+                    self._m_request_seconds.observe(metrics.total_seconds)
+                    responses.append(
+                        SearchResponse(
+                            query=q,
+                            report=report,
+                            metrics=metrics,
+                            coverage=entry.coverage,
+                            degraded_shards=entry.degraded,
+                        )
+                    )
+            return responses
 
     # ------------------------------------------------------------------
     def describe(self) -> dict[str, object]:
@@ -431,6 +536,8 @@ class SearchEngine:
                 "cache hit rate": f"{cache.hit_rate:.0%}",
             }
         )
+        if self._sweep_wall_total > 0:
+            info["sustained rate"] = format_cups(self.sustained_cups)
         if isinstance(self.pool, SupervisedWorkerPool):
             info.update(self.pool.describe())
             info["fallback sweeps"] = self.fallback_sweeps

@@ -25,6 +25,7 @@ from __future__ import annotations
 import hashlib
 import io
 import json
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
@@ -333,8 +334,17 @@ class DatabaseIndex:
         Path(path).write_bytes(buffer.getvalue())
 
     @classmethod
-    def load(cls, path: str | Path, on_corrupt: str = "raise") -> "DatabaseIndex":
+    def load(
+        cls, path: str | Path, on_corrupt: str = "raise", obs=None
+    ) -> "DatabaseIndex":
         """Read an index written by :meth:`save`.
+
+        ``obs`` is an optional :class:`~repro.obs.Observability`
+        bundle; when given, the load reports its wall time and shard
+        health (``index_load_seconds``, ``index_shards``,
+        ``index_degraded_shards`` gauges) and logs one line per
+        quarantined shard — the previously silent path an operator
+        most needs to see.
 
         Raises :class:`IndexFormatError` when the file is not an index
         or was written by a different format revision — callers should
@@ -351,12 +361,16 @@ class DatabaseIndex:
         and tie-breaks are unchanged) but are excluded from sweeps, so
         the service keeps answering with explicit partial coverage.
         """
+        from ..obs import NULL_OBS
         from .resilience import IndexCorrupt
 
+        if obs is None:
+            obs = NULL_OBS
         if on_corrupt not in ("raise", "quarantine"):
             raise ValueError(
                 f"on_corrupt must be 'raise' or 'quarantine', got {on_corrupt!r}"
             )
+        t_load = time.perf_counter()
         try:
             with np.load(path) as data:
                 arrays = {key: data[key] for key in data.files}
@@ -419,17 +433,40 @@ class DatabaseIndex:
                         "on_corrupt='quarantine')"
                     )
                 degraded.append(shard_id)
+                obs.log.warning(
+                    "index.shard-quarantined", path=str(path), shard=shard_id
+                )
             shards.append(shard)
             rec += count
             byte += bp
         if byte != len(payload):
             raise IndexFormatError(f"{path}: payload size disagrees with record lengths")
-        return cls(
+        index = cls(
             shards,
             version=version,
             source=meta.get("source", str(path)),
             degraded=degraded,
         )
+        load_seconds = time.perf_counter() - t_load
+        registry = obs.registry
+        registry.gauge("index_load_seconds", "Wall time of the last index load").set(
+            load_seconds
+        )
+        registry.gauge("index_shards", "Shards in the loaded index").set(
+            index.shard_count
+        )
+        registry.gauge(
+            "index_degraded_shards", "Shards quarantined at index load"
+        ).set(len(degraded))
+        obs.log.info(
+            "index.loaded",
+            path=str(path),
+            records=index.record_count,
+            shards=index.shard_count,
+            degraded=len(degraded),
+            seconds=round(load_seconds, 4),
+        )
+        return index
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (

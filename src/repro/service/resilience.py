@@ -47,6 +47,7 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from ..align.scoring import LinearScoring, SubstitutionMatrix
+from ..obs import NULL_OBS, Observability
 from .pool import ShardSweep, WorkerSpec, _sweep_shard, shard_task
 
 __all__ = [
@@ -418,6 +419,12 @@ class SupervisedWorkerPool:
 
     ``fault_plan`` scripts deterministic failures for tests and
     benchmarks; ``None`` (the default) injects nothing.
+
+    ``obs`` is the observability bundle (metrics + tracer + logger);
+    retries, quarantines, timeouts and worker deaths — previously
+    silent counter bumps — become counters, trace events on the open
+    ``pool.sweep`` span, and structured log lines.  An engine with a
+    live bundle rebinds a pool constructed without one.
     """
 
     def __init__(
@@ -429,6 +436,7 @@ class SupervisedWorkerPool:
         quarantine_after: int = 1,
         fault_plan: FaultPlan | None = None,
         poll_interval: float = 0.005,
+        obs: Observability | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -450,6 +458,27 @@ class SupervisedWorkerPool:
         self.timeouts_total = 0
         self.worker_deaths_total = 0
         self._healthy = True
+        self.bind_obs(obs if obs is not None else NULL_OBS)
+
+    def bind_obs(self, obs: Observability) -> None:
+        """Attach an observability bundle and register the counters."""
+        self.obs = obs
+        registry = obs.registry
+        self._m_attempts = registry.counter(
+            "sweep_attempts_total", "Shard sweep attempts launched"
+        )
+        self._m_retries = registry.counter(
+            "retries_total", "Shard sweep attempts retried after a failure"
+        )
+        self._m_quarantines = registry.counter(
+            "quarantines_total", "Shards quarantined after exhausting retries"
+        )
+        self._m_timeouts = registry.counter(
+            "worker_timeouts_total", "Shard sweeps killed at the task timeout"
+        )
+        self._m_deaths = registry.counter(
+            "worker_deaths_total", "Worker processes that died without a result"
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -509,6 +538,7 @@ class SupervisedWorkerPool:
                         self._launch(ctx, shard, attempt, queries, scheme, min_score, k)
                     )
                     outcome.attempts += 1
+                    self._m_attempts.inc()
                 else:
                     waiting.append((shard, attempt, ready_at))
             pending = waiting
@@ -536,6 +566,11 @@ class SupervisedWorkerPool:
         self.worker_deaths_total += outcome.worker_deaths
         if runnable and not outcome.sweeps:
             self._healthy = False
+            self.obs.log.error(
+                "pool.unhealthy",
+                shards=len(runnable),
+                attempts=outcome.attempts,
+            )
         return outcome
 
     # ------------------------------------------------------------------
@@ -581,6 +616,16 @@ class SupervisedWorkerPool:
             if not run.queue.empty():
                 return self._poll(run, queries, min_score, k, outcome)
             outcome.worker_deaths += 1
+            self._m_deaths.inc()
+            self.obs.tracer.event(
+                "worker-death", shard=sid, exit_code=run.process.exitcode
+            )
+            self.obs.log.warning(
+                "pool.worker-death",
+                shard=sid,
+                attempt=run.attempt,
+                exit_code=run.process.exitcode,
+            )
             self._close(run)
             return (
                 "fail",
@@ -588,6 +633,16 @@ class SupervisedWorkerPool:
             )
         if time.monotonic() > run.deadline:
             outcome.timeouts += 1
+            self._m_timeouts.inc()
+            self.obs.tracer.event(
+                "worker-timeout", shard=sid, seconds=self.task_timeout
+            )
+            self.obs.log.warning(
+                "pool.worker-timeout",
+                shard=sid,
+                attempt=run.attempt,
+                seconds=self.task_timeout,
+            )
             run.process.kill()
             run.process.join()
             self._close(run)
@@ -614,12 +669,36 @@ class SupervisedWorkerPool:
         health.last_error = str(error)
         if run.attempt < self.policy.retries:
             outcome.retries += 1
-            ready_at = time.monotonic() + self.policy.delay(run.attempt, token=sid)
+            self._m_retries.inc()
+            delay = self.policy.delay(run.attempt, token=sid)
+            self.obs.tracer.event(
+                "retry", shard=sid, attempt=run.attempt, delay_s=round(delay, 4)
+            )
+            self.obs.log.warning(
+                "pool.retry",
+                shard=sid,
+                attempt=run.attempt,
+                delay_s=round(delay, 4),
+                error=str(error),
+            )
+            ready_at = time.monotonic() + delay
             pending.append((run.shard, run.attempt + 1, ready_at))
             return
         health.exhaustions += 1
         if health.exhaustions >= self.quarantine_after:
             health.quarantined = True
+            self._m_quarantines.inc()
+            self.obs.tracer.event("quarantine", shard=sid)
+            self.obs.log.error(
+                "pool.quarantine",
+                shard=sid,
+                failures=health.failures,
+                error=str(error),
+            )
+        else:
+            self.obs.log.error(
+                "pool.shard-exhausted", shard=sid, attempt=run.attempt, error=str(error)
+            )
         outcome.failed[sid] = error
 
     # ------------------------------------------------------------------

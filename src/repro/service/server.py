@@ -11,7 +11,16 @@ engine:
 
       scan ACGTACGT top=5 min_score=10 retrieve=1 metrics=1
       stats
+      metrics
+      trace
+      trace t000002
       quit
+
+  ``stats`` is the engine/index/cache summary plus a metrics snapshot
+  (counters, gauges, histogram quantiles) when the engine carries a
+  live registry; ``metrics`` is the raw Prometheus text exposition;
+  ``trace`` lists the tracer's ring of recent request traces and
+  ``trace <id>`` renders one span tree.
 
 * :meth:`SearchServer.serve_queue` — queue-in / report-out: consume
   :class:`QueryRequest` objects from one ``queue.Queue``, emit
@@ -40,6 +49,7 @@ import queue
 from dataclasses import dataclass
 from typing import TextIO
 
+from ..obs.metrics import PeriodicDumper
 from .engine import SearchEngine, SearchResponse
 from .resilience import ServiceError
 
@@ -65,10 +75,17 @@ class SearchServer:
     """Request loop over a :class:`SearchEngine`."""
 
     def __init__(
-        self, engine: SearchEngine, top: int = 10, min_score: int = 1, retrieve: int = 0
+        self,
+        engine: SearchEngine,
+        top: int = 10,
+        min_score: int = 1,
+        retrieve: int = 0,
+        dumper: PeriodicDumper | None = None,
     ) -> None:
         self.engine = engine
+        self.obs = engine.obs
         self.defaults = QueryRequest("", top=top, min_score=min_score, retrieve=retrieve)
+        self.dumper = dumper
         self.served = 0
 
     # ------------------------------------------------------------------
@@ -101,7 +118,14 @@ class SearchServer:
             return None
         try:
             if verb == "stats":
-                return "\n".join(f"{k}: {v}" for k, v in self.engine.describe().items())
+                lines = [f"{k}: {v}" for k, v in self.engine.describe().items()]
+                lines.extend(self._metrics_lines())
+                return "\n".join(lines)
+            if verb == "metrics":
+                text = self.obs.registry.render_prometheus()
+                return text.rstrip("\n") if text else "# no metrics registered"
+            if verb == "trace":
+                return self._handle_trace(tokens[1:])
             if verb == "scan":
                 if len(tokens) < 2:
                     raise ValueError("scan needs a query sequence")
@@ -115,13 +139,49 @@ class SearchServer:
                 )
                 response = self.submit(request)
                 return response.render(max_rows=request.top, with_metrics=with_metrics)
-            raise ValueError(f"unknown verb {verb!r} (use scan / stats / quit)")
+            raise ValueError(
+                f"unknown verb {verb!r} (use scan / stats / metrics / trace / quit)"
+            )
         except ServiceError as exc:
             return f"error {exc.code} {_one_line(exc)}"
         except (ValueError, TypeError) as exc:
             return f"error bad-request {_one_line(exc)}"
         except Exception as exc:  # noqa: BLE001 - the loop must survive anything
             return f"error internal {type(exc).__name__}: {_one_line(exc)}"
+
+    def _metrics_lines(self) -> list[str]:
+        """Counter/gauge/histogram summary lines for the ``stats`` verb."""
+        snapshot = self.obs.registry.snapshot()
+        lines: list[str] = []
+        for name, value in snapshot["counters"].items():
+            lines.append(f"{name}: {value:g}")
+        for name, value in snapshot["gauges"].items():
+            lines.append(f"{name}: {value:g}")
+        for name, data in snapshot["histograms"].items():
+            lines.append(
+                f"{name}: count={data['count']} sum={data['sum']:.4g}s "
+                f"p50={data['p50']:.4g}s p90={data['p90']:.4g}s p99={data['p99']:.4g}s"
+            )
+        return lines
+
+    def _handle_trace(self, args: list[str]) -> str:
+        """``trace`` lists recent traces; ``trace <id>`` renders one."""
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            return "# tracing disabled (engine has no live tracer)"
+        if not args:
+            recent = tracer.recent
+            if not recent:
+                return "# no traces recorded"
+            return "\n".join(
+                f"{span.trace_id} {span.name} {span.duration * 1e3:.3f}ms "
+                f"spans={sum(1 for _ in span.walk())}"
+                for span in reversed(recent)
+            )
+        span = tracer.get(args[0])
+        if span is None:
+            raise ValueError(f"unknown trace id {args[0]!r} (see 'trace' for the ring)")
+        return span.render()
 
     def serve(self, in_stream: TextIO, out_stream: TextIO) -> int:
         """Run the line protocol until EOF or ``quit``; returns requests served.
@@ -140,6 +200,10 @@ class SearchServer:
             if response:
                 out_stream.write(response + "\n")
                 out_stream.flush()
+            if self.dumper is not None:
+                self.dumper.maybe_dump()
+        if self.dumper is not None:
+            self.dumper.dump()
         return self.served
 
     # ------------------------------------------------------------------
@@ -174,10 +238,14 @@ class SearchServer:
             request = requests.get()
             try:
                 if request is None:
+                    if self.dumper is not None:
+                        self.dumper.dump()
                     return self.served
                 try:
                     responses.put(self.submit(request))
                 except Exception as exc:  # noqa: BLE001 - loop must survive
                     responses.put(exc)
+                if self.dumper is not None:
+                    self.dumper.maybe_dump()
             finally:
                 requests.task_done()

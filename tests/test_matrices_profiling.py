@@ -6,7 +6,12 @@ import pytest
 
 from repro.align.scoring import blosum62
 from repro.align.smith_waterman import sw_score
-from repro.analysis.profiling import Hotspot, profile_call, profile_locate
+from repro.analysis.profiling import (
+    Hotspot,
+    _is_overhead_frame,
+    profile_call,
+    profile_locate,
+)
 from repro.io.generate import random_protein
 from repro.io.matrices import parse_matrix, read_matrix, write_matrix
 
@@ -102,3 +107,41 @@ class TestProfiling:
     def test_unknown_kernel(self):
         with pytest.raises(ValueError):
             profile_locate(kernel="fortran")
+
+
+class TestOverheadFilter:
+    """Regression: the filter used to parse as ``A or (B and not tt)``,
+    dropping every cProfile frame regardless of its own cost."""
+
+    def test_zero_cost_harness_frames_are_overhead(self):
+        assert _is_overhead_frame("lib/cProfile.py", "runcall", 0.0)
+        assert _is_overhead_frame("test.py", "<lambda>", 0.0)
+
+    def test_frames_with_real_time_are_kept(self):
+        # The old precedence bug dropped this one: "cProfile" in the
+        # filename short-circuited the ``or`` before ``not tt`` applied.
+        assert not _is_overhead_frame("lib/cProfile.py", "runcall", 0.25)
+        assert not _is_overhead_frame("test.py", "<lambda>", 0.1)
+
+    def test_ordinary_frames_are_kept(self):
+        assert not _is_overhead_frame("repro/scan.py", "scan_database", 0.0)
+        assert not _is_overhead_frame("repro/scan.py", "scan_database", 1.0)
+
+    def test_profile_call_keeps_costly_lambda(self):
+        # A user workload that IS a lambda must appear when it burns
+        # real internal time.
+        rows = profile_call(lambda: sum(i * i for i in range(200_000)), top=10)
+        names = " ".join(r.function for r in rows)
+        assert "<lambda>" in names or "<genexpr>" in names
+
+    def test_profile_call_drops_zero_cost_wrapper(self):
+        # The wrapping lambda around a real callee does no work itself
+        # and must not crowd the report.
+        def workload():
+            return sorted(range(100_000))
+
+        rows = profile_call(lambda: workload(), top=50)
+        zero_cost_lambdas = [
+            r for r in rows if "<lambda>" in r.function and r.internal_seconds == 0.0
+        ]
+        assert not zero_cost_lambdas

@@ -174,6 +174,30 @@ class TestEngineSemantics:
         assert metrics.worker_busy
         assert "request metrics" in metrics.render()
 
+    def test_request_metrics_render(self, planted):
+        """The ``metrics=1`` block: every accounting row, formatted."""
+        query, _, index = planted
+        engine = SearchEngine(index, workers=2, cache=ResultCache(0))
+        text = engine.search(query).metrics.render()
+        assert "request metrics" in text
+        for label in (
+            "records", "cells", "sweep s", "retrieval s", "total s",
+            "sweep rate", "workers", "shards", "cache",
+        ):
+            assert label in text
+        assert "miss" in text
+        assert "CUPS" in text  # the sweep rate renders via format_cups
+        assert "% busy" in text  # per-worker utilization rows
+
+    def test_request_metrics_render_cache_hit(self, planted):
+        query, _, index = planted
+        engine = SearchEngine(index)
+        engine.search(query)
+        text = engine.search(query).metrics.render()
+        assert "hit" in text
+        # A hit did no sweep: no utilization rows, zero sweep share.
+        assert "% busy" not in text
+
     def test_batch_utilization_bounded(self, planted):
         """Regression: utilization is over the batch wall, not the
         per-request apportioned share — it can never exceed 100%."""
@@ -370,6 +394,45 @@ class TestServer:
         assert [r.report.best().record for r in drained] == ["hit3"] * 3
         with pytest.raises(queue.Empty):
             responses.get_nowait()
+
+    def test_queue_concurrent_submitters_and_shutdown_ordering(self, planted):
+        """Many producer threads race the loop; shutdown still honors
+        every request enqueued before the sentinel, exactly once."""
+        query, _, index = planted
+        server = SearchServer(SearchEngine(index))
+        requests: queue.Queue = queue.Queue()
+        responses: queue.Queue = queue.Queue()
+        consumer = threading.Thread(
+            target=server.serve_queue, args=(requests, responses)
+        )
+        consumer.start()
+        n_producers, per_producer = 4, 3
+        barrier = threading.Barrier(n_producers)
+
+        def produce(seed):
+            barrier.wait()
+            for i in range(per_producer):
+                requests.put(QueryRequest(query, top=2 + (seed + i) % 3))
+
+        producers = [
+            threading.Thread(target=produce, args=(p,)) for p in range(n_producers)
+        ]
+        for t in producers:
+            t.start()
+        for t in producers:
+            t.join(timeout=30)
+        requests.put(None)  # sentinel arrives after every producer finished
+        consumer.join(timeout=60)
+        assert not consumer.is_alive()
+        total = n_producers * per_producer
+        assert server.served == total
+        drained = [responses.get(timeout=5) for _ in range(total)]
+        assert all(r.report.best().record == "hit3" for r in drained)
+        with pytest.raises(queue.Empty):
+            responses.get_nowait()
+        # Intake is closed: a straggler enqueued after shutdown stays put.
+        requests.put(QueryRequest(query))
+        assert requests.qsize() == 1 and server.served == total
 
     def test_queue_front_end_survives_bad_request(self, planted):
         """A failing request yields its exception in-order; loop lives on."""
