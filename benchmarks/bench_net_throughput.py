@@ -1,0 +1,213 @@
+"""Experiment NT1 — networked throughput: micro-batching vs per-request sweeps.
+
+The TCP front-end's perf claim is that cross-request micro-batching —
+coalescing search requests that arrive within a few milliseconds into
+one ``search_batch`` sweep — beats dispatching one sweep per request
+as soon as several clients are talking at once.  The win is
+structural: with ``workers > 1`` every sweep pays a worker-pool
+startup cost, and a batch of N concurrent requests pays it once
+instead of N times (the same amortization the paper gets by keeping
+many queries resident against one database pass).
+
+Workload: ``CLIENTS`` concurrent client threads, each sending
+``REQUESTS_PER_CLIENT`` queries over its own pooled connection, against
+a sharded synthetic database served by a 2-worker engine.  Each
+configuration is run with the batching window off (``batch_window=0``:
+one sweep per request) and on, at 1 client and at ``CLIENTS`` clients.
+Acceptance: with >= 4 concurrent clients, the batched configuration's
+requests/s beats the unbatched one (asserted only on machines with
+>= 4 cores, and never in ``--tiny`` mode).
+
+Alongside the printed table the run writes ``BENCH_net.json``
+(requests/s and client-side latency p50/p99 per configuration) via
+:mod:`repro.analysis.results`.  ``python benchmarks/bench_net_throughput.py
+--tiny`` runs a seconds-scale smoke of the same path for CI.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.analysis.results import write_bench_json
+from repro.io.generate import random_dna
+from repro.service import DatabaseIndex, QueryOptions, ResultCache, SearchEngine
+from repro.service.client import SearchClient
+from repro.service.net import ServerConfig, ServerThread
+
+CLIENTS = 4
+REQUESTS_PER_CLIENT = int(os.environ.get("REPRO_NET_BENCH_REQUESTS", "10"))
+QUERY_BP = 48
+BATCH_WINDOW = 0.02
+
+#: Distinct queries shared round-robin across clients: concurrent
+#: clients often ask related questions, and identical in-flight queries
+#: are exactly what one batched sweep answers together.
+QUERY_POOL = [random_dna(QUERY_BP, seed=60 + i) for i in range(6)]
+
+
+def _percentile(values, q):
+    ranked = sorted(values)
+    if not ranked:
+        return 0.0
+    rank = min(len(ranked) - 1, max(0, round(q * (len(ranked) - 1))))
+    return ranked[rank]
+
+
+def _build_workload(n_records=40, record_bp=5_000, shards=8, label="net-bench"):
+    records = [
+        (f"rec{i}", random_dna(record_bp, seed=2_000 + i)) for i in range(n_records)
+    ]
+    return DatabaseIndex.build(records, shards=shards, source=label)
+
+
+def _client_worker(host, port, queries, barrier, out, slot):
+    with SearchClient(host, port, pool_size=1, timeout=120.0) as client:
+        barrier.wait()
+        latencies = []
+        for query in queries:
+            t0 = time.perf_counter()
+            response = client.search(query, QueryOptions(top=5))
+            latencies.append(time.perf_counter() - t0)
+            assert response.coverage == 1.0
+        out[slot] = latencies
+
+
+def _run_config(index, clients, batch_window, requests_per_client):
+    """One (clients, batch_window) cell: returns the measured numbers."""
+    engine = SearchEngine(index, workers=2, cache=ResultCache(0))
+    config = ServerConfig(batch_window=batch_window, batch_max=32)
+    with ServerThread(engine, config=config) as handle:
+        barrier = threading.Barrier(clients + 1)
+        out = [None] * clients
+        threads = []
+        for slot in range(clients):
+            queries = [
+                QUERY_POOL[(slot + i) % len(QUERY_POOL)]
+                for i in range(requests_per_client)
+            ]
+            thread = threading.Thread(
+                target=_client_worker,
+                args=(handle.host, handle.port, queries, barrier, out, slot),
+            )
+            thread.start()
+            threads.append(thread)
+        barrier.wait()
+        t0 = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - t0
+    # Read after the drain: response accounting settles on the loop.
+    served = handle.server.served
+    assert all(latencies is not None for latencies in out), "a client thread died"
+    latencies = [lat for client_lats in out for lat in client_lats]
+    total = clients * requests_per_client
+    assert served == total
+    return {
+        "clients": clients,
+        "batch_window_s": batch_window,
+        "requests": total,
+        "wall_seconds": wall,
+        "requests_per_second": total / wall,
+        "latency_p50_s": _percentile(latencies, 0.50),
+        "latency_p99_s": _percentile(latencies, 0.99),
+    }
+
+
+def run_nt1(index, requests_per_client=REQUESTS_PER_CLIENT, assert_batching=True):
+    """The NT1 sweep; returns (rows, json payload)."""
+    payload = {
+        "experiment": "NT1",
+        "db_bp": index.total_bp,
+        "records": index.record_count,
+        "shards": index.shard_count,
+        "query_bp": QUERY_BP,
+        "engine_workers": 2,
+        "requests_per_client": requests_per_client,
+        "runs": {},
+    }
+    rows = []
+    for clients in (1, CLIENTS):
+        for window in (0.0, BATCH_WINDOW):
+            run = _run_config(index, clients, window, requests_per_client)
+            key = f"c{clients}_w{'on' if window else 'off'}"
+            payload["runs"][key] = run
+            rows.append(
+                [
+                    f"{clients} client{'s' if clients > 1 else ''}",
+                    "batched" if window else "per-request",
+                    f"{run['wall_seconds']:.2f}",
+                    f"{run['requests_per_second']:.1f}",
+                    f"{run['latency_p50_s'] * 1e3:.0f}",
+                    f"{run['latency_p99_s'] * 1e3:.0f}",
+                ]
+            )
+    batched = payload["runs"][f"c{CLIENTS}_won"]["requests_per_second"]
+    unbatched = payload["runs"][f"c{CLIENTS}_woff"]["requests_per_second"]
+    payload["batching_speedup_at_%d_clients" % CLIENTS] = batched / unbatched
+    # The headline: coalescing wins once several clients are talking.
+    if assert_batching and (os.cpu_count() or 1) >= 4:
+        assert batched > unbatched, (
+            f"micro-batching {batched:.1f} req/s did not beat "
+            f"per-request {unbatched:.1f} req/s at {CLIENTS} clients"
+        )
+    return rows, payload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return _build_workload()
+
+
+def test_nt1_net_throughput(benchmark, workload):
+    rows, payload = benchmark.pedantic(
+        lambda: run_nt1(workload), rounds=1, iterations=1
+    )
+    print()
+    print(
+        render_table(
+            ["clients", "dispatch", "seconds", "req/s", "p50 ms", "p99 ms"],
+            rows,
+            title=(
+                f"NT1: {QUERY_BP} bp queries vs "
+                f"{workload.total_bp / 1e6:.2f} MBP over TCP"
+            ),
+        )
+    )
+    write_bench_json("net", payload)
+
+
+def main(argv=None):
+    """Direct (non-pytest) entry point: ``--tiny`` for the CI smoke run."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="seconds-scale smoke workload (CI: exercises the TCP path)",
+    )
+    args = parser.parse_args(argv)
+    if args.tiny:
+        index = _build_workload(n_records=12, record_bp=1_000, shards=4, label="tiny")
+        rows, payload = run_nt1(index, requests_per_client=3, assert_batching=False)
+    else:
+        index = _build_workload()
+        rows, payload = run_nt1(index)
+    print(
+        render_table(
+            ["clients", "dispatch", "seconds", "req/s", "p50 ms", "p99 ms"],
+            rows,
+            title=f"NT1: {QUERY_BP} bp queries vs {index.total_bp / 1e6:.2f} MBP over TCP",
+        )
+    )
+    write_bench_json("net", payload)
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

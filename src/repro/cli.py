@@ -10,9 +10,12 @@ Commands mirror the repository's main workflows:
 ``index``    — pre-encode a FASTA database into a persistent sharded
                index file for ``serve``/``batch``.
 ``serve``    — run the search-service request loop (line protocol on
-               stdin/stdout) over a database or saved index, with
-               structured logging (``--log-level``/``--log-json``) and
-               periodic metric dumps (``--metrics-file``).
+               stdin/stdout, or the networked TCP front-end with
+               ``--tcp HOST:PORT``) over a database or saved index,
+               with structured logging (``--log-level``/``--log-json``)
+               and periodic metric dumps (``--metrics-file``).
+``query``    — query a running ``serve --tcp`` server over the wire
+               protocol and print the ranked hit table.
 ``stats``    — render a metrics snapshot written by
                ``serve --metrics-file`` as aligned tables.
 ``batch``    — run a FASTA file of queries against the database in one
@@ -210,6 +213,46 @@ def build_parser() -> argparse.ArgumentParser:
         default=5.0,
         help="minimum seconds between --metrics-file dumps (default 5)",
     )
+    p_serve.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        default=None,
+        help="serve the wire protocol on this TCP address instead of stdin/stdout",
+    )
+    p_serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.002,
+        help="TCP micro-batching window in seconds (0 disables coalescing)",
+    )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="TCP backpressure bound: reject search requests beyond this many in flight",
+    )
+
+    p_query = sub.add_parser("query", help="query a running serve --tcp server")
+    p_query.add_argument("address", help="server address as HOST:PORT")
+    p_query.add_argument(
+        "query", type=_sequence_arg, nargs="?", default=None,
+        help="sequence or @file.fasta (omit with --stats)",
+    )
+    p_query.add_argument("--top", type=int, default=10)
+    p_query.add_argument("--min-score", type=int, default=1)
+    p_query.add_argument("--retrieve", type=int, default=0)
+    p_query.add_argument(
+        "--metrics", action="store_true", help="print per-request service metrics"
+    )
+    p_query.add_argument(
+        "--stats", action="store_true", help="print the server's stats summary instead"
+    )
+    p_query.add_argument(
+        "--timeout", type=float, default=30.0, help="socket timeout in seconds"
+    )
+    p_query.add_argument(
+        "--retries", type=int, default=2, help="retries on transient failures"
+    )
 
     p_batch = sub.add_parser("batch", help="run a FASTA file of queries in one batch")
     p_batch.add_argument("queries", type=Path, help="multi-record FASTA of queries")
@@ -289,7 +332,7 @@ def main(argv: list[str] | None = None) -> int:
                 statistics=statistics,
             )
         else:
-            from .service import ResultCache, SearchEngine, WorkerSpec
+            from .service import QueryOptions, ResultCache, SearchEngine, WorkerSpec
 
             engine = SearchEngine(
                 _load_index(args.database),
@@ -300,9 +343,9 @@ def main(argv: list[str] | None = None) -> int:
             )
             report = engine.search(
                 args.query,
-                top=args.top,
-                min_score=args.min_score,
-                retrieve=args.retrieve,
+                QueryOptions(
+                    top=args.top, min_score=args.min_score, retrieve=args.retrieve
+                ),
             ).report
         print(report.render(max_rows=args.top))
         for hit in report.hits:
@@ -327,7 +370,7 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve":
         from .obs import Observability, PeriodicDumper, configure_logging
-        from .service import SearchServer
+        from .service import QueryOptions, SearchServer
 
         if args.log_level is not None or args.log_json:
             configure_logging(args.log_level or "info", json_lines=args.log_json)
@@ -337,28 +380,82 @@ def main(argv: list[str] | None = None) -> int:
             if args.metrics_file is not None
             else None
         )
-        server = SearchServer(
-            _build_engine(args, obs=obs),
-            top=args.top,
-            min_score=args.min_score,
-            retrieve=args.retrieve,
-            dumper=dumper,
+        defaults = QueryOptions(
+            top=args.top, min_score=args.min_score, retrieve=args.retrieve
         )
+        engine = _build_engine(args, obs=obs)
+        if args.tcp is not None:
+            from .service.net import ServerConfig, TcpSearchServer
+
+            host, _, port = args.tcp.rpartition(":")
+            config = ServerConfig(
+                host=host or "127.0.0.1",
+                port=int(port),
+                batch_window=args.batch_window,
+                max_inflight=args.max_inflight,
+            )
+            server = TcpSearchServer(engine, config=config, defaults=defaults, obs=obs)
+
+            def _announce(srv):
+                print(f"listening on {srv.host}:{srv.port}", flush=True)
+
+            server.run_blocking(ready=_announce)
+            print(f"served {server.served} requests")
+            return 0
+        server = SearchServer(engine, defaults, dumper=dumper)
         served = server.serve(sys.stdin, sys.stdout)
         print(f"served {served} requests")
         return 0
+
+    if args.command == "query":
+        from .service import QueryOptions, ServiceError
+        from .service.client import SearchClient
+        from .service.protocol import classify_exception, format_error_line
+        from .service.resilience import RetryPolicy
+
+        client = SearchClient(
+            args.address,
+            defaults=QueryOptions(
+                top=args.top, min_score=args.min_score, retrieve=args.retrieve
+            ),
+            retry=RetryPolicy(retries=args.retries),
+            timeout=args.timeout,
+        )
+        try:
+            with client:
+                if args.stats:
+                    for key, value in client.stats().items():
+                        print(f"{key:>16} : {value}")
+                    return 0
+                if args.query is None:
+                    print("error bad-request query is required without --stats",
+                          file=sys.stderr)
+                    return 1
+                response = client.search(args.query)
+                print(response.render(max_rows=args.top, with_metrics=args.metrics))
+                for hit in response.report.hits:
+                    if hit.alignment is not None:
+                        print()
+                        print(f">{hit.record}")
+                        print(hit.alignment.pretty())
+                return 0
+        except (ServiceError, ConnectionError, OSError, EOFError) as exc:
+            print(format_error_line(*classify_exception(exc)), file=sys.stderr)
+            return 1
 
     if args.command == "batch":
         queries = read_fasta(args.queries)
         if not queries:
             print("no query records", file=sys.stderr)
             return 1
+        from .service import QueryOptions
+
         engine = _build_engine(args)
         responses = engine.search_batch(
             [q.sequence for q in queries],
-            top=args.top,
-            min_score=args.min_score,
-            retrieve=args.retrieve,
+            QueryOptions(
+                top=args.top, min_score=args.min_score, retrieve=args.retrieve
+            ),
         )
         for record, response in zip(queries, responses):
             print(f"# query {record.identifier or '<unnamed>'}")

@@ -24,17 +24,142 @@ coordinates returned per record.  This package turns the one-shot
   ``coverage``/``degraded_shards`` on every response;
 * :mod:`~repro.service.server` — a minimal stdlib request loop
   (line protocol and queue-in / report-out) behind ``repro serve``,
-  reporting failures as structured ``error <code> <message>`` lines.
+  reporting failures as structured ``error <code> <message>`` lines;
+* :mod:`~repro.service.protocol` — the versioned, length-prefixed
+  JSON frame protocol shared byte-for-byte by the TCP server and the
+  client SDK (and, for option parsing and error formatting, by the
+  legacy line protocol);
+* :mod:`~repro.service.net` — the asyncio TCP front-end behind
+  ``repro serve --tcp``: concurrent connections, per-connection
+  pipelining, bounded backpressure, cross-request micro-batching and
+  graceful drain;
+* :mod:`~repro.service.client` — :class:`SearchClient` /
+  :class:`AsyncSearchClient`, the SDK side of the wire protocol with
+  connection pooling and :class:`RetryPolicy`-driven retries.
+
+Stable public surface
+---------------------
+``__all__`` below is the *supported* API — :class:`SearchEngine`,
+:class:`SearchClient`, :class:`QueryOptions`, :class:`DatabaseIndex`,
+:class:`ResultCache` and the error taxonomy.  Everything else exported
+by the submodules (worker pools, the line-protocol server, fault
+injection) remains importable but is internal plumbing and free to
+evolve between versions.
 """
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from dataclasses import replace as _dc_replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.stats import ScoreStatistics
+
+
+@dataclass(frozen=True)
+class QueryOptions:
+    """Everything a caller may tune about one search request.
+
+    One dataclass carried end-to-end — :class:`SearchEngine`,
+    :class:`~repro.service.server.QueryRequest`, the line protocol,
+    the TCP wire format and :class:`SearchClient` all speak it —
+    replacing the three hand-copied ``top``/``min_score``/``retrieve``
+    parameter lists the service layer used to maintain.
+
+    ``statistics`` (calibrated Karlin-Altschul statistics) overrides
+    the engine's default for this request; it never crosses the wire —
+    a remote server applies its own engine's statistics.
+
+    Construction never raises so a request can be *carried* before it
+    is *checked*; :meth:`validate` applies the range rules and is
+    called by the engine on every request, which is what maps bad
+    values to ``bad-request`` on every front-end.
+    """
+
+    top: int = 10
+    min_score: int = 1
+    retrieve: int = 0
+    statistics: "ScoreStatistics | None" = None
+
+    def validate(self) -> "QueryOptions":
+        """Range-check; returns self so calls chain."""
+        if self.top < 1:
+            raise ValueError(f"top must be positive, got {self.top}")
+        if self.retrieve < 0:
+            raise ValueError(f"retrieve cannot be negative, got {self.retrieve}")
+        return self
+
+    def replace(self, **changes: object) -> "QueryOptions":
+        return _dc_replace(self, **changes)
+
+
+def resolve_query_options(
+    options: "QueryOptions | int | None" = None,
+    defaults: "QueryOptions | None" = None,
+    *,
+    top: int | None = None,
+    min_score: int | None = None,
+    retrieve: int | None = None,
+    statistics: "ScoreStatistics | None" = None,
+    _stacklevel: int = 3,
+) -> "QueryOptions":
+    """Resolve a :class:`QueryOptions` from new- or old-style arguments.
+
+    The old keyword style (``top=``/``min_score=``/``retrieve=``/
+    ``statistics=``, or a bare integer in the ``options`` slot meaning
+    ``top``) still works but emits a :class:`DeprecationWarning`;
+    passing both styles at once is an error.
+    """
+    base = defaults if defaults is not None else QueryOptions()
+    overrides: dict[str, object] = {}
+    if isinstance(options, bool):
+        raise TypeError(f"options must be QueryOptions, got {options!r}")
+    if isinstance(options, int):
+        # Legacy positional ``top`` in the slot QueryOptions now occupies.
+        overrides["top"] = options
+        options = None
+    for key, value in (
+        ("top", top),
+        ("min_score", min_score),
+        ("retrieve", retrieve),
+        ("statistics", statistics),
+    ):
+        if value is not None:
+            overrides[key] = value
+    if options is not None:
+        if not isinstance(options, QueryOptions):
+            raise TypeError(
+                f"options must be QueryOptions, got {type(options).__name__}"
+            )
+        if overrides:
+            raise TypeError(
+                "pass a QueryOptions or the legacy keywords, not both"
+            )
+        return options
+    if overrides:
+        warnings.warn(
+            "top=/min_score=/retrieve=/statistics= keywords are deprecated; "
+            "pass a repro.service.QueryOptions instead",
+            DeprecationWarning,
+            stacklevel=_stacklevel,
+        )
+        return base.replace(**overrides)
+    return base
+
 
 from .cache import CacheKey, CacheStats, ResultCache, scheme_token
 from .engine import RequestMetrics, SearchEngine, SearchResponse
 from .index import DatabaseIndex, IndexFormatError, Shard
 from .pool import ShardWorkerPool, WorkerSpec, merge_candidates
 from .resilience import (
+    BadRequest,
     Fault,
     FaultPlan,
     IndexCorrupt,
+    Overloaded,
+    RequestTimeout,
     RetryPolicy,
     ServiceError,
     ShardFailure,
@@ -44,33 +169,28 @@ from .resilience import (
     corrupt_index_file,
     validate_sweep,
 )
+from .protocol import PROTOCOL_VERSION, ProtocolError
 from .server import QueryRequest, SearchServer
+from .net import ServerConfig, TcpSearchServer
+from .client import AsyncSearchClient, SearchClient
 
+#: The stable, supported surface of ``repro.service``: the engine, the
+#: client SDK, the unified request options, the index, the cache, and
+#: the error taxonomy.  Internal machinery (pools, servers, fault
+#: injection) stays importable but unpinned.
 __all__ = [
-    "CacheKey",
-    "CacheStats",
+    "BadRequest",
     "DatabaseIndex",
-    "Fault",
-    "FaultPlan",
     "IndexCorrupt",
     "IndexFormatError",
-    "QueryRequest",
-    "RequestMetrics",
+    "Overloaded",
+    "ProtocolError",
+    "QueryOptions",
+    "RequestTimeout",
     "ResultCache",
-    "RetryPolicy",
+    "SearchClient",
     "SearchEngine",
-    "SearchResponse",
-    "SearchServer",
     "ServiceError",
-    "Shard",
     "ShardFailure",
-    "ShardWorkerPool",
-    "SupervisedWorkerPool",
-    "SweepOutcome",
-    "WorkerSpec",
     "WorkerTimeout",
-    "corrupt_index_file",
-    "merge_candidates",
-    "scheme_token",
-    "validate_sweep",
 ]

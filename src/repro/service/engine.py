@@ -34,6 +34,7 @@ from ..analysis.report import render_kv
 from ..analysis.stats import ScoreStatistics
 from ..obs import NULL_OBS, Observability
 from ..scan import ScanHit, ScanReport
+from . import QueryOptions, resolve_query_options
 from .cache import CacheKey, ResultCache, scheme_token
 from .index import DatabaseIndex
 from .pool import (
@@ -354,22 +355,37 @@ class SearchEngine:
     def search(
         self,
         query: str,
-        top: int = 10,
-        min_score: int = 1,
-        retrieve: int = 0,
+        options: QueryOptions | int | None = None,
+        *,
+        top: int | None = None,
+        min_score: int | None = None,
+        retrieve: int | None = None,
         statistics: ScoreStatistics | None = None,
     ) -> SearchResponse:
-        """Rank the database against one query (see ``search_batch``)."""
-        return self.search_batch(
-            [query], top=top, min_score=min_score, retrieve=retrieve, statistics=statistics
-        )[0]
+        """Rank the database against one query (see ``search_batch``).
+
+        ``options`` is the request's :class:`~repro.service.QueryOptions`;
+        the spelled-out keywords are the deprecated pre-options
+        signature, kept working through the same shim ``search_batch``
+        applies.
+        """
+        resolved = resolve_query_options(
+            options,
+            top=top,
+            min_score=min_score,
+            retrieve=retrieve,
+            statistics=statistics,
+        )
+        return self.search_batch([query], resolved)[0]
 
     def search_batch(
         self,
         queries: Sequence[str],
-        top: int = 10,
-        min_score: int = 1,
-        retrieve: int = 0,
+        options: QueryOptions | int | None = None,
+        *,
+        top: int | None = None,
+        min_score: int | None = None,
+        retrieve: int | None = None,
         statistics: ScoreStatistics | None = None,
     ) -> list[SearchResponse]:
         """Rank the database against every query in one index pass.
@@ -379,12 +395,22 @@ class SearchEngine:
         a worker once and swept for all of them while its payload is
         hot.  Rankings are bit-identical to ``scan_database`` per
         query.
+
+        ``options`` (a :class:`~repro.service.QueryOptions`) carries
+        ``top``/``min_score``/``retrieve``/``statistics``; the legacy
+        keywords still work but emit a :class:`DeprecationWarning`.
         """
-        if top < 1:
-            raise ValueError(f"top must be positive, got {top}")
-        if retrieve < 0:
-            raise ValueError(f"retrieve cannot be negative, got {retrieve}")
-        stats = statistics if statistics is not None else self.statistics
+        resolved = resolve_query_options(
+            options,
+            top=top,
+            min_score=min_score,
+            retrieve=retrieve,
+            statistics=statistics,
+        ).validate()
+        top = resolved.top
+        min_score = resolved.min_score
+        retrieve = resolved.retrieve
+        stats = resolved.statistics if resolved.statistics is not None else self.statistics
         tracer = self.obs.tracer
         t_start = time.perf_counter()
         with tracer.span("engine.search", queries=len(queries)):

@@ -1,0 +1,597 @@
+"""Asyncio TCP front-end: the host↔board interface over a socket.
+
+The paper's deployment model (section 5) is a host streaming queries
+to a resident accelerator and reading a few bytes of ranked results
+back; :class:`TcpSearchServer` is that interface made real for the
+software service.  It wraps the existing :class:`SearchEngine`
+machinery — the embedding point ``serve_queue`` promised — with:
+
+* **concurrent connections**, each pipelining many in-flight requests
+  over one socket (frames are matched by request id, so responses may
+  return out of submission order);
+* **bounded backpressure** — at most ``max_inflight`` search requests
+  in flight server-wide; excess requests are *rejected immediately*
+  with a structured ``overloaded`` error frame instead of queueing
+  without bound;
+* **cross-request micro-batching** — search requests arriving within
+  ``batch_window`` seconds are coalesced (grouped by identical
+  :class:`~repro.service.QueryOptions`) into one
+  :meth:`SearchEngine.search_batch` sweep, so concurrent clients share
+  a single pass over the index exactly as SWAPHI keeps many queries
+  resident against one database;
+* **idle / request timeouts** — a silent connection is closed after
+  ``idle_timeout``; a request exceeding ``request_timeout`` answers
+  with a ``timeout`` error frame;
+* **graceful drain** — :meth:`stop` refuses new work (``overloaded``
+  frames), lets in-flight requests finish and flushes their responses
+  before closing connections.
+
+The engine runs on a single dispatch thread (one
+:class:`~concurrent.futures.ThreadPoolExecutor` worker), which both
+keeps the asyncio loop responsive during sweeps and serializes access
+to the engine the way ``serve_queue`` does.
+
+All bytes on the wire are produced and consumed by
+:mod:`repro.service.protocol`; nothing here encodes frames by hand.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..obs import Observability
+from . import QueryOptions
+from .engine import SearchEngine
+from .resilience import Overloaded
+from . import protocol
+
+__all__ = ["ServerConfig", "TcpSearchServer", "ServerThread"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tuning knobs for one :class:`TcpSearchServer`.
+
+    ``batch_window`` is the micro-batching horizon: once a search
+    request arrives, the dispatcher waits up to this many seconds for
+    more requests (up to ``batch_max``) before sweeping them together;
+    ``0.0`` disables coalescing entirely — every request becomes its
+    own sweep, which is the configuration the throughput benchmark
+    compares against.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_inflight: int = 64
+    batch_window: float = 0.002
+    batch_max: int = 32
+    idle_timeout: float | None = None
+    request_timeout: float | None = None
+    drain_timeout: float = 10.0
+    max_frame_bytes: int = protocol.MAX_FRAME_BYTES
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ValueError(f"max_inflight must be positive, got {self.max_inflight}")
+        if self.batch_window < 0:
+            raise ValueError(f"batch_window cannot be negative, got {self.batch_window}")
+        if self.batch_max < 1:
+            raise ValueError(f"batch_max must be positive, got {self.batch_max}")
+
+
+@dataclass
+class _Pending:
+    """One accepted search request waiting for (or in) a sweep."""
+
+    request_id: int
+    query: str
+    options: QueryOptions
+    writer: asyncio.StreamWriter
+    received: float
+    done: bool = False
+
+
+class TcpSearchServer:
+    """Asyncio TCP server speaking the versioned frame protocol.
+
+    Parameters
+    ----------
+    engine:
+        The resident :class:`SearchEngine` all connections share.
+    config:
+        Network/batching/backpressure knobs (:class:`ServerConfig`).
+    defaults:
+        Per-server default :class:`~repro.service.QueryOptions`, the
+        base each request's ``options`` mapping overrides.
+    obs:
+        Observability bundle; defaults to the engine's.  A live bundle
+        gains connection/in-flight gauges, frame counters and a
+        ``net.batch`` span (with ``net.recv``/``net.send`` children)
+        enveloping every batched ``engine.search`` span.
+    """
+
+    def __init__(
+        self,
+        engine: SearchEngine,
+        config: ServerConfig | None = None,
+        defaults: QueryOptions | None = None,
+        obs: Observability | None = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config if config is not None else ServerConfig()
+        self.defaults = defaults if defaults is not None else QueryOptions()
+        self.obs = obs if obs is not None else engine.obs
+        self.host = self.config.host
+        self.port = self.config.port
+        self.served = 0
+        self._inflight = 0
+        self._connections = 0
+        self._draining = False
+        self._server: asyncio.AbstractServer | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._queue: asyncio.Queue[_Pending] | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._drained: asyncio.Event | None = None
+        self._exec = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-net-dispatch"
+        )
+        registry = self.obs.registry
+        self._g_connections = registry.gauge(
+            "net_connections", "Open TCP connections"
+        )
+        self._g_inflight = registry.gauge(
+            "net_inflight", "Search requests accepted and not yet answered"
+        )
+        self._m_frames_in = registry.counter(
+            "net_frames_read_total", "Protocol frames read from clients"
+        )
+        self._m_frames_out = registry.counter(
+            "net_frames_written_total", "Protocol frames written to clients"
+        )
+        self._m_requests = registry.counter(
+            "net_requests_total", "Search requests accepted over TCP"
+        )
+        self._m_rejected = registry.counter(
+            "net_rejected_total", "Search requests rejected by backpressure"
+        )
+        self._m_errors = registry.counter(
+            "net_errors_total", "Error frames sent to clients"
+        )
+        self._m_batches = registry.counter(
+            "net_batches_total", "Micro-batches dispatched to the engine"
+        )
+        self._m_batched = registry.counter(
+            "net_batched_requests_total", "Search requests carried by micro-batches"
+        )
+        self._h_request = registry.histogram(
+            "net_request_seconds", "Accept-to-response latency over TCP"
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind, start accepting connections, start the dispatcher."""
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._drained = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        self.obs.log.info("net.listening", host=self.host, port=self.port)
+
+    async def stop(self) -> None:
+        """Graceful drain: no new work, finish in-flight, then close.
+
+        New connections are refused and new search frames answered
+        with ``overloaded`` the moment draining starts; requests
+        already accepted run to completion (bounded by
+        ``drain_timeout``) and their responses are flushed before
+        their connections close.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._drained is not None:
+            if self._inflight == 0:
+                self._drained.set()
+            try:
+                await asyncio.wait_for(
+                    self._drained.wait(), self.config.drain_timeout
+                )
+            except (asyncio.TimeoutError, TimeoutError):
+                self.obs.log.warning(
+                    "net.drain-timeout", inflight=self._inflight
+                )
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+        for writer in list(self._writers):
+            writer.close()
+        self._exec.shutdown(wait=True)
+        self.obs.log.info("net.stopped", served=self.served)
+
+    def run_blocking(self, ready=None) -> None:
+        """Start and serve until SIGINT/SIGTERM; then drain gracefully.
+
+        Explicit loop signal handlers (not Python's default
+        KeyboardInterrupt) so that graceful drain also runs when the
+        process was started with an inherited SIG_IGN disposition —
+        the fate of every ``cmd &`` child of a non-interactive shell,
+        CI steps included — and when a supervisor sends SIGTERM.
+
+        ``ready`` (if given) is called with this server once the port
+        is bound — the CLI uses it to announce the address.
+        """
+
+        async def _main() -> None:
+            await self.start()
+            if ready is not None:
+                ready(self)
+            loop = asyncio.get_running_loop()
+            stopping = loop.create_future()
+
+            def _request_stop() -> None:
+                if not stopping.done():
+                    stopping.set_result(None)
+
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(sig, _request_stop)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass  # non-unix loop: fall back to KeyboardInterrupt
+            try:
+                await stopping
+            except asyncio.CancelledError:
+                pass
+            finally:
+                await self.stop()
+
+        try:
+            asyncio.run(_main())
+        except KeyboardInterrupt:  # pragma: no cover - non-unix fallback
+            pass
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._draining:
+            writer.close()
+            return
+        self._connections += 1
+        self._g_connections.set(self._connections)
+        self._writers.add(writer)
+        peer = writer.get_extra_info("peername")
+        self.obs.log.debug("net.connect", peer=str(peer))
+        try:
+            while True:
+                frame = await self._read_frame(reader)
+                if frame is None:
+                    break
+                try:
+                    await self._handle_frame(frame, writer)
+                except Exception as exc:  # noqa: BLE001 - keep the connection alive
+                    request_id = frame.get("id") if isinstance(frame, dict) else None
+                    rid = request_id if isinstance(request_id, int) else None
+                    await self._send(
+                        writer,
+                        protocol.error_frame(rid, *protocol.classify_exception(exc)),
+                    )
+                    self._m_errors.inc()
+        except protocol.ProtocolError as exc:
+            # The byte stream itself is broken (bad length prefix,
+            # oversized frame, garbage JSON): answer once, then close —
+            # there is no trustworthy way to resynchronize.
+            try:
+                await self._send(
+                    writer, protocol.error_frame(None, exc.code, str(exc))
+                )
+                self._m_errors.inc()
+            except (ConnectionError, RuntimeError):
+                pass
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            self._connections -= 1
+            self._g_connections.set(self._connections)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+            self.obs.log.debug("net.disconnect", peer=str(peer))
+
+    async def _read_frame(self, reader: asyncio.StreamReader) -> dict | None:
+        """Read one frame; ``None`` on clean EOF; idle timeout closes."""
+        try:
+            header = await self._maybe_idle(reader.readexactly(protocol.HEADER.size))
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None  # clean EOF between frames
+            raise protocol.ProtocolError(
+                f"connection closed mid-header ({len(exc.partial)} bytes)"
+            ) from None
+        except (asyncio.TimeoutError, TimeoutError):
+            self.obs.log.debug("net.idle-close")
+            return None
+        length = protocol.frame_length(header, self.config.max_frame_bytes)
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise protocol.ProtocolError(
+                f"connection closed mid-frame ({len(exc.partial)} of {length} bytes)"
+            ) from None
+        self._m_frames_in.inc()
+        return protocol.decode_frame(body)
+
+    def _maybe_idle(self, coro):
+        if self.config.idle_timeout is None:
+            return coro
+        return asyncio.wait_for(coro, self.config.idle_timeout)
+
+    async def _send(self, writer: asyncio.StreamWriter, frame: dict) -> None:
+        writer.write(protocol.encode_frame(frame))
+        await writer.drain()
+        self._m_frames_out.inc()
+
+    async def _handle_frame(self, frame: dict, writer: asyncio.StreamWriter) -> None:
+        ftype = frame.get("type")
+        if ftype == "hello":
+            version = protocol.negotiate(frame)
+            await self._send(writer, protocol.hello_reply(version))
+            return
+        request = protocol.parse_request(frame)
+        if request.verb == "ping":
+            await self._send(
+                writer, protocol.result_frame(request.request_id, {"pong": True})
+            )
+            return
+        if request.verb in ("stats", "metrics", "trace"):
+            payload = self._admin_payload(request.verb, request.arg)
+            await self._send(writer, protocol.result_frame(request.request_id, payload))
+            return
+        # verb == "search"
+        if self._draining:
+            raise Overloaded("server is draining; retry against another instance")
+        if self._inflight >= self.config.max_inflight:
+            self._m_rejected.inc()
+            raise Overloaded(
+                f"{self._inflight} requests in flight (limit "
+                f"{self.config.max_inflight}); retry later"
+            )
+        options = protocol.options_from_wire(request.options, self.defaults)
+        assert self._queue is not None and self._loop is not None
+        self._inflight += 1
+        self._g_inflight.set(self._inflight)
+        self._m_requests.inc()
+        await self._queue.put(
+            _Pending(
+                request_id=request.request_id,
+                query=request.query,
+                options=options,
+                writer=writer,
+                received=self._loop.time(),
+            )
+        )
+
+    def _admin_payload(self, verb: str, arg: str | None) -> dict:
+        if verb == "stats":
+            stats = {str(k): str(v) for k, v in self.engine.describe().items()}
+            stats["net connections"] = str(self._connections)
+            stats["net inflight"] = str(self._inflight)
+            stats["net served"] = str(self.served)
+            return {"stats": stats}
+        if verb == "metrics":
+            return {"text": self.obs.registry.render_prometheus()}
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            return {"text": "# tracing disabled (engine has no live tracer)"}
+        if arg:
+            span = tracer.get(arg)
+            if span is None:
+                raise ValueError(f"unknown trace id {arg!r} (see 'trace' for the ring)")
+            return {"text": span.render()}
+        recent = tracer.recent
+        if not recent:
+            return {"text": "# no traces recorded"}
+        return {
+            "text": "\n".join(
+                f"{span.trace_id} {span.name} {span.duration * 1e3:.3f}ms "
+                f"spans={sum(1 for _ in span.walk())}"
+                for span in reversed(recent)
+            )
+        }
+
+    # ------------------------------------------------------------------
+    # Dispatch: micro-batching across connections
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        assert self._queue is not None and self._loop is not None
+        while True:
+            batch = [await self._queue.get()]
+            window = self.config.batch_window
+            if window > 0:
+                deadline = self._loop.time() + window
+                while len(batch) < self.config.batch_max:
+                    remaining = deadline - self._loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        batch.append(
+                            await asyncio.wait_for(self._queue.get(), remaining)
+                        )
+                    except (asyncio.TimeoutError, TimeoutError):
+                        break
+            self._m_batches.inc()
+            self._m_batched.inc(len(batch))
+            groups: dict[QueryOptions, list[_Pending]] = {}
+            for item in batch:
+                groups.setdefault(item.options, []).append(item)
+            for options, items in groups.items():
+                future = self._loop.run_in_executor(
+                    self._exec, self._process_group, options, items
+                )
+                if self.config.request_timeout is not None:
+                    try:
+                        await asyncio.wait_for(future, self.config.request_timeout)
+                    except (asyncio.TimeoutError, TimeoutError):
+                        # The sweep thread keeps running; answer now and
+                        # let the done-guard drop its late responses.
+                        frames = [
+                            protocol.error_frame(
+                                item.request_id,
+                                "timeout",
+                                f"request exceeded {self.config.request_timeout:.3g}s",
+                            )
+                            for item in items
+                        ]
+                        await self._deliver(items, frames)
+                else:
+                    await future
+
+    def _process_group(self, options: QueryOptions, items: list[_Pending]) -> None:
+        """Sweep one options-group of a batch (runs on the dispatch thread).
+
+        The ``net.batch`` span envelopes the engine's own
+        ``engine.search`` span; ``net.recv`` records how long the
+        oldest request waited between socket and sweep, ``net.send``
+        the time to flush every response frame back out.
+        """
+        assert self._loop is not None
+        tracer = self.obs.tracer
+        with tracer.span("net.batch", requests=len(items), top=options.top):
+            now = self._loop.time()
+            oldest = max((now - item.received for item in items), default=0.0)
+            tracer.add_span("net.recv", seconds=oldest, requests=len(items))
+            try:
+                responses = self.engine.search_batch(
+                    [item.query for item in items], options
+                )
+                frames = [
+                    protocol.response_frame(item.request_id, response)
+                    for item, response in zip(items, responses)
+                ]
+            except Exception as exc:  # noqa: BLE001 - answer, never die
+                code, message = protocol.classify_exception(exc)
+                frames = [
+                    protocol.error_frame(item.request_id, code, message)
+                    for item in items
+                ]
+                self.obs.log.warning("net.batch-failed", code=code, error=message)
+            t_send = time.monotonic()
+            asyncio.run_coroutine_threadsafe(
+                self._deliver(items, frames), self._loop
+            ).result()
+            tracer.add_span(
+                "net.send", seconds=time.monotonic() - t_send, frames=len(frames)
+            )
+
+    async def _deliver(self, items: list[_Pending], frames: list[dict]) -> None:
+        """Write one frame per pending item; settles in-flight accounting."""
+        assert self._loop is not None
+        for item, frame in zip(items, frames):
+            if item.done:
+                continue
+            item.done = True
+            try:
+                await self._send(item.writer, frame)
+            except (ConnectionError, RuntimeError):
+                pass  # client went away; the answer dies with it
+            if frame.get("type") == "error":
+                self._m_errors.inc()
+            else:
+                self.served += 1
+            self._h_request.observe(self._loop.time() - item.received)
+            self._inflight -= 1
+            self._g_inflight.set(self._inflight)
+        if self._draining and self._inflight == 0 and self._drained is not None:
+            self._drained.set()
+
+
+class ServerThread:
+    """Run a :class:`TcpSearchServer` on a background event loop.
+
+    The embedding tests and benchmarks need: ``with
+    ServerThread(engine) as handle:`` gives a bound ``handle.host`` /
+    ``handle.port`` and a server that drains cleanly on exit.
+    """
+
+    def __init__(
+        self,
+        engine: SearchEngine,
+        config: ServerConfig | None = None,
+        defaults: QueryOptions | None = None,
+        obs: Observability | None = None,
+    ) -> None:
+        self.server = TcpSearchServer(engine, config=config, defaults=defaults, obs=obs)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self) -> "ServerThread":
+        self._loop = asyncio.new_event_loop()
+
+        def _run() -> None:
+            assert self._loop is not None
+            asyncio.set_event_loop(self._loop)
+            try:
+                self._loop.run_until_complete(self.server.start())
+            except BaseException as exc:  # noqa: BLE001 - surface to starter
+                self._startup_error = exc
+                self._ready.set()
+                return
+            self._ready.set()
+            self._loop.run_forever()
+            self._loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-net-server", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def stop(self) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        if not self._loop.is_closed():
+            future = asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop)
+            try:
+                future.result(timeout=self.server.config.drain_timeout + 10)
+            except (TimeoutError, RuntimeError):  # pragma: no cover - defensive
+                pass
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

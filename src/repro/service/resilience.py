@@ -52,6 +52,9 @@ from .pool import ShardSweep, WorkerSpec, _sweep_shard, shard_task
 
 __all__ = [
     "ServiceError",
+    "BadRequest",
+    "Overloaded",
+    "RequestTimeout",
     "ShardFailure",
     "WorkerTimeout",
     "IndexCorrupt",
@@ -79,6 +82,29 @@ class ServiceError(RuntimeError):
     """
 
     code = "internal"
+
+
+class BadRequest(ServiceError, ValueError):
+    """A client-supplied request was malformed or out of range.
+
+    Subclasses :class:`ValueError` too, so a remote bad-request
+    reconstructed by the client raises through the same ``except
+    ValueError`` handlers an in-process engine's validation does.
+    """
+
+    code = "bad-request"
+
+
+class Overloaded(ServiceError):
+    """The server is at its in-flight limit (or draining); retry later."""
+
+    code = "overloaded"
+
+
+class RequestTimeout(ServiceError):
+    """A request exceeded the server's per-request deadline."""
+
+    code = "timeout"
 
 
 class ShardFailure(ServiceError):

@@ -46,29 +46,71 @@ object itself on the response queue and the loop keeps consuming.
 from __future__ import annotations
 
 import queue
-from dataclasses import dataclass
 from typing import TextIO
 
 from ..obs.metrics import PeriodicDumper
+from . import QueryOptions, resolve_query_options
 from .engine import SearchEngine, SearchResponse
-from .resilience import ServiceError
+from .protocol import (
+    classify_exception,
+    format_error_line,
+    parse_option_tokens,
+)
 
 __all__ = ["QueryRequest", "SearchServer"]
 
 
-def _one_line(message: object) -> str:
-    """Collapse an error message onto one protocol line."""
-    return " ".join(str(message).split()) or "unspecified error"
-
-
-@dataclass(frozen=True)
 class QueryRequest:
-    """One search request as the queue front-end carries it."""
+    """One search request as the queue front-end carries it.
 
-    query: str
-    top: int = 10
-    min_score: int = 1
-    retrieve: int = 0
+    The request is ``query`` plus a :class:`~repro.service.QueryOptions`;
+    the old ``top=``/``min_score=``/``retrieve=`` keywords still
+    construct one (with a :class:`DeprecationWarning`), and read-only
+    properties keep the old attribute access working.  Construction
+    never validates — a bad request must reach the engine and come
+    back as a structured rejection, not explode in the producer.
+    """
+
+    __slots__ = ("query", "options")
+
+    def __init__(
+        self,
+        query: str,
+        options: QueryOptions | None = None,
+        *,
+        top: int | None = None,
+        min_score: int | None = None,
+        retrieve: int | None = None,
+    ) -> None:
+        self.query = query
+        self.options = resolve_query_options(
+            options, top=top, min_score=min_score, retrieve=retrieve
+        )
+
+    @property
+    def top(self) -> int:
+        return self.options.top
+
+    @property
+    def min_score(self) -> int:
+        return self.options.min_score
+
+    @property
+    def retrieve(self) -> int:
+        return self.options.retrieve
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, QueryRequest)
+            and self.query == other.query
+            and self.options == other.options
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.query, self.options))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"QueryRequest({self.query!r}, {self.options!r})"
 
 
 class SearchServer:
@@ -77,38 +119,37 @@ class SearchServer:
     def __init__(
         self,
         engine: SearchEngine,
-        top: int = 10,
-        min_score: int = 1,
-        retrieve: int = 0,
+        defaults: QueryOptions | None = None,
+        *,
+        top: int | None = None,
+        min_score: int | None = None,
+        retrieve: int | None = None,
         dumper: PeriodicDumper | None = None,
     ) -> None:
         self.engine = engine
         self.obs = engine.obs
-        self.defaults = QueryRequest("", top=top, min_score=min_score, retrieve=retrieve)
+        self.defaults = resolve_query_options(
+            defaults, top=top, min_score=min_score, retrieve=retrieve
+        )
         self.dumper = dumper
         self.served = 0
 
     # ------------------------------------------------------------------
     # Text front-end
     # ------------------------------------------------------------------
-    def _parse_options(self, tokens: list[str]) -> dict[str, int]:
-        options: dict[str, int] = {}
-        for token in tokens:
-            if "=" not in token:
-                raise ValueError(f"malformed option {token!r} (expected key=value)")
-            key, _, value = token.partition("=")
-            key = key.replace("-", "_")
-            if key not in ("top", "min_score", "retrieve", "metrics"):
-                raise ValueError(f"unknown option {key!r}")
-            options[key] = int(value)
-        return options
-
     def handle_line(self, line: str) -> str | None:
         """One request line -> response text (``None`` means shut down).
 
-        Never raises: every failure renders as a one-line
-        ``error <taxonomy-code> <message>`` response so a single bad
-        request (or a failing backend) cannot tear down the loop.
+        A pure adapter over :mod:`repro.service.protocol`: option
+        parsing (:func:`~repro.service.protocol.parse_option_tokens`)
+        and failure formatting
+        (:func:`~repro.service.protocol.classify_exception` +
+        :func:`~repro.service.protocol.format_error_line`) are the
+        exact helpers the TCP front-end uses, so validation and error
+        lines cannot drift between the two.  Never raises: every
+        failure renders as one ``error <taxonomy-code> <message>``
+        line so a single bad request (or a failing backend) cannot
+        tear down the loop.
         """
         tokens = line.strip().split()
         if not tokens or tokens[0].startswith("#"):
@@ -129,25 +170,20 @@ class SearchServer:
             if verb == "scan":
                 if len(tokens) < 2:
                     raise ValueError("scan needs a query sequence")
-                options = self._parse_options(tokens[2:])
+                options = parse_option_tokens(tokens[2:])
                 with_metrics = bool(options.pop("metrics", 0))
                 request = QueryRequest(
-                    query=tokens[1],
-                    top=options.get("top", self.defaults.top),
-                    min_score=options.get("min_score", self.defaults.min_score),
-                    retrieve=options.get("retrieve", self.defaults.retrieve),
+                    query=tokens[1], options=self.defaults.replace(**options)
                 )
                 response = self.submit(request)
-                return response.render(max_rows=request.top, with_metrics=with_metrics)
+                return response.render(
+                    max_rows=request.options.top, with_metrics=with_metrics
+                )
             raise ValueError(
                 f"unknown verb {verb!r} (use scan / stats / metrics / trace / quit)"
             )
-        except ServiceError as exc:
-            return f"error {exc.code} {_one_line(exc)}"
-        except (ValueError, TypeError) as exc:
-            return f"error bad-request {_one_line(exc)}"
         except Exception as exc:  # noqa: BLE001 - the loop must survive anything
-            return f"error internal {type(exc).__name__}: {_one_line(exc)}"
+            return format_error_line(*classify_exception(exc))
 
     def _metrics_lines(self) -> list[str]:
         """Counter/gauge/histogram summary lines for the ``stats`` verb."""
@@ -194,7 +230,7 @@ class SearchServer:
             try:
                 response = self.handle_line(line)
             except Exception as exc:  # noqa: BLE001 - keep serving, always
-                response = f"error internal {type(exc).__name__}: {_one_line(exc)}"
+                response = format_error_line(*classify_exception(exc))
             if response is None:
                 break
             if response:
@@ -211,12 +247,7 @@ class SearchServer:
     # ------------------------------------------------------------------
     def submit(self, request: QueryRequest) -> SearchResponse:
         """Run one request through the engine."""
-        response = self.engine.search(
-            request.query,
-            top=request.top,
-            min_score=request.min_score,
-            retrieve=request.retrieve,
-        )
+        response = self.engine.search(request.query, request.options)
         self.served += 1
         return response
 

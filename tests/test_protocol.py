@@ -1,0 +1,375 @@
+"""Wire-protocol tests: framing round-trips, failure modes, shims.
+
+The frame protocol is the contract between server and client; these
+tests pin it three ways — property-based encode→decode identity,
+explicit clean failures for every way a byte stream can be broken, and
+the QueryOptions deprecation shim that keeps the old keyword API
+working while the dataclass becomes the one request vocabulary.
+"""
+
+import warnings
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.smith_waterman import LocalHit
+from repro.scan import ScanHit, ScanReport
+from repro.service import (
+    BadRequest,
+    Overloaded,
+    ProtocolError,
+    QueryOptions,
+    RequestTimeout,
+    ServiceError,
+    ShardFailure,
+)
+from repro.service import protocol
+from repro.service.engine import RequestMetrics, SearchResponse
+from repro.service.server import QueryRequest
+
+
+# ----------------------------------------------------------------------
+# Framing: encode -> decode identity
+# ----------------------------------------------------------------------
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**31), 2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=40),
+)
+json_objects = st.dictionaries(
+    st.text(min_size=1, max_size=12),
+    st.one_of(json_scalars, st.lists(json_scalars, max_size=4)),
+    max_size=8,
+)
+
+
+class TestFraming:
+    @settings(max_examples=60, deadline=None)
+    @given(obj=json_objects)
+    def test_frame_roundtrip_identity(self, obj):
+        assert protocol.decode_frame_bytes(protocol.encode_frame(obj)) == obj
+
+    @settings(max_examples=30, deadline=None)
+    @given(obj=json_objects, cut=st.integers(0, 3))
+    def test_truncated_header_raises(self, obj, cut):
+        data = protocol.encode_frame(obj)
+        with pytest.raises(ProtocolError, match="truncated frame header"):
+            protocol.decode_frame_bytes(data[:cut])
+
+    @settings(max_examples=30, deadline=None)
+    @given(obj=json_objects, drop=st.integers(1, 8))
+    def test_truncated_body_raises(self, obj, drop):
+        data = protocol.encode_frame(obj)
+        body_len = len(data) - protocol.HEADER.size
+        with pytest.raises(ProtocolError, match="truncated frame body"):
+            protocol.decode_frame_bytes(data[: protocol.HEADER.size + max(0, body_len - drop)])
+
+    def test_trailing_garbage_raises(self):
+        data = protocol.encode_frame({"v": 1}) + b"xx"
+        with pytest.raises(ProtocolError, match="trailing bytes"):
+            protocol.decode_frame_bytes(data)
+
+    def test_oversized_announcement_raises(self):
+        header = protocol.HEADER.pack(protocol.MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            protocol.frame_length(header)
+
+    def test_oversized_payload_refused_at_encode(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            protocol.encode_frame({"pad": "x" * (protocol.MAX_FRAME_BYTES + 1)})
+
+    def test_garbage_json_raises(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            protocol.decode_frame(b"{nope")
+
+    def test_non_object_body_raises(self):
+        with pytest.raises(ProtocolError, match="must be an object"):
+            protocol.decode_frame(b"[1,2,3]")
+
+
+# ----------------------------------------------------------------------
+# Hello / version negotiation
+# ----------------------------------------------------------------------
+class TestNegotiation:
+    def test_happy_path(self):
+        version = protocol.negotiate(protocol.hello_frame())
+        assert version == protocol.PROTOCOL_VERSION
+        assert protocol.check_hello_reply(protocol.hello_reply(version)) == version
+
+    def test_no_shared_version(self):
+        with pytest.raises(ProtocolError, match="no shared protocol version"):
+            protocol.negotiate({"v": 99, "type": "hello", "versions": [99]})
+
+    def test_malformed_versions(self):
+        with pytest.raises(ProtocolError, match="integer versions"):
+            protocol.negotiate({"v": 1, "type": "hello", "versions": "1"})
+
+    def test_client_rejects_bad_reply(self):
+        with pytest.raises(ProtocolError, match="expected hello"):
+            protocol.check_hello_reply({"v": 1, "type": "result"})
+        with pytest.raises(ProtocolError, match="unsupported version"):
+            protocol.check_hello_reply({"v": 1, "type": "hello", "version": 99})
+
+    def test_client_surfaces_error_reply(self):
+        frame = protocol.error_frame(None, "overloaded", "busy")
+        with pytest.raises(Overloaded, match="busy"):
+            protocol.check_hello_reply(frame)
+
+    def test_version_mismatch_on_request(self):
+        frame = protocol.search_request(1, "ACGT", QueryOptions())
+        frame["v"] = 2
+        with pytest.raises(ProtocolError, match="unsupported protocol version"):
+            protocol.parse_request(frame)
+
+
+# ----------------------------------------------------------------------
+# Requests and options
+# ----------------------------------------------------------------------
+class TestRequests:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        request_id=st.integers(0, 2**31),
+        query=st.text(alphabet="ACGT", min_size=1, max_size=60),
+        top=st.integers(-3, 40),
+        min_score=st.integers(-3, 40),
+        retrieve=st.integers(-3, 8),
+    )
+    def test_search_request_roundtrip(self, request_id, query, top, min_score, retrieve):
+        options = QueryOptions(top=top, min_score=min_score, retrieve=retrieve)
+        frame = protocol.search_request(request_id, query, options)
+        frame = protocol.decode_frame_bytes(protocol.encode_frame(frame))
+        parsed = protocol.parse_request(frame)
+        assert parsed.verb == "search"
+        assert parsed.request_id == request_id
+        assert parsed.query == query
+        assert protocol.options_from_wire(parsed.options) == options
+
+    def test_empty_query_is_bad_request(self):
+        frame = protocol.search_request(1, "ACGT", QueryOptions())
+        frame["query"] = ""
+        with pytest.raises(BadRequest):
+            protocol.parse_request(frame)
+
+    def test_unknown_verb_is_protocol_error(self):
+        frame = protocol.admin_request(1, "ping")
+        frame["verb"] = "drop"
+        with pytest.raises(ProtocolError, match="unknown verb"):
+            protocol.parse_request(frame)
+
+    def test_non_integer_id_is_protocol_error(self):
+        frame = protocol.search_request(1, "ACGT", QueryOptions())
+        for bad in ("7", None, True):
+            frame["id"] = bad
+            with pytest.raises(ProtocolError, match="request id"):
+                protocol.parse_request(frame)
+
+    def test_options_from_wire_rejects_unknown_and_non_int(self):
+        with pytest.raises(ValueError, match="unknown option"):
+            protocol.options_from_wire({"fanout": 3})
+        with pytest.raises(ValueError, match="must be an integer"):
+            protocol.options_from_wire({"top": "ten"})
+        with pytest.raises(ValueError, match="must be an integer"):
+            protocol.options_from_wire({"top": True})
+
+    def test_options_from_wire_layers_over_defaults(self):
+        defaults = QueryOptions(top=5, min_score=7, retrieve=1)
+        assert protocol.options_from_wire(None, defaults) == defaults
+        assert protocol.options_from_wire({"top": 2}, defaults) == QueryOptions(
+            top=2, min_score=7, retrieve=1
+        )
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+def make_response(query="ACGTACGT", degraded=False, with_alignment=False):
+    report = ScanReport(
+        query_length=len(query),
+        min_score=3,
+        records_scanned=5,
+        cells=1200,
+        sweep_seconds=0.01,
+        total_seconds=0.02,
+    )
+    hits = [
+        ScanHit(record="rec3", length=250, hit=LocalHit(45, 8, 137), evalue=1e-9),
+        ScanHit(record="rec1", length=200, hit=LocalHit(9, 3, 17)),
+    ]
+    if with_alignment:
+        hits[0] = ScanHit(
+            record="rec3",
+            length=250,
+            hit=LocalHit(45, 8, 137),
+            alignment=protocol.RemoteAlignment("ACGT\n||||\nACGT", 0.95),
+            evalue=1e-9,
+        )
+    report.hits.extend(hits)
+    metrics = RequestMetrics(
+        query_length=len(query),
+        records=5,
+        cells=1200,
+        sweep_seconds=0.01,
+        retrieval_seconds=0.004,
+        total_seconds=0.02,
+        workers=2,
+        shards=4,
+        cache_hit=False,
+    )
+    return SearchResponse(
+        query=query,
+        report=report,
+        metrics=metrics,
+        coverage=0.75 if degraded else 1.0,
+        degraded_shards=(2,) if degraded else (),
+    )
+
+
+class TestResponses:
+    @pytest.mark.parametrize("degraded", [False, True])
+    @pytest.mark.parametrize("with_alignment", [False, True])
+    def test_response_roundtrip(self, degraded, with_alignment):
+        response = make_response(degraded=degraded, with_alignment=with_alignment)
+        frame = protocol.decode_frame_bytes(
+            protocol.encode_frame(protocol.response_frame(7, response))
+        )
+        back = protocol.parse_response(frame)
+        assert back.query == response.query
+        assert back.coverage == response.coverage
+        assert back.degraded_shards == response.degraded_shards
+        assert [
+            (h.record, h.length, h.hit.as_tuple(), h.evalue) for h in back.report.hits
+        ] == [
+            (h.record, h.length, h.hit.as_tuple(), h.evalue)
+            for h in response.report.hits
+        ]
+        assert back.metrics == response.metrics
+        if with_alignment:
+            assert back.report.hits[0].alignment.pretty() == "ACGT\n||||\nACGT"
+            assert back.report.hits[0].alignment.identity() == 0.95
+        # The round-tripped response renders like a local one.
+        assert "rank" in back.render(max_rows=5)
+
+    def test_malformed_response_is_protocol_error(self):
+        frame = protocol.response_frame(7, make_response())
+        del frame["coverage"]
+        with pytest.raises(ProtocolError, match="malformed response"):
+            protocol.parse_response(frame)
+
+    def test_wrong_type_is_protocol_error(self):
+        with pytest.raises(ProtocolError, match="expected a response"):
+            protocol.parse_response({"v": 1, "type": "result"})
+
+
+# ----------------------------------------------------------------------
+# Errors and the taxonomy mapping
+# ----------------------------------------------------------------------
+class TestErrors:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        code=st.sampled_from(
+            ["bad-request", "overloaded", "timeout", "index-corrupt", "protocol",
+             "shard-failure", "internal"]
+        ),
+        message=st.text(min_size=1, max_size=60),
+    )
+    def test_error_frame_roundtrip_code(self, code, message):
+        frame = protocol.decode_frame_bytes(
+            protocol.encode_frame(protocol.error_frame(3, code, message))
+        )
+        error = protocol.error_for_code(frame["code"], frame["message"])
+        assert error.code == code
+        assert str(error) == protocol.one_line(message)
+
+    def test_remote_bad_request_is_value_error(self):
+        error = protocol.error_for_code("bad-request", "top must be positive")
+        assert isinstance(error, BadRequest)
+        assert isinstance(error, ValueError)
+        assert isinstance(error, ServiceError)
+
+    def test_classify_keeps_service_error_codes(self):
+        assert protocol.classify_exception(BadRequest("x"))[0] == "bad-request"
+        assert protocol.classify_exception(Overloaded("x"))[0] == "overloaded"
+        assert protocol.classify_exception(RequestTimeout("x"))[0] == "timeout"
+        assert protocol.classify_exception(ShardFailure(3, "boom"))[0] == "shard-failure"
+
+    def test_classify_maps_bad_input_and_unknown(self):
+        assert protocol.classify_exception(ValueError("nope"))[0] == "bad-request"
+        assert protocol.classify_exception(TypeError("nope"))[0] == "bad-request"
+        code, message = protocol.classify_exception(RuntimeError("boom"))
+        assert code == "internal" and "RuntimeError" in message
+
+    def test_format_error_line_single_line(self):
+        line = protocol.format_error_line("bad-request", "multi\nline  message")
+        assert line == "error bad-request multi line message"
+
+
+# ----------------------------------------------------------------------
+# Line-protocol option grammar (shared with handle_line)
+# ----------------------------------------------------------------------
+class TestOptionTokens:
+    def test_parses_known_keys(self):
+        assert protocol.parse_option_tokens(["top=5", "min-score=2", "retrieve=1"]) == {
+            "top": 5, "min_score": 2, "retrieve": 1,
+        }
+
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError, match="malformed option"):
+            protocol.parse_option_tokens(["top"])
+        with pytest.raises(ValueError, match="unknown option"):
+            protocol.parse_option_tokens(["fanout=2"])
+        with pytest.raises(ValueError, match="needs an integer"):
+            protocol.parse_option_tokens(["top=five"])
+
+
+# ----------------------------------------------------------------------
+# QueryOptions and the deprecation shim
+# ----------------------------------------------------------------------
+class TestQueryOptionsShim:
+    def test_validate_ranges(self):
+        QueryOptions().validate()
+        with pytest.raises(ValueError, match="top must be positive"):
+            QueryOptions(top=0).validate()
+        with pytest.raises(ValueError, match="retrieve cannot be negative"):
+            QueryOptions(retrieve=-1).validate()
+
+    def test_legacy_keywords_warn_and_match(self):
+        with pytest.warns(DeprecationWarning):
+            request = QueryRequest("ACGT", top=3, min_score=2)
+        assert request.options == QueryOptions(top=3, min_score=2)
+        assert (request.top, request.min_score, request.retrieve) == (3, 2, 0)
+
+    def test_new_style_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            request = QueryRequest("ACGT", QueryOptions(top=3))
+        assert request.options.top == 3
+
+    def test_mixing_styles_is_an_error(self):
+        with pytest.raises(TypeError, match="not both"):
+            QueryRequest("ACGT", QueryOptions(top=3), top=4)
+
+    def test_construction_never_validates(self):
+        # A bad request must reach the engine and come back structured.
+        assert QueryRequest("ACGT", QueryOptions(top=0)).options.top == 0
+
+    def test_engine_legacy_keywords_equal_options_path(self, tmp_path):
+        from repro.io.fasta import FastaRecord
+        from repro.io.generate import random_dna
+        from repro.service import DatabaseIndex, ResultCache, SearchEngine
+
+        records = [FastaRecord(f"r{i}", random_dna(120, seed=i)) for i in range(4)]
+        engine = SearchEngine(
+            DatabaseIndex.build(records, shard_bp=300), cache=ResultCache(0)
+        )
+        query = random_dna(30, seed=99)
+        new = engine.search(query, QueryOptions(top=3, min_score=2))
+        with pytest.warns(DeprecationWarning):
+            old = engine.search(query, top=3, min_score=2)
+        with pytest.warns(DeprecationWarning):
+            positional = engine.search(query, 3, min_score=2)
+        ranking = lambda r: [
+            (h.record, h.length, h.hit.as_tuple()) for h in r.report.hits
+        ]
+        assert ranking(old) == ranking(new) == ranking(positional)

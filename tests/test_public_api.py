@@ -32,6 +32,36 @@ def test_all_is_sorted_uniquely(package):
     assert len(set(module.__all__)) == len(module.__all__), f"{package}: duplicate exports"
 
 
+def test_service_stable_surface_pinned():
+    """``repro.service.__all__`` is the supported API — pin it exactly.
+
+    Growing this set is an API decision, not a side effect of adding a
+    submodule export; shrinking it is a breaking change.
+    """
+    import repro.service
+
+    assert repro.service.__all__ == [
+        "BadRequest",
+        "DatabaseIndex",
+        "IndexCorrupt",
+        "IndexFormatError",
+        "Overloaded",
+        "ProtocolError",
+        "QueryOptions",
+        "RequestTimeout",
+        "ResultCache",
+        "SearchClient",
+        "SearchEngine",
+        "ServiceError",
+        "ShardFailure",
+        "WorkerTimeout",
+    ]
+    # Internal machinery stays importable, just unpinned.
+    for name in ("SearchServer", "QueryRequest", "ShardWorkerPool", "FaultPlan",
+                 "RetryPolicy", "TcpSearchServer", "AsyncSearchClient"):
+        assert hasattr(repro.service, name), f"repro.service.{name} vanished"
+
+
 def test_top_level_quickstart_symbols():
     import repro
 
