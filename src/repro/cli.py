@@ -78,7 +78,7 @@ def _build_engine(args, obs=None):
     (serve) is a live observability bundle threaded through the index
     load, the pool, and the engine.
     """
-    from .service import ResultCache, SearchEngine, WorkerSpec
+    from .service import IndexManager, ResultCache, SearchEngine, WorkerSpec
 
     spec = (
         WorkerSpec("accelerator", elements=args.elements)
@@ -95,8 +95,15 @@ def _build_engine(args, obs=None):
         pool = SupervisedWorkerPool(
             workers=args.workers, spec=spec, policy=policy, task_timeout=timeout
         )
+    # The manager keeps a loader bound to the index path so hot reload
+    # (`reload` verb, --reload-signal) can re-read it under traffic.
+    indexes = IndexManager(
+        index=_load_index(args.database, obs=obs),
+        loader=lambda: _load_index(args.database, obs=obs),
+        obs=obs,
+    )
     return SearchEngine(
-        _load_index(args.database, obs=obs),
+        indexes,
         workers=args.workers,
         spec=spec,
         cache=ResultCache(0) if args.no_cache else None,
@@ -231,6 +238,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         help="TCP backpressure bound: reject search requests beyond this many in flight",
     )
+    p_serve.add_argument(
+        "--reload-signal",
+        choices=("hup", "usr1", "usr2"),
+        default=None,
+        help=(
+            "hot-reload the index from disk on this signal "
+            "(TCP mode; e.g. --reload-signal hup, then kill -HUP <pid>)"
+        ),
+    )
 
     p_query = sub.add_parser("query", help="query a running serve --tcp server")
     p_query.add_argument("address", help="server address as HOST:PORT")
@@ -241,6 +257,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--top", type=int, default=10)
     p_query.add_argument("--min-score", type=int, default=1)
     p_query.add_argument("--retrieve", type=int, default=0)
+    p_query.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=None,
+        help="end-to-end deadline budget in milliseconds (protocol v2)",
+    )
     p_query.add_argument(
         "--metrics", action="store_true", help="print per-request service metrics"
     )
@@ -399,7 +421,14 @@ def main(argv: list[str] | None = None) -> int:
             def _announce(srv):
                 print(f"listening on {srv.host}:{srv.port}", flush=True)
 
-            server.run_blocking(ready=_announce)
+            reload_signal = None
+            if args.reload_signal is not None:
+                import signal as signal_mod
+
+                reload_signal = getattr(
+                    signal_mod, f"SIG{args.reload_signal.upper()}"
+                )
+            server.run_blocking(ready=_announce, reload_signal=reload_signal)
             print(f"served {server.served} requests")
             return 0
         server = SearchServer(engine, defaults, dumper=dumper)
@@ -416,7 +445,10 @@ def main(argv: list[str] | None = None) -> int:
         client = SearchClient(
             args.address,
             defaults=QueryOptions(
-                top=args.top, min_score=args.min_score, retrieve=args.retrieve
+                top=args.top,
+                min_score=args.min_score,
+                retrieve=args.retrieve,
+                deadline_ms=args.deadline_ms,
             ),
             retry=RetryPolicy(retries=args.retries),
             timeout=args.timeout,

@@ -35,7 +35,16 @@ coordinates returned per record.  This package turns the one-shot
   graceful drain;
 * :mod:`~repro.service.client` — :class:`SearchClient` /
   :class:`AsyncSearchClient`, the SDK side of the wire protocol with
-  connection pooling and :class:`RetryPolicy`-driven retries.
+  connection pooling and :class:`RetryPolicy`-driven retries;
+* :mod:`~repro.service.guard` — cross-layer robustness:
+  :class:`CircuitBreaker` (per-endpoint fail-fast keyed on the error
+  taxonomy), :class:`HedgePolicy` (tail-latency duplicate requests),
+  :class:`IndexManager` (generational hot index reload under live
+  traffic), plus the :class:`Deadline`/:class:`DeadlineExceeded`
+  budget machinery threaded through every layer above;
+* :mod:`~repro.service.chaos` — deterministic chaos harness driving a
+  real TCP server through seeded fault schedules while asserting the
+  service's invariants.
 
 Stable public surface
 ---------------------
@@ -72,6 +81,16 @@ class QueryOptions:
     the engine's default for this request; it never crosses the wire —
     a remote server applies its own engine's statistics.
 
+    ``deadline_ms`` is the request's **end-to-end budget** in
+    milliseconds, relative to when the request enters each layer: the
+    client anchors it at send, the server re-anchors at receipt, and
+    every layer below (batcher, engine, worker pool) derives its
+    timeouts from the remaining budget.  ``None`` means no deadline; a
+    value ≤ 0 means "already expired" and surfaces as
+    :class:`~repro.service.resilience.DeadlineExceeded` rather than
+    ``bad-request`` — an exhausted budget is a timeout, wherever it is
+    discovered.
+
     Construction never raises so a request can be *carried* before it
     is *checked*; :meth:`validate` applies the range rules and is
     called by the engine on every request, which is what maps bad
@@ -82,6 +101,7 @@ class QueryOptions:
     min_score: int = 1
     retrieve: int = 0
     statistics: "ScoreStatistics | None" = None
+    deadline_ms: int | None = None
 
     def validate(self) -> "QueryOptions":
         """Range-check; returns self so calls chain."""
@@ -155,6 +175,8 @@ from .index import DatabaseIndex, IndexFormatError, Shard
 from .pool import ShardWorkerPool, WorkerSpec, merge_candidates
 from .resilience import (
     BadRequest,
+    Deadline,
+    DeadlineExceeded,
     Fault,
     FaultPlan,
     IndexCorrupt,
@@ -169,6 +191,7 @@ from .resilience import (
     corrupt_index_file,
     validate_sweep,
 )
+from .guard import CircuitBreaker, CircuitOpen, HedgePolicy, IndexManager
 from .protocol import PROTOCOL_VERSION, ProtocolError
 from .server import QueryRequest, SearchServer
 from .net import ServerConfig, TcpSearchServer
@@ -180,9 +203,15 @@ from .client import AsyncSearchClient, SearchClient
 #: injection) stays importable but unpinned.
 __all__ = [
     "BadRequest",
+    "CircuitBreaker",
+    "CircuitOpen",
     "DatabaseIndex",
+    "Deadline",
+    "DeadlineExceeded",
+    "HedgePolicy",
     "IndexCorrupt",
     "IndexFormatError",
+    "IndexManager",
     "Overloaded",
     "ProtocolError",
     "QueryOptions",

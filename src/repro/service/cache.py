@@ -47,13 +47,24 @@ def scheme_token(scheme: object) -> tuple[Hashable, ...]:
 
 @dataclass(frozen=True)
 class CacheKey:
-    """Everything the sweep ranking depends on."""
+    """Everything the sweep ranking depends on.
+
+    ``generation`` is the hot-reload generation number of the index
+    the sweep ran against (see
+    :class:`~repro.service.guard.IndexManager`).  The content hash in
+    ``index_version`` already separates *different* data; the
+    generation additionally separates two loads of byte-identical data
+    so that a reload always yields a fresh key space — a cached
+    response whose generation differs from the live one is unreachable
+    even before the reload's eviction pass runs.
+    """
 
     query: str
     scheme: tuple[Hashable, ...]
     index_version: str
     min_score: int
     top: int
+    generation: int = 0
 
 
 @dataclass(frozen=True)
@@ -141,6 +152,20 @@ class ResultCache:
     def clear(self) -> None:
         """Drop all entries (counters are kept — they describe traffic)."""
         self._entries.clear()
+
+    def evict_where(self, predicate) -> int:
+        """Drop every entry whose key satisfies ``predicate``.
+
+        Returns the number of entries evicted (counted as evictions —
+        they are capacity reclaimed, just not by LRU pressure).  Hot
+        index reload uses this to purge all prior-generation entries.
+        """
+        stale = [key for key in self._entries if predicate(key)]
+        for key in stale:
+            del self._entries[key]
+            self.evictions += 1
+            self._m_evictions.inc()
+        return len(stale)
 
     @property
     def stats(self) -> CacheStats:

@@ -1,0 +1,643 @@
+"""Deterministic chaos harness for the networked search service.
+
+Fault-tolerance code that is only exercised by the faults production
+happens to throw is untested code.  This module scripts the faults:
+a seeded :class:`ChaosSchedule` decides, per request, whether the
+*network* misbehaves (a frame delayed, severed mid-transmission, or
+corrupted in transit) or a *worker* does (a shard subprocess crashing
+or hanging, via the supervised pool's
+:class:`~repro.service.resilience.FaultPlan`), and when the index is
+hot-reloaded under the traffic.  :func:`run_chaos` drives the whole
+schedule against a **real** :class:`~repro.service.net.TcpSearchServer`
+on a real socket — no mocks between client and engine — and returns a
+:class:`ChaosReport` whose invariants the test suite asserts:
+
+* every request gets exactly one answer (the client's id matching
+  raises on any cross-talk, so a completed run *is* the proof);
+* every answer is bit-identical to the fault-free baseline — the
+  scheduled faults are all recoverable, so retries and supervision
+  must heal them without changing a single ranking;
+* the server drains cleanly afterwards, with zero requests in flight.
+
+Two runs with the same seed inject the same faults in the same order.
+Timing still varies, so the invariants are phrased over *outcomes*
+(which are deterministic), never over durations.
+
+Every injection and recovery lands in a :class:`ChaosEventLog`; when
+the ``REPRO_CHAOS_LOG`` environment variable names a path the log is
+dumped there as JSON, which is how CI archives the evidence when a
+chaos run fails.
+
+``python -m repro.service.chaos --seed 7`` runs the harness directly
+and exits nonzero on any invariant violation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from ..io.generate import mutate, random_dna
+from . import QueryOptions
+from .cache import ResultCache
+from .client import SearchClient, _Connection
+from .engine import SearchEngine, SearchResponse
+from .guard import IndexManager
+from .index import DatabaseIndex
+from .net import ServerConfig, ServerThread
+from .resilience import (
+    Fault,
+    FaultPlan,
+    RetryPolicy,
+    ServiceError,
+    SupervisedWorkerPool,
+)
+
+__all__ = [
+    "ChaosAction",
+    "ChaosConnectionFactory",
+    "ChaosEventLog",
+    "ChaosReport",
+    "ChaosSchedule",
+    "NET_FAULT_KINDS",
+    "POOL_FAULT_KINDS",
+    "CHAOS_LOG_ENV",
+    "build_workload",
+    "response_signature",
+    "run_chaos",
+    "run_reload_storm",
+    "storm_mismatches",
+]
+
+#: Environment variable naming where the event log is dumped as JSON.
+CHAOS_LOG_ENV = "REPRO_CHAOS_LOG"
+
+#: Client-side transport faults (applied by :class:`ChaosConnectionFactory`).
+NET_FAULT_KINDS = ("slow", "sever", "corrupt")
+
+#: Server-side worker faults (applied via the supervised pool's FaultPlan).
+POOL_FAULT_KINDS = ("crash", "hang")
+
+
+# ----------------------------------------------------------------------
+# Event log
+# ----------------------------------------------------------------------
+class ChaosEventLog:
+    """Append-only, thread-safe record of everything the harness did.
+
+    Events are plain dicts with a monotonically increasing ``seq`` —
+    the injection *order* is the reproducible part of a chaos run, so
+    the log captures it explicitly.  :meth:`dump` (and the
+    ``REPRO_CHAOS_LOG`` hook in :func:`run_chaos`) writes the whole
+    log as JSON for CI to archive.
+    """
+
+    def __init__(self) -> None:
+        self._events: list[dict] = []
+        self._lock = threading.Lock()
+
+    def record(self, kind: str, **details: object) -> None:
+        with self._lock:
+            self._events.append({"seq": len(self._events), "kind": kind, **details})
+
+    @property
+    def events(self) -> list[dict]:
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def dump(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.events, indent=2) + "\n")
+        return path
+
+    def dump_env(self, env_var: str = CHAOS_LOG_ENV) -> Path | None:
+        """Dump to the path named by ``env_var`` (no-op when unset)."""
+        target = os.environ.get(env_var)
+        if not target:
+            return None
+        return self.dump(target)
+
+
+# ----------------------------------------------------------------------
+# Schedule
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChaosAction:
+    """One scheduled fault: what goes wrong around one request.
+
+    ``kind`` is drawn from :data:`NET_FAULT_KINDS` (the client's next
+    frame is delayed/severed/corrupted) or :data:`POOL_FAULT_KINDS`
+    (one shard's worker crashes or hangs on its first attempt).  All
+    kinds are *recoverable*: client retries heal transport faults,
+    pool retries heal worker faults, so the chaos run's answers must
+    stay bit-identical to the fault-free baseline.
+    """
+
+    kind: str
+    shard_id: int = 0
+    seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in NET_FAULT_KINDS + POOL_FAULT_KINDS:
+            raise ValueError(f"unknown chaos action kind {self.kind!r}")
+
+
+class ChaosSchedule:
+    """A seeded, fully precomputed plan of per-request fault injections.
+
+    The schedule is derived from ``seed`` alone before any traffic
+    flows — chaos never consults the clock or live state to decide
+    what to break, which is what makes a failing run replayable.
+    ``actions`` maps request index → :class:`ChaosAction`;
+    ``reload_after`` holds the request indices after which a hot index
+    reload is triggered; ``failed_reload_after`` (at most one) marks
+    where a reload whose loader dies mid-load is attempted.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        requests: int,
+        fault_rate: float = 0.35,
+        shards: int = 4,
+        reloads: int = 2,
+        include_failed_reload: bool = True,
+    ) -> None:
+        if requests < 1:
+            raise ValueError(f"requests must be positive, got {requests}")
+        if not 0.0 <= fault_rate <= 1.0:
+            raise ValueError(f"fault_rate must be within [0, 1], got {fault_rate}")
+        self.seed = seed
+        self.requests = requests
+        rng = random.Random(f"chaos:{seed}")
+        kinds = NET_FAULT_KINDS + POOL_FAULT_KINDS
+        self.actions: dict[int, ChaosAction] = {}
+        for i in range(requests):
+            if rng.random() < fault_rate:
+                self.actions[i] = ChaosAction(
+                    kind=rng.choice(kinds),
+                    shard_id=rng.randrange(shards),
+                    seconds=0.02 + rng.random() * 0.05,
+                )
+        eligible = list(range(requests - 1))
+        rng.shuffle(eligible)
+        n_reloads = min(reloads, len(eligible))
+        self.reload_after = frozenset(eligible[:n_reloads])
+        self.failed_reload_after: int | None = None
+        if include_failed_reload and len(eligible) > n_reloads:
+            self.failed_reload_after = eligible[n_reloads]
+
+    def action_for(self, request_index: int) -> ChaosAction | None:
+        return self.actions.get(request_index)
+
+    def to_payload(self) -> dict:
+        """JSON-ready description (recorded at the head of the event log)."""
+        return {
+            "seed": self.seed,
+            "requests": self.requests,
+            "actions": {
+                str(i): {"kind": a.kind, "shard": a.shard_id, "seconds": a.seconds}
+                for i, a in sorted(self.actions.items())
+            },
+            "reload_after": sorted(self.reload_after),
+            "failed_reload_after": self.failed_reload_after,
+        }
+
+
+# ----------------------------------------------------------------------
+# Fault-injecting connections
+# ----------------------------------------------------------------------
+class _ChaosConnection(_Connection):
+    """A real client connection whose next request frame can misbehave."""
+
+    def __init__(
+        self, host: str, port: int, timeout: float | None, factory: "ChaosConnectionFactory"
+    ) -> None:
+        self._factory = factory
+        super().__init__(host, port, timeout)
+
+    def send(self, frame: dict) -> None:
+        from . import protocol
+
+        if frame.get("type") != "request":
+            super().send(frame)  # the hello handshake is never faulted
+            return
+        action = self._factory.take()
+        if action is None:
+            super().send(frame)
+            return
+        payload = protocol.encode_frame(frame)
+        if action.kind == "slow":
+            self._factory.log.record("net.slow", seconds=action.seconds)
+            time.sleep(action.seconds)
+            self.sock.sendall(payload)
+        elif action.kind == "sever":
+            # The classic torn write: length prefix out, payload lost.
+            # The server reads a broken stream; the client's next recv
+            # hits a dead socket and its retry machinery redials.
+            self._factory.log.record("net.sever", sent=protocol.HEADER.size)
+            self.sock.sendall(payload[: protocol.HEADER.size])
+            self.close()
+        elif action.kind == "corrupt":
+            # Flip the opening brace: the frame arrives complete but is
+            # garbage, the server answers a protocol error and closes,
+            # and the client retries on a fresh connection.
+            self._factory.log.record("net.corrupt", length=len(payload))
+            body = bytearray(payload)
+            body[protocol.HEADER.size] ^= 0xFF
+            self.sock.sendall(bytes(body))
+            self.close()
+        else:  # pragma: no cover - ChaosAction validates kinds
+            raise ValueError(f"unknown net fault {action.kind!r}")
+
+
+class ChaosConnectionFactory:
+    """``connection_factory`` for :class:`SearchClient` with an armable fault.
+
+    The driver arms at most one :class:`ChaosAction` before issuing a
+    request; the *next* request frame sent on any connection consumes
+    it.  Retries therefore run clean — one scheduled fault perturbs
+    exactly one transmission, which keeps the injection count equal to
+    the schedule and the run reproducible.
+    """
+
+    def __init__(self, log: ChaosEventLog) -> None:
+        self.log = log
+        self._armed: ChaosAction | None = None
+        self._lock = threading.Lock()
+        self.injected = 0
+
+    def arm(self, action: ChaosAction) -> None:
+        with self._lock:
+            self._armed = action
+
+    def take(self) -> ChaosAction | None:
+        with self._lock:
+            action, self._armed = self._armed, None
+            if action is not None:
+                self.injected += 1
+            return action
+
+    def __call__(self, host: str, port: int, timeout: float | None) -> _ChaosConnection:
+        return _ChaosConnection(host, port, timeout, factory=self)
+
+
+# ----------------------------------------------------------------------
+# Workload
+# ----------------------------------------------------------------------
+def build_workload(
+    seed: int = 0,
+    n_records: int = 12,
+    record_bp: int = 160,
+    shards: int = 4,
+    n_queries: int = 6,
+) -> tuple[list[str], DatabaseIndex, Callable[[], DatabaseIndex]]:
+    """A deterministic database + query set + rebuildable loader.
+
+    The loader rebuilds an index with *identical content* (same
+    records, same sharding — so the same content hash) from scratch;
+    reloading it swaps in a new generation whose answers are
+    bit-identical, which is exactly what the reload invariants need.
+    """
+    queries = [random_dna(48 + 4 * q, seed=7_000 + seed * 100 + q) for q in range(n_queries)]
+    records = []
+    for i in range(n_records):
+        sequence = random_dna(record_bp, seed=8_000 + seed * 100 + i)
+        planted = mutate(queries[i % n_queries], rate=0.05, seed=9_000 + i)
+        cut = record_bp // 3
+        records.append(
+            (f"rec{i}", sequence[:cut] + planted + sequence[cut + len(planted):])
+        )
+
+    def loader() -> DatabaseIndex:
+        return DatabaseIndex.build(records, shards=shards, source="chaos-workload")
+
+    return queries, loader(), loader
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+def response_signature(response: SearchResponse) -> tuple:
+    """The bit-identity fingerprint of one answer: ranking + coverage."""
+    return (
+        tuple(
+            (hit.record, hit.length, hit.hit.as_tuple())
+            for hit in response.report.hits
+        ),
+        response.coverage,
+        response.degraded_shards,
+    )
+
+
+@dataclass
+class ChaosReport:
+    """Everything a chaos run produced, for the tests to judge."""
+
+    schedule: ChaosSchedule
+    queries: list[str]
+    outcomes: list[SearchResponse | Exception]
+    baseline: list[SearchResponse]
+    log: ChaosEventLog
+    injected_net_faults: int
+    served: int
+    final_health: dict
+    final_generation: int
+    reloads_done: int
+    drained_inflight: int = 0
+    events_dumped_to: Path | None = None
+
+    @property
+    def failures(self) -> list[tuple[int, Exception]]:
+        """Requests that ended in an exception instead of an answer."""
+        return [
+            (i, outcome)
+            for i, outcome in enumerate(self.outcomes)
+            if isinstance(outcome, Exception)
+        ]
+
+    def mismatches(self) -> list[int]:
+        """Request indices whose answer differs from the baseline's."""
+        bad = []
+        for i, outcome in enumerate(self.outcomes):
+            if isinstance(outcome, Exception):
+                bad.append(i)
+                continue
+            expected = self.baseline[i % len(self.baseline)]
+            if response_signature(outcome) != response_signature(expected):
+                bad.append(i)
+        return bad
+
+    def summary(self) -> str:
+        return (
+            f"chaos seed={self.schedule.seed}: {len(self.outcomes)} requests, "
+            f"{len(self.schedule.actions)} scheduled faults "
+            f"({self.injected_net_faults} net), {self.reloads_done} reloads, "
+            f"{len(self.failures)} failures, {len(self.mismatches())} mismatches, "
+            f"served={self.served}, generation={self.final_generation}, "
+            f"inflight after drain={self.drained_inflight}"
+        )
+
+
+# ----------------------------------------------------------------------
+# The harness
+# ----------------------------------------------------------------------
+def run_chaos(
+    seed: int = 0,
+    requests: int = 24,
+    fault_rate: float = 0.35,
+    shards: int = 4,
+    reloads: int = 2,
+    log: ChaosEventLog | None = None,
+) -> ChaosReport:
+    """Drive one seeded chaos schedule against a real TCP server.
+
+    The driver is single-threaded and issues requests strictly in
+    order, so the mapping from schedule entry to injected fault is
+    exact.  Worker faults are armed by assigning the supervised pool's
+    ``fault_plan`` for just the one request (the driver blocks on the
+    response, so the assignment cannot leak onto a neighbour's sweep);
+    network faults are armed on the connection factory the same way.
+    """
+    log = log if log is not None else ChaosEventLog()
+    schedule = ChaosSchedule(
+        seed, requests, fault_rate=fault_rate, shards=shards, reloads=reloads
+    )
+    log.record("schedule", **schedule.to_payload())
+    queries, index, loader = build_workload(seed=seed, shards=shards)
+    options = QueryOptions(top=5, min_score=1)
+
+    # Fault-free baseline: the plain inline engine is the reference the
+    # chaos run's every answer must match bit for bit.
+    baseline_engine = SearchEngine(loader(), cache=ResultCache(0))
+    baseline = [baseline_engine.search(q, options) for q in queries]
+
+    pool = SupervisedWorkerPool(
+        workers=2,
+        policy=RetryPolicy(retries=2, base_delay=0.01, max_delay=0.05, seed=seed),
+        task_timeout=0.5,
+        quarantine_after=10_000,  # chaos faults are one-shot; never quarantine
+    )
+    manager = IndexManager(index=index, loader=loader)
+    engine = SearchEngine(manager, pool=pool, cache=ResultCache(0))
+    factory = ChaosConnectionFactory(log)
+    outcomes: list[SearchResponse | Exception] = []
+    reloads_done = 0
+
+    with ServerThread(engine, config=ServerConfig(batch_window=0.0)) as handle:
+        client = SearchClient(
+            handle.host,
+            handle.port,
+            retry=RetryPolicy(retries=3, base_delay=0.01, max_delay=0.05, seed=seed),
+            timeout=15.0,
+            connection_factory=factory,
+        )
+        try:
+            for i in range(requests):
+                query = queries[i % len(queries)]
+                action = schedule.action_for(i)
+                if action is not None:
+                    log.record(
+                        "inject",
+                        request=i,
+                        fault=action.kind,
+                        shard=action.shard_id,
+                    )
+                    if action.kind in NET_FAULT_KINDS:
+                        factory.arm(action)
+                    else:
+                        hang = 10.0 if action.kind == "hang" else 30.0
+                        pool.fault_plan = FaultPlan(
+                            [Fault(action.kind, action.shard_id, times=1, seconds=hang)]
+                        )
+                try:
+                    outcomes.append(client.search(query, options))
+                    log.record("answered", request=i)
+                except Exception as exc:  # noqa: BLE001 - judged by the report
+                    outcomes.append(exc)
+                    log.record("request-failed", request=i, error=str(exc))
+                finally:
+                    pool.fault_plan = None
+                if i == schedule.failed_reload_after:
+                    # A reload whose loader dies mid-load: the error
+                    # surfaces to the caller, the old generation keeps
+                    # serving, nothing else changes.
+                    def torn_loader() -> DatabaseIndex:
+                        raise RuntimeError("chaos: loader torn mid-reload")
+
+                    manager.loader = torn_loader
+                    try:
+                        client.reload()
+                        log.record("reload-failed-silently", request=i)
+                    except ServiceError as exc:
+                        log.record("reload-refused", request=i, error=str(exc))
+                    finally:
+                        manager.loader = loader
+                if i in schedule.reload_after:
+                    generation = client.reload()
+                    reloads_done += 1
+                    log.record("reload", request=i, generation=generation)
+            final_health = dict(client.health())
+        finally:
+            client.close()
+        served = handle.server.served
+    drained_inflight = handle.server._inflight
+    log.record(
+        "drained",
+        served=served,
+        inflight=drained_inflight,
+        generation=manager.generation,
+    )
+    report = ChaosReport(
+        schedule=schedule,
+        queries=queries,
+        outcomes=outcomes,
+        baseline=baseline,
+        log=log,
+        injected_net_faults=factory.injected,
+        served=served,
+        final_health=final_health,
+        final_generation=manager.generation,
+        reloads_done=reloads_done,
+        drained_inflight=drained_inflight,
+    )
+    report.events_dumped_to = log.dump_env()
+    return report
+
+
+def run_reload_storm(
+    seed: int = 0,
+    threads: int = 4,
+    requests_per_thread: int = 6,
+    reloads: int = 3,
+) -> ChaosReport:
+    """Hot-reload under genuinely concurrent load.
+
+    ``threads`` clients hammer the server while the main thread swaps
+    index generations between their requests.  Thread interleaving is
+    not deterministic — the *invariants* are: every request answers,
+    every answer matches the baseline (old and new generations have
+    identical content), and the final generation is ``1 + reloads``.
+    """
+    log = ChaosEventLog()
+    queries, index, loader = build_workload(seed=seed)
+    options = QueryOptions(top=5, min_score=1)
+    baseline_engine = SearchEngine(loader(), cache=ResultCache(0))
+    baseline = [baseline_engine.search(q, options) for q in queries]
+
+    manager = IndexManager(index=index, loader=loader)
+    engine = SearchEngine(manager, cache=ResultCache(128))
+    outcomes_by_thread: dict[int, list[SearchResponse | Exception]] = {}
+    reloads_done = 0
+
+    with ServerThread(engine) as handle:
+
+        def hammer(worker: int) -> None:
+            results: list[SearchResponse | Exception] = []
+            with SearchClient(handle.host, handle.port, timeout=15.0) as client:
+                for r in range(requests_per_thread):
+                    query = queries[(worker + r) % len(queries)]
+                    try:
+                        results.append(client.search(query, options))
+                    except Exception as exc:  # noqa: BLE001 - judged later
+                        results.append(exc)
+            outcomes_by_thread[worker] = results
+
+        workers = [
+            threading.Thread(target=hammer, args=(w,), daemon=True)
+            for w in range(threads)
+        ]
+        for thread in workers:
+            thread.start()
+        with SearchClient(handle.host, handle.port, timeout=15.0) as admin:
+            for _ in range(reloads):
+                time.sleep(0.02)
+                generation = admin.reload()
+                reloads_done += 1
+                log.record("reload", generation=generation)
+            for thread in workers:
+                thread.join(timeout=60)
+            final_health = dict(admin.health())
+        served = handle.server.served
+    # Outcomes keep thread-major order; signatures are order-insensitive
+    # because every outcome is judged against its own query's baseline.
+    outcomes: list[SearchResponse | Exception] = []
+    flat_queries: list[str] = []
+    for worker in range(threads):
+        for r, outcome in enumerate(outcomes_by_thread.get(worker, [])):
+            outcomes.append(outcome)
+            flat_queries.append(queries[(worker + r) % len(queries)])
+    schedule = ChaosSchedule(
+        seed, max(len(outcomes), 1), fault_rate=0.0, reloads=0,
+        include_failed_reload=False,
+    )
+    report = ChaosReport(
+        schedule=schedule,
+        queries=flat_queries,
+        outcomes=outcomes,
+        baseline=baseline,
+        log=log,
+        injected_net_faults=0,
+        served=served,
+        final_health=final_health,
+        final_generation=manager.generation,
+        reloads_done=reloads_done,
+        drained_inflight=handle.server._inflight,
+    )
+    report.events_dumped_to = log.dump_env()
+    return report
+
+
+def storm_mismatches(report: ChaosReport) -> list[int]:
+    """Reload-storm mismatches, judged per query (thread order is free)."""
+    by_query = {b.query: response_signature(b) for b in report.baseline}
+    bad = []
+    for i, outcome in enumerate(report.outcomes):
+        if isinstance(outcome, Exception):
+            bad.append(i)
+        elif response_signature(outcome) != by_query[outcome.query]:
+            bad.append(i)
+    return bad
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Direct entry point: run one chaos schedule and judge it."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--requests", type=int, default=24)
+    parser.add_argument("--fault-rate", type=float, default=0.35)
+    parser.add_argument("--log", help="dump the event log to this JSON path")
+    args = parser.parse_args(argv)
+    report = run_chaos(
+        seed=args.seed, requests=args.requests, fault_rate=args.fault_rate
+    )
+    if args.log:
+        report.events_dumped_to = report.log.dump(args.log)
+    print(report.summary())
+    if report.events_dumped_to is not None:
+        print(f"event log: {report.events_dumped_to}")
+    ok = (
+        not report.failures
+        and not report.mismatches()
+        and report.drained_inflight == 0
+        and report.served == len(report.outcomes)
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -29,11 +29,14 @@ from __future__ import annotations
 
 import asyncio
 import socket
+import threading
 import time
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
+from ..obs import NULL_OBS, Observability
 from . import QueryOptions, resolve_query_options
 from .engine import SearchResponse
+from .guard import CircuitBreaker, HedgePolicy
 from .resilience import Overloaded, RetryPolicy, ServiceError
 from . import protocol
 
@@ -57,13 +60,18 @@ def _split_address(host: str, port: int | None) -> tuple[str, int]:
 
 
 class _Connection:
-    """One blocking socket that has completed the hello handshake."""
+    """One blocking socket that has completed the hello handshake.
+
+    ``version`` is the protocol version the hello negotiated; frames
+    sent on this connection are encoded for it (a v1 server never sees
+    the v2-only ``deadline_ms`` key or verbs).
+    """
 
     def __init__(self, host: str, port: int, timeout: float | None) -> None:
         self.sock = socket.create_connection((host, port), timeout=timeout)
         try:
             self.send(protocol.hello_frame())
-            protocol.check_hello_reply(self.recv())
+            self.version = protocol.check_hello_reply(self.recv())
         except BaseException:
             self.close()
             raise
@@ -112,6 +120,26 @@ class SearchClient:
         closed on release).
     timeout:
         Socket timeout per blocking operation, seconds.
+    breaker:
+        Optional :class:`~repro.service.guard.CircuitBreaker`.  Every
+        network attempt asks the breaker for admission first: an open
+        circuit raises :class:`~repro.service.guard.CircuitOpen`
+        without touching the socket.  Failures are recorded per the
+        taxonomy (``bad-request`` answers are *successes* for breaker
+        purposes — they say nothing about endpoint health).
+    hedge:
+        Optional :class:`~repro.service.guard.HedgePolicy`.  When the
+        policy can name a delay, ``search()`` that has not answered
+        within it issues a duplicate request on a second connection
+        and the first answer wins.
+    obs:
+        Observability bundle; meters hedges and adopts the breaker
+        (when the breaker has no live bundle of its own).
+    connection_factory:
+        Hook replacing ``_Connection`` — how the chaos harness splices
+        fault-injecting sockets under a real client.  Must accept
+        ``(host, port, timeout)`` and expose ``send``/``recv``/
+        ``close`` plus a ``version`` attribute.
     """
 
     def __init__(
@@ -122,31 +150,54 @@ class SearchClient:
         retry: RetryPolicy | None = None,
         pool_size: int = 2,
         timeout: float | None = 30.0,
+        breaker: CircuitBreaker | None = None,
+        hedge: HedgePolicy | None = None,
+        obs: Observability | None = None,
+        connection_factory: Callable[..., _Connection] | None = None,
     ) -> None:
         self.host, self.port = _split_address(host, port)
         self.defaults = defaults if defaults is not None else QueryOptions()
         self.retry = retry if retry is not None else RetryPolicy(retries=2)
         self.pool_size = pool_size
         self.timeout = timeout
+        self.breaker = breaker
+        self.hedge = hedge
+        self.obs = obs if obs is not None else NULL_OBS
+        if breaker is not None and self.obs.enabled and not breaker.obs.enabled:
+            breaker.bind_obs(self.obs)
+        self._m_hedges = self.obs.registry.counter(
+            "client_hedges_total", "Hedged duplicate requests issued"
+        )
+        self._m_hedge_wins = self.obs.registry.counter(
+            "client_hedge_wins_total", "Hedged requests that answered first"
+        )
+        self._connect = (
+            connection_factory if connection_factory is not None else _Connection
+        )
         self._pool: list[_Connection] = []
+        self._lock = threading.Lock()
         self._next_id = 0
 
     # -- connection pool ------------------------------------------------
     def _acquire(self) -> _Connection:
-        if self._pool:
-            return self._pool.pop()
-        return _Connection(self.host, self.port, self.timeout)
+        with self._lock:
+            if self._pool:
+                return self._pool.pop()
+        return self._connect(self.host, self.port, self.timeout)
 
     def _release(self, conn: _Connection) -> None:
-        if len(self._pool) < self.pool_size:
-            self._pool.append(conn)
-        else:
-            conn.close()
+        with self._lock:
+            if len(self._pool) < self.pool_size:
+                self._pool.append(conn)
+                return
+        conn.close()
 
     def close(self) -> None:
         """Close every pooled connection."""
-        while self._pool:
-            self._pool.pop().close()
+        with self._lock:
+            pool, self._pool = self._pool, []
+        for conn in pool:
+            conn.close()
 
     def __enter__(self) -> "SearchClient":
         return self
@@ -155,29 +206,39 @@ class SearchClient:
         self.close()
 
     def _request_id(self) -> int:
-        self._next_id += 1
-        return self._next_id
+        with self._lock:
+            self._next_id += 1
+            return self._next_id
 
     # -- request plumbing -----------------------------------------------
-    def _roundtrip(self, frame: dict, token: str) -> dict:
+    def _roundtrip(self, build: Callable[[int], dict], token: str) -> dict:
         """Send one frame, read its reply; retry transport failures.
+
+        ``build`` maps the connection's negotiated protocol version to
+        the frame to send — the frame cannot be built earlier because
+        a v1 server must never see v2-only keys.
 
         A broken connection is discarded and a fresh one dialed on the
         next attempt; ``overloaded`` answers back off via the retry
-        policy's deterministic jittered delays.
+        policy's deterministic jittered delays.  The breaker (when
+        configured) gates every attempt and is fed every outcome.
         """
         last: BaseException | None = None
         for attempt in range(self.retry.retries + 1):
             if attempt:
                 time.sleep(self.retry.delay(attempt - 1, token))
+            if self.breaker is not None:
+                self.breaker.allow()
             conn: _Connection | None = None
             try:
                 conn = self._acquire()
-                conn.send(frame)
+                conn.send(build(conn.version))
                 reply = conn.recv()
             except _TRANSPORT_ERRORS as exc:
                 if conn is not None:
                     conn.close()
+                if self.breaker is not None:
+                    self.breaker.record_failure(exc)
                 last = exc
                 continue
             self._release(conn)
@@ -185,10 +246,14 @@ class SearchClient:
                 error = protocol.error_for_code(
                     reply.get("code", "internal"), reply.get("message", "")
                 )
+                if self.breaker is not None:
+                    self.breaker.record_failure(error)
                 if isinstance(error, Overloaded) and attempt < self.retry.retries:
                     last = error
                     continue
                 raise error
+            if self.breaker is not None:
+                self.breaker.record_success()
             return reply
         assert last is not None
         raise last
@@ -211,10 +276,74 @@ class SearchClient:
         resolved = resolve_query_options(
             options, self.defaults, top=top, min_score=min_score, retrieve=retrieve
         )
+        hedge_after = self.hedge.delay() if self.hedge is not None else None
+        if hedge_after is None:
+            return self._search_once(query, resolved)
+        return self._search_hedged(query, resolved, hedge_after)
+
+    def _search_once(self, query: str, resolved: QueryOptions) -> SearchResponse:
         request_id = self._request_id()
-        frame = protocol.search_request(request_id, query, resolved)
-        reply = self._roundtrip(frame, token=f"search-{request_id}")
+        t0 = time.monotonic()
+        reply = self._roundtrip(
+            lambda version: protocol.search_request(
+                request_id, query, resolved, version
+            ),
+            token=f"search-{request_id}",
+        )
+        if self.hedge is not None:
+            self.hedge.observe(time.monotonic() - t0)
         return self._parse_search_reply(reply, request_id)
+
+    def _search_hedged(
+        self, query: str, resolved: QueryOptions, delay: float
+    ) -> SearchResponse:
+        """Primary request, plus a duplicate if it is slow; first answer wins.
+
+        Both attempts run :meth:`_search_once` on their own pooled
+        connection (with their own request ids), so the loser's late
+        answer lands on its own socket and is simply discarded with
+        it.  If every attempt fails, the primary's error is raised.
+        """
+        done = threading.Event()
+        lock = threading.Lock()
+        state: dict = {"reply": None, "winner": None, "errors": [], "finished": 0}
+
+        def attempt(label: str) -> None:
+            try:
+                response = self._search_once(query, resolved)
+            except BaseException as exc:  # noqa: BLE001 - collected, re-raised
+                with lock:
+                    state["errors"].append(exc)
+                    state["finished"] += 1
+                done.set()
+                return
+            with lock:
+                if state["reply"] is None:
+                    state["reply"] = response
+                    state["winner"] = label
+                state["finished"] += 1
+            done.set()
+
+        threads = [threading.Thread(target=attempt, args=("primary",), daemon=True)]
+        threads[0].start()
+        if not done.wait(delay):
+            self._m_hedges.inc()
+            self.obs.log.debug("client.hedge", after=f"{delay:.4f}s")
+            hedge_thread = threading.Thread(
+                target=attempt, args=("hedge",), daemon=True
+            )
+            threads.append(hedge_thread)
+            hedge_thread.start()
+        while True:
+            done.wait()
+            with lock:
+                if state["reply"] is not None:
+                    if state["winner"] == "hedge":
+                        self._m_hedge_wins.inc()
+                    return state["reply"]
+                if state["finished"] >= len(threads):
+                    raise state["errors"][0]
+                done.clear()
 
     @staticmethod
     def _parse_search_reply(reply: dict, request_id: int) -> SearchResponse:
@@ -244,7 +373,9 @@ class SearchClient:
         conn = self._acquire()
         try:
             for request_id, query in zip(ids, queries):
-                conn.send(protocol.search_request(request_id, query, resolved))
+                conn.send(
+                    protocol.search_request(request_id, query, resolved, conn.version)
+                )
             by_id: dict[int, dict] = {}
             for _ in ids:
                 reply = conn.recv()
@@ -274,7 +405,8 @@ class SearchClient:
     def _admin(self, verb: str, arg: str | None = None) -> dict:
         request_id = self._request_id()
         reply = self._roundtrip(
-            protocol.admin_request(request_id, verb, arg), token=f"{verb}-{request_id}"
+            lambda version: protocol.admin_request(request_id, verb, arg, version),
+            token=f"{verb}-{request_id}",
         )
         if reply.get("type") != "result" or reply.get("id") != request_id:
             raise protocol.ProtocolError(
@@ -301,6 +433,14 @@ class SearchClient:
         """Round-trip liveness check."""
         return bool(self._admin("ping").get("pong"))
 
+    def health(self) -> Mapping[str, object]:
+        """The server's liveness/readiness snapshot (protocol v2+)."""
+        return self._admin("health")["health"]
+
+    def reload(self) -> int:
+        """Ask the server to hot-reload its index; returns the new generation."""
+        return int(self._admin("reload")["generation"])
+
 
 class AsyncSearchClient:
     """Asyncio client: one connection, id-matched pipelining.
@@ -326,9 +466,11 @@ class AsyncSearchClient:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         defaults: QueryOptions | None = None,
+        version: int = protocol.PROTOCOL_VERSION,
     ) -> None:
         self._reader = reader
         self._writer = writer
+        self.version = version
         self.defaults = defaults if defaults is not None else QueryOptions()
         self._pending: dict[int, asyncio.Future] = {}
         self._next_id = 0
@@ -348,8 +490,8 @@ class AsyncSearchClient:
         await writer.drain()
         header = await reader.readexactly(protocol.HEADER.size)
         body = await reader.readexactly(protocol.frame_length(header))
-        protocol.check_hello_reply(protocol.decode_frame(body))
-        return cls(reader, writer, defaults=defaults)
+        version = protocol.check_hello_reply(protocol.decode_frame(body))
+        return cls(reader, writer, defaults=defaults, version=version)
 
     async def _read_loop(self) -> None:
         try:
@@ -396,7 +538,8 @@ class AsyncSearchClient:
         self._next_id += 1
         request_id = self._next_id
         reply = await self._roundtrip(
-            protocol.search_request(request_id, query, resolved), request_id
+            protocol.search_request(request_id, query, resolved, self.version),
+            request_id,
         )
         return protocol.parse_response(reply)
 
@@ -404,7 +547,7 @@ class AsyncSearchClient:
         self._next_id += 1
         request_id = self._next_id
         reply = await self._roundtrip(
-            protocol.admin_request(request_id, verb, arg), request_id
+            protocol.admin_request(request_id, verb, arg, self.version), request_id
         )
         payload = reply.get("payload")
         if not isinstance(payload, dict):
@@ -416,6 +559,9 @@ class AsyncSearchClient:
 
     async def ping(self) -> bool:
         return bool((await self._admin("ping")).get("pong"))
+
+    async def health(self) -> Mapping[str, object]:
+        return (await self._admin("health"))["health"]
 
     async def close(self) -> None:
         """Cancel the reader, fail any pending requests, close the socket."""

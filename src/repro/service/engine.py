@@ -36,6 +36,7 @@ from ..obs import NULL_OBS, Observability
 from ..scan import ScanHit, ScanReport
 from . import QueryOptions, resolve_query_options
 from .cache import CacheKey, ResultCache, scheme_token
+from .guard import IndexManager
 from .index import DatabaseIndex
 from .pool import (
     Candidate,
@@ -45,7 +46,7 @@ from .pool import (
     merge_candidates,
     shard_task,
 )
-from .resilience import SupervisedWorkerPool, SweepOutcome
+from .resilience import Deadline, SupervisedWorkerPool, SweepOutcome
 
 __all__ = ["RequestMetrics", "SearchResponse", "SearchEngine"]
 
@@ -192,7 +193,7 @@ class SearchEngine:
 
     def __init__(
         self,
-        index: DatabaseIndex,
+        index: DatabaseIndex | IndexManager,
         scheme: LinearScoring | SubstitutionMatrix = DEFAULT_DNA,
         workers: int = 1,
         spec: WorkerSpec | None = None,
@@ -202,7 +203,14 @@ class SearchEngine:
         fallback_scan: bool = True,
         obs: Observability | None = None,
     ) -> None:
-        self.index = index
+        # Every engine holds its index through an IndexManager so hot
+        # reload is uniformly available; a bare DatabaseIndex is wrapped
+        # in a loaderless manager (swap() still works, reload() needs a
+        # loader).  ``self.index`` stays as the live-generation view for
+        # existing callers.
+        self.indexes = (
+            index if isinstance(index, IndexManager) else IndexManager(index=index)
+        )
         self.scheme = scheme
         if pool is not None:
             self.pool = pool
@@ -226,6 +234,9 @@ class SearchEngine:
             self.pool.bind_obs(self.obs)
         registry = self.obs.registry
         self.cache.bind(registry)
+        self.indexes.attach_cache(self.cache)
+        if self.obs.enabled and not self.indexes.obs.enabled:
+            self.indexes.bind_obs(self.obs)
         self._m_requests = registry.counter(
             "requests_total", "Search requests served by the engine"
         )
@@ -252,13 +263,21 @@ class SearchEngine:
         self._sweep_wall_total = 0.0
 
     # ------------------------------------------------------------------
-    def _key(self, query: str, min_score: int, top: int) -> CacheKey:
+    @property
+    def index(self) -> DatabaseIndex:
+        """The live-generation index (see :attr:`indexes` for reload)."""
+        return self.indexes.index
+
+    def _key(
+        self, query: str, min_score: int, top: int, index: DatabaseIndex, generation: int
+    ) -> CacheKey:
         return CacheKey(
             query=query,
             scheme=self._scheme_token,
-            index_version=self.index.version,
+            index_version=index.version,
             min_score=min_score,
             top=top,
+            generation=generation,
         )
 
     def _locate_for_retrieval(self):
@@ -267,27 +286,37 @@ class SearchEngine:
         return self._retrieve_locate
 
     # ------------------------------------------------------------------
-    def _sweep_inline(self, shards, queries, min_score: int, k: int):
+    def _sweep_inline(self, shards, queries, min_score: int, k: int, deadline=None):
         """Sweep ``shards`` in-process with the software kernel.
 
         This is the graceful-degradation path: no subprocesses, no
         fault injection, the same row sweep ``scan_database`` runs —
         the most trustworthy way to finish a sweep the pool could not.
+        The deadline (when set) is enforced at shard granularity.
         """
         spec = WorkerSpec("software")
-        return [
-            _sweep_shard(shard_task(shard, queries, self.scheme, spec, min_score, k))
-            for shard in shards
-        ]
+        sweeps = []
+        for shard in shards:
+            if deadline is not None:
+                deadline.check("inline sweep")
+            sweeps.append(
+                _sweep_shard(shard_task(shard, queries, self.scheme, spec, min_score, k))
+            )
+        return sweeps
 
-    def _run_sweep(self, queries, min_score: int, k: int):
+    def _run_sweep(self, index, queries, min_score: int, k: int, deadline=None):
         """One batch sweep with degradation handling.
 
         Returns ``(sweeps, degraded_ids)`` where ``degraded_ids`` are
         the shards excluded from this sweep (load-quarantined plus any
         the pool failed on that fallback did not heal).
+
+        :class:`~repro.service.resilience.DeadlineExceeded` raised by
+        the pool propagates untouched — the fallback path re-sweeps
+        in-process, which can only take *longer* than the budget that
+        just ran out.
         """
-        load_degraded = set(self.index.degraded)
+        load_degraded = set(index.degraded)
         if not self.pool.healthy and self.fallback_scan:
             # The pool proved itself unable to complete a sweep; stop
             # paying its overhead and keep serving in-process.
@@ -297,17 +326,19 @@ class SearchEngine:
             self.obs.log.warning(
                 "engine.fallback", reason="pool-unhealthy", queries=len(queries)
             )
-            sweeps = self._sweep_inline(self.index.active_shards, queries, min_score, k)
+            sweeps = self._sweep_inline(
+                index.active_shards, queries, min_score, k, deadline
+            )
             return sweeps, tuple(sorted(load_degraded))
         result = self.pool.sweep(
-            self.index, queries, self.scheme, min_score=min_score, k=k
+            index, queries, self.scheme, min_score=min_score, k=k, deadline=deadline
         )
         if not isinstance(result, SweepOutcome):
             return result, tuple(sorted(load_degraded))
         sweeps = list(result.sweeps)
         failed = dict(result.failed)
         if failed and self.fallback_scan:
-            healed = [s for s in self.index.active_shards if s.shard_id in failed]
+            healed = [s for s in index.active_shards if s.shard_id in failed]
             self.fallback_sweeps += 1
             self._m_fallbacks.inc()
             shard_ids = ",".join(str(s) for s in sorted(failed))
@@ -315,7 +346,7 @@ class SearchEngine:
             self.obs.log.warning(
                 "engine.fallback", reason="failed-shards", shards=shard_ids
             )
-            sweeps.extend(self._sweep_inline(healed, queries, min_score, k))
+            sweeps.extend(self._sweep_inline(healed, queries, min_score, k, deadline))
             failed.clear()
         return sweeps, tuple(sorted(load_degraded | set(failed)))
 
@@ -361,6 +392,7 @@ class SearchEngine:
         min_score: int | None = None,
         retrieve: int | None = None,
         statistics: ScoreStatistics | None = None,
+        deadline: Deadline | None = None,
     ) -> SearchResponse:
         """Rank the database against one query (see ``search_batch``).
 
@@ -376,7 +408,7 @@ class SearchEngine:
             retrieve=retrieve,
             statistics=statistics,
         )
-        return self.search_batch([query], resolved)[0]
+        return self.search_batch([query], resolved, deadline=deadline)[0]
 
     def search_batch(
         self,
@@ -387,6 +419,7 @@ class SearchEngine:
         min_score: int | None = None,
         retrieve: int | None = None,
         statistics: ScoreStatistics | None = None,
+        deadline: Deadline | None = None,
     ) -> list[SearchResponse]:
         """Rank the database against every query in one index pass.
 
@@ -397,8 +430,19 @@ class SearchEngine:
         query.
 
         ``options`` (a :class:`~repro.service.QueryOptions`) carries
-        ``top``/``min_score``/``retrieve``/``statistics``; the legacy
-        keywords still work but emit a :class:`DeprecationWarning`.
+        ``top``/``min_score``/``retrieve``/``statistics``/
+        ``deadline_ms``; the legacy keywords still work but emit a
+        :class:`DeprecationWarning`.
+
+        ``deadline`` is an already-anchored budget from an upstream
+        layer (the TCP server anchors at receipt); when absent and the
+        options carry ``deadline_ms``, the budget is anchored here.
+        The whole batch shares one deadline — batching groups requests
+        by identical options, so all members asked for the same budget.
+
+        The ``(index, generation)`` pair is snapshotted **once** here:
+        a hot reload mid-batch is invisible to this batch, which
+        finishes on the generation it admitted under.
         """
         resolved = resolve_query_options(
             options,
@@ -411,11 +455,18 @@ class SearchEngine:
         min_score = resolved.min_score
         retrieve = resolved.retrieve
         stats = resolved.statistics if resolved.statistics is not None else self.statistics
+        if deadline is None and resolved.deadline_ms is not None:
+            deadline = Deadline.after_ms(resolved.deadline_ms)
+        if deadline is not None:
+            deadline.check("engine admission")
+        index, generation = self.indexes.current()
         tracer = self.obs.tracer
         t_start = time.perf_counter()
         with tracer.span("engine.search", queries=len(queries)):
             normalized = [q.upper() for q in queries]
-            keys = [self._key(q, min_score, top) for q in normalized]
+            keys = [
+                self._key(q, min_score, top, index, generation) for q in normalized
+            ]
             cached: dict[CacheKey, _CachedSweep] = {}
             pending: list[str] = []
             pending_keys: list[CacheKey] = []
@@ -432,11 +483,13 @@ class SearchEngine:
 
             sweep_wall = 0.0
             worker_busy: tuple[tuple[str, float], ...] = ()
-            swept_bp = self.index.total_bp
+            swept_bp = index.total_bp
             if pending:
                 with tracer.span("pool.sweep", pending=len(pending)):
                     t0 = time.perf_counter()
-                    sweeps, degraded = self._run_sweep(pending, min_score, top)
+                    sweeps, degraded = self._run_sweep(
+                        index, pending, min_score, top, deadline
+                    )
                     sweep_wall = time.perf_counter() - t0
                     for sweep in sweeps:
                         tracer.add_span(
@@ -449,12 +502,12 @@ class SearchEngine:
                 self._observe_sweep(sweeps, sweep_wall, degraded)
                 excluded = set(degraded)
                 swept_records = sum(
-                    len(s) for s in self.index.shards if s.shard_id not in excluded
+                    len(s) for s in index.shards if s.shard_id not in excluded
                 )
                 swept_bp = sum(
-                    s.bp for s in self.index.shards if s.shard_id not in excluded
+                    s.bp for s in index.shards if s.shard_id not in excluded
                 )
-                total = self.index.record_count
+                total = index.record_count
                 coverage = swept_records / total if total else 1.0
                 merged = merge_candidates(sweeps, len(pending), top)
                 worker_busy = tuple(
@@ -490,10 +543,10 @@ class SearchEngine:
                     )
                     t_retrieve = time.perf_counter()
                     for rank, (score, gidx, i, j) in enumerate(entry.candidates):
-                        name, codes = self.index.record(gidx)
+                        name, codes = index.record(gidx)
                         alignment = None
                         if rank < retrieve:
-                            seq = self.index.sequence(gidx)
+                            seq = index.sequence(gidx)
                             alignment = local_align_linear(
                                 q, seq, self.scheme, self._locate_for_retrieval()
                             ).alignment
@@ -527,7 +580,7 @@ class SearchEngine:
                         retrieval_seconds=retrieval_seconds,
                         total_seconds=time.perf_counter() - t_start,
                         workers=self.pool.workers,
-                        shards=self.index.shard_count,
+                        shards=index.shard_count,
                         cache_hit=was_hit,
                         worker_busy=() if was_hit else worker_busy,
                         sweep_wall_seconds=0.0 if was_hit else sweep_wall,
@@ -547,10 +600,47 @@ class SearchEngine:
             return responses
 
     # ------------------------------------------------------------------
+    def reload_index(self) -> int:
+        """Hot-reload the index through the manager; returns the new generation.
+
+        Raises ``ValueError`` when the manager has no loader (the
+        engine was built around a bare in-memory index).
+        """
+        return self.indexes.reload()
+
+    def health(self) -> dict[str, object]:
+        """Liveness/readiness snapshot: pool, shards, index generation.
+
+        ``ready`` is the readiness signal: the engine can currently
+        produce full-coverage answers (pool healthy or fallback armed,
+        and no shards excluded).  ``healthy`` is the weaker liveness
+        signal: the engine can answer at all, possibly degraded.
+        """
+        index, generation = self.indexes.current()
+        quarantined = tuple(self.pool.quarantined)
+        excluded = sorted(set(index.degraded) | set(quarantined))
+        can_sweep = self.pool.healthy or self.fallback_scan
+        payload: dict[str, object] = {
+            "healthy": bool(can_sweep),
+            "ready": bool(can_sweep and not excluded),
+            "pool_healthy": self.pool.healthy,
+            "fallback_scan": self.fallback_scan,
+            "fallback_sweeps": self.fallback_sweeps,
+            "quarantined_shards": list(quarantined),
+            "degraded_shards": list(excluded),
+            "shards": index.shard_count,
+            "generation": generation,
+            "index_version": index.version[:12],
+            "reloads": self.indexes.reloads,
+            "requests": self.requests_served,
+        }
+        return payload
+
     def describe(self) -> dict[str, object]:
         """Engine + index + cache summary (the ``stats`` server verb)."""
         info = dict(self.index.describe())
         cache = self.cache.stats
+        info["generation"] = self.indexes.generation
         info.update(
             {
                 "workers": self.pool.workers,

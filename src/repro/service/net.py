@@ -47,7 +47,7 @@ from dataclasses import dataclass, field
 from ..obs import Observability
 from . import QueryOptions
 from .engine import SearchEngine
-from .resilience import Overloaded
+from .resilience import Deadline, DeadlineExceeded, Overloaded
 from . import protocol
 
 __all__ = ["ServerConfig", "TcpSearchServer", "ServerThread"]
@@ -86,13 +86,19 @@ class ServerConfig:
 
 @dataclass
 class _Pending:
-    """One accepted search request waiting for (or in) a sweep."""
+    """One accepted search request waiting for (or in) a sweep.
+
+    ``deadline`` is the request's end-to-end budget, anchored at
+    receipt (``deadline_ms`` re-anchors on the server clock — wall
+    clocks are not shared, remaining budgets are).
+    """
 
     request_id: int
     query: str
     options: QueryOptions
     writer: asyncio.StreamWriter
     received: float
+    deadline: Deadline | None = None
     done: bool = False
 
 
@@ -137,6 +143,7 @@ class TcpSearchServer:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._queue: asyncio.Queue[_Pending] | None = None
         self._writers: set[asyncio.StreamWriter] = set()
+        self._conn_versions: dict[asyncio.StreamWriter, int] = {}
         self._drained: asyncio.Event | None = None
         self._exec = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-net-dispatch"
@@ -223,7 +230,7 @@ class TcpSearchServer:
         self._exec.shutdown(wait=True)
         self.obs.log.info("net.stopped", served=self.served)
 
-    def run_blocking(self, ready=None) -> None:
+    def run_blocking(self, ready=None, reload_signal: int | None = None) -> None:
         """Start and serve until SIGINT/SIGTERM; then drain gracefully.
 
         Explicit loop signal handlers (not Python's default
@@ -234,6 +241,12 @@ class TcpSearchServer:
 
         ``ready`` (if given) is called with this server once the port
         is bound — the CLI uses it to announce the address.
+
+        ``reload_signal`` (e.g. ``signal.SIGHUP``) arms hot index
+        reload: on that signal the engine's index loader runs off the
+        event loop and the fresh generation swaps in under live
+        traffic.  A failed reload is logged and the old generation
+        keeps serving.
         """
 
         async def _main() -> None:
@@ -247,11 +260,25 @@ class TcpSearchServer:
                 if not stopping.done():
                     stopping.set_result(None)
 
+            def _reload_done(future) -> None:
+                exc = future.exception()
+                if exc is not None:
+                    self.obs.log.error("net.reload-failed", error=str(exc))
+
+            def _request_reload() -> None:
+                future = loop.run_in_executor(None, self.engine.reload_index)
+                future.add_done_callback(_reload_done)
+
             for sig in (signal.SIGINT, signal.SIGTERM):
                 try:
                     loop.add_signal_handler(sig, _request_stop)
                 except (NotImplementedError, RuntimeError):  # pragma: no cover
                     pass  # non-unix loop: fall back to KeyboardInterrupt
+            if reload_signal is not None:
+                try:
+                    loop.add_signal_handler(reload_signal, _request_reload)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass
             try:
                 await stopping
             except asyncio.CancelledError:
@@ -290,7 +317,11 @@ class TcpSearchServer:
                     rid = request_id if isinstance(request_id, int) else None
                     await self._send(
                         writer,
-                        protocol.error_frame(rid, *protocol.classify_exception(exc)),
+                        protocol.error_frame(
+                            rid,
+                            *protocol.classify_exception(exc),
+                            version=self._version_for(writer),
+                        ),
                     )
                     self._m_errors.inc()
         except protocol.ProtocolError as exc:
@@ -308,6 +339,7 @@ class TcpSearchServer:
             pass
         finally:
             self._writers.discard(writer)
+            self._conn_versions.pop(writer, None)
             self._connections -= 1
             self._g_connections.set(self._connections)
             writer.close()
@@ -350,21 +382,59 @@ class TcpSearchServer:
         await writer.drain()
         self._m_frames_out.inc()
 
+    def _version_for(self, writer: asyncio.StreamWriter) -> int:
+        """The protocol version negotiated (or implied) on this connection."""
+        return self._conn_versions.get(writer, protocol.PROTOCOL_VERSION)
+
     async def _handle_frame(self, frame: dict, writer: asyncio.StreamWriter) -> None:
         ftype = frame.get("type")
         if ftype == "hello":
             version = protocol.negotiate(frame)
+            self._conn_versions[writer] = version
             await self._send(writer, protocol.hello_reply(version))
             return
         request = protocol.parse_request(frame)
+        if writer not in self._conn_versions and frame.get("v") in (
+            protocol.SUPPORTED_VERSIONS
+        ):
+            # A hello-less client implicitly claims the version in "v";
+            # reply frames honour it for the rest of the connection.
+            self._conn_versions[writer] = frame["v"]
+        version = self._version_for(writer)
         if request.verb == "ping":
             await self._send(
-                writer, protocol.result_frame(request.request_id, {"pong": True})
+                writer,
+                protocol.result_frame(request.request_id, {"pong": True}, version),
+            )
+            return
+        if request.verb == "health":
+            await self._send(
+                writer,
+                protocol.result_frame(
+                    request.request_id, self._health_payload(), version
+                ),
+            )
+            return
+        if request.verb == "reload":
+            # Index loading is blocking file IO: run it off the event
+            # loop.  Traffic keeps flowing on the old generation until
+            # the fully-loaded new one swaps in.
+            assert self._loop is not None
+            generation = await self._loop.run_in_executor(
+                None, self.engine.reload_index
+            )
+            await self._send(
+                writer,
+                protocol.result_frame(
+                    request.request_id, {"generation": generation}, version
+                ),
             )
             return
         if request.verb in ("stats", "metrics", "trace"):
             payload = self._admin_payload(request.verb, request.arg)
-            await self._send(writer, protocol.result_frame(request.request_id, payload))
+            await self._send(
+                writer, protocol.result_frame(request.request_id, payload, version)
+            )
             return
         # verb == "search"
         if self._draining:
@@ -376,6 +446,17 @@ class TcpSearchServer:
                 f"{self.config.max_inflight}); retry later"
             )
         options = protocol.options_from_wire(request.options, self.defaults)
+        deadline = None
+        if options.deadline_ms is not None:
+            # Re-anchor the budget on the server's monotonic clock; a
+            # budget that is already gone is rejected at admission —
+            # sweeping for a caller that stopped waiting wastes the
+            # whole board.
+            deadline = Deadline.after_ms(options.deadline_ms)
+            if deadline.expired:
+                raise DeadlineExceeded(
+                    f"deadline_ms={options.deadline_ms} already expired at admission"
+                )
         assert self._queue is not None and self._loop is not None
         self._inflight += 1
         self._g_inflight.set(self._inflight)
@@ -387,8 +468,18 @@ class TcpSearchServer:
                 options=options,
                 writer=writer,
                 received=self._loop.time(),
+                deadline=deadline,
             )
         )
+
+    def _health_payload(self) -> dict:
+        """The ``health`` verb: engine readiness plus this front-end's state."""
+        health = dict(self.engine.health())
+        health["draining"] = self._draining
+        health["connections"] = self._connections
+        health["inflight"] = self._inflight
+        health["served"] = self.served
+        return {"health": health}
 
     def _admin_payload(self, verb: str, arg: str | None) -> dict:
         if verb == "stats":
@@ -440,8 +531,26 @@ class TcpSearchServer:
                         break
             self._m_batches.inc()
             self._m_batched.inc(len(batch))
-            groups: dict[QueryOptions, list[_Pending]] = {}
+            # Requests whose budget ran out while queued are answered
+            # now, not swept: the caller has already given up.
+            live: list[_Pending] = []
             for item in batch:
+                if item.deadline is not None and item.deadline.expired:
+                    await self._deliver(
+                        [item],
+                        [
+                            protocol.error_frame(
+                                item.request_id,
+                                DeadlineExceeded.code,
+                                "deadline expired while queued for dispatch",
+                                version=self._version_for(item.writer),
+                            )
+                        ],
+                    )
+                else:
+                    live.append(item)
+            groups: dict[QueryOptions, list[_Pending]] = {}
+            for item in live:
                 groups.setdefault(item.options, []).append(item)
             for options, items in groups.items():
                 future = self._loop.run_in_executor(
@@ -479,18 +588,32 @@ class TcpSearchServer:
             now = self._loop.time()
             oldest = max((now - item.received for item in items), default=0.0)
             tracer.add_span("net.recv", seconds=oldest, requests=len(items))
+            # Members of one group share a deadline_ms budget but were
+            # anchored at their own receipt instants; the group sweeps
+            # under the tightest one so no member overruns its budget.
+            deadline = None
+            anchored = [item.deadline for item in items if item.deadline is not None]
+            if anchored:
+                deadline = min(anchored, key=lambda d: d.expires_at)
             try:
                 responses = self.engine.search_batch(
-                    [item.query for item in items], options
+                    [item.query for item in items], options, deadline=deadline
                 )
                 frames = [
-                    protocol.response_frame(item.request_id, response)
+                    protocol.response_frame(
+                        item.request_id, response, self._version_for(item.writer)
+                    )
                     for item, response in zip(items, responses)
                 ]
             except Exception as exc:  # noqa: BLE001 - answer, never die
                 code, message = protocol.classify_exception(exc)
                 frames = [
-                    protocol.error_frame(item.request_id, code, message)
+                    protocol.error_frame(
+                        item.request_id,
+                        code,
+                        message,
+                        version=self._version_for(item.writer),
+                    )
                     for item in items
                 ]
                 self.obs.log.warning("net.batch-failed", code=code, error=message)

@@ -211,22 +211,39 @@ class ShardWorkerPool:
         scheme: LinearScoring | SubstitutionMatrix,
         min_score: int,
         k: int,
+        deadline=None,
     ) -> list[ShardSweep]:
         """Sweep every active shard for every query; per-shard results.
 
         Shards the index has quarantined at load time (see
         ``DatabaseIndex.load(..., on_corrupt="quarantine")``) are
         excluded here exactly as the supervised pool excludes them.
+
+        ``deadline`` (a :class:`~repro.service.resilience.Deadline`) is
+        enforced at shard granularity: checked before each inline shard
+        sweep, and once more after a parallel map — the plain pool has
+        no supervision to kill a worker mid-shard, so a deadline below
+        sweep time surfaces as soon as the kernel yields control.
         """
         tasks = [
             shard_task(shard, queries, scheme, self.spec, min_score, k)
             for shard in index.active_shards
         ]
         if self.workers == 1 or len(tasks) <= 1:
-            return [_sweep_shard(task) for task in tasks]
+            sweeps = []
+            for task in tasks:
+                if deadline is not None:
+                    deadline.check("shard sweep")
+                sweeps.append(_sweep_shard(task))
+            return sweeps
+        if deadline is not None:
+            deadline.check("batch sweep")
         n_procs = min(self.workers, len(tasks))
         with self._context().Pool(processes=n_procs) as pool:
-            return pool.map(_sweep_shard, tasks, chunksize=1)
+            sweeps = pool.map(_sweep_shard, tasks, chunksize=1)
+        if deadline is not None:
+            deadline.check("batch sweep")
+        return sweeps
 
     @staticmethod
     def busy_seconds(sweeps: Sequence[ShardSweep]) -> dict[str, float]:

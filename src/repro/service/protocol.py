@@ -33,6 +33,12 @@ Every frame object carries ``"v"`` (the protocol version) and
     {"v": 1, "type": "request", "id": 9, "verb": "metrics"}    # Prometheus text
     {"v": 1, "type": "request", "id": 10, "verb": "trace", "arg": "t000002"}
     {"v": 1, "type": "request", "id": 11, "verb": "ping"}
+    {"v": 2, "type": "request", "id": 12, "verb": "health"}    # v2 only
+    {"v": 2, "type": "request", "id": 13, "verb": "reload"}    # v2 only
+
+Protocol v2 additionally accepts ``"deadline_ms"`` inside a search
+request's ``options`` — the request's remaining end-to-end budget in
+milliseconds, re-anchored by the server at receipt.
 
 Server → client types::
 
@@ -73,6 +79,7 @@ from ..scan import ScanHit, ScanReport
 from .engine import RequestMetrics, SearchResponse
 from .resilience import (
     BadRequest,
+    DeadlineExceeded,
     IndexCorrupt,
     Overloaded,
     RequestTimeout,
@@ -112,8 +119,19 @@ __all__ = [
 ]
 
 #: Current protocol version and every version this build can serve.
-PROTOCOL_VERSION = 1
-SUPPORTED_VERSIONS = (1,)
+#:
+#: Version history:
+#:
+#: * **1** — initial frame protocol: ``search`` / ``stats`` /
+#:   ``metrics`` / ``trace`` / ``ping``, options ``top`` /
+#:   ``min_score`` / ``retrieve``.
+#: * **2** — robustness surface: ``deadline_ms`` request option
+#:   (end-to-end budget, re-anchored server-side at receipt), and the
+#:   ``health`` / ``reload`` admin verbs.  A v2 peer talking to a v1
+#:   peer silently drops the v2-only option and loses the v2 verbs —
+#:   negotiation, not failure.
+PROTOCOL_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Hard bound on one frame's JSON body; larger announcements are
 #: protocol violations (the paper's responses are "a few bytes" per
@@ -123,12 +141,17 @@ MAX_FRAME_BYTES = 8 * 1024 * 1024
 #: The length prefix: one big-endian unsigned 32-bit integer.
 HEADER = struct.Struct(">I")
 
-#: Request verbs the server understands.
-VERBS = ("search", "stats", "metrics", "trace", "ping")
+#: Request verbs the server understands, and the subset that requires
+#: a v2 connection (a v1 frame naming one is a protocol error, which
+#: is how an old server's behaviour is preserved exactly).
+VERBS = ("search", "stats", "metrics", "trace", "ping", "health", "reload")
+V2_VERBS = frozenset({"health", "reload"})
 
-#: Option keys accepted on the wire and by the line protocol
-#: (``metrics`` is line-protocol only: render metrics with the reply).
-WIRE_OPTION_KEYS = ("top", "min_score", "retrieve")
+#: Option keys accepted on the wire per protocol version, and by the
+#: line protocol (``metrics`` is line-protocol only: render metrics
+#: with the reply).
+WIRE_OPTION_KEYS_V1 = ("top", "min_score", "retrieve")
+WIRE_OPTION_KEYS = WIRE_OPTION_KEYS_V1 + ("deadline_ms",)
 LINE_OPTION_KEYS = WIRE_OPTION_KEYS + ("metrics",)
 
 
@@ -245,17 +268,22 @@ def check_hello_reply(frame: dict) -> int:
 # ----------------------------------------------------------------------
 # Requests
 # ----------------------------------------------------------------------
-def options_to_wire(options) -> dict:
+def options_to_wire(options, version: int = PROTOCOL_VERSION) -> dict:
     """The wire mapping for a :class:`~repro.service.QueryOptions`.
 
     ``statistics`` never crosses the wire — E-values are the server
-    engine's concern.
+    engine's concern.  ``deadline_ms`` is v2-only and omitted when
+    encoding for a v1 peer (an old server would reject the unknown
+    key; a client that negotiated down simply loses the deadline).
     """
-    return {
+    wire = {
         "top": options.top,
         "min_score": options.min_score,
         "retrieve": options.retrieve,
     }
+    if version >= 2 and getattr(options, "deadline_ms", None) is not None:
+        wire["deadline_ms"] = options.deadline_ms
+    return wire
 
 
 def options_from_wire(mapping, defaults=None):
@@ -283,23 +311,35 @@ def options_from_wire(mapping, defaults=None):
     return base.replace(**overrides) if overrides else base
 
 
-def search_request(request_id: int, query: str, options) -> dict:
-    """A ``search`` request frame."""
+def search_request(
+    request_id: int, query: str, options, version: int = PROTOCOL_VERSION
+) -> dict:
+    """A ``search`` request frame (encoded for ``version``)."""
     return {
-        "v": PROTOCOL_VERSION,
+        "v": version,
         "type": "request",
         "id": request_id,
         "verb": "search",
         "query": query,
-        "options": options_to_wire(options),
+        "options": options_to_wire(options, version),
     }
 
 
-def admin_request(request_id: int, verb: str, arg: str | None = None) -> dict:
-    """A ``stats`` / ``metrics`` / ``trace`` / ``ping`` request frame."""
+def admin_request(
+    request_id: int,
+    verb: str,
+    arg: str | None = None,
+    version: int = PROTOCOL_VERSION,
+) -> dict:
+    """A ``stats`` / ``metrics`` / ``trace`` / ``ping`` /
+    ``health`` / ``reload`` request frame."""
     if verb not in VERBS or verb == "search":
         raise ValueError(f"unknown admin verb {verb!r}")
-    frame = {"v": PROTOCOL_VERSION, "type": "request", "id": request_id, "verb": verb}
+    if verb in V2_VERBS and version < 2:
+        raise ValueError(
+            f"verb {verb!r} needs protocol v2+, connection negotiated v{version}"
+        )
+    frame = {"v": version, "type": "request", "id": request_id, "verb": verb}
     if arg is not None:
         frame["arg"] = arg
     return frame
@@ -329,6 +369,8 @@ def parse_request(frame: dict) -> ParsedRequest:
         raise ProtocolError(
             f"unknown verb {verb!r} (use one of {', '.join(VERBS)})"
         )
+    if verb in V2_VERBS and frame.get("v", PROTOCOL_VERSION) < 2:
+        raise ProtocolError(f"verb {verb!r} needs protocol v2+")
     query = frame.get("query")
     if verb == "search":
         if not isinstance(query, str) or not query:
@@ -399,12 +441,14 @@ def _hit_from_wire(wire: dict) -> ScanHit:
     )
 
 
-def response_frame(request_id: int, response: SearchResponse) -> dict:
+def response_frame(
+    request_id: int, response: SearchResponse, version: int = PROTOCOL_VERSION
+) -> dict:
     """Encode one :class:`SearchResponse` as a response frame."""
     report = response.report
     metrics = response.metrics
     return {
-        "v": PROTOCOL_VERSION,
+        "v": version,
         "type": "response",
         "id": request_id,
         "query": response.query,
@@ -466,10 +510,12 @@ def parse_response(frame: dict) -> SearchResponse:
         raise ProtocolError(f"malformed response frame: {exc!r}") from None
 
 
-def result_frame(request_id: int, payload: dict) -> dict:
+def result_frame(
+    request_id: int, payload: dict, version: int = PROTOCOL_VERSION
+) -> dict:
     """An admin-verb result (``stats`` dict, ``metrics`` text, ...)."""
     return {
-        "v": PROTOCOL_VERSION,
+        "v": version,
         "type": "result",
         "id": request_id,
         "payload": payload,
@@ -479,10 +525,12 @@ def result_frame(request_id: int, payload: dict) -> dict:
 # ----------------------------------------------------------------------
 # Errors
 # ----------------------------------------------------------------------
-def error_frame(request_id: int | None, code: str, message: str) -> dict:
+def error_frame(
+    request_id: int | None, code: str, message: str, version: int = PROTOCOL_VERSION
+) -> dict:
     """A structured error frame (``id`` may be None for framing errors)."""
     return {
-        "v": PROTOCOL_VERSION,
+        "v": version,
         "type": "error",
         "id": request_id,
         "code": code,
@@ -491,10 +539,14 @@ def error_frame(request_id: int | None, code: str, message: str) -> dict:
 
 
 #: Taxonomy classes a client can reconstruct from a bare message.
+#: ``deadline-exceeded`` maps to the real class so a budget that ran
+#: out server-side raises the *same* exception type a caller of the
+#: in-process engine sees.
 _SIMPLE_ERRORS = {
     BadRequest.code: BadRequest,
     Overloaded.code: Overloaded,
     RequestTimeout.code: RequestTimeout,
+    DeadlineExceeded.code: DeadlineExceeded,
     IndexCorrupt.code: IndexCorrupt,
     "protocol": ProtocolError,
 }

@@ -55,6 +55,8 @@ __all__ = [
     "BadRequest",
     "Overloaded",
     "RequestTimeout",
+    "DeadlineExceeded",
+    "Deadline",
     "ShardFailure",
     "WorkerTimeout",
     "IndexCorrupt",
@@ -132,6 +134,66 @@ class IndexCorrupt(ServiceError):
     """Stored index content failed its content-hash validation."""
 
     code = "index-corrupt"
+
+
+class DeadlineExceeded(RequestTimeout):
+    """The request's end-to-end deadline budget ran out.
+
+    Subclasses :class:`RequestTimeout` so existing ``except
+    RequestTimeout`` handlers keep working, but carries its own wire
+    code — a deadline the *client* set expiring is a different signal
+    from the server's static per-request timeout, and circuit breakers
+    and dashboards want to tell them apart.  The same class (and the
+    same code) surfaces in-process from the engine, over the wire from
+    the TCP server, and client-side from an expired local budget.
+    """
+
+    code = "deadline-exceeded"
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute point on the monotonic clock a request must beat.
+
+    A deadline is *anchored once* — when the request is admitted — and
+    every layer downstream (engine, pool, per-attempt supervision)
+    derives its own timeout from :meth:`remaining` instead of carrying
+    a private static budget.  That is what makes worst-case latency
+    ``deadline`` rather than ``retries x timeout``: a retry only ever
+    gets what is left, never a fresh allowance.
+    """
+
+    expires_at: float
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now."""
+        return cls(time.monotonic() + seconds)
+
+    @classmethod
+    def after_ms(cls, milliseconds: float) -> "Deadline":
+        """A deadline ``milliseconds`` from now (the wire unit)."""
+        return cls.after(milliseconds / 1000.0)
+
+    def remaining(self) -> float:
+        """Seconds left; negative once expired."""
+        return self.expires_at - time.monotonic()
+
+    def remaining_ms(self) -> float:
+        """Milliseconds left — what a client forwards on the wire."""
+        return self.remaining() * 1000.0
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, where: str = "request") -> "Deadline":
+        """Raise :class:`DeadlineExceeded` if the budget is gone."""
+        if self.expired:
+            raise DeadlineExceeded(
+                f"deadline exceeded ({where}, {-self.remaining():.3f}s past budget)"
+            )
+        return self
 
 
 # ----------------------------------------------------------------------
@@ -538,8 +600,16 @@ class SupervisedWorkerPool:
         scheme: LinearScoring | SubstitutionMatrix,
         min_score: int,
         k: int,
+        deadline: Deadline | None = None,
     ) -> SweepOutcome:
-        """Sweep every non-quarantined shard under supervision."""
+        """Sweep every non-quarantined shard under supervision.
+
+        ``deadline``, when given, bounds the *whole* sweep: every
+        attempt's kill-timer is ``min(task_timeout, remaining budget)``
+        — a retry never gets a fresh static allowance — and once the
+        budget is gone the supervisor kills everything still running
+        and raises :class:`DeadlineExceeded` instead of limping on.
+        """
         queries = tuple(queries)
         outcome = SweepOutcome()
         runnable = []
@@ -556,12 +626,27 @@ class SupervisedWorkerPool:
         pending: list[tuple[object, int, float]] = [(s, 0, 0.0) for s in runnable]
         running: list[_Running] = []
         while pending or running:
+            if deadline is not None and deadline.expired:
+                self._abort_running(running)
+                self.sweeps_run += 1
+                self.attempts_total += outcome.attempts
+                self.retries_total += outcome.retries
+                self.timeouts_total += outcome.timeouts
+                self.worker_deaths_total += outcome.worker_deaths
+                self.obs.log.warning(
+                    "pool.deadline-exceeded",
+                    running=len(running),
+                    pending=len(pending),
+                )
+                deadline.check("pool sweep")
             now = time.monotonic()
             waiting = []
             for shard, attempt, ready_at in pending:
                 if len(running) < self.workers and ready_at <= now:
                     running.append(
-                        self._launch(ctx, shard, attempt, queries, scheme, min_score, k)
+                        self._launch(
+                            ctx, shard, attempt, queries, scheme, min_score, k, deadline
+                        )
                     )
                     outcome.attempts += 1
                     self._m_attempts.inc()
@@ -580,7 +665,7 @@ class SupervisedWorkerPool:
                 if kind == "ok":
                     outcome.sweeps.append(payload)
                     continue
-                self._record_failure(run, payload, pending, outcome)
+                self._record_failure(run, payload, pending, outcome, deadline)
             if not progressed and (running or pending):
                 time.sleep(self.poll_interval)
 
@@ -600,7 +685,33 @@ class SupervisedWorkerPool:
         return outcome
 
     # ------------------------------------------------------------------
-    def _launch(self, ctx, shard, attempt, queries, scheme, min_score, k) -> _Running:
+    def _abort_running(self, running: list["_Running"]) -> None:
+        """Kill every in-flight attempt (the sweep's budget is gone)."""
+        for run in running:
+            try:
+                run.process.kill()
+                run.process.join()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+            self._close(run)
+        running.clear()
+
+    def _attempt_timeout(self, deadline: Deadline | None) -> float:
+        """This attempt's kill-timer: static bound capped by the budget.
+
+        The pre-deadline behaviour gave every retry the full
+        ``task_timeout`` again (worst case ``retries x timeout``); with
+        a request deadline in hand each attempt only ever gets what is
+        left of the budget.
+        """
+        static = self.task_timeout if self.task_timeout is not None else math.inf
+        if deadline is None:
+            return static
+        return min(static, max(deadline.remaining(), 0.0))
+
+    def _launch(
+        self, ctx, shard, attempt, queries, scheme, min_score, k, deadline=None
+    ) -> _Running:
         fault = (
             self.fault_plan.fault_for(shard.shard_id, attempt)
             if self.fault_plan is not None
@@ -612,12 +723,9 @@ class SupervisedWorkerPool:
             target=_supervised_entry, args=(task, fault, result_queue), daemon=True
         )
         process.start()
-        deadline = (
-            time.monotonic() + self.task_timeout
-            if self.task_timeout is not None
-            else math.inf
-        )
-        return _Running(shard, attempt, process, result_queue, deadline)
+        limit = self._attempt_timeout(deadline)
+        kill_at = time.monotonic() + limit if math.isfinite(limit) else math.inf
+        return _Running(shard, attempt, process, result_queue, kill_at)
 
     def _poll(
         self, run: _Running, queries, min_score: int, k: int, outcome: SweepOutcome
@@ -688,12 +796,22 @@ class SupervisedWorkerPool:
         error: ServiceError,
         pending: list[tuple[object, int, float]],
         outcome: SweepOutcome,
+        deadline: Deadline | None = None,
     ) -> None:
         sid = run.shard.shard_id
         health = self.health.setdefault(sid, ShardHealth())
         health.failures += 1
         health.last_error = str(error)
-        if run.attempt < self.policy.retries:
+        retry_fits = True
+        if run.attempt < self.policy.retries and deadline is not None:
+            # A retry whose backoff alone outlives the budget can never
+            # complete; spend the remaining time on failing cleanly.
+            retry_fits = self.policy.delay(run.attempt, token=sid) < deadline.remaining()
+            if not retry_fits:
+                self.obs.log.warning(
+                    "pool.retry-skipped", shard=sid, reason="deadline budget exhausted"
+                )
+        if run.attempt < self.policy.retries and retry_fits:
             outcome.retries += 1
             self._m_retries.inc()
             delay = self.policy.delay(run.attempt, token=sid)

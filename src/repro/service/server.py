@@ -9,11 +9,12 @@ engine:
 * :meth:`SearchServer.serve` — a line protocol over text streams
   (stdin/stdout in ``repro serve``, ``io.StringIO`` in tests)::
 
-      scan ACGTACGT top=5 min_score=10 retrieve=1 metrics=1
+      scan ACGTACGT top=5 min_score=10 retrieve=1 deadline_ms=250 metrics=1
       stats
       metrics
       trace
       trace t000002
+      health
       quit
 
   ``stats`` is the engine/index/cache summary plus a metrics snapshot
@@ -167,6 +168,10 @@ class SearchServer:
                 return text.rstrip("\n") if text else "# no metrics registered"
             if verb == "trace":
                 return self._handle_trace(tokens[1:])
+            if verb == "health":
+                return "\n".join(
+                    f"{k}: {v}" for k, v in self.engine.health().items()
+                )
             if verb == "scan":
                 if len(tokens) < 2:
                     raise ValueError("scan needs a query sequence")
@@ -180,7 +185,8 @@ class SearchServer:
                     max_rows=request.options.top, with_metrics=with_metrics
                 )
             raise ValueError(
-                f"unknown verb {verb!r} (use scan / stats / metrics / trace / quit)"
+                f"unknown verb {verb!r} "
+                "(use scan / stats / metrics / trace / health / quit)"
             )
         except Exception as exc:  # noqa: BLE001 - the loop must survive anything
             return format_error_line(*classify_exception(exc))

@@ -188,7 +188,10 @@ class TestBackpressure:
             with socket.create_connection((handle.host, handle.port), timeout=10) as sock:
                 sock.sendall(protocol.encode_frame(protocol.hello_frame()))
                 replies = [_recv_frame(sock)]
-                assert protocol.check_hello_reply(replies.pop()) == 1
+                assert (
+                    protocol.check_hello_reply(replies.pop())
+                    == protocol.PROTOCOL_VERSION
+                )
                 for request_id in (1, 2, 3):
                     sock.sendall(
                         protocol.encode_frame(
@@ -256,6 +259,44 @@ class TestFaults:
                 assert "shard 0" in str(excinfo.value)
                 # Same connection, next sweep: the plan is exhausted.
                 assert client.search(query).report.hits
+
+    def test_connection_severed_mid_frame_raises_transport_error(self):
+        """A server that dies between a response's length prefix and its
+        payload must surface as a transport error — never a hang, never
+        a parse of the truncated bytes."""
+        ready = threading.Event()
+        addr = {}
+
+        def stub_server():
+            with socket.create_server(("127.0.0.1", 0)) as listener:
+                addr["port"] = listener.getsockname()[1]
+                ready.set()
+                conn, _ = listener.accept()
+                with conn:
+                    _recv_frame(conn)  # client hello
+                    conn.sendall(
+                        protocol.encode_frame(
+                            protocol.hello_reply(protocol.PROTOCOL_VERSION)
+                        )
+                    )
+                    _recv_frame(conn)  # the search request
+                    # Promise a 64-byte response, deliver 7 bytes, die.
+                    conn.sendall(protocol.HEADER.pack(64) + b'{"v": 2')
+
+        thread = threading.Thread(target=stub_server, daemon=True)
+        thread.start()
+        assert ready.wait(5)
+        with SearchClient(
+            "127.0.0.1",
+            addr["port"],
+            retry=RetryPolicy(retries=0),
+            timeout=5.0,
+        ) as client:
+            t0 = time.monotonic()
+            with pytest.raises(EOFError, match="of 64 bytes"):
+                client.search("ACGTACGT")
+            assert time.monotonic() - t0 < 5.0  # failed fast, no hang
+        thread.join(timeout=5)
 
     def test_broken_framing_answers_protocol_error(self, planted):
         _, _, index = planted

@@ -119,7 +119,7 @@ class TestNegotiation:
 
     def test_version_mismatch_on_request(self):
         frame = protocol.search_request(1, "ACGT", QueryOptions())
-        frame["v"] = 2
+        frame["v"] = max(protocol.SUPPORTED_VERSIONS) + 1
         with pytest.raises(ProtocolError, match="unsupported protocol version"):
             protocol.parse_request(frame)
 

@@ -42,9 +42,15 @@ def test_service_stable_surface_pinned():
 
     assert repro.service.__all__ == [
         "BadRequest",
+        "CircuitBreaker",
+        "CircuitOpen",
         "DatabaseIndex",
+        "Deadline",
+        "DeadlineExceeded",
+        "HedgePolicy",
         "IndexCorrupt",
         "IndexFormatError",
+        "IndexManager",
         "Overloaded",
         "ProtocolError",
         "QueryOptions",
