@@ -1,0 +1,212 @@
+"""Experiment CL1 — cluster scale-out: shard nodes vs one full-size node.
+
+The cluster tier's perf claim mirrors the paper's reason for using
+many small processing elements: partitioning the database across N
+shard nodes divides the per-query sweep N ways, so with enough
+parallel hardware the cluster answers ~N× faster than one node holding
+everything — at the price of a scatter-gather round per query.  This
+experiment measures that trade honestly: every node is a real ``repro
+serve`` **subprocess** (own interpreter, own GIL, own memory — the
+software stand-in for a physically separate FPGA), clients are real
+TCP clients through the real :class:`ClusterCoordinator`, and the
+1-node configuration pays the same coordinator overhead so the
+speedup isolates the partitioning itself.
+
+Workload: ``CLIENTS`` concurrent client threads, each with its own
+coordinator, issuing ``REQUESTS_PER_CLIENT`` queries against the same
+database served at 1, 2 and 4 nodes.  Every response must arrive with
+full coverage and zero degraded nodes — a dropped shard would make the
+"speedup" meaningless.
+
+Acceptance (full run, >= 4 cores only — a 1-core box serializes the
+node processes and measures scheduling, not scale-out): 4 nodes reach
+>= 1.5x the 1-node requests/s.  The measured ratio is always recorded
+in ``BENCH_cluster.json`` along with per-configuration latency
+percentiles and scale-out efficiency (speedup / nodes).
+
+``python benchmarks/bench_cluster.py --tiny`` runs a seconds-scale
+smoke of the same path (still real subprocesses) for CI.
+"""
+
+import os
+import threading
+import time
+
+from repro.analysis.report import render_table
+from repro.analysis.results import write_bench_json
+from repro.io.generate import random_dna
+from repro.service import DatabaseIndex, QueryOptions
+from repro.service.cluster import LocalCluster
+
+CLIENTS = 4
+REQUESTS_PER_CLIENT = int(os.environ.get("REPRO_CLUSTER_BENCH_REQUESTS", "6"))
+NODE_COUNTS = (1, 2, 4)
+QUERY_BP = 48
+OPTIONS = QueryOptions(top=5, min_score=1)
+
+QUERY_POOL = [random_dna(QUERY_BP, seed=300 + i) for i in range(6)]
+
+
+def _percentile(values, q):
+    ranked = sorted(values)
+    if not ranked:
+        return 0.0
+    rank = min(len(ranked) - 1, max(0, round(q * (len(ranked) - 1))))
+    return ranked[rank]
+
+
+def _build_workload(n_records=32, record_bp=6_000, label="cluster-bench"):
+    records = [
+        (f"rec{i}", random_dna(record_bp, seed=4_000 + i)) for i in range(n_records)
+    ]
+    return DatabaseIndex.build(records, source=label)
+
+
+def _client_worker(cluster, slot, requests, barrier, out):
+    with cluster.client() as client:
+        barrier.wait()
+        latencies = []
+        for i in range(requests):
+            query = QUERY_POOL[(slot + i) % len(QUERY_POOL)]
+            t0 = time.perf_counter()
+            response = client.search(query, OPTIONS)
+            latencies.append(time.perf_counter() - t0)
+            assert response.coverage == 1.0, "scale-out must not drop records"
+            assert response.degraded_shards == ()
+        out[slot] = latencies
+
+
+def _run_config(index, nodes, clients, requests_per_client, mode="process"):
+    """One node-count cell: spawn the cluster, hammer it, tear it down."""
+    with LocalCluster(
+        index, nodes=nodes, mode=mode, workers=1, batch_window=0.0
+    ) as cluster:
+        barrier = threading.Barrier(clients + 1)
+        out = [None] * clients
+        threads = [
+            threading.Thread(
+                target=_client_worker,
+                args=(cluster, slot, requests_per_client, barrier, out),
+            )
+            for slot in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        t0 = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - t0
+    assert all(latencies is not None for latencies in out), "a client thread died"
+    latencies = [lat for client_lats in out for lat in client_lats]
+    total = clients * requests_per_client
+    return {
+        "nodes": nodes,
+        "clients": clients,
+        "requests": total,
+        "wall_seconds": wall,
+        "requests_per_second": total / wall,
+        "latency_p50_s": _percentile(latencies, 0.50),
+        "latency_p99_s": _percentile(latencies, 0.99),
+    }
+
+
+def run_cl1(
+    index,
+    node_counts=NODE_COUNTS,
+    clients=CLIENTS,
+    requests_per_client=REQUESTS_PER_CLIENT,
+    mode="process",
+    assert_scaling=True,
+):
+    """The CL1 sweep; returns (table rows, json payload)."""
+    payload = {
+        "experiment": "CL1",
+        "db_bp": index.total_bp,
+        "records": index.record_count,
+        "query_bp": QUERY_BP,
+        "node_mode": mode,
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "cpu_count": os.cpu_count(),
+        "runs": {},
+    }
+    rows = []
+    base_rps = None
+    for nodes in node_counts:
+        run = _run_config(index, nodes, clients, requests_per_client, mode=mode)
+        if base_rps is None:
+            base_rps = run["requests_per_second"]
+        run["speedup_vs_1_node"] = run["requests_per_second"] / base_rps
+        run["scaleout_efficiency"] = run["speedup_vs_1_node"] / nodes
+        payload["runs"][f"n{nodes}"] = run
+        rows.append(
+            [
+                f"{nodes}",
+                f"{run['wall_seconds']:.2f}",
+                f"{run['requests_per_second']:.1f}",
+                f"{run['speedup_vs_1_node']:.2f}x",
+                f"{run['scaleout_efficiency'] * 100:.0f}%",
+                f"{run['latency_p50_s'] * 1e3:.0f}",
+                f"{run['latency_p99_s'] * 1e3:.0f}",
+            ]
+        )
+    top_nodes = max(node_counts)
+    speedup = payload["runs"][f"n{top_nodes}"]["speedup_vs_1_node"]
+    payload["headline_speedup"] = speedup
+    payload["headline_nodes"] = top_nodes
+    # The acceptance bar: partitioning must actually buy throughput.
+    # Meaningless on a box with fewer cores than nodes, where all the
+    # "separate" node processes time-share one CPU.
+    if assert_scaling and (os.cpu_count() or 1) >= top_nodes:
+        assert speedup >= 1.5, (
+            f"{top_nodes}-node cluster reached only {speedup:.2f}x the "
+            f"1-node throughput (need >= 1.5x)"
+        )
+    return rows, payload
+
+
+HEADERS = ["nodes", "seconds", "req/s", "speedup", "efficiency", "p50 ms", "p99 ms"]
+
+
+def main(argv=None):
+    """Direct entry point: ``--tiny`` for the CI smoke run."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="seconds-scale smoke workload (CI: exercises real node processes)",
+    )
+    args = parser.parse_args(argv)
+    if args.tiny:
+        index = _build_workload(n_records=8, record_bp=600, label="cluster-tiny")
+        rows, payload = run_cl1(
+            index,
+            node_counts=(1, 2),
+            clients=2,
+            requests_per_client=2,
+            assert_scaling=False,
+        )
+    else:
+        index = _build_workload()
+        rows, payload = run_cl1(index)
+    print(
+        render_table(
+            HEADERS,
+            rows,
+            title=(
+                f"CL1: {QUERY_BP} bp queries vs {index.total_bp / 1e6:.2f} MBP, "
+                f"{payload['clients']} clients, process-mode nodes"
+            ),
+        )
+    )
+    write_bench_json("cluster", payload)
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

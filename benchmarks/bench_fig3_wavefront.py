@@ -13,7 +13,7 @@ import pytest
 from repro.analysis.figures import figure3_wavefront
 from repro.analysis.report import render_table
 from repro.io.generate import mutated_pair
-from repro.parallel.cluster import ClusterConfig, WavefrontCluster
+from repro.parallel.wavefront_cluster import ClusterConfig, WavefrontCluster
 
 
 def test_fig3_regeneration(benchmark):

@@ -18,7 +18,7 @@ from repro.align.smith_waterman import sw_score
 from repro.analysis.figures import figure3_wavefront
 from repro.analysis.report import render_kv, render_table
 from repro.io.generate import mutated_pair
-from repro.parallel.cluster import ClusterConfig, WavefrontCluster
+from repro.parallel.wavefront_cluster import ClusterConfig, WavefrontCluster
 from repro.parallel.zalign import zalign
 
 

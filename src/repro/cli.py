@@ -20,6 +20,10 @@ Commands mirror the repository's main workflows:
                ``serve --metrics-file`` as aligned tables.
 ``batch``    — run a FASTA file of queries against the database in one
                batched index pass.
+``cluster``  — partition a database across N shard nodes, serve them
+               locally and scatter-gather queries with a merged global
+               ranking (``partition`` / ``serve`` / ``query`` /
+               ``health``).
 ``figures``  — regenerate any of the paper's figures as ASCII.
 ``design``   — print the Table-2 resource row and frequency for an
                array size.
@@ -34,6 +38,7 @@ Commands mirror the repository's main workflows:
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 
@@ -292,6 +297,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true", help="print per-request service metrics"
     )
 
+    p_cluster = sub.add_parser(
+        "cluster", help="partition, serve and query a multi-node search cluster"
+    )
+    csub = p_cluster.add_subparsers(dest="cluster_command", required=True)
+
+    c_part = csub.add_parser(
+        "partition", help="split a database into per-node sub-indexes + manifest"
+    )
+    c_part.add_argument("database", type=Path, help="FASTA file or saved index (.idx/.npz)")
+    c_part.add_argument("outdir", type=Path, help="directory for node indexes + manifest")
+    c_part.add_argument("--nodes", type=int, default=2, help="shard node count")
+    c_part.add_argument(
+        "--shard-bp", type=int, default=None, help="target encoded bp per node shard"
+    )
+
+    c_serve = csub.add_parser(
+        "serve", help="serve every node of a partitioned cluster locally"
+    )
+    c_serve.add_argument("manifest", type=Path, help="cluster.json from `cluster partition`")
+    c_serve.add_argument("--host", default="127.0.0.1")
+    c_serve.add_argument("--workers", type=int, default=1, help="sweep workers per node")
+    c_serve.add_argument(
+        "--batch-window", type=float, default=0.002, help="per-node micro-batch window"
+    )
+    c_serve.add_argument(
+        "--out", type=Path, default=None,
+        help="write the bound manifest here (default: update the manifest in place)",
+    )
+
+    c_query = csub.add_parser("query", help="scatter-gather query a running cluster")
+    c_query.add_argument(
+        "cluster",
+        help="cluster manifest path, or comma-separated node addresses host:port,...",
+    )
+    c_query.add_argument("query", type=_sequence_arg, help="sequence or @file.fasta")
+    c_query.add_argument("--top", type=int, default=10)
+    c_query.add_argument("--min-score", type=int, default=1)
+    c_query.add_argument("--retrieve", type=int, default=0)
+    c_query.add_argument(
+        "--deadline-ms", type=int, default=None, help="end-to-end budget in milliseconds"
+    )
+    c_query.add_argument(
+        "--metrics", action="store_true", help="print merged per-request metrics"
+    )
+    c_query.add_argument("--timeout", type=float, default=30.0)
+
+    c_health = csub.add_parser("health", help="per-node liveness of a running cluster")
+    c_health.add_argument(
+        "cluster",
+        help="cluster manifest path, or comma-separated node addresses host:port,...",
+    )
+    c_health.add_argument("--timeout", type=float, default=10.0)
+
     p_fig = sub.add_parser("figures", help="regenerate a paper figure")
     p_fig.add_argument("number", choices=sorted(_FIGURES), help="figure number")
 
@@ -319,6 +377,153 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_stats.add_argument("metrics_file", type=Path, help="JSON snapshot file")
     return parser
+
+
+def _cluster_client(args):
+    """A :class:`ClusterClient` from a manifest path or an address list."""
+    from .service.cluster import ClusterClient
+
+    target = args.cluster
+    if "," in target or (":" in target and not Path(target).exists()):
+        addresses = [address.strip() for address in target.split(",") if address.strip()]
+        return ClusterClient.from_addresses(addresses, timeout=args.timeout)
+    return ClusterClient.from_manifest(target, timeout=args.timeout)
+
+
+def _cmd_cluster(args) -> int:
+    """The ``repro cluster`` sub-commands: partition / serve / query / health."""
+    from .service import QueryOptions, ServiceError
+    from .service.protocol import classify_exception, format_error_line
+
+    if args.cluster_command == "partition":
+        from .service.cluster import partition_index
+        from .service.index import DEFAULT_SHARD_BP
+
+        index = _load_index(args.database)
+        topology, parts = partition_index(
+            index, args.nodes, shard_bp=args.shard_bp or DEFAULT_SHARD_BP
+        )
+        args.outdir.mkdir(parents=True, exist_ok=True)
+        bound_nodes = []
+        for spec, part in zip(topology.nodes, parts):
+            if spec.empty:
+                bound_nodes.append(spec)
+                print(f"node {spec.node_id}: empty span (more nodes than records)")
+                continue
+            index_path = args.outdir / f"node-{spec.node_id}.npz"
+            part.save(index_path)
+            bound_nodes.append(
+                dataclasses.replace(spec, index_path=str(index_path))
+            )
+            print(
+                f"node {spec.node_id}: records [{spec.start}, {spec.stop}) "
+                f"-> {index_path}"
+            )
+        topology = dataclasses.replace(topology, nodes=tuple(bound_nodes))
+        manifest_path = args.outdir / "cluster.json"
+        topology.save(manifest_path)
+        print(f"wrote {manifest_path}")
+        return 0
+
+    if args.cluster_command == "serve":
+        import signal as signal_mod
+        import threading
+
+        from .service import DatabaseIndex, SearchEngine
+        from .service.cluster import ClusterTopology
+        from .service.net import ServerConfig, ServerThread
+
+        topology = ClusterTopology.load(args.manifest)
+        servers: list[ServerThread] = []
+        addresses: list[str] = []
+        try:
+            for spec in topology.nodes:
+                if spec.empty:
+                    addresses.append("")
+                    continue
+                if not spec.index_path:
+                    print(
+                        f"error bad-request node {spec.node_id} has no index_path "
+                        "(re-run `repro cluster partition`)",
+                        file=sys.stderr,
+                    )
+                    return 1
+                engine = SearchEngine(
+                    DatabaseIndex.load(spec.index_path), workers=args.workers
+                )
+                server = ServerThread(
+                    engine,
+                    config=ServerConfig(
+                        host=args.host, port=0, batch_window=args.batch_window
+                    ),
+                )
+                server.start()
+                servers.append(server)
+                address = f"{server.host}:{server.port}"
+                addresses.append(address)
+                print(
+                    f"node {spec.node_id} listening on {address} "
+                    f"(records [{spec.start}, {spec.stop}))",
+                    flush=True,
+                )
+            bound = topology.with_addresses(addresses)
+            out_path = args.out if args.out is not None else args.manifest
+            bound.save(out_path)
+            print(f"cluster ready nodes={len(servers)} manifest={out_path}", flush=True)
+
+            stop = threading.Event()
+            for signum in (signal_mod.SIGINT, signal_mod.SIGTERM):
+                signal_mod.signal(signum, lambda *_: stop.set())
+            stop.wait()
+        finally:
+            for server in servers:
+                server.stop()
+        served = sum(server.server.served for server in servers)
+        print(f"cluster drained; served {served} requests")
+        return 0
+
+    try:
+        client = _cluster_client(args)
+    except (ServiceError, ConnectionError, OSError, EOFError, ValueError) as exc:
+        print(format_error_line(*classify_exception(exc)), file=sys.stderr)
+        return 1
+
+    if args.cluster_command == "health":
+        with client:
+            health = client.health()
+            print(f"{'healthy':>12} : {health['healthy']}")
+            print(f"{'ready':>12} : {health['ready']}")
+            print(f"{'nodes up':>12} : {health['nodes_up']}/{len(health['nodes'])}")
+            for node_id, node in sorted(health["nodes"].items(), key=lambda kv: int(kv[0])):
+                state = "up" if node["up"] else "DOWN"
+                print(
+                    f"{'node ' + node_id:>12} : {state} {node['address']} "
+                    f"({node['records']} records, breaker {node['breaker']})"
+                )
+            return 0 if health["ready"] else 1
+
+    # cluster query
+    try:
+        with client:
+            response = client.search(
+                args.query,
+                QueryOptions(
+                    top=args.top,
+                    min_score=args.min_score,
+                    retrieve=args.retrieve,
+                    deadline_ms=args.deadline_ms,
+                ),
+            )
+            print(response.render(max_rows=args.top, with_metrics=args.metrics))
+            for hit in response.report.hits:
+                if hit.alignment is not None:
+                    print()
+                    print(f">{hit.record}")
+                    print(hit.alignment.pretty())
+            return 0
+    except (ServiceError, ConnectionError, OSError, EOFError, ValueError) as exc:
+        print(format_error_line(*classify_exception(exc)), file=sys.stderr)
+        return 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -494,6 +699,9 @@ def main(argv: list[str] | None = None) -> int:
             print(response.render(max_rows=args.top, with_metrics=args.metrics))
             print()
         return 0
+
+    if args.command == "cluster":
+        return _cmd_cluster(args)
 
     if args.command == "figures":
         print(_FIGURES[args.number]())

@@ -1,7 +1,7 @@
 """Parallel wavefront substrate: figure 3 and the cluster algorithms
 the accelerator integrates with (section 2.4)."""
 
-from .cluster import ClusterConfig, ClusterRun, Message, WavefrontCluster, accelerated_config
+from .wavefront_cluster import ClusterConfig, ClusterRun, Message, WavefrontCluster, accelerated_config
 from .sharding import even_spans
 from .wavefront import BlockResult, WavefrontSchedule, block_sweep
 from .zalign import ZAlignResult, zalign

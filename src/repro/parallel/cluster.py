@@ -1,255 +1,43 @@
-"""Simulated message-passing cluster running the wavefront method.
+"""Deprecated shim: the wavefront simulation moved to
+:mod:`repro.parallel.wavefront_cluster`.
 
-The paper positions its accelerator as a drop-in for the
-compute-intensive phase of cluster algorithms ([3], [4], [6], [7]);
-this module supplies that cluster as a deterministic simulation in the
-mpi4py idiom: ranks, explicit sends of border state, and a virtual
-clock.
+Historically ``repro.parallel.cluster`` held the figure-3 simulated
+message-passing cluster.  The name now collides with the *service*
+cluster tier (:mod:`repro.service.cluster` — a real coordinator
+scatter-gathering over TCP shard nodes), so the simulation lives under
+the unambiguous name ``wavefront_cluster`` and this module only
+re-exports it with a :class:`DeprecationWarning`.
 
-Decomposition (figure 3): each of ``P`` workers owns a block of
-*columns*; the query rows are processed in row-blocks.  Worker ``p``
-can compute row-block ``r`` once worker ``p-1`` has sent the border
-column of ``(p-1, r)`` — the computation ripples as an anti-diagonal
-wave across the grid of tiles.
+Migration::
 
-The simulation produces two things:
+    from repro.parallel.cluster import WavefrontCluster       # old
+    from repro.parallel.wavefront_cluster import WavefrontCluster  # new
 
-* the **exact result** — the global best hit, bit-identical to the
-  sequential kernel (property-tested for every grid shape), assembled
-  from :func:`~repro.parallel.wavefront.block_sweep` tiles plus the
-  repo-wide tie-break applied to per-tile bests;
-* a **virtual-time model** — per-tile compute cost (cells / node
-  CUPS) and per-message cost (latency + border bytes / bandwidth)
-  rolled up through the dependency DAG to a makespan, from which
-  speedup and efficiency vs the one-node run follow (benchmark F3).
-
-Optionally, each worker can delegate its tile sweeps to a simulated
-:class:`~repro.core.accelerator.SWAccelerator` — the hardware/software
-integration the paper proposes ("can be integrated to a parallel
-algorithm, leading to a hardware-software approach").
+Looking for multi-node *database search*?  That is the new tier:
+:class:`repro.service.cluster.ClusterClient`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 
-import numpy as np
+from . import wavefront_cluster as _impl
 
-from ..align.scoring import DEFAULT_DNA, LinearScoring, SubstitutionMatrix, encode
-from ..align.smith_waterman import LocalHit
-from .sharding import even_spans
-from .wavefront import WavefrontSchedule, block_sweep
-
-__all__ = ["ClusterConfig", "Message", "ClusterRun", "WavefrontCluster", "accelerated_config"]
+__all__ = list(_impl.__all__)
 
 
-@dataclass(frozen=True)
-class ClusterConfig:
-    """Cost model of the simulated cluster.
-
-    ``node_cups`` — per-node software DP throughput (cells/second);
-    ``latency_s``/``bandwidth_bytes_s`` — the interconnect;
-    ``row_block`` — rows per tile (granularity of the pipeline).
-    """
-
-    processors: int = 4
-    node_cups: float = 5e6
-    latency_s: float = 50e-6
-    bandwidth_bytes_s: float = 100e6
-    row_block: int = 64
-    bytes_per_score: int = 4
-
-    def __post_init__(self) -> None:
-        if self.processors < 1:
-            raise ValueError("need at least one processor")
-        if self.node_cups <= 0 or self.bandwidth_bytes_s <= 0:
-            raise ValueError("throughputs must be positive")
-        if self.row_block < 1:
-            raise ValueError("row_block must be positive")
-
-    def compute_seconds(self, cells: int) -> float:
-        return cells / self.node_cups
-
-    def message_seconds(self, n_scores: int) -> float:
-        return self.latency_s + n_scores * self.bytes_per_score / self.bandwidth_bytes_s
-
-
-@dataclass(frozen=True)
-class Message:
-    """One border-column send between neighbouring ranks."""
-
-    src: int
-    dst: int
-    row_block: int
-    n_scores: int
-    send_time: float
-
-
-@dataclass
-class ClusterRun:
-    """Result + virtual-clock accounting of one cluster execution."""
-
-    hit: LocalHit
-    makespan_seconds: float
-    sequential_seconds: float
-    messages: list[Message] = field(default_factory=list)
-    tile_finish: dict[tuple[int, int], float] = field(default_factory=dict)
-
-    @property
-    def speedup(self) -> float:
-        return self.sequential_seconds / self.makespan_seconds if self.makespan_seconds else 0.0
-
-    @property
-    def bytes_communicated(self) -> int:
-        return sum(m.n_scores * 4 for m in self.messages)
-
-
-class WavefrontCluster:
-    """Deterministic simulation of the figure-3 cluster."""
-
-    def __init__(
-        self,
-        config: ClusterConfig | None = None,
-        scheme: LinearScoring | SubstitutionMatrix = DEFAULT_DNA,
-    ) -> None:
-        self.config = config if config is not None else ClusterConfig()
-        self.scheme = scheme
-
-    # ------------------------------------------------------------------
-    def _column_blocks(self, n: int) -> list[tuple[int, int]]:
-        """Split ``n`` database columns over the ranks (near-even)."""
-        return even_spans(n, self.config.processors)
-
-    def run(self, s: str, t: str) -> ClusterRun:
-        """Execute the wavefront computation of ``s`` vs ``t``.
-
-        Returns the global best hit (bit-identical to
-        :func:`repro.align.smith_waterman.sw_locate_best`) and the
-        virtual-time accounting.  Workers own column blocks of ``t``;
-        tiles are ``row_block`` rows tall.
-        """
-        cfg = self.config
-        s_codes = encode(s)
-        t_codes = encode(t)
-        m, n = len(s_codes), len(t_codes)
-        if m == 0 or n == 0:
-            return ClusterRun(LocalHit(0, 0, 0), 0.0, 0.0)
-        col_spans = self._column_blocks(n)
-        row_starts = list(range(0, m, cfg.row_block))
-        n_row_blocks = len(row_starts)
-
-        # Border state: for each rank, the column of scores it last
-        # received from the left (one entry per row of the current
-        # row-block) plus the diagonal corner value.
-        best = LocalHit(0, 0, 0)
-        messages: list[Message] = []
-        finish: dict[tuple[int, int], float] = {}
-        # bottom_rows[rank] = bottom boundary of this rank's columns
-        # from the previous row-block (width + corner semantics).
-        bottom_rows: list[np.ndarray] = [
-            np.zeros((hi - lo) + 1, dtype=np.int64) for lo, hi in col_spans
-        ]
-        # Virtual clocks.
-        rank_clock = [0.0] * cfg.processors
-        recv_ready: dict[tuple[int, int], float] = {}
-
-        for r, i0 in enumerate(row_starts):
-            i1 = min(i0 + cfg.row_block, m)
-            rows = s_codes[i0:i1]
-            h = len(rows)
-            # Matrix column 0 is all zeros in local alignment; this is
-            # rank 0's left boundary for every row-block.
-            left_col = np.zeros(h, dtype=np.int64)
-            for rank, (lo, hi) in enumerate(col_spans):
-                w = hi - lo
-                # Dependencies: own previous row-block (rank_clock),
-                # and the border-column message from the left.
-                ready = rank_clock[rank]
-                if rank > 0:
-                    ready = max(ready, recv_ready[(rank, r)])
-                prev_bottom = bottom_rows[rank]
-                result = block_sweep(
-                    rows,
-                    t_codes[lo:hi],
-                    top_row=prev_bottom[1:],
-                    left_col=left_col,
-                    corner=int(prev_bottom[0]),
-                    scheme=self.scheme,
-                )
-                done = ready + cfg.compute_seconds(h * w)
-                rank_clock[rank] = done
-                finish[(rank, r)] = done
-                # Fold tile best into the global best (absolute coords,
-                # repo-wide tie-break).
-                if result.best.score > 0:
-                    cand = LocalHit(
-                        result.best.score, i0 + result.best.i, lo + result.best.j
-                    )
-                    if (cand.score, -cand.i, -cand.j) > (best.score, -best.i, -best.j):
-                        best = cand
-                # block_sweep's bottom row already carries the corner
-                # (index 0 = this tile's bottom-left boundary value).
-                bottom_rows[rank] = result.bottom_row
-                # Send the border column to the right neighbour.
-                if rank + 1 < cfg.processors:
-                    recv_ready[(rank + 1, r)] = done + cfg.message_seconds(h)
-                    messages.append(
-                        Message(
-                            src=rank,
-                            dst=rank + 1,
-                            row_block=r,
-                            n_scores=h,
-                            send_time=done,
-                        )
-                    )
-                left_col = result.right_col
-
-        makespan = max(rank_clock)
-        sequential = cfg.compute_seconds(m * n)
-        run = ClusterRun(
-            hit=best,
-            makespan_seconds=makespan,
-            sequential_seconds=sequential,
-            messages=messages,
-            tile_finish=finish,
+def __getattr__(name: str):
+    if name in __all__:
+        warnings.warn(
+            "repro.parallel.cluster is deprecated: the wavefront simulation "
+            "moved to repro.parallel.wavefront_cluster (the service cluster "
+            "tier is repro.service.cluster)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        return run
-
-    # ------------------------------------------------------------------
-    def schedule(self, m: int, n: int) -> WavefrontSchedule:
-        """The analytic schedule of this decomposition."""
-        n_row_blocks = max(1, -(-m // self.config.row_block))
-        return WavefrontSchedule(
-            row_blocks=n_row_blocks, col_blocks=self.config.processors
-        )
+        return getattr(_impl, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-def accelerated_config(
-    accelerator,
-    processors: int = 4,
-    latency_s: float = 50e-6,
-    bandwidth_bytes_s: float = 100e6,
-    row_block: int = 64,
-) -> ClusterConfig:
-    """Cluster config whose nodes carry the simulated accelerator.
-
-    The hardware/software approach of section 1 ("FPGA based solutions
-    that can be integrated to a parallel algorithm"): each node's DP
-    throughput is the accelerator's modeled effective rate instead of
-    a CPU's.  The returned config plugs straight into
-    :class:`WavefrontCluster`/:func:`~repro.parallel.zalign.zalign`,
-    so the F3 benchmark can put numbers on the combination.
-    """
-    from ..core.timing import estimate_run
-
-    # Effective device throughput on a representative long stream.
-    timing = estimate_run(
-        accelerator.elements, 1_000_000, accelerator.elements, accelerator.clock
-    )
-    return ClusterConfig(
-        processors=processors,
-        node_cups=timing.cups,
-        latency_s=latency_s,
-        bandwidth_bytes_s=bandwidth_bytes_s,
-        row_block=row_block,
-    )
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -8,7 +8,7 @@ processor owns a block of *columns* and the computation ripples
 through block-rows as border columns are passed along.
 
 This module provides the two building blocks the cluster simulator
-(:mod:`repro.parallel.cluster`) composes:
+(:mod:`repro.parallel.wavefront_cluster`) composes:
 
 * :func:`block_sweep` — exact Smith-Waterman DP over one rectangular
   block given its top row and left column boundaries (the state a

@@ -9,7 +9,7 @@ FPGA performs.  We implement the four phases over the simulated
 cluster:
 
 1. **Distribute** — split the database columns over the nodes (the
-   column-block decomposition of :class:`~repro.parallel.cluster.WavefrontCluster`).
+   column-block decomposition of :class:`~repro.parallel.wavefront_cluster.WavefrontCluster`).
 2. **Locate over reverses** — every node participates in a wavefront
    sweep of the *reversed* sequences in linear space, producing the
    best score and the begin coordinates of the best alignment(s); the
@@ -37,7 +37,7 @@ from ..align.divergence import BandedResult, local_align_banded
 from ..align.scoring import DEFAULT_DNA, LinearScoring, SubstitutionMatrix
 from ..align.smith_waterman import LocalHit
 from ..align.traceback import Alignment
-from .cluster import ClusterConfig, ClusterRun, WavefrontCluster
+from .wavefront_cluster import ClusterConfig, ClusterRun, WavefrontCluster
 
 __all__ = ["ZAlignResult", "zalign"]
 

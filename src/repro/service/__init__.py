@@ -44,7 +44,15 @@ coordinates returned per record.  This package turns the one-shot
   budget machinery threaded through every layer above;
 * :mod:`~repro.service.chaos` — deterministic chaos harness driving a
   real TCP server through seeded fault schedules while asserting the
-  service's invariants.
+  service's invariants;
+* :mod:`~repro.service.cluster` — the distributed tier:
+  :func:`~repro.service.cluster.partition_index` splits an index into
+  contiguous per-node sub-indexes, a
+  :class:`~repro.service.cluster.ClusterCoordinator` scatter-gathers
+  each query over protocol v2 with per-node breakers, hedged replica
+  reads and group-min deadline propagation, and
+  :class:`ClusterClient` / :class:`LocalCluster` are the deployment
+  surfaces (``repro cluster`` on the CLI).
 
 Stable public surface
 ---------------------
@@ -196,6 +204,7 @@ from .protocol import PROTOCOL_VERSION, ProtocolError
 from .server import QueryRequest, SearchServer
 from .net import ServerConfig, TcpSearchServer
 from .client import AsyncSearchClient, SearchClient
+from .cluster import ClusterClient, ClusterTopology, LocalCluster, partition_index
 
 #: The stable, supported surface of ``repro.service``: the engine, the
 #: client SDK, the unified request options, the index, the cache, and
@@ -205,6 +214,8 @@ __all__ = [
     "BadRequest",
     "CircuitBreaker",
     "CircuitOpen",
+    "ClusterClient",
+    "ClusterTopology",
     "DatabaseIndex",
     "Deadline",
     "DeadlineExceeded",
@@ -212,6 +223,7 @@ __all__ = [
     "IndexCorrupt",
     "IndexFormatError",
     "IndexManager",
+    "LocalCluster",
     "Overloaded",
     "ProtocolError",
     "QueryOptions",

@@ -28,8 +28,18 @@ the ``REPRO_CHAOS_LOG`` environment variable names a path the log is
 dumped there as JSON, which is how CI archives the evidence when a
 chaos run fails.
 
+:func:`run_cluster_chaos` extends the same discipline to the
+distributed tier: a seeded schedule kills shard nodes and severs the
+network to others while queries flow through a live 3-node
+:class:`~repro.service.cluster.LocalCluster`, and the invariants are
+the cluster's own promises — no query is lost or double-answered,
+degraded coverage matches the down nodes' spans *exactly*, and every
+answer is bit-identical to a reference merge over the surviving
+nodes' engines.
+
 ``python -m repro.service.chaos --seed 7`` runs the harness directly
-and exits nonzero on any invariant violation.
+and exits nonzero on any invariant violation; add ``--cluster`` to
+run the cluster schedule instead.
 """
 
 from __future__ import annotations
@@ -65,12 +75,16 @@ __all__ = [
     "ChaosEventLog",
     "ChaosReport",
     "ChaosSchedule",
+    "ClusterChaosReport",
+    "ClusterChaosSchedule",
     "NET_FAULT_KINDS",
+    "NetsplitController",
     "POOL_FAULT_KINDS",
     "CHAOS_LOG_ENV",
     "build_workload",
     "response_signature",
     "run_chaos",
+    "run_cluster_chaos",
     "run_reload_storm",
     "storm_mismatches",
 ]
@@ -610,6 +624,345 @@ def storm_mismatches(report: ChaosReport) -> list[int]:
     return bad
 
 
+# ----------------------------------------------------------------------
+# Cluster chaos: node kills and netsplits against a live topology
+# ----------------------------------------------------------------------
+class ClusterChaosSchedule:
+    """A seeded plan of node kills and netsplits over a request stream.
+
+    ``kill_at`` maps request index → node id: that node's primary is
+    stopped *before* the request is issued and stays dead for the rest
+    of the run (thread-mode kills are permanent — a dead FPGA does not
+    restart itself).  ``split_at`` maps request index → node id: the
+    network to that node is severed for exactly that one request and
+    healed afterwards.  The constructor guarantees at least one node
+    survives every request, so every query must still be answered —
+    degraded, never lost.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        requests: int,
+        nodes: int = 3,
+        kills: int = 1,
+        splits: int = 4,
+    ) -> None:
+        if requests < 2:
+            raise ValueError(f"requests must be at least 2, got {requests}")
+        if nodes < 2:
+            raise ValueError(f"cluster chaos needs at least 2 nodes, got {nodes}")
+        self.seed = seed
+        self.requests = requests
+        self.nodes = nodes
+        rng = random.Random(f"cluster-chaos:{seed}")
+        kills = min(kills, nodes - 2) if nodes > 2 else 0
+        kill_nodes = rng.sample(range(nodes), kills)
+        kill_indices = rng.sample(range(1, requests), kills) if kills else []
+        self.kill_at: dict[int, int] = dict(zip(kill_indices, kill_nodes))
+        self.split_at: dict[int, int] = {}
+        eligible = [i for i in range(requests) if i not in self.kill_at]
+        rng.shuffle(eligible)
+        for i in eligible[: min(splits, len(eligible))]:
+            candidates = [n for n in range(nodes) if n not in self.down_at(i)]
+            if len(candidates) < 2:
+                continue  # splitting would leave nobody standing
+            self.split_at[i] = rng.choice(candidates)
+        for i in range(requests):  # the schedule's own invariant
+            assert len(self.down_at(i)) < nodes, "schedule would kill the cluster"
+
+    def down_at(self, request_index: int) -> set[int]:
+        """Node ids unreachable while ``request_index`` is in flight."""
+        down = {
+            node for idx, node in self.kill_at.items() if idx <= request_index
+        }
+        if request_index in self.split_at:
+            down.add(self.split_at[request_index])
+        return down
+
+    def to_payload(self) -> dict:
+        return {
+            "seed": self.seed,
+            "requests": self.requests,
+            "nodes": self.nodes,
+            "kill_at": {str(i): n for i, n in sorted(self.kill_at.items())},
+            "split_at": {str(i): n for i, n in sorted(self.split_at.items())},
+        }
+
+
+class _SplitClient(SearchClient):
+    """A node client whose network can be severed by the controller."""
+
+    def __init__(
+        self, address: str, controller: "NetsplitController", **kwargs: object
+    ) -> None:
+        self._split_address = address
+        self._controller = controller
+        super().__init__(address, **kwargs)
+
+    def search(self, query, options=None, **legacy):
+        self._controller.check(self._split_address)
+        return super().search(query, options, **legacy)
+
+    def search_pipelined(self, queries, options=None):
+        self._controller.check(self._split_address)
+        return super().search_pipelined(queries, options)
+
+    def ping(self) -> bool:
+        if self._controller.is_down(self._split_address):
+            return False
+        return super().ping()
+
+
+class NetsplitController:
+    """Armable network partitions, by node address.
+
+    Passed to the coordinator as its ``client_factory``: every node
+    client it builds consults the controller before touching the
+    socket, and a severed address raises :class:`ConnectionError` —
+    indistinguishable, at the coordinator's level, from a real
+    partition, and healed the instant :meth:`heal` is called.
+    """
+
+    def __init__(self, log: ChaosEventLog) -> None:
+        self.log = log
+        self._down: set[str] = set()
+        self._lock = threading.Lock()
+        self.severed = 0
+
+    def sever(self, address: str) -> None:
+        with self._lock:
+            self._down.add(address)
+            self.severed += 1
+
+    def heal(self, address: str) -> None:
+        with self._lock:
+            self._down.discard(address)
+
+    def is_down(self, address: str) -> bool:
+        with self._lock:
+            return address in self._down
+
+    def check(self, address: str) -> None:
+        if self.is_down(address):
+            self.log.record("net.split-drop", address=address)
+            raise ConnectionError(f"netsplit: {address} unreachable")
+
+    def client_factory(self, address: str, **kwargs: object) -> _SplitClient:
+        return _SplitClient(address, self, **kwargs)
+
+
+@dataclass
+class ClusterChaosReport:
+    """Everything a cluster chaos run produced, for the tests to judge.
+
+    ``expected`` holds, per request, the reference answer: a merge
+    over inline per-node engines restricted to the nodes the schedule
+    left reachable.  Coverage, ``degraded_shards`` and the ranking are
+    all part of :func:`response_signature`, so a mismatch of *any* of
+    them — a lost span, a wrongly blamed node, a reordered hit — lands
+    in :meth:`mismatches`.
+    """
+
+    schedule: ClusterChaosSchedule
+    queries: list[str]
+    outcomes: list["SearchResponse | Exception"]
+    expected: list[SearchResponse]
+    baseline: list[SearchResponse]
+    log: ChaosEventLog
+    killed: list[int]
+    severed: int
+    final_health: dict
+    events_dumped_to: Path | None = None
+
+    @property
+    def failures(self) -> list[tuple[int, Exception]]:
+        """Requests that raised — with a survivor guaranteed, all bugs."""
+        return [
+            (i, outcome)
+            for i, outcome in enumerate(self.outcomes)
+            if isinstance(outcome, Exception)
+        ]
+
+    def mismatches(self) -> list[int]:
+        """Requests whose answer differs from the reference merge."""
+        bad = []
+        for i, outcome in enumerate(self.outcomes):
+            if isinstance(outcome, Exception):
+                bad.append(i)
+            elif response_signature(outcome) != response_signature(self.expected[i]):
+                bad.append(i)
+        return bad
+
+    def span_violations(self) -> list[dict]:
+        """Requests where degradation does not match the down spans.
+
+        The ISSUE-level invariant, asserted directly rather than via
+        the signature: a request issued while nodes D are down must
+        report ``coverage == 1 - |records(D)| / total`` and name
+        exactly the non-empty members of D in ``degraded_shards``.
+        """
+        violations = []
+        for i, outcome in enumerate(self.outcomes):
+            if isinstance(outcome, Exception):
+                continue
+            expected = self.expected[i]
+            if (
+                outcome.coverage != expected.coverage
+                or outcome.degraded_shards != expected.degraded_shards
+            ):
+                violations.append(
+                    {
+                        "request": i,
+                        "coverage": outcome.coverage,
+                        "expected_coverage": expected.coverage,
+                        "degraded": outcome.degraded_shards,
+                        "expected_degraded": expected.degraded_shards,
+                    }
+                )
+        return violations
+
+    def clean_mismatches(self) -> list[int]:
+        """Fault-free requests that differ from the single-node baseline."""
+        bad = []
+        for i, outcome in enumerate(self.outcomes):
+            if self.schedule.down_at(i):
+                continue
+            expected = self.baseline[i % len(self.baseline)]
+            if isinstance(outcome, Exception) or response_signature(
+                outcome
+            ) != response_signature(expected):
+                bad.append(i)
+        return bad
+
+    def summary(self) -> str:
+        return (
+            f"cluster chaos seed={self.schedule.seed}: "
+            f"{len(self.outcomes)} requests over {self.schedule.nodes} nodes, "
+            f"{len(self.killed)} kills, {self.severed} splits, "
+            f"{len(self.failures)} failures, {len(self.mismatches())} mismatches, "
+            f"{len(self.span_violations())} span violations, "
+            f"nodes up at end={self.final_health.get('nodes_up')}"
+        )
+
+
+def run_cluster_chaos(
+    seed: int = 0,
+    requests: int = 18,
+    nodes: int = 3,
+    kills: int = 1,
+    splits: int = 4,
+    log: ChaosEventLog | None = None,
+) -> ClusterChaosReport:
+    """Drive a seeded kill/netsplit schedule against a live cluster.
+
+    Every request goes through a real :class:`ClusterCoordinator` over
+    real TCP shard nodes (:class:`LocalCluster` in thread mode).  The
+    reference answer for each request is computed inline by merging
+    per-node engine answers restricted to the reachable nodes — the
+    cluster's response must match it bit for bit, which simultaneously
+    proves "no lost queries" (an exception is a failure), "no
+    double-answered queries" (the client's request-id matching raises
+    on cross-talk, so a completed run is the proof), and "degradation
+    is exactly the down spans".
+
+    Breakers are disabled for the run: the expected degraded set must
+    be a pure function of the schedule, and a breaker that stays open
+    for its recovery window after a heal would degrade a *reachable*
+    node — correct behaviour in production, noise in a determinism
+    harness.  The breaker's own state machine is tested in
+    ``test_guard.py``.
+    """
+    from .cluster import LocalCluster, NodeAnswer, merge_node_responses
+    from .cluster.topology import partition_index
+
+    log = log if log is not None else ChaosEventLog()
+    schedule = ClusterChaosSchedule(
+        seed, requests, nodes=nodes, kills=kills, splits=splits
+    )
+    log.record("cluster-schedule", **schedule.to_payload())
+    queries, index, loader = build_workload(seed=seed)
+    options = QueryOptions(top=5, min_score=1)
+    baseline_engine = SearchEngine(loader(), cache=ResultCache(0))
+    baseline = [baseline_engine.search(q, options) for q in queries]
+
+    # Reference cluster: the same deterministic partition, served by
+    # inline engines the harness can consult with any subset of nodes.
+    ref_topology, parts = partition_index(index, nodes)
+    ref_engines = {
+        spec.node_id: SearchEngine(part, cache=ResultCache(0))
+        for spec, part in zip(ref_topology.nodes, parts)
+        if not spec.empty
+    }
+
+    controller = NetsplitController(log)
+    outcomes: list[SearchResponse | Exception] = []
+    expected: list[SearchResponse] = []
+    killed: list[int] = []
+    issued: list[str] = []
+
+    with LocalCluster(index, nodes=nodes, mode="thread", batch_window=0.0) as cluster:
+        topology = cluster.topology()
+        address_of = {
+            node.node_id: node.address for node in topology.active_nodes
+        }
+        with cluster.client(
+            client_factory=controller.client_factory,
+            breaker_factory=None,
+            gather_timeout=15.0,
+        ) as client:
+            for i in range(requests):
+                if i in schedule.kill_at:
+                    node = schedule.kill_at[i]
+                    cluster.kill_node(node)
+                    killed.append(node)
+                    log.record("node.kill", request=i, node=node)
+                split = schedule.split_at.get(i)
+                if split is not None:
+                    controller.sever(address_of[split])
+                    log.record("net.split", request=i, node=split)
+                query = queries[i % len(queries)]
+                issued.append(query)
+                try:
+                    outcomes.append(client.search(query, options))
+                    log.record("answered", request=i)
+                except Exception as exc:  # noqa: BLE001 - judged by the report
+                    outcomes.append(exc)
+                    log.record("request-failed", request=i, error=str(exc))
+                finally:
+                    if split is not None:
+                        controller.heal(address_of[split])
+                        log.record("net.heal", request=i, node=split)
+                down = schedule.down_at(i)
+                live = [
+                    NodeAnswer(node_id=nid, response=engine.search(query, options))
+                    for nid, engine in ref_engines.items()
+                    if nid not in down
+                ]
+                expected.append(
+                    merge_node_responses(query.upper(), live, ref_topology, options)
+                )
+            final_health = dict(client.health())
+    log.record(
+        "cluster-drained",
+        killed=sorted(killed),
+        severed=controller.severed,
+    )
+    report = ClusterChaosReport(
+        schedule=schedule,
+        queries=issued,
+        outcomes=outcomes,
+        expected=expected,
+        baseline=baseline,
+        log=log,
+        killed=killed,
+        severed=controller.severed,
+        final_health=final_health,
+    )
+    report.events_dumped_to = log.dump_env()
+    return report
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Direct entry point: run one chaos schedule and judge it."""
     import argparse
@@ -618,8 +971,30 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--requests", type=int, default=24)
     parser.add_argument("--fault-rate", type=float, default=0.35)
+    parser.add_argument(
+        "--cluster",
+        action="store_true",
+        help="run the cluster kill/netsplit schedule instead",
+    )
+    parser.add_argument("--nodes", type=int, default=3, help="cluster node count")
     parser.add_argument("--log", help="dump the event log to this JSON path")
     args = parser.parse_args(argv)
+    if args.cluster:
+        creport = run_cluster_chaos(
+            seed=args.seed, requests=args.requests, nodes=args.nodes
+        )
+        if args.log:
+            creport.events_dumped_to = creport.log.dump(args.log)
+        print(creport.summary())
+        if creport.events_dumped_to is not None:
+            print(f"event log: {creport.events_dumped_to}")
+        ok = (
+            not creport.failures
+            and not creport.mismatches()
+            and not creport.span_violations()
+            and not creport.clean_mismatches()
+        )
+        return 0 if ok else 1
     report = run_chaos(
         seed=args.seed, requests=args.requests, fault_rate=args.fault_rate
     )

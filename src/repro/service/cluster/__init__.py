@@ -1,0 +1,42 @@
+"""Distributed search: a coordinator tier over shard nodes.
+
+The paper partitions one comparison across processing elements so that
+each works in reduced memory space; PRs 1-5 scaled that to a hardened
+single-node service.  This package is the next level of the same
+recursion — partition the *database* across N
+:class:`~repro.service.net.TcpSearchServer` shard nodes and
+scatter-gather every query over protocol v2:
+
+* :mod:`~repro.service.cluster.topology` — :class:`NodeSpec` /
+  :class:`ClusterTopology` (contiguous ``even_spans`` record spans,
+  JSON manifest round-trip) and :func:`partition_index`;
+* :mod:`~repro.service.cluster.merge` — the globally consistent
+  top-k merge, provably bit-identical to the single-node ranking;
+* :mod:`~repro.service.cluster.coordinator` —
+  :class:`ClusterCoordinator`: threaded fan-out with group-min
+  deadline propagation, per-node circuit breakers, hedged reads
+  against replicas, coverage-degrading partial gathers;
+* :mod:`~repro.service.cluster.client` — :class:`ClusterClient`, the
+  drop-in ``SearchClient``-shaped facade;
+* :mod:`~repro.service.cluster.local` — :class:`LocalCluster`,
+  spawn-local topologies (threads for dev/chaos, ``repro serve``
+  subprocesses for honest scale-out measurement).
+"""
+
+from .client import ClusterClient
+from .coordinator import ClusterCoordinator, NodeChannel
+from .local import LocalCluster
+from .merge import NodeAnswer, merge_node_responses
+from .topology import ClusterTopology, NodeSpec, partition_index
+
+__all__ = [
+    "ClusterClient",
+    "ClusterCoordinator",
+    "ClusterTopology",
+    "LocalCluster",
+    "NodeAnswer",
+    "NodeChannel",
+    "NodeSpec",
+    "merge_node_responses",
+    "partition_index",
+]

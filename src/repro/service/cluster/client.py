@@ -1,0 +1,102 @@
+"""`ClusterClient`: the one-object face of a shard-node cluster.
+
+Code written against :class:`~repro.service.client.SearchClient`
+ports by swapping the object: ``search()`` / ``search_batch()`` return
+the same :class:`~repro.service.engine.SearchResponse` shape —
+globally ranked hits, coverage, degraded-node set, merged metrics.
+
+Three ways to point it at a cluster:
+
+* ``ClusterClient(topology)`` — a bound
+  :class:`~repro.service.cluster.topology.ClusterTopology` (what
+  :class:`~repro.service.cluster.local.LocalCluster` hands out);
+* ``ClusterClient.from_manifest(path)`` — the JSON manifest
+  ``repro cluster serve`` writes;
+* ``ClusterClient.from_addresses([...])`` — real deployments: probe
+  each running node's ``stats`` for its record count and declare the
+  spans contiguous in address order (the order
+  :func:`~repro.service.cluster.topology.partition_index` shipped
+  them in).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from ...obs import Observability
+from .. import QueryOptions
+from ..client import SearchClient
+from ..engine import SearchResponse
+from .coordinator import ClusterCoordinator
+from .topology import ClusterTopology
+
+__all__ = ["ClusterClient"]
+
+
+class ClusterClient:
+    """Search a shard-node cluster as if it were one server."""
+
+    def __init__(self, topology: ClusterTopology, **coordinator_kwargs) -> None:
+        self.topology = topology
+        self.coordinator = ClusterCoordinator(topology, **coordinator_kwargs)
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def from_manifest(cls, path: str | Path, **coordinator_kwargs) -> "ClusterClient":
+        return cls(ClusterTopology.load(path), **coordinator_kwargs)
+
+    @classmethod
+    def from_addresses(
+        cls,
+        addresses: Sequence[str],
+        timeout: float | None = 10.0,
+        obs: Observability | None = None,
+        **coordinator_kwargs,
+    ) -> "ClusterClient":
+        """Probe each address for its record count; spans follow order."""
+        counts = []
+        versions = []
+        for address in addresses:
+            with SearchClient(address, timeout=timeout) as probe:
+                stats = probe.stats()
+            counts.append(int(stats.get("records", 0)))
+            versions.append(str(stats.get("version", "")))
+        topology = ClusterTopology.from_record_counts(
+            counts, list(addresses), version=versions[0] if versions else ""
+        )
+        if obs is not None:
+            coordinator_kwargs.setdefault("obs", obs)
+        coordinator_kwargs.setdefault("timeout", timeout)
+        return cls(topology, **coordinator_kwargs)
+
+    # -- search ----------------------------------------------------------
+    def search(
+        self, query: str, options: QueryOptions | None = None
+    ) -> SearchResponse:
+        return self.coordinator.search(query, options)
+
+    def search_batch(
+        self, queries: Sequence[str], options: QueryOptions | None = None
+    ) -> list[SearchResponse]:
+        return self.coordinator.search_batch(queries, options)
+
+    # -- admin -----------------------------------------------------------
+    def ping(self) -> bool:
+        """True when every non-empty node answers a ping."""
+        return bool(self.coordinator.health()["ready"])
+
+    def health(self) -> Mapping[str, object]:
+        return self.coordinator.health()
+
+    def stats(self) -> Mapping[str, object]:
+        return self.coordinator.stats()
+
+    def close(self) -> None:
+        self.coordinator.close()
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,540 @@
+"""The coordinator: scatter a query over shard nodes, gather, merge.
+
+One :class:`ClusterCoordinator` owns a live channel per non-empty
+topology node — a :class:`~repro.service.client.SearchClient` to the
+node's primary address, optional replica clients, and a per-node
+:class:`~repro.service.guard.CircuitBreaker` — and turns one logical
+search into a fan-out over protocol v2:
+
+* **scatter** — every non-empty node gets the same request (same
+  options, same remaining ``deadline_ms``: the group-min budget is
+  computed once at fan-out, so no shard is granted more time than the
+  request has left);
+* **gather** — bounded by the remaining budget; a node that does not
+  answer in time is *dropped from this answer*, not waited on;
+* **merge** — :func:`~repro.service.cluster.merge.merge_node_responses`
+  (globally consistent ranking, coverage accounting).
+
+Failure semantics follow the taxonomy: a ``bad-request`` answer from
+any node is the *query's* fault and is raised as-is (every node would
+say the same); transport failures, breaker-open fast-fails and
+deadline expiries degrade coverage by exactly the node's span.
+Replicas make hedged reads cheap: when a node has replicas and its
+:class:`~repro.service.guard.HedgePolicy` can name a delay, a slow
+primary read is duplicated against a replica and the first answer
+wins; replicas also serve as straight failover when the primary's
+transport is down.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from typing import Callable, Sequence
+
+from ...obs import NULL_OBS, Observability
+from .. import QueryOptions, resolve_query_options
+from ..client import SearchClient
+from ..engine import SearchResponse
+from ..guard import CircuitBreaker, CircuitOpen, HedgePolicy
+from ..resilience import BadRequest, Deadline, DeadlineExceeded, RetryPolicy
+from .merge import NodeAnswer, merge_node_responses
+from .topology import ClusterTopology, NodeSpec
+
+__all__ = ["ClusterCoordinator", "NodeChannel"]
+
+#: Failures that degrade coverage instead of failing the query: the
+#: node (or the path to it) is unhealthy, the query itself is fine.
+_DEGRADABLE = (ConnectionError, OSError, EOFError, TimeoutError, DeadlineExceeded)
+
+
+class NodeChannel:
+    """One node's client stack: primary, replicas, breaker, hedge.
+
+    The breaker wraps the whole channel (not each socket): what the
+    coordinator needs to know is "can this *node* answer", and the
+    fastest way to stop hammering a dead one is to fail fast at the
+    channel. Replica clients share the breaker's verdict — they serve
+    the same span, but a primary that is down says nothing about its
+    replicas, so only the primary's transport failures feed it.
+    """
+
+    def __init__(
+        self,
+        spec: NodeSpec,
+        client_factory: Callable[..., SearchClient],
+        breaker: CircuitBreaker | None,
+        hedge: HedgePolicy | None,
+        retry: RetryPolicy,
+        timeout: float | None,
+        obs: Observability,
+    ) -> None:
+        self.spec = spec
+        self.breaker = breaker
+        self.hedge = hedge
+        self.obs = obs
+        self.primary = client_factory(
+            spec.address, retry=retry, timeout=timeout, obs=obs
+        )
+        self.replicas = [
+            client_factory(address, retry=retry, timeout=timeout, obs=obs)
+            for address in spec.replicas
+        ]
+        self._replica_rr = 0
+        self._lock = threading.Lock()
+
+    def _next_replica(self) -> SearchClient | None:
+        with self._lock:
+            if not self.replicas:
+                return None
+            client = self.replicas[self._replica_rr % len(self.replicas)]
+            self._replica_rr += 1
+            return client
+
+    def search(self, query: str, options: QueryOptions) -> SearchResponse:
+        """One search against this node; hedge/fail over to replicas."""
+        if self.breaker is not None:
+            self.breaker.allow()
+        delay = self.hedge.delay() if self.hedge is not None else None
+        if delay is not None and self.replicas:
+            return self._search_hedged(query, options, delay)
+        t0 = time.monotonic()
+        try:
+            response = self.primary.search(query, options)
+        except _DEGRADABLE as exc:
+            if self.breaker is not None:
+                self.breaker.record_failure(exc)
+            replica = self._next_replica()
+            if replica is None:
+                raise
+            self.obs.log.warning(
+                "cluster.failover", node=self.spec.node_id, error=type(exc).__name__
+            )
+            return replica.search(query, options)
+        except BaseException as exc:
+            if self.breaker is not None:
+                self.breaker.record_failure(exc)
+            raise
+        if self.breaker is not None:
+            self.breaker.record_success()
+        if self.hedge is not None:
+            self.hedge.observe(time.monotonic() - t0)
+        return response
+
+    def _search_hedged(
+        self, query: str, options: QueryOptions, delay: float
+    ) -> SearchResponse:
+        """Primary read, duplicated on a replica if slow; first answer wins."""
+        done = threading.Event()
+        lock = threading.Lock()
+        state: dict = {"response": None, "errors": [], "finished": 0, "started": 1}
+
+        def attempt(client: SearchClient) -> None:
+            try:
+                response = client.search(query, options)
+            except BaseException as exc:  # noqa: BLE001 - collected below
+                with lock:
+                    state["errors"].append(exc)
+                    state["finished"] += 1
+                done.set()
+                return
+            with lock:
+                if state["response"] is None:
+                    state["response"] = response
+                state["finished"] += 1
+            done.set()
+
+        t0 = time.monotonic()
+        primary = threading.Thread(
+            target=attempt, args=(self.primary,), daemon=True
+        )
+        primary.start()
+        if not done.wait(delay):
+            replica = self._next_replica()
+            if replica is not None:
+                with lock:
+                    state["started"] += 1
+                self.obs.log.debug(
+                    "cluster.hedge", node=self.spec.node_id, after=f"{delay:.4f}s"
+                )
+                threading.Thread(
+                    target=attempt, args=(replica,), daemon=True
+                ).start()
+        while True:
+            done.wait()
+            with lock:
+                if state["response"] is not None:
+                    response = state["response"]
+                    break
+                if state["finished"] >= state["started"]:
+                    error = state["errors"][0]
+                    if self.breaker is not None:
+                        self.breaker.record_failure(error)
+                    raise error
+                done.clear()
+        if self.breaker is not None:
+            self.breaker.record_success()
+        if self.hedge is not None:
+            self.hedge.observe(time.monotonic() - t0)
+        return response
+
+    def ping(self) -> bool:
+        try:
+            return self.primary.ping()
+        except Exception:  # noqa: BLE001 - health probe, any failure is "down"
+            return False
+
+    def close(self) -> None:
+        self.primary.close()
+        for replica in self.replicas:
+            replica.close()
+
+
+class ClusterCoordinator:
+    """Scatter-gather search over a :class:`ClusterTopology`.
+
+    Parameters
+    ----------
+    topology:
+        Bound topology (every non-empty node needs an address).
+    defaults:
+        Default :class:`~repro.service.QueryOptions` for searches.
+    client_factory:
+        Hook building each node's :class:`SearchClient` from an
+        ``address`` string plus keyword arguments — the chaos harness
+        swaps in fault-injecting clients here.  Defaults to
+        ``SearchClient`` itself.
+    breaker_factory:
+        Per-node breaker builder (``node_id -> CircuitBreaker``);
+        ``None`` disables breaking.  The default trips a node open
+        after 3 consecutive transport-class failures for 1 s.
+    hedge_factory:
+        Per-node :class:`HedgePolicy` builder; ``None`` (default)
+        disables hedged reads.  Hedging only ever fires against
+        replicas — a node without replicas is never hedged.
+    retry, timeout:
+        Forwarded to every node client.  The default retry is **0**:
+        the coordinator's own degradation semantics (drop the node,
+        answer partial) replace the single-client retry loop, and a
+        retry storm under fan-out multiplies load exactly when the
+        cluster is least able to take it.
+    gather_timeout:
+        Budget in seconds for a gather when the request itself
+        carries no deadline.
+    obs:
+        Observability bundle; the coordinator emits
+        ``cluster_requests_total``, fan-out/merge latency histograms,
+        a ``cluster_nodes_up`` gauge and per-node
+        ``cluster_node_up_<id>`` gauges, plus ``cluster.search`` span
+        trees with one child span per node.
+    """
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        defaults: QueryOptions | None = None,
+        client_factory: Callable[..., SearchClient] | None = None,
+        breaker_factory: Callable[[int], CircuitBreaker] | None = "default",  # type: ignore[assignment]
+        hedge_factory: Callable[[int], HedgePolicy] | None = None,
+        retry: RetryPolicy | None = None,
+        timeout: float | None = 30.0,
+        gather_timeout: float = 30.0,
+        obs: Observability | None = None,
+    ) -> None:
+        for node in topology.active_nodes:
+            if not node.address:
+                raise ValueError(f"node {node.node_id} has no address")
+        self.topology = topology
+        self.defaults = defaults if defaults is not None else QueryOptions()
+        self.gather_timeout = gather_timeout
+        self.obs = obs if obs is not None else NULL_OBS
+        factory = client_factory if client_factory is not None else SearchClient
+        if breaker_factory == "default":
+            breaker_factory = lambda node_id: CircuitBreaker(  # noqa: E731
+                failure_threshold=3, recovery_time=1.0, name=f"node-{node_id}"
+            )
+        retry = retry if retry is not None else RetryPolicy(retries=0)
+        self.channels: dict[int, NodeChannel] = {
+            node.node_id: NodeChannel(
+                spec=node,
+                client_factory=factory,
+                breaker=breaker_factory(node.node_id) if breaker_factory else None,
+                hedge=hedge_factory(node.node_id) if hedge_factory else None,
+                retry=retry,
+                timeout=timeout,
+                obs=self.obs,
+            )
+            for node in topology.active_nodes
+        }
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(2 * len(self.channels), 1),
+            thread_name_prefix="repro-cluster",
+        )
+        registry = self.obs.registry
+        self._m_requests = registry.counter(
+            "cluster_requests_total", "Cluster searches served by the coordinator"
+        )
+        self._m_degraded = registry.counter(
+            "cluster_degraded_total", "Cluster searches answered with partial coverage"
+        )
+        self._h_fanout = registry.histogram(
+            "cluster_fanout_seconds", "Scatter-gather wall time per cluster search"
+        )
+        self._h_merge = registry.histogram(
+            "cluster_merge_seconds", "Merge wall time per cluster search"
+        )
+        self._g_nodes_up = registry.gauge(
+            "cluster_nodes_up", "Nodes that answered the most recent fan-out"
+        )
+        self._g_node_up = {
+            node_id: registry.gauge(
+                f"cluster_node_up_{node_id}",
+                f"Node {node_id} answered the most recent fan-out (1/0)",
+            )
+            for node_id in self.channels
+        }
+
+    # ------------------------------------------------------------------
+    def _gather(
+        self, query: str, options: QueryOptions, deadline: Deadline | None
+    ) -> list[NodeAnswer]:
+        """Scatter to every channel; gather inside the budget.
+
+        The per-node ``deadline_ms`` is the group minimum by
+        construction: it is computed *once* here from the remaining
+        budget and every node receives the same number.
+        """
+        budget = (
+            deadline.remaining() if deadline is not None else self.gather_timeout
+        )
+        if deadline is not None:
+            deadline.check("cluster fan-out")
+            options = options.replace(deadline_ms=max(int(budget * 1000), 1))
+
+        futures: dict[Future, int] = {}
+        started: dict[int, float] = {}
+        for node_id, channel in self.channels.items():
+            started[node_id] = time.monotonic()
+            futures[self._executor.submit(channel.search, query, options)] = node_id
+
+        answers: list[NodeAnswer] = []
+        pending = set(futures)
+        deadline_at = time.monotonic() + budget
+        while pending:
+            remaining = deadline_at - time.monotonic()
+            if remaining <= 0:
+                break
+            finished, pending = wait(
+                pending, timeout=remaining, return_when=FIRST_COMPLETED
+            )
+            for future in finished:
+                node_id = futures[future]
+                seconds = time.monotonic() - started[node_id]
+                try:
+                    response = future.result()
+                except BadRequest:
+                    for open_future in pending:
+                        open_future.cancel()
+                    raise
+                except Exception as exc:  # noqa: BLE001 - degrade, never fail the query
+                    answers.append(
+                        NodeAnswer(
+                            node_id=node_id,
+                            response=None,
+                            error=exc,
+                            seconds=seconds,
+                        )
+                    )
+                    self.obs.log.warning(
+                        "cluster.node-failed",
+                        node=node_id,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                else:
+                    answers.append(
+                        NodeAnswer(node_id=node_id, response=response, seconds=seconds)
+                    )
+        for future in pending:
+            # Out of budget: abandon, degrade. The worker thread will
+            # finish (or fail) in the background and be discarded.
+            node_id = futures[future]
+            future.cancel()
+            answers.append(
+                NodeAnswer(
+                    node_id=node_id,
+                    response=None,
+                    error=DeadlineExceeded(
+                        f"node {node_id} did not answer within the gather budget"
+                    ),
+                    seconds=time.monotonic() - started[node_id],
+                )
+            )
+            self.obs.log.warning("cluster.node-timeout", node=node_id)
+        return answers
+
+    def search(
+        self, query: str, options: QueryOptions | None = None
+    ) -> SearchResponse:
+        """One scatter-gather search, merged to a global ranking."""
+        resolved = resolve_query_options(options, self.defaults).validate()
+        deadline = (
+            Deadline.after_ms(resolved.deadline_ms)
+            if resolved.deadline_ms is not None
+            else None
+        )
+        if deadline is not None:
+            deadline.check("cluster admission")
+        tracer = self.obs.tracer
+        t_start = time.monotonic()
+        with tracer.span(
+            "cluster.search", nodes=len(self.channels), query_bp=len(query)
+        ):
+            t0 = time.monotonic()
+            with tracer.span("cluster.fanout"):
+                answers = self._gather(query, resolved, deadline)
+                for answer in sorted(answers, key=lambda a: a.node_id):
+                    tracer.add_span(
+                        "node.search",
+                        seconds=answer.seconds,
+                        node=answer.node_id,
+                        answered=answer.answered,
+                    )
+            fanout_seconds = time.monotonic() - t0
+            self._h_fanout.observe(fanout_seconds)
+            up = sum(1 for a in answers if a.answered)
+            self._g_nodes_up.set(up)
+            for answer in answers:
+                self._g_node_up[answer.node_id].set(1.0 if answer.answered else 0.0)
+            t1 = time.monotonic()
+            with tracer.span("cluster.merge", answered=up):
+                response = merge_node_responses(
+                    query.upper(),
+                    answers,
+                    self.topology,
+                    resolved,
+                    total_seconds=time.monotonic() - t_start,
+                )
+            self._h_merge.observe(time.monotonic() - t1)
+            self._m_requests.inc()
+            if response.degraded:
+                self._m_degraded.inc()
+            return response
+
+    def search_batch(
+        self, queries: Sequence[str], options: QueryOptions | None = None
+    ) -> list[SearchResponse]:
+        """Batch fan-out: scatter the whole batch, merge per query.
+
+        Every node receives the batch pipelined on one connection, so
+        its server's micro-batching window turns N queries into one
+        sweep — the cluster-level counterpart of
+        ``SearchEngine.search_batch``.  Per-query failures inside one
+        node's batch degrade that node for that query only.
+        """
+        resolved = resolve_query_options(options, self.defaults).validate()
+        queries = list(queries)
+        if not queries:
+            return []
+
+        def node_batch(channel: NodeChannel) -> list[SearchResponse | BaseException]:
+            if channel.breaker is not None:
+                channel.breaker.allow()
+            try:
+                results = channel.primary.search_pipelined(queries, resolved)
+            except BaseException as exc:  # noqa: BLE001 - degraded below
+                if channel.breaker is not None:
+                    channel.breaker.record_failure(exc)
+                raise
+            if channel.breaker is not None:
+                channel.breaker.record_success()
+            return results
+
+        futures = {
+            self._executor.submit(node_batch, channel): node_id
+            for node_id, channel in self.channels.items()
+        }
+        per_node: dict[int, list[SearchResponse | BaseException] | None] = {}
+        for future, node_id in futures.items():
+            try:
+                per_node[node_id] = future.result(timeout=self.gather_timeout)
+            except BadRequest:
+                raise
+            except Exception as exc:  # noqa: BLE001
+                per_node[node_id] = None
+                self.obs.log.warning(
+                    "cluster.node-failed", node=node_id, error=type(exc).__name__
+                )
+
+        responses = []
+        for rank, query in enumerate(queries):
+            answers = []
+            for node_id, results in per_node.items():
+                if results is None:
+                    answers.append(
+                        NodeAnswer(
+                            node_id=node_id,
+                            response=None,
+                            error=ConnectionError("node batch failed"),
+                        )
+                    )
+                    continue
+                result = results[rank]
+                if isinstance(result, BadRequest):
+                    raise result
+                if isinstance(result, BaseException):
+                    answers.append(
+                        NodeAnswer(node_id=node_id, response=None, error=result)
+                    )
+                else:
+                    answers.append(NodeAnswer(node_id=node_id, response=result))
+            responses.append(
+                merge_node_responses(query.upper(), answers, self.topology, resolved)
+            )
+            self._m_requests.inc()
+        return responses
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, object]:
+        """Cluster liveness: ping every channel, report per-node state."""
+        nodes = {}
+        up = 0
+        for node_id, channel in self.channels.items():
+            alive = channel.ping()
+            up += bool(alive)
+            nodes[str(node_id)] = {
+                "up": alive,
+                "address": channel.spec.address,
+                "records": channel.spec.records,
+                "breaker": channel.breaker.state if channel.breaker else "none",
+            }
+        empty = len(self.topology) - len(self.channels)
+        return {
+            "healthy": up > 0,
+            "ready": up == len(self.channels),
+            "nodes_up": up,
+            "nodes": nodes,
+            "empty_nodes": empty,
+            "total_records": self.topology.total_records,
+        }
+
+    def stats(self) -> dict[str, object]:
+        """Per-node server stats keyed by node id (best effort)."""
+        stats: dict[str, object] = {}
+        for node_id, channel in self.channels.items():
+            try:
+                stats[str(node_id)] = channel.primary.stats()
+            except Exception as exc:  # noqa: BLE001 - best-effort admin
+                stats[str(node_id)] = {"error": f"{type(exc).__name__}: {exc}"}
+        return stats
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        for channel in self.channels.values():
+            channel.close()
+
+    def __enter__(self) -> "ClusterCoordinator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,281 @@
+"""Spawn-local clusters: a whole topology on one machine, one call.
+
+Two modes, one surface:
+
+* ``mode="thread"`` — every node is a
+  :class:`~repro.service.net.ServerThread` (an in-process asyncio TCP
+  server on a background loop) over its own sub-index.  Cheap, fast to
+  start, ideal for tests and the chaos harness; replicas share the
+  node's engine, which is exactly what a replica *is* semantically (a
+  second serving path over the same data).
+* ``mode="process"`` — every node is a real ``repro serve --tcp``
+  subprocess over its sub-index saved to disk.  This is the honest
+  scale-out configuration the CL1 benchmark measures: separate
+  interpreters, separate GILs, separate memory — the software stand-in
+  for the paper's physically separate FPGAs.
+
+Either way, :meth:`LocalCluster.topology` hands back a bound
+:class:`~repro.service.cluster.topology.ClusterTopology` and
+:meth:`LocalCluster.client` a ready
+:class:`~repro.service.cluster.client.ClusterClient`.
+:meth:`kill_node` exists for the chaos schedules: it stops one node's
+primary server (replicas keep serving) so coverage-degradation
+invariants can be asserted against a real dead node.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Sequence
+
+from ...obs import NULL_OBS, Observability
+from .. import QueryOptions
+from ..engine import SearchEngine
+from ..index import DEFAULT_SHARD_BP, DatabaseIndex
+from ..net import ServerConfig, ServerThread
+from .client import ClusterClient
+from .topology import ClusterTopology, partition_index
+
+__all__ = ["LocalCluster"]
+
+
+class _ThreadNode:
+    """One thread-mode node: primary ServerThread + replica ServerThreads."""
+
+    def __init__(
+        self,
+        index: DatabaseIndex,
+        replicas: int,
+        workers: int,
+        defaults: QueryOptions | None,
+        obs: Observability,
+        batch_window: float,
+    ) -> None:
+        self.engine = SearchEngine(index, workers=workers)
+        config = ServerConfig(host="127.0.0.1", port=0, batch_window=batch_window)
+        self.primary: ServerThread | None = ServerThread(
+            self.engine, config=config, defaults=defaults
+        )
+        self.primary.start()
+        # Replicas share the engine: same data, independent serving path.
+        self.replica_servers = []
+        for _ in range(replicas):
+            replica = ServerThread(self.engine, config=config, defaults=defaults)
+            replica.start()
+            self.replica_servers.append(replica)
+
+    @property
+    def address(self) -> str:
+        if self.primary is None:
+            return ""
+        return f"{self.primary.host}:{self.primary.port}"
+
+    @property
+    def replica_addresses(self) -> list[str]:
+        return [f"{r.host}:{r.port}" for r in self.replica_servers]
+
+    def kill(self) -> None:
+        if self.primary is not None:
+            self.primary.stop()
+            self.primary = None
+
+    def stop(self) -> None:
+        self.kill()
+        for replica in self.replica_servers:
+            replica.stop()
+        self.replica_servers = []
+
+
+class _ProcessNode:
+    """One process-mode node: a ``repro serve --tcp`` subprocess."""
+
+    def __init__(
+        self,
+        index_path: Path,
+        workers: int,
+        batch_window: float,
+        startup_timeout: float,
+    ) -> None:
+        self.proc: subprocess.Popen | None = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                str(index_path),
+                "--tcp",
+                "127.0.0.1:0",
+                "--workers",
+                str(workers),
+                "--batch-window",
+                str(batch_window),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+        )
+        self.address = self._await_listening(startup_timeout)
+
+    def _await_listening(self, timeout: float) -> str:
+        assert self.proc is not None and self.proc.stdout is not None
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                raise RuntimeError(
+                    f"node process exited before listening (rc={self.proc.poll()})"
+                )
+            if line.startswith("listening on "):
+                return line.removeprefix("listening on ").strip()
+        raise RuntimeError(f"node did not announce its port within {timeout}s")
+
+    @property
+    def replica_addresses(self) -> list[str]:
+        return []
+
+    def kill(self) -> None:
+        if self.proc is not None:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+            self.proc = None
+
+    def stop(self, graceful: bool = True) -> None:
+        if self.proc is None:
+            return
+        if graceful:
+            self.proc.terminate()  # SIGTERM → run_blocking drains
+            try:
+                self.proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:  # pragma: no cover - defensive
+                self.proc.kill()
+                self.proc.wait(timeout=10)
+        else:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+        self.proc = None
+
+
+class LocalCluster:
+    """Partition an index and serve it as N local shard nodes.
+
+    Parameters
+    ----------
+    index:
+        The database to partition (the *source of truth*; each node
+        serves a contiguous slice of it).
+    nodes:
+        Shard-node count.  More nodes than records is legal: trailing
+        nodes own empty spans and are simply never spawned or queried.
+    replicas:
+        Replica servers per node (thread mode only) — extra serving
+        paths over the same node engine, enabling hedged reads and
+        failover in the coordinator.
+    mode:
+        ``"thread"`` (in-process, default) or ``"process"`` (one
+        ``repro serve`` subprocess per node).
+    workers:
+        Sweep workers per node engine.
+    batch_window:
+        Per-node server micro-batching window in seconds.
+    """
+
+    def __init__(
+        self,
+        index: DatabaseIndex,
+        nodes: int = 2,
+        replicas: int = 0,
+        mode: str = "thread",
+        workers: int = 1,
+        shard_bp: int = DEFAULT_SHARD_BP,
+        defaults: QueryOptions | None = None,
+        obs: Observability | None = None,
+        batch_window: float = 0.002,
+        startup_timeout: float = 60.0,
+    ) -> None:
+        if mode not in ("thread", "process"):
+            raise ValueError(f"mode must be 'thread' or 'process', got {mode!r}")
+        if mode == "process" and replicas:
+            raise ValueError("replicas are only supported in thread mode")
+        self.mode = mode
+        self.obs = obs if obs is not None else NULL_OBS
+        unbound, parts = partition_index(index, nodes, shard_bp=shard_bp)
+        self._nodes: dict[int, _ThreadNode | _ProcessNode] = {}
+        self._tmpdir: tempfile.TemporaryDirectory | None = None
+        addresses: list[str] = []
+        replica_lists: list[Sequence[str]] = []
+        try:
+            if mode == "process":
+                self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-cluster-")
+            for spec, part in zip(unbound.nodes, parts):
+                if spec.empty:
+                    addresses.append("")
+                    replica_lists.append(())
+                    continue
+                if mode == "thread":
+                    node: _ThreadNode | _ProcessNode = _ThreadNode(
+                        part,
+                        replicas=replicas,
+                        workers=workers,
+                        defaults=defaults,
+                        obs=self.obs,
+                        batch_window=batch_window,
+                    )
+                else:
+                    index_path = Path(self._tmpdir.name) / f"node-{spec.node_id}.npz"
+                    part.save(index_path)
+                    node = _ProcessNode(
+                        index_path,
+                        workers=workers,
+                        batch_window=batch_window,
+                        startup_timeout=startup_timeout,
+                    )
+                self._nodes[spec.node_id] = node
+                addresses.append(node.address)
+                replica_lists.append(node.replica_addresses)
+        except BaseException:
+            self.stop()
+            raise
+        self._topology = unbound.with_addresses(addresses, replica_lists)
+
+    # ------------------------------------------------------------------
+    def topology(self) -> ClusterTopology:
+        return self._topology
+
+    @property
+    def addresses(self) -> list[str]:
+        return [address for address in self._topology.addresses if address]
+
+    def client(self, **coordinator_kwargs) -> ClusterClient:
+        coordinator_kwargs.setdefault("obs", self.obs)
+        return ClusterClient(self._topology, **coordinator_kwargs)
+
+    def kill_node(self, node_id: int) -> None:
+        """Stop one node's primary server (chaos: a dead shard node).
+
+        Thread-mode replicas keep serving, so a killed primary with
+        replicas costs availability nothing — which is the point of
+        replicas.
+        """
+        node = self._nodes.get(node_id)
+        if node is None:
+            raise KeyError(f"no live node {node_id}")
+        node.kill()
+
+    def stop(self) -> None:
+        """Stop every node (process mode drains gracefully) and clean up."""
+        for node in self._nodes.values():
+            node.stop()
+        self._nodes = {}
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

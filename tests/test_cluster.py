@@ -4,11 +4,27 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.align.smith_waterman import LocalHit, sw_locate_best, sw_score
-from repro.parallel.cluster import ClusterConfig, WavefrontCluster
+from repro.parallel.wavefront_cluster import ClusterConfig, WavefrontCluster
 from repro.parallel.zalign import zalign
 from repro.io.generate import adversarial_pairs, mutated_pair
 
 from conftest import dna_pair
+
+
+class TestDeprecatedShim:
+    def test_old_import_path_warns_and_resolves(self):
+        import repro.parallel.cluster as legacy
+
+        with pytest.warns(DeprecationWarning, match="wavefront_cluster"):
+            cls = legacy.WavefrontCluster
+        assert cls is WavefrontCluster
+        assert "accelerated_config" in dir(legacy)
+
+    def test_unknown_attribute_raises(self):
+        import repro.parallel.cluster as legacy
+
+        with pytest.raises(AttributeError):
+            legacy.does_not_exist
 
 
 class TestClusterCorrectness:
@@ -132,7 +148,7 @@ class TestAcceleratedCluster:
     def test_config_carries_accelerator_throughput(self):
         from repro.core.accelerator import SWAccelerator
         from repro.core.timing import PAPER_CLOCK
-        from repro.parallel.cluster import accelerated_config
+        from repro.parallel.wavefront_cluster import accelerated_config
 
         acc = SWAccelerator(elements=100, clock=PAPER_CLOCK)
         cfg = accelerated_config(acc, processors=4)
@@ -143,7 +159,7 @@ class TestAcceleratedCluster:
     def test_accelerated_cluster_is_exact_and_faster(self):
         from repro.core.accelerator import SWAccelerator
         from repro.core.timing import PAPER_CLOCK
-        from repro.parallel.cluster import accelerated_config
+        from repro.parallel.wavefront_cluster import accelerated_config
 
         s, t = mutated_pair(256, rate=0.1, seed=55)
         software = ClusterConfig(processors=4, row_block=32)
@@ -157,7 +173,7 @@ class TestAcceleratedCluster:
 
     def test_accelerated_zalign(self):
         from repro.core.accelerator import SWAccelerator
-        from repro.parallel.cluster import accelerated_config
+        from repro.parallel.wavefront_cluster import accelerated_config
 
         s, t = mutated_pair(128, rate=0.1, seed=56)
         cfg = accelerated_config(SWAccelerator(elements=64), processors=3, row_block=32)

@@ -31,7 +31,7 @@ from repro.core.emulator import emulate_partitioned
 from repro.core.controller import BestScoreController
 from repro.hdl.builders import build_array_module
 from repro.hdl.simulate import IRSimulator
-from repro.parallel.cluster import ClusterConfig, WavefrontCluster
+from repro.parallel.wavefront_cluster import ClusterConfig, WavefrontCluster
 
 from conftest import dna_pair, linear_schemes
 

@@ -10,7 +10,7 @@ from repro.core.timing import PAPER_CLOCK, estimate_run
 from repro.hw.host import PAPER_HOST
 from repro.io.fasta import FastaRecord, read_fasta, write_fasta
 from repro.io.generate import mutated_pair, planted_pair, random_dna
-from repro.parallel.cluster import ClusterConfig, WavefrontCluster
+from repro.parallel.wavefront_cluster import ClusterConfig, WavefrontCluster
 from repro.parallel.zalign import zalign
 
 

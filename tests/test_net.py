@@ -398,8 +398,16 @@ class TestAdminVerbs:
                 text = client.metrics()
                 assert "net_requests_total" in text
                 assert "repro_requests_total" in text
-                listing = client.trace()
-                assert listing  # at least the search span is in the ring
+                # The server finishes the net.batch span (and appends it
+                # to the trace ring) *after* sending the search reply,
+                # so a fast follow-up can briefly see an empty ring.
+                deadline = time.monotonic() + 5.0
+                while True:
+                    listing = client.trace()
+                    if not listing.startswith("#"):
+                        break
+                    assert time.monotonic() < deadline, "search trace never landed"
+                    time.sleep(0.01)
                 trace_id = listing.split()[0]
                 tree = client.trace(trace_id)
                 assert "net.batch" in tree

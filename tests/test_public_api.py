@@ -44,6 +44,8 @@ def test_service_stable_surface_pinned():
         "BadRequest",
         "CircuitBreaker",
         "CircuitOpen",
+        "ClusterClient",
+        "ClusterTopology",
         "DatabaseIndex",
         "Deadline",
         "DeadlineExceeded",
@@ -51,6 +53,7 @@ def test_service_stable_surface_pinned():
         "IndexCorrupt",
         "IndexFormatError",
         "IndexManager",
+        "LocalCluster",
         "Overloaded",
         "ProtocolError",
         "QueryOptions",
@@ -64,7 +67,8 @@ def test_service_stable_surface_pinned():
     ]
     # Internal machinery stays importable, just unpinned.
     for name in ("SearchServer", "QueryRequest", "ShardWorkerPool", "FaultPlan",
-                 "RetryPolicy", "TcpSearchServer", "AsyncSearchClient"):
+                 "RetryPolicy", "TcpSearchServer", "AsyncSearchClient",
+                 "partition_index"):
         assert hasattr(repro.service, name), f"repro.service.{name} vanished"
 
 
