@@ -244,6 +244,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="TCP backpressure bound: reject search requests beyond this many in flight",
     )
     p_serve.add_argument(
+        "--static-inflight",
+        action="store_true",
+        help=(
+            "disable adaptive admission: keep --max-inflight as a fixed bound "
+            "instead of the AIMD limit that shrinks on deadline misses"
+        ),
+    )
+    p_serve.add_argument(
         "--reload-signal",
         choices=("hup", "usr1", "usr2"),
         default=None,
@@ -279,6 +287,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_query.add_argument(
         "--retries", type=int, default=2, help="retries on transient failures"
+    )
+    p_query.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero when the response is degraded (coverage < 1.0)",
     )
 
     p_batch = sub.add_parser("batch", help="run a FASTA file of queries in one batch")
@@ -342,6 +355,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true", help="print merged per-request metrics"
     )
     c_query.add_argument("--timeout", type=float, default=30.0)
+    c_query.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero when the merged response is degraded (coverage < 1.0)",
+    )
 
     c_health = csub.add_parser("health", help="per-node liveness of a running cluster")
     c_health.add_argument(
@@ -377,6 +395,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_stats.add_argument("metrics_file", type=Path, help="JSON snapshot file")
     return parser
+
+
+def _strict_exit(response, strict: bool) -> int:
+    """Exit code for a printed response under ``--strict``.
+
+    A degraded answer (coverage < 1.0: some shard or node could not be
+    swept) is still printed — partial truth beats silence — but strict
+    callers (CI gates, scripted pipelines) get a nonzero exit and a
+    stderr note naming the missing coverage.
+    """
+    if strict and response.degraded:
+        shards = ",".join(map(str, response.degraded_shards)) or "?"
+        print(
+            f"error degraded coverage={response.coverage:.3f} "
+            f"shards={shards} (--strict)",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
 
 
 def _cluster_client(args):
@@ -491,6 +528,7 @@ def _cmd_cluster(args) -> int:
     if args.cluster_command == "health":
         with client:
             health = client.health()
+            print(f"{'status':>12} : {health['status']}")
             print(f"{'healthy':>12} : {health['healthy']}")
             print(f"{'ready':>12} : {health['ready']}")
             print(f"{'nodes up':>12} : {health['nodes_up']}/{len(health['nodes'])}")
@@ -500,7 +538,10 @@ def _cmd_cluster(args) -> int:
                     f"{'node ' + node_id:>12} : {state} {node['address']} "
                     f"({node['records']} records, breaker {node['breaker']})"
                 )
-            return 0 if health["ready"] else 1
+            # "ok" is the only zero-exit verdict: a degraded cluster
+            # still answers queries, but whoever scripted this check
+            # wants to know coverage is partial.
+            return 0 if health["status"] == "ok" else 1
 
     # cluster query
     try:
@@ -520,7 +561,7 @@ def _cmd_cluster(args) -> int:
                     print()
                     print(f">{hit.record}")
                     print(hit.alignment.pretty())
-            return 0
+            return _strict_exit(response, args.strict)
     except (ServiceError, ConnectionError, OSError, EOFError, ValueError) as exc:
         print(format_error_line(*classify_exception(exc)), file=sys.stderr)
         return 1
@@ -620,6 +661,7 @@ def main(argv: list[str] | None = None) -> int:
                 port=int(port),
                 batch_window=args.batch_window,
                 max_inflight=args.max_inflight,
+                adaptive=not args.static_inflight,
             )
             server = TcpSearchServer(engine, config=config, defaults=defaults, obs=obs)
 
@@ -675,7 +717,7 @@ def main(argv: list[str] | None = None) -> int:
                         print()
                         print(f">{hit.record}")
                         print(hit.alignment.pretty())
-                return 0
+                return _strict_exit(response, args.strict)
         except (ServiceError, ConnectionError, OSError, EOFError) as exc:
             print(format_error_line(*classify_exception(exc)), file=sys.stderr)
             return 1

@@ -199,26 +199,42 @@ from .resilience import (
     corrupt_index_file,
     validate_sweep,
 )
-from .guard import CircuitBreaker, CircuitOpen, HedgePolicy, IndexManager
+from .guard import (
+    AdaptiveLimiter,
+    CircuitBreaker,
+    CircuitOpen,
+    HedgePolicy,
+    IndexManager,
+)
 from .protocol import PROTOCOL_VERSION, ProtocolError
 from .server import QueryRequest, SearchServer
 from .net import ServerConfig, TcpSearchServer
 from .client import AsyncSearchClient, SearchClient
-from .cluster import ClusterClient, ClusterTopology, LocalCluster, partition_index
+from .cluster import (
+    ClusterClient,
+    ClusterSupervisor,
+    ClusterTopology,
+    HealthMonitor,
+    LocalCluster,
+    partition_index,
+)
 
 #: The stable, supported surface of ``repro.service``: the engine, the
 #: client SDK, the unified request options, the index, the cache, and
 #: the error taxonomy.  Internal machinery (pools, servers, fault
 #: injection) stays importable but unpinned.
 __all__ = [
+    "AdaptiveLimiter",
     "BadRequest",
     "CircuitBreaker",
     "CircuitOpen",
     "ClusterClient",
+    "ClusterSupervisor",
     "ClusterTopology",
     "DatabaseIndex",
     "Deadline",
     "DeadlineExceeded",
+    "HealthMonitor",
     "HedgePolicy",
     "IndexCorrupt",
     "IndexFormatError",

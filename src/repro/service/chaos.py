@@ -37,9 +37,24 @@ degraded coverage matches the down nodes' spans *exactly*, and every
 answer is bit-identical to a reference merge over the surviving
 nodes' engines.
 
+:func:`run_selfheal_chaos` closes the loop the self-healing tier
+promises: a seeded kill takes a node down, the
+:class:`~repro.service.cluster.healthd.HealthMonitor` ejects it
+within ``eject_after`` heartbeats, the
+:class:`~repro.service.cluster.supervisor.ClusterSupervisor` respawns
+it and reattaches its channel, probation probes readmit it — and the
+invariants are that coverage returns to exactly 1.0 within a bounded
+number of heartbeats, that no query is lost or double-answered across
+the respawn, and that post-heal answers are bit-identical to the
+fault-free baseline.  :func:`limiter_convergence_trace` drives the
+:class:`~repro.service.guard.AdaptiveLimiter` through a deterministic
+slow-node schedule and proves the AIMD loop converges to the node's
+real capacity instead of oscillating or collapsing.
+
 ``python -m repro.service.chaos --seed 7`` runs the harness directly
 and exits nonzero on any invariant violation; add ``--cluster`` to
-run the cluster schedule instead.
+run the cluster schedule instead, or ``--selfheal`` (optionally with
+``--mode process``) for the kill→eject→respawn→readmit loop.
 """
 
 from __future__ import annotations
@@ -81,11 +96,14 @@ __all__ = [
     "NetsplitController",
     "POOL_FAULT_KINDS",
     "CHAOS_LOG_ENV",
+    "SelfHealReport",
     "build_workload",
+    "limiter_convergence_trace",
     "response_signature",
     "run_chaos",
     "run_cluster_chaos",
     "run_reload_storm",
+    "run_selfheal_chaos",
     "storm_mismatches",
 ]
 
@@ -963,6 +981,314 @@ def run_cluster_chaos(
     return report
 
 
+# ----------------------------------------------------------------------
+# Self-heal chaos: kill → eject → respawn → readmit, with invariants
+# ----------------------------------------------------------------------
+@dataclass
+class SelfHealReport:
+    """One kill→heal incident, phase by phase, for the tests to judge.
+
+    Phases: ``steady`` (all nodes up), ``down`` (the victim killed and
+    ejected), ``healed`` (respawned, reattached, readmitted).  Every
+    phase's outcomes are judged against reference answers computed
+    inline over the nodes that phase leaves reachable, so degraded
+    coverage during ``down`` and bit-identical full coverage after
+    ``healed`` are both part of the same check.
+    """
+
+    mode: str
+    seed: int
+    victim: int
+    outcomes: dict[str, list[SearchResponse | Exception]]
+    expected: dict[str, list[SearchResponse]]
+    coverage_timeline: list[dict]
+    ticks_to_eject: int
+    ticks_to_recover: int
+    heartbeat_budget: int
+    respawned: list[int]
+    issued: int
+    answered: int
+    final_health: dict
+    log: ChaosEventLog
+    events_dumped_to: Path | None = None
+
+    @property
+    def failures(self) -> list[tuple[str, int, Exception]]:
+        """Requests that raised — a survivor is guaranteed, so all bugs."""
+        return [
+            (phase, i, outcome)
+            for phase, results in self.outcomes.items()
+            for i, outcome in enumerate(results)
+            if isinstance(outcome, Exception)
+        ]
+
+    def mismatches(self) -> list[tuple[str, int]]:
+        """Answers that differ from their phase's reference merge."""
+        bad = []
+        for phase, results in self.outcomes.items():
+            for i, outcome in enumerate(results):
+                if isinstance(outcome, Exception):
+                    bad.append((phase, i))
+                elif response_signature(outcome) != response_signature(
+                    self.expected[phase][i]
+                ):
+                    bad.append((phase, i))
+        return bad
+
+    def heal_violations(self) -> list[str]:
+        """Broken self-healing promises, in plain words."""
+        problems = []
+        if self.ticks_to_recover > self.heartbeat_budget:
+            problems.append(
+                f"recovery took {self.ticks_to_recover} heartbeats "
+                f"(budget {self.heartbeat_budget})"
+            )
+        if self.victim not in self.respawned:
+            problems.append(f"supervisor never respawned node {self.victim}")
+        for i, outcome in enumerate(self.outcomes.get("healed", [])):
+            if isinstance(outcome, Exception):
+                problems.append(f"healed request {i} failed: {outcome}")
+            elif outcome.coverage != 1.0:
+                problems.append(
+                    f"healed request {i} still degraded "
+                    f"(coverage {outcome.coverage:.3f})"
+                )
+        for i, outcome in enumerate(self.outcomes.get("down", [])):
+            if isinstance(outcome, Exception):
+                continue  # already a failure
+            if outcome.coverage >= 1.0:
+                problems.append(
+                    f"down-phase request {i} claims full coverage with "
+                    f"node {self.victim} dead"
+                )
+        if self.answered != self.issued:
+            problems.append(
+                f"{self.issued} requests issued but {self.answered} answered "
+                "(lost or double-answered)"
+            )
+        return problems
+
+    def summary(self) -> str:
+        return (
+            f"selfheal seed={self.seed} mode={self.mode}: victim={self.victim}, "
+            f"eject after {self.ticks_to_eject} beats, recovered after "
+            f"{self.ticks_to_recover} beats (budget {self.heartbeat_budget}), "
+            f"{len(self.failures)} failures, {len(self.mismatches())} mismatches, "
+            f"{len(self.heal_violations())} heal violations"
+        )
+
+
+def run_selfheal_chaos(
+    seed: int = 0,
+    nodes: int = 3,
+    mode: str = "thread",
+    requests_per_phase: int = 3,
+    eject_after: int = 2,
+    readmit_after: int = 1,
+    heartbeat_budget: int | None = None,
+    log: ChaosEventLog | None = None,
+) -> SelfHealReport:
+    """Kill a seeded node; prove the tier heals itself within budget.
+
+    The heartbeat loop is driven *synchronously* (``monitor.tick()``
+    between request phases) rather than on its background thread, so
+    "within N heartbeats" is a deterministic count, not a race.  The
+    supervisor likewise heals via one explicit ``check_once()`` sweep.
+    The production wiring — the same objects on their daemon threads —
+    is exercised by the integration tests; this harness proves the
+    *logic* heals, with the clock taken out of the verdict.
+    """
+    from .cluster import LocalCluster, NodeAnswer, merge_node_responses
+    from .cluster.healthd import HealthMonitor
+    from .cluster.supervisor import ClusterSupervisor
+    from .cluster.topology import partition_index
+
+    if heartbeat_budget is None:
+        # eject_after failing beats, one supervisor sweep, readmit_after
+        # probation beats, plus slack for a slow respawn probe.
+        heartbeat_budget = eject_after + readmit_after + 3
+    log = log if log is not None else ChaosEventLog()
+    queries, index, loader = build_workload(seed=seed)
+    options = QueryOptions(top=5, min_score=1)
+
+    ref_topology, parts = partition_index(index, nodes)
+    ref_engines = {
+        spec.node_id: SearchEngine(part, cache=ResultCache(0))
+        for spec, part in zip(ref_topology.nodes, parts)
+        if not spec.empty
+    }
+
+    def reference(query: str, down: set[int]) -> SearchResponse:
+        live = [
+            NodeAnswer(node_id=nid, response=engine.search(query, options))
+            for nid, engine in ref_engines.items()
+            if nid not in down
+        ]
+        return merge_node_responses(query.upper(), live, ref_topology, options)
+
+    rng = random.Random(f"selfheal:{seed}")
+    outcomes: dict[str, list[SearchResponse | Exception]] = {}
+    expected: dict[str, list[SearchResponse]] = {}
+    timeline: list[dict] = []
+    issued = 0
+    answered = 0
+
+    with LocalCluster(index, nodes=nodes, mode=mode, batch_window=0.0) as cluster:
+        victim = rng.choice(sorted(ref_engines))
+        with cluster.client(gather_timeout=15.0, breaker_factory=None) as client:
+            coordinator = client.coordinator
+            monitor = HealthMonitor(
+                coordinator.channels,
+                eject_after=eject_after,
+                readmit_after=readmit_after,
+                jitter=0.0,
+                seed=seed,
+                obs=coordinator.obs,
+            )
+            coordinator.monitor = monitor  # attached, tick-driven, no thread
+            supervisor = ClusterSupervisor(
+                cluster, coordinators=[coordinator], obs=coordinator.obs
+            )
+            log.record(
+                "selfheal-schedule",
+                seed=seed,
+                mode=mode,
+                victim=victim,
+                eject_after=eject_after,
+                readmit_after=readmit_after,
+                budget=heartbeat_budget,
+            )
+
+            def run_phase(phase: str, down: set[int]) -> None:
+                nonlocal issued, answered
+                outcomes[phase] = []
+                expected[phase] = []
+                for r in range(requests_per_phase):
+                    query = queries[(len(timeline) + r) % len(queries)]
+                    issued += 1
+                    try:
+                        response = client.search(query, options)
+                        outcomes[phase].append(response)
+                        answered += 1
+                        timeline.append(
+                            {"phase": phase, "request": r, "coverage": response.coverage}
+                        )
+                        log.record(
+                            "answered", phase=phase, request=r,
+                            coverage=response.coverage,
+                        )
+                    except Exception as exc:  # noqa: BLE001 - judged by the report
+                        outcomes[phase].append(exc)
+                        timeline.append(
+                            {"phase": phase, "request": r, "coverage": None}
+                        )
+                        log.record(
+                            "request-failed", phase=phase, request=r, error=str(exc)
+                        )
+                    expected[phase].append(reference(query, down))
+
+            monitor.tick()  # everyone starts as a confirmed member
+            run_phase("steady", set())
+
+            cluster.kill_node(victim)
+            log.record("node.kill", node=victim)
+            ticks_to_eject = 0
+            while monitor.is_up(victim) and ticks_to_eject < heartbeat_budget:
+                monitor.tick()
+                ticks_to_eject += 1
+            log.record("node.ejected", node=victim, ticks=ticks_to_eject)
+            run_phase("down", {victim})
+
+            respawned = supervisor.check_once()
+            log.record("supervisor.sweep", respawned=respawned)
+            ticks_to_recover = ticks_to_eject
+            while not monitor.is_up(victim) and ticks_to_recover < heartbeat_budget + 1:
+                monitor.tick()
+                ticks_to_recover += 1
+            log.record("node.readmitted", node=victim, ticks=ticks_to_recover)
+            run_phase("healed", set())
+            final_health = dict(client.health())
+
+    log.record(
+        "selfheal-drained",
+        victim=victim,
+        ticks_to_eject=ticks_to_eject,
+        ticks_to_recover=ticks_to_recover,
+    )
+    report = SelfHealReport(
+        mode=mode,
+        seed=seed,
+        victim=victim,
+        outcomes=outcomes,
+        expected=expected,
+        coverage_timeline=timeline,
+        ticks_to_eject=ticks_to_eject,
+        ticks_to_recover=ticks_to_recover,
+        heartbeat_budget=heartbeat_budget,
+        respawned=respawned,
+        issued=issued,
+        answered=answered,
+        final_health=final_health,
+        log=log,
+    )
+    report.events_dumped_to = log.dump_env()
+    return report
+
+
+def limiter_convergence_trace(
+    seed: int = 0,
+    capacity: int = 4,
+    initial: int = 64,
+    rounds: int = 60,
+    settle_rounds: int = 10,
+) -> dict:
+    """Drive the AIMD limiter through a slow-node schedule; judge convergence.
+
+    A deterministic discrete-time model of a node that can finish
+    ``capacity`` requests per round on time: each round the server
+    admits ``limit`` requests, the first ``capacity`` complete on time
+    (additive increase), the rest miss their deadline (multiplicative
+    decrease, one cut per round thanks to the cooldown).  The limiter
+    must *converge*: once past the transient, the limit stays in a
+    band around capacity and cuts become one-per-excursion instead of
+    a collapse to the floor.  Returned trace: per-round limits, cut
+    count, and a ``converged`` verdict over the final
+    ``settle_rounds``.
+    """
+    from .guard import AdaptiveLimiter
+
+    fake_now = [0.0]
+    limiter = AdaptiveLimiter(
+        initial=initial,
+        min_limit=1,
+        max_limit=initial,
+        cooldown=0.5,
+        clock=lambda: fake_now[0],
+    )
+    trace: list[int] = []
+    for _ in range(rounds):
+        fake_now[0] += 1.0  # each round is past the cooldown: cuts allowed
+        admitted = limiter.limit
+        on_time = min(admitted, capacity)
+        for _ in range(on_time):
+            limiter.on_success()
+        for _ in range(admitted - on_time):
+            limiter.on_overload()
+        trace.append(limiter.limit)
+    settle = trace[-settle_rounds:]
+    # Converged: the limit hugs capacity — never at the static ceiling,
+    # never collapsed to the floor, and within a 4x band of capacity.
+    converged = all(1 <= limit <= max(4 * capacity, 4) for limit in settle)
+    return {
+        "capacity": capacity,
+        "initial": initial,
+        "trace": trace,
+        "cuts": limiter.cuts,
+        "settle": settle,
+        "converged": converged,
+    }
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Direct entry point: run one chaos schedule and judge it."""
     import argparse
@@ -976,9 +1302,39 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="run the cluster kill/netsplit schedule instead",
     )
+    parser.add_argument(
+        "--selfheal",
+        action="store_true",
+        help="run the kill→eject→respawn→readmit self-healing schedule",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("thread", "process"),
+        default="thread",
+        help="node mode for --selfheal (process spawns real `repro serve` children)",
+    )
     parser.add_argument("--nodes", type=int, default=3, help="cluster node count")
     parser.add_argument("--log", help="dump the event log to this JSON path")
     args = parser.parse_args(argv)
+    if args.selfheal:
+        sreport = run_selfheal_chaos(seed=args.seed, nodes=args.nodes, mode=args.mode)
+        if args.log:
+            sreport.events_dumped_to = sreport.log.dump(args.log)
+        print(sreport.summary())
+        if sreport.events_dumped_to is not None:
+            print(f"event log: {sreport.events_dumped_to}")
+        convergence = limiter_convergence_trace(seed=args.seed)
+        print(
+            f"limiter convergence: capacity={convergence['capacity']} "
+            f"settle={convergence['settle']} converged={convergence['converged']}"
+        )
+        ok = (
+            not sreport.failures
+            and not sreport.mismatches()
+            and not sreport.heal_violations()
+            and convergence["converged"]
+        )
+        return 0 if ok else 1
     if args.cluster:
         creport = run_cluster_chaos(
             seed=args.seed, requests=args.requests, nodes=args.nodes

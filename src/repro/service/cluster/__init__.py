@@ -20,22 +20,36 @@ scatter-gather every query over protocol v2:
   drop-in ``SearchClient``-shaped facade;
 * :mod:`~repro.service.cluster.local` — :class:`LocalCluster`,
   spawn-local topologies (threads for dev/chaos, ``repro serve``
-  subprocesses for honest scale-out measurement).
+  subprocesses for honest scale-out measurement);
+* :mod:`~repro.service.cluster.healthd` — :class:`HealthMonitor`,
+  the jittered heartbeat loop whose membership lets fan-outs skip
+  down nodes *before* scatter and readmit them after probation;
+* :mod:`~repro.service.cluster.supervisor` —
+  :class:`ClusterSupervisor`, the watchdog that respawns dead nodes
+  under capped-exponential backoff and reattaches their channels —
+  the software form of reconfiguring the array around a failed
+  element between queries.
 """
 
 from .client import ClusterClient
-from .coordinator import ClusterCoordinator, NodeChannel
+from .coordinator import ClusterCoordinator, NodeChannel, NodeEjected
+from .healthd import HealthMonitor, NodeHealth
 from .local import LocalCluster
 from .merge import NodeAnswer, merge_node_responses
+from .supervisor import ClusterSupervisor
 from .topology import ClusterTopology, NodeSpec, partition_index
 
 __all__ = [
     "ClusterClient",
     "ClusterCoordinator",
+    "ClusterSupervisor",
     "ClusterTopology",
+    "HealthMonitor",
     "LocalCluster",
     "NodeAnswer",
     "NodeChannel",
+    "NodeEjected",
+    "NodeHealth",
     "NodeSpec",
     "merge_node_responses",
     "partition_index",

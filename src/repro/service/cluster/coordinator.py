@@ -33,16 +33,29 @@ import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from typing import Callable, Sequence
 
+import dataclasses
+
 from ...obs import NULL_OBS, Observability
 from .. import QueryOptions, resolve_query_options
 from ..client import SearchClient
 from ..engine import SearchResponse
 from ..guard import CircuitBreaker, CircuitOpen, HedgePolicy
 from ..resilience import BadRequest, Deadline, DeadlineExceeded, RetryPolicy
+from .healthd import HealthMonitor
 from .merge import NodeAnswer, merge_node_responses
 from .topology import ClusterTopology, NodeSpec
 
-__all__ = ["ClusterCoordinator", "NodeChannel"]
+__all__ = ["ClusterCoordinator", "NodeChannel", "NodeEjected"]
+
+
+class NodeEjected(ConnectionError):
+    """A fan-out skipped this node: the health monitor holds it down.
+
+    Subclasses :class:`ConnectionError` so everything that degrades on
+    transport failure degrades on an ejection too — the node's span is
+    simply not swept, without spending any of the request's budget
+    discovering what the heartbeat already knew.
+    """
 
 #: Failures that degrade coverage instead of failing the query: the
 #: node (or the path to it) is unhealthy, the query itself is fine.
@@ -74,6 +87,8 @@ class NodeChannel:
         self.breaker = breaker
         self.hedge = hedge
         self.obs = obs
+        self._client_factory = client_factory
+        self._client_kwargs = {"retry": retry, "timeout": timeout, "obs": obs}
         self.primary = client_factory(
             spec.address, retry=retry, timeout=timeout, obs=obs
         )
@@ -83,6 +98,28 @@ class NodeChannel:
         ]
         self._replica_rr = 0
         self._lock = threading.Lock()
+
+    def reattach(self, address: str) -> None:
+        """Point the primary at a fresh address (a respawned node).
+
+        A respawned node almost always binds a new port, so healing is
+        a channel operation, not just a membership flip: swap in a new
+        primary client, close the old one, and close the breaker —
+        failure history from the dead incarnation says nothing about
+        the new process.
+        """
+        old = self.primary
+        self.spec = dataclasses.replace(self.spec, address=address)
+        self.primary = self._client_factory(address, **self._client_kwargs)
+        try:
+            old.close()
+        except Exception:  # noqa: BLE001 - the old stack is already dead
+            pass
+        if self.breaker is not None:
+            self.breaker.record_success()
+        self.obs.log.info(
+            "cluster.reattached", node=self.spec.node_id, address=address
+        )
 
     def _next_replica(self) -> SearchClient | None:
         with self._lock:
@@ -271,6 +308,8 @@ class ClusterCoordinator:
             max_workers=max(2 * len(self.channels), 1),
             thread_name_prefix="repro-cluster",
         )
+        #: Optional heartbeat membership; see :meth:`start_health_monitor`.
+        self.monitor: HealthMonitor | None = None
         registry = self.obs.registry
         self._m_requests = registry.counter(
             "cluster_requests_total", "Cluster searches served by the coordinator"
@@ -294,6 +333,36 @@ class ClusterCoordinator:
             )
             for node_id in self.channels
         }
+        self._m_skipped = registry.counter(
+            "cluster_skipped_down_total",
+            "Fan-out legs skipped because the health monitor held the node down",
+        )
+
+    # ------------------------------------------------------------------
+    # Self-healing hooks
+    # ------------------------------------------------------------------
+    def start_health_monitor(self, **kwargs) -> HealthMonitor:
+        """Attach and start a :class:`HealthMonitor` over this coordinator.
+
+        Once running, every fan-out consults the monitor's membership:
+        a node it holds down is skipped *before* scatter (its span
+        degrades immediately, costing none of the request's budget)
+        and readmitted the moment probation probes succeed.  Keyword
+        arguments go to :class:`HealthMonitor`; calling twice returns
+        the existing monitor.
+        """
+        if self.monitor is None:
+            kwargs.setdefault("obs", self.obs)
+            self.monitor = HealthMonitor(self.channels, **kwargs)
+            self.monitor.start()
+        return self.monitor
+
+    def reattach_node(self, node_id: int, address: str) -> None:
+        """Re-point one node's channel at a respawned server address."""
+        channel = self.channels.get(node_id)
+        if channel is None:
+            raise KeyError(f"no channel for node {node_id}")
+        channel.reattach(address)
 
     # ------------------------------------------------------------------
     def _gather(
@@ -314,11 +383,27 @@ class ClusterCoordinator:
 
         futures: dict[Future, int] = {}
         started: dict[int, float] = {}
+        answers: list[NodeAnswer] = []
         for node_id, channel in self.channels.items():
+            if self.monitor is not None and not self.monitor.is_up(node_id):
+                # The heartbeat already knows this node is down: degrade
+                # its span up front instead of spending gather budget
+                # rediscovering the fact.
+                self._m_skipped.inc()
+                answers.append(
+                    NodeAnswer(
+                        node_id=node_id,
+                        response=None,
+                        error=NodeEjected(
+                            f"node {node_id} held down by the health monitor"
+                        ),
+                        seconds=0.0,
+                    )
+                )
+                continue
             started[node_id] = time.monotonic()
             futures[self._executor.submit(channel.search, query, options)] = node_id
 
-        answers: list[NodeAnswer] = []
         pending = set(futures)
         deadline_at = time.monotonic() + budget
         while pending:
@@ -450,11 +535,14 @@ class ClusterCoordinator:
                 channel.breaker.record_success()
             return results
 
-        futures = {
-            self._executor.submit(node_batch, channel): node_id
-            for node_id, channel in self.channels.items()
-        }
         per_node: dict[int, list[SearchResponse | BaseException] | None] = {}
+        futures = {}
+        for node_id, channel in self.channels.items():
+            if self.monitor is not None and not self.monitor.is_up(node_id):
+                self._m_skipped.inc()
+                per_node[node_id] = None
+                continue
+            futures[self._executor.submit(node_batch, channel)] = node_id
         for future, node_id in futures.items():
             try:
                 per_node[node_id] = future.result(timeout=self.gather_timeout)
@@ -496,7 +584,17 @@ class ClusterCoordinator:
 
     # ------------------------------------------------------------------
     def health(self) -> dict[str, object]:
-        """Cluster liveness: ping every channel, report per-node state."""
+        """Cluster liveness: ping every channel, report per-node state.
+
+        ``status`` is the operator-facing verdict: ``"ok"`` only when
+        every span can answer, ``"degraded"`` the moment any span is
+        down (partial coverage is a real outage for whoever lives in
+        the missing records), ``"down"`` when nobody answers.
+        ``healthy`` keeps its historical liveness meaning (the cluster
+        can answer *something*); scripts that gate deployments should
+        branch on ``status``/``degraded``, which is what
+        ``repro cluster health`` exits nonzero on.
+        """
         nodes = {}
         up = 0
         for node_id, channel in self.channels.items():
@@ -504,19 +602,34 @@ class ClusterCoordinator:
             up += bool(alive)
             nodes[str(node_id)] = {
                 "up": alive,
+                "member": (
+                    self.monitor.is_up(node_id) if self.monitor is not None else None
+                ),
                 "address": channel.spec.address,
                 "records": channel.spec.records,
                 "breaker": channel.breaker.state if channel.breaker else "none",
             }
         empty = len(self.topology) - len(self.channels)
-        return {
+        degraded = up < len(self.channels)
+        if up == 0 and self.channels:
+            status = "down"
+        elif degraded:
+            status = "degraded"
+        else:
+            status = "ok"
+        payload: dict[str, object] = {
+            "status": status,
             "healthy": up > 0,
             "ready": up == len(self.channels),
+            "degraded": degraded,
             "nodes_up": up,
             "nodes": nodes,
             "empty_nodes": empty,
             "total_records": self.topology.total_records,
         }
+        if self.monitor is not None:
+            payload["monitor"] = self.monitor.describe()
+        return payload
 
     def stats(self) -> dict[str, object]:
         """Per-node server stats keyed by node id (best effort)."""
@@ -529,6 +642,8 @@ class ClusterCoordinator:
         return stats
 
     def close(self) -> None:
+        if self.monitor is not None:
+            self.monitor.stop()
         self._executor.shutdown(wait=False, cancel_futures=True)
         for channel in self.channels.values():
             channel.close()

@@ -1,0 +1,334 @@
+"""Heartbeat failure detection: membership the coordinator can trust.
+
+The coordinator (PR 6) only learns a node is dead by burning a slice
+of a live query's deadline on it; the paper's reconfigurable array
+does better — a bad processing element is detected by the fabric and
+routed around *before* the next wave starts.  :class:`HealthMonitor`
+is that detector for the serving tier: a background loop heartbeats
+every :class:`~repro.service.cluster.coordinator.NodeChannel` on a
+jittered interval and maintains a **membership** set the coordinator
+consults at fan-out, so a down node is skipped before scatter instead
+of discovered per-request.
+
+State machine, per node:
+
+* **up** — the steady state.  Every heartbeat pings the channel;
+  ``eject_after`` *consecutive* failed probes eject the node (it
+  leaves the membership, fan-outs skip it, its span degrades
+  coverage).
+* **down** — probation.  Heartbeats keep probing (the half-open
+  analogue of the circuit breaker): ``readmit_after`` consecutive
+  successful probes readmit the node, and its channel breaker is
+  reset so the first real query is not short-circuited by stale
+  failure history.
+
+Probes use :meth:`NodeChannel.ping`, which never raises — any fault
+is simply a failed probe.  The heartbeat interval is jittered by a
+seeded RNG so a fleet of monitors does not synchronize its probe
+bursts against the same node.
+
+All transitions are metered: ``healthd_nodes_up`` (gauge),
+``healthd_ejections_total`` / ``healthd_readmissions_total``
+(counters), ``healthd_probes_total``, and a
+``healthd_recovery_seconds`` histogram measuring ejection-to-
+readmission time — the serving tier's time-to-recovery.
+
+The loop is a daemon thread (:meth:`start` / :meth:`stop`), but every
+piece of logic lives in :meth:`tick` so tests drive the monitor
+synchronously with a fake clock and fake channels — determinism
+first, exactly like the chaos harness.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, Mapping
+
+from ...obs import NULL_OBS, Observability
+
+__all__ = ["HealthMonitor", "NodeHealth"]
+
+
+class NodeHealth:
+    """One node's view from the monitor: state + streak counters."""
+
+    __slots__ = (
+        "node_id",
+        "up",
+        "consecutive_failures",
+        "consecutive_successes",
+        "down_since",
+        "ejections",
+        "readmissions",
+    )
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.up = True
+        self.consecutive_failures = 0
+        self.consecutive_successes = 0
+        self.down_since: float | None = None
+        self.ejections = 0
+        self.readmissions = 0
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "up": self.up,
+            "consecutive_failures": self.consecutive_failures,
+            "consecutive_successes": self.consecutive_successes,
+            "ejections": self.ejections,
+            "readmissions": self.readmissions,
+        }
+
+
+class HealthMonitor:
+    """Jittered heartbeat loop over a coordinator's node channels.
+
+    Parameters
+    ----------
+    channels:
+        ``node_id -> channel`` mapping; each channel needs a
+        non-raising ``ping() -> bool`` and (optionally) a ``breaker``
+        attribute to reset on readmission.  The coordinator passes its
+        live ``channels`` dict, so a reattached channel (new address
+        after a respawn) is probed without re-registration.
+    interval:
+        Nominal seconds between heartbeats.
+    jitter:
+        Fraction of ``interval`` the seeded RNG may add or subtract
+        per beat (``0.2`` → each beat lands within ±20%).
+    eject_after:
+        Consecutive failed probes before an up node is ejected.
+    readmit_after:
+        Consecutive successful probation probes before a down node is
+        readmitted.
+    on_transition:
+        Optional ``(node_id, up) -> None`` hook fired after every
+        membership change (outside the lock).
+    clock / seed:
+        Injectable monotonic clock and jitter seed, for deterministic
+        tests.
+    """
+
+    def __init__(
+        self,
+        channels: Mapping[int, object],
+        interval: float = 0.5,
+        jitter: float = 0.2,
+        eject_after: int = 3,
+        readmit_after: int = 1,
+        on_transition: Callable[[int, bool], None] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        seed: int = 0,
+        obs: Observability | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be within [0, 1), got {jitter}")
+        if eject_after < 1:
+            raise ValueError(f"eject_after must be positive, got {eject_after}")
+        if readmit_after < 1:
+            raise ValueError(f"readmit_after must be positive, got {readmit_after}")
+        self.channels = channels
+        self.interval = interval
+        self.jitter = jitter
+        self.eject_after = eject_after
+        self.readmit_after = readmit_after
+        self.on_transition = on_transition
+        self._clock = clock
+        self._rng = random.Random(f"healthd:{seed}")
+        self.obs = obs if obs is not None else NULL_OBS
+        self._lock = threading.Lock()
+        self._health: dict[int, NodeHealth] = {
+            node_id: NodeHealth(node_id) for node_id in channels
+        }
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self.ticks = 0
+        registry = self.obs.registry
+        self._g_up = registry.gauge(
+            "healthd_nodes_up", "Nodes currently in the health monitor's membership"
+        )
+        self._g_node_up = {
+            node_id: registry.gauge(
+                f"healthd_node_up_{node_id}",
+                f"Node {node_id} membership per the health monitor (1/0)",
+            )
+            for node_id in channels
+        }
+        self._m_probes = registry.counter(
+            "healthd_probes_total", "Heartbeat probes issued"
+        )
+        self._m_ejections = registry.counter(
+            "healthd_ejections_total", "Nodes ejected after consecutive probe failures"
+        )
+        self._m_readmissions = registry.counter(
+            "healthd_readmissions_total", "Nodes readmitted after probation probes"
+        )
+        self._h_recovery = registry.histogram(
+            "healthd_recovery_seconds", "Ejection-to-readmission time per incident"
+        )
+        self._g_up.set(len(self._health))
+        for gauge in self._g_node_up.values():
+            gauge.set(1.0)
+
+    # ------------------------------------------------------------------
+    # Membership queries (what the coordinator consults at fan-out)
+    # ------------------------------------------------------------------
+    def is_up(self, node_id: int) -> bool:
+        """Membership verdict; nodes the monitor never met count as up."""
+        with self._lock:
+            health = self._health.get(node_id)
+            return True if health is None else health.up
+
+    @property
+    def up_nodes(self) -> set[int]:
+        with self._lock:
+            return {nid for nid, h in self._health.items() if h.up}
+
+    @property
+    def down_nodes(self) -> set[int]:
+        with self._lock:
+            return {nid for nid, h in self._health.items() if not h.up}
+
+    # ------------------------------------------------------------------
+    # The heartbeat itself
+    # ------------------------------------------------------------------
+    def tick(self) -> dict[int, bool]:
+        """Probe every channel once; apply transitions; return membership.
+
+        This is the whole monitor — the background thread just calls
+        it on a jittered cadence.  Probes run outside the lock (a ping
+        is network IO); transitions are applied under it.
+        """
+        transitions: list[tuple[int, bool]] = []
+        for node_id, channel in list(self.channels.items()):
+            alive = bool(channel.ping())
+            self._m_probes.inc()
+            with self._lock:
+                health = self._health.get(node_id)
+                if health is None:  # channel added after construction
+                    health = self._health[node_id] = NodeHealth(node_id)
+                    self._g_node_up.setdefault(
+                        node_id,
+                        self.obs.registry.gauge(
+                            f"healthd_node_up_{node_id}",
+                            f"Node {node_id} membership per the health monitor (1/0)",
+                        ),
+                    )
+                if health.up:
+                    if alive:
+                        health.consecutive_failures = 0
+                    else:
+                        health.consecutive_failures += 1
+                        if health.consecutive_failures >= self.eject_after:
+                            health.up = False
+                            health.down_since = self._clock()
+                            health.consecutive_successes = 0
+                            health.ejections += 1
+                            transitions.append((node_id, False))
+                else:
+                    if alive:
+                        health.consecutive_successes += 1
+                        if health.consecutive_successes >= self.readmit_after:
+                            health.up = True
+                            health.consecutive_failures = 0
+                            health.readmissions += 1
+                            if health.down_since is not None:
+                                self._h_recovery.observe(
+                                    self._clock() - health.down_since
+                                )
+                            health.down_since = None
+                            transitions.append((node_id, True))
+                    else:
+                        health.consecutive_successes = 0
+        self.ticks += 1
+        for node_id, up in transitions:
+            self._apply_transition(node_id, up)
+        with self._lock:
+            membership = {nid: h.up for nid, h in self._health.items()}
+        self._g_up.set(sum(membership.values()))
+        return membership
+
+    def _apply_transition(self, node_id: int, up: bool) -> None:
+        gauge = self._g_node_up.get(node_id)
+        if gauge is not None:
+            gauge.set(1.0 if up else 0.0)
+        if up:
+            self._m_readmissions.inc()
+            self.obs.log.info("healthd.readmitted", node=node_id)
+            # Stale failure history must not short-circuit the first
+            # real query after a heal: close the channel's breaker.
+            channel = self.channels.get(node_id)
+            breaker = getattr(channel, "breaker", None)
+            if breaker is not None:
+                breaker.record_success()
+        else:
+            self._m_ejections.inc()
+            self.obs.log.warning("healthd.ejected", node=node_id)
+        if self.on_transition is not None:
+            self.on_transition(node_id, up)
+
+    # ------------------------------------------------------------------
+    # Background loop
+    # ------------------------------------------------------------------
+    def _next_beat(self) -> float:
+        """The next sleep: ``interval`` jittered by the seeded RNG."""
+        if self.jitter == 0.0:
+            return self.interval
+        return self.interval * (1.0 + self.jitter * (2.0 * self._rng.random() - 1.0))
+
+    def start(self) -> "HealthMonitor":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+
+        def _loop() -> None:
+            while not self._stop.wait(self._next_beat()):
+                try:
+                    self.tick()
+                except Exception as exc:  # noqa: BLE001 - the monitor must survive
+                    self.obs.log.error("healthd.tick-failed", error=str(exc))
+
+        self._thread = threading.Thread(
+            target=_loop, name="repro-healthd", daemon=True
+        )
+        self._thread.start()
+        self.obs.log.info(
+            "healthd.started", nodes=len(self._health), interval=self.interval
+        )
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=10)
+        self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def describe(self) -> dict[str, object]:
+        with self._lock:
+            nodes = {str(nid): h.describe() for nid, h in self._health.items()}
+            up = sum(1 for h in self._health.values() if h.up)
+        return {
+            "running": self.running,
+            "interval": self.interval,
+            "eject_after": self.eject_after,
+            "readmit_after": self.readmit_after,
+            "ticks": self.ticks,
+            "nodes_up": up,
+            "nodes": nodes,
+        }
+
+    def __enter__(self) -> "HealthMonitor":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -25,6 +25,7 @@ invariants can be asserted against a real dead node.
 
 from __future__ import annotations
 
+import dataclasses
 import subprocess
 import sys
 import tempfile
@@ -56,15 +57,16 @@ class _ThreadNode:
         batch_window: float,
     ) -> None:
         self.engine = SearchEngine(index, workers=workers)
-        config = ServerConfig(host="127.0.0.1", port=0, batch_window=batch_window)
+        self._config = ServerConfig(host="127.0.0.1", port=0, batch_window=batch_window)
+        self._defaults = defaults
         self.primary: ServerThread | None = ServerThread(
-            self.engine, config=config, defaults=defaults
+            self.engine, config=self._config, defaults=defaults
         )
         self.primary.start()
         # Replicas share the engine: same data, independent serving path.
         self.replica_servers = []
         for _ in range(replicas):
-            replica = ServerThread(self.engine, config=config, defaults=defaults)
+            replica = ServerThread(self.engine, config=self._config, defaults=defaults)
             replica.start()
             self.replica_servers.append(replica)
 
@@ -78,10 +80,23 @@ class _ThreadNode:
     def replica_addresses(self) -> list[str]:
         return [f"{r.host}:{r.port}" for r in self.replica_servers]
 
+    @property
+    def alive(self) -> bool:
+        return self.primary is not None
+
     def kill(self) -> None:
         if self.primary is not None:
             self.primary.stop()
             self.primary = None
+
+    def respawn(self) -> str:
+        """Bring a killed primary back (fresh server, same engine)."""
+        if self.primary is None:
+            self.primary = ServerThread(
+                self.engine, config=self._config, defaults=self._defaults
+            )
+            self.primary.start()
+        return self.address
 
     def stop(self) -> None:
         self.kill()
@@ -100,25 +115,34 @@ class _ProcessNode:
         batch_window: float,
         startup_timeout: float,
     ) -> None:
-        self.proc: subprocess.Popen | None = subprocess.Popen(
+        self._index_path = index_path
+        self._workers = workers
+        self._batch_window = batch_window
+        self._startup_timeout = startup_timeout
+        self.proc: subprocess.Popen | None = None
+        self.address = self._spawn()
+
+    def _spawn(self) -> str:
+        self.proc = subprocess.Popen(
             [
                 sys.executable,
                 "-m",
                 "repro",
                 "serve",
-                str(index_path),
+                str(self._index_path),
                 "--tcp",
                 "127.0.0.1:0",
                 "--workers",
-                str(workers),
+                str(self._workers),
                 "--batch-window",
-                str(batch_window),
+                str(self._batch_window),
             ],
             stdout=subprocess.PIPE,
             stderr=subprocess.DEVNULL,
             text=True,
         )
-        self.address = self._await_listening(startup_timeout)
+        self.address = self._await_listening(self._startup_timeout)
+        return self.address
 
     def _await_listening(self, timeout: float) -> str:
         assert self.proc is not None and self.proc.stdout is not None
@@ -137,16 +161,33 @@ class _ProcessNode:
     def replica_addresses(self) -> list[str]:
         return []
 
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
     def kill(self) -> None:
         if self.proc is not None:
             self.proc.kill()
             self.proc.wait(timeout=10)
             self.proc = None
 
+    def respawn(self) -> str:
+        """Replace a dead subprocess with a fresh one (new port).
+
+        A process that died on its own (crash, OOM kill) is reaped
+        first; a live one is left alone and its address returned.
+        """
+        if self.proc is not None:
+            if self.proc.poll() is None:
+                return self.address
+            self.proc.wait(timeout=10)
+            self.proc = None
+        return self._spawn()
+
     def stop(self, graceful: bool = True) -> None:
         if self.proc is None:
             return
-        if graceful:
+        if graceful and self.proc.poll() is None:
             self.proc.terminate()  # SIGTERM → run_blocking drains
             try:
                 self.proc.wait(timeout=15)
@@ -258,15 +299,57 @@ class LocalCluster:
 
         Thread-mode replicas keep serving, so a killed primary with
         replicas costs availability nothing — which is the point of
-        replicas.
+        replicas.  Idempotent: killing a node twice, or after
+        :meth:`stop`, is a no-op — chaos schedules and supervisors race
+        against each other and must never die on a double kill.
         """
         node = self._nodes.get(node_id)
         if node is None:
-            raise KeyError(f"no live node {node_id}")
+            return
         node.kill()
 
+    def node_alive(self, node_id: int) -> bool:
+        """Whether this node's primary is currently serving."""
+        node = self._nodes.get(node_id)
+        return node is not None and node.alive
+
+    def dead_nodes(self) -> list[int]:
+        """Node ids whose primary is dead (killed, crashed, or exited)."""
+        return [
+            node_id for node_id, node in self._nodes.items() if not node.alive
+        ]
+
+    def respawn_node(self, node_id: int) -> str:
+        """Bring a dead node back; returns its (usually new) address.
+
+        Thread mode restarts a fresh :class:`ServerThread` over the
+        node's engine; process mode spawns a fresh ``repro serve``
+        subprocess over the node's on-disk sub-index.  Either way the
+        node returns on a *new* port, so the bound topology is updated
+        and callers holding channels must reattach (the
+        :class:`~repro.service.cluster.supervisor.ClusterSupervisor`
+        does both).  A node that is already alive is left untouched.
+        """
+        node = self._nodes.get(node_id)
+        if node is None:
+            raise KeyError(f"no node {node_id} (empty span or stopped cluster)")
+        address = node.respawn()
+        self._topology = dataclasses.replace(
+            self._topology,
+            nodes=tuple(
+                dataclasses.replace(spec, address=address)
+                if spec.node_id == node_id
+                else spec
+                for spec in self._topology.nodes
+            ),
+        )
+        return address
+
     def stop(self) -> None:
-        """Stop every node (process mode drains gracefully) and clean up."""
+        """Stop every node (process mode drains gracefully) and clean up.
+
+        Idempotent: a second stop (or a stop after kills) is a no-op.
+        """
         for node in self._nodes.values():
             node.stop()
         self._nodes = {}

@@ -15,6 +15,18 @@ holds the guard-rail machinery the request path threads through:
   enough latency samples exist, a request that has not answered within
   the configured percentile earns a second, duplicate request on a
   fresh connection; whichever answers first wins.
+* :class:`AdaptiveLimiter` — an AIMD concurrency limit for the TCP
+  front-end: on-time completions grow the admission limit additively
+  (one extra slot per window of completions), deadline misses and
+  timeouts shrink it multiplicatively, so under overload the server
+  converges onto the concurrency it can actually serve within budget
+  instead of queueing work that will expire — TCP congestion control
+  applied to admission.
+* :class:`ServiceTimeTracker` — a sliding-window percentile estimator
+  over observed service times; the front-end uses its p90 to shed
+  requests *at admission* whose remaining deadline budget cannot
+  cover the service time they are about to need, so overload drops
+  exactly the work that would expire anyway.
 * :class:`IndexManager` — generational hot reload.  The live
   :class:`~repro.service.index.DatabaseIndex` is swapped atomically
   under a lock; in-flight sweeps keep the generation they snapshotted
@@ -52,12 +64,14 @@ from .resilience import (
 
 __all__ = [
     "BREAKER_FAILURE_CODES",
+    "AdaptiveLimiter",
     "CircuitBreaker",
     "CircuitOpen",
     "Deadline",
     "DeadlineExceeded",
     "HedgePolicy",
     "IndexManager",
+    "ServiceTimeTracker",
 ]
 
 
@@ -301,6 +315,158 @@ class HedgePolicy:
             rank = min(
                 int(self.percentile * len(ordered)), len(ordered) - 1
             )
+            return ordered[rank]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+
+# ----------------------------------------------------------------------
+# Adaptive admission control (AIMD)
+# ----------------------------------------------------------------------
+class AdaptiveLimiter:
+    """AIMD concurrency limit: grow on on-time work, cut on misses.
+
+    The classic congestion-control loop, applied to request
+    admission:
+
+    * **additive increase** — each on-time completion adds
+      ``increase / limit`` to the limit, i.e. one extra admission slot
+      per full window of successful completions, capped at
+      ``max_limit`` (the operator's hard ceiling, the old static
+      ``max_inflight``);
+    * **multiplicative decrease** — a deadline miss or timeout cuts
+      the limit to ``limit * backoff`` (never below ``min_limit``).
+      Cuts within ``cooldown`` seconds of the last cut are coalesced:
+      one overload episode produces many misses nearly at once, and
+      reacting to each would collapse the limit to the floor on a
+      single bad batch.
+
+    The limit starts at ``initial`` (by default the ceiling: the
+    server is optimistic until the first miss, which keeps a fault-free
+    run byte-identical to the static configuration).  All state is
+    behind a lock; ``clock`` is injectable so tests drive the cooldown
+    deterministically.
+    """
+
+    def __init__(
+        self,
+        initial: int = 64,
+        min_limit: int = 1,
+        max_limit: int | None = None,
+        increase: float = 1.0,
+        backoff: float = 0.5,
+        cooldown: float = 0.25,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if min_limit < 1:
+            raise ValueError(f"min_limit must be positive, got {min_limit}")
+        if max_limit is not None and max_limit < min_limit:
+            raise ValueError("max_limit cannot be below min_limit")
+        if initial < min_limit:
+            raise ValueError("initial cannot be below min_limit")
+        if max_limit is not None and initial > max_limit:
+            raise ValueError("initial cannot exceed max_limit")
+        if increase <= 0:
+            raise ValueError(f"increase must be positive, got {increase}")
+        if not 0.0 < backoff < 1.0:
+            raise ValueError(f"backoff must be in (0, 1), got {backoff}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown cannot be negative, got {cooldown}")
+        self.min_limit = min_limit
+        self.max_limit = max_limit
+        self.increase = increase
+        self.backoff = backoff
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._limit = float(initial)
+        self._last_cut: float | None = None
+        self.successes = 0
+        self.misses = 0
+        self.cuts = 0
+
+    @property
+    def limit(self) -> int:
+        """The current admission limit (integer, >= ``min_limit``)."""
+        with self._lock:
+            return max(int(self._limit), self.min_limit)
+
+    def on_success(self) -> int:
+        """One on-time completion: additive increase.  Returns the limit."""
+        with self._lock:
+            self.successes += 1
+            self._limit += self.increase / max(self._limit, 1.0)
+            if self.max_limit is not None:
+                self._limit = min(self._limit, float(self.max_limit))
+            return max(int(self._limit), self.min_limit)
+
+    def on_overload(self) -> bool:
+        """One deadline miss/timeout: multiplicative decrease.
+
+        Returns ``True`` when the limit was actually cut (``False``
+        while the cooldown coalesces the episode's remaining misses).
+        """
+        with self._lock:
+            self.misses += 1
+            now = self._clock()
+            if self._last_cut is not None and now - self._last_cut < self.cooldown:
+                return False
+            self._last_cut = now
+            self._limit = max(self._limit * self.backoff, float(self.min_limit))
+            self.cuts += 1
+            return True
+
+    def describe(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "limit": max(int(self._limit), self.min_limit),
+                "min": self.min_limit,
+                "max": self.max_limit,
+                "successes": self.successes,
+                "misses": self.misses,
+                "cuts": self.cuts,
+            }
+
+
+class ServiceTimeTracker:
+    """Sliding-window service-time percentiles for admission shedding.
+
+    Structurally a sibling of :class:`HedgePolicy`'s estimator, but
+    queried with an explicit percentile: the front-end asks for the
+    p90 and refuses a request whose remaining deadline budget is
+    smaller — that request would occupy a sweep slot and then expire,
+    which under overload is precisely the work to drop first.  Until
+    ``min_samples`` observations exist :meth:`percentile` returns
+    ``None`` and no shedding happens (a cold server has no opinion).
+    """
+
+    def __init__(self, min_samples: int = 20, max_samples: int = 256) -> None:
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be positive, got {min_samples}")
+        if max_samples < min_samples:
+            raise ValueError("max_samples cannot be below min_samples")
+        self.min_samples = min_samples
+        self.max_samples = max_samples
+        self._samples: list[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(seconds)
+            if len(self._samples) > self.max_samples:
+                del self._samples[: len(self._samples) - self.max_samples]
+
+    def percentile(self, q: float = 0.9) -> float | None:
+        """The ``q`` quantile of the window; ``None`` until warmed up."""
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"q must be in (0, 1), got {q}")
+        with self._lock:
+            if len(self._samples) < self.min_samples:
+                return None
+            ordered = sorted(self._samples)
+            rank = min(int(q * len(ordered)), len(ordered) - 1)
             return ordered[rank]
 
     def __len__(self) -> int:

@@ -13,6 +13,22 @@ machinery — the embedding point ``serve_queue`` promised — with:
   in flight server-wide; excess requests are *rejected immediately*
   with a structured ``overloaded`` error frame instead of queueing
   without bound;
+* **adaptive admission** (``adaptive=True``, the default) — the
+  in-flight bound is an :class:`~repro.service.guard.AdaptiveLimiter`
+  that starts at ``max_inflight`` and AIMD-adjusts it: on-time
+  completions grow the limit back toward the ceiling, deadline misses
+  and timeouts cut it multiplicatively, so a server whose sweeps have
+  slowed (hot index reload, noisy neighbour, degraded disk) sheds
+  load *before* queueing work it cannot finish;
+* **deadline-aware shedding** — once the
+  :class:`~repro.service.guard.ServiceTimeTracker` has warmed up, a
+  search whose remaining ``deadline_ms`` budget is smaller than the
+  observed p90 sweep time is refused at admission with
+  ``overloaded`` (which the client SDK retries with backoff): it
+  would occupy a sweep slot and then expire, which under overload is
+  precisely the work to drop first.  An idle server always admits,
+  so a stale service-time estimate can never latch into refusing
+  every request;
 * **cross-request micro-batching** — search requests arriving within
   ``batch_window`` seconds are coalesced (grouped by identical
   :class:`~repro.service.QueryOptions`) into one
@@ -47,7 +63,8 @@ from dataclasses import dataclass, field
 from ..obs import Observability
 from . import QueryOptions
 from .engine import SearchEngine
-from .resilience import Deadline, DeadlineExceeded, Overloaded
+from .guard import AdaptiveLimiter, ServiceTimeTracker
+from .resilience import Deadline, DeadlineExceeded, Overloaded, RequestTimeout
 from . import protocol
 
 __all__ = ["ServerConfig", "TcpSearchServer", "ServerThread"]
@@ -63,11 +80,22 @@ class ServerConfig:
     ``0.0`` disables coalescing entirely — every request becomes its
     own sweep, which is the configuration the throughput benchmark
     compares against.
+
+    ``adaptive`` turns ``max_inflight`` from a static bound into the
+    *ceiling* of an AIMD limiter that shrinks toward ``min_inflight``
+    when requests miss their deadlines.  ``shed_percentile`` /
+    ``shed_min_samples`` tune deadline-aware admission shedding
+    (``shed_min_samples`` observations warm the tracker before any
+    shedding happens).
     """
 
     host: str = "127.0.0.1"
     port: int = 0
     max_inflight: int = 64
+    adaptive: bool = True
+    min_inflight: int = 1
+    shed_percentile: float = 0.9
+    shed_min_samples: int = 20
     batch_window: float = 0.002
     batch_max: int = 32
     idle_timeout: float | None = None
@@ -78,6 +106,18 @@ class ServerConfig:
     def __post_init__(self) -> None:
         if self.max_inflight < 1:
             raise ValueError(f"max_inflight must be positive, got {self.max_inflight}")
+        if not 1 <= self.min_inflight <= self.max_inflight:
+            raise ValueError(
+                f"min_inflight must be in [1, max_inflight], got {self.min_inflight}"
+            )
+        if not 0.0 < self.shed_percentile < 1.0:
+            raise ValueError(
+                f"shed_percentile must be in (0, 1), got {self.shed_percentile}"
+            )
+        if self.shed_min_samples < 1:
+            raise ValueError(
+                f"shed_min_samples must be positive, got {self.shed_min_samples}"
+            )
         if self.batch_window < 0:
             raise ValueError(f"batch_window cannot be negative, got {self.batch_window}")
         if self.batch_max < 1:
@@ -148,6 +188,20 @@ class TcpSearchServer:
         self._exec = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-net-dispatch"
         )
+        # Adaptive admission: the limiter starts at the ceiling, so a
+        # fault-free run is indistinguishable from the static bound.
+        self.limiter: AdaptiveLimiter | None = (
+            AdaptiveLimiter(
+                initial=self.config.max_inflight,
+                min_limit=self.config.min_inflight,
+                max_limit=self.config.max_inflight,
+            )
+            if self.config.adaptive
+            else None
+        )
+        self.service_times = ServiceTimeTracker(
+            min_samples=self.config.shed_min_samples
+        )
         registry = self.obs.registry
         self._g_connections = registry.gauge(
             "net_connections", "Open TCP connections"
@@ -178,6 +232,18 @@ class TcpSearchServer:
         )
         self._h_request = registry.histogram(
             "net_request_seconds", "Accept-to-response latency over TCP"
+        )
+        self._g_limit = registry.gauge(
+            "net_admission_limit", "Current adaptive in-flight admission limit"
+        )
+        self._g_limit.set(self._admission_limit())
+        self._m_shed = registry.counter(
+            "net_shed_total",
+            "Requests shed at admission (budget below observed p90 service time)",
+        )
+        self._m_limit_cuts = registry.counter(
+            "net_limit_cuts_total",
+            "Multiplicative cuts applied to the adaptive admission limit",
         )
 
     # ------------------------------------------------------------------
@@ -439,11 +505,11 @@ class TcpSearchServer:
         # verb == "search"
         if self._draining:
             raise Overloaded("server is draining; retry against another instance")
-        if self._inflight >= self.config.max_inflight:
+        limit = self._admission_limit()
+        if self._inflight >= limit:
             self._m_rejected.inc()
             raise Overloaded(
-                f"{self._inflight} requests in flight (limit "
-                f"{self.config.max_inflight}); retry later"
+                f"{self._inflight} requests in flight (limit {limit}); retry later"
             )
         options = protocol.options_from_wire(request.options, self.defaults)
         deadline = None
@@ -457,6 +523,27 @@ class TcpSearchServer:
                 raise DeadlineExceeded(
                     f"deadline_ms={options.deadline_ms} already expired at admission"
                 )
+            # Deadline-aware shedding: once warmed up, refuse a budget
+            # the observed p90 says we cannot honour.  A shed at
+            # admission never feeds the limiter — the request did no
+            # work, so it is evidence of the *client's* budget, not of
+            # this server slowing down.  Two deliberate choices keep
+            # the mechanism stable: the refusal is ``Overloaded`` (the
+            # SDK backs off and retries it, so shedding cannot trigger
+            # a retry storm the way an instant terminal error would),
+            # and an *idle* server always admits (the sweep refreshes
+            # the service-time estimate, so a stale, pessimistic p90
+            # can never latch the server into refusing everything).
+            if self.config.adaptive and self._inflight > 0:
+                p90 = self.service_times.percentile(self.config.shed_percentile)
+                remaining = deadline.remaining()
+                if p90 is not None and remaining < p90:
+                    self._m_shed.inc()
+                    raise Overloaded(
+                        f"remaining budget {remaining * 1e3:.1f}ms is below "
+                        f"the observed p{int(self.config.shed_percentile * 100)} "
+                        f"service time {p90 * 1e3:.1f}ms; shed at admission"
+                    )
         assert self._queue is not None and self._loop is not None
         self._inflight += 1
         self._g_inflight.set(self._inflight)
@@ -472,12 +559,45 @@ class TcpSearchServer:
             )
         )
 
+    def _admission_limit(self) -> int:
+        """The in-flight bound this instant (adaptive or static)."""
+        if self.limiter is not None:
+            return self.limiter.limit
+        return self.config.max_inflight
+
+    def _observe_outcome(self, frame: dict, seconds: float) -> None:
+        """Feed one settled request into the limiter.
+
+        Only genuine latency failures — the server's own timeout or an
+        expired end-to-end budget on *accepted* work — drive the
+        multiplicative decrease; everything else (including non-latency
+        errors like ``bad-request``) is an on-time completion.  Service
+        times are observed separately in :meth:`_process_group`, sweep
+        only, so the shedding estimate never inflates with queue wait.
+        """
+        del seconds  # accept-to-response; the histogram already has it
+        code = frame.get("code") if frame.get("type") == "error" else None
+        missed = code in (RequestTimeout.code, DeadlineExceeded.code)
+        if self.limiter is None:
+            return
+        if missed:
+            if self.limiter.on_overload():
+                self._m_limit_cuts.inc()
+                self.obs.log.warning(
+                    "net.limit-cut", limit=self.limiter.limit, code=code
+                )
+        else:
+            self.limiter.on_success()
+        self._g_limit.set(self.limiter.limit)
+
     def _health_payload(self) -> dict:
         """The ``health`` verb: engine readiness plus this front-end's state."""
         health = dict(self.engine.health())
         health["draining"] = self._draining
         health["connections"] = self._connections
         health["inflight"] = self._inflight
+        health["limit"] = self._admission_limit()
+        health["adaptive"] = self.limiter is not None
         health["served"] = self.served
         return {"health": health}
 
@@ -486,6 +606,11 @@ class TcpSearchServer:
             stats = {str(k): str(v) for k, v in self.engine.describe().items()}
             stats["net connections"] = str(self._connections)
             stats["net inflight"] = str(self._inflight)
+            stats["net limit"] = str(self._admission_limit())
+            if self.limiter is not None:
+                described = self.limiter.describe()
+                stats["net limit cuts"] = str(described["cuts"])
+                stats["net deadline misses"] = str(described["misses"])
             stats["net served"] = str(self.served)
             return {"stats": stats}
         if verb == "metrics":
@@ -532,17 +657,41 @@ class TcpSearchServer:
             self._m_batches.inc()
             self._m_batched.inc(len(batch))
             # Requests whose budget ran out while queued are answered
-            # now, not swept: the caller has already given up.
+            # now, not swept: the caller has already given up.  Under
+            # adaptive admission the same check is *predictive* — a
+            # budget still nominally alive but smaller than the
+            # observed p90 sweep time would burn a full board pass and
+            # miss anyway, so it is answered here too.  Dropping doomed
+            # work at dispatch is where deadline-awareness pays: the
+            # queue wait is already known exactly, unlike at admission.
+            p90 = (
+                self.service_times.percentile(self.config.shed_percentile)
+                if self.config.adaptive
+                else None
+            )
             live: list[_Pending] = []
             for item in batch:
-                if item.deadline is not None and item.deadline.expired:
+                doomed = None
+                if item.deadline is not None:
+                    if item.deadline.expired:
+                        doomed = "deadline expired while queued for dispatch"
+                    elif p90 is not None and item.deadline.remaining() < p90:
+                        self._m_shed.inc()
+                        doomed = (
+                            f"remaining budget "
+                            f"{item.deadline.remaining() * 1e3:.1f}ms cannot "
+                            f"cover the observed "
+                            f"p{int(self.config.shed_percentile * 100)} sweep "
+                            f"time {p90 * 1e3:.1f}ms; dropped before sweep"
+                        )
+                if doomed is not None:
                     await self._deliver(
                         [item],
                         [
                             protocol.error_frame(
                                 item.request_id,
                                 DeadlineExceeded.code,
-                                "deadline expired while queued for dispatch",
+                                doomed,
                                 version=self._version_for(item.writer),
                             )
                         ],
@@ -596,9 +745,15 @@ class TcpSearchServer:
             if anchored:
                 deadline = min(anchored, key=lambda d: d.expires_at)
             try:
+                t_sweep = time.monotonic()
                 responses = self.engine.search_batch(
                     [item.query for item in items], options, deadline=deadline
                 )
+                # Service time is the sweep alone, not queue + sweep:
+                # shedding asks "can this budget cover the work once it
+                # reaches the front", and a queue-inflated estimate
+                # latches into rejecting everything under overload.
+                self.service_times.observe(time.monotonic() - t_sweep)
                 frames = [
                     protocol.response_frame(
                         item.request_id, response, self._version_for(item.writer)
@@ -640,7 +795,9 @@ class TcpSearchServer:
                 self._m_errors.inc()
             else:
                 self.served += 1
-            self._h_request.observe(self._loop.time() - item.received)
+            elapsed = self._loop.time() - item.received
+            self._h_request.observe(elapsed)
+            self._observe_outcome(frame, elapsed)
             self._inflight -= 1
             self._g_inflight.set(self._inflight)
         if self._draining and self._inflight == 0 and self._drained is not None:

@@ -278,6 +278,10 @@ class TestCoordinatorEndToEnd:
                 health = client.health()
                 assert health["healthy"] and not health["ready"]
                 assert health["nodes_up"] == 2
+                # The operator-facing verdict: partial coverage is an
+                # outage, and `repro cluster health` exits nonzero on it.
+                assert health["status"] == "degraded"
+                assert health["degraded"] is True
 
     def test_deadline_expired_node_degrades(self, shared_index):
         class StallClient(SearchClient):

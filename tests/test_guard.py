@@ -156,6 +156,42 @@ class TestCircuitBreaker:
         with pytest.raises(CircuitOpen):
             breaker.allow()  # the recovery clock restarted at the re-trip
 
+    def test_half_open_admits_exactly_half_open_max_concurrently(self, clock):
+        """A thundering herd at the half-open instant gets exactly
+        ``half_open_max`` probes through — one winner per slot, no
+        over-admission from racing callers."""
+        breaker = make_breaker(clock, threshold=1, recovery=1.0, probes=3)
+        breaker.record_failure(ConnectionError("refused"))
+        clock.advance(1.0)
+        callers = 24
+        admitted = []
+        rejected = []
+        barrier = threading.Barrier(callers)
+
+        def caller(slot):
+            barrier.wait()
+            try:
+                breaker.allow()
+            except CircuitOpen:
+                rejected.append(slot)
+            else:
+                admitted.append(slot)
+
+        threads = [
+            threading.Thread(target=caller, args=(slot,))
+            for slot in range(callers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == 3
+        assert len(rejected) == callers - 3
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        # The first probe's success closes the breaker for everyone.
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
     def test_uncountable_errors_never_trip(self, clock):
         breaker = make_breaker(clock, threshold=1)
         breaker.record_failure(BadRequest("top must be positive"))

@@ -41,14 +41,17 @@ def test_service_stable_surface_pinned():
     import repro.service
 
     assert repro.service.__all__ == [
+        "AdaptiveLimiter",
         "BadRequest",
         "CircuitBreaker",
         "CircuitOpen",
         "ClusterClient",
+        "ClusterSupervisor",
         "ClusterTopology",
         "DatabaseIndex",
         "Deadline",
         "DeadlineExceeded",
+        "HealthMonitor",
         "HedgePolicy",
         "IndexCorrupt",
         "IndexFormatError",
@@ -70,6 +73,8 @@ def test_service_stable_surface_pinned():
                  "RetryPolicy", "TcpSearchServer", "AsyncSearchClient",
                  "partition_index"):
         assert hasattr(repro.service, name), f"repro.service.{name} vanished"
+    from repro.service.guard import ServiceTimeTracker  # noqa: F401
+    from repro.service.cluster import NodeEjected, NodeHealth  # noqa: F401
 
 
 def test_top_level_quickstart_symbols():
