@@ -1,0 +1,195 @@
+"""Experiment OB1 — observability overhead: live obs vs the null bundle.
+
+The observability stack promises to be cheap enough to leave on: the
+per-request tracer (a span tree per search), the metrics registry
+(counters/histograms on the request path) and a concurrent fleet
+scrape loop (the :class:`~repro.obs.MetricsAggregator` polling the
+registry the way ``repro cluster stats`` polls a node) together must
+cost at most **5% of sustained CUPS** against the bare engine running
+with :data:`~repro.obs.NULL_OBS`.
+
+Workload: the same query set swept repeatedly through a sharded
+synthetic database by one :class:`~repro.service.SearchEngine`, once
+with the null bundle and once with a live
+:class:`~repro.obs.Observability` plus a background scrape thread.
+Each configuration takes the best of ``REPEATS`` passes (the overhead
+claim is about the instrumentation, not scheduler noise).  Acceptance
+(full mode only): live sustained CUPS is within ``BUDGET`` of null.
+
+Alongside the printed table the run writes ``BENCH_obs.json`` via
+:mod:`repro.analysis.results`.  ``python benchmarks/bench_obs_overhead.py
+--tiny`` runs a seconds-scale smoke of the same path for CI.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.analysis.results import write_bench_json
+from repro.io.generate import random_dna
+from repro.obs import NULL_OBS, MetricsAggregator, Observability, parse_prometheus
+from repro.service import DatabaseIndex, QueryOptions, ResultCache, SearchEngine
+
+QUERY_BP = 64
+ROUNDS = int(os.environ.get("REPRO_OBS_BENCH_ROUNDS", "6"))
+REPEATS = 3
+SCRAPE_INTERVAL_S = 0.05
+#: Acceptance budget: live obs may cost at most this fraction of CUPS.
+BUDGET = 0.05
+
+QUERY_POOL = [random_dna(QUERY_BP, seed=70 + i) for i in range(4)]
+
+
+def _build_workload(n_records=40, record_bp=4_000, shards=8, label="obs-bench"):
+    records = [
+        (f"rec{i}", random_dna(record_bp, seed=3_000 + i)) for i in range(n_records)
+    ]
+    return DatabaseIndex.build(records, shards=shards, source=label)
+
+
+def _run_config(index, obs, rounds, scrape=False):
+    """One configuration: sweep the query pool ``rounds`` times.
+
+    With ``scrape`` a background thread plays fleet aggregator against
+    the live registry at the cadence ``repro cluster stats`` would,
+    so the measured overhead includes being scraped, not just being
+    instrumented.
+    """
+    engine = SearchEngine(index, workers=1, cache=ResultCache(0), obs=obs)
+    options = QueryOptions(top=5)
+    stop = threading.Event()
+    scrapes = [0]
+
+    def scrape_loop():
+        aggregator = MetricsAggregator.from_registries({"0": obs.registry})
+        while not stop.wait(SCRAPE_INTERVAL_S):
+            view = aggregator.scrape()
+            parse_prometheus(view.render_prometheus())
+            scrapes[0] += 1
+
+    scraper = None
+    if scrape:
+        scraper = threading.Thread(target=scrape_loop, daemon=True)
+        scraper.start()
+    cells = 0
+    try:
+        t0 = time.perf_counter()
+        for r in range(rounds):
+            for query in QUERY_POOL:
+                response = engine.search(query, options)
+                cells += response.report.cells
+        wall = time.perf_counter() - t0
+    finally:
+        stop.set()
+        if scraper is not None:
+            scraper.join(timeout=5)
+    return {
+        "requests": rounds * len(QUERY_POOL),
+        "cells": cells,
+        "wall_seconds": wall,
+        "cups": cells / wall,
+        "scrapes": scrapes[0],
+    }
+
+
+def run_ob1(index, rounds=ROUNDS, repeats=REPEATS, assert_budget=True):
+    """The OB1 comparison; returns (rows, json payload)."""
+    runs = {}
+    for key, make_obs, scrape in (
+        ("null", lambda: NULL_OBS, False),
+        ("live", Observability.create, True),
+    ):
+        best = None
+        for _ in range(repeats):
+            run = _run_config(index, make_obs(), rounds, scrape=scrape)
+            if best is None or run["cups"] > best["cups"]:
+                best = run
+        runs[key] = best
+    overhead = 1.0 - runs["live"]["cups"] / runs["null"]["cups"]
+    payload = {
+        "experiment": "OB1",
+        "db_bp": index.total_bp,
+        "records": index.record_count,
+        "shards": index.shard_count,
+        "query_bp": QUERY_BP,
+        "rounds": rounds,
+        "repeats": repeats,
+        "scrape_interval_s": SCRAPE_INTERVAL_S,
+        "budget": BUDGET,
+        "runs": runs,
+        "overhead_fraction": overhead,
+    }
+    rows = [
+        [
+            key,
+            f"{run['requests']}",
+            f"{run['wall_seconds']:.2f}",
+            f"{run['cups'] / 1e6:.2f}",
+            f"{run['scrapes']}",
+        ]
+        for key, run in runs.items()
+    ]
+    rows.append(["overhead", "-", "-", f"{overhead * 100:+.2f}%", "-"])
+    if assert_budget:
+        assert overhead <= BUDGET, (
+            f"live observability costs {overhead * 100:.1f}% of sustained CUPS "
+            f"(budget {BUDGET * 100:.0f}%)"
+        )
+    return rows, payload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return _build_workload()
+
+
+def test_ob1_obs_overhead(benchmark, workload):
+    rows, payload = benchmark.pedantic(
+        lambda: run_ob1(workload), rounds=1, iterations=1
+    )
+    print()
+    print(
+        render_table(
+            ["config", "requests", "seconds", "MCUPS", "scrapes"],
+            rows,
+            title=f"OB1: obs overhead vs {workload.total_bp / 1e6:.2f} MBP",
+        )
+    )
+    write_bench_json("obs", payload)
+
+
+def main(argv=None):
+    """Direct (non-pytest) entry point: ``--tiny`` for the CI smoke run."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="seconds-scale smoke workload (CI: exercises the instrumented path)",
+    )
+    args = parser.parse_args(argv)
+    if args.tiny:
+        index = _build_workload(n_records=12, record_bp=800, shards=4, label="tiny")
+        rows, payload = run_ob1(index, rounds=2, repeats=1, assert_budget=False)
+    else:
+        index = _build_workload()
+        rows, payload = run_ob1(index)
+    print(
+        render_table(
+            ["config", "requests", "seconds", "MCUPS", "scrapes"],
+            rows,
+            title=f"OB1: obs overhead vs {index.total_bp / 1e6:.2f} MBP",
+        )
+    )
+    write_bench_json("obs", payload)
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -23,7 +23,10 @@ Commands mirror the repository's main workflows:
 ``cluster``  — partition a database across N shard nodes, serve them
                locally and scatter-gather queries with a merged global
                ranking (``partition`` / ``serve`` / ``query`` /
-               ``health``).
+               ``health``), plus the fleet observability surface:
+               ``trace`` (stitched cross-node traces), ``stats``
+               (aggregated Prometheus/JSON metrics) and ``slo``
+               (probe-driven burn-rate gate).
 ``figures``  — regenerate any of the paper's figures as ASCII.
 ``design``   — print the Table-2 resource row and frequency for an
                array size.
@@ -338,6 +341,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", type=Path, default=None,
         help="write the bound manifest here (default: update the manifest in place)",
     )
+    c_serve.add_argument(
+        "--metrics-file",
+        type=Path,
+        default=None,
+        help="periodically dump an aggregated fleet metrics snapshot to this file",
+    )
+    c_serve.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=5.0,
+        help="minimum seconds between --metrics-file dumps (default 5)",
+    )
 
     c_query = csub.add_parser("query", help="scatter-gather query a running cluster")
     c_query.add_argument(
@@ -360,6 +375,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit nonzero when the merged response is degraded (coverage < 1.0)",
     )
+    c_query.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the stitched cross-node trace of this query",
+    )
 
     c_health = csub.add_parser("health", help="per-node liveness of a running cluster")
     c_health.add_argument(
@@ -367,6 +387,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="cluster manifest path, or comma-separated node addresses host:port,...",
     )
     c_health.add_argument("--timeout", type=float, default=10.0)
+
+    c_trace = csub.add_parser(
+        "trace", help="fetch and stitch a cross-node trace from a running cluster"
+    )
+    c_trace.add_argument(
+        "cluster",
+        help="cluster manifest path, or comma-separated node addresses host:port,...",
+    )
+    c_trace.add_argument(
+        "trace_id",
+        nargs="?",
+        default=None,
+        help="trace id (from `cluster query --trace`); omitted = per-node listing",
+    )
+    c_trace.add_argument("--timeout", type=float, default=10.0)
+
+    c_stats = csub.add_parser(
+        "stats", help="aggregated fleet metrics scraped from every node"
+    )
+    c_stats.add_argument(
+        "cluster",
+        help="cluster manifest path, or comma-separated node addresses host:port,...",
+    )
+    c_stats.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the JSON fleet snapshot instead of the Prometheus exposition",
+    )
+    c_stats.add_argument("--timeout", type=float, default=10.0)
+
+    c_slo = csub.add_parser(
+        "slo", help="probe a running cluster and gate on SLO burn rates"
+    )
+    c_slo.add_argument(
+        "cluster",
+        help="cluster manifest path, or comma-separated node addresses host:port,...",
+    )
+    c_slo.add_argument("query", type=_sequence_arg, help="probe sequence or @file.fasta")
+    c_slo.add_argument("--probes", type=int, default=20, help="probe query count")
+    c_slo.add_argument(
+        "--target", type=float, default=0.99, help="good-request fraction per objective"
+    )
+    c_slo.add_argument(
+        "--p99-seconds",
+        type=float,
+        default=1.0,
+        help="latency objective threshold in seconds",
+    )
+    c_slo.add_argument(
+        "--coverage-floor",
+        type=float,
+        default=0.999,
+        help="minimum coverage for a probe to count as good",
+    )
+    c_slo.add_argument("--timeout", type=float, default=10.0)
 
     p_fig = sub.add_parser("figures", help="regenerate a paper figure")
     p_fig.add_argument("number", choices=sorted(_FIGURES), help="figure number")
@@ -416,15 +492,29 @@ def _strict_exit(response, strict: bool) -> int:
     return 0
 
 
-def _cluster_client(args):
+def _slo_objectives(args):
+    """The three CLI-tunable objectives for ``repro cluster slo``."""
+    from .obs import ServiceObjective
+
+    return (
+        ServiceObjective("availability", "availability", args.target),
+        ServiceObjective("latency_p99", "latency", args.target, args.p99_seconds),
+        ServiceObjective("coverage", "coverage", args.target, args.coverage_floor),
+    )
+
+
+def _cluster_client(args, obs=None):
     """A :class:`ClusterClient` from a manifest path or an address list."""
     from .service.cluster import ClusterClient
 
+    kwargs: dict = {"timeout": args.timeout}
+    if obs is not None:
+        kwargs["obs"] = obs
     target = args.cluster
     if "," in target or (":" in target and not Path(target).exists()):
         addresses = [address.strip() for address in target.split(",") if address.strip()]
-        return ClusterClient.from_addresses(addresses, timeout=args.timeout)
-    return ClusterClient.from_manifest(target, timeout=args.timeout)
+        return ClusterClient.from_addresses(addresses, **kwargs)
+    return ClusterClient.from_manifest(target, **kwargs)
 
 
 def _cmd_cluster(args) -> int:
@@ -466,6 +556,7 @@ def _cmd_cluster(args) -> int:
         import signal as signal_mod
         import threading
 
+        from .obs import FleetDumper, MetricsAggregator, Observability
         from .service import DatabaseIndex, SearchEngine
         from .service.cluster import ClusterTopology
         from .service.net import ServerConfig, ServerThread
@@ -473,6 +564,7 @@ def _cmd_cluster(args) -> int:
         topology = ClusterTopology.load(args.manifest)
         servers: list[ServerThread] = []
         addresses: list[str] = []
+        registries = {}
         try:
             for spec in topology.nodes:
                 if spec.empty:
@@ -485,14 +577,22 @@ def _cmd_cluster(args) -> int:
                         file=sys.stderr,
                     )
                     return 1
+                # Each node gets its own obs bundle, like a separate
+                # process would: its `metrics` verb answers with its own
+                # registry, which `repro cluster stats` aggregates.
+                node_obs = Observability.create()
+                registries[str(spec.node_id)] = node_obs.registry
                 engine = SearchEngine(
-                    DatabaseIndex.load(spec.index_path), workers=args.workers
+                    DatabaseIndex.load(spec.index_path),
+                    workers=args.workers,
+                    obs=node_obs,
                 )
                 server = ServerThread(
                     engine,
                     config=ServerConfig(
                         host=args.host, port=0, batch_window=args.batch_window
                     ),
+                    obs=node_obs,
                 )
                 server.start()
                 servers.append(server)
@@ -508,10 +608,23 @@ def _cmd_cluster(args) -> int:
             bound.save(out_path)
             print(f"cluster ready nodes={len(servers)} manifest={out_path}", flush=True)
 
+            dumper = None
+            if args.metrics_file is not None:
+                dumper = FleetDumper(
+                    MetricsAggregator.from_registries(registries),
+                    args.metrics_file,
+                    interval=args.metrics_interval,
+                )
             stop = threading.Event()
             for signum in (signal_mod.SIGINT, signal_mod.SIGTERM):
                 signal_mod.signal(signum, lambda *_: stop.set())
-            stop.wait()
+            if dumper is None:
+                stop.wait()
+            else:
+                tick = max(0.05, min(args.metrics_interval, 1.0))
+                while not stop.wait(timeout=tick):
+                    dumper.maybe_dump()
+                dumper.dump()  # final coherent view after drain
         finally:
             for server in servers:
                 server.stop()
@@ -519,8 +632,16 @@ def _cmd_cluster(args) -> int:
         print(f"cluster drained; served {served} requests")
         return 0
 
+    # Commands whose output is the trace or SLO machinery itself need a
+    # live obs bundle on the coordinator; plain query/health stay null
+    # unless asked to trace.
+    obs = None
+    if args.cluster_command == "slo" or getattr(args, "trace", False):
+        from .obs import Observability
+
+        obs = Observability.create()
     try:
-        client = _cluster_client(args)
+        client = _cluster_client(args, obs=obs)
     except (ServiceError, ConnectionError, OSError, EOFError, ValueError) as exc:
         print(format_error_line(*classify_exception(exc)), file=sys.stderr)
         return 1
@@ -543,6 +664,70 @@ def _cmd_cluster(args) -> int:
             # wants to know coverage is partial.
             return 0 if health["status"] == "ok" else 1
 
+    if args.cluster_command == "trace":
+        with client:
+            try:
+                print(client.trace(args.trace_id))
+            except ValueError as exc:
+                print(f"error not-found {exc}", file=sys.stderr)
+                return 1
+            return 0
+
+    if args.cluster_command == "stats":
+        import json as json_mod
+
+        with client:
+            try:
+                if args.as_json:
+                    snapshot = client.fleet_snapshot()
+                    print(json_mod.dumps(snapshot, indent=2, sort_keys=True))
+                    failed = snapshot["fleet"].get("repro_fleet_nodes_failed", 0.0)
+                else:
+                    print(client.fleet_metrics(), end="")
+                    failed = len(
+                        client.coordinator.aggregator.scrape().failed
+                    )
+            except (ServiceError, ConnectionError, OSError, EOFError) as exc:
+                print(format_error_line(*classify_exception(exc)), file=sys.stderr)
+                return 1
+            # Mirrors `cluster health`: a fleet view missing nodes is
+            # printed (partial truth beats silence) but exits nonzero.
+            return 0 if not failed else 1
+
+    if args.cluster_command == "slo":
+        import time as time_mod
+
+        from .obs import SloTracker
+
+        resolved = QueryOptions(top=5)
+        with client:
+            # Probe-run windows: everything lands in both windows, so
+            # the gate is simply "did the bad fraction burn the budget".
+            tracker = SloTracker(
+                objectives=_slo_objectives(args),
+                fast_window=3600.0,
+                slow_window=3600.0,
+                registry=obs.registry,
+            )
+            for _ in range(max(1, args.probes)):
+                t0 = time_mod.monotonic()
+                try:
+                    response = client.search(args.query, resolved)
+                except (ServiceError, ConnectionError, OSError, EOFError, ValueError):
+                    tracker.observe(ok=False, seconds=time_mod.monotonic() - t0)
+                else:
+                    tracker.observe(
+                        ok=True,
+                        seconds=time_mod.monotonic() - t0,
+                        coverage=response.coverage,
+                    )
+            statuses = tracker.evaluate()
+            for status in statuses:
+                print(status.describe())
+            healthy = all(not status.firing for status in statuses)
+            print(f"slo {'ok' if healthy else 'FIRING'} probes={max(1, args.probes)}")
+            return 0 if healthy else 1
+
     # cluster query
     try:
         with client:
@@ -561,6 +746,10 @@ def _cmd_cluster(args) -> int:
                     print()
                     print(f">{hit.record}")
                     print(hit.alignment.pretty())
+            if args.trace and client.last_trace_id:
+                print()
+                print(f"trace {client.last_trace_id}")
+                print(client.trace(client.last_trace_id))
             return _strict_exit(response, args.strict)
     except (ServiceError, ConnectionError, OSError, EOFError, ValueError) as exc:
         print(format_error_line(*classify_exception(exc)), file=sys.stderr)
@@ -675,7 +864,27 @@ def main(argv: list[str] | None = None) -> int:
                 reload_signal = getattr(
                     signal_mod, f"SIG{args.reload_signal.upper()}"
                 )
-            server.run_blocking(ready=_announce, reload_signal=reload_signal)
+            dump_stop = None
+            if dumper is not None:
+                # run_blocking owns the thread until shutdown, so the
+                # dumper ticks on a daemon thread; one final dump after
+                # drain leaves a coherent last snapshot.
+                import threading as threading_mod
+
+                dump_stop = threading_mod.Event()
+                tick = max(0.05, min(args.metrics_interval, 1.0))
+
+                def _dump_loop():
+                    while not dump_stop.wait(timeout=tick):
+                        dumper.maybe_dump()
+
+                threading_mod.Thread(target=_dump_loop, daemon=True).start()
+            try:
+                server.run_blocking(ready=_announce, reload_signal=reload_signal)
+            finally:
+                if dump_stop is not None:
+                    dump_stop.set()
+                    dumper.dump()
             print(f"served {server.served} requests")
             return 0
         server = SearchServer(engine, defaults, dumper=dumper)
@@ -796,6 +1005,54 @@ def main(argv: list[str] | None = None) -> int:
         from .analysis.report import render_kv, render_table
 
         snapshot = json_mod.loads(args.metrics_file.read_text())
+        if "fleet" in snapshot and "nodes" in snapshot:
+            # A fleet snapshot from `cluster serve --metrics-file`.
+            print(
+                render_kv(
+                    sorted(snapshot["fleet"].items()), title="fleet rollups"
+                )
+            )
+            rows = []
+            for node, state in sorted(snapshot["nodes"].items()):
+                if state.get("ok"):
+                    scalars = state.get("scalars", {})
+                    rows.append(
+                        [
+                            node,
+                            "up",
+                            f"{scalars.get('repro_requests_total', 0.0):g}",
+                            f"{scalars.get('repro_sustained_cups', 0.0):g}",
+                        ]
+                    )
+                else:
+                    rows.append([node, f"DOWN ({state.get('error', '?')})", "-", "-"])
+            if rows:
+                print()
+                print(
+                    render_table(
+                        ["node", "state", "requests", "sustained cups"], rows
+                    )
+                )
+            histograms = snapshot.get("histograms", {})
+            if histograms:
+                print()
+                print(
+                    render_table(
+                        ["histogram", "count", "sum s", "p50 s", "p90 s", "p99 s"],
+                        [
+                            [
+                                name,
+                                f"{h['count']:g}",
+                                f"{h['sum']:.3f}",
+                                f"{h['p50']:.4f}",
+                                f"{h['p90']:.4f}",
+                                f"{h['p99']:.4f}",
+                            ]
+                            for name, h in sorted(histograms.items())
+                        ],
+                    )
+                )
+            return 0
         scalars = [
             (name, value)
             for section in ("counters", "gauges")

@@ -16,7 +16,13 @@ readback registers, dependency-free and cheap enough to leave on:
   kept in a bounded ring of recent traces;
 * :mod:`~repro.obs.log` — structured logging (``key=value`` or JSON
   lines) over the stdlib machinery, quiet until
-  :func:`configure_logging` installs a handler.
+  :func:`configure_logging` installs a handler;
+* :mod:`~repro.obs.distributed` — the cluster tier: a
+  :class:`MetricsAggregator` merging every node's scrape into one
+  fleet view (``node=`` labels, merged-histogram global quantiles),
+  an :class:`SloTracker` with multi-window burn rates, and trace
+  stitching that grafts per-node span trees under the coordinator's
+  fan-out span.
 
 :class:`Observability` bundles the three so instrumented components
 take one optional argument; :data:`NULL_OBS` is the all-off default.
@@ -26,6 +32,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .distributed import (
+    DEFAULT_OBJECTIVES,
+    Exposition,
+    FleetDumper,
+    FleetView,
+    MetricsAggregator,
+    NodeScrape,
+    Sample,
+    ServiceObjective,
+    SloStatus,
+    SloTracker,
+    parse_prometheus,
+    stitch_trace,
+    synthesize_trace,
+    validate_exposition,
+)
 from .log import LOG_LEVELS, StructLogger, configure_logging, get_logger
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -36,29 +58,45 @@ from .metrics import (
     MetricsRegistry,
     NullRegistry,
     PeriodicDumper,
+    escape_label_value,
 )
 from .trace import NULL_TRACER, NullTracer, Span, SpanEvent, Tracer
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "DEFAULT_OBJECTIVES",
     "LOG_LEVELS",
     "NULL_OBS",
     "NULL_REGISTRY",
     "NULL_TRACER",
     "Counter",
+    "Exposition",
+    "FleetDumper",
+    "FleetView",
     "Gauge",
     "Histogram",
+    "MetricsAggregator",
     "MetricsRegistry",
+    "NodeScrape",
     "NullRegistry",
     "NullTracer",
     "Observability",
     "PeriodicDumper",
+    "Sample",
+    "ServiceObjective",
+    "SloStatus",
+    "SloTracker",
     "Span",
     "SpanEvent",
     "StructLogger",
     "Tracer",
     "configure_logging",
+    "escape_label_value",
     "get_logger",
+    "parse_prometheus",
+    "stitch_trace",
+    "synthesize_trace",
+    "validate_exposition",
 ]
 
 

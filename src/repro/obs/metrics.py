@@ -41,6 +41,7 @@ __all__ = [
     "MetricsRegistry",
     "NullRegistry",
     "PeriodicDumper",
+    "escape_label_value",
 ]
 
 #: Default histogram bounds — latency-shaped (seconds), spanning the
@@ -51,6 +52,26 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
 )
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def escape_label_value(value: object) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Inside ``name{label="..."}`` the backslash, the double quote, and
+    the line feed must be escaped (``\\\\``, ``\\"``, ``\\n``); anything
+    else passes through verbatim.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """Escape ``# HELP`` text (backslash and line feed only, per spec)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 class Counter:
@@ -197,6 +218,11 @@ class MetricsRegistry:
             return instrument
 
     def counter(self, name: str, help: str = "") -> Counter:
+        # Prometheus naming convention: cumulative counters end in
+        # ``_total``.  Enforced at registration so a deviation fails in
+        # the test that introduces it, not in a downstream scraper.
+        if not name.endswith("_total"):
+            raise ValueError(f"counter name {name!r} must end with '_total'")
         return self._get(Counter, name, help)
 
     def gauge(self, name: str, help: str = "") -> Gauge:
@@ -218,7 +244,7 @@ class MetricsRegistry:
         lines: list[str] = []
         for inst in self.instruments:
             if inst.help:
-                lines.append(f"# HELP {inst.name} {inst.help}")
+                lines.append(f"# HELP {inst.name} {_escape_help(inst.help)}")
             lines.append(f"# TYPE {inst.name} {inst.kind}")
             if isinstance(inst, Histogram):
                 cumulative = 0

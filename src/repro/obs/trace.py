@@ -81,6 +81,64 @@ class Span:
             self._tracer._finish(self)
 
     # ------------------------------------------------------------------
+    def to_payload(self) -> dict[str, object]:
+        """JSON-serializable tree for shipping a span across the wire.
+
+        Monotonic clocks differ between hosts, so absolute ``start``
+        values are meaningless remotely; the payload carries durations
+        and per-event offsets only, which is everything ``render``
+        needs on the far side.
+        """
+        payload: dict[str, object] = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "duration": self.duration,
+        }
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        if self.events:
+            payload["events"] = [
+                {"name": e.name, "offset": e.offset_seconds, "attrs": dict(e.attrs)}
+                for e in self.events
+            ]
+        if self.children:
+            payload["children"] = [child.to_payload() for child in self.children]
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Span":
+        """Rebuild a span tree from :meth:`to_payload` output.
+
+        Rebuilt spans are rebased to ``start=0.0``; only durations and
+        event offsets survive the round trip (by design — see
+        :meth:`to_payload`).
+        """
+        if not isinstance(payload, dict):
+            raise ValueError(f"span payload must be an object, got {type(payload).__name__}")
+        name = payload.get("name")
+        if not isinstance(name, str) or not name:
+            raise ValueError("span payload missing name")
+        duration = float(payload.get("duration", 0.0))
+        span = cls(
+            name=name,
+            trace_id=str(payload.get("trace_id", "")),
+            start=0.0,
+            end=duration,
+            attrs=dict(payload.get("attrs", {})),
+        )
+        for event in payload.get("events", []):
+            span.events.append(
+                SpanEvent(
+                    name=str(event.get("name", "event")),
+                    offset_seconds=float(event.get("offset", 0.0)),
+                    attrs=dict(event.get("attrs", {})),
+                )
+            )
+        for child in payload.get("children", []):
+            span.children.append(cls.from_payload(child))
+        return span
+
+    # ------------------------------------------------------------------
     def render(self, indent: int = 0) -> str:
         """ASCII tree of the span, its events, and its children."""
         pad = "  " * indent
@@ -150,6 +208,40 @@ class Tracer:
         stack.append(span)
         return span
 
+    def adopt(
+        self, name: str, trace_id: str | None, parent_span: str | None = None, **attrs: object
+    ) -> Span:
+        """Open a span under a **remote** trace context.
+
+        The distributed-trace entry point: a server thread picking up a
+        request that arrived with ``trace_id``/``parent_span`` on the
+        wire calls this instead of :meth:`span`, so the local subtree
+        lands in the ring under the *coordinator's* id and the far side
+        can fetch it back with :meth:`get` for stitching.  With no
+        remote context (or when a span is already open on this thread,
+        whose trace id then wins) this degrades to a plain local span.
+        """
+        stack = self._stack()
+        if stack or not trace_id:
+            return self.span(name, **attrs)
+        span = Span(
+            name=name,
+            trace_id=trace_id,
+            start=self.clock(),
+            attrs=dict(attrs),
+            _tracer=self,
+        )
+        span.attrs.setdefault("remote", True)
+        if parent_span:
+            span.attrs.setdefault("remote_parent", parent_span)
+        stack.append(span)
+        return span
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
     def _finish(self, span: Span) -> None:
         span.end = self.clock()
         stack = self._stack()
@@ -178,12 +270,20 @@ class Tracer:
             )
         )
 
-    def add_span(self, name: str, seconds: float = 0.0, **attrs: object) -> None:
+    def add_span(
+        self,
+        name: str,
+        seconds: float = 0.0,
+        events: list[SpanEvent] | None = None,
+        **attrs: object,
+    ) -> None:
         """Record an already-completed child span of the current span.
 
         This is how work measured elsewhere — a shard sweep timed
-        inside its worker process — lands in the host-side trace with
-        its true duration.  Dropped when no span is open.
+        inside its worker process, a fan-out leg run on an executor
+        thread — lands in the host-side trace with its true duration
+        and any ``events`` that happened along the way.  Dropped when
+        no span is open.
         """
         stack = self._stack()
         if not stack:
@@ -196,6 +296,8 @@ class Tracer:
             end=now,
             attrs=dict(attrs),
         )
+        if events:
+            span.events.extend(events)
         stack[-1].children.append(span)
 
     # ------------------------------------------------------------------
@@ -215,11 +317,19 @@ class Tracer:
 
 
 class _NullSpan:
-    """Shared do-nothing span (context manager included)."""
+    """Shared do-nothing span (context manager included).
+
+    ``attrs``/``events``/``children`` are shared sinks so callers may
+    annotate the span they were handed without checking ``enabled``;
+    nothing ever reads them back.
+    """
 
     name = "null"
     trace_id = ""
     duration = 0.0
+    attrs: dict[str, object] = {}
+    events: list = []
+    children: list = []
 
     def __enter__(self) -> "_NullSpan":
         return self
@@ -242,10 +352,24 @@ class NullTracer(Tracer):
     def span(self, name: str, **attrs: object) -> Span:
         return _NULL_SPAN  # type: ignore[return-value]
 
+    def adopt(
+        self, name: str, trace_id: str | None, parent_span: str | None = None, **attrs: object
+    ) -> Span:
+        return _NULL_SPAN  # type: ignore[return-value]
+
+    def current(self) -> Span | None:
+        return None
+
     def event(self, name: str, **attrs: object) -> None:
         pass
 
-    def add_span(self, name: str, seconds: float = 0.0, **attrs: object) -> None:
+    def add_span(
+        self,
+        name: str,
+        seconds: float = 0.0,
+        events: list[SpanEvent] | None = None,
+        **attrs: object,
+    ) -> None:
         pass
 
 

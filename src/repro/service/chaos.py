@@ -718,13 +718,17 @@ class _SplitClient(SearchClient):
         self._controller = controller
         super().__init__(address, **kwargs)
 
-    def search(self, query, options=None, **legacy):
+    def search(self, query, options=None, trace_id=None, parent_span=None, **legacy):
         self._controller.check(self._split_address)
-        return super().search(query, options, **legacy)
+        return super().search(
+            query, options, trace_id=trace_id, parent_span=parent_span, **legacy
+        )
 
-    def search_pipelined(self, queries, options=None):
+    def search_pipelined(self, queries, options=None, trace_id=None, parent_span=None):
         self._controller.check(self._split_address)
-        return super().search_pipelined(queries, options)
+        return super().search_pipelined(
+            queries, options, trace_id=trace_id, parent_span=parent_span
+        )
 
     def ping(self) -> bool:
         if self._controller.is_down(self._split_address):
@@ -791,6 +795,7 @@ class ClusterChaosReport:
     killed: list[int]
     severed: int
     final_health: dict
+    failover_probe: dict = field(default_factory=dict)
     events_dumped_to: Path | None = None
 
     @property
@@ -840,6 +845,40 @@ class ClusterChaosReport:
                 )
         return violations
 
+    def trace_violations(self) -> list[str]:
+        """Broken stitched-trace promises from the failover probe.
+
+        The probe kills a replicated node's primary and issues one
+        traced query; the stitched trace must exist, and the
+        ``failover`` event must sit on the *victim's* ``node.search``
+        span — and on no other node's.
+        """
+        probe = self.failover_probe
+        if not probe:
+            return []
+        problems = []
+        if not probe.get("trace_id"):
+            problems.append("failover probe produced no trace id")
+        if not probe.get("stitched"):
+            problems.append("failover probe trace was not stitched")
+        victim = probe.get("victim")
+        events = probe.get("events_by_node", {})
+        if "failover" not in events.get(victim, ()):
+            problems.append(
+                f"no failover event on victim node {victim}'s span "
+                f"(events: {events})"
+            )
+        for node, names in events.items():
+            if node != victim and "failover" in names:
+                problems.append(
+                    f"failover event wrongly attributed to node {node}"
+                )
+        if probe.get("coverage") != 1.0:
+            problems.append(
+                f"replica did not preserve coverage ({probe.get('coverage')})"
+            )
+        return problems
+
     def clean_mismatches(self) -> list[int]:
         """Fault-free requests that differ from the single-node baseline."""
         bad = []
@@ -860,8 +899,65 @@ class ClusterChaosReport:
             f"{len(self.killed)} kills, {self.severed} splits, "
             f"{len(self.failures)} failures, {len(self.mismatches())} mismatches, "
             f"{len(self.span_violations())} span violations, "
+            f"{len(self.trace_violations())} trace violations, "
             f"nodes up at end={self.final_health.get('nodes_up')}"
         )
+
+
+def _failover_trace_probe(seed: int, log: ChaosEventLog) -> dict:
+    """Kill a replicated primary; pin the failover to its trace span.
+
+    A compact, fully observable incident: a 2-node cluster with one
+    replica per node, the victim's primary killed, one *traced* query.
+    The replica answers (coverage stays 1.0) and the ``failover``
+    event must land on the victim's ``node.search`` span — and only
+    there.  :meth:`ClusterChaosReport.trace_violations` judges the
+    returned facts.
+    """
+    from ..obs import Observability
+    from .cluster import LocalCluster
+
+    queries, index, _loader = build_workload(seed=seed)
+    options = QueryOptions(top=5, min_score=1)
+    victim = 0
+    with LocalCluster(
+        index,
+        nodes=2,
+        replicas=1,
+        mode="thread",
+        batch_window=0.0,
+        obs=Observability.create(),
+    ) as cluster:
+        with cluster.client(breaker_factory=None, gather_timeout=15.0) as client:
+            cluster.kill_node(victim)
+            log.record("trace-probe.kill", node=victim)
+            response = client.search(queries[0], options)
+            trace_id = client.last_trace_id
+            tree = client.trace_tree(trace_id) if trace_id else None
+            events_by_node: dict[int, tuple[str, ...]] = {}
+            stitched = False
+            if tree is not None:
+                for span in tree.walk():
+                    if span.name != "node.search":
+                        continue
+                    node = span.attrs.get("node")
+                    events_by_node[node] = tuple(e.name for e in span.events)
+                    if span.attrs.get("stitched"):
+                        stitched = True
+            probe = {
+                "victim": victim,
+                "trace_id": trace_id,
+                "stitched": stitched,
+                "coverage": response.coverage,
+                "events_by_node": events_by_node,
+            }
+            log.record("trace-probe.result", **{
+                **probe,
+                "events_by_node": {
+                    str(n): list(names) for n, names in events_by_node.items()
+                },
+            })
+            return probe
 
 
 def run_cluster_chaos(
@@ -966,6 +1062,10 @@ def run_cluster_chaos(
         killed=sorted(killed),
         severed=controller.severed,
     )
+    # The main loop runs without replicas (the reference merge is a
+    # pure function of the schedule); the failover-attribution promise
+    # needs a replica, so it gets its own compact probe.
+    failover_probe = _failover_trace_probe(seed, log)
     report = ClusterChaosReport(
         schedule=schedule,
         queries=issued,
@@ -976,6 +1076,7 @@ def run_cluster_chaos(
         killed=killed,
         severed=controller.severed,
         final_health=final_health,
+        failover_probe=failover_probe,
     )
     report.events_dumped_to = log.dump_env()
     return report
@@ -1010,6 +1111,9 @@ class SelfHealReport:
     answered: int
     final_health: dict
     log: ChaosEventLog
+    #: Per phase, the SLO objectives firing at phase end (burn-rate
+    #: view of the same incident the coverage timeline shows).
+    slo_timeline: dict[str, tuple[str, ...]] = field(default_factory=dict)
     events_dumped_to: Path | None = None
 
     @property
@@ -1068,13 +1172,37 @@ class SelfHealReport:
             )
         return problems
 
+    def slo_violations(self) -> list[str]:
+        """Broken burn-rate promises: fire during the outage, clear after.
+
+        Empty when the run attached no tracker (``slo_timeline`` unset).
+        """
+        if not self.slo_timeline:
+            return []
+        problems = []
+        if self.slo_timeline.get("steady"):
+            problems.append(
+                f"SLO firing in steady state: {self.slo_timeline['steady']}"
+            )
+        if "coverage" not in self.slo_timeline.get("down", ()):
+            problems.append(
+                "coverage SLO did not fire during the outage "
+                f"(firing: {self.slo_timeline.get('down')})"
+            )
+        if self.slo_timeline.get("healed"):
+            problems.append(
+                f"SLO still firing after heal: {self.slo_timeline['healed']}"
+            )
+        return problems
+
     def summary(self) -> str:
         return (
             f"selfheal seed={self.seed} mode={self.mode}: victim={self.victim}, "
             f"eject after {self.ticks_to_eject} beats, recovered after "
             f"{self.ticks_to_recover} beats (budget {self.heartbeat_budget}), "
             f"{len(self.failures)} failures, {len(self.mismatches())} mismatches, "
-            f"{len(self.heal_violations())} heal violations"
+            f"{len(self.heal_violations())} heal violations, "
+            f"{len(self.slo_violations())} slo violations"
         )
 
 
@@ -1130,13 +1258,30 @@ def run_selfheal_chaos(
     outcomes: dict[str, list[SearchResponse | Exception]] = {}
     expected: dict[str, list[SearchResponse]] = {}
     timeline: list[dict] = []
+    slo_timeline: dict[str, tuple[str, ...]] = {}
     issued = 0
     answered = 0
+
+    # Burn-rate tracking over a fake clock: one tick per request, with
+    # a window-sized jump between phases so the down-phase's bad
+    # samples age out before the healed phase is judged — hours of
+    # sliding window compressed into deterministic ticks.
+    from ..obs import SloTracker
+
+    slo_clock = [0.0]
+    slo_window = float(2 * requests_per_phase)
 
     with LocalCluster(index, nodes=nodes, mode=mode, batch_window=0.0) as cluster:
         victim = rng.choice(sorted(ref_engines))
         with cluster.client(gather_timeout=15.0, breaker_factory=None) as client:
             coordinator = client.coordinator
+            coordinator.slo = SloTracker(
+                fast_window=slo_window,
+                slow_window=slo_window,
+                clock=lambda: slo_clock[0],
+                registry=coordinator.obs.registry,
+                log=coordinator.obs.log,
+            )
             monitor = HealthMonitor(
                 coordinator.channels,
                 eject_after=eject_after,
@@ -1166,6 +1311,7 @@ def run_selfheal_chaos(
                 for r in range(requests_per_phase):
                     query = queries[(len(timeline) + r) % len(queries)]
                     issued += 1
+                    slo_clock[0] += 1.0
                     try:
                         response = client.search(query, options)
                         outcomes[phase].append(response)
@@ -1187,8 +1333,18 @@ def run_selfheal_chaos(
                         )
                     expected[phase].append(reference(query, down))
 
+            def snap_slo(phase: str) -> None:
+                firing = tuple(
+                    status.objective.name
+                    for status in coordinator.slo.evaluate()
+                    if status.firing
+                )
+                slo_timeline[phase] = firing
+                log.record("slo", phase=phase, firing=list(firing))
+
             monitor.tick()  # everyone starts as a confirmed member
             run_phase("steady", set())
+            snap_slo("steady")
 
             cluster.kill_node(victim)
             log.record("node.kill", node=victim)
@@ -1198,6 +1354,7 @@ def run_selfheal_chaos(
                 ticks_to_eject += 1
             log.record("node.ejected", node=victim, ticks=ticks_to_eject)
             run_phase("down", {victim})
+            snap_slo("down")
 
             respawned = supervisor.check_once()
             log.record("supervisor.sweep", respawned=respawned)
@@ -1206,7 +1363,11 @@ def run_selfheal_chaos(
                 monitor.tick()
                 ticks_to_recover += 1
             log.record("node.readmitted", node=victim, ticks=ticks_to_recover)
+            # Let the outage's bad samples age out of the window before
+            # judging the healed phase — the "clears after heal" half.
+            slo_clock[0] += slo_window
             run_phase("healed", set())
+            snap_slo("healed")
             final_health = dict(client.health())
 
     log.record(
@@ -1230,6 +1391,7 @@ def run_selfheal_chaos(
         answered=answered,
         final_health=final_health,
         log=log,
+        slo_timeline=slo_timeline,
     )
     report.events_dumped_to = log.dump_env()
     return report
@@ -1332,6 +1494,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             not sreport.failures
             and not sreport.mismatches()
             and not sreport.heal_violations()
+            and not sreport.slo_violations()
             and convergence["converged"]
         )
         return 0 if ok else 1
@@ -1349,6 +1512,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             and not creport.mismatches()
             and not creport.span_violations()
             and not creport.clean_mismatches()
+            and not creport.trace_violations()
         )
         return 0 if ok else 1
     report = run_chaos(

@@ -267,26 +267,49 @@ class SearchClient:
         top: int | None = None,
         min_score: int | None = None,
         retrieve: int | None = None,
+        trace_id: str | None = None,
+        parent_span: str | None = None,
     ) -> SearchResponse:
         """One remote search; same signature family as ``SearchEngine.search``.
 
         The legacy ``top=``/``min_score=``/``retrieve=`` keywords work
         (with a :class:`DeprecationWarning`), exactly as on the engine.
+
+        ``trace_id``/``parent_span`` propagate a distributed trace
+        context so the server's span tree joins the caller's trace;
+        when omitted, the context of the span currently open on this
+        thread (if any) is injected automatically.
         """
         resolved = resolve_query_options(
             options, self.defaults, top=top, min_score=min_score, retrieve=retrieve
         )
+        if trace_id is None:
+            current = self.obs.tracer.current()
+            if current is not None and current.trace_id:
+                trace_id = current.trace_id
+                parent_span = parent_span or current.name
         hedge_after = self.hedge.delay() if self.hedge is not None else None
         if hedge_after is None:
-            return self._search_once(query, resolved)
-        return self._search_hedged(query, resolved, hedge_after)
+            return self._search_once(query, resolved, trace_id, parent_span)
+        return self._search_hedged(query, resolved, hedge_after, trace_id, parent_span)
 
-    def _search_once(self, query: str, resolved: QueryOptions) -> SearchResponse:
+    def _search_once(
+        self,
+        query: str,
+        resolved: QueryOptions,
+        trace_id: str | None = None,
+        parent_span: str | None = None,
+    ) -> SearchResponse:
         request_id = self._request_id()
         t0 = time.monotonic()
         reply = self._roundtrip(
             lambda version: protocol.search_request(
-                request_id, query, resolved, version
+                request_id,
+                query,
+                resolved,
+                version,
+                trace_id=trace_id,
+                parent_span=parent_span,
             ),
             token=f"search-{request_id}",
         )
@@ -295,7 +318,12 @@ class SearchClient:
         return self._parse_search_reply(reply, request_id)
 
     def _search_hedged(
-        self, query: str, resolved: QueryOptions, delay: float
+        self,
+        query: str,
+        resolved: QueryOptions,
+        delay: float,
+        trace_id: str | None = None,
+        parent_span: str | None = None,
     ) -> SearchResponse:
         """Primary request, plus a duplicate if it is slow; first answer wins.
 
@@ -310,7 +338,7 @@ class SearchClient:
 
         def attempt(label: str) -> None:
             try:
-                response = self._search_once(query, resolved)
+                response = self._search_once(query, resolved, trace_id, parent_span)
             except BaseException as exc:  # noqa: BLE001 - collected, re-raised
                 with lock:
                     state["errors"].append(exc)
@@ -357,6 +385,8 @@ class SearchClient:
         self,
         queries: Sequence[str],
         options: QueryOptions | None = None,
+        trace_id: str | None = None,
+        parent_span: str | None = None,
     ) -> list[SearchResponse | ServiceError]:
         """Send every query on one connection before reading any reply.
 
@@ -374,7 +404,14 @@ class SearchClient:
         try:
             for request_id, query in zip(ids, queries):
                 conn.send(
-                    protocol.search_request(request_id, query, resolved, conn.version)
+                    protocol.search_request(
+                        request_id,
+                        query,
+                        resolved,
+                        conn.version,
+                        trace_id=trace_id,
+                        parent_span=parent_span,
+                    )
                 )
             by_id: dict[int, dict] = {}
             for _ in ids:
@@ -428,6 +465,21 @@ class SearchClient:
     def trace(self, trace_id: str | None = None) -> str:
         """List recent traces, or render one span tree by id."""
         return self._admin("trace", trace_id)["text"]
+
+    def trace_tree(self, trace_id: str) -> dict | None:
+        """One trace as a structured span-tree payload (None if absent).
+
+        This is the stitching path: a coordinator fetches each node's
+        half of a distributed trace by the shared id and grafts it
+        under its own fan-out span.  Servers that predate the ``tree``
+        payload (or no longer hold the id) yield ``None``.
+        """
+        try:
+            payload = self._admin("trace", trace_id)
+        except ServiceError:
+            return None
+        tree = payload.get("tree")
+        return tree if isinstance(tree, dict) else None
 
     def ping(self) -> bool:
         """Round-trip liveness check."""

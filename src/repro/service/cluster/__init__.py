@@ -15,7 +15,12 @@ scatter-gather every query over protocol v2:
 * :mod:`~repro.service.cluster.coordinator` —
   :class:`ClusterCoordinator`: threaded fan-out with group-min
   deadline propagation, per-node circuit breakers, hedged reads
-  against replicas, coverage-degrading partial gathers;
+  against replicas, coverage-degrading partial gathers; also the
+  cluster's observability root — it opens the root span each query,
+  propagates trace context on the wire, stitches per-node subtrees
+  back together (:meth:`ClusterCoordinator.trace`), and aggregates
+  fleet metrics (:meth:`ClusterCoordinator.fleet_metrics`, built on
+  :class:`repro.obs.MetricsAggregator` / :class:`repro.obs.SloTracker`);
 * :mod:`~repro.service.cluster.client` — :class:`ClusterClient`, the
   drop-in ``SearchClient``-shaped facade;
 * :mod:`~repro.service.cluster.local` — :class:`LocalCluster`,

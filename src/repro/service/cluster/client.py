@@ -92,6 +92,28 @@ class ClusterClient:
     def stats(self) -> Mapping[str, object]:
         return self.coordinator.stats()
 
+    # -- observability ---------------------------------------------------
+    @property
+    def last_trace_id(self) -> str | None:
+        """Trace id of the most recent (batch) search, if tracing is on."""
+        return self.coordinator.last_trace_id
+
+    def trace(self, trace_id: str | None = None) -> str:
+        """Rendered stitched trace (or the trace listing with no id)."""
+        return self.coordinator.trace(trace_id)
+
+    def trace_tree(self, trace_id: str):
+        """The stitched :class:`~repro.obs.Span` tree, or ``None``."""
+        return self.coordinator.trace_tree(trace_id)
+
+    def fleet_metrics(self) -> str:
+        """Aggregated Prometheus exposition across every node."""
+        return self.coordinator.fleet_metrics()
+
+    def fleet_snapshot(self) -> Mapping[str, object]:
+        """Aggregated JSON metrics snapshot across every node."""
+        return self.coordinator.fleet_snapshot()
+
     def close(self) -> None:
         self.coordinator.close()
 

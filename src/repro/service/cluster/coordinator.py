@@ -35,7 +35,16 @@ from typing import Callable, Sequence
 
 import dataclasses
 
-from ...obs import NULL_OBS, Observability
+from ...obs import (
+    NULL_OBS,
+    MetricsAggregator,
+    Observability,
+    SloTracker,
+    Span,
+    SpanEvent,
+    stitch_trace,
+    synthesize_trace,
+)
 from .. import QueryOptions, resolve_query_options
 from ..client import SearchClient
 from ..engine import SearchResponse
@@ -129,16 +138,34 @@ class NodeChannel:
             self._replica_rr += 1
             return client
 
-    def search(self, query: str, options: QueryOptions) -> SearchResponse:
-        """One search against this node; hedge/fail over to replicas."""
+    def search(
+        self,
+        query: str,
+        options: QueryOptions,
+        trace_id: str | None = None,
+        parent_span: str | None = None,
+        events: list[tuple[str, dict]] | None = None,
+    ) -> SearchResponse:
+        """One search against this node; hedge/fail over to replicas.
+
+        ``trace_id``/``parent_span`` are injected on the wire so the
+        node's span tree joins the coordinator's trace.  ``events`` (a
+        caller-owned list) collects what happened to this leg —
+        failover, hedge — with an ``at`` offset relative to leg start,
+        so the coordinator can pin incidents to the correct node span.
+        """
         if self.breaker is not None:
             self.breaker.allow()
         delay = self.hedge.delay() if self.hedge is not None else None
         if delay is not None and self.replicas:
-            return self._search_hedged(query, options, delay)
+            return self._search_hedged(
+                query, options, delay, trace_id, parent_span, events
+            )
         t0 = time.monotonic()
         try:
-            response = self.primary.search(query, options)
+            response = self.primary.search(
+                query, options, trace_id=trace_id, parent_span=parent_span
+            )
         except _DEGRADABLE as exc:
             if self.breaker is not None:
                 self.breaker.record_failure(exc)
@@ -148,7 +175,20 @@ class NodeChannel:
             self.obs.log.warning(
                 "cluster.failover", node=self.spec.node_id, error=type(exc).__name__
             )
-            return replica.search(query, options)
+            if events is not None:
+                events.append(
+                    (
+                        "failover",
+                        {
+                            "node": self.spec.node_id,
+                            "error": type(exc).__name__,
+                            "at": time.monotonic() - t0,
+                        },
+                    )
+                )
+            return replica.search(
+                query, options, trace_id=trace_id, parent_span=parent_span
+            )
         except BaseException as exc:
             if self.breaker is not None:
                 self.breaker.record_failure(exc)
@@ -160,7 +200,13 @@ class NodeChannel:
         return response
 
     def _search_hedged(
-        self, query: str, options: QueryOptions, delay: float
+        self,
+        query: str,
+        options: QueryOptions,
+        delay: float,
+        trace_id: str | None = None,
+        parent_span: str | None = None,
+        events: list[tuple[str, dict]] | None = None,
     ) -> SearchResponse:
         """Primary read, duplicated on a replica if slow; first answer wins."""
         done = threading.Event()
@@ -169,7 +215,9 @@ class NodeChannel:
 
         def attempt(client: SearchClient) -> None:
             try:
-                response = client.search(query, options)
+                response = client.search(
+                    query, options, trace_id=trace_id, parent_span=parent_span
+                )
             except BaseException as exc:  # noqa: BLE001 - collected below
                 with lock:
                     state["errors"].append(exc)
@@ -195,6 +243,16 @@ class NodeChannel:
                 self.obs.log.debug(
                     "cluster.hedge", node=self.spec.node_id, after=f"{delay:.4f}s"
                 )
+                if events is not None:
+                    events.append(
+                        (
+                            "hedge",
+                            {
+                                "node": self.spec.node_id,
+                                "at": time.monotonic() - t0,
+                            },
+                        )
+                    )
                 threading.Thread(
                     target=attempt, args=(replica,), daemon=True
                 ).start()
@@ -278,6 +336,7 @@ class ClusterCoordinator:
         timeout: float | None = 30.0,
         gather_timeout: float = 30.0,
         obs: Observability | None = None,
+        slo: SloTracker | None = None,
     ) -> None:
         for node in topology.active_nodes:
             if not node.address:
@@ -310,6 +369,13 @@ class ClusterCoordinator:
         )
         #: Optional heartbeat membership; see :meth:`start_health_monitor`.
         self.monitor: HealthMonitor | None = None
+        #: Optional SLO tracking: when set, every :meth:`search` outcome
+        #: (ok/latency/coverage) feeds the tracker's burn-rate windows.
+        self.slo = slo
+        #: Trace id of the most recent :meth:`search` (None when the
+        #: tracer is disabled) — the handle ``trace``/``trace_tree`` take.
+        self.last_trace_id: str | None = None
+        self._aggregator: MetricsAggregator | None = None
         registry = self.obs.registry
         self._m_requests = registry.counter(
             "cluster_requests_total", "Cluster searches served by the coordinator"
@@ -366,7 +432,12 @@ class ClusterCoordinator:
 
     # ------------------------------------------------------------------
     def _gather(
-        self, query: str, options: QueryOptions, deadline: Deadline | None
+        self,
+        query: str,
+        options: QueryOptions,
+        deadline: Deadline | None,
+        trace_id: str | None = None,
+        parent_span: str | None = None,
     ) -> list[NodeAnswer]:
         """Scatter to every channel; gather inside the budget.
 
@@ -384,6 +455,7 @@ class ClusterCoordinator:
         futures: dict[Future, int] = {}
         started: dict[int, float] = {}
         answers: list[NodeAnswer] = []
+        leg_events: dict[int, list[tuple[str, dict]]] = {}
         for node_id, channel in self.channels.items():
             if self.monitor is not None and not self.monitor.is_up(node_id):
                 # The heartbeat already knows this node is down: degrade
@@ -398,11 +470,22 @@ class ClusterCoordinator:
                             f"node {node_id} held down by the health monitor"
                         ),
                         seconds=0.0,
+                        events=(("ejected", {"reason": "health-monitor"}),),
                     )
                 )
                 continue
             started[node_id] = time.monotonic()
-            futures[self._executor.submit(channel.search, query, options)] = node_id
+            leg_events[node_id] = []
+            futures[
+                self._executor.submit(
+                    channel.search,
+                    query,
+                    options,
+                    trace_id,
+                    parent_span,
+                    leg_events[node_id],
+                )
+            ] = node_id
 
         pending = set(futures)
         deadline_at = time.monotonic() + budget
@@ -429,6 +512,13 @@ class ClusterCoordinator:
                             response=None,
                             error=exc,
                             seconds=seconds,
+                            events=tuple(leg_events[node_id])
+                            + (
+                                (
+                                    "failed",
+                                    {"error": type(exc).__name__, "at": seconds},
+                                ),
+                            ),
                         )
                     )
                     self.obs.log.warning(
@@ -438,13 +528,19 @@ class ClusterCoordinator:
                     )
                 else:
                     answers.append(
-                        NodeAnswer(node_id=node_id, response=response, seconds=seconds)
+                        NodeAnswer(
+                            node_id=node_id,
+                            response=response,
+                            seconds=seconds,
+                            events=tuple(leg_events[node_id]),
+                        )
                     )
         for future in pending:
             # Out of budget: abandon, degrade. The worker thread will
             # finish (or fail) in the background and be discarded.
             node_id = futures[future]
             future.cancel()
+            seconds = time.monotonic() - started[node_id]
             answers.append(
                 NodeAnswer(
                     node_id=node_id,
@@ -452,7 +548,8 @@ class ClusterCoordinator:
                     error=DeadlineExceeded(
                         f"node {node_id} did not answer within the gather budget"
                     ),
-                    seconds=time.monotonic() - started[node_id],
+                    seconds=seconds,
+                    events=tuple(leg_events[node_id]) + (("timeout", {"at": seconds}),),
                 )
             )
             self.obs.log.warning("cluster.node-timeout", node=node_id)
@@ -461,7 +558,15 @@ class ClusterCoordinator:
     def search(
         self, query: str, options: QueryOptions | None = None
     ) -> SearchResponse:
-        """One scatter-gather search, merged to a global ranking."""
+        """One scatter-gather search, merged to a global ranking.
+
+        With a live tracer the whole fan-out becomes one distributed
+        trace: the root ``cluster.search`` span's id rides every wire
+        frame, each node's server adopts it, and
+        :meth:`trace`/:meth:`trace_tree` later stitch the per-node
+        subtrees (with cells-swept and failover/hedge/ejection events)
+        under the ``node.search`` legs recorded here.
+        """
         resolved = resolve_query_options(options, self.defaults).validate()
         deadline = (
             Deadline.after_ms(resolved.deadline_ms)
@@ -472,39 +577,77 @@ class ClusterCoordinator:
             deadline.check("cluster admission")
         tracer = self.obs.tracer
         t_start = time.monotonic()
-        with tracer.span(
-            "cluster.search", nodes=len(self.channels), query_bp=len(query)
-        ):
-            t0 = time.monotonic()
-            with tracer.span("cluster.fanout"):
-                answers = self._gather(query, resolved, deadline)
-                for answer in sorted(answers, key=lambda a: a.node_id):
-                    tracer.add_span(
-                        "node.search",
-                        seconds=answer.seconds,
-                        node=answer.node_id,
-                        answered=answer.answered,
+        try:
+            with tracer.span(
+                "cluster.search", nodes=len(self.channels), query_bp=len(query)
+            ) as root:
+                trace_id = root.trace_id or None
+                self.last_trace_id = trace_id
+                t0 = time.monotonic()
+                with tracer.span("cluster.fanout"):
+                    answers = self._gather(
+                        query,
+                        resolved,
+                        deadline,
+                        trace_id=trace_id,
+                        parent_span="cluster.fanout",
                     )
-            fanout_seconds = time.monotonic() - t0
-            self._h_fanout.observe(fanout_seconds)
-            up = sum(1 for a in answers if a.answered)
-            self._g_nodes_up.set(up)
-            for answer in answers:
-                self._g_node_up[answer.node_id].set(1.0 if answer.answered else 0.0)
-            t1 = time.monotonic()
-            with tracer.span("cluster.merge", answered=up):
-                response = merge_node_responses(
-                    query.upper(),
-                    answers,
-                    self.topology,
-                    resolved,
-                    total_seconds=time.monotonic() - t_start,
-                )
-            self._h_merge.observe(time.monotonic() - t1)
-            self._m_requests.inc()
-            if response.degraded:
-                self._m_degraded.inc()
-            return response
+                    for answer in sorted(answers, key=lambda a: a.node_id):
+                        attrs: dict[str, object] = {
+                            "node": answer.node_id,
+                            "answered": answer.answered,
+                        }
+                        if answer.response is not None:
+                            attrs["cells"] = answer.response.metrics.cells
+                        if answer.error is not None:
+                            attrs["error"] = type(answer.error).__name__
+                        tracer.add_span(
+                            "node.search",
+                            seconds=answer.seconds,
+                            events=[
+                                SpanEvent(
+                                    name=name,
+                                    offset_seconds=float(detail.get("at", 0.0)),
+                                    attrs={
+                                        k: v for k, v in detail.items() if k != "at"
+                                    },
+                                )
+                                for name, detail in answer.events
+                            ],
+                            **attrs,
+                        )
+                fanout_seconds = time.monotonic() - t0
+                self._h_fanout.observe(fanout_seconds)
+                up = sum(1 for a in answers if a.answered)
+                self._g_nodes_up.set(up)
+                for answer in answers:
+                    self._g_node_up[answer.node_id].set(
+                        1.0 if answer.answered else 0.0
+                    )
+                t1 = time.monotonic()
+                with tracer.span("cluster.merge", answered=up):
+                    response = merge_node_responses(
+                        query.upper(),
+                        answers,
+                        self.topology,
+                        resolved,
+                        total_seconds=time.monotonic() - t_start,
+                    )
+                self._h_merge.observe(time.monotonic() - t1)
+                self._m_requests.inc()
+                if response.degraded:
+                    self._m_degraded.inc()
+        except Exception:
+            if self.slo is not None:
+                self.slo.observe(ok=False, seconds=time.monotonic() - t_start)
+            raise
+        if self.slo is not None:
+            self.slo.observe(
+                ok=True,
+                seconds=time.monotonic() - t_start,
+                coverage=response.coverage,
+            )
+        return response
 
     def search_batch(
         self, queries: Sequence[str], options: QueryOptions | None = None
@@ -521,19 +664,44 @@ class ClusterCoordinator:
         queries = list(queries)
         if not queries:
             return []
+        with self.obs.tracer.span(
+            "cluster.batch", queries=len(queries), nodes=len(self.channels)
+        ) as batch_root:
+            trace_id = batch_root.trace_id or None
+            self.last_trace_id = trace_id
+            return self._search_batch_inner(queries, resolved, trace_id)
 
-        def node_batch(channel: NodeChannel) -> list[SearchResponse | BaseException]:
-            if channel.breaker is not None:
-                channel.breaker.allow()
+    def _search_batch_inner(
+        self,
+        queries: list[str],
+        resolved: QueryOptions,
+        trace_id: str | None,
+    ) -> list[SearchResponse]:
+        leg_seconds: dict[int, float] = {}
+
+        def node_batch(
+            node_id: int, channel: NodeChannel
+        ) -> list[SearchResponse | BaseException]:
+            t0 = time.monotonic()
             try:
-                results = channel.primary.search_pipelined(queries, resolved)
-            except BaseException as exc:  # noqa: BLE001 - degraded below
                 if channel.breaker is not None:
-                    channel.breaker.record_failure(exc)
-                raise
-            if channel.breaker is not None:
-                channel.breaker.record_success()
-            return results
+                    channel.breaker.allow()
+                try:
+                    results = channel.primary.search_pipelined(
+                        queries,
+                        resolved,
+                        trace_id=trace_id,
+                        parent_span="cluster.batch",
+                    )
+                except BaseException as exc:  # noqa: BLE001 - degraded below
+                    if channel.breaker is not None:
+                        channel.breaker.record_failure(exc)
+                    raise
+                if channel.breaker is not None:
+                    channel.breaker.record_success()
+                return results
+            finally:
+                leg_seconds[node_id] = time.monotonic() - t0
 
         per_node: dict[int, list[SearchResponse | BaseException] | None] = {}
         futures = {}
@@ -542,7 +710,7 @@ class ClusterCoordinator:
                 self._m_skipped.inc()
                 per_node[node_id] = None
                 continue
-            futures[self._executor.submit(node_batch, channel)] = node_id
+            futures[self._executor.submit(node_batch, node_id, channel)] = node_id
         for future, node_id in futures.items():
             try:
                 per_node[node_id] = future.result(timeout=self.gather_timeout)
@@ -553,6 +721,16 @@ class ClusterCoordinator:
                 self.obs.log.warning(
                     "cluster.node-failed", node=node_id, error=type(exc).__name__
                 )
+        # Record each leg in the batch trace so node subtrees have a
+        # parent span to stitch under (mirrors _gather's node.search).
+        for node_id, results in per_node.items():
+            self.obs.tracer.add_span(
+                "node.search",
+                seconds=leg_seconds.get(node_id, 0.0),
+                node=node_id,
+                answered=results is not None,
+                queries=len(queries),
+            )
 
         responses = []
         for rank, query in enumerate(queries):
@@ -581,6 +759,92 @@ class ClusterCoordinator:
             )
             self._m_requests.inc()
         return responses
+
+    # ------------------------------------------------------------------
+    # Distributed observability: stitched traces, fleet metrics
+    # ------------------------------------------------------------------
+    def trace_tree(self, trace_id: str, fetch_retries: int = 3) -> Span | None:
+        """The stitched cross-node trace for ``trace_id``, if anyone has it.
+
+        Fetches each node's half over the ``trace`` verb (the node ring
+        keys it by the coordinator's id thanks to wire adoption) and
+        grafts it under the matching ``node.search`` leg of the local
+        root span.  When the local root is gone — another process ran
+        the query — the node halves are wrapped under a synthetic
+        ``reconstructed`` root instead.  Returns ``None`` only when
+        neither the coordinator nor any node remembers the id.
+
+        ``fetch_retries`` covers a benign race: a node finishes its
+        span *after* flushing the response frame, so an immediate fetch
+        can be a few microseconds early.
+        """
+        root = self.obs.tracer.get(trace_id)
+        node_trees: dict[int, Span] = {}
+        for node_id, channel in self.channels.items():
+            payload = None
+            for attempt in range(max(1, fetch_retries)):
+                if attempt:
+                    time.sleep(0.01)
+                try:
+                    payload = channel.primary.trace_tree(trace_id)
+                except Exception:  # noqa: BLE001 - a dead node has no trace
+                    payload = None
+                if payload is not None:
+                    break
+            if payload is None:
+                continue
+            try:
+                node_trees[node_id] = Span.from_payload(payload)
+            except ValueError:
+                continue
+        if root is not None:
+            return stitch_trace(root, node_trees)
+        if node_trees:
+            return synthesize_trace(trace_id, node_trees)
+        return None
+
+    def trace(self, trace_id: str | None = None) -> str:
+        """Human-rendered traces: the recent ring, or one stitched tree.
+
+        Mirrors the single-node ``trace`` verb contract: no argument
+        lists recent coordinator roots (most recent first); with an id
+        the stitched cross-node tree is rendered.  Raises
+        ``ValueError`` for an id nobody holds — the CLI maps that to
+        the same nonzero exit ``repro cluster health`` uses.
+        """
+        if trace_id:
+            stitched = self.trace_tree(trace_id)
+            if stitched is None:
+                raise ValueError(
+                    f"unknown trace id {trace_id!r} (not in the coordinator ring "
+                    "or any node ring)"
+                )
+            return stitched.render()
+        if not self.obs.tracer.enabled:
+            return "# tracing disabled (coordinator has no live tracer)"
+        recent = self.obs.tracer.recent
+        if not recent:
+            return "# no traces recorded"
+        return "\n".join(
+            f"{span.trace_id} {span.name} {span.duration * 1e3:.3f}ms "
+            f"spans={sum(1 for _ in span.walk())}"
+            for span in reversed(recent)
+        )
+
+    @property
+    def aggregator(self) -> MetricsAggregator:
+        """Lazy fleet scraper over every channel + the coordinator itself."""
+        if self._aggregator is None:
+            self._aggregator = MetricsAggregator.from_coordinator(self)
+        return self._aggregator
+
+    def fleet_metrics(self) -> str:
+        """One merged Prometheus exposition: every node + fleet rollups."""
+        return self.aggregator.scrape().render_prometheus()
+
+    def fleet_snapshot(self) -> dict[str, object]:
+        """One merged JSON snapshot (``repro cluster stats --json``)."""
+        return self.aggregator.scrape().snapshot()
 
     # ------------------------------------------------------------------
     def health(self) -> dict[str, object]:

@@ -56,17 +56,24 @@ class _ThreadNode:
         obs: Observability,
         batch_window: float,
     ) -> None:
-        self.engine = SearchEngine(index, workers=workers)
+        # Each node owns its obs bundle (its own registry and tracer),
+        # exactly like a separate process would: the coordinator's
+        # aggregator scrapes them over the wire and its trace verb
+        # fetches adopted subtrees back per node.
+        self.obs = obs
+        self.engine = SearchEngine(index, workers=workers, obs=obs)
         self._config = ServerConfig(host="127.0.0.1", port=0, batch_window=batch_window)
         self._defaults = defaults
         self.primary: ServerThread | None = ServerThread(
-            self.engine, config=self._config, defaults=defaults
+            self.engine, config=self._config, defaults=defaults, obs=obs
         )
         self.primary.start()
         # Replicas share the engine: same data, independent serving path.
         self.replica_servers = []
         for _ in range(replicas):
-            replica = ServerThread(self.engine, config=self._config, defaults=defaults)
+            replica = ServerThread(
+                self.engine, config=self._config, defaults=defaults, obs=obs
+            )
             replica.start()
             self.replica_servers.append(replica)
 
@@ -93,7 +100,7 @@ class _ThreadNode:
         """Bring a killed primary back (fresh server, same engine)."""
         if self.primary is None:
             self.primary = ServerThread(
-                self.engine, config=self._config, defaults=self._defaults
+                self.engine, config=self._config, defaults=self._defaults, obs=self.obs
             )
             self.primary.start()
         return self.address
@@ -245,6 +252,11 @@ class LocalCluster:
         self.obs = obs if obs is not None else NULL_OBS
         unbound, parts = partition_index(index, nodes, shard_bp=shard_bp)
         self._nodes: dict[int, _ThreadNode | _ProcessNode] = {}
+        #: Per-node obs bundles (thread mode with live cluster obs only):
+        #: each thread node gets its *own* registry and tracer, like a
+        #: separate process would, so fleet aggregation and cross-node
+        #: trace stitching exercise the same merge paths either way.
+        self.node_obs: dict[int, Observability] = {}
         self._tmpdir: tempfile.TemporaryDirectory | None = None
         addresses: list[str] = []
         replica_lists: list[Sequence[str]] = []
@@ -257,12 +269,17 @@ class LocalCluster:
                     replica_lists.append(())
                     continue
                 if mode == "thread":
+                    node_obs = (
+                        Observability.create() if self.obs.enabled else NULL_OBS
+                    )
+                    if node_obs.enabled:
+                        self.node_obs[spec.node_id] = node_obs
                     node: _ThreadNode | _ProcessNode = _ThreadNode(
                         part,
                         replicas=replicas,
                         workers=workers,
                         defaults=defaults,
-                        obs=self.obs,
+                        obs=node_obs,
                         batch_window=batch_window,
                     )
                 else:

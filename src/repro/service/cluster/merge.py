@@ -51,12 +51,19 @@ class NodeAnswer:
     ``response`` is ``None`` when the node did not answer inside the
     budget (dead, partitioned, breaker-open, deadline-expired);
     ``error`` then carries the reason for logs and metrics.
+
+    ``events`` records what happened to this leg on the way —
+    ``("failover", ...)`` when a replica answered for a dead primary,
+    ``("hedge", ...)``, ``("ejected", ...)``, ``("timeout", ...)`` —
+    so the coordinator can pin each incident to the correct node span
+    in the stitched trace.
     """
 
     node_id: int
     response: SearchResponse | None
     error: BaseException | None = None
     seconds: float = 0.0
+    events: tuple[tuple[str, dict], ...] = ()
 
     @property
     def answered(self) -> bool:

@@ -485,20 +485,28 @@ class SearchEngine:
             worker_busy: tuple[tuple[str, float], ...] = ()
             swept_bp = index.total_bp
             if pending:
-                with tracer.span("pool.sweep", pending=len(pending)):
+                query_bp = sum(len(q) for q in pending)
+                shard_bp = {s.shard_id: s.bp for s in index.shards}
+                with tracer.span("pool.sweep", pending=len(pending)) as sweep_span:
                     t0 = time.perf_counter()
                     sweeps, degraded = self._run_sweep(
                         index, pending, min_score, top, deadline
                     )
                     sweep_wall = time.perf_counter() - t0
                     for sweep in sweeps:
+                        # cells = query bp x shard bp: the per-span CUPS
+                        # numerator, attributable per query per shard.
                         tracer.add_span(
                             "shard.sweep",
                             seconds=sweep.seconds,
                             shard=sweep.shard_id,
                             records=sweep.records,
                             worker=sweep.worker,
+                            cells=query_bp * shard_bp.get(sweep.shard_id, 0),
                         )
+                    sweep_span.attrs["cells"] = query_bp * sum(
+                        shard_bp.get(s.shard_id, 0) for s in sweeps
+                    )
                 self._observe_sweep(sweeps, sweep_wall, degraded)
                 excluded = set(degraded)
                 swept_records = sum(

@@ -140,6 +140,8 @@ class _Pending:
     received: float
     deadline: Deadline | None = None
     done: bool = False
+    trace_id: str | None = None
+    parent_span: str | None = None
 
 
 class TcpSearchServer:
@@ -556,6 +558,8 @@ class TcpSearchServer:
                 writer=writer,
                 received=self._loop.time(),
                 deadline=deadline,
+                trace_id=request.trace_id,
+                parent_span=request.parent_span,
             )
         )
 
@@ -622,7 +626,9 @@ class TcpSearchServer:
             span = tracer.get(arg)
             if span is None:
                 raise ValueError(f"unknown trace id {arg!r} (see 'trace' for the ring)")
-            return {"text": span.render()}
+            # ``tree`` is the structured form a coordinator stitches
+            # with; ``text`` stays for humans and old clients.
+            return {"text": span.render(), "tree": span.to_payload()}
         recent = tracer.recent
         if not recent:
             return {"text": "# no traces recorded"}
@@ -698,10 +704,16 @@ class TcpSearchServer:
                     )
                 else:
                     live.append(item)
-            groups: dict[QueryOptions, list[_Pending]] = {}
+            # Group by options (a sweep shares one parameter set) and by
+            # remote trace context: traced requests come one-per-search
+            # from a coordinator, and keeping contexts separate means
+            # each adopted ``net.batch`` span lands in the ring under
+            # exactly one caller's trace id.  Untraced requests
+            # (trace_id None) still coalesce freely.
+            groups: dict[tuple[QueryOptions, str | None], list[_Pending]] = {}
             for item in live:
-                groups.setdefault(item.options, []).append(item)
-            for options, items in groups.items():
+                groups.setdefault((item.options, item.trace_id), []).append(item)
+            for (options, _trace_id), items in groups.items():
                 future = self._loop.run_in_executor(
                     self._exec, self._process_group, options, items
                 )
@@ -729,11 +741,20 @@ class TcpSearchServer:
         The ``net.batch`` span envelopes the engine's own
         ``engine.search`` span; ``net.recv`` records how long the
         oldest request waited between socket and sweep, ``net.send``
-        the time to flush every response frame back out.
+        the time to flush every response frame back out.  A group that
+        arrived with a remote trace context *adopts* it: the whole
+        subtree lands in this server's ring under the coordinator's
+        trace id, where ``trace <id>`` can fetch it for stitching.
         """
         assert self._loop is not None
         tracer = self.obs.tracer
-        with tracer.span("net.batch", requests=len(items), top=options.top):
+        with tracer.adopt(
+            "net.batch",
+            trace_id=items[0].trace_id,
+            parent_span=items[0].parent_span,
+            requests=len(items),
+            top=options.top,
+        ):
             now = self._loop.time()
             oldest = max((now - item.received for item in items), default=0.0)
             tracer.add_span("net.recv", seconds=oldest, requests=len(items))

@@ -312,10 +312,23 @@ def options_from_wire(mapping, defaults=None):
 
 
 def search_request(
-    request_id: int, query: str, options, version: int = PROTOCOL_VERSION
+    request_id: int,
+    query: str,
+    options,
+    version: int = PROTOCOL_VERSION,
+    trace_id: str | None = None,
+    parent_span: str | None = None,
 ) -> dict:
-    """A ``search`` request frame (encoded for ``version``)."""
-    return {
+    """A ``search`` request frame (encoded for ``version``).
+
+    ``trace_id`` / ``parent_span`` propagate a distributed trace
+    context: the server adopts them so its span tree lands in its ring
+    under the *caller's* id, fetchable for stitching.  They ride as
+    optional top-level keys — ``parse_request`` ignores unknown keys,
+    so old peers drop them silently — and are only encoded on v2+
+    connections to keep v1 frames byte-stable.
+    """
+    frame = {
         "v": version,
         "type": "request",
         "id": request_id,
@@ -323,6 +336,12 @@ def search_request(
         "query": query,
         "options": options_to_wire(options, version),
     }
+    if version >= 2:
+        if trace_id is not None:
+            frame["trace_id"] = trace_id
+        if parent_span is not None:
+            frame["parent_span"] = parent_span
+    return frame
 
 
 def admin_request(
@@ -347,13 +366,19 @@ def admin_request(
 
 @dataclass(frozen=True)
 class ParsedRequest:
-    """A validated request frame, ready for dispatch."""
+    """A validated request frame, ready for dispatch.
+
+    ``trace_id`` / ``parent_span`` carry the caller's distributed
+    trace context when the frame arrived with one (v2 ``search`` only).
+    """
 
     request_id: int
     verb: str
     query: str | None = None
     options: dict | None = None
     arg: str | None = None
+    trace_id: str | None = None
+    parent_span: str | None = None
 
 
 def parse_request(frame: dict) -> ParsedRequest:
@@ -378,12 +403,19 @@ def parse_request(frame: dict) -> ParsedRequest:
     arg = frame.get("arg")
     if arg is not None and not isinstance(arg, str):
         raise ProtocolError(f"arg must be a string, got {arg!r}")
+    trace_id = frame.get("trace_id")
+    parent_span = frame.get("parent_span")
+    for label, value in (("trace_id", trace_id), ("parent_span", parent_span)):
+        if value is not None and (not isinstance(value, str) or not value):
+            raise ProtocolError(f"{label} must be a non-empty string, got {value!r}")
     return ParsedRequest(
         request_id=request_id,
         verb=verb,
         query=query if verb == "search" else None,
         options=frame.get("options") if verb == "search" else None,
         arg=arg,
+        trace_id=trace_id if verb == "search" else None,
+        parent_span=parent_span if verb == "search" else None,
     )
 
 

@@ -313,7 +313,7 @@ class TestHedgePolicy:
         calls = []
         lock = threading.Lock()
 
-        def fake_once(query, resolved):
+        def fake_once(query, resolved, trace_id=None, parent_span=None):
             with lock:
                 first = not calls
                 calls.append(query)
@@ -338,7 +338,7 @@ class TestHedgePolicy:
         )
         primary_error = ConnectionError("primary refused")
 
-        def fake_once(query, resolved):
+        def fake_once(query, resolved, trace_id=None, parent_span=None):
             raise primary_error
 
         monkeypatch.setattr(client, "_search_once", fake_once)

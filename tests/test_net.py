@@ -423,6 +423,67 @@ class TestAdminVerbs:
                     client.trace("t999999")
 
 
+class TestTraceAdoption:
+    """Distributed trace context: the server records under the caller's id."""
+
+    def _await_trace(self, tracer, trace_id):
+        # net.batch lands in the ring *after* the reply is sent.
+        deadline = time.monotonic() + 5.0
+        while True:
+            root = tracer.get(trace_id)
+            if root is not None:
+                return root
+            assert time.monotonic() < deadline, f"{trace_id} never landed"
+            time.sleep(0.005)
+
+    def test_server_adopts_remote_context(self, planted):
+        query, _, index = planted
+        obs = Observability.create()
+        with ServerThread(make_engine(index, obs=obs)) as handle:
+            with SearchClient(handle.host, handle.port) as client:
+                client.search(query, trace_id="t900001", parent_span="s1")
+                root = self._await_trace(obs.tracer, "t900001")
+        assert root.name == "net.batch"
+        assert root.attrs["remote"] is True
+        assert root.attrs["remote_parent"] == "s1"
+        names = [span.name for span in root.walk()]
+        assert "engine.search" in names and "pool.sweep" in names
+        # Every span of the subtree carries the caller's id — that is
+        # what makes the cross-node stitch line up.
+        assert {span.trace_id for span in root.walk()} == {"t900001"}
+
+    def test_trace_verb_ships_the_adopted_tree(self, planted):
+        query, _, index = planted
+        obs = Observability.create()
+        with ServerThread(make_engine(index, obs=obs)) as handle:
+            with SearchClient(handle.host, handle.port) as client:
+                client.search(query, trace_id="t900002")
+                self._await_trace(obs.tracer, "t900002")
+                payload = client.trace_tree("t900002")
+                text = client.trace("t900002")
+        from repro.obs import Span
+
+        tree = Span.from_payload(payload)
+        assert tree.trace_id == "t900002"
+        assert tree.name == "net.batch"
+        assert any(span.name == "engine.search" for span in tree.walk())
+        assert "net.batch" in text and "engine.search" in text
+
+    def test_search_without_context_stays_local(self, planted):
+        query, _, index = planted
+        obs = Observability.create()
+        with ServerThread(make_engine(index, obs=obs)) as handle:
+            with SearchClient(handle.host, handle.port) as client:
+                client.search(query)
+                deadline = time.monotonic() + 5.0
+                while not obs.tracer.recent:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.005)
+        (root,) = obs.tracer.recent
+        assert "remote" not in root.attrs
+        assert root.trace_id.startswith("t")
+
+
 def _recv_frame(sock: socket.socket) -> dict:
     header = _recv_exact(sock, protocol.HEADER.size)
     return protocol.decode_frame(_recv_exact(sock, protocol.frame_length(header)))

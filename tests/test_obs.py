@@ -3,6 +3,7 @@
 import io
 import json
 import logging
+import threading
 
 import pytest
 
@@ -108,9 +109,9 @@ class TestRegistry:
 
     def test_kind_conflict_raises(self):
         reg = MetricsRegistry()
-        reg.counter("x")
+        reg.counter("x_total")
         with pytest.raises(ValueError):
-            reg.gauge("x")
+            reg.gauge("x_total")
 
     def test_invalid_names_rejected(self):
         reg = MetricsRegistry()
@@ -171,6 +172,56 @@ class TestRegistry:
         assert DEFAULT_BUCKETS[0] <= 0.001
         assert DEFAULT_BUCKETS[-1] >= 10.0
         assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestExpositionConventions:
+    """The exposition-format promises the fleet aggregator builds on."""
+
+    def test_counter_name_must_end_in_total(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="_total"):
+            reg.counter("requests")
+        reg.counter("requests_total")  # the compliant spelling registers
+
+    def test_label_value_escaping(self):
+        from repro.obs.metrics import escape_label_value
+
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("two\nlines") == "two\\nlines"
+        assert escape_label_value(7) == "7"
+
+    def test_help_text_newlines_cannot_split_comment(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", "first\nsecond \\ slash")
+        text = reg.render_prometheus()
+        assert "# HELP repro_g first\\nsecond \\\\ slash" in text
+        # The embedded newline must never produce a bare "second" line.
+        assert not any(line.startswith("second") for line in text.splitlines())
+
+    def test_rendered_histogram_ends_with_inf_bucket(self):
+        from repro.obs import validate_exposition
+
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", "Latency", buckets=(0.1, 1.0))
+        h.observe(5.0)  # overflow: only the +Inf bucket holds it
+        exposition = validate_exposition(reg.render_prometheus())
+        buckets = [
+            s for s in exposition.samples if s.name == "repro_lat_seconds_bucket"
+        ]
+        assert dict(buckets[-1].labels)["le"] == "+Inf"
+        assert buckets[-1].value == 1.0
+
+    def test_full_registry_render_passes_the_linter(self):
+        from repro.obs import validate_exposition
+
+        reg = MetricsRegistry()
+        reg.counter("hits_total", "Hits").inc(2)
+        reg.gauge("depth", "Queue depth").set(3)
+        reg.histogram("lat_seconds", "Latency").observe(0.02)
+        exposition = validate_exposition(reg.render_prometheus())
+        assert exposition.types["repro_hits_total"] == "counter"
+        assert exposition.types["repro_lat_seconds"] == "histogram"
 
 
 class TestPeriodicDumper:
@@ -302,6 +353,134 @@ class TestTracer:
             NULL_TRACER.add_span("s", seconds=1.0)
         assert span.duration == 0.0
         assert NULL_TRACER.recent == ()
+
+    def test_null_span_annotations_are_writable_sinks(self):
+        # Callers annotate whatever span they were handed without
+        # checking ``enabled`` — the null span must absorb all of it.
+        span = NULL_TRACER.adopt("net.batch", "t000007", "s1")
+        span.attrs["node"] = 3
+        span.children.append(object())
+        assert NULL_TRACER.current() is None
+
+
+class TestTracerConcurrency:
+    """The thread-local stack / shared ring contract under real threads."""
+
+    def _run_threads(self, n, target):
+        threads = [threading.Thread(target=target, args=(i,)) for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not any(t.is_alive() for t in threads)
+
+    def test_threads_never_cross_link_spans(self):
+        tracer = Tracer(capacity=256)
+        barrier = threading.Barrier(4)
+
+        def worker(i):
+            barrier.wait()
+            for r in range(8):
+                with tracer.span(f"root-{i}", thread=i):
+                    with tracer.span(f"child-{i}"):
+                        tracer.event("tick", r=r)
+
+        self._run_threads(4, worker)
+        roots = tracer.recent
+        assert len(roots) == 32
+        for root in roots:
+            i = root.attrs["thread"]
+            # Every child and event stays inside its own thread's tree.
+            assert root.name == f"root-{i}"
+            assert [c.name for c in root.children] == [f"child-{i}"]
+            (child,) = root.children
+            assert [e.name for e in child.events] == ["tick"]
+            assert root.end is not None and child.end is not None
+
+    def test_ring_overflow_keeps_newest_and_stays_bounded(self):
+        tracer = Tracer(capacity=8)
+        barrier = threading.Barrier(4)
+
+        def worker(i):
+            barrier.wait()
+            for r in range(50):
+                with tracer.span("s", thread=i, r=r):
+                    pass
+
+        self._run_threads(4, worker)
+        roots = tracer.recent
+        assert len(roots) == 8  # bounded: 200 produced, capacity kept
+        assert all(root.end is not None for root in roots)
+        # The survivors are the tail of the schedule: every thread that
+        # still has a root in the ring is represented by its *latest*
+        # finished iterations, so no surviving r can be a stale early one
+        # once that thread has newer roots recorded.
+        by_thread = {}
+        for root in roots:
+            by_thread.setdefault(root.attrs["thread"], []).append(root.attrs["r"])
+        for rs in by_thread.values():
+            assert rs == sorted(rs)  # ring preserves per-thread order
+
+    def test_trace_ids_unique_across_concurrent_roots(self):
+        tracer = Tracer(capacity=512)
+        barrier = threading.Barrier(6)
+
+        def worker(i):
+            barrier.wait()
+            for _ in range(30):
+                with tracer.span("s"):
+                    pass
+
+        self._run_threads(6, worker)
+        ids = [root.trace_id for root in tracer.recent]
+        assert len(ids) == 180
+        assert len(set(ids)) == 180
+
+
+class TestTracerAdoption:
+    """``adopt``: the server-side entry point of a distributed trace."""
+
+    def test_adopt_records_under_the_remote_id(self):
+        tracer = Tracer()
+        with tracer.adopt("net.batch", "t000042", "s1", queries=1):
+            with tracer.span("engine.search"):
+                pass
+        (root,) = tracer.recent
+        assert root.trace_id == "t000042"
+        assert root.attrs["remote"] is True
+        assert root.attrs["remote_parent"] == "s1"
+        assert [c.name for c in root.children] == ["engine.search"]
+        # Fetchable by the caller's id — the stitching contract.
+        assert tracer.get("t000042") is root
+
+    def test_adopt_without_context_degrades_to_local_span(self):
+        tracer = Tracer()
+        with tracer.adopt("net.batch", None):
+            pass
+        (root,) = tracer.recent
+        assert root.trace_id == "t000001"
+        assert "remote" not in root.attrs
+
+    def test_open_local_span_wins_over_remote_context(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.adopt("inner", "t999999", "s9"):
+                pass
+        (root,) = tracer.recent
+        assert root.trace_id != "t999999"
+        (inner,) = root.children
+        assert inner.trace_id == root.trace_id
+        assert "remote" not in inner.attrs
+
+    def test_current_tracks_the_innermost_open_span(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("a") as a:
+            assert tracer.current() is a
+            with tracer.span("b") as b:
+                assert tracer.current() is b
+            assert tracer.current() is a
+        assert tracer.current() is None
 
 
 class TestStructLog:

@@ -182,6 +182,56 @@ class TestRequests:
 
 
 # ----------------------------------------------------------------------
+# Distributed trace context on the wire
+# ----------------------------------------------------------------------
+class TestTraceContext:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        trace_id=st.one_of(st.none(), st.text(min_size=1, max_size=24)),
+        parent_span=st.one_of(st.none(), st.text(min_size=1, max_size=24)),
+    )
+    def test_context_round_trips_on_v2(self, trace_id, parent_span):
+        frame = protocol.search_request(
+            3, "ACGT", QueryOptions(), trace_id=trace_id, parent_span=parent_span
+        )
+        frame = protocol.decode_frame_bytes(protocol.encode_frame(frame))
+        parsed = protocol.parse_request(frame)
+        assert parsed.trace_id == trace_id
+        assert parsed.parent_span == parent_span
+
+    def test_v1_frames_stay_byte_stable(self):
+        # Old peers never see the new keys, even when a caller passes them.
+        frame = protocol.search_request(
+            1, "ACGT", QueryOptions(), version=1, trace_id="t1", parent_span="s1"
+        )
+        assert "trace_id" not in frame and "parent_span" not in frame
+        parsed = protocol.parse_request(frame)
+        assert parsed.trace_id is None and parsed.parent_span is None
+
+    def test_context_omitted_when_not_supplied(self):
+        frame = protocol.search_request(1, "ACGT", QueryOptions())
+        assert "trace_id" not in frame and "parent_span" not in frame
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        field=st.sampled_from(["trace_id", "parent_span"]),
+        bad=st.sampled_from(["", 7, True, 1.5, ["t1"]]),
+    )
+    def test_malformed_context_is_protocol_error(self, field, bad):
+        frame = protocol.search_request(1, "ACGT", QueryOptions())
+        frame[field] = bad
+        with pytest.raises(ProtocolError, match=field):
+            protocol.parse_request(frame)
+
+    def test_admin_verbs_drop_trace_context(self):
+        frame = protocol.admin_request(2, "ping")
+        frame["trace_id"] = "t000009"
+        frame["parent_span"] = "s2"
+        parsed = protocol.parse_request(frame)
+        assert parsed.trace_id is None and parsed.parent_span is None
+
+
+# ----------------------------------------------------------------------
 # Responses
 # ----------------------------------------------------------------------
 def make_response(query="ACGTACGT", degraded=False, with_alignment=False):
