@@ -1,12 +1,36 @@
-"""Experiment S1 — software kernel design space (the baseline's anatomy).
+"""Experiments S1 + KB1 — software kernel design space and backends.
 
-The paper's speedup denominator is "an optimized C program"; our
-stand-in is the NumPy row sweep.  This benchmark measures how much
-each software implementation level buys — pure Python loops, the
-vectorized scan kernel, the generic-DP engine — in CUPS on the same
-workload, quantifying why the vectorized kernel is the fair baseline
-(matching the HPC guidance: measure before claiming).
+**S1** (the baseline's anatomy): the paper's speedup denominator is
+"an optimized C program"; our stand-in is the NumPy row sweep.  The S1
+tests measure how much each software implementation level buys — pure
+Python loops, the vectorized scan kernel, the generic-DP engine — in
+CUPS on the same workload, quantifying why the vectorized kernel is
+the fair baseline (matching the HPC guidance: measure before
+claiming).
+
+**KB1** (kernel backends): the :mod:`repro.kernels` registry promises
+that the ``numpy-striped`` backend is a drop-in for the reference row
+sweep — bit-identical ``(score, i, j)`` — while being an order of
+magnitude faster on the short-record batch workload the serving stack
+actually runs (many queries × many database records per shard sweep).
+KB1 pins both halves of that promise:
+
+* **identity** — every backend under test returns identical hits over
+  the whole workload (a smoke-scale version of the Hypothesis
+  cross-backend property tests);
+* **throughput** — sustained CUPS of one ``locate_batch`` call over
+  the full query × record cross product, best of ``REPEATS`` passes.
+  Acceptance: ``numpy-striped`` is at least :data:`MIN_SPEEDUP`× the
+  reference backend.
+
+Alongside the printed table a direct run writes ``BENCH_kernels.json``
+via :mod:`repro.analysis.results`.  ``python benchmarks/bench_kernels.py
+--tiny`` runs a seconds-scale smoke for CI; ``--check-against PATH``
+additionally compares the measured speedup against a committed
+baseline JSON and fails on a >20% regression.
 """
+
+import time
 
 import pytest
 
@@ -14,14 +38,29 @@ from repro.align.generic_dp import smith_waterman_recurrence, sweep
 from repro.align.smith_waterman import sw_locate_best
 from repro.analysis.cups import format_cups, measure_cups
 from repro.analysis.report import render_table
+from repro.analysis.results import write_bench_json
 from repro.baselines.software import locate_pure
 from repro.io.generate import random_dna
+from repro.kernels import get_backend
 
 M, N = 100, 3_000
 QUERY = random_dna(M, seed=181)
 DB = random_dna(N, seed=182)
 
+#: KB1 backends under test: the denominator first, then the challenger.
+BACKENDS = ("reference", "numpy-striped")
+REPEATS = 3
+#: Acceptance floor: striped must sustain at least this multiple of
+#: the reference backend's CUPS on the KB1 workload.
+MIN_SPEEDUP = 10.0
+#: ``--check-against`` tolerance: the measured speedup may drop at
+#: most this fraction below the committed baseline's.
+REGRESSION_TOLERANCE = 0.20
 
+
+# ----------------------------------------------------------------------
+# S1 — implementation levels, single pair
+# ----------------------------------------------------------------------
 def test_s1_numpy_kernel(benchmark):
     hit = benchmark(sw_locate_best, QUERY, DB)
     assert hit.score > 0
@@ -56,3 +95,162 @@ def test_s1_kernel_hierarchy(benchmark):
     # The vectorized kernel must dominate by a large factor — the
     # reason it stands in for the paper's optimized C.
     assert "CUPS" in rows[0][1]
+
+
+# ----------------------------------------------------------------------
+# KB1 — batched backend sweep
+# ----------------------------------------------------------------------
+def _build_workload(n_queries, query_bp, n_records, record_bp, seed=500):
+    queries = [random_dna(query_bp, seed=seed + i) for i in range(n_queries)]
+    records = [random_dna(record_bp, seed=seed + 100 + i) for i in range(n_records)]
+    return queries, records
+
+
+def _time_backend(name, queries, records, repeats=REPEATS):
+    """Best-of-``repeats`` sustained CUPS of one full batch sweep."""
+    backend = get_backend(name)
+    cells = sum(len(q) for q in queries) * sum(len(t) for t in records)
+    # Untimed warmup: first-call costs (allocator, import, cache
+    # population) belong to neither backend's sustained figure.
+    backend.locate_batch(queries[:1], records[:2])
+    best_wall = None
+    hits = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = backend.locate_batch(queries, records)
+        wall = time.perf_counter() - t0
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+            hits = out
+    return {
+        "cells": cells,
+        "wall_seconds": best_wall,
+        "cups": cells / best_wall if best_wall > 0 else 0.0,
+    }, hits
+
+
+def run_kb1(queries, records, repeats=REPEATS, assert_speedup=True):
+    """The KB1 comparison; returns (rows, json payload)."""
+    runs = {}
+    reference_hits = None
+    for name in BACKENDS:
+        run, hits = _time_backend(name, queries, records, repeats=repeats)
+        runs[name] = run
+        if reference_hits is None:
+            reference_hits = hits
+        else:
+            # The identity half of the contract, checked on the same
+            # workload the throughput half measures.
+            assert hits == reference_hits, (
+                f"backend {name!r} disagrees with {BACKENDS[0]!r} on this workload"
+            )
+    speedup = runs["numpy-striped"]["cups"] / runs[BACKENDS[0]]["cups"]
+    payload = {
+        "experiment": "KB1",
+        "queries": len(queries),
+        "query_bp": len(queries[0]),
+        "records": len(records),
+        "record_bp": len(records[0]),
+        "repeats": repeats,
+        "min_speedup": MIN_SPEEDUP,
+        "runs": runs,
+        "speedup": speedup,
+    }
+    rows = [
+        [name, f"{run['cells']:,}", f"{run['wall_seconds']:.4f}", format_cups(run["cups"])]
+        for name, run in runs.items()
+    ]
+    rows.append(["speedup", "-", "-", f"{speedup:.1f}x"])
+    if assert_speedup:
+        assert speedup >= MIN_SPEEDUP, (
+            f"numpy-striped sustains only {speedup:.1f}x the reference backend "
+            f"(acceptance floor {MIN_SPEEDUP:.0f}x)"
+        )
+    return rows, payload
+
+
+def check_against(payload, baseline_path):
+    """Fail when the measured speedup regressed >20% vs the baseline."""
+    import json
+
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    base_speedup = baseline["speedup"]
+    floor = base_speedup * (1.0 - REGRESSION_TOLERANCE)
+    if payload["speedup"] < floor:
+        raise AssertionError(
+            f"speedup regressed: measured {payload['speedup']:.1f}x vs committed "
+            f"baseline {base_speedup:.1f}x (floor {floor:.1f}x)"
+        )
+    return base_speedup, floor
+
+
+@pytest.fixture(scope="module")
+def kb1_workload():
+    return _build_workload(n_queries=8, query_bp=64, n_records=240, record_bp=128)
+
+
+def test_kb1_striped_speedup(benchmark, kb1_workload):
+    queries, records = kb1_workload
+    rows, payload = benchmark.pedantic(
+        lambda: run_kb1(queries, records), rounds=1, iterations=1
+    )
+    print()
+    print(
+        render_table(
+            ["backend", "cells", "seconds", "sustained"],
+            rows,
+            title=f"KB1: {len(queries)} queries x {len(records)} records",
+        )
+    )
+    write_bench_json("kernels", payload)
+
+
+def main(argv=None):
+    """Direct (non-pytest) entry point: ``--tiny`` for the CI smoke run."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="seconds-scale smoke workload (CI: same acceptance floor)",
+    )
+    parser.add_argument(
+        "--check-against",
+        metavar="PATH",
+        default=None,
+        help="committed baseline JSON; fail if speedup regressed >20%% vs it",
+    )
+    args = parser.parse_args(argv)
+    if args.tiny:
+        queries, records = _build_workload(
+            n_queries=6, query_bp=64, n_records=200, record_bp=96
+        )
+        rows, payload = run_kb1(queries, records)
+    else:
+        queries, records = _build_workload(
+            n_queries=8, query_bp=64, n_records=240, record_bp=128
+        )
+        rows, payload = run_kb1(queries, records)
+    print(
+        render_table(
+            ["backend", "cells", "seconds", "sustained"],
+            rows,
+            title=f"KB1: {len(queries)} queries x {len(records)} records",
+        )
+    )
+    if args.check_against is not None:
+        base_speedup, floor = check_against(payload, args.check_against)
+        print(
+            f"baseline check ok: {payload['speedup']:.1f}x >= floor {floor:.1f}x "
+            f"(committed {base_speedup:.1f}x)"
+        )
+    write_bench_json("kernels", payload)
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

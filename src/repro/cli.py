@@ -76,6 +76,13 @@ def _load_index(path: Path, obs=None):
     return DatabaseIndex.from_fasta(path)
 
 
+def _kernel_choices() -> tuple[str, ...]:
+    """``--kernel`` values: the legacy aliases plus every registered backend."""
+    from .kernels import available_backends
+
+    return ("software", "accelerator") + available_backends()
+
+
 def _build_engine(args, obs=None):
     """Engine shared by the ``serve``/``batch`` commands.
 
@@ -88,11 +95,10 @@ def _build_engine(args, obs=None):
     """
     from .service import IndexManager, ResultCache, SearchEngine, WorkerSpec
 
-    spec = (
-        WorkerSpec("accelerator", elements=args.elements)
-        if args.kernel == "accelerator"
-        else WorkerSpec("software")
-    )
+    # ``--kernel`` accepts any repro.kernels registry name plus the
+    # legacy "software"/"accelerator" aliases; WorkerSpec understands
+    # them all.
+    spec = WorkerSpec(args.kernel, elements=args.elements)
     pool = None
     retries = getattr(args, "retries", None)
     timeout = getattr(args, "timeout", None)
@@ -174,6 +180,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="route through the search engine with the result cache disabled",
     )
+    p_scan.add_argument(
+        "--kernel",
+        choices=_kernel_choices(),
+        default="accelerator",
+        help="locate-kernel backend (default: accelerator = the simulated array)",
+    )
 
     p_index = sub.add_parser("index", help="build a persistent sharded database index")
     p_index.add_argument("database", type=Path, help="multi-record FASTA file")
@@ -190,7 +202,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--retrieve", type=int, default=0)
     p_serve.add_argument("--no-cache", action="store_true")
     p_serve.add_argument(
-        "--kernel", choices=("software", "accelerator"), default="software"
+        "--kernel",
+        choices=_kernel_choices(),
+        default="software",
+        help="locate-kernel backend workers sweep with (default: software = "
+        "process default, see REPRO_KERNEL)",
     )
     p_serve.add_argument("--elements", type=int, default=100)
     p_serve.add_argument(
@@ -280,6 +296,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="end-to-end deadline budget in milliseconds (protocol v2)",
     )
     p_query.add_argument(
+        "--kernel",
+        default=None,
+        help="kernel backend the server must sweep with (protocol v2; "
+        "validated server-side, unknown names are bad-request)",
+    )
+    p_query.add_argument(
         "--metrics", action="store_true", help="print per-request service metrics"
     )
     p_query.add_argument(
@@ -306,7 +328,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--retrieve", type=int, default=0)
     p_batch.add_argument("--no-cache", action="store_true")
     p_batch.add_argument(
-        "--kernel", choices=("software", "accelerator"), default="software"
+        "--kernel",
+        choices=_kernel_choices(),
+        default="software",
+        help="locate-kernel backend workers sweep with",
     )
     p_batch.add_argument("--elements", type=int, default=100)
     p_batch.add_argument(
@@ -334,6 +359,12 @@ def build_parser() -> argparse.ArgumentParser:
     c_serve.add_argument("manifest", type=Path, help="cluster.json from `cluster partition`")
     c_serve.add_argument("--host", default="127.0.0.1")
     c_serve.add_argument("--workers", type=int, default=1, help="sweep workers per node")
+    c_serve.add_argument(
+        "--kernel",
+        choices=_kernel_choices(),
+        default="software",
+        help="locate-kernel backend every node sweeps with",
+    )
     c_serve.add_argument(
         "--batch-window", type=float, default=0.002, help="per-node micro-batch window"
     )
@@ -365,6 +396,11 @@ def build_parser() -> argparse.ArgumentParser:
     c_query.add_argument("--retrieve", type=int, default=0)
     c_query.add_argument(
         "--deadline-ms", type=int, default=None, help="end-to-end budget in milliseconds"
+    )
+    c_query.add_argument(
+        "--kernel",
+        default=None,
+        help="kernel backend every node must sweep with (validated node-side)",
     )
     c_query.add_argument(
         "--metrics", action="store_true", help="print merged per-request metrics"
@@ -557,7 +593,7 @@ def _cmd_cluster(args) -> int:
         import threading
 
         from .obs import FleetDumper, MetricsAggregator, Observability
-        from .service import DatabaseIndex, SearchEngine
+        from .service import DatabaseIndex, SearchEngine, WorkerSpec
         from .service.cluster import ClusterTopology
         from .service.net import ServerConfig, ServerThread
 
@@ -585,6 +621,7 @@ def _cmd_cluster(args) -> int:
                 engine = SearchEngine(
                     DatabaseIndex.load(spec.index_path),
                     workers=args.workers,
+                    spec=WorkerSpec(args.kernel),
                     obs=node_obs,
                 )
                 server = ServerThread(
@@ -738,6 +775,7 @@ def _cmd_cluster(args) -> int:
                     min_score=args.min_score,
                     retrieve=args.retrieve,
                     deadline_ms=args.deadline_ms,
+                    kernel=args.kernel,
                 ),
             )
             print(response.render(max_rows=args.top, with_metrics=args.metrics))
@@ -778,11 +816,18 @@ def main(argv: list[str] | None = None) -> int:
             # Legacy one-shot path: parse + sweep inline, byte-for-byte
             # the pre-service output.
             records = read_fasta(args.database)
-            acc = SWAccelerator(elements=args.elements)
+            from .kernels import HwSimBackend, get_backend
+
+            if args.kernel == "accelerator":
+                kernel = HwSimBackend(elements=args.elements)
+            elif args.kernel == "software":
+                kernel = get_backend(None)
+            else:
+                kernel = get_backend(args.kernel)
             report = scan_database(
                 args.query,
                 records,
-                locate=acc.locate,
+                kernel=kernel,
                 top=args.top,
                 min_score=args.min_score,
                 retrieve=args.retrieve,
@@ -794,7 +839,7 @@ def main(argv: list[str] | None = None) -> int:
             engine = SearchEngine(
                 _load_index(args.database),
                 workers=1 if args.workers is None else args.workers,
-                spec=WorkerSpec("accelerator", elements=args.elements),
+                spec=WorkerSpec(args.kernel, elements=args.elements),
                 cache=ResultCache(0) if args.no_cache else None,
                 statistics=statistics,
             )
@@ -905,6 +950,7 @@ def main(argv: list[str] | None = None) -> int:
                 min_score=args.min_score,
                 retrieve=args.retrieve,
                 deadline_ms=args.deadline_ms,
+                kernel=args.kernel,
             ),
             retry=RetryPolicy(retries=args.retries),
             timeout=args.timeout,

@@ -17,6 +17,7 @@ SSEARCH-style tool:
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -115,6 +116,7 @@ def scan_database(
     min_score: int = 1,
     retrieve: int = 3,
     statistics: ScoreStatistics | None = None,
+    kernel: "str | object | None" = None,
 ) -> ScanReport:
     """Scan the query against every record; rank by best local score.
 
@@ -123,10 +125,16 @@ def scan_database(
     records:
         :class:`FastaRecord` objects, ``(name, sequence)`` tuples, or
         bare sequence strings.
+    kernel:
+        The phase-1 kernel backend: a :mod:`repro.kernels` registry
+        name (``"reference"``, ``"numpy-striped"``, ``"hw-sim"``, ...)
+        or a :class:`~repro.kernels.KernelBackend` instance.  ``None``
+        uses the process default (``REPRO_KERNEL`` when set, else the
+        reference row sweep).  Every backend ranks bit-identically.
     locate:
-        The phase-1 kernel — pass an accelerator's ``locate`` to run
-        each record's sweep on the simulated hardware (the query
-        stays loaded; each record streams through).
+        **Deprecated** — a raw locate callable, the pre-registry way
+        to select the kernel.  Still honoured (with a
+        :class:`DeprecationWarning`); pass ``kernel=`` instead.
     top:
         Keep this many best records in the report.
     min_score:
@@ -143,7 +151,21 @@ def scan_database(
         raise ValueError(f"top must be positive, got {top}")
     if retrieve < 0:
         raise ValueError(f"retrieve cannot be negative, got {retrieve}")
-    if locate is None:
+    if locate is not None and kernel is not None:
+        raise TypeError("pass kernel= or the deprecated locate=, not both")
+    if locate is not None:
+        warnings.warn(
+            "locate= is deprecated; pass kernel=\"<backend-name>\" "
+            "(or a repro.kernels.KernelBackend) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    elif kernel is not None:
+        from .kernels import KernelBackend, get_backend
+
+        backend = kernel if isinstance(kernel, KernelBackend) else get_backend(kernel)
+        locate = backend.locate
+    else:
         locate = sw_locate_best
     query = query.upper()
     report = ScanReport(query_length=len(query), min_score=min_score)

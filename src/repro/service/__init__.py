@@ -99,6 +99,15 @@ class QueryOptions:
     ``bad-request`` — an exhausted budget is a timeout, wherever it is
     discovered.
 
+    ``kernel`` names the :mod:`repro.kernels` backend this request's
+    sweep must run on (``"reference"``, ``"numpy-striped"``, ...).
+    ``None`` — the default, and what an absent wire field decodes to —
+    means "whatever the server is configured with" (its ``--kernel``
+    flag, falling back to the process default).  Every backend is
+    bit-identical on rankings, so the field selects a *cost model*,
+    never an answer; cache keys still carry it so an operator can
+    account hits per backend.
+
     Construction never raises so a request can be *carried* before it
     is *checked*; :meth:`validate` applies the range rules and is
     called by the engine on every request, which is what maps bad
@@ -110,6 +119,7 @@ class QueryOptions:
     retrieve: int = 0
     statistics: "ScoreStatistics | None" = None
     deadline_ms: int | None = None
+    kernel: str | None = None
 
     def validate(self) -> "QueryOptions":
         """Range-check; returns self so calls chain."""
@@ -117,6 +127,14 @@ class QueryOptions:
             raise ValueError(f"top must be positive, got {self.top}")
         if self.retrieve < 0:
             raise ValueError(f"retrieve cannot be negative, got {self.retrieve}")
+        if self.kernel is not None:
+            from ..kernels import available_backends
+
+            if self.kernel not in available_backends():
+                raise ValueError(
+                    f"unknown kernel {self.kernel!r} "
+                    f"(available: {', '.join(available_backends())})"
+                )
         return self
 
     def replace(self, **changes: object) -> "QueryOptions":

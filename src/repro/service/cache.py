@@ -57,6 +57,13 @@ class CacheKey:
     so that a reload always yields a fresh key space — a cached
     response whose generation differs from the live one is unreachable
     even before the reload's eviction pass runs.
+
+    ``kernel`` is the resolved :mod:`repro.kernels` backend name the
+    sweep ran on.  Backends are bit-identical, so sharing entries
+    across kernels would be *correct* — but keying on the kernel keeps
+    hit-rate accounting honest per backend and means a request that
+    explicitly asked for a backend provably exercised it at least
+    once.
     """
 
     query: str
@@ -65,6 +72,7 @@ class CacheKey:
     min_score: int
     top: int
     generation: int = 0
+    kernel: str = "reference"
 
 
 @dataclass(frozen=True)

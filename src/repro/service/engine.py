@@ -269,7 +269,13 @@ class SearchEngine:
         return self.indexes.index
 
     def _key(
-        self, query: str, min_score: int, top: int, index: DatabaseIndex, generation: int
+        self,
+        query: str,
+        min_score: int,
+        top: int,
+        index: DatabaseIndex,
+        generation: int,
+        kernel: str,
     ) -> CacheKey:
         return CacheKey(
             query=query,
@@ -278,7 +284,26 @@ class SearchEngine:
             min_score=min_score,
             top=top,
             generation=generation,
+            kernel=kernel,
         )
+
+    def _kernel_for(self, resolved: QueryOptions) -> tuple[str, WorkerSpec | None]:
+        """Resolve a request's kernel: name plus a sweep-spec override.
+
+        Precedence is ``QueryOptions.kernel`` over the engine's own
+        spec (the server's ``--kernel`` flag or the process default).
+        The override is ``None`` when the request agrees with the
+        engine — the pool then sweeps with its own spec untouched.
+        """
+        engine_kernel = self.spec.resolved_kernel()
+        if resolved.kernel is None or resolved.kernel == engine_kernel:
+            return engine_kernel, None
+        override = WorkerSpec(
+            kind=resolved.kernel,
+            elements=self.spec.elements,
+            engine=self.spec.engine,
+        )
+        return resolved.kernel, override
 
     def _locate_for_retrieval(self):
         if self._retrieve_locate is None:
@@ -287,14 +312,16 @@ class SearchEngine:
 
     # ------------------------------------------------------------------
     def _sweep_inline(self, shards, queries, min_score: int, k: int, deadline=None):
-        """Sweep ``shards`` in-process with the software kernel.
+        """Sweep ``shards`` in-process with the reference kernel.
 
         This is the graceful-degradation path: no subprocesses, no
         fault injection, the same row sweep ``scan_database`` runs —
         the most trustworthy way to finish a sweep the pool could not.
-        The deadline (when set) is enforced at shard granularity.
+        Every backend is bit-identical, so healing a sweep on the
+        reference kernel changes nothing a caller can observe.  The
+        deadline (when set) is enforced at shard granularity.
         """
-        spec = WorkerSpec("software")
+        spec = WorkerSpec("reference")
         sweeps = []
         for shard in shards:
             if deadline is not None:
@@ -304,12 +331,16 @@ class SearchEngine:
             )
         return sweeps
 
-    def _run_sweep(self, index, queries, min_score: int, k: int, deadline=None):
+    def _run_sweep(
+        self, index, queries, min_score: int, k: int, deadline=None, spec=None
+    ):
         """One batch sweep with degradation handling.
 
         Returns ``(sweeps, degraded_ids)`` where ``degraded_ids`` are
         the shards excluded from this sweep (load-quarantined plus any
-        the pool failed on that fallback did not heal).
+        the pool failed on that fallback did not heal).  ``spec``, when
+        set, overrides the pool's kernel spec for this sweep only (a
+        request-level ``QueryOptions.kernel`` selection).
 
         :class:`~repro.service.resilience.DeadlineExceeded` raised by
         the pool propagates untouched — the fallback path re-sweeps
@@ -331,7 +362,13 @@ class SearchEngine:
             )
             return sweeps, tuple(sorted(load_degraded))
         result = self.pool.sweep(
-            index, queries, self.scheme, min_score=min_score, k=k, deadline=deadline
+            index,
+            queries,
+            self.scheme,
+            min_score=min_score,
+            k=k,
+            deadline=deadline,
+            spec=spec,
         )
         if not isinstance(result, SweepOutcome):
             return result, tuple(sorted(load_degraded))
@@ -455,6 +492,7 @@ class SearchEngine:
         min_score = resolved.min_score
         retrieve = resolved.retrieve
         stats = resolved.statistics if resolved.statistics is not None else self.statistics
+        kernel, sweep_spec = self._kernel_for(resolved)
         if deadline is None and resolved.deadline_ms is not None:
             deadline = Deadline.after_ms(resolved.deadline_ms)
         if deadline is not None:
@@ -465,7 +503,8 @@ class SearchEngine:
         with tracer.span("engine.search", queries=len(queries)):
             normalized = [q.upper() for q in queries]
             keys = [
-                self._key(q, min_score, top, index, generation) for q in normalized
+                self._key(q, min_score, top, index, generation, kernel)
+                for q in normalized
             ]
             cached: dict[CacheKey, _CachedSweep] = {}
             pending: list[str] = []
@@ -487,10 +526,12 @@ class SearchEngine:
             if pending:
                 query_bp = sum(len(q) for q in pending)
                 shard_bp = {s.shard_id: s.bp for s in index.shards}
-                with tracer.span("pool.sweep", pending=len(pending)) as sweep_span:
+                with tracer.span(
+                    "pool.sweep", pending=len(pending), kernel=kernel
+                ) as sweep_span:
                     t0 = time.perf_counter()
                     sweeps, degraded = self._run_sweep(
-                        index, pending, min_score, top, deadline
+                        index, pending, min_score, top, deadline, sweep_spec
                     )
                     sweep_wall = time.perf_counter() - t0
                     for sweep in sweeps:
@@ -652,7 +693,7 @@ class SearchEngine:
         info.update(
             {
                 "workers": self.pool.workers,
-                "kernel": self.spec.kind,
+                "kernel": self.spec.resolved_kernel(),
                 "requests": self.requests_served,
                 "cache size": f"{cache.size}/{cache.capacity}",
                 "cache hits": cache.hits,

@@ -32,7 +32,7 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from ..align.scoring import LinearScoring, SubstitutionMatrix
-from ..align.smith_waterman import sw_locate_best
+from ..kernels import KernelBackend, HwSimBackend, available_backends, default_kernel, get_backend
 from .index import DatabaseIndex
 
 __all__ = [
@@ -54,11 +54,13 @@ Candidate = tuple[int, int, int, int]
 class WorkerSpec:
     """How a worker builds its locate kernel.
 
-    ``kind`` is ``"software"`` (the NumPy row sweep) or
-    ``"accelerator"`` (a simulated :class:`SWAccelerator` with
-    ``elements``/``engine`` as configured).  The spec — not the kernel
-    — is what crosses the process boundary, so device state is built
-    fresh in each worker.
+    ``kind`` names a :mod:`repro.kernels` backend, or one of two
+    legacy aliases: ``"software"`` (the process-default backend —
+    ``REPRO_KERNEL`` when set, else ``reference``) and
+    ``"accelerator"`` (the ``hw-sim`` backend with ``elements`` /
+    ``engine`` as configured).  The spec — not the kernel — is what
+    crosses the process boundary, so device state is built fresh in
+    each worker.
     """
 
     kind: str = "software"
@@ -66,21 +68,43 @@ class WorkerSpec:
     engine: str = "emulator"
 
     def __post_init__(self) -> None:
-        if self.kind not in ("software", "accelerator"):
-            raise ValueError(f"unknown worker kind {self.kind!r}")
+        if self.kind not in ("software", "accelerator") and (
+            self.kind not in available_backends()
+        ):
+            raise ValueError(
+                f"unknown worker kind {self.kind!r} (use 'software', "
+                f"'accelerator', or one of: {', '.join(available_backends())})"
+            )
         if self.elements < 1:
             raise ValueError(f"need at least one element, got {self.elements}")
+
+    def resolved_kernel(self) -> str:
+        """The registry backend name this spec resolves to.
+
+        Resolved at call time (not construction) so a spec pickled
+        into a worker subprocess honours that process's environment.
+        """
+        if self.kind == "software":
+            return default_kernel()
+        if self.kind == "accelerator":
+            return "hw-sim"
+        return self.kind
+
+    def make_backend(
+        self, scheme: LinearScoring | SubstitutionMatrix
+    ) -> KernelBackend:
+        """The kernel backend a worker sweeps with."""
+        name = self.resolved_kernel()
+        if name == "hw-sim":
+            # A fresh device per worker: accelerator state never
+            # crosses the process boundary.
+            return HwSimBackend(elements=self.elements, engine=self.engine)
+        return get_backend(name)
 
     def make_locate(
         self, scheme: LinearScoring | SubstitutionMatrix
     ) -> Callable[..., object]:
-        if self.kind == "software":
-            return sw_locate_best
-        from ..core.accelerator import SWAccelerator
-
-        return SWAccelerator(
-            elements=self.elements, scheme=scheme, engine=self.engine
-        ).locate
+        return self.make_backend(scheme).locate
 
 
 @dataclass(frozen=True)
@@ -127,17 +151,24 @@ def _sweep_shard(
 ) -> ShardSweep:
     """Sweep one shard for every query (runs inside a worker process)."""
     (shard_id, start, offsets, payload, queries, scheme, spec, min_score, k) = args
-    locate = spec.make_locate(scheme)
+    backend = spec.make_backend(scheme)
     t0 = time.perf_counter()
     n_records = len(offsets) - 1
+    records = [
+        payload[int(offsets[r]) : int(offsets[r + 1])] for r in range(n_records)
+    ]
+    # One batched call: every query × every record of the shard in one
+    # kernel invocation, so a batched backend amortizes its row sweeps
+    # across the whole shard (single-pair backends fall back to the
+    # equivalent pairwise loop inside ``locate_batch``).
+    hits = backend.locate_batch(queries, records, scheme)
     cells = 0
     per_query: list[list[Candidate]] = [[] for _ in queries]
-    for r in range(n_records):
-        codes = payload[int(offsets[r]) : int(offsets[r + 1])]
+    for r, codes in enumerate(records):
         gidx = start + r
         for qi, query in enumerate(queries):
             cells += len(query) * len(codes)
-            hit = locate(query, codes, scheme)
+            hit = hits[qi][r]
             if hit.score >= min_score:
                 per_query[qi].append((hit.score, gidx, hit.i, hit.j))
     topk = tuple(
@@ -212,6 +243,7 @@ class ShardWorkerPool:
         min_score: int,
         k: int,
         deadline=None,
+        spec: WorkerSpec | None = None,
     ) -> list[ShardSweep]:
         """Sweep every active shard for every query; per-shard results.
 
@@ -224,9 +256,14 @@ class ShardWorkerPool:
         sweep, and once more after a parallel map — the plain pool has
         no supervision to kill a worker mid-shard, so a deadline below
         sweep time surfaces as soon as the kernel yields control.
+
+        ``spec`` overrides the pool's own kernel spec for this sweep
+        only — the engine passes it when a request's
+        ``QueryOptions.kernel`` names a different backend.
         """
+        spec = spec if spec is not None else self.spec
         tasks = [
-            shard_task(shard, queries, scheme, self.spec, min_score, k)
+            shard_task(shard, queries, scheme, spec, min_score, k)
             for shard in index.active_shards
         ]
         if self.workers == 1 or len(tasks) <= 1:

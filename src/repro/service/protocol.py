@@ -38,7 +38,10 @@ Every frame object carries ``"v"`` (the protocol version) and
 
 Protocol v2 additionally accepts ``"deadline_ms"`` inside a search
 request's ``options`` — the request's remaining end-to-end budget in
-milliseconds, re-anchored by the server at receipt.
+milliseconds, re-anchored by the server at receipt — and ``"kernel"``,
+the :mod:`repro.kernels` backend name the sweep must run on (absent
+means "the server's configured default"; an unknown name is a
+``bad-request``).
 
 Server → client types::
 
@@ -126,10 +129,12 @@ __all__ = [
 #:   ``metrics`` / ``trace`` / ``ping``, options ``top`` /
 #:   ``min_score`` / ``retrieve``.
 #: * **2** — robustness surface: ``deadline_ms`` request option
-#:   (end-to-end budget, re-anchored server-side at receipt), and the
-#:   ``health`` / ``reload`` admin verbs.  A v2 peer talking to a v1
-#:   peer silently drops the v2-only option and loses the v2 verbs —
-#:   negotiation, not failure.
+#:   (end-to-end budget, re-anchored server-side at receipt), the
+#:   ``health`` / ``reload`` admin verbs, and the string-valued
+#:   ``kernel`` request option naming the :mod:`repro.kernels` backend
+#:   the sweep must run on.  A v2 peer talking to a v1 peer silently
+#:   drops the v2-only options and loses the v2 verbs — negotiation,
+#:   not failure.
 PROTOCOL_VERSION = 2
 SUPPORTED_VERSIONS = (1, 2)
 
@@ -151,8 +156,12 @@ V2_VERBS = frozenset({"health", "reload"})
 #: line protocol (``metrics`` is line-protocol only: render metrics
 #: with the reply).
 WIRE_OPTION_KEYS_V1 = ("top", "min_score", "retrieve")
-WIRE_OPTION_KEYS = WIRE_OPTION_KEYS_V1 + ("deadline_ms",)
+WIRE_OPTION_KEYS = WIRE_OPTION_KEYS_V1 + ("deadline_ms", "kernel")
 LINE_OPTION_KEYS = WIRE_OPTION_KEYS + ("metrics",)
+
+#: The option keys whose wire value is a string, not an integer
+#: (``kernel`` names a registry backend).
+STRING_OPTION_KEYS = frozenset({"kernel"})
 
 
 class ProtocolError(ServiceError):
@@ -272,17 +281,21 @@ def options_to_wire(options, version: int = PROTOCOL_VERSION) -> dict:
     """The wire mapping for a :class:`~repro.service.QueryOptions`.
 
     ``statistics`` never crosses the wire — E-values are the server
-    engine's concern.  ``deadline_ms`` is v2-only and omitted when
-    encoding for a v1 peer (an old server would reject the unknown
-    key; a client that negotiated down simply loses the deadline).
+    engine's concern.  ``deadline_ms`` and ``kernel`` are v2-only and
+    omitted when encoding for a v1 peer (an old server would reject
+    the unknown keys; a client that negotiated down simply loses the
+    deadline and the kernel selection).
     """
     wire = {
         "top": options.top,
         "min_score": options.min_score,
         "retrieve": options.retrieve,
     }
-    if version >= 2 and getattr(options, "deadline_ms", None) is not None:
-        wire["deadline_ms"] = options.deadline_ms
+    if version >= 2:
+        if getattr(options, "deadline_ms", None) is not None:
+            wire["deadline_ms"] = options.deadline_ms
+        if getattr(options, "kernel", None) is not None:
+            wire["kernel"] = options.kernel
     return wire
 
 
@@ -305,7 +318,12 @@ def options_from_wire(mapping, defaults=None):
     for key, value in mapping.items():
         if key not in WIRE_OPTION_KEYS:
             raise ValueError(f"unknown option {key!r}")
-        if isinstance(value, bool) or not isinstance(value, int):
+        if key in STRING_OPTION_KEYS:
+            if not isinstance(value, str) or not value:
+                raise ValueError(
+                    f"option {key!r} must be a non-empty string, got {value!r}"
+                )
+        elif isinstance(value, bool) or not isinstance(value, int):
             raise ValueError(f"option {key!r} must be an integer, got {value!r}")
         overrides[key] = value
     return base.replace(**overrides) if overrides else base
@@ -625,14 +643,15 @@ def one_line(message: object) -> str:
 
 def parse_option_tokens(
     tokens: list[str], allowed: tuple[str, ...] = LINE_OPTION_KEYS
-) -> dict[str, int]:
-    """Parse line-protocol ``key=value`` tokens into integer options.
+) -> dict[str, int | str]:
+    """Parse line-protocol ``key=value`` tokens into options.
 
     The one option grammar both the line protocol and tests share;
     unknown keys and non-integer values raise :class:`ValueError`
-    (``bad-request`` after :func:`classify_exception`).
+    (``bad-request`` after :func:`classify_exception`).  String-valued
+    keys (``kernel``) keep the token verbatim.
     """
-    options: dict[str, int] = {}
+    options: dict[str, int | str] = {}
     for token in tokens:
         if "=" not in token:
             raise ValueError(f"malformed option {token!r} (expected key=value)")
@@ -640,6 +659,11 @@ def parse_option_tokens(
         key = key.replace("-", "_")
         if key not in allowed:
             raise ValueError(f"unknown option {key!r}")
+        if key in STRING_OPTION_KEYS:
+            if not value:
+                raise ValueError(f"option {key!r} needs a value")
+            options[key] = value
+            continue
         try:
             options[key] = int(value)
         except ValueError:

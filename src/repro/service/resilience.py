@@ -601,6 +601,7 @@ class SupervisedWorkerPool:
         min_score: int,
         k: int,
         deadline: Deadline | None = None,
+        spec: WorkerSpec | None = None,
     ) -> SweepOutcome:
         """Sweep every non-quarantined shard under supervision.
 
@@ -609,8 +610,12 @@ class SupervisedWorkerPool:
         — a retry never gets a fresh static allowance — and once the
         budget is gone the supervisor kills everything still running
         and raises :class:`DeadlineExceeded` instead of limping on.
+
+        ``spec`` overrides the pool's kernel spec for this sweep only
+        (a request-level ``QueryOptions.kernel`` selection).
         """
         queries = tuple(queries)
+        spec = spec if spec is not None else self.spec
         outcome = SweepOutcome()
         runnable = []
         for shard in index.active_shards:
@@ -645,7 +650,15 @@ class SupervisedWorkerPool:
                 if len(running) < self.workers and ready_at <= now:
                     running.append(
                         self._launch(
-                            ctx, shard, attempt, queries, scheme, min_score, k, deadline
+                            ctx,
+                            shard,
+                            attempt,
+                            queries,
+                            scheme,
+                            min_score,
+                            k,
+                            deadline,
+                            spec,
                         )
                     )
                     outcome.attempts += 1
@@ -710,14 +723,16 @@ class SupervisedWorkerPool:
         return min(static, max(deadline.remaining(), 0.0))
 
     def _launch(
-        self, ctx, shard, attempt, queries, scheme, min_score, k, deadline=None
+        self, ctx, shard, attempt, queries, scheme, min_score, k, deadline=None, spec=None
     ) -> _Running:
         fault = (
             self.fault_plan.fault_for(shard.shard_id, attempt)
             if self.fault_plan is not None
             else None
         )
-        task = shard_task(shard, queries, scheme, self.spec, min_score, k)
+        task = shard_task(
+            shard, queries, scheme, spec if spec is not None else self.spec, min_score, k
+        )
         result_queue = ctx.SimpleQueue()
         process = ctx.Process(
             target=_supervised_entry, args=(task, fault, result_queue), daemon=True
