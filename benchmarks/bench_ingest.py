@@ -1,0 +1,237 @@
+"""Experiment IN1 — live ingest: serving impact and crash recovery time.
+
+Two measurements, one claim: the index can grow while it serves, and a
+crash at any point costs bounded, measured recovery time — never data.
+
+**Part A — search latency with and without a live ingest stream.**
+The same query mix runs twice over the same base database: once
+against a quiet index, once while a background writer streams records
+through the WAL-backed :class:`~repro.service.ingest.IngestService`
+(fsync per ack, seals + delta compactions + atomic reloads landing
+mid-run).  Reported: search p50/p99 for both runs and the p99 ratio —
+the price of durability under the reader's feet — plus the ingest ack
+latency distribution (each ack is a journal append + fsync).
+
+**Part B — recovery wall time.**  The ingest directory Part A grew
+(sealed segments, published deltas, a journal tail of pending records
+that never sealed) is recovered from scratch, exactly the startup path
+after ``kill -9``: replay the journal, truncate any torn tail, adopt
+published deltas, force-seal the pending tail, swap the combined index
+live.  Reported: recovery wall seconds, records recovered, and a
+served-set check that every acked record answers queries afterwards.
+
+``python benchmarks/bench_ingest.py --tiny`` runs a seconds-scale
+smoke for CI; results land in ``BENCH_ingest.json``.
+"""
+
+import os
+import threading
+import time
+
+from repro.analysis.report import render_table
+from repro.analysis.results import write_bench_json
+from repro.io.generate import mutate, random_dna
+from repro.service import DatabaseIndex, IndexManager, QueryOptions
+from repro.service.engine import SearchEngine
+from repro.service.ingest import IngestService
+
+QUERY_BP = 48
+OPTIONS = QueryOptions(top=5, min_score=1)
+
+
+def _percentile(values, q):
+    ranked = sorted(values)
+    if not ranked:
+        return 0.0
+    rank = min(len(ranked) - 1, max(0, round(q * (len(ranked) - 1))))
+    return ranked[rank]
+
+
+def _build_base(n_records, record_bp, label="ingest-bench"):
+    records = [
+        (f"base{i}", random_dna(record_bp, seed=6_000 + i)) for i in range(n_records)
+    ]
+    return lambda: DatabaseIndex.build(records, shards=2, source=label)
+
+
+def _queries(n):
+    return [random_dna(QUERY_BP, seed=700 + i) for i in range(n)]
+
+
+def _live_records(n, record_bp, queries):
+    """Each streamed record plants a mutated query so new content is
+    *rankable* — a dropped record would change answers, not just counts."""
+    out = []
+    for i in range(n):
+        fragment = mutate(queries[i % len(queries)], rate=0.05, seed=800 + i)
+        tail = random_dna(max(0, record_bp - len(fragment)), seed=900 + i)
+        out.append((f"live{i}", fragment + tail))
+    return out
+
+
+def _timed_searches(engine, queries, rounds):
+    latencies = []
+    for r in range(rounds):
+        for query in queries:
+            t0 = time.perf_counter()
+            engine.search(query, OPTIONS)
+            latencies.append(time.perf_counter() - t0)
+    return latencies
+
+
+def run_in1(
+    tmpdir,
+    n_records=16,
+    record_bp=2_000,
+    n_live=50,  # not a seal multiple: recovery must force-seal a tail
+    seal_every=8,
+    search_rounds=6,
+    n_queries=6,
+):
+    """The IN1 pair; returns (table rows, json payload)."""
+    queries = _queries(n_queries)
+    live = _live_records(n_live, record_bp // 4, queries)
+    base_loader = _build_base(n_records, record_bp)
+
+    # -- Part A baseline: quiet index, no writer ----------------------
+    quiet = IndexManager(loader=base_loader)
+    quiet_engine = SearchEngine(quiet)
+    quiet_lat = _timed_searches(quiet_engine, queries, search_rounds)
+
+    # -- Part A live: same searches while the WAL ingests -------------
+    manager = IndexManager(loader=base_loader)
+    ingest_dir = os.path.join(tmpdir, "ingest")
+    service = IngestService(manager, ingest_dir, seal_every=seal_every)
+    engine = SearchEngine(manager)
+    ack_lat = []
+    writer_error = []
+
+    def writer():
+        try:
+            for name, sequence in live:
+                t0 = time.perf_counter()
+                service.ingest(name, sequence)
+                ack_lat.append(time.perf_counter() - t0)
+        except Exception as exc:  # surfaced below; never silent
+            writer_error.append(exc)
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    live_lat = _timed_searches(engine, queries, search_rounds)
+    thread.join()
+    assert not writer_error, f"ingest writer failed: {writer_error[0]!r}"
+    assert service.acked == len(live)
+    pending_at_crash = service.pending
+
+    # -- Part B: recover the directory from scratch (post-kill path) --
+    t0 = time.perf_counter()
+    fresh = IndexManager(loader=base_loader)
+    recovered = IngestService(fresh, ingest_dir, seal_every=seal_every)
+    restart_wall = time.perf_counter() - t0
+    served = set(recovered.served_names())
+    missing = [name for name, _ in live if name not in served]
+    assert not missing, f"recovery lost acked records: {missing[:5]}"
+    assert fresh.index.record_count == n_records + n_live
+
+    quiet_p99 = _percentile(quiet_lat, 0.99)
+    live_p99 = _percentile(live_lat, 0.99)
+    payload = {
+        "experiment": "IN1",
+        "base_records": n_records,
+        "base_bp": n_records * record_bp,
+        "live_records": n_live,
+        "seal_every": seal_every,
+        "cpu_count": os.cpu_count(),
+        "searches": len(live_lat),
+        "quiet_p50_s": _percentile(quiet_lat, 0.50),
+        "quiet_p99_s": quiet_p99,
+        "live_p50_s": _percentile(live_lat, 0.50),
+        "live_p99_s": live_p99,
+        "p99_ratio_live_vs_quiet": (live_p99 / quiet_p99) if quiet_p99 > 0 else 0.0,
+        "ack_p50_s": _percentile(ack_lat, 0.50),
+        "ack_p99_s": _percentile(ack_lat, 0.99),
+        "pending_at_crash": pending_at_crash,
+        "recovery_seconds": recovered.recovery_seconds,
+        "restart_wall_seconds": restart_wall,
+        "recovered_records": recovered.recovered_records,
+        "final_generation": fresh.generation,
+    }
+    rows = [
+        [
+            "search quiet",
+            f"{len(quiet_lat)} queries",
+            f"p50 {payload['quiet_p50_s'] * 1e3:.2f} ms",
+            f"p99 {quiet_p99 * 1e3:.2f} ms",
+            "-",
+        ],
+        [
+            "search live",
+            f"{len(live_lat)} queries",
+            f"p50 {payload['live_p50_s'] * 1e3:.2f} ms",
+            f"p99 {live_p99 * 1e3:.2f} ms",
+            f"{payload['p99_ratio_live_vs_quiet']:.2f}x quiet",
+        ],
+        [
+            "ingest acks",
+            f"{len(ack_lat)} records",
+            f"p50 {payload['ack_p50_s'] * 1e3:.2f} ms",
+            f"p99 {payload['ack_p99_s'] * 1e3:.2f} ms",
+            f"{pending_at_crash} pending at kill",
+        ],
+        [
+            "recovery",
+            f"{n_live} live records",
+            f"replay {payload['recovery_seconds'] * 1e3:.1f} ms",
+            f"restart {restart_wall * 1e3:.1f} ms",
+            "all acked served",
+        ],
+    ]
+    return rows, payload
+
+
+HEADERS = ["part", "volume", "metric 1", "metric 2", "metric 3"]
+
+
+def main(argv=None):
+    """Direct entry point: ``--tiny`` for the CI smoke run."""
+    import argparse
+    import tempfile
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="seconds-scale smoke workload for CI",
+    )
+    args = parser.parse_args(argv)
+    with tempfile.TemporaryDirectory(prefix="bench-ingest-") as tmpdir:
+        if args.tiny:
+            rows, payload = run_in1(
+                tmpdir,
+                n_records=6,
+                record_bp=400,
+                n_live=10,
+                seal_every=4,
+                search_rounds=2,
+                n_queries=3,
+            )
+        else:
+            rows, payload = run_in1(tmpdir)
+    print(
+        render_table(
+            HEADERS,
+            rows,
+            title=(
+                f"IN1: ingest-while-serving, {payload['base_records']} base + "
+                f"{payload['live_records']} live records"
+            ),
+        )
+    )
+    write_bench_json("ingest", payload)
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -188,10 +188,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_index = sub.add_parser("index", help="build a persistent sharded database index")
-    p_index.add_argument("database", type=Path, help="multi-record FASTA file")
-    p_index.add_argument("--out", type=Path, required=True, help="index file to write")
+    p_index.add_argument(
+        "database", type=Path,
+        help="multi-record FASTA file (with --verify: a saved .idx/.npz index)",
+    )
+    p_index.add_argument("--out", type=Path, default=None, help="index file to write")
     p_index.add_argument(
         "--shard-bp", type=int, default=None, help="target encoded bp per shard"
+    )
+    p_index.add_argument(
+        "--verify",
+        action="store_true",
+        help=(
+            "verify an existing index instead of building one: re-check "
+            "every shard's sha256 digest and exit nonzero on corruption"
+        ),
     )
 
     p_serve = sub.add_parser("serve", help="search-service request loop (stdin/stdout)")
@@ -279,6 +290,22 @@ def build_parser() -> argparse.ArgumentParser:
             "(TCP mode; e.g. --reload-signal hup, then kill -HUP <pid>)"
         ),
     )
+    p_serve.add_argument(
+        "--ingest-dir",
+        type=Path,
+        default=None,
+        help=(
+            "enable WAL-backed streaming ingest (TCP mode): journal, "
+            "seal and compact live records in this directory; recovery "
+            "replays it on startup"
+        ),
+    )
+    p_serve.add_argument(
+        "--seal-every",
+        type=int,
+        default=64,
+        help="records per journal segment before a seal/compact/publish cycle",
+    )
 
     p_query = sub.add_parser("query", help="query a running serve --tcp server")
     p_query.add_argument("address", help="server address as HOST:PORT")
@@ -317,6 +344,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict",
         action="store_true",
         help="exit nonzero when the response is degraded (coverage < 1.0)",
+    )
+
+    p_ingest = sub.add_parser(
+        "ingest", help="stream FASTA records into a running serve --tcp server"
+    )
+    p_ingest.add_argument("address", help="server address as HOST:PORT")
+    p_ingest.add_argument(
+        "records", type=Path, help="multi-record FASTA file to stream in"
+    )
+    p_ingest.add_argument(
+        "--timeout", type=float, default=30.0, help="socket timeout in seconds"
+    )
+    p_ingest.add_argument(
+        "--retries", type=int, default=2, help="retries on transient failures"
     )
 
     p_batch = sub.add_parser("batch", help="run a FASTA file of queries in one batch")
@@ -859,8 +900,27 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "index":
         from .service import DatabaseIndex
-        from .service.index import DEFAULT_SHARD_BP
+        from .service.index import DEFAULT_SHARD_BP, IndexFormatError
 
+        if args.verify:
+            # Verification loads with quarantine-on-corruption so one
+            # bad shard doesn't mask the state of the others: every
+            # shard's digest is re-checked and reported.
+            try:
+                index = DatabaseIndex.load(args.database, on_corrupt="quarantine")
+            except (IndexFormatError, OSError) as exc:
+                print(f"error index-corrupt {exc}", file=sys.stderr)
+                return 1
+            bad = sorted(index.degraded)
+            for key, value in index.describe().items():
+                print(f"{key:>10} : {value}")
+            status = f"FAILED shards {bad}" if bad else "ok"
+            print(f"{'verify':>10} : {status}")
+            return 1 if bad else 0
+        if args.out is None:
+            print("error bad-request --out is required without --verify",
+                  file=sys.stderr)
+            return 1
         index = DatabaseIndex.from_fasta(
             args.database, shard_bp=args.shard_bp or DEFAULT_SHARD_BP
         )
@@ -886,6 +946,19 @@ def main(argv: list[str] | None = None) -> int:
             top=args.top, min_score=args.min_score, retrieve=args.retrieve
         )
         engine = _build_engine(args, obs=obs)
+        if args.ingest_dir is not None:
+            from .service.ingest import IngestService
+
+            # Recovery replays the journal before the socket opens, so
+            # everything acknowledged before a crash is served from the
+            # first request onward.
+            ingest_service = IngestService(
+                engine.indexes,
+                args.ingest_dir,
+                seal_every=args.seal_every,
+                obs=obs,
+            )
+            engine.attach_ingest(ingest_service)
         if args.tcp is not None:
             from .service.net import ServerConfig, TcpSearchServer
 
@@ -976,6 +1049,47 @@ def main(argv: list[str] | None = None) -> int:
         except (ServiceError, ConnectionError, OSError, EOFError) as exc:
             print(format_error_line(*classify_exception(exc)), file=sys.stderr)
             return 1
+
+    if args.command == "ingest":
+        from .io.fasta import stream_fasta
+        from .service import ServiceError
+        from .service.client import SearchClient
+        from .service.protocol import classify_exception, format_error_line
+        from .service.resilience import RetryPolicy
+
+        client = SearchClient(
+            args.address,
+            retry=RetryPolicy(retries=args.retries),
+            timeout=args.timeout,
+        )
+        sent = 0
+        try:
+            with client:
+                for record in stream_fasta(args.records):
+                    ack = client.ingest(
+                        record.identifier or record.header, record.sequence
+                    )
+                    sent += 1
+                    print(
+                        f"acked {record.identifier or record.header} "
+                        f"segment={ack.get('segment')} seq={ack.get('seq')} "
+                        f"pending={ack.get('pending')} "
+                        f"generation={ack.get('generation')}"
+                    )
+        except ValueError as exc:
+            # A torn/garbled FASTA file must not half-ingest silently.
+            print(f"error bad-request {exc} ({sent} records acked)",
+                  file=sys.stderr)
+            return 1
+        except (ServiceError, ConnectionError, OSError, EOFError) as exc:
+            code, message = classify_exception(exc)
+            print(
+                format_error_line(code, f"{message} ({sent} records acked)"),
+                file=sys.stderr,
+            )
+            return 1
+        print(f"ingested {sent} records")
+        return 0
 
     if args.command == "batch":
         queries = read_fasta(args.queries)

@@ -1,5 +1,7 @@
-"""Workload I/O: FASTA files and seeded synthetic generators."""
+"""Workload I/O: FASTA files, seeded synthetic generators, and the
+crash-safe :func:`atomic_write` every on-disk writer shares."""
 
+from .atomic import atomic_write
 from .fasta import FastaRecord, parse_fasta, read_fasta, stream_fasta, write_fasta
 from .matrices import parse_matrix, read_matrix, write_matrix
 from .sam import mapq_from_gap, to_sam
@@ -15,6 +17,7 @@ from .generate import (
 )
 
 __all__ = [
+    "atomic_write",
     "FastaRecord",
     "parse_fasta",
     "read_fasta",

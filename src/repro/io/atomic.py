@@ -1,0 +1,74 @@
+"""Crash-safe file replacement shared by every on-disk writer.
+
+A plain ``write_text``/``write_bytes`` has two windows where a crash
+(or a full disk) leaves garbage behind: mid-write the file holds a
+prefix of the new content, and even after the write returns the bytes
+may still sit in the page cache.  Every writer in this repo that
+persists something another process will read — index files, metrics
+snapshots, cluster manifests, chaos event logs, ingest manifests —
+routes through :func:`atomic_write` instead, which follows the
+standard journaling discipline:
+
+1. write the full content to a temp file *in the same directory*
+   (same filesystem, so the rename below is atomic);
+2. ``fsync`` the temp file, so the bytes are durable before the name
+   is;
+3. ``os.replace`` the temp file onto the target — readers see either
+   the complete old file or the complete new file, never a prefix;
+4. ``fsync`` the directory, so the rename itself survives a crash.
+
+A failure at any step leaves the previous file intact; the temp file
+may survive (suffixed ``.tmp``) and is harmless — recovery code
+ignores and removes them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["atomic_write"]
+
+#: Suffix used for the not-yet-renamed temp file.  Recovery scanners
+#: (and humans) can recognise and delete leftovers after a crash.
+TMP_SUFFIX = ".tmp"
+
+
+def atomic_write(path: str | Path, data: bytes | str, fsync: bool = True) -> Path:
+    """Atomically replace ``path`` with ``data``; returns the path.
+
+    ``data`` may be ``bytes`` or ``str`` (encoded UTF-8).  With
+    ``fsync=True`` (the default) the content and the rename are both
+    durable when this returns; ``fsync=False`` keeps the atomic
+    visibility guarantee (readers never see a torn file) but lets the
+    OS schedule the flush — appropriate for throwaway artifacts like
+    periodic metrics snapshots where losing the last seconds on a
+    power cut is acceptable.
+    """
+    target = Path(path)
+    payload = data.encode("utf-8") if isinstance(data, str) else bytes(data)
+    tmp = target.with_name(target.name + TMP_SUFFIX)
+    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        os.write(fd, payload)
+        if fsync:
+            os.fsync(fd)
+    finally:
+        os.close(fd)
+    os.replace(tmp, target)
+    if fsync:
+        _fsync_dir(target.parent)
+    return target
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry (rename durability); best-effort on
+    platforms that refuse to open directories."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-specific
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

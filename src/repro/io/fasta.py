@@ -35,13 +35,31 @@ class FastaRecord:
         return len(self.sequence)
 
 
+def _logical_lines(stream: TextIO) -> Iterator[str]:
+    """Iterate lines under any newline convention (LF, CRLF, bare CR).
+
+    A stream opened through :func:`open` already translates newlines,
+    but :func:`parse_fasta` accepts arbitrary text streams (StringIO,
+    sockets, pipes) where ``\\r\\n`` and classic-Mac ``\\r`` endings
+    arrive verbatim — without this, a bare-CR file would collapse into
+    one giant "line" and the header would swallow the sequence.
+    """
+    for raw in stream:
+        yield from raw.replace("\r\n", "\n").replace("\r", "\n").split("\n")
+
+
 def parse_fasta(stream: TextIO, alphabet: str | None = None) -> Iterator[FastaRecord]:
     """Yield records from an open FASTA stream.
 
     ``alphabet``, when given, restricts sequence characters (case-
     insensitive); a violation raises ``ValueError`` naming the record
     and offending character.  Text before the first ``>`` that is not
-    a comment or blank line is an error.
+    a comment or blank line is an error, and so is a final record with
+    a header but no sequence data — that is the signature of a file
+    truncated mid-write (a torn ``>header`` line with the sequence
+    lost), and silently yielding an empty record would let a torn
+    database into an index.  CRLF and bare-CR line endings are
+    accepted on any stream, not just ones opened in text mode.
     """
     allowed = set(alphabet.upper()) if alphabet is not None else None
     header: str | None = None
@@ -58,7 +76,7 @@ def parse_fasta(stream: TextIO, alphabet: str | None = None) -> Iterator[FastaRe
                 )
         return FastaRecord(header=header or "", sequence=seq)
 
-    for raw in stream:
+    for raw in _logical_lines(stream):
         line = raw.strip()
         if not line or line.startswith(";"):
             continue
@@ -72,6 +90,11 @@ def parse_fasta(stream: TextIO, alphabet: str | None = None) -> Iterator[FastaRe
                 raise ValueError(f"sequence data before any '>' header: {line[:40]!r}")
             chunks.append(line)
     if header is not None:
+        if not chunks:
+            raise ValueError(
+                f"truncated FASTA: final record {header!r} has a header but no "
+                "sequence lines"
+            )
         yield emit()
 
 
@@ -87,7 +110,9 @@ def stream_fasta(path: str | Path, alphabet: str | None = None) -> Iterator[Fast
     Unlike :func:`read_fasta` this never materializes the whole file's
     record list, so the service-layer index builder can encode a
     multi-megabase database shard by shard with only one record's text
-    alive at a time.
+    alive at a time.  CRLF/CR files parse identically to LF ones, and
+    a file truncated after a ``>header`` line raises ``ValueError``
+    rather than yielding a garbage empty record.
     """
     with open(path, "r", encoding="ascii") as fh:
         yield from parse_fasta(fh, alphabet)

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Mapping, Sequence
 
+from ..io.atomic import atomic_write
 from .log import StructLogger, get_logger
 from .metrics import (
     Histogram,
@@ -579,9 +580,11 @@ class FleetDumper:
 
     def dump(self) -> None:
         snapshot = self.aggregator.scrape().snapshot()
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
-        tmp.replace(self.path)
+        atomic_write(
+            self.path,
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
+            fsync=False,
+        )
         self.dumps += 1
 
 

@@ -380,8 +380,16 @@ class PeriodicDumper:
         return True
 
     def dump(self) -> None:
-        """Write one snapshot unconditionally (atomic rename)."""
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_text(json.dumps(self.registry.snapshot(), indent=2) + "\n")
-        tmp.replace(self.path)
+        """Write one snapshot unconditionally (atomic rename).
+
+        ``fsync=False``: losing the last interval's snapshot on a
+        power cut is fine, but a reader must never see a torn file.
+        """
+        from ..io.atomic import atomic_write
+
+        atomic_write(
+            self.path,
+            json.dumps(self.registry.snapshot(), indent=2) + "\n",
+            fsync=False,
+        )
         self.dumps += 1

@@ -45,6 +45,14 @@ coordinates returned per record.  This package turns the one-shot
 * :mod:`~repro.service.chaos` — deterministic chaos harness driving a
   real TCP server through seeded fault schedules while asserting the
   service's invariants;
+* :mod:`~repro.service.ingest` — crash-safe streaming ingest: a
+  CRC-framed write-ahead journal (fsync before ack), sealed segments
+  compacted into delta shards published atomically through
+  :class:`IndexManager`, startup recovery that replays the journal and
+  quarantines digest-failing deltas, and an injectable
+  :class:`~repro.service.resilience.FaultFS` whose labeled crash
+  points the chaos harness kills at one by one
+  (``repro.service.chaos --ingest``);
 * :mod:`~repro.service.cluster` — the distributed tier:
   :func:`~repro.service.cluster.partition_index` splits an index into
   contiguous per-node sub-indexes, a

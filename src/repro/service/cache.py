@@ -18,6 +18,7 @@ served, and no explicit flush protocol is needed.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable
@@ -103,6 +104,9 @@ class ResultCache:
             raise ValueError(f"capacity cannot be negative, got {capacity}")
         self.capacity = capacity
         self._entries: OrderedDict[CacheKey, object] = OrderedDict()
+        # Serving threads and reload/ingest publishers share one cache;
+        # check-then-move and iterate-then-delete must be atomic.
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -136,30 +140,33 @@ class ResultCache:
 
     def get(self, key: CacheKey) -> object | None:
         """Look up ``key``; counts a hit/miss and refreshes recency."""
-        if key in self._entries:
-            self.hits += 1
-            self._m_hits.inc()
-            self._entries.move_to_end(key)
-            return self._entries[key]
-        self.misses += 1
-        self._m_misses.inc()
-        return None
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                self._m_hits.inc()
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self.misses += 1
+            self._m_misses.inc()
+            return None
 
     def put(self, key: CacheKey, value: object) -> None:
         """Insert ``key``; evicts the least-recently-used past capacity."""
         if self.capacity == 0:
             return
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            self._m_evictions.inc()
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                self._m_evictions.inc()
 
     def clear(self) -> None:
         """Drop all entries (counters are kept — they describe traffic)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def evict_where(self, predicate) -> int:
         """Drop every entry whose key satisfies ``predicate``.
@@ -168,11 +175,12 @@ class ResultCache:
         they are capacity reclaimed, just not by LRU pressure).  Hot
         index reload uses this to purge all prior-generation entries.
         """
-        stale = [key for key in self._entries if predicate(key)]
-        for key in stale:
-            del self._entries[key]
-            self.evictions += 1
-            self._m_evictions.inc()
+        with self._lock:
+            stale = [key for key in self._entries if predicate(key)]
+            for key in stale:
+                del self._entries[key]
+                self.evictions += 1
+                self._m_evictions.inc()
         return len(stale)
 
     @property

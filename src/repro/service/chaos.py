@@ -51,10 +51,26 @@ fault-free baseline.  :func:`limiter_convergence_trace` drives the
 slow-node schedule and proves the AIMD loop converges to the node's
 real capacity instead of oscillating or collapsing.
 
+:func:`run_ingest_chaos` turns the same discipline on the *disk*: it
+probes a fault-free WAL ingest run for every labeled
+:class:`~repro.service.resilience.FaultFS` barrier the lifecycle
+crosses (journal create/append/sync, seal rename, delta and manifest
+publish, segment retire), then kills the process at each one and
+recovers over the surviving directory.  The invariants are the
+crash-safe lifecycle's promises: recovery always lands on a
+consistent generation, every *acknowledged* record is served after
+restart (at-least-once — a record durable but unacked may also
+appear), no torn shard is ever visible, and once the interrupted
+records are re-ingested the rankings are bit-identical to a run that
+never crashed.  Torn and short writes, lying fsyncs (the delta
+quarantine path) and ENOSPC/EIO read-only degradation — including a
+live TCP server leg — ride the same schedule.
+
 ``python -m repro.service.chaos --seed 7`` runs the harness directly
 and exits nonzero on any invariant violation; add ``--cluster`` to
-run the cluster schedule instead, or ``--selfheal`` (optionally with
-``--mode process``) for the kill→eject→respawn→readmit loop.
+run the cluster schedule instead, ``--selfheal`` (optionally with
+``--mode process``) for the kill→eject→respawn→readmit loop, or
+``--ingest`` for the disk-fault crash sweep.
 """
 
 from __future__ import annotations
@@ -62,12 +78,14 @@ from __future__ import annotations
 import json
 import os
 import random
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
+from ..io.atomic import atomic_write
 from ..io.generate import mutate, random_dna
 from . import QueryOptions
 from .cache import ResultCache
@@ -75,9 +93,13 @@ from .client import SearchClient, _Connection
 from .engine import SearchEngine, SearchResponse
 from .guard import IndexManager
 from .index import DatabaseIndex
+from .ingest import IngestReadOnly, IngestService
 from .net import ServerConfig, ServerThread
 from .resilience import (
+    CrashPoint,
+    DiskFaultPlan,
     Fault,
+    FaultFS,
     FaultPlan,
     RetryPolicy,
     ServiceError,
@@ -92,6 +114,8 @@ __all__ = [
     "ChaosSchedule",
     "ClusterChaosReport",
     "ClusterChaosSchedule",
+    "IngestChaosReport",
+    "IngestChaosRun",
     "NET_FAULT_KINDS",
     "NetsplitController",
     "POOL_FAULT_KINDS",
@@ -102,6 +126,7 @@ __all__ = [
     "response_signature",
     "run_chaos",
     "run_cluster_chaos",
+    "run_ingest_chaos",
     "run_reload_storm",
     "run_selfheal_chaos",
     "storm_mismatches",
@@ -149,7 +174,7 @@ class ChaosEventLog:
 
     def dump(self, path: str | Path) -> Path:
         path = Path(path)
-        path.write_text(json.dumps(self.events, indent=2) + "\n")
+        atomic_write(path, json.dumps(self.events, indent=2) + "\n")
         return path
 
     def dump_env(self, env_var: str = CHAOS_LOG_ENV) -> Path | None:
@@ -1451,6 +1476,460 @@ def limiter_convergence_trace(
     }
 
 
+# ----------------------------------------------------------------------
+# Ingest disk-fault chaos
+# ----------------------------------------------------------------------
+@dataclass
+class IngestChaosRun:
+    """One fault scenario's outcome inside an ingest chaos sweep."""
+
+    label: str
+    kind: str
+    crashed: bool
+    acked: int
+    served_new: int
+    ok: bool
+    notes: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        tail = f" ({'; '.join(self.notes)})" if self.notes else ""
+        return (
+            f"{self.kind}@{self.label}: {status} crashed={self.crashed} "
+            f"acked={self.acked} served_new={self.served_new}{tail}"
+        )
+
+
+@dataclass
+class IngestChaosReport:
+    """Everything an ingest chaos sweep produced, for the tests to judge."""
+
+    seed: int
+    seal_every: int
+    labels: list[str]
+    runs: list[IngestChaosRun]
+    log: ChaosEventLog
+    events_dumped_to: Path | None = None
+
+    @property
+    def failures(self) -> list[IngestChaosRun]:
+        return [run for run in self.runs if not run.ok]
+
+    def summary(self) -> str:
+        return (
+            f"ingest chaos seed={self.seed}: {len(self.labels)} crash points, "
+            f"{len(self.runs)} runs, {len(self.failures)} failures"
+        )
+
+
+def _ingest_workload(
+    seed: int, n_new: int
+) -> tuple[list[str], list[tuple[str, str]], Callable[[], DatabaseIndex]]:
+    """Queries, the records to stream in, and the immutable base loader.
+
+    Every streamed record carries a planted mutation of one query, so a
+    record that recovery silently dropped would *change a ranking* —
+    the bit-identity check doubles as a served-records check.
+    """
+    queries, _index, loader = build_workload(
+        seed=seed, n_records=8, record_bp=120, shards=2, n_queries=4
+    )
+    new_records = []
+    for i in range(n_new):
+        sequence = random_dna(140, seed=20_000 + seed * 100 + i)
+        planted = mutate(queries[i % len(queries)], rate=0.04, seed=21_000 + i)
+        new_records.append((f"live{i}", sequence[:40] + planted + sequence[40:]))
+    return queries, new_records, loader
+
+
+def _ingest_signatures(
+    manager: IndexManager, queries: list[str]
+) -> list[tuple]:
+    engine = SearchEngine(manager)
+    options = QueryOptions(top=10)
+    return [response_signature(engine.search(q, options)) for q in queries]
+
+
+def _ingest_lifecycle(
+    service: IngestService, records: list[tuple[str, str]]
+) -> list[str]:
+    """Stream ``records`` then force-seal; returns the acked names.
+
+    A :class:`CrashPoint` (or read-only trip) propagates to the caller
+    with the acked list reflecting exactly the acknowledgements that
+    made it out before the fault — which is the contract under test.
+    """
+    acked: list[str] = []
+    for name, sequence in records:
+        service.ingest(name, sequence)
+        acked.append(name)
+    service.seal()
+    return acked
+
+
+def run_ingest_chaos(
+    seed: int = 0,
+    n_new: int = 7,
+    seal_every: int = 3,
+    tcp: bool = True,
+    log: ChaosEventLog | None = None,
+) -> IngestChaosReport:
+    """Kill the WAL ingest lifecycle at every labeled disk barrier.
+
+    The sweep first runs the lifecycle fault-free to (a) enumerate
+    every :class:`FaultFS` barrier it crosses and (b) record the
+    reference rankings.  Then, per barrier: a fresh directory, a
+    scheduled crash at that barrier, a recovery over the survivors,
+    and the invariants:
+
+    * recovery lands on a consistent generation (no exception, no
+      degraded shards for a plain crash);
+    * every acked record is served post-recovery, and nothing is
+      served that was never submitted (at-least-once, never-lost);
+    * after re-ingesting whatever the crash interrupted, rankings are
+      **bit-identical** to the fault-free reference;
+    * torn writes behave like crashes (the torn tail is cut), short
+      writes and ENOSPC/EIO degrade to read-only while searches keep
+      answering, and a lying fsync on a delta publish quarantines the
+      delta (visible partial coverage) instead of serving garbage.
+
+    With ``tcp=True`` the ENOSPC scenario also runs against a real
+    :class:`~repro.service.net.TcpSearchServer`: the ``ingest`` verb
+    answers ``read-only`` error frames while ``search`` keeps serving
+    — the server degrades, it does not crash.
+    """
+    events = log if log is not None else ChaosEventLog()
+    queries, new_records, loader = _ingest_workload(seed, n_new)
+    submitted = {name for name, _ in new_records}
+    base_names = {name for name in _served(loader())}
+    runs: list[IngestChaosRun] = []
+
+    # Fault-free probe: enumerate barriers + reference rankings.
+    probe_fs = FaultFS()
+    with tempfile.TemporaryDirectory(prefix="repro-ingest-ref-") as ref_dir:
+        manager = IndexManager(index=loader(), loader=loader)
+        service = IngestService(
+            manager, ref_dir, seal_every=seal_every, fs=probe_fs
+        )
+        _ingest_lifecycle(service, new_records)
+        reference = _ingest_signatures(manager, queries)
+    labels = list(dict.fromkeys(probe_fs.labels_seen))
+    events.record("probe", labels=len(labels), reference_queries=len(queries))
+
+    def recover_and_converge(
+        directory: str, acked: list[str], kind: str, label: str
+    ) -> IngestChaosRun:
+        """Restart over ``directory`` and judge the lifecycle invariants."""
+        notes: list[str] = []
+        manager = IndexManager(index=loader(), loader=loader)
+        try:
+            revived = IngestService(
+                manager, directory, seal_every=seal_every, fs=FaultFS()
+            )
+        except Exception as exc:  # noqa: BLE001 - recovery must never fail
+            events.record("recovery-failed", label=label, error=repr(exc))
+            return IngestChaosRun(
+                label, kind, True, len(acked), 0, False,
+                [f"recovery raised {exc!r}"],
+            )
+        served = set(revived.served_names())
+        served_new = served - base_names
+        index = manager.current()[0]
+        if set(acked) - served:
+            notes.append(f"acked records lost: {sorted(set(acked) - served)}")
+        if served_new - submitted:
+            notes.append(f"served never-submitted: {sorted(served_new - submitted)}")
+        if index.degraded:
+            notes.append(f"degraded shards after plain crash: {index.degraded}")
+        # Converge: re-ingest whatever the crash interrupted, in the
+        # original order, then the rankings must be bit-identical to
+        # the run that never crashed.
+        for name, sequence in new_records:
+            if name not in served:
+                revived.ingest(name, sequence)
+        revived.seal()
+        if _ingest_signatures(manager, queries) != reference:
+            notes.append("post-recovery rankings differ from fault-free reference")
+        events.record(
+            "recovered", label=label, fault=kind,
+            acked=len(acked), served_new=len(served_new), ok=not notes,
+        )
+        return IngestChaosRun(
+            label, kind, True, len(acked), len(served_new), not notes, notes
+        )
+
+    # -- the crash sweep: one run per labeled barrier -------------------
+    for label in labels:
+        plan = DiskFaultPlan.crash_at(label)
+        with tempfile.TemporaryDirectory(prefix="repro-ingest-chaos-") as chaos_dir:
+            acked: list[str] = []
+            crashed = False
+            try:
+                manager = IndexManager(index=loader(), loader=loader)
+                service = IngestService(
+                    manager, chaos_dir, seal_every=seal_every, fs=FaultFS(plan)
+                )
+                for name, sequence in new_records:
+                    service.ingest(name, sequence)
+                    acked.append(name)
+                service.seal()
+            except CrashPoint:
+                crashed = True
+            events.record("crash-injected", label=label, acked=len(acked))
+            run = recover_and_converge(chaos_dir, acked, "crash", label)
+            run.crashed = crashed
+            if not crashed:
+                run.ok = False
+                run.notes.append("scheduled crash point was never reached")
+            runs.append(run)
+
+    # -- torn write: half the append lands, then the crash --------------
+    with tempfile.TemporaryDirectory(prefix="repro-ingest-chaos-") as chaos_dir:
+        acked = []
+        crashed = False
+        try:
+            manager = IndexManager(index=loader(), loader=loader)
+            service = IngestService(
+                manager, chaos_dir, seal_every=seal_every,
+                fs=FaultFS(DiskFaultPlan.torn_at("journal.append", after=2)),
+            )
+            for name, sequence in new_records:
+                service.ingest(name, sequence)
+                acked.append(name)
+            service.seal()
+        except CrashPoint:
+            crashed = True
+        run = recover_and_converge(chaos_dir, acked, "torn", "journal.append")
+        run.crashed = crashed
+        if not crashed:
+            run.ok = False
+            run.notes.append("torn write never triggered")
+        runs.append(run)
+
+    # -- short write: ENOSPC mid-frame → read-only, then restart heals --
+    with tempfile.TemporaryDirectory(prefix="repro-ingest-chaos-") as chaos_dir:
+        notes = []
+        acked = []
+        manager = IndexManager(index=loader(), loader=loader)
+        service = IngestService(
+            manager, chaos_dir, seal_every=seal_every,
+            fs=FaultFS(DiskFaultPlan.short_at("journal.append", after=2)),
+        )
+        tripped = False
+        for name, sequence in new_records:
+            try:
+                service.ingest(name, sequence)
+                acked.append(name)
+            except IngestReadOnly:
+                tripped = True
+                break
+        if not tripped or not service.read_only:
+            notes.append("short write did not trip read-only")
+        try:
+            _ingest_signatures(manager, queries)
+        except Exception as exc:  # noqa: BLE001 - serving must survive
+            notes.append(f"search failed while read-only: {exc!r}")
+        run = recover_and_converge(chaos_dir, acked, "short", "journal.append")
+        run.notes = notes + run.notes
+        run.ok = run.ok and not notes
+        runs.append(run)
+
+    # -- lying fsync on the journal: acks a crash then discards ---------
+    # This is the one fault that *forfeits* acked⊆served — the disk
+    # claimed durability it did not deliver.  The lifecycle's promise
+    # shrinks to: recovery still lands consistent, nothing fabricated
+    # is served, and re-ingest converges to the reference.
+    with tempfile.TemporaryDirectory(prefix="repro-ingest-chaos-") as chaos_dir:
+        acked = []
+        crashed = False
+        try:
+            manager = IndexManager(index=loader(), loader=loader)
+            service = IngestService(
+                manager, chaos_dir, seal_every=seal_every,
+                fs=FaultFS(
+                    DiskFaultPlan.fsync_drop_at("journal.sync").merged(
+                        DiskFaultPlan.crash_at("seal.rename")
+                    )
+                ),
+            )
+            for name, sequence in new_records:
+                service.ingest(name, sequence)
+                acked.append(name)
+            service.seal()
+        except CrashPoint:
+            crashed = True
+        run = recover_and_converge(chaos_dir, acked, "fsync-drop", "journal.sync")
+        run.crashed = crashed
+        run.notes = [
+            note for note in run.notes if not note.startswith("acked records lost")
+        ]
+        run.ok = not run.notes and crashed
+        if not crashed:
+            run.notes.append("lying-fsync crash never triggered")
+        runs.append(run)
+
+    # -- lying fsync on a delta publish: quarantine, never garbage ------
+    with tempfile.TemporaryDirectory(prefix="repro-ingest-chaos-") as chaos_dir:
+        notes = []
+        acked = []
+        crashed = False
+        try:
+            manager = IndexManager(index=loader(), loader=loader)
+            service = IngestService(
+                manager, chaos_dir, seal_every=seal_every,
+                fs=FaultFS(
+                    DiskFaultPlan.fsync_drop_at("delta.sync").merged(
+                        DiskFaultPlan.crash_at("segment.retire")
+                    )
+                ),
+            )
+            for name, sequence in new_records:
+                service.ingest(name, sequence)
+                acked.append(name)
+            service.seal()
+        except CrashPoint:
+            crashed = True
+        if not crashed:
+            notes.append("delta lying-fsync crash never triggered")
+        manager = IndexManager(index=loader(), loader=loader)
+        try:
+            revived = IngestService(
+                manager, chaos_dir, seal_every=seal_every, fs=FaultFS()
+            )
+        except Exception as exc:  # noqa: BLE001
+            notes.append(f"recovery raised {exc!r}")
+            revived = None
+        served_new: set[str] = set()
+        if revived is not None:
+            index = manager.current()[0]
+            served = set(revived.served_names())
+            served_new = served - base_names
+            # The quarantined placeholder keeps the lost delta's record
+            # slots, so the gap between total records and served ones
+            # is exactly the quarantined capacity.
+            lost_capacity = index.record_count - len(base_names) - len(served_new)
+            if not index.degraded:
+                notes.append("quarantine not surfaced as degraded shards")
+            if len(set(acked) - served) > lost_capacity:
+                notes.append("acked records lost beyond the quarantined delta")
+            if served_new - submitted:
+                notes.append(f"served never-submitted: {sorted(served_new - submitted)}")
+            # Set-convergence: every submitted record is servable again
+            # once re-ingested (the quarantined placeholders keep their
+            # degraded slots, so bit-identity is out of scope here).
+            for name, sequence in new_records:
+                if name not in served:
+                    revived.ingest(name, sequence)
+            revived.seal()
+            final_served = set(revived.served_names())
+            if not submitted <= final_served:
+                notes.append(
+                    f"records missing after re-ingest: {sorted(submitted - final_served)}"
+                )
+        events.record("quarantine-run", notes=list(notes))
+        runs.append(
+            IngestChaosRun(
+                "delta.sync", "fsync-drop", crashed,
+                len(acked), len(served_new), not notes, notes,
+            )
+        )
+
+    # -- ENOSPC / EIO: read-only degradation, serving uninterrupted -----
+    for kind, label in (("enospc", "journal.append"), ("eio", "journal.sync")):
+        with tempfile.TemporaryDirectory(prefix="repro-ingest-chaos-") as chaos_dir:
+            notes = []
+            plan = (
+                DiskFaultPlan.enospc_at(label, after=1, times=None)
+                if kind == "enospc"
+                else DiskFaultPlan.eio_at(label, after=1, times=None)
+            )
+            manager = IndexManager(index=loader(), loader=loader)
+            service = IngestService(
+                manager, chaos_dir, seal_every=seal_every, fs=FaultFS(plan)
+            )
+            acked = []
+            tripped = False
+            for name, sequence in new_records:
+                try:
+                    service.ingest(name, sequence)
+                    acked.append(name)
+                except IngestReadOnly:
+                    tripped = True
+                    break
+            if not tripped or not service.read_only:
+                notes.append(f"{kind} did not trip read-only")
+            try:
+                service.ingest("after-fault", "ACGT")
+                notes.append("ingest accepted while read-only")
+            except IngestReadOnly:
+                pass
+            try:
+                _ingest_signatures(manager, queries)
+            except Exception as exc:  # noqa: BLE001
+                notes.append(f"search failed while read-only: {exc!r}")
+            events.record("read-only-run", fault=kind, label=label, ok=not notes)
+            runs.append(
+                IngestChaosRun(label, kind, False, len(acked), 0, not notes, notes)
+            )
+
+    # -- the TCP leg: a full disk degrades the server, never kills it ---
+    if tcp:
+        notes = []
+        with tempfile.TemporaryDirectory(prefix="repro-ingest-chaos-") as chaos_dir:
+            manager = IndexManager(index=loader(), loader=loader)
+            service = IngestService(
+                manager, chaos_dir, seal_every=seal_every,
+                fs=FaultFS(
+                    DiskFaultPlan.enospc_at("journal.append", after=2, times=None)
+                ),
+            )
+            engine = SearchEngine(manager)
+            engine.attach_ingest(service)
+            handle = ServerThread(engine).start()
+            try:
+                with SearchClient(handle.host, handle.port) as client:
+                    for name, sequence in new_records[:2]:
+                        client.ingest(name, sequence)
+                    read_only_seen = False
+                    try:
+                        client.ingest(*new_records[2])
+                    except ServiceError as exc:
+                        read_only_seen = exc.code == "read-only"
+                    if not read_only_seen:
+                        notes.append("full disk did not answer a read-only error frame")
+                    response = client.search(queries[0], QueryOptions(top=5))
+                    if response.coverage != 1.0:
+                        notes.append("search degraded while ingest is read-only")
+                    health = client.health()
+                    ingest_state = health.get("ingest")
+                    if not (
+                        isinstance(ingest_state, dict) and ingest_state.get("read_only")
+                    ):
+                        notes.append("health does not surface read-only ingest")
+                    if not client.ping():
+                        notes.append("server unreachable after disk fault")
+            except Exception as exc:  # noqa: BLE001 - the server must survive
+                notes.append(f"TCP leg failed: {exc!r}")
+            finally:
+                handle.stop()
+        events.record("tcp-read-only-run", ok=not notes)
+        runs.append(
+            IngestChaosRun(
+                "journal.append", "enospc-tcp", False, 2, 0, not notes, notes
+            )
+        )
+
+    report = IngestChaosReport(
+        seed=seed, seal_every=seal_every, labels=labels, runs=runs, log=events
+    )
+    report.events_dumped_to = events.dump_env()
+    return report
+
+
+def _served(index: DatabaseIndex) -> list[str]:
+    return [name for shard in index.active_shards for name in shard.names]
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Direct entry point: run one chaos schedule and judge it."""
     import argparse
@@ -1470,6 +1949,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="run the kill→eject→respawn→readmit self-healing schedule",
     )
     parser.add_argument(
+        "--ingest",
+        action="store_true",
+        help="run the WAL ingest disk-fault crash sweep instead",
+    )
+    parser.add_argument(
         "--mode",
         choices=("thread", "process"),
         default="thread",
@@ -1478,6 +1962,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--nodes", type=int, default=3, help="cluster node count")
     parser.add_argument("--log", help="dump the event log to this JSON path")
     args = parser.parse_args(argv)
+    if args.ingest:
+        ireport = run_ingest_chaos(seed=args.seed)
+        if args.log:
+            ireport.events_dumped_to = ireport.log.dump(args.log)
+        elif os.environ.get(CHAOS_LOG_ENV):
+            ireport.events_dumped_to = ireport.log.dump(os.environ[CHAOS_LOG_ENV])
+        print(ireport.summary())
+        for run in ireport.runs:
+            print(f"  {run.describe()}")
+        if ireport.events_dumped_to is not None:
+            print(f"event log: {ireport.events_dumped_to}")
+        return 0 if not ireport.failures else 1
     if args.selfheal:
         sreport = run_selfheal_chaos(seed=args.seed, nodes=args.nodes, mode=args.mode)
         if args.log:

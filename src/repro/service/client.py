@@ -493,6 +493,35 @@ class SearchClient:
         """Ask the server to hot-reload its index; returns the new generation."""
         return int(self._admin("reload")["generation"])
 
+    def ingest(self, name: str, sequence: str) -> Mapping[str, object]:
+        """Stream one record into the server's write-ahead journal.
+
+        The acknowledgement means the record is fsynced into the
+        server's journal — durable across a crash — not yet that it is
+        searchable; the server seals and publishes it within one
+        segment rotation.  Transport retries make ingest at-least-once:
+        a retried record may land twice in the database, never zero
+        times once acked.  A full or failing server disk raises
+        :class:`~repro.service.resilience.ServiceError` with code
+        ``read-only`` (protocol v2+ only).
+        """
+        request_id = self._request_id()
+        reply = self._roundtrip(
+            lambda version: protocol.ingest_request(
+                request_id, name, sequence, version
+            ),
+            token=f"ingest-{request_id}",
+        )
+        if reply.get("type") != "result" or reply.get("id") != request_id:
+            raise protocol.ProtocolError(
+                f"expected a result frame for ingest, got {reply.get('type')!r}"
+            )
+        payload = reply.get("payload")
+        ack = payload.get("ingest") if isinstance(payload, dict) else None
+        if not isinstance(ack, dict):
+            raise protocol.ProtocolError("ingest result payload must be an object")
+        return ack
+
 
 class AsyncSearchClient:
     """Asyncio client: one connection, id-matched pipelining.

@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Sequence
 
 from ...align.scoring import decode
+from ...io.atomic import atomic_write
 from ...parallel.sharding import even_spans
 from ..index import DEFAULT_SHARD_BP, DatabaseIndex
 
@@ -156,7 +157,7 @@ class ClusterTopology:
         }
 
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(json.dumps(self.to_manifest(), indent=2) + "\n")
+        atomic_write(path, json.dumps(self.to_manifest(), indent=2) + "\n")
 
     @classmethod
     def from_manifest(cls, manifest: dict) -> "ClusterTopology":

@@ -261,6 +261,9 @@ class SearchEngine:
         )
         self._cells_swept_total = 0
         self._sweep_wall_total = 0.0
+        # Streaming ingest (attach_ingest): None until a WAL-backed
+        # IngestService is wired in; health() then reports its state.
+        self.ingest = None
 
     # ------------------------------------------------------------------
     @property
@@ -683,7 +686,24 @@ class SearchEngine:
             "reloads": self.indexes.reloads,
             "requests": self.requests_served,
         }
+        if self.ingest is not None:
+            payload["ingest"] = self.ingest.describe()
         return payload
+
+    def attach_ingest(self, service) -> None:
+        """Wire a :class:`~repro.service.ingest.IngestService` in.
+
+        The service must already drive this engine's ``indexes``
+        manager (its recovery installed the combined base+delta
+        loader); attaching here only makes the engine's ``health``
+        payload and the TCP ``ingest`` verb aware of it.
+        """
+        if service.manager is not self.indexes:
+            raise ValueError(
+                "ingest service is bound to a different IndexManager "
+                "than this engine"
+            )
+        self.ingest = service
 
     def describe(self) -> dict[str, object]:
         """Engine + index + cache summary (the ``stats`` server verb)."""

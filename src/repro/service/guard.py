@@ -510,6 +510,7 @@ class IndexManager:
             raise ValueError("IndexManager needs an index or a loader")
         self.loader = loader
         self._lock = threading.Lock()
+        self._reload_lock = threading.Lock()
         self._cache: ResultCache | None = None
         self.reloads = 0
         self.reload_failures = 0
@@ -583,20 +584,30 @@ class IndexManager:
         return generation
 
     def reload(self) -> int:
-        """Load a fresh index via ``loader`` and swap it in."""
+        """Load a fresh index via ``loader`` and swap it in.
+
+        Whole reloads are serialized by their own lock (distinct from
+        the pointer lock, so :meth:`current` never waits on disk):
+        without it, two racing reloads could interleave ``loader()``
+        and ``swap`` so that the *older* load publishes last and a
+        stale index ends up live under the newest generation number.
+        A failed load never reaches the swap — the live generation is
+        untouched and the failure is counted and re-raised.
+        """
         if self.loader is None:
             raise ValueError("no reload source configured (IndexManager has no loader)")
-        try:
-            new_index = self.loader()
-        except Exception as exc:
-            self.reload_failures += 1
-            self._m_reload_failures.inc()
-            self.obs.log.error("index.reload-failed", error=str(exc))
-            raise
-        generation = self.swap(new_index)
-        self.reloads += 1
-        self._m_reloads.inc()
-        return generation
+        with self._reload_lock:
+            try:
+                new_index = self.loader()
+            except Exception as exc:
+                self.reload_failures += 1
+                self._m_reload_failures.inc()
+                self.obs.log.error("index.reload-failed", error=str(exc))
+                raise
+            generation = self.swap(new_index)
+            self.reloads += 1
+            self._m_reloads.inc()
+            return generation
 
     def describe(self) -> dict[str, object]:
         index, generation = self.current()

@@ -33,6 +33,7 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from ..align.scoring import decode, encode
+from ..io.atomic import atomic_write
 from ..io.fasta import FastaRecord, stream_fasta
 from ..parallel.sharding import even_spans
 
@@ -331,7 +332,9 @@ class DatabaseIndex:
             shard_hashes=shard_hashes,
             payload=payload,
         )
-        Path(path).write_bytes(buffer.getvalue())
+        # Crash-safe replacement: a process dying mid-save must never
+        # leave a torn index where a complete one used to be.
+        atomic_write(path, buffer.getvalue())
 
     @classmethod
     def load(

@@ -64,7 +64,7 @@ from ..obs import Observability
 from . import QueryOptions
 from .engine import SearchEngine
 from .guard import AdaptiveLimiter, ServiceTimeTracker
-from .resilience import Deadline, DeadlineExceeded, Overloaded, RequestTimeout
+from .resilience import BadRequest, Deadline, DeadlineExceeded, Overloaded, RequestTimeout
 from . import protocol
 
 __all__ = ["ServerConfig", "TcpSearchServer", "ServerThread"]
@@ -496,6 +496,28 @@ class TcpSearchServer:
                 protocol.result_frame(
                     request.request_id, {"generation": generation}, version
                 ),
+            )
+            return
+        if request.verb == "ingest":
+            ingest = self.engine.ingest
+            if ingest is None:
+                raise BadRequest(
+                    "ingest is not enabled on this server "
+                    "(start it with an ingest directory)"
+                )
+            # The WAL append fsyncs before acknowledging — blocking
+            # file IO, so run it off the event loop like ``reload``.
+            # A full/failing disk surfaces as an error frame
+            # (code ``read-only``) while searches keep serving the
+            # live generation.
+            assert self._loop is not None
+            record = request.record or {}
+            ack = await self._loop.run_in_executor(
+                None, ingest.ingest, record["name"], record["sequence"]
+            )
+            await self._send(
+                writer,
+                protocol.result_frame(request.request_id, {"ingest": ack}, version),
             )
             return
         if request.verb in ("stats", "metrics", "trace"):

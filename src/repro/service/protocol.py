@@ -106,6 +106,7 @@ __all__ = [
     "negotiate",
     "check_hello_reply",
     "search_request",
+    "ingest_request",
     "admin_request",
     "parse_request",
     "options_to_wire",
@@ -132,9 +133,10 @@ __all__ = [
 #:   (end-to-end budget, re-anchored server-side at receipt), the
 #:   ``health`` / ``reload`` admin verbs, and the string-valued
 #:   ``kernel`` request option naming the :mod:`repro.kernels` backend
-#:   the sweep must run on.  A v2 peer talking to a v1 peer silently
-#:   drops the v2-only options and loses the v2 verbs — negotiation,
-#:   not failure.
+#:   the sweep must run on.  The ``ingest`` verb (streaming one FASTA
+#:   record into the server's write-ahead journal) is also v2-only.
+#:   A v2 peer talking to a v1 peer silently drops the v2-only options
+#:   and loses the v2 verbs — negotiation, not failure.
 PROTOCOL_VERSION = 2
 SUPPORTED_VERSIONS = (1, 2)
 
@@ -149,8 +151,8 @@ HEADER = struct.Struct(">I")
 #: Request verbs the server understands, and the subset that requires
 #: a v2 connection (a v1 frame naming one is a protocol error, which
 #: is how an old server's behaviour is preserved exactly).
-VERBS = ("search", "stats", "metrics", "trace", "ping", "health", "reload")
-V2_VERBS = frozenset({"health", "reload"})
+VERBS = ("search", "stats", "metrics", "trace", "ping", "health", "reload", "ingest")
+V2_VERBS = frozenset({"health", "reload", "ingest"})
 
 #: Option keys accepted on the wire per protocol version, and by the
 #: line protocol (``metrics`` is line-protocol only: render metrics
@@ -362,6 +364,29 @@ def search_request(
     return frame
 
 
+def ingest_request(
+    request_id: int,
+    name: str,
+    sequence: str,
+    version: int = PROTOCOL_VERSION,
+) -> dict:
+    """An ``ingest`` request frame: append one record to the server's
+    write-ahead journal.  v2-only — a v1 connection has no durable
+    ingest path, so encoding for one is a caller error, not a silent
+    downgrade."""
+    if version < 2:
+        raise ValueError(
+            f"ingest needs protocol v2+, connection negotiated v{version}"
+        )
+    return {
+        "v": version,
+        "type": "request",
+        "id": request_id,
+        "verb": "ingest",
+        "record": {"name": name, "sequence": sequence},
+    }
+
+
 def admin_request(
     request_id: int,
     verb: str,
@@ -370,7 +395,7 @@ def admin_request(
 ) -> dict:
     """A ``stats`` / ``metrics`` / ``trace`` / ``ping`` /
     ``health`` / ``reload`` request frame."""
-    if verb not in VERBS or verb == "search":
+    if verb not in VERBS or verb in ("search", "ingest"):
         raise ValueError(f"unknown admin verb {verb!r}")
     if verb in V2_VERBS and version < 2:
         raise ValueError(
@@ -397,6 +422,7 @@ class ParsedRequest:
     arg: str | None = None
     trace_id: str | None = None
     parent_span: str | None = None
+    record: dict | None = None
 
 
 def parse_request(frame: dict) -> ParsedRequest:
@@ -418,6 +444,19 @@ def parse_request(frame: dict) -> ParsedRequest:
     if verb == "search":
         if not isinstance(query, str) or not query:
             raise BadRequest("search needs a non-empty query string")
+    record = frame.get("record")
+    if verb == "ingest":
+        if not isinstance(record, dict):
+            raise BadRequest(
+                "ingest needs a record object {'name': ..., 'sequence': ...}"
+            )
+        for key in ("name", "sequence"):
+            value = record.get(key)
+            if not isinstance(value, str) or not value:
+                raise BadRequest(
+                    f"ingest record {key!r} must be a non-empty string, "
+                    f"got {value!r}"
+                )
     arg = frame.get("arg")
     if arg is not None and not isinstance(arg, str):
         raise ProtocolError(f"arg must be a string, got {arg!r}")
@@ -434,6 +473,7 @@ def parse_request(frame: dict) -> ParsedRequest:
         arg=arg,
         trace_id=trace_id if verb == "search" else None,
         parent_span=parent_span if verb == "search" else None,
+        record=record if verb == "ingest" else None,
     )
 
 

@@ -63,6 +63,10 @@ __all__ = [
     "RetryPolicy",
     "Fault",
     "FaultPlan",
+    "CrashPoint",
+    "DiskFault",
+    "DiskFaultPlan",
+    "FaultFS",
     "ShardHealth",
     "SweepOutcome",
     "SupervisedWorkerPool",
@@ -344,13 +348,15 @@ class FaultPlan:
         return applied
 
 
-def corrupt_index_file(path: str | Path, shard_id: int = 0) -> None:
+def corrupt_index_file(path: str | Path, shard_id: int = 0, offset: int = 0) -> None:
     """Flip a payload byte of ``shard_id`` inside a saved index file.
 
     The file stays a structurally valid ``.npz`` — only the shard's
     content no longer matches its stored hash, which is exactly what a
     bit-rotted or torn write looks like to
-    :meth:`~repro.service.index.DatabaseIndex.load`.
+    :meth:`~repro.service.index.DatabaseIndex.load`.  ``offset`` picks
+    *which* byte of the shard's payload span is flipped (wrapped into
+    range), so property tests can damage arbitrary positions.
     """
     import numpy as np
 
@@ -365,11 +371,332 @@ def corrupt_index_file(path: str | Path, shard_id: int = 0) -> None:
     span = int(lengths[first : first + int(counts[shard_id])].sum())
     if span == 0:
         raise ValueError(f"shard {shard_id} has no payload to corrupt")
-    offset = int(lengths[:first].sum())
-    arrays["payload"][offset] ^= 0x1F
+    start = int(lengths[:first].sum())
+    arrays["payload"][start + (offset % span)] ^= 0x1F
     buffer = io.BytesIO()
     np.savez_compressed(buffer, **arrays)
     path.write_bytes(buffer.getvalue())
+
+
+# ----------------------------------------------------------------------
+# Disk fault injection: FaultFS
+# ----------------------------------------------------------------------
+DISK_FAULT_KINDS = ("torn", "short", "enospc", "eio", "fsync-drop", "crash")
+
+
+class CrashPoint(Exception):
+    """Simulated process death at a labeled filesystem barrier.
+
+    Raised by :class:`FaultFS` when a ``crash`` (or ``torn``) fault
+    triggers.  Ingest code must never catch it — the chaos harness
+    catches it at the top, throws the whole service object away, and
+    rebuilds one over the same directory, exactly as a restart after
+    ``kill -9`` would.  Before raising, :class:`FaultFS` discards
+    every byte that was never fsynced, so recovery sees what the disk
+    would actually hold.
+    """
+
+    def __init__(self, label: str) -> None:
+        super().__init__(f"simulated crash at barrier {label!r}")
+        self.label = label
+
+
+@dataclass(frozen=True)
+class DiskFault:
+    """One scripted filesystem failure at a labeled barrier.
+
+    ``kind``:
+      * ``torn``       — a write lands only a prefix of its bytes
+        (made durable, as if the page hit the platter) and the process
+        dies: the classic torn write a journal must detect by
+        checksum;
+      * ``short``      — a write returns having written fewer bytes
+        than asked, without raising (the POSIX short-write case a
+        naive caller ignores);
+      * ``enospc``     — the operation raises ``OSError(ENOSPC)``;
+      * ``eio``        — the operation raises ``OSError(EIO)``;
+      * ``fsync-drop`` — an ``fsync`` silently does nothing, so the
+        bytes it was meant to make durable vanish at the next crash;
+      * ``crash``      — the process dies at the barrier, before the
+        operation applies.
+
+    ``label`` names the barrier (e.g. ``journal.append``,
+    ``delta.rename``); ``after`` skips the first N hits of that
+    barrier and ``times`` bounds how many trigger (``None`` =
+    every subsequent hit).
+    """
+
+    kind: str
+    label: str
+    after: int = 0
+    times: int | None = 1
+    fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in DISK_FAULT_KINDS:
+            raise ValueError(
+                f"unknown disk fault kind {self.kind!r} (use one of {DISK_FAULT_KINDS})"
+            )
+        if not self.label:
+            raise ValueError("disk fault needs a barrier label")
+        if self.after < 0:
+            raise ValueError(f"after cannot be negative, got {self.after}")
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be positive or None, got {self.times}")
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {self.fraction}")
+
+
+class DiskFaultPlan:
+    """A deterministic schedule of :class:`DiskFault` injections.
+
+    The disk-level counterpart of :class:`FaultPlan`: where that plan
+    keys faults on ``(shard_id, attempt)``, this one keys them on
+    ``(barrier label, hit count)`` — every filesystem operation the
+    ingest path performs passes through a named barrier, and the plan
+    decides which hit of which barrier fails, and how.
+    """
+
+    def __init__(self, faults: Iterable[DiskFault] = ()) -> None:
+        self.faults = tuple(faults)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"DiskFaultPlan({list(self.faults)!r})"
+
+    @classmethod
+    def crash_at(cls, label: str, after: int = 0) -> "DiskFaultPlan":
+        return cls([DiskFault("crash", label, after=after)])
+
+    @classmethod
+    def torn_at(cls, label: str, after: int = 0, fraction: float = 0.5) -> "DiskFaultPlan":
+        return cls([DiskFault("torn", label, after=after, fraction=fraction)])
+
+    @classmethod
+    def short_at(cls, label: str, after: int = 0, fraction: float = 0.5) -> "DiskFaultPlan":
+        return cls([DiskFault("short", label, after=after, fraction=fraction)])
+
+    @classmethod
+    def enospc_at(cls, label: str, after: int = 0, times: int | None = 1) -> "DiskFaultPlan":
+        return cls([DiskFault("enospc", label, after=after, times=times)])
+
+    @classmethod
+    def eio_at(cls, label: str, after: int = 0, times: int | None = 1) -> "DiskFaultPlan":
+        return cls([DiskFault("eio", label, after=after, times=times)])
+
+    @classmethod
+    def fsync_drop_at(cls, label: str, after: int = 0, times: int | None = None) -> "DiskFaultPlan":
+        return cls([DiskFault("fsync-drop", label, after=after, times=times)])
+
+    def merged(self, other: "DiskFaultPlan") -> "DiskFaultPlan":
+        return DiskFaultPlan(self.faults + other.faults)
+
+    def fault_for(self, label: str, hit: int) -> DiskFault | None:
+        """The fault to inject on the 0-based ``hit`` of ``label``."""
+        for fault in self.faults:
+            if fault.label != label:
+                continue
+            if hit < fault.after:
+                continue
+            if fault.times is not None and hit >= fault.after + fault.times:
+                continue
+            return fault
+        return None
+
+
+class FaultFS:
+    """Filesystem shim with labeled barriers and injectable disk faults.
+
+    Every durable operation the ingest path performs — appends,
+    fsyncs, atomic publishes, renames, removals — goes through this
+    object and names the barrier it is crossing.  A clean
+    :class:`FaultFS` (no plan) is a thin veneer over ``os``; one armed
+    with a :class:`DiskFaultPlan` injects torn/short writes, ENOSPC,
+    EIO, dropped fsyncs, and simulated crashes deterministically.
+
+    The shim keeps an honest durability model so a simulated crash
+    behaves like a real one: for every file it touches it tracks the
+    byte length that has actually been fsynced, and when a ``crash``
+    or ``torn`` fault fires it truncates each file back to its durable
+    length and deletes not-yet-renamed temp files before raising
+    :class:`CrashPoint`.  Bytes written but never synced are gone
+    after the "reboot", exactly as the page cache would lose them —
+    which is what makes torn-tail recovery testable in-process.
+
+    ``hits`` / ``labels_seen`` record every barrier crossing, so a
+    fault-free probe run enumerates the crash points a chaos schedule
+    should then kill at.
+    """
+
+    def __init__(self, plan: DiskFaultPlan | None = None) -> None:
+        self.plan = plan or DiskFaultPlan()
+        self.hits: dict[str, int] = {}
+        self.labels_seen: list[str] = []
+        self.crashed = False
+        self._durable: dict[str, int] = {}
+        self._temps: set[str] = set()
+
+    # -- fault bookkeeping ---------------------------------------------
+    def _barrier(self, label: str) -> DiskFault | None:
+        hit = self.hits.get(label, 0)
+        self.hits[label] = hit + 1
+        if label not in self.labels_seen:
+            self.labels_seen.append(label)
+        return self.plan.fault_for(label, hit)
+
+    def _crash(self, label: str) -> None:
+        """Apply crash semantics: unsynced bytes vanish, temps vanish."""
+        self.crashed = True
+        for name, durable in self._durable.items():
+            path = Path(name)
+            if not path.exists():
+                continue
+            size = path.stat().st_size
+            if size > durable:
+                with open(path, "rb+") as fh:
+                    fh.truncate(durable)
+        for name in list(self._temps):
+            Path(name).unlink(missing_ok=True)
+        self._temps.clear()
+        raise CrashPoint(label)
+
+    def _track(self, path: Path) -> None:
+        key = str(path)
+        if key not in self._durable:
+            # A file we did not write this run (or one inherited from a
+            # previous life) counts as durable at its current size.
+            self._durable[key] = path.stat().st_size if path.exists() else 0
+
+    # -- operations ----------------------------------------------------
+    def append(self, path: str | Path, data: bytes, label: str) -> int:
+        """Append ``data``; returns the byte count actually written.
+
+        A ``short`` fault writes a prefix and returns its short count
+        without raising — the caller must check, as with a real
+        ``write(2)``.
+        """
+        path = Path(path)
+        self._track(path)
+        fault = self._barrier(label)
+        if fault is not None:
+            if fault.kind == "crash":
+                self._crash(label)
+            if fault.kind in ("enospc", "eio"):
+                raise _disk_error(fault.kind, label)
+            if fault.kind == "torn":
+                keep = int(len(data) * fault.fraction)
+                with open(path, "ab") as fh:
+                    fh.write(data[:keep])
+                # The torn prefix is what the platter kept.
+                self._durable[str(path)] = path.stat().st_size
+                self._crash(label)
+            if fault.kind == "short":
+                keep = int(len(data) * fault.fraction)
+                with open(path, "ab") as fh:
+                    fh.write(data[:keep])
+                return keep
+        with open(path, "ab") as fh:
+            fh.write(data)
+        return len(data)
+
+    def fsync(self, path: str | Path, label: str) -> None:
+        """Make a file's current content durable (unless dropped)."""
+        path = Path(path)
+        self._track(path)
+        fault = self._barrier(label)
+        if fault is not None:
+            if fault.kind == "crash":
+                self._crash(label)
+            if fault.kind in ("enospc", "eio"):
+                raise _disk_error(fault.kind, label)
+            if fault.kind == "fsync-drop":
+                return  # lies like a failing disk: reports success
+        with open(path, "rb+") as fh:
+            os.fsync(fh.fileno())
+        self._durable[str(path)] = path.stat().st_size
+
+    def replace(self, src: str | Path, dst: str | Path, label: str) -> None:
+        """Atomic rename; the barrier fires before the rename applies."""
+        src, dst = Path(src), Path(dst)
+        fault = self._barrier(label)
+        if fault is not None:
+            if fault.kind == "crash":
+                self._crash(label)
+            if fault.kind in ("enospc", "eio"):
+                raise _disk_error(fault.kind, label)
+        durable = self._durable.pop(str(src), None)
+        os.replace(src, dst)
+        self._temps.discard(str(src))
+        self._durable[str(dst)] = (
+            durable if durable is not None else dst.stat().st_size
+        )
+
+    def fsync_dir(self, path: str | Path, label: str) -> None:
+        """Flush a directory entry (rename durability barrier)."""
+        fault = self._barrier(label)
+        if fault is not None:
+            if fault.kind == "crash":
+                self._crash(label)
+            if fault.kind in ("enospc", "eio"):
+                raise _disk_error(fault.kind, label)
+            if fault.kind == "fsync-drop":
+                return
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-specific
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def remove(self, path: str | Path, label: str) -> None:
+        """Delete a file (journal segment retirement)."""
+        path = Path(path)
+        fault = self._barrier(label)
+        if fault is not None:
+            if fault.kind == "crash":
+                self._crash(label)
+            if fault.kind in ("enospc", "eio"):
+                raise _disk_error(fault.kind, label)
+        path.unlink(missing_ok=True)
+        self._durable.pop(str(path), None)
+
+    def truncate(self, path: str | Path, size: int) -> None:
+        """Truncate a file (torn-tail repair during recovery; no barrier)."""
+        path = Path(path)
+        with open(path, "rb+") as fh:
+            fh.truncate(size)
+            os.fsync(fh.fileno())
+        self._durable[str(path)] = size
+
+    def publish(self, path: str | Path, data: bytes, label: str) -> None:
+        """Atomically replace ``path`` with ``data``, barrier by barrier.
+
+        The four steps of :func:`repro.io.atomic_write`, each crossing
+        its own crash point: ``<label>.write`` → ``<label>.sync`` →
+        ``<label>.rename`` → ``<label>.dirsync``.  A crash at any step
+        leaves either the complete old file or the complete new file
+        (or, with a dropped sync, a file whose content the digest
+        check will refuse) — never a silently torn one.
+        """
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        self._temps.add(str(tmp))
+        tmp.unlink(missing_ok=True)
+        self._durable[str(tmp)] = 0
+        written = self.append(tmp, data, f"{label}.write")
+        if written < len(data):
+            raise _disk_error("enospc", f"{label}.write (short write: {written}/{len(data)} bytes)")
+        self.fsync(tmp, f"{label}.sync")
+        self.replace(tmp, path, f"{label}.rename")
+        self.fsync_dir(path.parent, f"{label}.dirsync")
+
+
+def _disk_error(kind: str, label: str) -> OSError:
+    import errno
+
+    number = errno.ENOSPC if kind == "enospc" else errno.EIO
+    return OSError(number, f"injected {kind} at {label}")
 
 
 # ----------------------------------------------------------------------

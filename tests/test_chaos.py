@@ -37,6 +37,7 @@ from repro.service.chaos import (
     POOL_FAULT_KINDS,
     build_workload,
     run_chaos,
+    run_ingest_chaos,
     run_reload_storm,
     storm_mismatches,
 )
@@ -192,3 +193,25 @@ class TestEventLog:
         log.record("b")
         assert len(log) == 2
         assert log.events[0] == {"seq": 0, "kind": "a", "x": 1}
+
+
+class TestIngestChaosSmoke:
+    def test_full_sweep_has_no_failures(self):
+        """The labeled crash-point sweep plus fault drills all recover:
+        every acked record served, no torn shard visible, rankings
+        converge to the fault-free reference."""
+        report = run_ingest_chaos(seed=5, n_new=4, seal_every=2, tcp=False)
+        assert report.failures == []
+        assert report.labels  # the probe enumerated real crash points
+        crash_runs = [r for r in report.runs if r.kind == "crash"]
+        assert {r.label for r in crash_runs} == set(report.labels)
+        assert all(r.crashed for r in crash_runs)
+        assert "0 failures" in report.summary()
+
+    def test_log_dumps_via_environment(self, tmp_path, monkeypatch):
+        target = tmp_path / "ingest_chaos.json"
+        monkeypatch.setenv("REPRO_CHAOS_LOG", str(target))
+        report = run_ingest_chaos(seed=2, n_new=3, seal_every=2, tcp=False)
+        assert report.events_dumped_to == target
+        events = json.loads(target.read_text())
+        assert events and events[0]["kind"] == "probe"

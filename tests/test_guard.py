@@ -437,6 +437,77 @@ class TestIndexManager:
             (h.record, h.hit.as_tuple()) for h in first.report.hits
         ]
 
+    def test_concurrent_reloads_racing_failures_stay_consistent(self):
+        """Satellite contract: reloads racing a flaky loader never let a
+        failed load clobber the live index, and the generation counter
+        stays monotonic with one bump per *successful* load."""
+        built = []
+        calls = threading.Lock()
+
+        def loader():
+            with calls:
+                n = len(built)
+                built.append(n)
+            if n % 3 == 1:  # every third load blows up mid-read
+                raise OSError(f"disk gone on load {n}")
+            return small_index(seed=n)
+
+        manager = IndexManager(index=small_index(seed=99))
+        manager.loader = loader
+        cache = ResultCache(32)
+        manager.attach_cache(cache)
+
+        observed = []
+        errors = []
+
+        def worker():
+            for _ in range(6):
+                before = manager.generation
+                try:
+                    generation = manager.reload()
+                except OSError:
+                    # A failed reload must leave the live pointer alone.
+                    index, now = manager.current()
+                    if now < before:
+                        errors.append("generation went backwards on failure")
+                    if index.record_count != 6:
+                        errors.append("failed reload corrupted the live index")
+                else:
+                    observed.append(generation)
+                    index, now = manager.current()
+                    if now < generation:
+                        errors.append("generation went backwards after success")
+                # Cache entries keyed to dead generations must be gone.
+                key = CacheKey(
+                    query="ACGT", scheme="s", index_version="v",
+                    min_score=1, top=5, generation=manager.generation,
+                )
+                cache.put(key, "live-answer")
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not errors
+        successes = sum(1 for n in built if n % 3 != 1)
+        failures = len(built) - successes
+        # Each success bumps the generation exactly once; failures never do.
+        assert manager.generation == 1 + successes
+        assert manager.reloads == successes
+        assert manager.reload_failures == failures
+        assert sorted(observed) == list(range(2, 2 + successes))
+        # Only the newest generation's cache entries may survive.
+        live = manager.generation
+        for generation in range(1, live):
+            stale = CacheKey(
+                query="ACGT", scheme="s", index_version="v",
+                min_score=1, top=5, generation=generation,
+            )
+            assert cache.get(stale) is None
+        assert manager.index.record_count == 6  # still serving a real index
+
     def test_describe(self):
         manager = IndexManager(index=small_index())
         info = manager.describe()

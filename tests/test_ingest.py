@@ -1,0 +1,537 @@
+"""Tests for the crash-safe ingest lifecycle: WAL, recovery, disk faults.
+
+The crash tests never kill a real process — :class:`FaultFS` raises
+:class:`CrashPoint` at a labeled barrier and truncates every tracked
+file back to its last-fsynced length, which is exactly the state a
+power cut leaves on a disk with honest fsync.  Recovery then runs over
+the surviving directory and the tests assert the lifecycle's promises:
+nothing acknowledged is lost, nothing torn is served, and the combined
+base+delta rankings stay bit-identical to a from-scratch rebuild.
+"""
+
+import struct
+import threading
+import zlib
+
+import pytest
+
+from repro.io.generate import mutate, random_dna
+from repro.service import (
+    DatabaseIndex,
+    IndexManager,
+    QueryOptions,
+    SearchClient,
+    SearchEngine,
+    ServiceError,
+)
+from repro.service.ingest import (
+    IngestError,
+    IngestReadOnly,
+    IngestService,
+    Journal,
+    combine_indexes,
+)
+from repro.service.net import ServerThread
+from repro.service.resilience import (
+    DISK_FAULT_KINDS,
+    CrashPoint,
+    DiskFault,
+    DiskFaultPlan,
+    FaultFS,
+)
+
+_WAL_MAGIC = b"repro-wal\x01"
+
+
+def base_records(n=6, seed=0):
+    return [(f"base{i}", random_dna(120, seed=3_000 + seed * 10 + i)) for i in range(n)]
+
+
+def new_records(n=5, seed=0):
+    return [(f"live{i}", random_dna(140, seed=4_000 + seed * 10 + i)) for i in range(n)]
+
+
+def make_service(tmp_path, seal_every=3, fs=None, seed=0):
+    records = base_records(seed=seed)
+    loader = lambda: DatabaseIndex.build(records, shards=2)  # noqa: E731
+    manager = IndexManager(index=loader(), loader=loader)
+    service = IngestService(
+        manager, tmp_path / "ingest", seal_every=seal_every,
+        fs=fs if fs is not None else FaultFS(),
+    )
+    return manager, service
+
+
+# ----------------------------------------------------------------------
+# Journal framing
+# ----------------------------------------------------------------------
+class TestJournal:
+    def test_append_replay_round_trip(self, tmp_path):
+        journal = Journal(tmp_path / "wal.log", FaultFS())
+        assert journal.append("a", "ACGT") == 0
+        assert journal.append("b", "GGTT") == 1
+        replayed = Journal.replay(tmp_path / "wal.log")
+        assert replayed.records == [("a", "ACGT"), ("b", "GGTT")]
+        assert not replayed.torn
+
+    def test_reopen_counts_existing_records(self, tmp_path):
+        fs = FaultFS()
+        Journal(tmp_path / "wal.log", fs).append("a", "ACGT")
+        assert Journal(tmp_path / "wal.log", fs).count == 1
+
+    @pytest.mark.parametrize("cut", range(1, 12))
+    def test_torn_tail_is_cut_never_guessed(self, tmp_path, cut):
+        path = tmp_path / "wal.log"
+        journal = Journal(path, FaultFS())
+        journal.append("a", "ACGT")
+        good = path.stat().st_size
+        journal.append("b", "GGTT")
+        data = path.read_bytes()
+        # Cut anywhere inside the second record's frame: replay keeps
+        # exactly the first record and reports the valid prefix length.
+        path.write_bytes(data[: good + cut])
+        replayed = Journal.replay(path)
+        assert replayed.records == [("a", "ACGT")]
+        assert replayed.torn
+        assert replayed.good_bytes == good
+
+    def test_crc_mismatch_stops_replay(self, tmp_path):
+        path = tmp_path / "wal.log"
+        journal = Journal(path, FaultFS())
+        journal.append("a", "ACGT")
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip a payload byte; the CRC no longer matches
+        path.write_bytes(bytes(data))
+        replayed = Journal.replay(path)
+        assert replayed.records == []
+        assert replayed.torn
+
+    def test_valid_crc_garbage_json_is_torn(self, tmp_path):
+        path = tmp_path / "wal.log"
+        Journal(path, FaultFS())
+        payload = b"not json at all"
+        frame = struct.pack(">II", len(payload), zlib.crc32(payload)) + payload
+        with open(path, "ab") as fh:
+            fh.write(frame)
+        replayed = Journal.replay(path)
+        assert replayed.records == []
+        assert replayed.torn
+
+    def test_wrong_magic_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(b"definitely-not-a-journal")
+        with pytest.raises(IngestError, match="not a repro WAL"):
+            Journal.replay(path)
+
+    def test_torn_magic_prefix_is_recoverable_not_fatal(self, tmp_path):
+        # A crash during journal creation leaves a prefix of the magic
+        # itself; that is a torn write, not a foreign file.
+        path = tmp_path / "wal.log"
+        path.write_bytes(_WAL_MAGIC[:4])
+        replayed = Journal.replay(path)
+        assert replayed.records == [] and replayed.torn and replayed.good_bytes == 0
+
+
+# ----------------------------------------------------------------------
+# FaultFS: the disk-fault model itself
+# ----------------------------------------------------------------------
+class TestFaultFS:
+    def test_crash_truncates_to_last_fsync(self, tmp_path):
+        fs = FaultFS(DiskFaultPlan.crash_at("late"))
+        path = tmp_path / "f"
+        fs.append(path, b"durable", "early")
+        fs.fsync(path, "early-sync")
+        fs.append(path, b"volatile", "mid")
+        with pytest.raises(CrashPoint):
+            fs.append(path, b"x", "late")
+        assert path.read_bytes() == b"durable"  # unsynced bytes are gone
+
+    def test_torn_write_keeps_prefix_then_crashes(self, tmp_path):
+        fs = FaultFS(DiskFaultPlan.torn_at("w", fraction=0.5))
+        path = tmp_path / "f"
+        with pytest.raises(CrashPoint):
+            fs.append(path, b"ABCDEFGH", "w")
+        assert path.read_bytes() == b"ABCD"
+
+    def test_short_write_returns_partial_count(self, tmp_path):
+        fs = FaultFS(DiskFaultPlan.short_at("w", fraction=0.25))
+        path = tmp_path / "f"
+        assert fs.append(path, b"ABCDEFGH", "w") == 2
+
+    @pytest.mark.parametrize("kind,errnum", [("enospc", 28), ("eio", 5)])
+    def test_disk_errors_raise_oserror(self, tmp_path, kind, errnum):
+        plan = (
+            DiskFaultPlan.enospc_at("w") if kind == "enospc"
+            else DiskFaultPlan.eio_at("w")
+        )
+        fs = FaultFS(plan)
+        with pytest.raises(OSError) as err:
+            fs.append(tmp_path / "f", b"x", "w")
+        assert err.value.errno == errnum
+
+    def test_fsync_drop_leaves_durable_stale(self, tmp_path):
+        fs = FaultFS(
+            DiskFaultPlan.fsync_drop_at("sync").merged(DiskFaultPlan.crash_at("boom"))
+        )
+        path = tmp_path / "f"
+        fs.append(path, b"claimed-durable", "w")
+        fs.fsync(path, "sync")  # silently dropped
+        with pytest.raises(CrashPoint):
+            fs.append(path, b"x", "boom")
+        assert path.read_bytes() == b""  # the lying fsync protected nothing
+
+    def test_publish_crash_leaves_no_temp(self, tmp_path):
+        fs = FaultFS(DiskFaultPlan.crash_at("pub.rename"))
+        with pytest.raises(CrashPoint):
+            fs.publish(tmp_path / "out", b"payload", "pub")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_labels_seen_enumerates_barriers(self, tmp_path):
+        fs = FaultFS()
+        fs.append(tmp_path / "f", b"x", "a")
+        fs.fsync(tmp_path / "f", "b")
+        fs.publish(tmp_path / "g", b"y", "pub")
+        assert fs.labels_seen[:2] == ["a", "b"]
+        assert [l for l in fs.labels_seen if l.startswith("pub.")] == [
+            "pub.write", "pub.sync", "pub.rename", "pub.dirsync",
+        ]
+
+    def test_fault_validation(self):
+        with pytest.raises(ValueError):
+            DiskFault(kind="nonsense", label="x")
+        assert set(DISK_FAULT_KINDS) == {
+            "torn", "short", "enospc", "eio", "fsync-drop", "crash",
+        }
+
+    def test_fault_for_honours_after_and_times(self):
+        plan = DiskFaultPlan.enospc_at("w", after=2, times=2)
+        hits = [plan.fault_for("w", hit) is not None for hit in range(6)]
+        assert hits == [False, False, True, True, False, False]
+
+
+# ----------------------------------------------------------------------
+# combine_indexes
+# ----------------------------------------------------------------------
+class TestCombineIndexes:
+    def test_bit_identical_to_from_scratch_build(self):
+        records = base_records() + new_records()
+        base = DatabaseIndex.build(records[:6], shards=2)
+        delta = DatabaseIndex.build(records[6:], shards=1)
+        combined = combine_indexes([base, delta])
+        rebuilt = DatabaseIndex.build(records, shards=3)
+        assert [
+            (gidx, name, codes.tobytes())
+            for gidx, name, codes in combined.iter_records()
+        ] == [
+            (gidx, name, codes.tobytes())
+            for gidx, name, codes in rebuilt.iter_records()
+        ]
+
+    def test_single_part_passthrough(self):
+        base = DatabaseIndex.build(base_records(), shards=2)
+        assert combine_indexes([base]) is base
+
+    def test_degraded_ids_rebased(self):
+        base = DatabaseIndex.build(base_records(), shards=2)
+        delta = DatabaseIndex(
+            DatabaseIndex.build(new_records(2), shards=1).shards,
+            version="v", source="s", degraded=[0],
+        )
+        combined = combine_indexes([base, delta])
+        assert combined.degraded == (base.shard_count,)
+
+    def test_empty_parts_rejected(self):
+        with pytest.raises(ValueError):
+            combine_indexes([])
+
+
+# ----------------------------------------------------------------------
+# The lifecycle: ingest → seal → compact → publish
+# ----------------------------------------------------------------------
+class TestIngestLifecycle:
+    def test_acked_records_become_searchable(self, tmp_path):
+        manager, service = make_service(tmp_path, seal_every=2)
+        for name, seq in new_records(4):
+            service.ingest(name, seq)
+        served = set(service.served_names())
+        assert {"live0", "live1", "live2", "live3"} <= served
+        assert service.pending == 0  # 4 records, seal_every=2: all compacted
+
+    def test_pending_records_flushed_by_seal(self, tmp_path):
+        manager, service = make_service(tmp_path, seal_every=10)
+        service.ingest("live0", "ACGTACGT")
+        assert service.pending == 1
+        assert "live0" not in set(service.served_names())
+        service.seal()
+        assert "live0" in set(service.served_names())
+
+    def test_generation_advances_per_publish(self, tmp_path):
+        manager, service = make_service(tmp_path, seal_every=1)
+        before = manager.generation
+        service.ingest("live0", "ACGTACGT")
+        assert manager.generation == before + 1
+
+    def test_rankings_bit_identical_to_rebuild(self, tmp_path):
+        manager, service = make_service(tmp_path, seal_every=2)
+        streamed = new_records(5)
+        for name, seq in streamed:
+            service.ingest(name, seq)
+        service.seal()
+        rebuilt = DatabaseIndex.build(
+            base_records() + streamed, shards=2
+        )
+        query = mutate(streamed[2][1][:48], rate=0.05, seed=1)
+        options = QueryOptions(top=8)
+        live = SearchEngine(manager).search(query, options)
+        reference = SearchEngine(rebuilt).search(query, options)
+        assert [
+            (h.record, h.hit.as_tuple()) for h in live.report.hits
+        ] == [(h.record, h.hit.as_tuple()) for h in reference.report.hits]
+
+    def test_input_validation(self, tmp_path):
+        _, service = make_service(tmp_path)
+        with pytest.raises(ValueError):
+            service.ingest("", "ACGT")
+        with pytest.raises(ValueError):
+            service.ingest("a\nb", "ACGT")
+        with pytest.raises(ValueError):
+            service.ingest("a", "")
+        with pytest.raises(ValueError):
+            service.ingest("a", "ACGT☃")
+
+    def test_describe_and_metrics_names(self, tmp_path):
+        _, service = make_service(tmp_path)
+        info = service.describe()
+        assert info["read_only"] is False
+        assert info["pending"] == 0
+
+
+# ----------------------------------------------------------------------
+# Recovery
+# ----------------------------------------------------------------------
+class TestRecovery:
+    def test_restart_over_clean_directory_is_noop(self, tmp_path):
+        manager, service = make_service(tmp_path, seal_every=2)
+        for name, seq in new_records(4):
+            service.ingest(name, seq)
+        manager2, service2 = make_service(tmp_path, seal_every=2)
+        assert set(service2.served_names()) == set(service.served_names())
+
+    def test_acked_pending_records_served_after_restart(self, tmp_path):
+        # seal_every=10: the records stay in the active journal.  An
+        # ack means "served after restart", so recovery must compact
+        # them rather than waiting for traffic to trip a seal.
+        manager, service = make_service(tmp_path, seal_every=10)
+        service.ingest("live0", "ACGTACGTAC")
+        service.ingest("live1", "GGTTGGTTGG")
+        _, revived = make_service(tmp_path, seal_every=10)
+        assert {"live0", "live1"} <= set(revived.served_names())
+
+    def test_leftover_temp_files_discarded(self, tmp_path):
+        manager, service = make_service(tmp_path)
+        (tmp_path / "ingest" / "delta-0000000009.npz.tmp").write_bytes(b"junk")
+        _, revived = make_service(tmp_path)
+        assert not list((tmp_path / "ingest").glob("*.tmp"))
+
+    def test_two_active_segments_is_structural_corruption(self, tmp_path):
+        manager, service = make_service(tmp_path)
+        fs = FaultFS()
+        Journal(tmp_path / "ingest" / "wal-0000000007.log", fs)
+        with pytest.raises(IngestError, match="active journal segments"):
+            make_service(tmp_path)
+
+    def test_quarantined_delta_surfaces_partial_coverage(self, tmp_path):
+        manager, service = make_service(tmp_path, seal_every=2)
+        for name, seq in new_records(2):
+            service.ingest(name, seq)
+        # Bit-rot the published delta behind the manifest's back.
+        (delta,) = (tmp_path / "ingest").glob("delta-*.npz")
+        delta.write_bytes(b"rotten")
+        manager2, revived = make_service(tmp_path, seal_every=2)
+        index = manager2.current()[0]
+        assert index.degraded  # the loss is visible, not silent
+        assert index.record_count == 8  # numbering preserved
+        assert "live0" not in set(revived.served_names())
+        # Searches answer with degraded coverage instead of crashing.
+        response = SearchEngine(manager2).search("ACGTACGT", QueryOptions(top=3))
+        assert response.coverage < 1.0
+
+    def test_recovery_retires_segment_already_in_manifest(self, tmp_path):
+        manager, service = make_service(tmp_path, seal_every=2)
+        for name, seq in new_records(2):
+            service.ingest(name, seq)
+        # Resurrect the sealed segment as if the crash hit between
+        # manifest publish and segment retire.
+        sealed = tmp_path / "ingest" / "wal-0000000001.sealed"
+        journal = Journal(sealed, FaultFS())
+        for name, seq in new_records(2):
+            journal.append(name, seq)
+        _, revived = make_service(tmp_path, seal_every=2)
+        assert not sealed.exists()
+        # And the delta was not double-published.
+        assert len(list((tmp_path / "ingest").glob("delta-*.npz"))) == 1
+
+
+# ----------------------------------------------------------------------
+# Crash sweep (the tentpole invariant, in-process edition)
+# ----------------------------------------------------------------------
+class TestCrashSweep:
+    LABELS = (
+        "journal.create", "journal.append", "journal.sync", "seal.rename",
+        "delta.write", "delta.sync", "delta.rename", "delta.dirsync",
+        "manifest.write", "manifest.sync", "manifest.rename",
+        "manifest.dirsync", "segment.retire",
+    )
+
+    @pytest.mark.parametrize("label", LABELS)
+    def test_recovery_after_crash_at_barrier(self, tmp_path, label):
+        streamed = new_records(5)
+        acked = []
+        try:
+            _, service = make_service(
+                tmp_path, seal_every=2, fs=FaultFS(DiskFaultPlan.crash_at(label))
+            )
+            for name, seq in streamed:
+                service.ingest(name, seq)
+                acked.append(name)
+            service.seal()
+        except CrashPoint:
+            pass
+        else:
+            pytest.fail(f"crash at {label} never triggered")
+        manager, revived = make_service(tmp_path, seal_every=2)
+        served = set(revived.served_names())
+        base = {name for name, _ in base_records()}
+        assert set(acked) <= served  # nothing acknowledged is lost
+        assert served - base <= {n for n, _ in streamed}  # nothing invented
+        assert not manager.current()[0].degraded  # no torn shard served
+        # Re-ingesting the interrupted remainder converges to the full set.
+        for name, seq in streamed:
+            if name not in served:
+                revived.ingest(name, seq)
+        revived.seal()
+        assert {n for n, _ in streamed} <= set(revived.served_names())
+
+
+# ----------------------------------------------------------------------
+# Read-only degradation
+# ----------------------------------------------------------------------
+class TestReadOnly:
+    def test_enospc_degrades_to_read_only_serving(self, tmp_path):
+        manager, service = make_service(
+            tmp_path, seal_every=2,
+            fs=FaultFS(DiskFaultPlan.enospc_at("journal.append", after=1, times=None)),
+        )
+        service.ingest("live0", "ACGTACGT")
+        with pytest.raises(IngestReadOnly):
+            service.ingest("live1", "GGTTGGTT")
+        assert service.read_only
+        with pytest.raises(IngestReadOnly):  # stays refused, fail-fast
+            service.ingest("live2", "AACCAACC")
+        # The live index keeps answering searches at full coverage.
+        response = SearchEngine(manager).search("ACGTACGT", QueryOptions(top=3))
+        assert response.coverage == 1.0
+
+    def test_resume_clears_read_only(self, tmp_path):
+        _, service = make_service(
+            tmp_path, fs=FaultFS(DiskFaultPlan.eio_at("journal.sync"))
+        )
+        with pytest.raises(IngestReadOnly):
+            service.ingest("live0", "ACGTACGT")
+        service.resume()
+        service.ingest("live1", "GGTTGGTT")  # the disk "healed"
+        assert service.pending >= 1
+
+    def test_read_only_error_taxonomy(self):
+        exc = IngestReadOnly("disk full")
+        assert isinstance(exc, ServiceError)
+        assert exc.code == "read-only"
+
+
+# ----------------------------------------------------------------------
+# Over the wire
+# ----------------------------------------------------------------------
+class TestIngestOverTheWire:
+    def test_ingest_verb_roundtrip_and_search(self, tmp_path):
+        manager, service = make_service(tmp_path, seal_every=1)
+        engine = SearchEngine(manager)
+        engine.attach_ingest(service)
+        handle = ServerThread(engine).start()
+        try:
+            with SearchClient(handle.host, handle.port) as client:
+                ack = client.ingest("wired", "ACGTACGTACGTACGT")
+                assert ack["pending"] == 0  # seal_every=1: published at once
+                health = client.health()
+                assert health["ingest"]["acked"] == 1
+                response = client.search("ACGTACGTACGTACGT", QueryOptions(top=10))
+                assert "wired" in [h.record for h in response.report.hits]
+        finally:
+            handle.stop()
+
+    def test_full_disk_answers_read_only_not_crash(self, tmp_path):
+        manager, service = make_service(
+            tmp_path,
+            fs=FaultFS(DiskFaultPlan.enospc_at("journal.append", times=None)),
+        )
+        engine = SearchEngine(manager)
+        engine.attach_ingest(service)
+        handle = ServerThread(engine).start()
+        try:
+            with SearchClient(handle.host, handle.port) as client:
+                with pytest.raises(ServiceError) as err:
+                    client.ingest("doomed", "ACGT")
+                assert err.value.code == "read-only"
+                assert client.ping()  # the server survived
+                response = client.search("ACGTACGT", QueryOptions(top=3))
+                assert response.coverage == 1.0
+        finally:
+            handle.stop()
+
+    def test_ingest_without_service_is_bad_request(self, tmp_path):
+        engine = SearchEngine(DatabaseIndex.build(base_records(), shards=2))
+        handle = ServerThread(engine).start()
+        try:
+            with SearchClient(handle.host, handle.port) as client:
+                with pytest.raises(ServiceError) as err:
+                    client.ingest("x", "ACGT")
+                assert err.value.code == "bad-request"
+        finally:
+            handle.stop()
+
+    def test_attach_ingest_rejects_foreign_manager(self, tmp_path):
+        manager, service = make_service(tmp_path)
+        engine = SearchEngine(DatabaseIndex.build(base_records(), shards=2))
+        with pytest.raises(ValueError, match="different IndexManager"):
+            engine.attach_ingest(service)
+
+
+# ----------------------------------------------------------------------
+# Concurrency: ingest while searching
+# ----------------------------------------------------------------------
+class TestConcurrentIngest:
+    def test_searches_never_see_a_torn_generation(self, tmp_path):
+        manager, service = make_service(tmp_path, seal_every=1)
+        engine = SearchEngine(manager)
+        errors: list[Exception] = []
+        stop = threading.Event()
+
+        def search_loop():
+            options = QueryOptions(top=5)
+            while not stop.is_set():
+                try:
+                    response = engine.search("ACGTACGTAC", options)
+                    assert response.coverage == 1.0
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+                    return
+
+        thread = threading.Thread(target=search_loop)
+        thread.start()
+        try:
+            for name, seq in new_records(8):
+                service.ingest(name, seq)
+        finally:
+            stop.set()
+            thread.join(timeout=30)
+        assert not errors
+        assert {n for n, _ in new_records(8)} <= set(service.served_names())

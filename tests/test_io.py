@@ -54,6 +54,73 @@ class TestFastaParse:
         assert len(FastaRecord("h", "ACGT")) == 4
 
 
+class TestFastaLineEndings:
+    def test_crlf_stream(self):
+        recs = list(parse_fasta(io.StringIO(">a\r\nAC\r\nGT\r\n>b\r\nTT\r\n")))
+        assert [(r.header, r.sequence) for r in recs] == [("a", "ACGT"), ("b", "TT")]
+
+    def test_bare_cr_stream(self):
+        # Classic-Mac endings: without logical-line splitting the whole
+        # file is one "line" and the header swallows the sequence.
+        recs = list(parse_fasta(io.StringIO(">a\rAC\rGT\r")))
+        assert recs == [FastaRecord("a", "ACGT")]
+
+    def test_mixed_endings(self):
+        recs = list(parse_fasta(io.StringIO(">a\r\nAC\nGT\r>b\nAA\r\n")))
+        assert [(r.header, r.sequence) for r in recs] == [("a", "ACGT"), ("b", "AA")]
+
+    def test_crlf_file_round_trip(self, tmp_path):
+        path = tmp_path / "crlf.fasta"
+        path.write_bytes(b">a\r\nACGT\r\n")
+        assert read_fasta(path) == [FastaRecord("a", "ACGT")]
+
+
+class TestTruncatedFasta:
+    def test_final_header_without_sequence_raises(self):
+        with pytest.raises(ValueError, match="truncated FASTA"):
+            list(parse_fasta(io.StringIO(">a\nACGT\n>torn\n")))
+
+    def test_lone_header_raises(self):
+        with pytest.raises(ValueError, match="truncated FASTA"):
+            list(parse_fasta(io.StringIO(">only-header\n")))
+
+    def test_empty_mid_file_record_still_allowed(self):
+        # Only the *final* record is the torn-write signature; an empty
+        # record mid-file is unusual but unambiguous.
+        recs = list(parse_fasta(io.StringIO(">a\n>b\nACGT\n")))
+        assert [(r.header, r.sequence) for r in recs] == [("a", ""), ("b", "ACGT")]
+
+    def test_error_names_the_record(self):
+        with pytest.raises(ValueError, match="torn-tail"):
+            list(parse_fasta(io.StringIO(">ok\nAC\n>torn-tail\n")))
+
+
+@st.composite
+def fasta_records(draw):
+    n = draw(st.integers(1, 6))
+    records = []
+    for i in range(n):
+        note = draw(st.text(alphabet="abcdefgh_ 0123456789", max_size=12))
+        header = f"rec{i} {note}".strip()
+        sequence = draw(st.text(alphabet=DNA_ALPHABET, min_size=1, max_size=120))
+        records.append(FastaRecord(header, sequence))
+    return records
+
+
+class TestFastaRoundTripProperty:
+    @given(records=fasta_records(), width=st.integers(1, 80))
+    def test_write_parse_round_trip(self, records, width):
+        text = write_fasta(records, width=width)
+        assert list(parse_fasta(io.StringIO(text))) == records
+
+    @given(records=fasta_records())
+    def test_round_trip_survives_crlf_rewriting(self, records):
+        # The same file shipped through a Windows toolchain (LF→CRLF)
+        # must parse to the same records.
+        text = write_fasta(records).replace("\n", "\r\n")
+        assert list(parse_fasta(io.StringIO(text))) == records
+
+
 class TestFastaWrite:
     def test_roundtrip_file(self, tmp_path):
         path = tmp_path / "demo.fasta"

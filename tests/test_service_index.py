@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.align.scoring import decode
 from repro.io.fasta import FastaRecord, write_fasta
@@ -238,3 +239,69 @@ class TestCorruptionDetection:
         index.save(path)
         with np.load(path, allow_pickle=False) as data:
             assert set(data.files) >= {"meta", "payload", "record_lengths"}
+
+
+class TestQuarantineUnderDamageProperty:
+    """Satellite contract: ``load(on_corrupt="quarantine")`` against a
+    damaged file never crashes with anything but ``IndexFormatError``
+    and never serves unverified bytes.
+
+    The reference blob is built once; hypothesis then drives the damage
+    — systematic truncation points and byte flips — over it.
+    """
+
+    _pristine: bytes | None = None
+
+    @classmethod
+    def _reference_blob(cls, tmp_path):
+        # Cache the *pristine* bytes (the content is deterministic), so
+        # one example's damage can never leak into the next one's blob.
+        if cls._pristine is None:
+            ref = tmp_path / "ref.idx"
+            DatabaseIndex.build(make_records(8), shards=4).save(ref)
+            cls._pristine = ref.read_bytes()
+        return tmp_path / "db.idx", cls._pristine
+
+    @given(fraction=st.floats(0.0, 1.0))
+    @settings(
+        max_examples=40,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_truncation_never_serves_garbage(self, tmp_path, fraction):
+        path, blob = self._reference_blob(tmp_path)
+        keep = int(len(blob) * fraction)
+        path.write_bytes(blob[:keep])
+        try:
+            loaded = DatabaseIndex.load(path, on_corrupt="quarantine")
+        except IndexFormatError:
+            return  # refused cleanly: the structure itself was torn
+        # If the load survived, every *served* shard re-verified its
+        # digest: active shards are exactly the non-degraded ones and
+        # iterating them cannot touch unverified payload.
+        active = {s.shard_id for s in loaded.active_shards}
+        assert active.isdisjoint(loaded.degraded)
+        for shard in loaded.active_shards:
+            assert int(shard.offsets[-1]) == shard.payload.shape[0]
+
+    @given(
+        shard_id=st.integers(0, 3),
+        offset=st.integers(0, 10_000),
+    )
+    @settings(
+        max_examples=40,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_byte_flip_quarantines_exactly_that_shard(
+        self, tmp_path, shard_id, offset
+    ):
+        from repro.service import corrupt_index_file
+
+        path, blob = self._reference_blob(tmp_path)
+        path.write_bytes(blob)
+        corrupt_index_file(path, shard_id=shard_id, offset=offset)
+        loaded = DatabaseIndex.load(path, on_corrupt="quarantine")
+        assert loaded.degraded == (shard_id,)
+        assert [s.shard_id for s in loaded.active_shards] == [
+            s for s in range(4) if s != shard_id
+        ]
+        assert loaded.record_count == 8  # numbering holds despite the loss
